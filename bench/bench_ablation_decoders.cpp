@@ -1,0 +1,45 @@
+// Ablation — job-shop decoder choice. The survey's Section III.A
+// distinguishes the DIRECT encoding (decoded semi-actively), the
+// Giffler–Thompson ACTIVE decoding ([17][21][26]) and the INDIRECT
+// dispatching-rule encoding ([12]). Same GA budget, three decoders.
+#include "bench/bench_util.h"
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/classics.h"
+
+int main() {
+  using namespace psga;
+  bench::header("Ablation decoders", "Survey §III.A encodings",
+                "direct semi-active vs GT active vs indirect rule-sequence "
+                "decoding at equal GA budget");
+
+  stats::Table table({"instance", "optimum", "semi-active", "GT active",
+                      "rule sequence"});
+  for (const auto* classic :
+       {&sched::ft06(), &sched::ft10(), &sched::ft20(), &sched::la01()}) {
+    auto run = [&](ga::ProblemPtr problem) {
+      ga::GaConfig cfg;
+      cfg.population = 60;
+      cfg.termination.max_generations = 60 * bench::scale();
+      cfg.seed = 27;
+      ga::SimpleGa engine(std::move(problem), cfg);
+      return engine.run().best_objective;
+    };
+    const double semi = run(std::make_shared<ga::JobShopProblem>(
+        classic->instance, ga::JobShopProblem::Decoder::kOperationBased));
+    const double active = run(std::make_shared<ga::JobShopProblem>(
+        classic->instance, ga::JobShopProblem::Decoder::kGifflerThompson));
+    const double rules = run(
+        std::make_shared<ga::RuleSequenceJobShopProblem>(classic->instance));
+    table.add_row({classic->name, std::to_string(classic->optimum),
+                   stats::Table::num(semi, 0), stats::Table::num(active, 0),
+                   stats::Table::num(rules, 0)});
+  }
+  table.print();
+  std::printf("\nReading: GT active decoding dominates the semi-active "
+              "direct encoding (the active-schedule space is smaller and "
+              "always contains an optimum); the indirect rule encoding is "
+              "coarse — robust but limited by its rule vocabulary, which "
+              "is why the surveyed works favor direct encodings plus GT.\n");
+  return 0;
+}

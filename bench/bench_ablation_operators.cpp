@@ -1,0 +1,51 @@
+// Ablation — operator grid. The survey's Section III.A catalogues the
+// permutation operator families; this ablation quantifies how much the
+// crossover/mutation choice matters on a fixed flow-shop budget (the
+// design-choice question behind the heterogeneous-island strategies of
+// [26] and [30]).
+#include "bench/bench_util.h"
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/taillard.h"
+
+int main() {
+  using namespace psga;
+  bench::header("Ablation operators", "Survey §III.A operator catalogue",
+                "sensitivity of final quality to crossover x mutation on a "
+                "fixed budget (ta001)");
+
+  const auto bench_entry = sched::taillard_20x5().front();
+  auto problem =
+      std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench_entry));
+  const double reference = static_cast<double>(bench_entry.best_known);
+  const int replications = 3 * bench::scale();
+
+  stats::Table table({"crossover", "mutation", "mean RPD (%)", "min Cmax"});
+  for (const auto& cx : ga::crossover_names(ga::SeqKind::kPermutation)) {
+    for (const auto& mut : ga::sequence_mutation_names()) {
+      std::vector<double> finals;
+      for (int rep = 0; rep < replications; ++rep) {
+        ga::GaConfig cfg;
+        cfg.population = 60;
+        cfg.termination.max_generations = 60 * bench::scale();
+        cfg.seed = 2600 + 7 * rep;
+        cfg.ops.selection = ga::make_selection("tournament2");
+        cfg.ops.crossover = ga::make_crossover(cx);
+        cfg.ops.mutation = ga::make_mutation(mut);
+        ga::SimpleGa engine(problem, cfg);
+        finals.push_back(engine.run().best_objective);
+      }
+      table.add_row({cx, mut,
+                     stats::Table::num(stats::mean_rpd(finals, reference), 2),
+                     stats::Table::num(stats::min_of(finals), 0)});
+    }
+  }
+  table.print();
+  std::printf("\nReading: most combinations converge to the same local "
+              "optimum at this budget, a few escape it (and a few trail); "
+              "that spread — which operator pairs with which landscape — "
+              "is exactly the payoff heterogeneous-island designs "
+              "exploit.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E10 — Gu et al. [28]: stochastic job shop (expected-value model) solved
+// by a parallel quantum GA on a star-shaped island organization with
+// penetration migration. Paper: better optimal/near-optimal solutions and
+// faster convergence than a plain GA or a plain (single-population)
+// quantum GA on large instances.
+//
+// Reproduction: three solvers at equal evaluation budget on a stochastic
+// job shop — plain GA, single-island quantum GA, island quantum GA with
+// penetration migration.
+#include "bench/bench_util.h"
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/ga/quantum_ga.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/generators.h"
+#include "src/sched/stochastic.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E10 quantum_stochastic", "Gu et al. [28], §III.D",
+                "island quantum GA beats plain GA and plain quantum GA on "
+                "stochastic job shops (expected-value model)");
+
+  const auto nominal = sched::random_job_shop(10, 8, 2009);
+  auto shop = std::make_shared<sched::StochasticJobShop>(nominal, 0.25,
+                                                         8 * bench::scale(), 7);
+  auto problem = std::make_shared<ga::StochasticJobShopProblem>(shop);
+
+  const int generations = 150 * bench::scale();
+  const int total_pop = 48;
+
+  const int replications = 3;
+  stats::Table table({"solver", "mean best E[Cmax]", "min best E[Cmax]"});
+
+  // Plain GA — era-faithful operators (roulette + one-point + swap), the
+  // kind of comparison GA available to [28] in 2009.
+  {
+    std::vector<double> finals;
+    for (int rep = 0; rep < replications; ++rep) {
+      ga::GaConfig cfg;
+      cfg.population = total_pop;
+      cfg.termination.max_generations = generations;
+      cfg.seed = 100 + 31 * rep;
+      cfg.ops.selection = ga::make_selection("roulette");
+      cfg.ops.crossover = ga::make_crossover("one-point");
+      cfg.ops.mutation = ga::make_mutation("swap");
+      cfg.ops.mutation_rate = 0.1;
+      ga::SimpleGa engine(problem, cfg);
+      finals.push_back(engine.run().best_objective);
+    }
+    table.add_row({"plain GA", stats::Table::num(stats::mean(finals), 1),
+                   stats::Table::num(stats::min_of(finals), 1)});
+  }
+  // Plain quantum GA (one island) and the parallel (4-island) quantum GA
+  // with penetration migration, at the same evaluation budget.
+  for (int islands : {1, 4}) {
+    std::vector<double> finals;
+    for (int rep = 0; rep < replications; ++rep) {
+      ga::QuantumGaConfig cfg;
+      cfg.islands = islands;
+      cfg.population = total_pop / islands;
+      cfg.generations = generations;
+      cfg.migration_interval = 5;  // frequent penetration pays off here
+      cfg.seed = 200 + 31 * rep + islands;
+      ga::QuantumGa engine(problem, cfg);
+      finals.push_back(engine.run().overall.best_objective);
+    }
+    table.add_row({islands == 1 ? "quantum GA (1 island)"
+                                : "parallel quantum GA (4 islands)",
+                   stats::Table::num(stats::mean(finals), 1),
+                   stats::Table::num(stats::min_of(finals), 1)});
+  }
+  table.print();
+  std::printf("\nExpected shape ([28]): the island quantum GA attains the "
+              "lowest expected makespan with competitive convergence.\n");
+  return 0;
+}

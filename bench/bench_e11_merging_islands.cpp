@@ -1,0 +1,78 @@
+// E11 — Spanos et al. [29]: island GA with elitist selection, path
+// relinking crossover and swap mutation, where a subpopulation that
+// stagnates (more than half its individuals within a Hamming-distance
+// threshold of the best) merges into another, until one island remains.
+// Paper: comparable performance with five contemporary approaches.
+//
+// Reproduction: merging islands vs fixed islands vs single GA at equal
+// budget on ft10; report bests and surviving island count.
+#include "bench/bench_util.h"
+#include "src/ga/island_ga.h"
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/classics.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E11 merging_islands", "Spanos et al. [29], §III.D",
+                "islands merge when stagnated (Hamming criterion) until one "
+                "remains; performance comparable to recent approaches");
+
+  auto problem = std::make_shared<ga::JobShopProblem>(
+      sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
+  const int generations = 50 * bench::scale();
+
+  auto base_config = [&] {
+    ga::IslandGaConfig cfg;
+    cfg.islands = 6;
+    cfg.base.population = 16;
+    cfg.base.termination.max_generations = generations;
+    cfg.base.seed = 29;
+    cfg.base.ops.selection = ga::make_selection("elitist-roulette");
+    cfg.base.ops.crossover =
+        std::make_shared<ga::PathRelinkCrossover>(problem, 6);  // [29]
+    cfg.base.ops.mutation = ga::make_mutation("swap");
+    cfg.migration.interval = 10;
+    return cfg;
+  };
+
+  stats::Table table(
+      {"configuration", "best Cmax", "surviving islands", "evaluations"});
+
+  {
+    ga::IslandGaConfig cfg = base_config();
+    cfg.merge.enabled = true;
+    cfg.merge.hamming_threshold = 40;
+    cfg.merge.fraction = 0.5;
+    ga::IslandGa engine(problem, cfg);
+    const auto r = engine.run();
+    table.add_row({"merging islands ([29])",
+                   stats::Table::num(r.overall.best_objective, 0),
+                   std::to_string(r.surviving_islands),
+                   std::to_string(r.overall.evaluations)});
+  }
+  {
+    ga::IslandGaConfig cfg = base_config();
+    ga::IslandGa engine(problem, cfg);
+    const auto r = engine.run();
+    table.add_row({"fixed 6 islands",
+                   stats::Table::num(r.overall.best_objective, 0),
+                   std::to_string(r.surviving_islands),
+                   std::to_string(r.overall.evaluations)});
+  }
+  {
+    ga::GaConfig cfg = base_config().base;
+    cfg.population = 96;
+    ga::SimpleGa engine(problem, cfg);
+    const auto r = engine.run();
+    table.add_row({"single GA (same total pop)",
+                   stats::Table::num(r.best_objective, 0), "1",
+                   std::to_string(r.evaluations)});
+  }
+  table.print();
+  std::printf("\nExpected shape ([29]): merging-island performance is "
+              "comparable to (within a few %% of) the alternatives; island "
+              "count shrinks below 6.\nft10 optimum: 930.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E16 — Defersha & Chen [35]: coarse-grain GA for flexible flow shop with
+// lot streaming (unequal consistent sublots), k-way tournament, MPI on up
+// to 48 cores. Paper findings: (a) the island GA reduces makespan vs the
+// serial GA; (b) fully-connected topology outperforms ring and mesh;
+// (c) of the policies random-replace-random / best-replace-random /
+// best-replace-worst, the GA is not very sensitive but best-replace-random
+// is slightly better.
+//
+// Reproduction: the same sweeps on a generated lot-streaming instance,
+// replicated over seeds.
+#include "bench/bench_util.h"
+#include "src/ga/island_ga.h"
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/generators.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E16 lotstream_topology", "Defersha & Chen [35], §III.D",
+                "island GA reduces lot-streaming FFS makespan; fully "
+                "connected topology best; best-replace-random slightly "
+                "better policy");
+
+  sched::LotStreamParams params;
+  params.jobs = 10;
+  params.machines_per_stage = {2, 3, 2};
+  params.sublots = 3;
+  auto problem = std::make_shared<ga::LotStreamingProblem>(
+      sched::random_lot_streaming(params, 3501));
+
+  const int generations = 25 * bench::scale();
+  const int replications = 3 * bench::scale();
+
+  auto run_island = [&](ga::Topology topology, ga::MigrationPolicy policy,
+                        std::uint64_t seed) {
+    ga::IslandGaConfig cfg;
+    cfg.islands = 6;
+    cfg.base.population = 20;
+    cfg.base.termination.max_generations = generations;
+    cfg.base.seed = seed;
+    cfg.base.ops.selection = ga::make_selection("tournament3");  // k-way [35]
+    cfg.migration.topology = topology;
+    cfg.migration.policy = policy;
+    cfg.migration.interval = 5;
+    ga::IslandGa engine(problem, cfg);
+    return engine.run().overall.best_objective;
+  };
+
+  // (a) serial vs island.
+  {
+    std::vector<double> serial;
+    std::vector<double> island;
+    for (int rep = 0; rep < replications; ++rep) {
+      ga::GaConfig cfg;
+      cfg.population = 120;
+      cfg.termination.max_generations = generations;
+      cfg.seed = 9000 + 11 * rep;
+      cfg.ops.selection = ga::make_selection("tournament3");
+      ga::SimpleGa engine(problem, cfg);
+      serial.push_back(engine.run().best_objective);
+      island.push_back(run_island(ga::Topology::kFullyConnected,
+                                  ga::MigrationPolicy::kBestReplaceRandom,
+                                  9000 + 11 * rep));
+    }
+    stats::Table table({"configuration", "mean makespan", "min makespan"});
+    table.add_row({"serial GA", stats::Table::num(stats::mean(serial), 1),
+                   stats::Table::num(stats::min_of(serial), 0)});
+    table.add_row({"island GA", stats::Table::num(stats::mean(island), 1),
+                   stats::Table::num(stats::min_of(island), 0)});
+    table.print();
+  }
+
+  // (b) topology sweep.
+  {
+    stats::Table table({"topology", "mean makespan"});
+    for (const auto& [name, topo] :
+         std::vector<std::pair<std::string, ga::Topology>>{
+             {"ring", ga::Topology::kRing},
+             {"mesh", ga::Topology::kGrid},
+             {"fully connected", ga::Topology::kFullyConnected}}) {
+      std::vector<double> finals;
+      for (int rep = 0; rep < replications; ++rep) {
+        finals.push_back(run_island(topo,
+                                    ga::MigrationPolicy::kBestReplaceRandom,
+                                    7000 + 13 * rep));
+      }
+      table.add_row({name, stats::Table::num(stats::mean(finals), 1)});
+    }
+    table.print();
+    std::printf("Expected ([35]): fully connected lowest.\n\n");
+  }
+
+  // (c) policy sweep — more replications: the differences are small and
+  // [35]'s finding is precisely that the GA is not very sensitive here.
+  {
+    stats::Table table({"migration policy", "mean makespan"});
+    for (const auto& [name, policy] :
+         std::vector<std::pair<std::string, ga::MigrationPolicy>>{
+             {"random-replace-random", ga::MigrationPolicy::kRandomReplaceRandom},
+             {"best-replace-random", ga::MigrationPolicy::kBestReplaceRandom},
+             {"best-replace-worst", ga::MigrationPolicy::kBestReplaceWorst}}) {
+      std::vector<double> finals;
+      for (int rep = 0; rep < 2 * replications; ++rep) {
+        finals.push_back(
+            run_island(ga::Topology::kFullyConnected, policy, 8000 + 17 * rep));
+      }
+      table.add_row({name, stats::Table::num(stats::mean(finals), 1)});
+    }
+    table.print();
+    std::printf("Expected ([35]): rows close together — the low sensitivity "
+                "to the migration policy is the finding; [35] saw a slight "
+                "edge for best-replace-random.\n");
+  }
+  return 0;
+}

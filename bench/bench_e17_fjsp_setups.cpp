@@ -1,0 +1,76 @@
+// E17 — Defersha & Chen [36]: flexible job shop with sequence-dependent
+// setups, attached/detached setups, machine release dates and time lags;
+// island GA with RANDOM migration routes regenerated each epoch. Paper:
+// on medium problems the island GA improves solution quality; on large
+// problems it converges to a good solution within the allowed time where
+// the single GA fails (stalls far above).
+//
+// Reproduction: medium and large generated FJSP instances; single GA vs
+// random-topology island GA at equal wall budget per size.
+#include "bench/bench_util.h"
+#include "src/ga/island_ga.h"
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/generators.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E17 fjsp_setups", "Defersha & Chen [36], §III.D",
+                "FJSP with sequence-dependent setups + release dates + "
+                "lags; random-epoch migration routes; island GA better on "
+                "medium, converges where single GA stalls on large");
+
+  struct Size {
+    const char* label;
+    int jobs;
+    int machines;
+    int ops;
+  };
+  stats::Table table({"size", "single GA best", "island GA best",
+                      "island improvement (%)"});
+
+  for (const Size size : {Size{"medium (8x5x4)", 8, 5, 4},
+                          Size{"large (20x8x6)", 20, 8, 6}}) {
+    sched::FjsParams params;
+    params.jobs = size.jobs;
+    params.machines = size.machines;
+    params.ops_per_job = size.ops;
+    params.eligible_machines = 3;
+    params.setup_hi = 15;
+    params.detached_setup = false;  // attached setups ([36] models both)
+    params.machine_release_hi = 40;
+    params.max_lag = 6;
+    auto problem = std::make_shared<ga::FlexibleJobShopProblem>(
+        sched::random_flexible_job_shop(params, 3601));
+
+    const int generations = 150 * bench::scale();
+    ga::GaConfig base;
+    base.population = 96;
+    base.termination.max_generations = generations;
+    base.seed = 36;
+    base.ops.selection = std::make_shared<ga::RouletteSelection>();
+    base.ops.mutation_rate = 0.1;
+
+    ga::SimpleGa single(problem, base);
+    const double single_best = single.run().best_objective;
+
+    ga::IslandGaConfig icfg;
+    icfg.islands = 6;
+    icfg.base = base;
+    icfg.base.population = 16;
+    icfg.migration.topology = ga::Topology::kRandom;  // [36]'s routes
+    icfg.migration.interval = 5;
+    ga::IslandGa island(problem, icfg);
+    const double island_best = island.run().overall.best_objective;
+
+    table.add_row({size.label, stats::Table::num(single_best, 0),
+                   stats::Table::num(island_best, 0),
+                   stats::Table::num(
+                       100.0 * (single_best - island_best) / single_best, 2)});
+  }
+  table.print();
+  std::printf("\nExpected shape ([36]): island improvement positive for both "
+              "rows and larger (or at least decisive) on the large "
+              "instance.\n");
+  return 0;
+}

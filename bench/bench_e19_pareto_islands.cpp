@@ -1,0 +1,134 @@
+// E19 — Rashidi et al. [38]: hybrid flow shop with unrelated parallel
+// machines, sequence-dependent setups and processor blocking; bi-objective
+// (makespan + max tardiness) scalarized with island-specific weight pairs,
+// each successive pair differing by a small deviation; conventional GA
+// operators followed by a local search / Redirect step. Paper: the variant
+// WITH local search + Redirect covers the Pareto set better than without.
+//
+// Reproduction: weighted islands sweeping the trade-off; Pareto front size
+// and dominated-hypervolume proxy with and without the memetic step.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/ga/island_ga.h"
+#include "src/ga/local_search.h"
+#include "src/ga/problems.h"
+#include "src/sched/generators.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E19 pareto_islands", "Rashidi et al. [38], §III.D",
+                "weighted-island bi-objective HFS (Cmax + Tmax) with "
+                "blocking; local search + Redirect dominates the plain "
+                "version");
+
+  sched::HfsParams params;
+  params.jobs = 15;
+  params.machines_per_stage = {3, 3};
+  params.unrelatedness = 2.0;  // unrelated parallel machines
+  params.setup_hi = 10;        // sequence-dependent setups
+  params.blocking = true;      // processor blocking
+  sched::HybridFlowShopInstance inst =
+      sched::random_hybrid_flow_shop(params, 3801);
+  // Due dates for the tardiness criterion.
+  std::vector<sched::Time> work(15, 0);
+  for (int j = 0; j < 15; ++j) {
+    for (int s = 0; s < inst.stages(); ++s) {
+      work[static_cast<std::size_t>(j)] +=
+          inst.proc[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)][0];
+    }
+  }
+  sched::assign_due_dates(inst.attrs, work, 2.2, 1, 38);
+
+  const int islands = 6;
+  const int generations = 25 * bench::scale();
+
+  auto pareto_points = [&](bool memetic) {
+    ga::IslandGaConfig cfg;
+    cfg.islands = islands;
+    cfg.base.population = 20;
+    cfg.base.termination.max_generations = generations;
+    cfg.base.seed = 38;
+    cfg.migration.interval = 6;
+    // Island-specific weight pairs with small successive deviation ([38]).
+    std::vector<std::shared_ptr<ga::HybridFlowShopProblem>> problems;
+    for (int i = 0; i < islands; ++i) {
+      const double w = 0.1 + 0.8 * i / (islands - 1);
+      sched::CompositeObjective obj;
+      obj.terms = {{sched::Criterion::kMakespan, w},
+                   {sched::Criterion::kMaxTardiness, 1.0 - w}};
+      problems.push_back(std::make_shared<ga::HybridFlowShopProblem>(inst, obj));
+      cfg.per_island_problems.push_back(problems.back());
+    }
+    ga::IslandGa engine(cfg.per_island_problems.front(), cfg);
+    const ga::IslandGaResult result = engine.run();
+
+    // Collect (Cmax, Tmax) of every island's best, optionally refined by
+    // local search + Redirect restarts.
+    std::vector<std::pair<double, double>> points;
+    par::Rng rng(97);
+    for (int i = 0; i < islands; ++i) {
+      ga::Genome g = result.island_best_genome[static_cast<std::size_t>(i)];
+      if (memetic) {
+        ga::local_search_swap(*problems[static_cast<std::size_t>(i)], g,
+                              150 * bench::scale(), rng);
+        ga::Genome redirected = g;
+        ga::redirect(redirected, rng);
+        ga::local_search_swap(*problems[static_cast<std::size_t>(i)],
+                              redirected, 150 * bench::scale(), rng);
+        if (problems[static_cast<std::size_t>(i)]->objective(redirected) <
+            problems[static_cast<std::size_t>(i)]->objective(g)) {
+          g = redirected;
+        }
+      }
+      points.emplace_back(problems[static_cast<std::size_t>(i)]->criterion_value(
+                              g, sched::Criterion::kMakespan),
+                          problems[static_cast<std::size_t>(i)]->criterion_value(
+                              g, sched::Criterion::kMaxTardiness));
+    }
+    // Non-dominated filter.
+    std::vector<std::pair<double, double>> front;
+    for (const auto& p : points) {
+      bool dominated = false;
+      for (const auto& q : points) {
+        if ((q.first <= p.first && q.second < p.second) ||
+            (q.first < p.first && q.second <= p.second)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) front.push_back(p);
+    }
+    std::sort(front.begin(), front.end());
+    front.erase(std::unique(front.begin(), front.end()), front.end());
+    return front;
+  };
+
+  const auto plain = pareto_points(false);
+  const auto memetic = pareto_points(true);
+
+  // Dominated hypervolume against a shared nadir: the standard coverage
+  // indicator (larger = better front).
+  std::pair<double, double> nadir{0.0, 0.0};
+  for (const auto& f : {plain, memetic}) {
+    for (const auto& p : f) {
+      nadir.first = std::max(nadir.first, p.first * 1.1);
+      nadir.second = std::max(nadir.second, p.second * 1.1 + 1.0);
+    }
+  }
+
+  stats::Table table({"variant", "front size", "hypervolume (vs shared nadir)"});
+  table.add_row({"islands only", std::to_string(plain.size()),
+                 stats::Table::num(stats::hypervolume_2d(plain, nadir), 0)});
+  table.add_row({"+ local search + Redirect", std::to_string(memetic.size()),
+                 stats::Table::num(stats::hypervolume_2d(memetic, nadir), 0)});
+  table.print();
+
+  std::printf("\nPareto points (islands + local search):\n");
+  for (const auto& [cmax, tmax] : memetic) {
+    std::printf("  Cmax = %6.0f   Tmax = %6.0f\n", cmax, tmax);
+  }
+  std::printf("\nExpected shape ([38]): the memetic variant's front weakly "
+              "dominates (lower mean objective sum).\n");
+  return 0;
+}

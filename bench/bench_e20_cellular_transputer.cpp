@@ -1,0 +1,80 @@
+// E20 — Tamaki et al. [20]: fine-grained (neighborhood-model) GA for the
+// job shop on a Transputer MIMD array. Paper: 16 processors shorten the
+// calculation time dramatically, but communication (no shared memory)
+// keeps the reduction below the ideal level; the neighborhood model also
+// suppresses premature convergence.
+//
+// Reproduction: (1) wall-clock of the cellular GA vs worker count — rising
+// speedup that stays below ideal; (2) diversity: the cellular GA maintains
+// more distinct individuals than a panmictic GA of equal size.
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/ga/cellular_ga.h"
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/classics.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E20 cellular_transputer", "Tamaki et al. [20], §III.C",
+                "neighborhood-model GA on 16 Transputers: large but "
+                "sub-ideal time reduction; premature convergence "
+                "suppressed");
+
+  auto problem = std::make_shared<ga::JobShopProblem>(
+      sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
+
+  ga::CellularConfig cfg;
+  cfg.width = 16;
+  cfg.height = 16;
+  cfg.termination.max_generations = 8 * bench::scale();
+  cfg.seed = 20;
+
+  stats::Table table({"workers", "seconds", "speedup", "efficiency"});
+  double base_s = 0.0;
+  for (int workers : {1, 2, 4, 8, 16}) {
+    par::ThreadPool pool(workers);
+    ga::CellularGa engine(problem, cfg, &pool);
+    const double s = bench::time_seconds([&] { engine.run(); });
+    if (workers == 1) base_s = s;
+    table.add_row({std::to_string(workers), stats::Table::num(s, 3),
+                   stats::Table::num(base_s / s, 2) + "x",
+                   stats::Table::num(base_s / s / workers, 2)});
+  }
+  table.print();
+  std::printf("Expected ([20]): speedup grows with workers but efficiency "
+              "< 1 (the Transputer's communication penalty).\n\n");
+
+  // Diversity comparison at the same budget.
+  ga::CellularGa cellular(problem, cfg);
+  cellular.init();
+  for (int g = 0; g < cfg.termination.max_generations; ++g) cellular.step();
+  std::set<std::vector<int>> cellular_distinct;
+  for (int c = 0; c < cellular.cells(); ++c) {
+    cellular_distinct.insert(cellular.individual(c).seq);
+  }
+
+  ga::GaConfig pan;
+  pan.population = 256;
+  pan.termination.max_generations = cfg.termination.max_generations;
+  pan.seed = 20;
+  ga::SimpleGa panmictic(problem, pan);
+  panmictic.init();
+  for (int g = 0; g < pan.termination.max_generations; ++g) panmictic.step();
+  std::set<std::vector<int>> pan_distinct;
+  for (const auto& ind : panmictic.population()) pan_distinct.insert(ind.seq);
+
+  stats::Table diversity({"model", "population", "distinct individuals",
+                          "best Cmax"});
+  diversity.add_row({"cellular (16x16 torus)", "256",
+                     std::to_string(cellular_distinct.size()),
+                     stats::Table::num(cellular.best_objective(), 0)});
+  diversity.add_row({"panmictic", "256", std::to_string(pan_distinct.size()),
+                     stats::Table::num(panmictic.best_objective(), 0)});
+  diversity.print();
+  std::printf("\nExpected ([20]): the neighborhood model keeps more "
+              "distinct individuals (diversity) at similar quality — the "
+              "premature-convergence suppression it was designed for.\n");
+  return 0;
+}

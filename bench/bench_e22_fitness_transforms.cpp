@@ -1,0 +1,69 @@
+// E22 — Section III.A, Eq. (1) vs Eq. (2): the survey presents two fitness
+// transforms for minimization problems — FIT = max(Fbar - F, 0) against a
+// heuristic reference Fbar, and FIT = 1/F. This ablation compares the two
+// under roulette selection (where the transform changes selection
+// pressure) and under tournament selection (where only ordering matters,
+// so the transforms must tie exactly).
+#include "bench/bench_util.h"
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/heuristics.h"
+#include "src/sched/taillard.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E22 fitness_transforms", "Survey §III.A, Eq. (1)/(2)",
+                "two fitness transforms for minimization; Eq. (1) needs a "
+                "heuristic reference Fbar, Eq. (2) is reference-free");
+
+  const auto bench_entry = sched::taillard_20x5().front();
+  const auto inst = sched::make_taillard(bench_entry);
+  auto problem = std::make_shared<ga::FlowShopProblem>(inst);
+  const double fbar = static_cast<double>(sched::neh_makespan(inst)) * 1.2;
+
+  const int generations = 40 * bench::scale();
+  const int replications = 4 * bench::scale();
+
+  auto run = [&](ga::FitnessTransform transform, const char* selection,
+                 std::uint64_t seed) {
+    ga::GaConfig cfg;
+    cfg.population = 80;
+    cfg.termination.max_generations = generations;
+    cfg.seed = seed;
+    cfg.transform = transform;
+    cfg.reference_objective = fbar;
+    cfg.ops.selection = ga::make_selection(selection);
+    cfg.ops.crossover = ga::make_crossover("ox");
+    cfg.ops.mutation = ga::make_mutation("swap");
+    ga::SimpleGa engine(problem, cfg);
+    return engine.run().best_objective;
+  };
+
+  stats::Table table({"selection", "transform", "mean best Cmax",
+                      "min best Cmax"});
+  for (const char* selection : {"roulette", "tournament2"}) {
+    for (const auto& [label, transform] :
+         std::vector<std::pair<std::string, ga::FitnessTransform>>{
+             {"Eq.(1) max(Fbar - F, 0)", ga::FitnessTransform::kReference},
+             {"Eq.(2) 1/F", ga::FitnessTransform::kInverse}}) {
+      std::vector<double> finals;
+      for (int rep = 0; rep < replications; ++rep) {
+        finals.push_back(run(transform, selection, 6000 + 23 * rep));
+      }
+      table.add_row({selection, label,
+                     stats::Table::num(stats::mean(finals), 1),
+                     stats::Table::num(stats::min_of(finals), 0)});
+    }
+  }
+  table.print();
+  std::printf("\nReference Fbar = %.0f (1.2 x NEH); best known = %lld.\n"
+              "Expected shape: under tournament the two transforms nearly "
+              "tie (they are rank-equivalent except where Eq. (1) clamps "
+              "individuals above Fbar to fitness 0, losing their order); "
+              "under roulette Eq. (1) applies stronger pressure near Fbar "
+              "and typically edges out 1/F, whose fitness ratios are "
+              "nearly flat at these magnitudes.\n",
+              fbar, static_cast<long long>(bench_entry.best_known));
+  return 0;
+}

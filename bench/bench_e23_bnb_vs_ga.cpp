@@ -1,0 +1,72 @@
+// E23 — AitZai et al. [14][15] pair a parallel branch-and-bound with the
+// (master-slave) GA for the job shop. This bench reproduces that pairing:
+// the exact B&B certifies optima on small instances, the GA approximates
+// them, and feeding the GA's result to the B&B as the initial incumbent
+// prunes the exact search — the cooperation the papers advocate.
+#include "bench/bench_util.h"
+#include "src/ga/master_slave_ga.h"
+#include "src/ga/problems.h"
+#include "src/sched/branch_bound.h"
+#include "src/sched/classics.h"
+#include "src/sched/generators.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E23 bnb_vs_ga", "AitZai et al. [14][15], §III.B",
+                "parallel B&B + GA cooperation for job shop: the GA finds "
+                "near-optimal schedules fast, the B&B certifies them");
+
+  par::ThreadPool pool(8);
+  stats::Table table({"instance", "B&B optimum", "B&B nodes", "GA best",
+                      "GA gap (%)", "B&B nodes w/ GA incumbent"});
+
+  struct Entry {
+    std::string name;
+    sched::JobShopInstance inst;
+  };
+  std::vector<Entry> entries;
+  for (int seed = 1; seed <= 3; ++seed) {
+    entries.push_back({"rnd5x4-" + std::to_string(seed),
+                       sched::random_job_shop(5, 4, 2300u + seed)});
+  }
+  entries.push_back({"ft06", sched::ft06().instance});
+
+  for (const Entry& entry : entries) {
+    sched::BranchBoundConfig cold;
+    cold.max_nodes = 40'000'000;
+    const auto exact =
+        sched::parallel_branch_and_bound(entry.inst, cold, &pool);
+
+    auto problem = std::make_shared<ga::JobShopProblem>(
+        entry.inst, ga::JobShopProblem::Decoder::kGifflerThompson);
+    ga::GaConfig cfg;
+    cfg.population = 64;
+    cfg.termination.max_generations = 30 * bench::scale();
+    cfg.seed = 23;
+    ga::MasterSlaveGa engine(problem, cfg, &pool);
+    const ga::GaResult approx = engine.run();
+
+    sched::BranchBoundConfig warm = cold;
+    warm.initial_upper_bound =
+        static_cast<sched::Time>(approx.best_objective) + 1;
+    const auto warmed =
+        sched::parallel_branch_and_bound(entry.inst, warm, &pool);
+
+    table.add_row(
+        {entry.name,
+         std::to_string(exact.best_makespan) +
+             (exact.proven_optimal ? "" : "*"),
+         std::to_string(exact.nodes_explored),
+         stats::Table::num(approx.best_objective, 0),
+         stats::Table::num(100.0 * (approx.best_objective -
+                                    static_cast<double>(exact.best_makespan)) /
+                               static_cast<double>(exact.best_makespan),
+                           2),
+         std::to_string(warmed.nodes_explored)});
+  }
+  table.print();
+  std::printf("\nExpected shape ([14][15]): GA gaps near 0%% on these sizes; "
+              "seeding the B&B with the GA incumbent cuts the explored node "
+              "count. (* = node budget hit before optimality proof.)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E24 — Section II "new integrated factors": Xu et al. [8] optimize peak
+// power against production efficiency; Tang et al. [9] reduce energy and
+// makespan together. This bench sweeps the scalarization weight between
+// makespan and the energy metrics on a flow shop and prints the resulting
+// trade-off curve — the global-trade-off shape [8] reports (lower peak
+// power is bought with longer makespan, and vice versa).
+#include "bench/bench_util.h"
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/energy.h"
+#include "src/sched/taillard.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E24 energy_tradeoff", "Survey §II, Xu [8] / Tang [9]",
+                "energy-aware scheduling: trading makespan against total "
+                "energy and peak power");
+
+  // Few jobs relative to machines: the pipeline is never saturated, so
+  // permutations genuinely shift how many machines run concurrently —
+  // otherwise peak power would be sequence-invariant.
+  const auto inst = sched::taillard_flow_shop(8, 8, 2401);
+  const auto profiles = sched::random_power_profiles(8, 24);
+
+  stats::Table table({"weight on energy terms", "Cmax", "total energy",
+                      "peak power"});
+  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sched::EnergyObjectiveWeights weights;
+    weights.makespan = 1.0 - w;
+    weights.energy = w * 0.02;     // scale to comparable magnitudes
+    weights.peak_power = w * 2.0;
+    auto problem = std::make_shared<ga::EnergyFlowShopProblem>(
+        sched::EnergyAwareFlowShop(inst, profiles, weights));
+    ga::GaConfig cfg;
+    cfg.population = 60;
+    cfg.termination.max_generations = 40 * bench::scale();
+    cfg.seed = 24;
+    ga::SimpleGa engine(problem, cfg);
+    const ga::GaResult result = engine.run();
+
+    sched::EnergyAwareFlowShop reporter(inst, profiles, weights);
+    const auto report = reporter.report(result.best.seq);
+    table.add_row({stats::Table::num(w, 2),
+                   std::to_string(reporter.makespan(result.best.seq)),
+                   stats::Table::num(report.total_energy(), 0),
+                   stats::Table::num(report.peak_power, 1)});
+  }
+  table.print();
+  std::printf("\nExpected shape ([8][9]): as the weight moves toward the "
+              "energy terms, peak power and idle energy fall while the "
+              "makespan rises — the trade-off curve both papers optimize "
+              "along.\n");
+  return 0;
+}

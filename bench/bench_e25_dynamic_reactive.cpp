@@ -1,0 +1,78 @@
+// E25 — Section II "new integrated factors": Tang et al. [9] use a
+// predictive-reactive approach for dynamic shop scheduling. This bench
+// injects machine breakdowns into a job shop mid-execution and compares
+// (a) the undisrupted predictive makespan, (b) passive right-shift repair,
+// and (c) GA-based reactive re-optimization of the not-yet-started
+// operations — the predictive-reactive scheme.
+#include "bench/bench_util.h"
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/classics.h"
+#include "src/sched/dynamic.h"
+
+int main() {
+  using namespace psga;
+  bench::header("E25 dynamic_reactive", "Survey §II, Tang et al. [9]",
+                "predictive-reactive rescheduling under machine breakdowns "
+                "beats passive right-shift repair");
+
+  const auto& inst = sched::ft10().instance;
+
+  // Predictive schedule: GA on the nominal instance.
+  auto nominal = std::make_shared<ga::JobShopProblem>(inst);
+  ga::GaConfig cfg;
+  cfg.population = 60;
+  cfg.termination.max_generations = 40 * bench::scale();
+  cfg.seed = 25;
+  ga::SimpleGa predictive_engine(nominal, cfg);
+  const ga::GaResult predictive = predictive_engine.run();
+
+  stats::Table table({"scenario", "predictive Cmax", "right-shift Cmax",
+                      "reactive Cmax", "reactive advantage (%)", "replans"});
+  for (int scenario = 1; scenario <= 4; ++scenario) {
+    const auto windows = sched::random_downtimes(
+        inst.machines, 3, static_cast<sched::Time>(predictive.best_objective),
+        40, 120, 2500u + static_cast<unsigned>(scenario));
+
+    const auto passive =
+        sched::simulate_dynamic(inst, predictive.best.seq, windows);
+
+    std::vector<sched::Downtime> window_vec(windows.begin(), windows.end());
+    auto replanner = [&](const sched::ReplanContext& context) {
+      auto problem = std::make_shared<ga::DynamicSuffixProblem>(
+          &inst, context.frozen_prefix, context.remaining, window_vec);
+      ga::GaConfig rcfg;
+      rcfg.population = 30;
+      rcfg.termination.max_generations = 20 * bench::scale();
+      rcfg.seed = 77;
+      ga::SimpleGa engine(problem, rcfg);
+      const ga::GaResult r = engine.run();
+      // Keep the incumbent (right-shift) order unless the GA beats it, so
+      // reacting can never hurt — the predictive-reactive guarantee.
+      ga::Genome incumbent;
+      incumbent.seq = context.remaining;
+      return problem->objective(incumbent) <= r.best_objective
+                 ? context.remaining
+                 : r.best.seq;
+    };
+    const auto reactive =
+        sched::simulate_dynamic(inst, predictive.best.seq, windows, replanner);
+
+    table.add_row(
+        {"breakdowns-" + std::to_string(scenario),
+         stats::Table::num(static_cast<double>(passive.predictive_makespan), 0),
+         stats::Table::num(static_cast<double>(passive.realized_makespan), 0),
+         stats::Table::num(static_cast<double>(reactive.realized_makespan), 0),
+         stats::Table::num(
+             100.0 *
+                 static_cast<double>(passive.realized_makespan -
+                                     reactive.realized_makespan) /
+                 static_cast<double>(passive.realized_makespan),
+             2),
+         std::to_string(reactive.replans)});
+  }
+  table.print();
+  std::printf("\nExpected shape ([9]): reactive <= right-shift on every "
+              "scenario; both >= the undisrupted predictive makespan.\n");
+  return 0;
+}

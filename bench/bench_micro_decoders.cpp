@@ -1,0 +1,129 @@
+// Micro-benchmarks: decoder throughput for every shop model. The fitness
+// evaluation is the hot loop of every engine (the survey's motivation for
+// the master-slave model), so decode cost per genome is the number that
+// sizes all the experiment budgets.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/ga/problems.h"
+#include "src/par/rng.h"
+#include "src/sched/classics.h"
+#include "src/sched/generators.h"
+#include "src/sched/taillard.h"
+
+namespace {
+
+using namespace psga;
+
+void BM_FlowShopMakespan(benchmark::State& state) {
+  const auto inst = sched::taillard_flow_shop(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 42);
+  std::vector<int> perm(static_cast<std::size_t>(inst.jobs));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::flow_shop_makespan(inst, perm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowShopMakespan)->Args({20, 5})->Args({50, 10})->Args({100, 20});
+
+void BM_JobShopSemiActive(benchmark::State& state) {
+  const auto& inst = sched::ft10().instance;
+  par::Rng rng(1);
+  const auto seq = sched::random_operation_sequence(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::decode_operation_based(inst, seq));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobShopSemiActive);
+
+void BM_JobShopGifflerThompson(benchmark::State& state) {
+  const auto& inst = sched::ft10().instance;
+  par::Rng rng(1);
+  const auto seq = sched::random_operation_sequence(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::giffler_thompson_sequence(inst, seq));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobShopGifflerThompson);
+
+void BM_OpenShopDecode(benchmark::State& state) {
+  const auto inst = sched::random_open_shop(15, 8, 7);
+  par::Rng rng(2);
+  const auto seq = sched::random_job_repetition_sequence(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::decode_open_shop(inst, seq, sched::OpenShopDecoder::kLptTask));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenShopDecode);
+
+void BM_HybridFlowShopDecode(benchmark::State& state) {
+  sched::HfsParams params;
+  params.jobs = 20;
+  params.machines_per_stage = {3, 2, 3};
+  params.setup_hi = state.range(0) != 0 ? 10 : 0;
+  const auto inst = sched::random_hybrid_flow_shop(params, 9);
+  std::vector<int> perm(20);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::decode_hybrid_flow_shop(inst, perm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridFlowShopDecode)->Arg(0)->Arg(1);
+
+void BM_FlexibleJobShopDecode(benchmark::State& state) {
+  sched::FjsParams params;
+  params.jobs = 12;
+  params.machines = 6;
+  params.ops_per_job = 5;
+  params.setup_hi = 10;
+  const auto inst = sched::random_flexible_job_shop(params, 11);
+  par::Rng rng(3);
+  const auto assign = sched::random_fjs_assignment(inst, rng);
+  const auto seq = sched::random_fjs_sequence(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::decode_flexible_job_shop(inst, assign, seq));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlexibleJobShopDecode);
+
+void BM_FuzzyFlowShopAgreement(benchmark::State& state) {
+  const auto crisp = sched::taillard_flow_shop(20, 5, 42);
+  const auto fuzzy = sched::fuzzify(crisp.proc, 0.2, 1.6, 0.8);
+  std::vector<int> perm(20);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::mean_agreement(fuzzy, perm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzyFlowShopAgreement);
+
+void BM_LotStreamingDecode(benchmark::State& state) {
+  sched::LotStreamParams params;
+  params.jobs = 8;
+  params.sublots = 3;
+  const auto inst = sched::random_lot_streaming(params, 13);
+  par::Rng rng(5);
+  std::vector<double> keys(static_cast<std::size_t>(inst.total_sublots()));
+  for (auto& k : keys) k = rng.uniform(0.1, 1.0);
+  std::vector<int> perm(static_cast<std::size_t>(inst.total_sublots()));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::lot_streaming_makespan(inst, keys, perm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LotStreamingDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Micro-benchmarks: GA operator throughput (selection, crossover,
+// mutation) on realistic chromosome sizes.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/ga/registry.h"
+#include "src/par/rng.h"
+
+namespace {
+
+using namespace psga;
+using namespace psga::ga;
+
+GenomeTraits perm_traits(int n) {
+  GenomeTraits t;
+  t.seq_kind = SeqKind::kPermutation;
+  t.seq_length = n;
+  return t;
+}
+
+Genome random_perm(const GenomeTraits& traits, par::Rng& rng) {
+  Genome g;
+  g.seq.resize(static_cast<std::size_t>(traits.seq_length));
+  std::iota(g.seq.begin(), g.seq.end(), 0);
+  rng.shuffle(g.seq);
+  return g;
+}
+
+void BM_Crossover(benchmark::State& state, const char* name) {
+  const CrossoverPtr cx = make_crossover(name);
+  const GenomeTraits traits = perm_traits(static_cast<int>(state.range(0)));
+  par::Rng rng(1);
+  const Genome a = random_perm(traits, rng);
+  const Genome b = random_perm(traits, rng);
+  Genome c1;
+  Genome c2;
+  for (auto _ : state) {
+    cx->cross(a, b, traits, c1, c2, rng);
+    benchmark::DoNotOptimize(c1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Crossover, ox, "ox")->Arg(20)->Arg(100);
+BENCHMARK_CAPTURE(BM_Crossover, pmx, "pmx")->Arg(20)->Arg(100);
+BENCHMARK_CAPTURE(BM_Crossover, cycle, "cycle")->Arg(20)->Arg(100);
+BENCHMARK_CAPTURE(BM_Crossover, jox, "jox")->Arg(20)->Arg(100);
+BENCHMARK_CAPTURE(BM_Crossover, ppx, "ppx")->Arg(20)->Arg(100);
+BENCHMARK_CAPTURE(BM_Crossover, two_point, "two-point")->Arg(20)->Arg(100);
+
+void BM_Mutation(benchmark::State& state, const char* name) {
+  const MutationPtr mut = make_mutation(name);
+  const GenomeTraits traits = perm_traits(static_cast<int>(state.range(0)));
+  par::Rng rng(2);
+  Genome g = random_perm(traits, rng);
+  for (auto _ : state) {
+    mut->mutate(g, traits, rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Mutation, swap, "swap")->Arg(100);
+BENCHMARK_CAPTURE(BM_Mutation, shift, "shift")->Arg(100);
+BENCHMARK_CAPTURE(BM_Mutation, inversion, "inversion")->Arg(100);
+BENCHMARK_CAPTURE(BM_Mutation, scramble, "scramble")->Arg(100);
+
+void BM_Selection(benchmark::State& state, const char* name) {
+  const SelectionPtr sel = make_selection(name);
+  par::Rng rng(3);
+  std::vector<double> fitness(static_cast<std::size_t>(state.range(0)));
+  for (auto& f : fitness) f = rng.uniform(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel->pick(fitness, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Selection, roulette, "roulette")->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Selection, tournament2, "tournament2")->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Selection, rank, "rank")->Arg(100);
+
+void BM_SusPickMany(benchmark::State& state) {
+  StochasticUniversalSelection sel;
+  par::Rng rng(4);
+  std::vector<double> fitness(256);
+  for (auto& f : fitness) f = rng.uniform(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.pick_many(fitness, 256, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SusPickMany);
+
+}  // namespace
+
+BENCHMARK_MAIN();

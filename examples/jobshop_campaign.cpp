@@ -1,0 +1,71 @@
+// Job-shop optimization campaign on the classic Fisher–Thompson and
+// Lawrence instances: Giffler–Thompson active decoding, dispatching-rule
+// warm references, and an island GA with heterogeneous operators per
+// island (the design Park et al. [26] found to improve both best and
+// average solutions).
+//
+//   $ ./example_jobshop_campaign
+#include <cstdio>
+
+#include "src/ga/island_ga.h"
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/sched/classics.h"
+#include "src/sched/heuristics.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace psga;
+
+  stats::Table table({"instance", "optimum", "dispatch F̄", "island GA best",
+                      "gap to optimum (%)", "schedule feasible"});
+
+  for (const sched::ClassicInstance* classic : sched::classic_instances()) {
+    const sched::JobShopInstance& instance = classic->instance;
+
+    // Reference heuristic value (survey Eq. (1) F̄): best dispatching rule.
+    const sched::Time dispatch = sched::best_dispatch_makespan(instance);
+
+    // Active-schedule decoding: chromosomes resolve Giffler–Thompson
+    // conflicts, so every individual is an active schedule.
+    auto problem = std::make_shared<ga::JobShopProblem>(
+        instance, ga::JobShopProblem::Decoder::kGifflerThompson);
+
+    ga::IslandGaConfig cfg;
+    cfg.islands = 4;
+    cfg.base.population = 40;
+    cfg.base.termination.max_generations = 120;
+    cfg.base.seed = 17;
+    cfg.migration.interval = 10;
+    cfg.migration.topology = ga::Topology::kRing;
+    // Heterogeneous islands, one crossover flavor each ([26]).
+    for (const char* cx : {"jox", "ppx", "thx", "two-point"}) {
+      ga::OperatorConfig ops;
+      ops.selection = ga::make_selection("tournament2");
+      ops.crossover = ga::make_crossover(cx);
+      ops.mutation = ga::make_mutation("swap");
+      cfg.per_island_ops.push_back(ops);
+    }
+
+    ga::IslandGa engine(problem, cfg);
+    const ga::IslandGaResult result = engine.run();
+
+    // Decode and validate the winning chromosome end to end.
+    const sched::Schedule schedule = problem->decode(result.overall.best);
+    const bool feasible =
+        !validate(schedule, instance.validation_spec()).has_value();
+
+    table.add_row(
+        {classic->name, std::to_string(classic->optimum),
+         std::to_string(dispatch),
+         stats::Table::num(result.overall.best_objective, 0),
+         stats::Table::num(100.0 * (result.overall.best_objective -
+                                    static_cast<double>(classic->optimum)) /
+                               static_cast<double>(classic->optimum),
+                           2),
+         feasible ? "yes" : "NO"});
+  }
+
+  table.print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Open-shop scheduling on the message-passing cluster layer: the
+// deployment style of Harmanani et al. [33] (island GA over MPI on a
+// 5-node Beowulf cluster), using the dual-frequency migration scheme
+// (neighbors every GN generations, global broadcast every LN >> GN) and
+// Kokosiński's LPT-Task / LPT-Machine chromosome decoders [32].
+//
+//   $ ./example_openshop_cluster
+#include <cstdio>
+
+#include "src/ga/island_cluster.h"
+#include "src/ga/problems.h"
+#include "src/sched/generators.h"
+#include "src/sched/open_shop.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace psga;
+
+  const auto instance = sched::random_open_shop(15, 8, 99);
+  const sched::Time lower_bound = sched::open_shop_lower_bound(instance);
+  const sched::Time greedy =
+      sched::open_shop_lpt_schedule(instance).makespan();
+  std::printf("Open shop 15x8: trivial lower bound %lld, greedy LPT %lld\n\n",
+              static_cast<long long>(lower_bound),
+              static_cast<long long>(greedy));
+
+  stats::Table table({"decoder", "ranks", "best Cmax", "gap to LB (%)"});
+  for (const auto decoder : {sched::OpenShopDecoder::kLptTask,
+                             sched::OpenShopDecoder::kLptMachine}) {
+    auto problem = std::make_shared<ga::OpenShopProblem>(instance, decoder);
+
+    ga::ClusterIslandConfig cfg;
+    cfg.ranks = 5;  // the Beowulf cluster size of [33]
+    cfg.base.population = 40;
+    cfg.base.termination.max_generations = 120;
+    cfg.base.seed = 31;
+    cfg.neighbor_interval = 5;    // GN
+    cfg.broadcast_interval = 30;  // LN, with GN << LN
+
+    const auto result = run_cluster_island_ga(problem, cfg);
+    table.add_row(
+        {decoder == sched::OpenShopDecoder::kLptTask ? "LPT-Task"
+                                                     : "LPT-Machine",
+         "5", stats::Table::num(result.overall.best_objective, 0),
+         stats::Table::num(100.0 * (result.overall.best_objective -
+                                    static_cast<double>(lower_bound)) /
+                               static_cast<double>(lower_bound),
+                           2)});
+  }
+  table.print();
+  std::printf(
+      "\nEach rank is an isolated island communicating only through the\n"
+      "message-passing layer — the same code shape as an MPI deployment.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Migration parameter study — a miniature of the empirical studies the
+// survey reviews ([35][37]): sweep topology, policy, interval and island
+// count on one instance and print the study tables. Demonstrates driving
+// the library programmatically for experimentation.
+//
+//   $ ./example_parameter_study [replications]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/ga/island_ga.h"
+#include "src/ga/problems.h"
+#include "src/sched/taillard.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/table.h"
+
+namespace {
+
+using namespace psga;
+
+double run_once(const ga::ProblemPtr& problem, int islands,
+                ga::Topology topology, ga::MigrationPolicy policy,
+                int interval, std::uint64_t seed) {
+  ga::IslandGaConfig cfg;
+  cfg.islands = islands;
+  cfg.base.population = 120 / islands;
+  cfg.base.termination.max_generations = 80;
+  cfg.base.seed = seed;
+  cfg.migration.topology = topology;
+  cfg.migration.policy = policy;
+  cfg.migration.interval = interval;
+  ga::IslandGa engine(problem, cfg);
+  return engine.run().overall.best_objective;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psga;
+  const int replications = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  const auto bench = sched::taillard_20x5()[2];  // ta003
+  auto problem =
+      std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench));
+  std::printf("Parameter study on %s (best known %lld), %d replications "
+              "per cell\n\n",
+              bench.name, static_cast<long long>(bench.best_known),
+              replications);
+
+  auto mean_of = [&](auto&&... args) {
+    std::vector<double> finals;
+    for (int rep = 0; rep < replications; ++rep) {
+      finals.push_back(run_once(problem, args..., 42 + 17 * rep));
+    }
+    return stats::mean_rpd(finals, static_cast<double>(bench.best_known));
+  };
+
+  {
+    stats::Table table({"topology", "mean RPD (%)"});
+    const std::pair<const char*, ga::Topology> topologies[] = {
+        {"ring", ga::Topology::kRing},
+        {"grid", ga::Topology::kGrid},
+        {"torus", ga::Topology::kTorus},
+        {"fully connected", ga::Topology::kFullyConnected},
+        {"star", ga::Topology::kStar},
+        {"hypercube", ga::Topology::kHypercube},
+        {"random per epoch", ga::Topology::kRandom},
+    };
+    for (const auto& [name, topology] : topologies) {
+      table.add_row({name,
+                     stats::Table::num(
+                         mean_of(6, topology,
+                                 ga::MigrationPolicy::kBestReplaceRandom, 8),
+                         3)});
+    }
+    std::printf("-- Topology (6 islands, best-replace-random, interval 8)\n");
+    table.print();
+  }
+  {
+    stats::Table table({"interval", "mean RPD (%)"});
+    for (int interval : {0, 1, 4, 8, 16, 32}) {
+      table.add_row({interval == 0 ? "never" : std::to_string(interval),
+                     stats::Table::num(
+                         mean_of(6, ga::Topology::kRing,
+                                 ga::MigrationPolicy::kBestReplaceWorst,
+                                 interval),
+                         3)});
+    }
+    std::printf("\n-- Migration interval (6 islands, ring)\n");
+    table.print();
+  }
+  {
+    stats::Table table({"islands", "subpop size", "mean RPD (%)"});
+    for (int islands : {2, 3, 4, 6, 10}) {
+      table.add_row({std::to_string(islands),
+                     std::to_string(120 / islands),
+                     stats::Table::num(
+                         mean_of(islands, ga::Topology::kRing,
+                                 ga::MigrationPolicy::kBestReplaceWorst, 8),
+                         3)});
+    }
+    std::printf("\n-- Island count at fixed total population 120\n");
+    table.print();
+  }
+  std::printf("\nEvery cell is deterministic given its seed; rerun with more "
+              "replications for tighter means.\n");
+  return 0;
+}

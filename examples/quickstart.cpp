@@ -1,0 +1,88 @@
+// Quickstart: solve a Taillard flow-shop benchmark with the four parallel
+// GA models of the survey and compare what each finds.
+//
+//   $ ./example_quickstart
+//
+// Walks through the minimal public API: build an instance, wrap it in a
+// Problem, configure an engine, run, inspect the result.
+#include <cstdio>
+
+#include "src/ga/cellular_ga.h"
+#include "src/ga/island_ga.h"
+#include "src/ga/master_slave_ga.h"
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/heuristics.h"
+#include "src/sched/taillard.h"
+#include "src/stats/table.h"
+
+int main() {
+  using namespace psga;
+
+  // 1. A benchmark instance, regenerated bit-exactly from Taillard's
+  //    published generator seed.
+  const sched::TaillardBenchmark& bench = sched::taillard_20x5().front();
+  const sched::FlowShopInstance instance = sched::make_taillard(bench);
+  std::printf("Instance %s: %d jobs x %d machines, best known Cmax = %lld\n\n",
+              bench.name, instance.jobs, instance.machines,
+              static_cast<long long>(bench.best_known));
+
+  // 2. Wrap it in a Problem (decoder + objective).
+  auto problem = std::make_shared<ga::FlowShopProblem>(instance);
+
+  // 3. A shared budget for all engines.
+  ga::GaConfig base;
+  base.population = 100;
+  base.termination.max_generations = 200;
+  base.seed = 2024;
+
+  stats::Table table({"engine", "best Cmax", "RPD vs best known (%)",
+                      "evaluations", "seconds"});
+  auto report = [&](const char* name, const ga::GaResult& r) {
+    table.add_row({name, stats::Table::num(r.best_objective, 0),
+                   stats::Table::num(
+                       100.0 * (r.best_objective - bench.best_known) /
+                           bench.best_known,
+                       2),
+                   std::to_string(r.evaluations),
+                   stats::Table::num(r.seconds, 3)});
+  };
+
+  // NEH reference heuristic (the survey's Eq. (1) uses such a value).
+  const sched::Time neh = sched::neh_makespan(instance);
+  std::printf("NEH constructive heuristic: %lld\n\n",
+              static_cast<long long>(neh));
+
+  // 4a. Simple GA (survey Table II).
+  ga::SimpleGa simple(problem, base);
+  report("simple", simple.run());
+
+  // 4b. Master-slave GA (Table III): same algorithm, parallel evaluation.
+  ga::MasterSlaveGa master_slave(problem, base);
+  report("master-slave", master_slave.run());
+
+  // 4c. Cellular GA (Table IV): 10x10 torus.
+  ga::CellularConfig cell;
+  cell.width = 10;
+  cell.height = 10;
+  cell.termination = base.termination;
+  cell.seed = base.seed;
+  ga::CellularGa cellular(problem, cell);
+  report("cellular", cellular.run());
+
+  // 4d. Island GA (Table V): 4 islands on a ring.
+  ga::IslandGaConfig island_cfg;
+  island_cfg.islands = 4;
+  island_cfg.base = base;
+  island_cfg.base.population = 25;  // same total population
+  island_cfg.migration.interval = 10;
+  ga::IslandGa island(problem, island_cfg);
+  report("island", island.run().overall);
+
+  table.print();
+  std::printf(
+      "\nAll engines minimize the makespan; the island/cellular engines use\n"
+      "deterministic per-island/per-cell RNG streams, so rerunning this\n"
+      "program reproduces these rows exactly.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "src/ga/cellular_ga.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "src/ga/simple_ga.h"
+
+namespace psga::ga {
+
+CellularGa::CellularGa(ProblemPtr problem, CellularConfig config,
+                       par::ThreadPool* pool)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &par::default_pool()) {
+  if (!config_.crossover || !config_.mutation) {
+    OperatorConfig defaults = default_operators(*problem_);
+    if (!config_.crossover) config_.crossover = defaults.crossover;
+    if (!config_.mutation) config_.mutation = defaults.mutation;
+  }
+}
+
+std::vector<int> CellularGa::neighbors_of(int cell) const {
+  const int w = config_.width;
+  const int h = config_.height;
+  const int x = cell % w;
+  const int y = cell / w;
+  const int r = config_.radius;
+  std::vector<int> out;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      if (config_.neighborhood == Neighborhood::kVonNeumann &&
+          std::abs(dx) + std::abs(dy) > r) {
+        continue;
+      }
+      const int nx = ((x + dx) % w + w) % w;  // torus wrap
+      const int ny = ((y + dy) % h + h) % h;
+      const int neighbor = ny * w + nx;
+      if (neighbor != cell &&
+          std::find(out.begin(), out.end(), neighbor) == out.end()) {
+        out.push_back(neighbor);
+      }
+    }
+  }
+  return out;
+}
+
+void CellularGa::init() {
+  const int n = cells();
+  par::Rng root(config_.seed);
+  grid_.clear();
+  grid_.reserve(static_cast<std::size_t>(n));
+  cell_rngs_.clear();
+  cell_rngs_.reserve(static_cast<std::size_t>(n));
+  neighbor_table_.clear();
+  neighbor_table_.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    cell_rngs_.push_back(root.split(static_cast<std::uint64_t>(c)));
+    grid_.push_back(problem_->random_genome(cell_rngs_.back()));
+    neighbor_table_.push_back(neighbors_of(c));
+  }
+  objectives_.assign(static_cast<std::size_t>(n), 0.0);
+  pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t c) {
+    objectives_[c] = problem_->objective(grid_[c]);
+  });
+  evaluations_ = n;
+  generation_ = 0;
+  best_objective_ = objectives_.front();
+  best_ = grid_.front();
+  update_best();
+}
+
+void CellularGa::update_best() {
+  for (std::size_t c = 0; c < grid_.size(); ++c) {
+    if (objectives_[c] < best_objective_) {
+      best_objective_ = objectives_[c];
+      best_ = grid_[c];
+    }
+  }
+}
+
+void CellularGa::step() {
+  const int n = cells();
+  next_grid_.resize(static_cast<std::size_t>(n));
+  next_objectives_.assign(static_cast<std::size_t>(n), 0.0);
+  const GenomeTraits& traits = problem_->traits();
+
+  pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t c) {
+    par::Rng& rng = cell_rngs_[c];
+    const std::vector<int>& hood = neighbor_table_[c];
+    // Binary tournament within the neighborhood for the mate.
+    auto pick_neighbor = [&] {
+      const int a = hood[rng.below(hood.size())];
+      const int b = hood[rng.below(hood.size())];
+      return objectives_[static_cast<std::size_t>(a)] <=
+                     objectives_[static_cast<std::size_t>(b)]
+                 ? a
+                 : b;
+    };
+    const int mate = pick_neighbor();
+    Genome child1;
+    Genome child2;
+    if (rng.chance(config_.crossover_rate)) {
+      config_.crossover->cross(grid_[c],
+                               grid_[static_cast<std::size_t>(mate)], traits,
+                               child1, child2, rng);
+    } else {
+      child1 = grid_[c];
+    }
+    if (rng.chance(config_.mutation_rate)) {
+      config_.mutation->mutate(child1, traits, rng);
+    }
+    const double child_obj = problem_->objective(child1);
+    if (!config_.replace_if_better || child_obj <= objectives_[c]) {
+      next_grid_[c] = std::move(child1);
+      next_objectives_[c] = child_obj;
+    } else {
+      next_grid_[c] = grid_[c];
+      next_objectives_[c] = objectives_[c];
+    }
+  });
+  grid_.swap(next_grid_);
+  objectives_.swap(next_objectives_);
+  evaluations_ += n;
+  ++generation_;
+  update_best();
+}
+
+void CellularGa::replace_cell(int cell, const Genome& genome,
+                              double objective) {
+  grid_[static_cast<std::size_t>(cell)] = genome;
+  objectives_[static_cast<std::size_t>(cell)] = objective;
+  if (objective < best_objective_) {
+    best_objective_ = objective;
+    best_ = genome;
+  }
+}
+
+GaResult CellularGa::run() {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  init();
+  GaResult result;
+  result.history.push_back(best_objective_);
+  const Termination& term = config_.termination;
+  double stagnation_best = best_objective_;
+  int stagnant = 0;
+  while (generation_ < term.max_generations) {
+    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
+    if (term.target_objective >= 0.0 && best_objective_ <= term.target_objective) {
+      break;
+    }
+    if (term.stagnation_generations > 0 && stagnant >= term.stagnation_generations) {
+      break;
+    }
+    step();
+    result.history.push_back(best_objective_);
+    if (best_objective_ < stagnation_best) {
+      stagnation_best = best_objective_;
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
+  }
+  result.best = best_;
+  result.best_objective = best_objective_;
+  result.evaluations = evaluations_;
+  result.generations = generation_;
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,85 @@
+// The fine-grained (cellular / neighborhood / diffusion) GA — Table IV of
+// the survey, the model of Tamaki et al. [20] and the torus component of
+// Lin et al. [21].
+//
+// One individual per cell of a 2-D torus; selection and mating are
+// restricted to a cell's neighborhood and good genes spread only through
+// neighborhood overlap. The update is synchronous (double-buffered) and
+// each cell owns a deterministic Rng stream, so results are identical for
+// any worker-thread count.
+#pragma once
+
+#include <vector>
+
+#include "src/ga/config.h"
+#include "src/ga/problem.h"
+#include "src/ga/result.h"
+#include "src/par/thread_pool.h"
+
+namespace psga::ga {
+
+enum class Neighborhood {
+  kVonNeumann,  ///< N/S/E/W at distance <= radius (diamond)
+  kMoore,       ///< Chebyshev distance <= radius (square)
+};
+
+struct CellularConfig {
+  int width = 16;
+  int height = 16;
+  Neighborhood neighborhood = Neighborhood::kVonNeumann;
+  int radius = 1;
+  /// Offspring replaces the cell only if strictly better ("replace if
+  /// better" is the usual synchronous cellular rule); false = always.
+  bool replace_if_better = true;
+  double crossover_rate = 0.95;
+  double mutation_rate = 0.2;
+  CrossoverPtr crossover;  ///< defaults from the problem encoding
+  MutationPtr mutation;
+  Termination termination;
+  std::uint64_t seed = 1;
+};
+
+class CellularGa {
+ public:
+  CellularGa(ProblemPtr problem, CellularConfig config,
+             par::ThreadPool* pool = nullptr);
+
+  GaResult run();
+
+  // Stepwise API (used by the hybrid island-of-torus engine [21]).
+  void init();
+  void step();
+  double best_objective() const { return best_objective_; }
+  const Genome& best() const { return best_; }
+  long long evaluations() const { return evaluations_; }
+  int cells() const { return config_.width * config_.height; }
+  /// Replaces the individual at `cell` (hybrid-model migration).
+  void replace_cell(int cell, const Genome& genome, double objective);
+  const Genome& individual(int cell) const {
+    return grid_[static_cast<std::size_t>(cell)];
+  }
+  double objective_at(int cell) const {
+    return objectives_[static_cast<std::size_t>(cell)];
+  }
+
+ private:
+  std::vector<int> neighbors_of(int cell) const;
+  void update_best();
+
+  ProblemPtr problem_;
+  CellularConfig config_;
+  par::ThreadPool* pool_;
+
+  std::vector<Genome> grid_;
+  std::vector<double> objectives_;
+  std::vector<Genome> next_grid_;
+  std::vector<double> next_objectives_;
+  std::vector<par::Rng> cell_rngs_;
+  std::vector<std::vector<int>> neighbor_table_;
+  Genome best_;
+  double best_objective_ = 0.0;
+  long long evaluations_ = 0;
+  int generation_ = 0;
+};
+
+}  // namespace psga::ga

@@ -1,0 +1,70 @@
+// Engine configuration shared by all GA models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/ga/crossover.h"
+#include "src/ga/mutation.h"
+#include "src/ga/problem.h"
+#include "src/ga/selection.h"
+
+namespace psga::ga {
+
+/// Stop conditions; any satisfied condition terminates the run.
+struct Termination {
+  int max_generations = 100;
+  double max_seconds = 0.0;        ///< 0 = no wall-clock limit
+  double target_objective = -1.0;  ///< stop when best <= target (if >= 0)
+  int stagnation_generations = 0;  ///< 0 = disabled
+};
+
+/// The survey's two fitness transforms (Section III.A).
+enum class FitnessTransform {
+  kInverse,    ///< Eq. (2): FIT = 1 / F
+  kReference,  ///< Eq. (1): FIT = max(Fbar - F, 0)
+};
+
+struct OperatorConfig {
+  SelectionPtr selection;
+  CrossoverPtr crossover;
+  MutationPtr mutation;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.2;
+  /// Variable mutation probability ([32]): if >= 0, the rate is linearly
+  /// interpolated from mutation_rate to this value over the run.
+  double mutation_rate_final = -1.0;
+};
+
+/// Default operators for a problem's encoding: binary tournament, a
+/// kind-appropriate crossover (OX for permutations, JOX for repetition
+/// sequences, parameterized uniform for pure key genomes) and swap (or
+/// key-creep) mutation — with an assignment mutation composed in when the
+/// genome has an assignment chromosome.
+OperatorConfig default_operators(const Problem& problem);
+
+struct GaConfig {
+  int population = 100;
+  int elites = 1;  ///< individuals copied unchanged to the next generation
+  /// Fraction of each new generation drawn fresh at random — the
+  /// "immigration" of Huang et al. [24] (their c%).
+  double immigration_fraction = 0.0;
+  /// Niche penalty (survey §I: "hire niche penalty in selection to keep
+  /// the diversity"): when > 0, fitness sharing divides each individual's
+  /// fitness by its niche count, with niches defined by Hamming distance
+  /// below this radius on the sequencing chromosome. O(P²) per
+  /// generation, as the survey warns ("may raise the complexity").
+  int niche_radius = 0;
+  double niche_alpha = 1.0;  ///< sharing-function shape exponent
+  /// Warm-start individuals injected into the initial population (e.g. an
+  /// NEH or dispatching-rule solution); the rest is drawn at random.
+  /// Entries beyond `population` are ignored.
+  std::vector<Genome> seed_genomes;
+  OperatorConfig ops;
+  FitnessTransform transform = FitnessTransform::kInverse;
+  double reference_objective = 0.0;  ///< Fbar for FitnessTransform::kReference
+  Termination termination;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace psga::ga

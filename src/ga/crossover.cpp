@@ -1,0 +1,472 @@
+#include "src/ga/crossover.h"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+namespace psga::ga {
+
+namespace {
+
+/// Fills `child` positions listed in `holes` with the multiset
+/// `remaining` taken in `donor` order. `remaining` holds per-value counts.
+void fill_in_donor_order(std::span<const int> donor, std::vector<int>& remaining,
+                         const std::vector<std::size_t>& holes,
+                         std::vector<int>& child) {
+  std::size_t hole = 0;
+  for (int v : donor) {
+    if (hole >= holes.size()) break;
+    auto& left = remaining[static_cast<std::size_t>(v)];
+    if (left > 0) {
+      --left;
+      child[holes[hole++]] = v;
+    }
+  }
+}
+
+int max_value(const GenomeTraits& traits) {
+  return traits.seq_kind == SeqKind::kJobRepetition
+             ? traits.job_count()
+             : traits.seq_length;
+}
+
+/// Per-value counts of the full chromosome multiset.
+std::vector<int> full_multiset(const GenomeTraits& traits) {
+  if (traits.seq_kind == SeqKind::kJobRepetition) return traits.repeats;
+  return std::vector<int>(static_cast<std::size_t>(traits.seq_length), 1);
+}
+
+/// One-point "order" crossover on a multiset chromosome: child = parent's
+/// prefix [0, cut) + the remaining multiset in donor order.
+void one_point_multiset(const std::vector<int>& keep,
+                        const std::vector<int>& donor,
+                        const GenomeTraits& traits, std::size_t cut,
+                        std::vector<int>& child) {
+  child.assign(keep.begin(), keep.end());
+  std::vector<int> remaining = full_multiset(traits);
+  for (std::size_t i = 0; i < cut; ++i) {
+    --remaining[static_cast<std::size_t>(keep[i])];
+  }
+  std::vector<std::size_t> holes;
+  holes.reserve(keep.size() - cut);
+  for (std::size_t i = cut; i < keep.size(); ++i) holes.push_back(i);
+  fill_in_donor_order(donor, remaining, holes, child);
+}
+
+}  // namespace
+
+void Crossover::cross(const Genome& a, const Genome& b,
+                      const GenomeTraits& traits, Genome& child1,
+                      Genome& child2, par::Rng& rng) const {
+  child1 = a;
+  child2 = b;
+  // Auxiliary channels first (sequencing operators may overwrite them).
+  if (!traits.assign_domain.empty()) {
+    for (std::size_t i = 0; i < child1.assign.size(); ++i) {
+      if (rng.chance(0.5)) std::swap(child1.assign[i], child2.assign[i]);
+    }
+  }
+  if (traits.key_length > 0 && supports(traits.seq_kind) &&
+      traits.seq_kind != SeqKind::kNone) {
+    // Whole-arithmetic blend keeps keys in range for mixed-channel genomes
+    // (e.g. lot streaming: permutation + split keys).
+    const double alpha = rng.uniform();
+    for (std::size_t i = 0; i < child1.keys.size(); ++i) {
+      const double ka = a.keys[i];
+      const double kb = b.keys[i];
+      child1.keys[i] = alpha * ka + (1.0 - alpha) * kb;
+      child2.keys[i] = alpha * kb + (1.0 - alpha) * ka;
+    }
+  }
+  cross_seq(a, b, traits, child1, child2, rng);
+}
+
+// --- OnePointOrderCrossover ---------------------------------------------------
+
+bool OnePointOrderCrossover::supports(SeqKind kind) const {
+  return kind == SeqKind::kPermutation || kind == SeqKind::kJobRepetition;
+}
+
+void OnePointOrderCrossover::cross_seq(const Genome& a, const Genome& b,
+                                       const GenomeTraits& traits,
+                                       Genome& child1, Genome& child2,
+                                       par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  const std::size_t cut = 1 + rng.below(n - 1);
+  one_point_multiset(a.seq, b.seq, traits, cut, child1.seq);
+  one_point_multiset(b.seq, a.seq, traits, cut, child2.seq);
+}
+
+// --- TwoPointOrderCrossover ---------------------------------------------------
+
+bool TwoPointOrderCrossover::supports(SeqKind kind) const {
+  return kind == SeqKind::kPermutation || kind == SeqKind::kJobRepetition;
+}
+
+void TwoPointOrderCrossover::cross_seq(const Genome& a, const Genome& b,
+                                       const GenomeTraits& traits,
+                                       Genome& child1, Genome& child2,
+                                       par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  std::size_t lo = rng.below(n);
+  std::size_t hi = rng.below(n);
+  if (lo > hi) std::swap(lo, hi);
+  if (lo == hi) return;  // degenerate window: children stay parent copies
+
+  auto build = [&](const std::vector<int>& keep, const std::vector<int>& donor,
+                   std::vector<int>& child) {
+    child.assign(keep.begin(), keep.end());
+    std::vector<int> remaining = full_multiset(traits);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < lo || i >= hi) --remaining[static_cast<std::size_t>(keep[i])];
+    }
+    std::vector<std::size_t> holes;
+    for (std::size_t i = lo; i < hi; ++i) holes.push_back(i);
+    fill_in_donor_order(donor, remaining, holes, child);
+  };
+  build(a.seq, b.seq, child1.seq);
+  build(b.seq, a.seq, child2.seq);
+}
+
+// --- PmxCrossover ---------------------------------------------------------
+
+void PmxCrossover::cross_seq(const Genome& a, const Genome& b,
+                             const GenomeTraits& traits, Genome& child1,
+                             Genome& child2, par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  std::size_t lo = rng.below(n);
+  std::size_t hi = rng.below(n);
+  if (lo > hi) std::swap(lo, hi);
+  ++hi;  // window [lo, hi)
+
+  auto build = [&](const std::vector<int>& base, const std::vector<int>& window_src,
+                   std::vector<int>& child) {
+    child.assign(base.begin(), base.end());
+    std::vector<int> mapped_to(static_cast<std::size_t>(traits.seq_length), -1);
+    std::vector<bool> in_window(static_cast<std::size_t>(traits.seq_length), false);
+    for (std::size_t i = lo; i < hi; ++i) {
+      child[i] = window_src[i];
+      in_window[static_cast<std::size_t>(window_src[i])] = true;
+      mapped_to[static_cast<std::size_t>(window_src[i])] = base[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) continue;
+      int v = base[i];
+      while (in_window[static_cast<std::size_t>(v)]) {
+        v = mapped_to[static_cast<std::size_t>(v)];
+      }
+      child[i] = v;
+    }
+  };
+  build(a.seq, b.seq, child1.seq);
+  build(b.seq, a.seq, child2.seq);
+}
+
+// --- OxCrossover ---------------------------------------------------------
+
+void OxCrossover::cross_seq(const Genome& a, const Genome& b,
+                            const GenomeTraits& /*traits*/, Genome& child1,
+                            Genome& child2, par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  std::size_t lo = rng.below(n);
+  std::size_t hi = rng.below(n);
+  if (lo > hi) std::swap(lo, hi);
+  ++hi;  // window [lo, hi)
+
+  auto build = [&](const std::vector<int>& keep, const std::vector<int>& donor,
+                   std::vector<int>& child) {
+    child.assign(keep.size(), -1);
+    std::vector<bool> used(n, false);
+    for (std::size_t i = lo; i < hi; ++i) {
+      child[i] = keep[i];
+      used[static_cast<std::size_t>(keep[i])] = true;
+    }
+    // Fill from donor starting after the window, wrapping around.
+    std::size_t write = hi % n;
+    for (std::size_t step = 0; step < n; ++step) {
+      const int v = donor[(hi + step) % n];
+      if (used[static_cast<std::size_t>(v)]) continue;
+      child[write] = v;
+      used[static_cast<std::size_t>(v)] = true;
+      write = (write + 1) % n;
+      if (write == lo) break;
+    }
+  };
+  build(a.seq, b.seq, child1.seq);
+  build(b.seq, a.seq, child2.seq);
+}
+
+// --- CycleCrossover ---------------------------------------------------------
+
+void CycleCrossover::cross_seq(const Genome& a, const Genome& b,
+                               const GenomeTraits& /*traits*/, Genome& child1,
+                               Genome& child2, par::Rng& /*rng*/) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  std::vector<int> pos_in_a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos_in_a[static_cast<std::size_t>(a.seq[i])] = static_cast<int>(i);
+  }
+  std::vector<int> cycle_of(n, -1);
+  int cycles = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (cycle_of[start] >= 0) continue;
+    std::size_t i = start;
+    while (cycle_of[i] < 0) {
+      cycle_of[i] = cycles;
+      i = static_cast<std::size_t>(pos_in_a[static_cast<std::size_t>(b.seq[i])]);
+    }
+    ++cycles;
+  }
+  child1.seq.resize(n);
+  child2.seq.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool even = (cycle_of[i] % 2) == 0;
+    child1.seq[i] = even ? a.seq[i] : b.seq[i];
+    child2.seq[i] = even ? b.seq[i] : a.seq[i];
+  }
+}
+
+// --- PositionBasedCrossover -------------------------------------------------
+
+void PositionBasedCrossover::cross_seq(const Genome& a, const Genome& b,
+                                       const GenomeTraits& /*traits*/,
+                                       Genome& child1, Genome& child2,
+                                       par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  std::vector<bool> keep(n);
+  for (std::size_t i = 0; i < n; ++i) keep[i] = rng.chance(0.5);
+
+  auto build = [&](const std::vector<int>& base, const std::vector<int>& donor,
+                   std::vector<int>& child) {
+    child.assign(base.size(), -1);
+    std::vector<bool> used(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[i]) {
+        child[i] = base[i];
+        used[static_cast<std::size_t>(base[i])] = true;
+      }
+    }
+    std::size_t write = 0;
+    for (int v : donor) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      while (write < n && child[write] >= 0) ++write;
+      if (write >= n) break;
+      child[write] = v;
+    }
+  };
+  build(a.seq, b.seq, child1.seq);
+  build(b.seq, a.seq, child2.seq);
+}
+
+// --- JoxCrossover ---------------------------------------------------------
+
+bool JoxCrossover::supports(SeqKind kind) const {
+  return kind == SeqKind::kPermutation || kind == SeqKind::kJobRepetition;
+}
+
+void JoxCrossover::cross_seq(const Genome& a, const Genome& b,
+                             const GenomeTraits& traits, Genome& child1,
+                             Genome& child2, par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  const int values = max_value(traits);
+  std::vector<bool> chosen(static_cast<std::size_t>(values));
+  for (auto&& flag : chosen) flag = rng.chance(0.5);
+
+  auto build = [&](const std::vector<int>& keep, const std::vector<int>& donor,
+                   std::vector<int>& child) {
+    child.assign(keep.size(), -1);
+    std::vector<std::size_t> holes;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chosen[static_cast<std::size_t>(keep[i])]) {
+        child[i] = keep[i];
+      } else {
+        holes.push_back(i);
+      }
+    }
+    std::size_t hole = 0;
+    for (int v : donor) {
+      if (chosen[static_cast<std::size_t>(v)]) continue;
+      child[holes[hole++]] = v;
+      if (hole >= holes.size()) break;
+    }
+  };
+  build(a.seq, b.seq, child1.seq);
+  build(b.seq, a.seq, child2.seq);
+}
+
+// --- PpxCrossover ---------------------------------------------------------
+
+bool PpxCrossover::supports(SeqKind kind) const {
+  return kind == SeqKind::kPermutation || kind == SeqKind::kJobRepetition;
+}
+
+void PpxCrossover::cross_seq(const Genome& a, const Genome& b,
+                             const GenomeTraits& traits, Genome& child1,
+                             Genome& child2, par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 2) return;
+  const int values = max_value(traits);
+  std::vector<bool> mask(n);
+  for (auto&& bit : mask) bit = rng.chance(0.5);
+
+  // occ[i] = 1-based occurrence index of parent[i]'s value within the
+  // parent, so "already emitted" can be checked in O(1) while cursors only
+  // move forward.
+  auto occurrence_index = [&](const std::vector<int>& parent) {
+    std::vector<int> occ(n);
+    std::vector<int> count(static_cast<std::size_t>(values), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      occ[i] = ++count[static_cast<std::size_t>(parent[i])];
+    }
+    return occ;
+  };
+  const std::vector<int> occ_a = occurrence_index(a.seq);
+  const std::vector<int> occ_b = occurrence_index(b.seq);
+
+  auto build = [&](bool flip, std::vector<int>& child) {
+    child.clear();
+    child.reserve(n);
+    std::vector<int> consumed(static_cast<std::size_t>(values), 0);
+    std::size_t pa = 0;
+    std::size_t pb = 0;
+    auto take_next = [&](const std::vector<int>& parent,
+                         const std::vector<int>& occ, std::size_t& cursor) {
+      while (cursor < n &&
+             occ[cursor] <= consumed[static_cast<std::size_t>(parent[cursor])]) {
+        ++cursor;
+      }
+      return cursor < n ? parent[cursor] : -1;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool from_first = flip ? !mask[i] : mask[i];
+      int v = from_first ? take_next(a.seq, occ_a, pa)
+                         : take_next(b.seq, occ_b, pb);
+      if (v < 0) {
+        v = from_first ? take_next(b.seq, occ_b, pb)
+                       : take_next(a.seq, occ_a, pa);
+      }
+      child.push_back(v);
+      ++consumed[static_cast<std::size_t>(v)];
+    }
+  };
+  build(/*flip=*/false, child1.seq);
+  build(/*flip=*/true, child2.seq);
+}
+
+// --- ThxCrossover ---------------------------------------------------------
+
+bool ThxCrossover::supports(SeqKind kind) const {
+  return kind == SeqKind::kPermutation || kind == SeqKind::kJobRepetition;
+}
+
+void ThxCrossover::cross_seq(const Genome& a, const Genome& b,
+                             const GenomeTraits& traits, Genome& child1,
+                             Genome& child2, par::Rng& rng) const {
+  const std::size_t n = a.seq.size();
+  if (n < 3) return;
+  // "Time horizon": a cut in the middle third of the chromosome — the
+  // prefix approximates the early part of the schedule.
+  const std::size_t third = n / 3;
+  const std::size_t cut = third + rng.below(std::max<std::size_t>(third, 1));
+  one_point_multiset(a.seq, b.seq, traits, cut, child1.seq);
+  one_point_multiset(b.seq, a.seq, traits, cut, child2.seq);
+}
+
+// --- UniformKeyCrossover -------------------------------------------------------
+
+void UniformKeyCrossover::cross_seq(const Genome& a, const Genome& b,
+                                    const GenomeTraits& /*traits*/,
+                                    Genome& child1, Genome& child2,
+                                    par::Rng& rng) const {
+  for (std::size_t i = 0; i < child1.keys.size(); ++i) {
+    const bool from_a = rng.chance(bias_);
+    child1.keys[i] = from_a ? a.keys[i] : b.keys[i];
+    child2.keys[i] = from_a ? b.keys[i] : a.keys[i];
+  }
+}
+
+// --- ArithmeticKeyCrossover -------------------------------------------------
+
+void ArithmeticKeyCrossover::cross_seq(const Genome& a, const Genome& b,
+                                       const GenomeTraits& /*traits*/,
+                                       Genome& child1, Genome& child2,
+                                       par::Rng& rng) const {
+  const double alpha = rng.uniform();
+  for (std::size_t i = 0; i < child1.keys.size(); ++i) {
+    child1.keys[i] = alpha * a.keys[i] + (1.0 - alpha) * b.keys[i];
+    child2.keys[i] = alpha * b.keys[i] + (1.0 - alpha) * a.keys[i];
+  }
+}
+
+// --- MsxfCrossover ---------------------------------------------------------
+
+namespace {
+
+/// One guided walk from `from` toward `to` by distance-reducing swaps,
+/// keeping the best objective seen. Shared by MSXF and path relinking.
+void guided_walk(const Problem& problem, const Genome& from, const Genome& to,
+                 int max_steps, int eval_stride, Genome& out, par::Rng& rng) {
+  Genome current = from;
+  out = from;
+  double best_obj = problem.objective(from);
+  int step = 0;
+  const std::size_t n = current.seq.size();
+  while (step < max_steps) {
+    // Differing positions.
+    std::vector<std::size_t> diff;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (current.seq[i] != to.seq[i]) diff.push_back(i);
+    }
+    if (diff.empty()) break;
+    const std::size_t i = diff[rng.below(diff.size())];
+    // Swap in the value to.seq[i] from a later differing position that
+    // holds it (guaranteed to exist: multisets are equal).
+    std::size_t j = i;
+    for (std::size_t cand : diff) {
+      if (cand != i && current.seq[cand] == to.seq[i]) {
+        j = cand;
+        break;
+      }
+    }
+    if (j == i) break;  // defensive: should not happen for equal multisets
+    std::swap(current.seq[i], current.seq[j]);
+    ++step;
+    if (step % eval_stride == 0 || step == max_steps) {
+      const double obj = problem.objective(current);
+      if (obj < best_obj) {
+        best_obj = obj;
+        out = current;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MsxfCrossover::cross_seq(const Genome& a, const Genome& b,
+                              const GenomeTraits& /*traits*/, Genome& child1,
+                              Genome& child2, par::Rng& rng) const {
+  guided_walk(*problem_, a, b, steps_, /*eval_stride=*/1, child1, rng);
+  guided_walk(*problem_, b, a, steps_, /*eval_stride=*/1, child2, rng);
+}
+
+// --- PathRelinkCrossover -----------------------------------------------------
+
+void PathRelinkCrossover::cross_seq(const Genome& a, const Genome& b,
+                                    const GenomeTraits& /*traits*/,
+                                    Genome& child1, Genome& child2,
+                                    par::Rng& rng) const {
+  const int distance = hamming_distance(a, b);
+  const int stride = std::max(1, distance / std::max(1, samples_));
+  guided_walk(*problem_, a, b, distance, stride, child1, rng);
+  guided_walk(*problem_, b, a, distance, stride, child2, rng);
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,52 @@
+#include "src/ga/genome.h"
+
+#include <algorithm>
+
+namespace psga::ga {
+
+int hamming_distance(const Genome& a, const Genome& b) {
+  const std::size_t n = std::min(a.seq.size(), b.seq.size());
+  int distance = static_cast<int>(std::max(a.seq.size(), b.seq.size()) - n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.seq[i] != b.seq[i]) ++distance;
+  }
+  return distance;
+}
+
+bool genome_valid(const Genome& g, const GenomeTraits& traits) {
+  if (static_cast<int>(g.seq.size()) != traits.seq_length) {
+    return traits.seq_kind == SeqKind::kNone && g.seq.empty();
+  }
+  switch (traits.seq_kind) {
+    case SeqKind::kPermutation: {
+      std::vector<bool> seen(g.seq.size(), false);
+      for (int v : g.seq) {
+        if (v < 0 || v >= static_cast<int>(g.seq.size())) return false;
+        if (seen[static_cast<std::size_t>(v)]) return false;
+        seen[static_cast<std::size_t>(v)] = true;
+      }
+      break;
+    }
+    case SeqKind::kJobRepetition: {
+      std::vector<int> count(traits.repeats.size(), 0);
+      for (int v : g.seq) {
+        if (v < 0 || v >= static_cast<int>(count.size())) return false;
+        ++count[static_cast<std::size_t>(v)];
+      }
+      if (!std::equal(count.begin(), count.end(), traits.repeats.begin())) {
+        return false;
+      }
+      break;
+    }
+    case SeqKind::kNone:
+      break;
+  }
+  if (static_cast<int>(g.keys.size()) != traits.key_length) return false;
+  if (g.assign.size() != traits.assign_domain.size()) return false;
+  for (std::size_t i = 0; i < g.assign.size(); ++i) {
+    if (g.assign[i] < 0 || g.assign[i] >= traits.assign_domain[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace psga::ga

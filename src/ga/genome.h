@@ -1,0 +1,55 @@
+// Genome representation covering every encoding the survey catalogues
+// (Section III.A): direct job permutations (flow shop), operation-based
+// permutations with repetition (job shop, "direct way"), random keys
+// (Huang et al. [24]), and the assignment + sequencing chromosome pair of
+// the flexible shops ([36][37]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psga::ga {
+
+struct Genome {
+  /// Sequencing chromosome: a permutation of 0..L-1, or a permutation
+  /// with repetition of job ids, depending on GenomeTraits::seq_kind.
+  std::vector<int> seq;
+  /// Assignment chromosome (flexible shops): per flat operation, an index
+  /// into that operation's eligible-machine set.
+  std::vector<int> assign;
+  /// Continuous chromosome (random keys / sublot size splits).
+  std::vector<double> keys;
+
+  bool operator==(const Genome&) const = default;
+};
+
+/// Hamming distance over the sequencing chromosome — the stagnation
+/// measure of Spanos et al. [29].
+int hamming_distance(const Genome& a, const Genome& b);
+
+/// What the sequencing chromosome means; operators use this to stay
+/// validity-preserving.
+enum class SeqKind {
+  kPermutation,    ///< distinct values 0..L-1
+  kJobRepetition,  ///< job j appears repeats[j] times
+  kNone,           ///< genome has no sequencing chromosome
+};
+
+struct GenomeTraits {
+  SeqKind seq_kind = SeqKind::kPermutation;
+  int seq_length = 0;
+  /// For kJobRepetition: repeats[j] = occurrences of job j in seq.
+  std::vector<int> repeats;
+  int key_length = 0;  ///< 0 = no keys chromosome
+  /// For assignment chromosomes: assign_domain[i] = number of choices of
+  /// flat operation i (empty = no assignment chromosome).
+  std::vector<int> assign_domain;
+
+  int job_count() const { return static_cast<int>(repeats.size()); }
+};
+
+/// Checks that a genome is structurally valid for the traits (multiset /
+/// permutation / domain bounds). Used by tests and debug assertions.
+bool genome_valid(const Genome& g, const GenomeTraits& traits);
+
+}  // namespace psga::ga

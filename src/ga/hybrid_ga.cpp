@@ -1,0 +1,99 @@
+#include "src/ga/hybrid_ga.h"
+
+#include <chrono>
+
+namespace psga::ga {
+
+IslandsOfCellularGa::IslandsOfCellularGa(ProblemPtr problem,
+                                         IslandsOfCellularConfig config,
+                                         par::ThreadPool* pool)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &par::default_pool()) {}
+
+GaResult IslandsOfCellularGa::run() {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  par::Rng root(config_.seed);
+  par::Rng migration_rng = root.split(0x20000);
+  std::vector<CellularGa> islands;
+  islands.reserve(static_cast<std::size_t>(config_.islands));
+  for (int i = 0; i < config_.islands; ++i) {
+    CellularConfig cell = config_.cell;
+    cell.seed = root.split(static_cast<std::uint64_t>(i + 1))();
+    cell.termination = config_.termination;
+    islands.emplace_back(problem_, cell, pool_);
+  }
+  for (auto& island : islands) island.init();
+
+  GaResult result;
+  auto global_best = [&] {
+    double best = islands.front().best_objective();
+    for (const auto& island : islands) {
+      best = std::min(best, island.best_objective());
+    }
+    return best;
+  };
+  result.history.push_back(global_best());
+
+  const Termination& term = config_.termination;
+  for (int gen = 0; gen < term.max_generations; ++gen) {
+    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
+    if (term.target_objective >= 0.0 && global_best() <= term.target_objective) {
+      break;
+    }
+    // The torus steps run one after another but each is internally
+    // parallel over cells (that is where the work is).
+    for (auto& island : islands) island.step();
+    // Ring migration between islands, far less frequent than diffusion.
+    if (config_.migration_interval > 0 &&
+        (gen + 1) % config_.migration_interval == 0 && islands.size() > 1) {
+      for (std::size_t i = 0; i < islands.size(); ++i) {
+        CellularGa& source = islands[i];
+        CellularGa& dest = islands[(i + 1) % islands.size()];
+        for (int m = 0; m < config_.migrants; ++m) {
+          const int cell =
+              static_cast<int>(migration_rng.below(
+                  static_cast<std::uint64_t>(dest.cells())));
+          dest.replace_cell(cell, source.best(), source.best_objective());
+        }
+      }
+    }
+    result.history.push_back(global_best());
+  }
+
+  double best = islands.front().best_objective();
+  const CellularGa* best_island = &islands.front();
+  long long evaluations = 0;
+  for (const auto& island : islands) {
+    evaluations += island.evaluations();
+    if (island.best_objective() < best) {
+      best = island.best_objective();
+      best_island = &island;
+    }
+  }
+  result.best = best_island->best();
+  result.best_objective = best;
+  result.evaluations = evaluations;
+  result.generations = term.max_generations;
+  result.seconds = elapsed();
+  return result;
+}
+
+IslandGaConfig make_torus_island_config(int islands, GaConfig base,
+                                        int migration_interval) {
+  IslandGaConfig config;
+  config.islands = islands;
+  config.base = std::move(base);
+  config.migration.topology = Topology::kTorus;
+  config.migration.interval = migration_interval;
+  config.migration.policy = MigrationPolicy::kBestReplaceRandom;
+  return config;
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,42 @@
+// Hybrid parallel GA models (Lin et al. [21]):
+//   Model A — an island GA whose subpopulations are cellular (torus) GAs;
+//             ring migration between islands, much less frequent than the
+//             intra-torus diffusion.
+//   Model B — an island GA whose islands are connected in a fine-grained
+//             style topology (a torus with many small islands); covered by
+//             IslandGa with Topology::kTorus, re-exported here as a
+//             convenience constructor.
+#pragma once
+
+#include "src/ga/cellular_ga.h"
+#include "src/ga/island_ga.h"
+
+namespace psga::ga {
+
+struct IslandsOfCellularConfig {
+  int islands = 4;
+  CellularConfig cell;       ///< per-island torus configuration
+  int migration_interval = 20;
+  int migrants = 1;
+  std::uint64_t seed = 1;
+  Termination termination;   ///< outer loop (generations = torus steps)
+};
+
+/// Model A: island-of-torus.
+class IslandsOfCellularGa {
+ public:
+  IslandsOfCellularGa(ProblemPtr problem, IslandsOfCellularConfig config,
+                      par::ThreadPool* pool = nullptr);
+  GaResult run();
+
+ private:
+  ProblemPtr problem_;
+  IslandsOfCellularConfig config_;
+  par::ThreadPool* pool_;
+};
+
+/// Model B: a many-small-islands GA on a torus topology.
+IslandGaConfig make_torus_island_config(int islands, GaConfig base,
+                                        int migration_interval = 5);
+
+}  // namespace psga::ga

@@ -1,0 +1,133 @@
+#include "src/ga/island_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace psga::ga {
+
+namespace {
+
+constexpr int kTagNeighbor = 1;
+constexpr int kTagBroadcast = 2;
+
+par::Message pack(const Genome& genome, double objective, int tag) {
+  par::Message msg;
+  msg.tag = tag;
+  msg.ints.reserve(genome.seq.size() + genome.assign.size() + 2);
+  msg.ints.push_back(static_cast<std::int64_t>(genome.seq.size()));
+  msg.ints.push_back(static_cast<std::int64_t>(genome.assign.size()));
+  for (int v : genome.seq) msg.ints.push_back(v);
+  for (int v : genome.assign) msg.ints.push_back(v);
+  msg.doubles.reserve(genome.keys.size() + 1);
+  msg.doubles.push_back(objective);
+  for (double k : genome.keys) msg.doubles.push_back(k);
+  return msg;
+}
+
+void unpack(const par::Message& msg, Genome& genome, double& objective) {
+  const auto seq_len = static_cast<std::size_t>(msg.ints[0]);
+  const auto assign_len = static_cast<std::size_t>(msg.ints[1]);
+  genome.seq.assign(msg.ints.begin() + 2,
+                    msg.ints.begin() + 2 + static_cast<std::ptrdiff_t>(seq_len));
+  genome.assign.assign(
+      msg.ints.begin() + 2 + static_cast<std::ptrdiff_t>(seq_len),
+      msg.ints.begin() + 2 + static_cast<std::ptrdiff_t>(seq_len + assign_len));
+  objective = msg.doubles[0];
+  genome.keys.assign(msg.doubles.begin() + 1, msg.doubles.end());
+}
+
+}  // namespace
+
+ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
+                                          const ClusterIslandConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  par::Cluster cluster(config.ranks);
+  ClusterIslandResult result;
+  result.rank_best.assign(static_cast<std::size_t>(config.ranks), 0.0);
+
+  std::mutex result_mutex;
+  Genome global_best;
+  double global_best_obj = -1.0;
+  long long total_evaluations = 0;
+
+  par::Rng root(config.base.seed);
+  std::vector<std::uint64_t> rank_seeds;
+  rank_seeds.reserve(static_cast<std::size_t>(config.ranks));
+  for (int r = 0; r < config.ranks; ++r) {
+    rank_seeds.push_back(root.split(static_cast<std::uint64_t>(r + 1))());
+  }
+
+  cluster.run([&](par::Rank& rank) {
+    GaConfig cfg = config.base;
+    cfg.seed = rank_seeds[static_cast<std::size_t>(rank.id())];
+    SimpleGa island(problem, cfg);
+    island.init();
+
+    const int generations = config.base.termination.max_generations;
+    const int right = (rank.id() + 1) % rank.size();
+    for (int gen = 1; gen <= generations; ++gen) {
+      island.step();
+      // GN: ship my best to my ring neighbor, receive from my left.
+      if (config.neighbor_interval > 0 && gen % config.neighbor_interval == 0 &&
+          rank.size() > 1) {
+        const int best = island.best_index();
+        rank.send(right, pack(island.population()[static_cast<std::size_t>(best)],
+                              island.objectives()[static_cast<std::size_t>(best)],
+                              kTagNeighbor));
+        const par::Message incoming = rank.recv(kTagNeighbor);
+        Genome migrant;
+        double objective;
+        unpack(incoming, migrant, objective);
+        island.replace_individual(island.worst_index(), migrant, objective);
+      }
+      // LN: everyone broadcasts its best to all ([33], GN << LN).
+      if (config.broadcast_interval > 0 &&
+          gen % config.broadcast_interval == 0 && rank.size() > 1) {
+        const int best = island.best_index();
+        const auto all = rank.allgather(
+            pack(island.population()[static_cast<std::size_t>(best)],
+                 island.objectives()[static_cast<std::size_t>(best)],
+                 kTagBroadcast),
+            kTagBroadcast);
+        // Adopt the single best incoming migrant.
+        int best_source = -1;
+        double best_obj = island.best_objective();
+        for (int src = 0; src < rank.size(); ++src) {
+          if (src == rank.id()) continue;
+          if (all[static_cast<std::size_t>(src)].doubles[0] < best_obj) {
+            best_obj = all[static_cast<std::size_t>(src)].doubles[0];
+            best_source = src;
+          }
+        }
+        if (best_source >= 0) {
+          Genome migrant;
+          double objective;
+          unpack(all[static_cast<std::size_t>(best_source)], migrant, objective);
+          island.replace_individual(island.worst_index(), migrant, objective);
+        }
+        rank.barrier();  // keep epochs aligned so tags never mix
+      }
+    }
+
+    std::lock_guard lock(result_mutex);
+    result.rank_best[static_cast<std::size_t>(rank.id())] =
+        island.best_objective();
+    total_evaluations += island.evaluations();
+    if (global_best_obj < 0.0 || island.best_objective() < global_best_obj) {
+      global_best_obj = island.best_objective();
+      global_best = island.best();
+    }
+  });
+
+  result.overall.best = global_best;
+  result.overall.best_objective = global_best_obj;
+  result.overall.evaluations = total_evaluations;
+  result.overall.generations = config.base.termination.max_generations;
+  result.overall.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace psga::ga

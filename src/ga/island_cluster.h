@@ -1,0 +1,36 @@
+// Island GA on the message-passing cluster layer — the MPI-style
+// deployment of Harmanani et al. [33] (Beowulf/MPI) and Defersha & Chen
+// [35][36] (workstation farm, MPI).
+//
+// Each rank owns one island and runs its own SimpleGa; migrants travel as
+// explicit messages (genome buffers), exactly as MPI_Send/MPI_Recv would
+// carry them. Supports the dual-frequency scheme of [33]: neighbors share
+// their best every `neighbor_interval` (GN) generations and everyone
+// broadcasts its best every `broadcast_interval` (LN) generations, with
+// GN << LN.
+#pragma once
+
+#include "src/ga/island_ga.h"
+#include "src/par/cluster.h"
+
+namespace psga::ga {
+
+struct ClusterIslandConfig {
+  int ranks = 4;
+  GaConfig base;             ///< per-rank (per-island) GA configuration
+  int neighbor_interval = 5; ///< GN: ring-neighbor exchange period
+  int broadcast_interval = 25;  ///< LN: all-to-all best broadcast; 0 = off
+};
+
+struct ClusterIslandResult {
+  GaResult overall;
+  std::vector<double> rank_best;  ///< best objective found by each rank
+};
+
+/// Runs the SPMD island GA on an in-process cluster and returns the
+/// gathered result. Deterministic for a fixed config (per-rank seeds are
+/// derived streams; migration only reads messages at barriers).
+ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
+                                          const ClusterIslandConfig& config);
+
+}  // namespace psga::ga

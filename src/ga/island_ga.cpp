@@ -1,0 +1,270 @@
+#include "src/ga/island_ga.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+namespace psga::ga {
+
+IslandGa::IslandGa(ProblemPtr problem, IslandGaConfig config,
+                   par::ThreadPool* pool)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &par::default_pool()) {}
+
+std::vector<IslandGa::Edge> IslandGa::edges_for_epoch(
+    int epoch, std::span<const int> alive) {
+  const int k = static_cast<int>(alive.size());
+  std::vector<Edge> edges;
+  if (k < 2) return edges;
+  auto add = [&](int from_pos, int to_pos) {
+    edges.push_back(Edge{alive[static_cast<std::size_t>(from_pos)],
+                         alive[static_cast<std::size_t>(to_pos)]});
+  };
+  switch (config_.migration.topology) {
+    case Topology::kRing:
+      for (int i = 0; i < k; ++i) add(i, (i + 1) % k);
+      break;
+    case Topology::kGrid:
+    case Topology::kTorus: {
+      // Near-square arrangement of the alive islands.
+      const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(k))));
+      const int rows = (k + cols - 1) / cols;
+      const bool wrap = config_.migration.topology == Topology::kTorus;
+      auto at = [&](int r, int c) { return r * cols + c; };
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          const int i = at(r, c);
+          if (i >= k) continue;
+          // Right neighbor.
+          int cr = c + 1;
+          if (cr >= cols && wrap) cr = 0;
+          if (cr < cols && at(r, cr) < k && at(r, cr) != i) add(i, at(r, cr));
+          // Down neighbor.
+          int rd = r + 1;
+          if (rd >= rows && wrap) rd = 0;
+          if (rd < rows && at(rd, c) < k && at(rd, c) != i) add(i, at(rd, c));
+        }
+      }
+      break;
+    }
+    case Topology::kFullyConnected:
+      for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j) {
+          if (i != j) add(i, j);
+        }
+      }
+      break;
+    case Topology::kStar:
+      for (int i = 1; i < k; ++i) {
+        add(i, 0);
+        add(0, i);
+      }
+      break;
+    case Topology::kHypercube: {
+      // Edges along every dimension that stays inside [0, k).
+      for (int i = 0; i < k; ++i) {
+        for (int bit = 1; bit < k; bit <<= 1) {
+          const int j = i ^ bit;
+          if (j < k) add(i, j);
+        }
+      }
+      break;
+    }
+    case Topology::kRandom: {
+      // Fresh random routes per epoch ([36]): a random permutation cycle.
+      par::Rng rng(config_.base.seed ^ (0x9e3779b97f4a7c15ULL *
+                                        static_cast<std::uint64_t>(epoch + 1)));
+      std::vector<int> order(static_cast<std::size_t>(k));
+      std::iota(order.begin(), order.end(), 0);
+      rng.shuffle(order);
+      for (int i = 0; i < k; ++i) {
+        add(order[static_cast<std::size_t>(i)],
+            order[static_cast<std::size_t>((i + 1) % k)]);
+      }
+      break;
+    }
+  }
+  return edges;
+}
+
+void IslandGa::migrate(std::vector<SimpleGa>& islands,
+                       std::span<const Edge> edges, par::Rng& rng) {
+  const MigrationConfig& mig = config_.migration;
+  // Collect all transfers first (synchronous migration: everyone ships the
+  // individuals selected *before* any replacement happens). With
+  // delay_epochs > 0 the transfers go to the in-flight queue instead and
+  // are delivered by deliver_due() at a later epoch — a deterministic
+  // model of asynchronous migration staleness.
+  std::vector<Transfer> transfers;
+  for (const Edge& edge : edges) {
+    SimpleGa& source = islands[static_cast<std::size_t>(edge.from)];
+    for (int c = 0; c < mig.count; ++c) {
+      int index;
+      if (mig.policy == MigrationPolicy::kRandomReplaceRandom) {
+        index = static_cast<int>(rng.below(source.population().size()));
+      } else {
+        index = source.best_index();
+      }
+      transfers.push_back(Transfer{
+          edge.to, source.population()[static_cast<std::size_t>(index)],
+          source.objectives()[static_cast<std::size_t>(index)]});
+    }
+  }
+  if (mig.delay_epochs > 0) {
+    in_flight_.push_back(std::move(transfers));
+    return;
+  }
+  deliver(islands, transfers, rng);
+}
+
+void IslandGa::deliver(std::vector<SimpleGa>& islands,
+                       std::span<const Transfer> transfers, par::Rng& rng) {
+  for (const Transfer& t : transfers) {
+    SimpleGa& dest = islands[static_cast<std::size_t>(t.to)];
+    int slot;
+    if (config_.migration.policy == MigrationPolicy::kBestReplaceWorst) {
+      slot = dest.worst_index();
+    } else {
+      slot = static_cast<int>(rng.below(dest.population().size()));
+    }
+    dest.replace_individual(slot, t.genome, t.objective);
+  }
+}
+
+void IslandGa::deliver_due(std::vector<SimpleGa>& islands, par::Rng& rng) {
+  // in_flight_[k] was queued k+1 epochs ago (front is oldest).
+  if (static_cast<int>(in_flight_.size()) >= config_.migration.delay_epochs) {
+    deliver(islands, in_flight_.front(), rng);
+    in_flight_.erase(in_flight_.begin());
+  }
+}
+
+IslandGaResult IslandGa::run() {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  const int k = config_.islands;
+  par::Rng root(config_.base.seed);
+  par::Rng migration_rng = root.split(0x10000);
+
+  // Build the islands: per-island seed streams, optional heterogeneous
+  // operators/problems, optional identical start populations.
+  std::vector<SimpleGa> islands;
+  islands.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    GaConfig cfg = config_.base;
+    cfg.seed = config_.identical_start
+                   ? config_.base.seed
+                   : root.split(static_cast<std::uint64_t>(i + 1))();
+    if (!config_.per_island_ops.empty()) {
+      cfg.ops = config_.per_island_ops[static_cast<std::size_t>(i) %
+                                       config_.per_island_ops.size()];
+    }
+    ProblemPtr problem =
+        config_.per_island_problems.empty()
+            ? problem_
+            : config_.per_island_problems[static_cast<std::size_t>(i)];
+    islands.emplace_back(std::move(problem), cfg);
+  }
+  // With identical starts but heterogeneous operators the initial
+  // population must still match: same seed ⇒ same random genomes, because
+  // initialization draws only genome randomness.
+  pool_->parallel_for(islands.size(),
+                      [&](std::size_t i) { islands[i].init(); });
+
+  std::vector<int> alive(static_cast<std::size_t>(k));
+  std::iota(alive.begin(), alive.end(), 0);
+
+  IslandGaResult result;
+  const Termination& term = config_.base.termination;
+  auto global_best = [&] {
+    double best = islands[static_cast<std::size_t>(alive.front())].best_objective();
+    for (int i : alive) {
+      best = std::min(best, islands[static_cast<std::size_t>(i)].best_objective());
+    }
+    return best;
+  };
+  result.overall.history.push_back(global_best());
+
+  int epoch = 0;
+  double stagnation_best = global_best();
+  int stagnant = 0;
+  for (int gen = 0; gen < term.max_generations; ++gen) {
+    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
+    if (term.target_objective >= 0.0 && global_best() <= term.target_objective) {
+      break;
+    }
+    if (term.stagnation_generations > 0 && stagnant >= term.stagnation_generations) {
+      break;
+    }
+    // One generation on every island, in parallel.
+    pool_->parallel_for(alive.size(), [&](std::size_t idx) {
+      islands[static_cast<std::size_t>(alive[idx])].step();
+    });
+    // Migration epoch.
+    if (config_.migration.interval > 0 &&
+        (gen + 1) % config_.migration.interval == 0 && alive.size() > 1) {
+      if (config_.migration.delay_epochs > 0) {
+        deliver_due(islands, migration_rng);
+      }
+      const auto edges = edges_for_epoch(epoch++, alive);
+      migrate(islands, edges, migration_rng);
+    }
+    // Stagnation-triggered merging ([29]): a stagnated island pours its
+    // population into its ring successor and disappears.
+    if (config_.merge.enabled && alive.size() > 1) {
+      for (std::size_t pos = 0; pos < alive.size(); ++pos) {
+        SimpleGa& island = islands[static_cast<std::size_t>(alive[pos])];
+        if (island.stagnation_fraction(config_.merge.hamming_threshold) >
+            config_.merge.fraction) {
+          SimpleGa& heir =
+              islands[static_cast<std::size_t>(alive[(pos + 1) % alive.size()])];
+          heir.absorb(island.population(), island.objectives());
+          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;  // at most one merge per generation keeps things simple
+        }
+      }
+    }
+    result.overall.history.push_back(global_best());
+    if (global_best() < stagnation_best) {
+      stagnation_best = global_best();
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
+  }
+
+  // Gather results.
+  result.island_best.resize(static_cast<std::size_t>(k), -1.0);
+  result.island_best_genome.resize(static_cast<std::size_t>(k));
+  double best = islands.front().best_objective();
+  const SimpleGa* best_island = &islands.front();
+  long long evaluations = 0;
+  int generations = 0;
+  for (int i = 0; i < k; ++i) {
+    const SimpleGa& island = islands[static_cast<std::size_t>(i)];
+    result.island_best[static_cast<std::size_t>(i)] = island.best_objective();
+    result.island_best_genome[static_cast<std::size_t>(i)] = island.best();
+    evaluations += island.evaluations();
+    generations = std::max(generations, island.generation());
+    if (island.best_objective() < best) {
+      best = island.best_objective();
+      best_island = &island;
+    }
+  }
+  result.overall.best = best_island->best();
+  result.overall.best_objective = best;
+  result.overall.evaluations = evaluations;
+  result.overall.generations = generations;
+  result.overall.seconds = elapsed();
+  result.surviving_islands = static_cast<int>(alive.size());
+  return result;
+}
+
+}  // namespace psga::ga

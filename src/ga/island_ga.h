@@ -1,0 +1,121 @@
+// The island (coarse-grained / multi-deme / migration) GA — Table V of the
+// survey and the model that "dominates the work on parallel GA for shop
+// scheduling problems".
+//
+// K subpopulations evolve independently (one SimpleGa each, with its own
+// deterministic Rng stream, so runs are reproducible for any thread
+// count); every `interval` generations a migration exchanges individuals
+// along a connection topology under a replacement policy. The
+// configuration space covers what the surveyed works explore:
+//   topologies  — ring [26], grid/torus [21][37], fully connected [35],
+//                 star [28], hypercube ("virtual cube", [27]),
+//                 random-per-epoch routes [36];
+//   policies    — best-replace-worst, best-replace-random,
+//                 random-replace-random ([35]'s three policies);
+//   heterogeneous islands — per-island operators ([26], [30]) and even
+//                 per-island objectives (the weighted multi-objective
+//                 islands of Rashidi et al. [38]);
+//   stagnation-triggered island merging (Spanos et al. [29]).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/ga/simple_ga.h"
+#include "src/par/thread_pool.h"
+
+namespace psga::ga {
+
+enum class Topology {
+  kRing,
+  kGrid,            ///< 2-D mesh, no wrap
+  kTorus,           ///< 2-D mesh with wrap-around
+  kFullyConnected,
+  kStar,            ///< island 0 is the hub
+  kHypercube,
+  kRandom,          ///< fresh random routes at every migration epoch [36]
+};
+
+enum class MigrationPolicy {
+  kBestReplaceWorst,
+  kBestReplaceRandom,
+  kRandomReplaceRandom,
+};
+
+struct MigrationConfig {
+  Topology topology = Topology::kRing;
+  MigrationPolicy policy = MigrationPolicy::kBestReplaceWorst;
+  int interval = 10;  ///< generations between migrations; 0 = never
+  int count = 1;      ///< migrants per edge per epoch
+  /// Models asynchronous deployments deterministically: migrants selected
+  /// at epoch e are delivered at epoch e + delay_epochs (0 = synchronous
+  /// delivery within the epoch, the scheme of Park et al. [26]).
+  int delay_epochs = 0;
+};
+
+struct IslandMergeConfig {
+  bool enabled = false;
+  /// An island stagnates when more than half its individuals are within
+  /// this Hamming distance of its best ([29]).
+  int hamming_threshold = 2;
+  double fraction = 0.5;
+};
+
+struct IslandGaConfig {
+  int islands = 4;
+  /// Per-island defaults; GaConfig::population is the SUBpopulation size.
+  GaConfig base;
+  MigrationConfig migration;
+  IslandMergeConfig merge;
+  /// Optional heterogeneous per-island operator sets (size == islands).
+  std::vector<OperatorConfig> per_island_ops;
+  /// Optional per-island problems (size == islands) — e.g. differently
+  /// weighted objectives for multi-objective search [38]. All entries
+  /// must share the same GenomeTraits.
+  std::vector<ProblemPtr> per_island_problems;
+  /// Start all islands from the same initial subpopulation (Bożejko's
+  /// "same start subpopulation" strategy [30]); default: different.
+  bool identical_start = false;
+};
+
+struct IslandGaResult {
+  GaResult overall;
+  /// Per-island best objective at the end of the run.
+  std::vector<double> island_best;
+  /// Per-island best genome (the Pareto candidates in [38]).
+  std::vector<Genome> island_best_genome;
+  int surviving_islands = 0;  ///< < islands when merging is enabled
+};
+
+class IslandGa {
+ public:
+  IslandGa(ProblemPtr problem, IslandGaConfig config,
+           par::ThreadPool* pool = nullptr);
+
+  IslandGaResult run();
+
+ private:
+  struct Edge {
+    int from;
+    int to;
+  };
+  struct Transfer {
+    int to;
+    Genome genome;
+    double objective;
+  };
+  std::vector<Edge> edges_for_epoch(int epoch, std::span<const int> alive);
+  void migrate(std::vector<SimpleGa>& islands, std::span<const Edge> edges,
+               par::Rng& rng);
+  void deliver(std::vector<SimpleGa>& islands,
+               std::span<const Transfer> transfers, par::Rng& rng);
+  void deliver_due(std::vector<SimpleGa>& islands, par::Rng& rng);
+
+  ProblemPtr problem_;
+  IslandGaConfig config_;
+  par::ThreadPool* pool_;
+  /// Migrations queued by the delayed (asynchronous-model) mode.
+  std::vector<std::vector<Transfer>> in_flight_;
+};
+
+}  // namespace psga::ga

@@ -1,0 +1,53 @@
+#include "src/ga/master_slave_ga.h"
+
+#include <limits>
+
+#include "src/par/omp_backend.h"
+
+namespace psga::ga {
+
+MasterSlaveGa::MasterSlaveGa(ProblemPtr problem, GaConfig config,
+                             par::ThreadPool* pool, Backend backend)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &par::default_pool()),
+      backend_(backend) {}
+
+SimpleGa MasterSlaveGa::make_engine(const GaConfig& config) const {
+  SimpleGa engine(problem_, config);
+  if (backend_ == Backend::kOpenMp) {
+    engine.set_evaluator([](const Problem& p, std::span<const Genome> genomes,
+                            std::span<double> objectives) {
+      par::omp_parallel_for(genomes.size(), [&](std::size_t i) {
+        objectives[i] = p.objective(genomes[i]);
+      });
+    });
+    return engine;
+  }
+  par::ThreadPool* workers = pool_;
+  engine.set_evaluator([workers](const Problem& p,
+                                 std::span<const Genome> genomes,
+                                 std::span<double> objectives) {
+    workers->parallel_for(genomes.size(), [&](std::size_t i) {
+      objectives[i] = p.objective(genomes[i]);
+    });
+  });
+  return engine;
+}
+
+GaResult MasterSlaveGa::run() {
+  SimpleGa engine = make_engine(config_);
+  return engine.run();
+}
+
+GaResult MasterSlaveGa::run_time_budget(double seconds) {
+  GaConfig patched = config_;
+  patched.termination.max_generations = std::numeric_limits<int>::max();
+  patched.termination.max_seconds = seconds;
+  patched.termination.target_objective = -1.0;
+  patched.termination.stagnation_generations = 0;
+  SimpleGa engine = make_engine(patched);
+  return engine.run();
+}
+
+}  // namespace psga::ga

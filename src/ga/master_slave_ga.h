@@ -1,0 +1,51 @@
+// The master-slave (global parallel) GA — Table III of the survey.
+//
+// A single population lives on the master; the only parallelized stage is
+// fitness evaluation, farmed out to the thread pool ("slaves"). As the
+// survey notes, this is the one parallel model that does not change the
+// algorithm's behaviour — enforced here by construction: MasterSlaveGa is
+// a SimpleGa whose evaluator hook runs on the pool, and a test asserts
+// trace equality with the serial engine for any thread count.
+//
+// The engine also offers the fixed-time-budget mode of AitZai et al. [14]:
+// run until a wall-clock budget expires and report how many solutions
+// were explored (fitness evaluations), the metric their CPU-vs-GPU
+// comparison uses.
+#pragma once
+
+#include "src/ga/simple_ga.h"
+#include "src/par/thread_pool.h"
+
+namespace psga::ga {
+
+class MasterSlaveGa {
+ public:
+  /// Which parallel runtime evaluates the slaves.
+  enum class Backend {
+    kThreadPool,  ///< the library thread pool (default)
+    kOpenMp,      ///< OpenMP parallel-for (serial if not compiled in)
+  };
+
+  /// `pool` may be null — the library default pool is used.
+  MasterSlaveGa(ProblemPtr problem, GaConfig config,
+                par::ThreadPool* pool = nullptr,
+                Backend backend = Backend::kThreadPool);
+
+  /// Full run honoring config.termination.
+  GaResult run();
+
+  /// Fixed-budget mode ([14]): ignores max_generations and runs until
+  /// `seconds` elapse; GaResult::evaluations is the explored-solutions
+  /// count.
+  GaResult run_time_budget(double seconds);
+
+ private:
+  SimpleGa make_engine(const GaConfig& config) const;
+
+  ProblemPtr problem_;
+  GaConfig config_;
+  par::ThreadPool* pool_;
+  Backend backend_;
+};
+
+}  // namespace psga::ga

@@ -1,0 +1,34 @@
+// Memetic (GA + local search) engine: several surveyed works hybridize
+// the GA with a neighborhood search — Mui et al. [17] (neighborhood
+// mutation), Spanos et al. [29] (path relinking), Rashidi et al. [38]
+// (local search + Redirect after the GA operators). MemeticGa runs a
+// SimpleGa and, every `interval` generations, hill-climbs the current
+// elite individuals (optionally escaping via Redirect when a climb makes
+// no progress).
+#pragma once
+
+#include "src/ga/local_search.h"
+#include "src/ga/simple_ga.h"
+
+namespace psga::ga {
+
+struct MemeticConfig {
+  GaConfig base;
+  int interval = 5;           ///< generations between local-search waves
+  int refine_count = 2;       ///< individuals refined per wave (best ones)
+  int search_budget = 100;    ///< objective evaluations per climb
+  bool use_redirect = true;   ///< Redirect-restart a stuck climb ([38])
+};
+
+class MemeticGa {
+ public:
+  MemeticGa(ProblemPtr problem, MemeticConfig config);
+
+  GaResult run();
+
+ private:
+  ProblemPtr problem_;
+  MemeticConfig config_;
+};
+
+}  // namespace psga::ga

@@ -1,0 +1,79 @@
+#include "src/ga/mutation.h"
+
+#include <algorithm>
+
+namespace psga::ga {
+
+void SwapMutation::mutate(Genome& genome, const GenomeTraits& /*traits*/,
+                          par::Rng& rng) const {
+  auto& seq = genome.seq;
+  if (seq.size() < 2) return;
+  const std::size_t i = rng.below(seq.size());
+  std::size_t j = rng.below(seq.size() - 1);
+  if (j >= i) ++j;
+  std::swap(seq[i], seq[j]);
+}
+
+void ShiftMutation::mutate(Genome& genome, const GenomeTraits& /*traits*/,
+                           par::Rng& rng) const {
+  auto& seq = genome.seq;
+  if (seq.size() < 2) return;
+  const std::size_t from = rng.below(seq.size());
+  std::size_t to = rng.below(seq.size() - 1);
+  if (to >= from) ++to;
+  const int value = seq[from];
+  seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(from));
+  seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(to), value);
+}
+
+void InversionMutation::mutate(Genome& genome, const GenomeTraits& /*traits*/,
+                               par::Rng& rng) const {
+  auto& seq = genome.seq;
+  if (seq.size() < 2) return;
+  std::size_t lo = rng.below(seq.size());
+  std::size_t hi = rng.below(seq.size());
+  if (lo > hi) std::swap(lo, hi);
+  std::reverse(seq.begin() + static_cast<std::ptrdiff_t>(lo),
+               seq.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+}
+
+void ScrambleMutation::mutate(Genome& genome, const GenomeTraits& /*traits*/,
+                              par::Rng& rng) const {
+  auto& seq = genome.seq;
+  if (seq.size() < 2) return;
+  std::size_t lo = rng.below(seq.size());
+  std::size_t hi = rng.below(seq.size());
+  if (lo > hi) std::swap(lo, hi);
+  // Fisher–Yates on the segment [lo, hi].
+  for (std::size_t i = hi; i > lo; --i) {
+    const std::size_t j = lo + rng.below(i - lo + 1);
+    std::swap(seq[i], seq[j]);
+  }
+}
+
+void AssignMutation::mutate(Genome& genome, const GenomeTraits& traits,
+                            par::Rng& rng) const {
+  if (genome.assign.empty()) return;
+  const std::size_t i = rng.below(genome.assign.size());
+  const int domain = traits.assign_domain[i];
+  if (domain <= 1) return;
+  int next = static_cast<int>(rng.below(static_cast<std::uint64_t>(domain - 1)));
+  if (next >= genome.assign[i]) ++next;
+  genome.assign[i] = next;
+}
+
+void KeyCreepMutation::mutate(Genome& genome, const GenomeTraits& /*traits*/,
+                              par::Rng& rng) const {
+  if (genome.keys.empty()) return;
+  const std::size_t i = rng.below(genome.keys.size());
+  genome.keys[i] = std::clamp(genome.keys[i] + rng.normal(0.0, sigma_), 0.0, 1.0);
+}
+
+void KeyResetMutation::mutate(Genome& genome, const GenomeTraits& /*traits*/,
+                              par::Rng& rng) const {
+  if (genome.keys.empty()) return;
+  const std::size_t i = rng.below(genome.keys.size());
+  genome.keys[i] = rng.uniform();
+}
+
+}  // namespace psga::ga

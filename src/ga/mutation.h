@@ -1,0 +1,102 @@
+// Mutation operators. The survey (Section III.A): "the mutation for shop
+// scheduling problems works often based on the neighborhoods, e.g. shift
+// mutation (insertion neighborhood) or pairwise interchange mutation (swap
+// neighborhood) to respect feasible solutions." All sequencing mutations
+// below are validity-preserving for both permutations and permutations
+// with repetition.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ga/genome.h"
+#include "src/par/rng.h"
+
+namespace psga::ga {
+
+class Mutation {
+ public:
+  virtual ~Mutation() = default;
+  virtual std::string name() const = 0;
+  virtual void mutate(Genome& genome, const GenomeTraits& traits,
+                      par::Rng& rng) const = 0;
+};
+
+using MutationPtr = std::shared_ptr<const Mutation>;
+
+/// Pairwise interchange (swap neighborhood).
+class SwapMutation final : public Mutation {
+ public:
+  std::string name() const override { return "swap"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+};
+
+/// Shift / insertion neighborhood: remove one gene, reinsert elsewhere.
+class ShiftMutation final : public Mutation {
+ public:
+  std::string name() const override { return "shift"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+};
+
+/// Invert a random segment ([32]'s invert mutation).
+class InversionMutation final : public Mutation {
+ public:
+  std::string name() const override { return "inversion"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+};
+
+/// Shuffle a random segment.
+class ScrambleMutation final : public Mutation {
+ public:
+  std::string name() const override { return "scramble"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+};
+
+/// Reassign a random flexible-shop operation to another eligible machine.
+class AssignMutation final : public Mutation {
+ public:
+  std::string name() const override { return "assign"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+};
+
+/// Gaussian creep on one random key ([25]'s Gaussian mutation), clamped to
+/// [0, 1].
+class KeyCreepMutation final : public Mutation {
+ public:
+  explicit KeyCreepMutation(double sigma = 0.15) : sigma_(sigma) {}
+  std::string name() const override { return "key-creep"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+
+ private:
+  double sigma_;
+};
+
+/// Redraw one random key uniformly.
+class KeyResetMutation final : public Mutation {
+ public:
+  std::string name() const override { return "key-reset"; }
+  void mutate(Genome&, const GenomeTraits&, par::Rng&) const override;
+};
+
+/// Applies two mutations in sequence (e.g. sequencing + assignment for the
+/// flexible job shop, as Defersha & Chen pair sequencing and assignment
+/// operators).
+class CompositeMutation final : public Mutation {
+ public:
+  CompositeMutation(MutationPtr first, MutationPtr second)
+      : first_(std::move(first)), second_(std::move(second)) {}
+  std::string name() const override {
+    return first_->name() + "+" + second_->name();
+  }
+  void mutate(Genome& genome, const GenomeTraits& traits,
+              par::Rng& rng) const override {
+    first_->mutate(genome, traits, rng);
+    second_->mutate(genome, traits, rng);
+  }
+
+ private:
+  MutationPtr first_;
+  MutationPtr second_;
+};
+
+}  // namespace psga::ga

@@ -1,0 +1,32 @@
+// The Problem interface binds a shop-scheduling instance + decoder +
+// optimality criterion to the GA engines. Objectives are MINIMIZED; the
+// engines convert them to fitness with one of the survey's transforms
+// (objectives.h, Eq. 1/2).
+#pragma once
+
+#include <memory>
+
+#include "src/ga/genome.h"
+#include "src/par/rng.h"
+
+namespace psga::ga {
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Structural description of valid genomes (operators rely on it).
+  virtual const GenomeTraits& traits() const = 0;
+
+  /// Uniformly random valid genome.
+  virtual Genome random_genome(par::Rng& rng) const = 0;
+
+  /// Objective value to minimize. Must be pure (no RNG, no state): the
+  /// master-slave engine evaluates concurrently and the engines promise
+  /// identical results for any thread count.
+  virtual double objective(const Genome& genome) const = 0;
+};
+
+using ProblemPtr = std::shared_ptr<const Problem>;
+
+}  // namespace psga::ga

@@ -1,0 +1,346 @@
+#include "src/ga/problems.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace psga::ga {
+
+namespace {
+
+std::vector<int> random_permutation(int n, par::Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace
+
+std::vector<int> keys_to_permutation(std::span<const double> keys) {
+  std::vector<int> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+  });
+  return perm;
+}
+
+std::vector<int> keys_to_repetition_sequence(std::span<const double> keys,
+                                             std::span<const int> repeats) {
+  // Flat slot -> owning job.
+  std::vector<int> owner;
+  owner.reserve(keys.size());
+  for (int j = 0; j < static_cast<int>(repeats.size()); ++j) {
+    for (int k = 0; k < repeats[static_cast<std::size_t>(j)]; ++k) {
+      owner.push_back(j);
+    }
+  }
+  const std::vector<int> perm = keys_to_permutation(keys);
+  std::vector<int> seq;
+  seq.reserve(perm.size());
+  for (int slot : perm) seq.push_back(owner[static_cast<std::size_t>(slot)]);
+  return seq;
+}
+
+// --- FlowShopProblem -------------------------------------------------------
+
+FlowShopProblem::FlowShopProblem(sched::FlowShopInstance inst,
+                                 sched::Criterion criterion)
+    : inst_(std::move(inst)), criterion_(criterion) {
+  traits_.seq_kind = SeqKind::kPermutation;
+  traits_.seq_length = inst_.jobs;
+}
+
+Genome FlowShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = random_permutation(inst_.jobs, rng);
+  return g;
+}
+
+double FlowShopProblem::objective(const Genome& genome) const {
+  return sched::flow_shop_objective(inst_, genome.seq, criterion_);
+}
+
+// --- RandomKeyFlowShopProblem ----------------------------------------------
+
+RandomKeyFlowShopProblem::RandomKeyFlowShopProblem(sched::FlowShopInstance inst,
+                                                   sched::Criterion criterion)
+    : inst_(std::move(inst)), criterion_(criterion) {
+  traits_.seq_kind = SeqKind::kNone;
+  traits_.seq_length = 0;
+  traits_.key_length = inst_.jobs;
+}
+
+Genome RandomKeyFlowShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.keys.resize(static_cast<std::size_t>(inst_.jobs));
+  for (auto& k : g.keys) k = rng.uniform();
+  return g;
+}
+
+std::vector<int> RandomKeyFlowShopProblem::decode(const Genome& genome) const {
+  return keys_to_permutation(genome.keys);
+}
+
+double RandomKeyFlowShopProblem::objective(const Genome& genome) const {
+  return sched::flow_shop_objective(inst_, decode(genome), criterion_);
+}
+
+// --- JobShopProblem ---------------------------------------------------------
+
+JobShopProblem::JobShopProblem(sched::JobShopInstance inst, Decoder decoder,
+                               sched::Criterion criterion)
+    : inst_(std::move(inst)), decoder_(decoder), criterion_(criterion) {
+  traits_.seq_kind = SeqKind::kJobRepetition;
+  traits_.seq_length = inst_.total_ops();
+  traits_.repeats.reserve(static_cast<std::size_t>(inst_.jobs));
+  for (int j = 0; j < inst_.jobs; ++j) {
+    traits_.repeats.push_back(inst_.ops_of(j));
+  }
+}
+
+Genome JobShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = sched::random_operation_sequence(inst_, rng);
+  return g;
+}
+
+sched::Schedule JobShopProblem::decode(const Genome& genome) const {
+  switch (decoder_) {
+    case Decoder::kGifflerThompson:
+      return sched::giffler_thompson_sequence(inst_, genome.seq);
+    case Decoder::kOperationBased:
+    default:
+      return sched::decode_operation_based(inst_, genome.seq);
+  }
+}
+
+double JobShopProblem::objective(const Genome& genome) const {
+  return sched::job_shop_objective(inst_, decode(genome), criterion_);
+}
+
+// --- OpenShopProblem ---------------------------------------------------------
+
+OpenShopProblem::OpenShopProblem(sched::OpenShopInstance inst,
+                                 sched::OpenShopDecoder decoder,
+                                 sched::Criterion criterion)
+    : inst_(std::move(inst)), decoder_(decoder), criterion_(criterion) {
+  traits_.seq_kind = SeqKind::kJobRepetition;
+  traits_.seq_length = inst_.jobs * inst_.machines;
+  traits_.repeats.assign(static_cast<std::size_t>(inst_.jobs), inst_.machines);
+}
+
+Genome OpenShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = sched::random_job_repetition_sequence(inst_, rng);
+  return g;
+}
+
+double OpenShopProblem::objective(const Genome& genome) const {
+  const sched::Schedule schedule =
+      sched::decode_open_shop(inst_, genome.seq, decoder_);
+  return sched::open_shop_objective(inst_, schedule, criterion_);
+}
+
+// --- HybridFlowShopProblem ----------------------------------------------------
+
+HybridFlowShopProblem::HybridFlowShopProblem(sched::HybridFlowShopInstance inst,
+                                             sched::CompositeObjective objective)
+    : inst_(std::move(inst)), objective_(std::move(objective)) {
+  traits_.seq_kind = SeqKind::kPermutation;
+  traits_.seq_length = inst_.jobs;
+}
+
+Genome HybridFlowShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = random_permutation(inst_.jobs, rng);
+  return g;
+}
+
+double HybridFlowShopProblem::objective(const Genome& genome) const {
+  const sched::Schedule schedule = sched::decode_hybrid_flow_shop(inst_, genome.seq);
+  return sched::hybrid_flow_shop_objective(inst_, schedule, objective_);
+}
+
+double HybridFlowShopProblem::criterion_value(const Genome& genome,
+                                              sched::Criterion c) const {
+  const sched::Schedule schedule = sched::decode_hybrid_flow_shop(inst_, genome.seq);
+  return sched::hybrid_flow_shop_objective(inst_, schedule, c);
+}
+
+// --- FlexibleJobShopProblem ----------------------------------------------------
+
+FlexibleJobShopProblem::FlexibleJobShopProblem(
+    sched::FlexibleJobShopInstance inst, sched::Criterion criterion)
+    : inst_(std::move(inst)), criterion_(criterion) {
+  traits_.seq_kind = SeqKind::kJobRepetition;
+  traits_.seq_length = inst_.total_ops();
+  traits_.repeats.reserve(static_cast<std::size_t>(inst_.jobs));
+  for (int j = 0; j < inst_.jobs; ++j) {
+    traits_.repeats.push_back(inst_.ops_of(j));
+  }
+  traits_.assign_domain.reserve(static_cast<std::size_t>(inst_.total_ops()));
+  for (int j = 0; j < inst_.jobs; ++j) {
+    for (int k = 0; k < inst_.ops_of(j); ++k) {
+      traits_.assign_domain.push_back(
+          static_cast<int>(inst_.op(j, k).choices.size()));
+    }
+  }
+}
+
+Genome FlexibleJobShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.assign = sched::random_fjs_assignment(inst_, rng);
+  g.seq = sched::random_fjs_sequence(inst_, rng);
+  return g;
+}
+
+double FlexibleJobShopProblem::objective(const Genome& genome) const {
+  const sched::Schedule schedule =
+      sched::decode_flexible_job_shop(inst_, genome.assign, genome.seq);
+  return sched::flexible_job_shop_objective(inst_, schedule, criterion_);
+}
+
+// --- LotStreamingProblem ----------------------------------------------------
+
+LotStreamingProblem::LotStreamingProblem(sched::LotStreamingInstance inst)
+    : inst_(std::move(inst)) {
+  traits_.seq_kind = SeqKind::kPermutation;
+  traits_.seq_length = inst_.total_sublots();
+  traits_.key_length = inst_.total_sublots();
+}
+
+Genome LotStreamingProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = random_permutation(inst_.total_sublots(), rng);
+  g.keys.resize(static_cast<std::size_t>(inst_.total_sublots()));
+  for (auto& k : g.keys) k = rng.uniform(0.1, 1.0);
+  return g;
+}
+
+double LotStreamingProblem::objective(const Genome& genome) const {
+  return static_cast<double>(
+      sched::lot_streaming_makespan(inst_, genome.keys, genome.seq));
+}
+
+// --- FuzzyFlowShopProblem ----------------------------------------------------
+
+FuzzyFlowShopProblem::FuzzyFlowShopProblem(sched::FuzzyFlowShopInstance inst)
+    : inst_(std::move(inst)) {
+  traits_.seq_kind = SeqKind::kNone;
+  traits_.key_length = inst_.jobs;
+}
+
+Genome FuzzyFlowShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.keys.resize(static_cast<std::size_t>(inst_.jobs));
+  for (auto& k : g.keys) k = rng.uniform();
+  return g;
+}
+
+double FuzzyFlowShopProblem::agreement(const Genome& genome) const {
+  return sched::mean_agreement(inst_, keys_to_permutation(genome.keys));
+}
+
+double FuzzyFlowShopProblem::objective(const Genome& genome) const {
+  return 1.0 - agreement(genome);
+}
+
+// --- StochasticJobShopProblem ----------------------------------------------------
+
+StochasticJobShopProblem::StochasticJobShopProblem(
+    std::shared_ptr<const sched::StochasticJobShop> shop)
+    : shop_(std::move(shop)) {
+  const auto& nominal = shop_->nominal();
+  traits_.seq_kind = SeqKind::kJobRepetition;
+  traits_.seq_length = nominal.total_ops();
+  traits_.repeats.reserve(static_cast<std::size_t>(nominal.jobs));
+  for (int j = 0; j < nominal.jobs; ++j) {
+    traits_.repeats.push_back(nominal.ops_of(j));
+  }
+}
+
+Genome StochasticJobShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = sched::random_operation_sequence(shop_->nominal(), rng);
+  return g;
+}
+
+double StochasticJobShopProblem::objective(const Genome& genome) const {
+  return shop_->expected_makespan(genome.seq);
+}
+
+// --- RuleSequenceJobShopProblem ----------------------------------------------
+
+RuleSequenceJobShopProblem::RuleSequenceJobShopProblem(
+    sched::JobShopInstance inst, sched::Criterion criterion)
+    : inst_(std::move(inst)), criterion_(criterion) {
+  traits_.seq_kind = SeqKind::kNone;
+  traits_.assign_domain.assign(static_cast<std::size_t>(inst_.total_ops()),
+                               sched::kDispatchRuleCount);
+}
+
+Genome RuleSequenceJobShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.assign.reserve(traits_.assign_domain.size());
+  for (std::size_t i = 0; i < traits_.assign_domain.size(); ++i) {
+    g.assign.push_back(static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(sched::kDispatchRuleCount))));
+  }
+  return g;
+}
+
+sched::Schedule RuleSequenceJobShopProblem::decode(const Genome& genome) const {
+  return sched::giffler_thompson_rules(inst_, genome.assign);
+}
+
+double RuleSequenceJobShopProblem::objective(const Genome& genome) const {
+  return sched::job_shop_objective(inst_, decode(genome), criterion_);
+}
+
+// --- EnergyFlowShopProblem ----------------------------------------------------
+
+EnergyFlowShopProblem::EnergyFlowShopProblem(sched::EnergyAwareFlowShop shop)
+    : shop_(std::move(shop)) {
+  traits_.seq_kind = SeqKind::kPermutation;
+  traits_.seq_length = shop_.instance().jobs;
+}
+
+Genome EnergyFlowShopProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = random_permutation(shop_.instance().jobs, rng);
+  return g;
+}
+
+double EnergyFlowShopProblem::objective(const Genome& genome) const {
+  return shop_.objective(genome.seq);
+}
+
+// --- DynamicSuffixProblem ----------------------------------------------------
+
+DynamicSuffixProblem::DynamicSuffixProblem(
+    const sched::JobShopInstance* inst, std::vector<int> frozen_prefix,
+    std::vector<int> remaining, std::vector<sched::Downtime> downtimes)
+    : inst_(inst),
+      frozen_prefix_(std::move(frozen_prefix)),
+      remaining_(std::move(remaining)),
+      downtimes_(std::move(downtimes)) {
+  traits_.seq_kind = SeqKind::kJobRepetition;
+  traits_.seq_length = static_cast<int>(remaining_.size());
+  traits_.repeats.assign(static_cast<std::size_t>(inst_->jobs), 0);
+  for (int j : remaining_) ++traits_.repeats[static_cast<std::size_t>(j)];
+}
+
+Genome DynamicSuffixProblem::random_genome(par::Rng& rng) const {
+  Genome g;
+  g.seq = remaining_;
+  rng.shuffle(g.seq);
+  return g;
+}
+
+double DynamicSuffixProblem::objective(const Genome& genome) const {
+  return static_cast<double>(sched::realized_makespan_with_prefix(
+      *inst_, frozen_prefix_, genome.seq, downtimes_));
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,270 @@
+// Concrete Problem adapters, one per shop model in src/sched.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "src/ga/problem.h"
+#include "src/sched/dynamic.h"
+#include "src/sched/energy.h"
+#include "src/sched/flexible_job_shop.h"
+#include "src/sched/flow_shop.h"
+#include "src/sched/fuzzy.h"
+#include "src/sched/hybrid_flow_shop.h"
+#include "src/sched/job_shop.h"
+#include "src/sched/lot_streaming.h"
+#include "src/sched/open_shop.h"
+#include "src/sched/stochastic.h"
+
+namespace psga::ga {
+
+/// Permutation flow shop under any single criterion.
+class FlowShopProblem final : public Problem {
+ public:
+  FlowShopProblem(sched::FlowShopInstance inst,
+                  sched::Criterion criterion = sched::Criterion::kMakespan);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  const sched::FlowShopInstance& instance() const { return inst_; }
+
+ private:
+  sched::FlowShopInstance inst_;
+  sched::Criterion criterion_;
+  GenomeTraits traits_;
+};
+
+/// Flow shop on random keys (Bean-style: permutation = argsort(keys)),
+/// the encoding of Huang et al. [24].
+class RandomKeyFlowShopProblem final : public Problem {
+ public:
+  RandomKeyFlowShopProblem(
+      sched::FlowShopInstance inst,
+      sched::Criterion criterion = sched::Criterion::kMakespan);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  /// The decoded permutation (exposed for inspection).
+  std::vector<int> decode(const Genome& genome) const;
+
+ private:
+  sched::FlowShopInstance inst_;
+  sched::Criterion criterion_;
+  GenomeTraits traits_;
+};
+
+/// Job shop with either the semi-active operation-based decoder or the
+/// Giffler–Thompson active decoder.
+class JobShopProblem final : public Problem {
+ public:
+  enum class Decoder { kOperationBased, kGifflerThompson };
+
+  JobShopProblem(sched::JobShopInstance inst,
+                 Decoder decoder = Decoder::kOperationBased,
+                 sched::Criterion criterion = sched::Criterion::kMakespan);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  const sched::JobShopInstance& instance() const { return inst_; }
+  sched::Schedule decode(const Genome& genome) const;
+
+ private:
+  sched::JobShopInstance inst_;
+  Decoder decoder_;
+  sched::Criterion criterion_;
+  GenomeTraits traits_;
+};
+
+/// Open shop with the LPT-Task or LPT-Machine chromosome decoder ([32]).
+class OpenShopProblem final : public Problem {
+ public:
+  OpenShopProblem(sched::OpenShopInstance inst,
+                  sched::OpenShopDecoder decoder =
+                      sched::OpenShopDecoder::kLptTask,
+                  sched::Criterion criterion = sched::Criterion::kMakespan);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  const sched::OpenShopInstance& instance() const { return inst_; }
+
+ private:
+  sched::OpenShopInstance inst_;
+  sched::OpenShopDecoder decoder_;
+  sched::Criterion criterion_;
+  GenomeTraits traits_;
+};
+
+/// Hybrid flow shop (job permutation genome), single or composite
+/// criterion — the composite form is the weighted bi-objective of
+/// Rashidi et al. [38].
+class HybridFlowShopProblem final : public Problem {
+ public:
+  HybridFlowShopProblem(
+      sched::HybridFlowShopInstance inst,
+      sched::CompositeObjective objective = {
+          {{sched::Criterion::kMakespan, 1.0}}});
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  /// Evaluates a single criterion of the decoded schedule (Pareto
+  /// reporting needs the components separately).
+  double criterion_value(const Genome& genome, sched::Criterion c) const;
+
+  const sched::HybridFlowShopInstance& instance() const { return inst_; }
+
+ private:
+  sched::HybridFlowShopInstance inst_;
+  sched::CompositeObjective objective_;
+  GenomeTraits traits_;
+};
+
+/// Flexible job shop: assignment + sequencing chromosomes ([36]).
+class FlexibleJobShopProblem final : public Problem {
+ public:
+  FlexibleJobShopProblem(
+      sched::FlexibleJobShopInstance inst,
+      sched::Criterion criterion = sched::Criterion::kMakespan);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  const sched::FlexibleJobShopInstance& instance() const { return inst_; }
+
+ private:
+  sched::FlexibleJobShopInstance inst_;
+  sched::Criterion criterion_;
+  GenomeTraits traits_;
+};
+
+/// Lot-streaming flexible flow shop: keys (sublot splits) + sublot
+/// sequencing permutation ([35]).
+class LotStreamingProblem final : public Problem {
+ public:
+  explicit LotStreamingProblem(sched::LotStreamingInstance inst);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  const sched::LotStreamingInstance& instance() const { return inst_; }
+
+ private:
+  sched::LotStreamingInstance inst_;
+  GenomeTraits traits_;
+};
+
+/// Fuzzy flow shop on random keys (Huang et al. [24]): minimize
+/// 1 - mean agreement index between fuzzy completion times and fuzzy due
+/// dates (i.e. maximize agreement).
+class FuzzyFlowShopProblem final : public Problem {
+ public:
+  explicit FuzzyFlowShopProblem(sched::FuzzyFlowShopInstance inst);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  /// Mean agreement index of a genome (the maximized quantity).
+  double agreement(const Genome& genome) const;
+
+ private:
+  sched::FuzzyFlowShopInstance inst_;
+  GenomeTraits traits_;
+};
+
+/// Stochastic job shop under the expected-value model ([28]).
+class StochasticJobShopProblem final : public Problem {
+ public:
+  explicit StochasticJobShopProblem(
+      std::shared_ptr<const sched::StochasticJobShop> shop);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+ private:
+  std::shared_ptr<const sched::StochasticJobShop> shop_;
+  GenomeTraits traits_;
+};
+
+/// Job shop under the survey's INDIRECT encoding (Section III.A /
+/// Cheng et al. [12]): the chromosome is a sequence of dispatching-rule
+/// ids, one per Giffler–Thompson conflict resolution, carried on the
+/// assignment channel (domain = kDispatchRuleCount per position).
+class RuleSequenceJobShopProblem final : public Problem {
+ public:
+  explicit RuleSequenceJobShopProblem(
+      sched::JobShopInstance inst,
+      sched::Criterion criterion = sched::Criterion::kMakespan);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  sched::Schedule decode(const Genome& genome) const;
+
+ private:
+  sched::JobShopInstance inst_;
+  sched::Criterion criterion_;
+  GenomeTraits traits_;
+};
+
+/// Energy-aware flow shop (Section II, [8][9]): weighted makespan +
+/// total energy + peak power on a job permutation.
+class EnergyFlowShopProblem final : public Problem {
+ public:
+  explicit EnergyFlowShopProblem(sched::EnergyAwareFlowShop shop);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+  const sched::EnergyAwareFlowShop& shop() const { return shop_; }
+
+ private:
+  sched::EnergyAwareFlowShop shop_;
+  GenomeTraits traits_;
+};
+
+/// Reactive re-optimization problem for dynamic scheduling (Section II,
+/// [9]): the genome orders the not-yet-started operations; the objective
+/// is the realized makespan of frozen-prefix + suffix under downtimes.
+class DynamicSuffixProblem final : public Problem {
+ public:
+  DynamicSuffixProblem(const sched::JobShopInstance* inst,
+                       std::vector<int> frozen_prefix,
+                       std::vector<int> remaining,
+                       std::vector<sched::Downtime> downtimes);
+
+  const GenomeTraits& traits() const override { return traits_; }
+  Genome random_genome(par::Rng& rng) const override;
+  double objective(const Genome& genome) const override;
+
+ private:
+  const sched::JobShopInstance* inst_;  // not owned
+  std::vector<int> frozen_prefix_;
+  std::vector<int> remaining_;
+  std::vector<sched::Downtime> downtimes_;
+  GenomeTraits traits_;
+};
+
+/// Decodes random keys into the permutation argsort(keys) (stable).
+std::vector<int> keys_to_permutation(std::span<const double> keys);
+
+/// Decodes random keys into a job-repetition sequence: argsort(keys) over
+/// flat op slots, slot i belonging to the job that owns the i-th flat op.
+std::vector<int> keys_to_repetition_sequence(std::span<const double> keys,
+                                             std::span<const int> repeats);
+
+}  // namespace psga::ga

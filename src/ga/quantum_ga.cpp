@@ -1,0 +1,205 @@
+#include "src/ga/quantum_ga.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/ga/problems.h"
+
+namespace psga::ga {
+
+namespace {
+
+constexpr double kHalfPi = 1.5707963267948966;
+
+struct QuantumIndividual {
+  std::vector<double> theta;   ///< qubit angles
+  Genome measured;             ///< last measurement
+  double objective = 0.0;
+};
+
+/// Collapses angles to a genome: priority_i = sin²θ_i + noise·U(0,1),
+/// decoded by the random-keys rule appropriate for the problem's traits.
+Genome measure(const std::vector<double>& theta, const GenomeTraits& traits,
+               double noise, par::Rng& rng) {
+  std::vector<double> priority(theta.size());
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    const double s = std::sin(theta[i]);
+    priority[i] = s * s + noise * rng.uniform();
+  }
+  Genome g;
+  if (traits.seq_kind == SeqKind::kJobRepetition) {
+    g.seq = keys_to_repetition_sequence(priority, traits.repeats);
+  } else {
+    g.seq = keys_to_permutation(priority);
+  }
+  return g;
+}
+
+/// Rotation gate: pull θ toward the angle configuration whose measurement
+/// would reproduce `target`'s priority ranks.
+void rotate_toward(std::vector<double>& theta, const Genome& target,
+                   const GenomeTraits& traits, double delta) {
+  // target.seq orders values; invert it to per-slot rank. For repetition
+  // sequences rank slots job-major (k-th occurrence of job j = its k-th
+  // flat op slot), mirroring keys_to_repetition_sequence.
+  const std::size_t n = theta.size();
+  std::vector<double> target_key(n, 0.0);
+  if (traits.seq_kind == SeqKind::kJobRepetition) {
+    // slot_base[j] = first flat slot of job j.
+    std::vector<int> slot_base(traits.repeats.size() + 1, 0);
+    for (std::size_t j = 0; j < traits.repeats.size(); ++j) {
+      slot_base[j + 1] = slot_base[j] + traits.repeats[j];
+    }
+    std::vector<int> seen(traits.repeats.size(), 0);
+    for (std::size_t pos = 0; pos < target.seq.size(); ++pos) {
+      const int job = target.seq[pos];
+      const int slot = slot_base[static_cast<std::size_t>(job)] +
+                       seen[static_cast<std::size_t>(job)]++;
+      target_key[static_cast<std::size_t>(slot)] =
+          static_cast<double>(pos) / static_cast<double>(n);
+    }
+  } else {
+    for (std::size_t pos = 0; pos < target.seq.size(); ++pos) {
+      target_key[static_cast<std::size_t>(target.seq[pos])] =
+          static_cast<double>(pos) / static_cast<double>(n);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Angle whose sin² equals the target key.
+    const double want = std::asin(std::sqrt(std::clamp(target_key[i], 0.0, 1.0)));
+    if (theta[i] < want) {
+      theta[i] = std::min(theta[i] + delta, want);
+    } else {
+      theta[i] = std::max(theta[i] - delta, want);
+    }
+  }
+}
+
+}  // namespace
+
+QuantumGa::QuantumGa(ProblemPtr problem, QuantumGaConfig config,
+                     par::ThreadPool* pool)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &par::default_pool()) {}
+
+QuantumGaResult QuantumGa::run() {
+  const auto start = std::chrono::steady_clock::now();
+  const GenomeTraits& traits = problem_->traits();
+  const std::size_t genes = static_cast<std::size_t>(traits.seq_length);
+  const int k = config_.islands;
+
+  par::Rng root(config_.seed);
+  struct Island {
+    std::vector<QuantumIndividual> pop;
+    par::Rng rng;
+    Genome best;
+    double best_obj = -1.0;
+  };
+  std::vector<Island> islands(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    Island& island = islands[static_cast<std::size_t>(i)];
+    island.rng = root.split(static_cast<std::uint64_t>(i + 1));
+    island.pop.resize(static_cast<std::size_t>(config_.population));
+    for (auto& ind : island.pop) {
+      ind.theta.resize(genes);
+      // Start at maximum superposition (π/4) with small jitter.
+      for (auto& t : ind.theta) {
+        t = kHalfPi / 2.0 + island.rng.uniform(-0.2, 0.2);
+      }
+    }
+  }
+
+  QuantumGaResult result;
+  long long evaluations = 0;
+
+  double annealed_noise = config_.measure_noise;
+  auto island_step = [&](std::size_t idx) {
+    Island& island = islands[idx];
+    for (auto& ind : island.pop) {
+      ind.measured = measure(ind.theta, traits, annealed_noise, island.rng);
+      ind.objective = problem_->objective(ind.measured);
+      if (island.best_obj < 0.0 || ind.objective < island.best_obj) {
+        island.best_obj = ind.objective;
+        island.best = ind.measured;
+      }
+    }
+    // Rotation toward the island best.
+    for (auto& ind : island.pop) {
+      rotate_toward(ind.theta, island.best, traits, config_.rotation_delta);
+    }
+    // Quantum segment crossover within the island (lower level of [28]).
+    for (std::size_t p = 0; p + 1 < island.pop.size(); p += 2) {
+      if (!island.rng.chance(config_.crossover_rate)) continue;
+      std::size_t lo = island.rng.below(genes);
+      std::size_t hi = island.rng.below(genes);
+      if (lo > hi) std::swap(lo, hi);
+      for (std::size_t g = lo; g <= hi; ++g) {
+        std::swap(island.pop[p].theta[g], island.pop[p + 1].theta[g]);
+      }
+    }
+    // Not-gate mutation.
+    for (auto& ind : island.pop) {
+      if (island.rng.chance(config_.not_gate_rate)) {
+        const std::size_t g = island.rng.below(genes);
+        ind.theta[g] = kHalfPi - ind.theta[g];
+      }
+    }
+  };
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    const double t =
+        config_.generations > 1
+            ? static_cast<double>(gen) / (config_.generations - 1)
+            : 0.0;
+    annealed_noise = config_.measure_noise +
+                     t * (config_.measure_noise_final - config_.measure_noise);
+    pool_->parallel_for(islands.size(), island_step);
+    evaluations += static_cast<long long>(k) * config_.population;
+    // Upper level: penetration migration from the globally best island.
+    if (config_.migration_interval > 0 &&
+        (gen + 1) % config_.migration_interval == 0 && k > 1) {
+      std::size_t leader = 0;
+      for (std::size_t i = 1; i < islands.size(); ++i) {
+        if (islands[i].best_obj < islands[leader].best_obj) leader = i;
+      }
+      // Blend the leader's best-measured solution into every other
+      // island's worst individual's angles.
+      std::vector<double> leader_theta(genes, kHalfPi / 2.0);
+      rotate_toward(leader_theta, islands[leader].best, traits, kHalfPi);
+      for (std::size_t i = 0; i < islands.size(); ++i) {
+        if (i == leader) continue;
+        auto worst = std::max_element(
+            islands[i].pop.begin(), islands[i].pop.end(),
+            [](const QuantumIndividual& a, const QuantumIndividual& b) {
+              return a.objective < b.objective;
+            });
+        for (std::size_t g = 0; g < genes; ++g) {
+          worst->theta[g] = config_.penetration * leader_theta[g] +
+                            (1.0 - config_.penetration) * worst->theta[g];
+        }
+      }
+    }
+    double global = islands.front().best_obj;
+    for (const auto& island : islands) global = std::min(global, island.best_obj);
+    result.overall.history.push_back(global);
+  }
+
+  std::size_t leader = 0;
+  result.island_best.resize(islands.size());
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    result.island_best[i] = islands[i].best_obj;
+    if (islands[i].best_obj < islands[leader].best_obj) leader = i;
+  }
+  result.overall.best = islands[leader].best;
+  result.overall.best_objective = islands[leader].best_obj;
+  result.overall.evaluations = evaluations;
+  result.overall.generations = config_.generations;
+  result.overall.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace psga::ga

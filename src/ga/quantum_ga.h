@@ -1,0 +1,60 @@
+// Quantum-inspired island GA (Gu et al. [28]).
+//
+// Each individual is a vector of qubit rotation angles θ_i ∈ (0, π/2); a
+// *measurement* collapses it to a classical priority vector (sin²θ plus
+// uniform exploration noise) that decodes to a sequencing chromosome via
+// the random-keys rule. Evolution follows [28]'s two-level island design:
+//   lower level  — quantum rotation gates pull every individual's angles
+//                  toward the island's best measured solution, a quantum
+//                  segment crossover mixes angle blocks within an island,
+//                  and a Not-gate mutation flips θ to π/2 − θ;
+//   upper level  — penetration migration: at each epoch the global best
+//                  island "penetrates" the others by blending its best
+//                  angle vector into their worst individuals
+//                  (star-shaped information flow).
+#pragma once
+
+#include <vector>
+
+#include "src/ga/config.h"
+#include "src/ga/problem.h"
+#include "src/ga/result.h"
+#include "src/par/thread_pool.h"
+
+namespace psga::ga {
+
+struct QuantumGaConfig {
+  int islands = 4;
+  int population = 20;        ///< individuals per island
+  int generations = 100;
+  double rotation_delta = 0.05;  ///< rotation gate step (radians)
+  double measure_noise = 0.35;   ///< initial exploration noise in measurement
+  /// Final noise level; the effective noise anneals linearly from
+  /// measure_noise to this over the run (exploration → exploitation).
+  double measure_noise_final = 0.05;
+  double not_gate_rate = 0.05;   ///< per-individual Not-gate probability
+  double crossover_rate = 0.4;   ///< quantum segment crossover probability
+  int migration_interval = 10;   ///< penetration migration period; 0 = off
+  double penetration = 0.5;      ///< blend factor of the penetrating angles
+  std::uint64_t seed = 1;
+};
+
+struct QuantumGaResult {
+  GaResult overall;
+  std::vector<double> island_best;
+};
+
+class QuantumGa {
+ public:
+  QuantumGa(ProblemPtr problem, QuantumGaConfig config,
+            par::ThreadPool* pool = nullptr);
+
+  QuantumGaResult run();
+
+ private:
+  ProblemPtr problem_;
+  QuantumGaConfig config_;
+  par::ThreadPool* pool_;
+};
+
+}  // namespace psga::ga

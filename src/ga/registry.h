@@ -1,0 +1,34 @@
+// String-keyed operator factories, so benches and examples can sweep
+// operator sets by name (e.g. Bożejko's four-crossovers strategy grid).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ga/crossover.h"
+#include "src/ga/mutation.h"
+#include "src/ga/selection.h"
+
+namespace psga::ga {
+
+/// Creates a selection by name: "roulette", "sus", "tournament<k>",
+/// "rank", "elitist-roulette". Throws std::invalid_argument on unknown.
+SelectionPtr make_selection(const std::string& name);
+
+/// Creates a crossover by name: "one-point", "two-point", "pmx", "ox",
+/// "cycle", "position-based", "jox", "ppx", "thx", "uniform-keys",
+/// "arithmetic-keys". (MSXF / path-relink need a Problem and are
+/// constructed directly.) Throws std::invalid_argument on unknown.
+CrossoverPtr make_crossover(const std::string& name);
+
+/// Creates a mutation by name: "swap", "shift", "inversion", "scramble",
+/// "assign", "key-creep", "key-reset". Throws on unknown.
+MutationPtr make_mutation(const std::string& name);
+
+/// Names usable with make_crossover for a given sequencing kind.
+std::vector<std::string> crossover_names(SeqKind kind);
+
+/// Names usable with make_mutation on sequencing chromosomes.
+std::vector<std::string> sequence_mutation_names();
+
+}  // namespace psga::ga

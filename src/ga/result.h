@@ -1,0 +1,20 @@
+// Run records returned by every engine.
+#pragma once
+
+#include <vector>
+
+#include "src/ga/genome.h"
+
+namespace psga::ga {
+
+struct GaResult {
+  Genome best;
+  double best_objective = 0.0;
+  /// Best-so-far objective after each generation (convergence curve).
+  std::vector<double> history;
+  long long evaluations = 0;  ///< fitness evaluations ("explored solutions")
+  int generations = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace psga::ga

@@ -1,0 +1,124 @@
+#include "src/ga/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace psga::ga {
+
+std::vector<int> Selection::pick_many(std::span<const double> fitness,
+                                      int count, par::Rng& rng) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(pick(fitness, rng));
+  return out;
+}
+
+namespace {
+
+double total_fitness(std::span<const double> fitness) {
+  double total = 0.0;
+  for (double f : fitness) total += std::max(f, 0.0);
+  return total;
+}
+
+int spin_wheel(std::span<const double> fitness, double target) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    acc += std::max(fitness[i], 0.0);
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(fitness.size()) - 1;
+}
+
+}  // namespace
+
+int RouletteSelection::pick(std::span<const double> fitness,
+                            par::Rng& rng) const {
+  const double total = total_fitness(fitness);
+  if (total <= 0.0) {
+    return static_cast<int>(rng.below(fitness.size()));
+  }
+  return spin_wheel(fitness, rng.uniform() * total);
+}
+
+int StochasticUniversalSelection::pick(std::span<const double> fitness,
+                                       par::Rng& rng) const {
+  return RouletteSelection{}.pick(fitness, rng);
+}
+
+std::vector<int> StochasticUniversalSelection::pick_many(
+    std::span<const double> fitness, int count, par::Rng& rng) const {
+  const double total = total_fitness(fitness);
+  if (total <= 0.0 || count <= 0) {
+    return Selection::pick_many(fitness, count, rng);
+  }
+  const double step = total / count;
+  double pointer = rng.uniform() * step;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double acc = 0.0;
+  std::size_t i = 0;
+  for (int k = 0; k < count; ++k) {
+    const double target = pointer + step * k;
+    while (i < fitness.size() - 1 && acc + std::max(fitness[i], 0.0) <= target) {
+      acc += std::max(fitness[i], 0.0);
+      ++i;
+    }
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int TournamentSelection::pick(std::span<const double> fitness,
+                              par::Rng& rng) const {
+  int best = static_cast<int>(rng.below(fitness.size()));
+  for (int round = 1; round < k_; ++round) {
+    const int challenger = static_cast<int>(rng.below(fitness.size()));
+    if (fitness[static_cast<std::size_t>(challenger)] >
+        fitness[static_cast<std::size_t>(best)]) {
+      best = challenger;
+    }
+  }
+  return best;
+}
+
+int RankSelection::pick(std::span<const double> fitness, par::Rng& rng) const {
+  const std::size_t n = fitness.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return fitness[static_cast<std::size_t>(a)] <
+           fitness[static_cast<std::size_t>(b)];
+  });
+  // Linear ranking: worst gets 2 - pressure, best gets pressure.
+  std::vector<double> rank_fitness(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double value =
+        (2.0 - pressure_) +
+        2.0 * (pressure_ - 1.0) * static_cast<double>(r) /
+            std::max<double>(1.0, static_cast<double>(n - 1));
+    rank_fitness[static_cast<std::size_t>(order[r])] = value;
+  }
+  return RouletteSelection{}.pick(rank_fitness, rng);
+}
+
+int ElitistRouletteSelection::pick(std::span<const double> fitness,
+                                   par::Rng& rng) const {
+  const std::size_t n = fitness.size();
+  if (rng.chance(elite_bias_)) {
+    const int elite_count = std::max(
+        1, static_cast<int>(elite_fraction_ * static_cast<double>(n)));
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(elite_count),
+                      order.end(), [&](int a, int b) {
+                        return fitness[static_cast<std::size_t>(a)] >
+                               fitness[static_cast<std::size_t>(b)];
+                      });
+    return order[rng.below(static_cast<std::uint64_t>(elite_count))];
+  }
+  return RouletteSelection{}.pick(fitness, rng);
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,278 @@
+#include "src/ga/simple_ga.h"
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <numeric>
+
+namespace psga::ga {
+
+namespace {
+
+void serial_evaluate(const Problem& problem, std::span<const Genome> genomes,
+                     std::span<double> objectives) {
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    objectives[i] = problem.objective(genomes[i]);
+  }
+}
+
+}  // namespace
+
+OperatorConfig default_operators(const Problem& problem) {
+  OperatorConfig ops;
+  ops.selection = std::make_shared<TournamentSelection>(2);
+  const GenomeTraits& traits = problem.traits();
+  switch (traits.seq_kind) {
+    case SeqKind::kPermutation:
+      ops.crossover = std::make_shared<OxCrossover>();
+      ops.mutation = std::make_shared<SwapMutation>();
+      break;
+    case SeqKind::kJobRepetition:
+      ops.crossover = std::make_shared<JoxCrossover>();
+      ops.mutation = std::make_shared<SwapMutation>();
+      break;
+    case SeqKind::kNone:
+      ops.crossover = std::make_shared<UniformKeyCrossover>();
+      ops.mutation = std::make_shared<KeyCreepMutation>();
+      break;
+  }
+  if (!traits.assign_domain.empty()) {
+    ops.mutation = std::make_shared<CompositeMutation>(
+        ops.mutation, std::make_shared<AssignMutation>());
+  }
+  return ops;
+}
+
+SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      evaluator_(&serial_evaluate) {
+  if (!config_.ops.selection || !config_.ops.crossover || !config_.ops.mutation) {
+    OperatorConfig defaults = default_operators(*problem_);
+    if (!config_.ops.selection) config_.ops.selection = defaults.selection;
+    if (!config_.ops.crossover) config_.ops.crossover = defaults.crossover;
+    if (!config_.ops.mutation) config_.ops.mutation = defaults.mutation;
+  }
+}
+
+void SimpleGa::set_evaluator(Evaluator evaluator) {
+  evaluator_ = std::move(evaluator);
+}
+
+void SimpleGa::init() {
+  population_.clear();
+  population_.reserve(static_cast<std::size_t>(config_.population));
+  for (const Genome& seed : config_.seed_genomes) {
+    if (static_cast<int>(population_.size()) >= config_.population) break;
+    population_.push_back(seed);
+  }
+  while (static_cast<int>(population_.size()) < config_.population) {
+    population_.push_back(problem_->random_genome(rng_));
+  }
+  objectives_.assign(population_.size(), 0.0);
+  generation_ = 0;
+  evaluations_ = 0;
+  has_best_ = false;
+  evaluate_all();
+}
+
+void SimpleGa::evaluate_all() {
+  evaluator_(*problem_, population_, objectives_);
+  evaluations_ += static_cast<long long>(population_.size());
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    if (!has_best_ || objectives_[i] < best_objective_) {
+      best_objective_ = objectives_[i];
+      best_ = population_[i];
+      has_best_ = true;
+    }
+  }
+}
+
+std::vector<double> SimpleGa::fitness_values() const {
+  std::vector<double> fitness(objectives_.size());
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    fitness[i] =
+        config_.transform == FitnessTransform::kReference
+            ? std::max(config_.reference_objective - objectives_[i], 0.0)
+            : 1.0 / std::max(objectives_[i], 1e-12);
+  }
+  if (config_.niche_radius > 0) {
+    // Fitness sharing (niche penalty): divide by the niche count
+    // m_i = sum_j sh(d_ij), sh(d) = 1 - (d/radius)^alpha for d < radius.
+    const double radius = static_cast<double>(config_.niche_radius);
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      double niche = 0.0;
+      for (std::size_t j = 0; j < population_.size(); ++j) {
+        const int d = hamming_distance(population_[i], population_[j]);
+        if (d < config_.niche_radius) {
+          niche += 1.0 - std::pow(static_cast<double>(d) / radius,
+                                  config_.niche_alpha);
+        }
+      }
+      fitness[i] /= std::max(niche, 1.0);
+    }
+  }
+  return fitness;
+}
+
+double SimpleGa::current_mutation_rate() const {
+  const OperatorConfig& ops = config_.ops;
+  if (ops.mutation_rate_final < 0.0) return ops.mutation_rate;
+  const int span = std::max(1, config_.termination.max_generations - 1);
+  const double t =
+      std::min(1.0, static_cast<double>(generation_) / static_cast<double>(span));
+  return ops.mutation_rate + t * (ops.mutation_rate_final - ops.mutation_rate);
+}
+
+void SimpleGa::step() {
+  const std::vector<double> fitness = fitness_values();
+  const GenomeTraits& traits = problem_->traits();
+  // The generation size follows the CURRENT population, not the config:
+  // island merging (absorb) grows a population permanently ([29]).
+  const int population = static_cast<int>(population_.size());
+  const int elites = std::min(config_.elites, population);
+  const int immigrants = std::min(
+      population - elites,
+      static_cast<int>(config_.immigration_fraction * population));
+  const int bred = population - elites - immigrants;
+
+  std::vector<Genome> next;
+  next.reserve(static_cast<std::size_t>(population));
+
+  // Elitism: best `elites` individuals survive unchanged.
+  std::vector<int> order(population_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(elites),
+                    order.end(), [&](int a, int b) {
+                      return objectives_[static_cast<std::size_t>(a)] <
+                             objectives_[static_cast<std::size_t>(b)];
+                    });
+  for (int e = 0; e < elites; ++e) {
+    next.push_back(population_[static_cast<std::size_t>(order[static_cast<std::size_t>(e)])]);
+  }
+
+  // Breeding: selection (possibly SUS batch), crossover, mutation.
+  const int pairs = (bred + 1) / 2;
+  const std::vector<int> parents =
+      config_.ops.selection->pick_many(fitness, pairs * 2, rng_);
+  const double mutation_rate = current_mutation_rate();
+  Genome child1;
+  Genome child2;
+  for (int p = 0; p < pairs; ++p) {
+    const Genome& a = population_[static_cast<std::size_t>(parents[static_cast<std::size_t>(2 * p)])];
+    const Genome& b = population_[static_cast<std::size_t>(parents[static_cast<std::size_t>(2 * p + 1)])];
+    if (rng_.chance(config_.ops.crossover_rate)) {
+      config_.ops.crossover->cross(a, b, traits, child1, child2, rng_);
+    } else {
+      child1 = a;
+      child2 = b;
+    }
+    if (rng_.chance(mutation_rate)) {
+      config_.ops.mutation->mutate(child1, traits, rng_);
+    }
+    if (rng_.chance(mutation_rate)) {
+      config_.ops.mutation->mutate(child2, traits, rng_);
+    }
+    next.push_back(std::move(child1));
+    if (static_cast<int>(next.size()) < elites + bred) {
+      next.push_back(std::move(child2));
+    }
+  }
+
+  // Immigration ([24]): fresh random individuals.
+  for (int i = 0; i < immigrants; ++i) {
+    next.push_back(problem_->random_genome(rng_));
+  }
+
+  population_ = std::move(next);
+  objectives_.assign(population_.size(), 0.0);
+  ++generation_;
+  evaluate_all();
+}
+
+GaResult SimpleGa::run() {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  init();
+  GaResult result;
+  result.history.push_back(best_objective_);
+  const Termination& term = config_.termination;
+  double stagnation_best = best_objective_;
+  int stagnant = 0;
+  while (generation_ < term.max_generations) {
+    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
+    if (term.target_objective >= 0.0 && best_objective_ <= term.target_objective) {
+      break;
+    }
+    if (term.stagnation_generations > 0 &&
+        stagnant >= term.stagnation_generations) {
+      break;
+    }
+    step();
+    result.history.push_back(best_objective_);
+    if (best_objective_ < stagnation_best) {
+      stagnation_best = best_objective_;
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
+  }
+  result.best = best_;
+  result.best_objective = best_objective_;
+  result.evaluations = evaluations_;
+  result.generations = generation_;
+  result.seconds = elapsed();
+  return result;
+}
+
+void SimpleGa::replace_individual(int slot, const Genome& genome,
+                                  double objective) {
+  population_[static_cast<std::size_t>(slot)] = genome;
+  objectives_[static_cast<std::size_t>(slot)] = objective;
+  if (!has_best_ || objective < best_objective_) {
+    best_objective_ = objective;
+    best_ = genome;
+    has_best_ = true;
+  }
+}
+
+int SimpleGa::best_index() const {
+  return static_cast<int>(std::distance(
+      objectives_.begin(),
+      std::min_element(objectives_.begin(), objectives_.end())));
+}
+
+int SimpleGa::worst_index() const {
+  return static_cast<int>(std::distance(
+      objectives_.begin(),
+      std::max_element(objectives_.begin(), objectives_.end())));
+}
+
+void SimpleGa::absorb(std::span<const Genome> genomes,
+                      std::span<const double> objectives) {
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    population_.push_back(genomes[i]);
+    objectives_.push_back(objectives[i]);
+    if (objectives[i] < best_objective_) {
+      best_objective_ = objectives[i];
+      best_ = genomes[i];
+    }
+  }
+}
+
+double SimpleGa::stagnation_fraction(int threshold) const {
+  if (population_.empty()) return 0.0;
+  int close = 0;
+  for (const Genome& g : population_) {
+    if (hamming_distance(g, best_) < threshold) ++close;
+  }
+  return static_cast<double>(close) / static_cast<double>(population_.size());
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,84 @@
+// The simple (serial) GA — Table II of the survey:
+//   initialize(); while (!done) { Selection(); Crossover(); Mutation();
+//   FitnessValueEvaluation(); }
+//
+// The class also exposes a stepwise API (init / step / population access)
+// so the island engine can drive one SimpleGa per island, and an
+// evaluator hook so the master-slave engine can farm evaluation out to
+// the thread pool while provably keeping the evolutionary trace identical
+// (evaluation is the only hooked stage and objectives are pure).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/ga/config.h"
+#include "src/ga/problem.h"
+#include "src/ga/result.h"
+#include "src/par/rng.h"
+
+namespace psga::ga {
+
+class SimpleGa {
+ public:
+  /// Batch evaluator: fills objectives[i] = problem.objective(genomes[i]).
+  using Evaluator = std::function<void(
+      const Problem&, std::span<const Genome>, std::span<double>)>;
+
+  SimpleGa(ProblemPtr problem, GaConfig config);
+
+  /// Replaces the serial evaluation stage (master-slave model).
+  void set_evaluator(Evaluator evaluator);
+
+  /// Full run honoring config.termination.
+  GaResult run();
+
+  // --- stepwise API (used by the island engine) ---------------------------
+  void init();
+  void step();  ///< one generation: selection, crossover, mutation, evaluation
+  int generation() const { return generation_; }
+  double best_objective() const { return best_objective_; }
+  const Genome& best() const { return best_; }
+  long long evaluations() const { return evaluations_; }
+  const std::vector<Genome>& population() const { return population_; }
+  const std::vector<double>& objectives() const { return objectives_; }
+  const GenomeTraits& traits() const { return problem_->traits(); }
+  const GaConfig& config() const { return config_; }
+
+  /// Injects an individual, replacing index `slot` (migration support);
+  /// `objective` must be the genome's objective value.
+  void replace_individual(int slot, const Genome& genome, double objective);
+
+  /// Index of the best / worst individual of the current population.
+  int best_index() const;
+  int worst_index() const;
+
+  /// Grows the population with foreign individuals (island merging, [29]).
+  void absorb(std::span<const Genome> genomes, std::span<const double> objectives);
+
+  /// Stagnation measure of Spanos et al. [29]: fraction of individuals
+  /// whose Hamming distance to the best is below `threshold`.
+  double stagnation_fraction(int threshold) const;
+
+  /// Current mutation rate (honors the variable-probability schedule).
+  double current_mutation_rate() const;
+
+ private:
+  void evaluate_all();
+  std::vector<double> fitness_values() const;
+
+  ProblemPtr problem_;
+  GaConfig config_;
+  par::Rng rng_;
+  Evaluator evaluator_;
+
+  std::vector<Genome> population_;
+  std::vector<double> objectives_;
+  Genome best_;
+  double best_objective_ = 0.0;
+  bool has_best_ = false;
+  int generation_ = 0;
+  long long evaluations_ = 0;
+};
+
+}  // namespace psga::ga

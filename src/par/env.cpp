@@ -1,0 +1,36 @@
+#include "src/par/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace psga::par {
+
+int default_thread_count() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const long requested = env_long("PSGA_THREADS", static_cast<long>(hw));
+  if (requested < 1) return 1;
+  if (requested > static_cast<long>(hw)) return static_cast<int>(hw);
+  return static_cast<int>(requested);
+}
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw != nullptr && *raw != '\0') ? std::string(raw) : fallback;
+}
+
+int bench_scale() {
+  const std::string scale = env_string("PSGA_BENCH_SCALE", "small");
+  if (scale == "large") return 16;
+  if (scale == "medium") return 4;
+  return 1;
+}
+
+}  // namespace psga::par

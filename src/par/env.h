@@ -1,0 +1,23 @@
+// Environment-variable configuration shared by tests, benches and examples.
+#pragma once
+
+#include <string>
+
+namespace psga::par {
+
+/// Number of worker threads requested via PSGA_THREADS, clamped to
+/// [1, hardware_concurrency]; defaults to hardware_concurrency.
+int default_thread_count();
+
+/// Integer env var with fallback.
+long env_long(const char* name, long fallback);
+
+/// String env var with fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Benchmark scale factor: PSGA_BENCH_SCALE = small|medium|large mapped to
+/// 1, 4, 16. Experiment benches multiply population/generation budgets by
+/// this so the default suite stays fast.
+int bench_scale();
+
+}  // namespace psga::par

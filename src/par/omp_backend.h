@@ -1,0 +1,57 @@
+// OpenMP alternative to ThreadPool::parallel_for.
+//
+// The thread pool is the library default (deterministic static chunking,
+// reused workers); this header offers the same loop shape on OpenMP for
+// deployments that prefer the OpenMP runtime (survey §IV discusses the
+// HPC frameworks interchangeably — the engines only need a parallel-for).
+// Compiled to a serial loop when OpenMP is unavailable.
+#pragma once
+
+#include <cstddef>
+
+#if defined(PSGA_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace psga::par {
+
+/// Runs fn(i) for i in [0, n) using OpenMP when available (static
+/// schedule, mirroring ThreadPool's chunking), else serially.
+template <typename Fn>
+void omp_parallel_for(std::size_t n, Fn&& fn) {
+#if defined(PSGA_HAVE_OPENMP)
+  const long long count = static_cast<long long>(n);
+#pragma omp parallel for schedule(static)
+  for (long long i = 0; i < count; ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// True if the build has a real OpenMP runtime behind omp_parallel_for.
+constexpr bool omp_available() {
+#if defined(PSGA_HAVE_OPENMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// OpenMP worker count (1 when OpenMP is unavailable).
+inline int omp_worker_count() {
+#if defined(PSGA_HAVE_OPENMP)
+  int workers = 1;
+#pragma omp parallel
+  {
+#pragma omp single
+    workers = omp_get_num_threads();
+  }
+  return workers;
+#else
+  return 1;
+#endif
+}
+
+}  // namespace psga::par

@@ -1,0 +1,140 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in psga (engines, islands, cells, operators)
+// draws from an Rng obtained by split()-ing a root seed, so a run is fully
+// reproducible and — crucially for the parallel engines — *independent of
+// the number of worker threads*: the stream assigned to island k or grid
+// cell (x, y) is a pure function of the root seed and that identity.
+//
+// The generator is xoshiro256** (Blackman & Vigna, public domain
+// reference), seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace psga::par {
+
+/// SplitMix64 step; used for seeding and for cheap stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo random generator with UniformRandomBitGenerator
+/// interface plus the convenience draws the GA code needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9d2c5680u) noexcept {
+    reseed(seed);
+  }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    // The split key must also derive from the seed, so that child streams
+    // of differently seeded parents differ.
+    split_key_ = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire-style rejection
+  /// to stay unbiased.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  constexpr int range(int lo, int hi) noexcept {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (single value, no caching: callers in
+  /// psga draw rarely enough that simplicity wins over the spare deviate).
+  double normal() noexcept;
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Derive an independent deterministic child stream. The child depends
+  /// only on this stream's *identity path*, not on how many numbers were
+  /// drawn: it hashes the original seed material kept aside for splitting.
+  constexpr Rng split(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = split_key_ ^ (0xa0761d6478bd642fULL + stream_id);
+    std::uint64_t a = splitmix64(sm);
+    std::uint64_t b = splitmix64(sm);
+    Rng child(a ^ (b << 1));
+    child.split_key_ = b ^ (stream_id * 0xe7037ed1a0b428dbULL);
+    return child;
+  }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  constexpr void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      auto tmp = c[i - 1];
+      c[i - 1] = c[j];
+      c[j] = tmp;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  std::uint64_t split_key_ = 0x2545f4914f6cdd1dULL;
+};
+
+inline double Rng::normal() noexcept {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  // std::sqrt/std::log are not constexpr-friendly pre-C++26; fine here.
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(two_pi * u2);
+}
+
+}  // namespace psga::par

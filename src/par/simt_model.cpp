@@ -1,0 +1,30 @@
+#include "src/par/simt_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psga::par {
+
+double SimtModel::device_time_us(std::size_t tasks, double task_us) const {
+  if (tasks == 0) return 0.0;
+  const auto& p = params_;
+  // Tasks are scheduled warp-by-warp; a warp retires at the pace of its
+  // slowest lane and only `divergence` of its lanes do useful work.
+  const double effective_lanes =
+      std::max(1.0, static_cast<double>(p.lanes) * p.divergence);
+  const double waves =
+      std::ceil(static_cast<double>(tasks) / effective_lanes);
+  const double lane_task_us = task_us * p.lane_slowdown;
+  const double parallel_us = waves * lane_task_us;
+  const double serial_us =
+      p.serial_fraction * static_cast<double>(tasks) * task_us;
+  return parallel_us + serial_us + p.launch_overhead_us;
+}
+
+double SimtModel::speedup(std::size_t tasks, double task_us) const {
+  const double device = device_time_us(tasks, task_us);
+  if (device <= 0.0) return 1.0;
+  return host_time_us(tasks, task_us) / device;
+}
+
+}  // namespace psga::par

@@ -1,0 +1,51 @@
+// Analytic SIMT (GPU) throughput model — the CUDA substitute.
+//
+// The surveyed GPU results are throughput/speedup claims: AitZai [14]
+// reports 15x more explored solutions on a Quadro 2000, Somani [16] ~9x on
+// a Tesla C2075 (448 cores), Huang [24] 19x on a GTX285, Zajicek [25]
+// 60-120x on a Tesla C1060. No GPU is available here, so E02/E07 pair the
+// measured CPU thread-scaling curve with this first-order SIMT model to
+// extrapolate to thousand-lane devices. The model is deliberately simple —
+// Amdahl-style serial fraction, kernel-launch overhead per generation,
+// warp divergence as a multiplicative efficiency — and is validated in
+// tests against its own limiting cases (1 lane == serial; infinite lanes
+// == overhead-bound).
+#pragma once
+
+#include <cstddef>
+
+namespace psga::par {
+
+struct SimtModelParams {
+  int lanes = 448;               ///< parallel hardware lanes (CUDA cores)
+  int warp_width = 32;           ///< lanes scheduled together
+  double divergence = 0.85;      ///< fraction of warp lanes doing useful work
+  double launch_overhead_us = 8; ///< per-kernel (per-generation) overhead
+  double serial_fraction = 0.02; ///< host-side non-parallelizable share
+  double lane_slowdown = 4.0;    ///< one GPU lane vs one CPU core on scalar code
+};
+
+class SimtModel {
+ public:
+  explicit SimtModel(SimtModelParams params) : params_(params) {}
+
+  /// Predicted wall time (us) to evaluate `tasks` independent fitness
+  /// evaluations, each costing `task_us` on one CPU core.
+  double device_time_us(std::size_t tasks, double task_us) const;
+
+  /// Serial CPU wall time (us) for the same work.
+  double host_time_us(std::size_t tasks, double task_us) const {
+    return static_cast<double>(tasks) * task_us;
+  }
+
+  /// Predicted device-vs-1-core speedup for one generation of `tasks`
+  /// evaluations of cost `task_us` each.
+  double speedup(std::size_t tasks, double task_us) const;
+
+  const SimtModelParams& params() const { return params_; }
+
+ private:
+  SimtModelParams params_;
+};
+
+}  // namespace psga::par

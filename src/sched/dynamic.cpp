@@ -1,0 +1,140 @@
+#include "src/sched/dynamic.h"
+
+#include <algorithm>
+
+#include "src/par/rng.h"
+
+namespace psga::sched {
+
+namespace {
+
+/// Earliest start >= `earliest` on `machine` such that [start, start+dur)
+/// avoids every downtime window of that machine.
+Time next_feasible_start(int machine, Time earliest, Time duration,
+                         std::span<const Downtime> downtimes) {
+  Time start = earliest;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Downtime& w : downtimes) {
+      if (w.machine != machine) continue;
+      if (start < w.end && start + duration > w.start) {
+        start = w.end;  // push past this window and re-check all
+        moved = true;
+      }
+    }
+  }
+  return start;
+}
+
+}  // namespace
+
+Schedule decode_with_downtime(const JobShopInstance& inst,
+                              std::span<const int> op_sequence,
+                              std::span<const Downtime> downtimes) {
+  Schedule schedule;
+  schedule.ops.reserve(op_sequence.size());
+  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  for (int j = 0; j < inst.jobs; ++j) {
+    job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+  for (int job : op_sequence) {
+    const int index = next_op[static_cast<std::size_t>(job)]++;
+    const JsOperation& op = inst.op(job, index);
+    const Time earliest =
+        std::max(job_free[static_cast<std::size_t>(job)],
+                 machine_free[static_cast<std::size_t>(op.machine)]);
+    const Time start =
+        next_feasible_start(op.machine, earliest, op.duration, downtimes);
+    const Time end = start + op.duration;
+    schedule.ops.push_back(ScheduledOp{job, index, op.machine, start, end});
+    job_free[static_cast<std::size_t>(job)] = end;
+    machine_free[static_cast<std::size_t>(op.machine)] = end;
+  }
+  return schedule;
+}
+
+Time realized_makespan_with_prefix(const JobShopInstance& inst,
+                                   std::span<const int> frozen_prefix,
+                                   std::span<const int> suffix,
+                                   std::span<const Downtime> downtimes) {
+  std::vector<int> full;
+  full.reserve(frozen_prefix.size() + suffix.size());
+  full.insert(full.end(), frozen_prefix.begin(), frozen_prefix.end());
+  full.insert(full.end(), suffix.begin(), suffix.end());
+  return decode_with_downtime(inst, full, downtimes).makespan();
+}
+
+DynamicRunResult simulate_dynamic(const JobShopInstance& inst,
+                                  std::span<const int> predictive_sequence,
+                                  std::span<const Downtime> downtimes,
+                                  const Replanner& replanner) {
+  DynamicRunResult result;
+  result.predictive_makespan =
+      decode_operation_based(inst, predictive_sequence).makespan();
+
+  std::vector<int> sequence(predictive_sequence.begin(),
+                            predictive_sequence.end());
+  if (replanner != nullptr) {
+    // Re-plan at the start of each disruption, in time order.
+    std::vector<Downtime> ordered(downtimes.begin(), downtimes.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Downtime& a, const Downtime& b) {
+                return a.start < b.start;
+              });
+    for (const Downtime& event : ordered) {
+      // Decode the current plan against all downtimes to find which genes
+      // have started strictly before the event.
+      const Schedule so_far = decode_with_downtime(inst, sequence, downtimes);
+      std::size_t frozen = 0;
+      while (frozen < so_far.ops.size() &&
+             so_far.ops[frozen].start < event.start) {
+        ++frozen;
+      }
+      if (frozen >= sequence.size()) continue;  // everything already started
+      ReplanContext context;
+      context.now = event.start;
+      context.frozen_prefix.assign(sequence.begin(),
+                                   sequence.begin() +
+                                       static_cast<std::ptrdiff_t>(frozen));
+      context.remaining.assign(sequence.begin() +
+                                   static_cast<std::ptrdiff_t>(frozen),
+                               sequence.end());
+      std::vector<int> replanned = replanner(context);
+      // Defensive: accept only genuine permutations of the remainder.
+      std::vector<int> a = replanned;
+      std::vector<int> b = context.remaining;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a == b) {
+        std::copy(replanned.begin(), replanned.end(),
+                  sequence.begin() + static_cast<std::ptrdiff_t>(frozen));
+        ++result.replans;
+      }
+    }
+  }
+  result.realized_schedule = decode_with_downtime(inst, sequence, downtimes);
+  result.realized_makespan = result.realized_schedule.makespan();
+  return result;
+}
+
+std::vector<Downtime> random_downtimes(int machines, int count, Time horizon,
+                                       Time len_lo, Time len_hi,
+                                       std::uint64_t seed) {
+  par::Rng rng(seed);
+  std::vector<Downtime> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Downtime w;
+    w.machine = static_cast<int>(rng.below(static_cast<std::uint64_t>(machines)));
+    w.start = rng.range(0, static_cast<int>(horizon));
+    w.end = w.start + rng.range(static_cast<int>(len_lo),
+                                static_cast<int>(len_hi));
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,77 @@
+// Dynamic shop scheduling — the second "new integrated factor" of the
+// survey's Section II (Tang et al. [9]: predictive-reactive rescheduling
+// under a dynamic environment). The model here: machine breakdowns as
+// unavailability windows hitting a job shop mid-execution.
+//
+// Two repair strategies are provided:
+//   * right-shift repair — keep the predictive operation order, push
+//     affected operations past the downtime (the standard passive
+//     baseline);
+//   * predictive-reactive — at each disruption, freeze everything already
+//     started, and re-optimize the ordering of the remaining operations
+//     (the survey's "predictive reactive approach"; the re-optimizer is a
+//     pluggable callback so benches can run a GA there).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/sched/job_shop.h"
+
+namespace psga::sched {
+
+/// Machine m is unusable during [start, end).
+struct Downtime {
+  int machine = 0;
+  Time start = 0;
+  Time end = 0;
+};
+
+/// Semi-active list decode honoring downtime windows: a non-preemptive
+/// operation is pushed past every window it would overlap.
+Schedule decode_with_downtime(const JobShopInstance& inst,
+                              std::span<const int> op_sequence,
+                              std::span<const Downtime> downtimes);
+
+/// The state handed to a reactive re-optimizer at a disruption instant.
+struct ReplanContext {
+  Time now = 0;  ///< disruption time: ops starting earlier are frozen
+  /// The frozen prefix of the current sequence (genes already dispatched).
+  std::vector<int> frozen_prefix;
+  /// Multiset of job ids still to dispatch, in current planned order.
+  std::vector<int> remaining;
+};
+
+/// Returns a (possibly re-ordered) replacement for context.remaining. The
+/// returned vector must be a permutation of it.
+using Replanner = std::function<std::vector<int>(const ReplanContext&)>;
+
+struct DynamicRunResult {
+  Time predictive_makespan = 0;   ///< makespan ignoring the disruptions
+  Time realized_makespan = 0;     ///< makespan actually achieved
+  Schedule realized_schedule;
+  int replans = 0;
+};
+
+/// Executes a predictive sequence against the given downtimes with
+/// right-shift repair only (replanner == nullptr), or re-planning the
+/// remaining operations at the start of each downtime window.
+DynamicRunResult simulate_dynamic(const JobShopInstance& inst,
+                                  std::span<const int> predictive_sequence,
+                                  std::span<const Downtime> downtimes,
+                                  const Replanner& replanner = nullptr);
+
+/// Random downtime generator: `count` windows on random machines, start
+/// uniform in [0, horizon], length uniform in [len_lo, len_hi].
+std::vector<Downtime> random_downtimes(int machines, int count, Time horizon,
+                                       Time len_lo, Time len_hi,
+                                       std::uint64_t seed);
+
+/// Objective wrapper used by a reactive GA: the realized makespan of
+/// (frozen prefix + candidate suffix) under the downtimes.
+Time realized_makespan_with_prefix(const JobShopInstance& inst,
+                                   std::span<const int> frozen_prefix,
+                                   std::span<const int> suffix,
+                                   std::span<const Downtime> downtimes);
+
+}  // namespace psga::sched

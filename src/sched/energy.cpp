@@ -1,0 +1,98 @@
+#include "src/sched/energy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/par/rng.h"
+
+namespace psga::sched {
+
+EnergyReport energy_report(const Schedule& schedule,
+                           const std::vector<PowerProfile>& profiles) {
+  EnergyReport report;
+  auto profile_of = [&](int machine) {
+    return machine < static_cast<int>(profiles.size())
+               ? profiles[static_cast<std::size_t>(machine)]
+               : PowerProfile{};
+  };
+
+  // Processing energy + per-machine busy spans for idle accounting.
+  std::map<int, std::pair<Time, Time>> machine_span;  // first start, last end
+  std::map<int, Time> machine_busy;
+  for (const auto& op : schedule.ops) {
+    const Time duration = op.end - op.start;
+    report.processing_energy +=
+        static_cast<double>(duration) * profile_of(op.machine).processing;
+    machine_busy[op.machine] += duration;
+    auto [it, inserted] =
+        machine_span.try_emplace(op.machine, op.start, op.end);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, op.start);
+      it->second.second = std::max(it->second.second, op.end);
+    }
+  }
+  for (const auto& [machine, span] : machine_span) {
+    const Time idle = (span.second - span.first) - machine_busy[machine];
+    report.idle_energy +=
+        static_cast<double>(idle) * profile_of(machine).idle;
+  }
+
+  // Peak power: sweep start/end events, accumulating processing power.
+  std::vector<std::pair<Time, double>> events;  // (time, delta power)
+  events.reserve(schedule.ops.size() * 2);
+  for (const auto& op : schedule.ops) {
+    const double p = profile_of(op.machine).processing;
+    events.emplace_back(op.start, p);
+    events.emplace_back(op.end, -p);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // ends before starts at same t
+            });
+  double current = 0.0;
+  for (const auto& [time, delta] : events) {
+    current += delta;
+    report.peak_power = std::max(report.peak_power, current);
+  }
+  return report;
+}
+
+EnergyAwareFlowShop::EnergyAwareFlowShop(FlowShopInstance inst,
+                                         std::vector<PowerProfile> profiles,
+                                         EnergyObjectiveWeights weights)
+    : inst_(std::move(inst)),
+      profiles_(std::move(profiles)),
+      weights_(weights) {}
+
+double EnergyAwareFlowShop::objective(std::span<const int> perm) const {
+  const Schedule schedule = flow_shop_schedule(inst_, perm);
+  const EnergyReport r = energy_report(schedule, profiles_);
+  return weights_.makespan * static_cast<double>(schedule.makespan()) +
+         weights_.energy * r.total_energy() +
+         weights_.peak_power * r.peak_power;
+}
+
+EnergyReport EnergyAwareFlowShop::report(std::span<const int> perm) const {
+  return energy_report(flow_shop_schedule(inst_, perm), profiles_);
+}
+
+Time EnergyAwareFlowShop::makespan(std::span<const int> perm) const {
+  return flow_shop_makespan(inst_, perm);
+}
+
+std::vector<PowerProfile> random_power_profiles(int machines,
+                                                std::uint64_t seed,
+                                                double proc_lo, double proc_hi,
+                                                double idle_lo,
+                                                double idle_hi) {
+  par::Rng rng(seed);
+  std::vector<PowerProfile> profiles(static_cast<std::size_t>(machines));
+  for (auto& p : profiles) {
+    p.processing = rng.uniform(proc_lo, proc_hi);
+    p.idle = rng.uniform(idle_lo, idle_hi);
+  }
+  return profiles;
+}
+
+}  // namespace psga::sched

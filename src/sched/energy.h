@@ -1,0 +1,75 @@
+// Energy-aware shop scheduling — the "new integrated factors" of the
+// survey's Section II: Xu et al. [8] trade peak power against production
+// efficiency; Tang et al. [9] minimize energy consumption together with
+// makespan. This module computes energy metrics of any explicit Schedule
+// from per-machine power profiles and exposes an energy-aware flow-shop
+// Problem for the GA engines.
+#pragma once
+
+#include <vector>
+
+#include "src/sched/flow_shop.h"
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+/// Power draw of one machine (arbitrary power units).
+struct PowerProfile {
+  double processing = 10.0;  ///< while an operation runs
+  double idle = 2.0;         ///< powered on but waiting (between ops)
+};
+
+struct EnergyReport {
+  double processing_energy = 0.0;  ///< sum over ops: duration x proc power
+  double idle_energy = 0.0;  ///< gaps between a machine's first/last op
+  double total_energy() const { return processing_energy + idle_energy; }
+  /// Maximum instantaneous power: the largest sum of processing powers of
+  /// machines that are busy simultaneously ([8]'s peak power).
+  double peak_power = 0.0;
+};
+
+/// Computes the energy report of a schedule. `profiles[m]` describes
+/// machine m; machines absent from the schedule draw nothing.
+EnergyReport energy_report(const Schedule& schedule,
+                           const std::vector<PowerProfile>& profiles);
+
+/// Weights of the scalarized energy-aware objective
+/// (makespan, total energy, peak power).
+struct EnergyObjectiveWeights {
+  double makespan = 1.0;
+  double energy = 0.0;
+  double peak_power = 0.0;
+};
+
+/// Flow shop whose objective is a weighted combination of makespan, total
+/// energy and peak power — the trade-off studied by [8]/[9].
+class EnergyAwareFlowShop {
+ public:
+  EnergyAwareFlowShop(FlowShopInstance inst, std::vector<PowerProfile> profiles,
+                      EnergyObjectiveWeights weights);
+
+  const FlowShopInstance& instance() const { return inst_; }
+  const EnergyObjectiveWeights& weights() const { return weights_; }
+
+  /// Scalarized objective of a permutation.
+  double objective(std::span<const int> perm) const;
+
+  /// Component metrics of a permutation.
+  EnergyReport report(std::span<const int> perm) const;
+  Time makespan(std::span<const int> perm) const;
+
+ private:
+  FlowShopInstance inst_;
+  std::vector<PowerProfile> profiles_;
+  EnergyObjectiveWeights weights_;
+};
+
+/// Uniform power profiles in [proc_lo, proc_hi] x [idle_lo, idle_hi].
+std::vector<PowerProfile> random_power_profiles(int machines,
+                                                std::uint64_t seed,
+                                                double proc_lo = 5.0,
+                                                double proc_hi = 20.0,
+                                                double idle_lo = 0.5,
+                                                double idle_hi = 4.0);
+
+}  // namespace psga::sched

@@ -1,0 +1,150 @@
+#include "src/sched/flexible_job_shop.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace psga::sched {
+
+int FlexibleJobShopInstance::total_ops() const {
+  int acc = 0;
+  for (const auto& route : ops) acc += static_cast<int>(route.size());
+  return acc;
+}
+
+Time FlexibleJobShopInstance::setup_time(int machine, int prev_job,
+                                         int next_job) const {
+  if (setup.empty()) return 0;
+  return setup[static_cast<std::size_t>(machine)]
+              [static_cast<std::size_t>(prev_job + 1)]
+              [static_cast<std::size_t>(next_job)];
+}
+
+Time FlexibleJobShopInstance::machine_release_of(int machine) const {
+  return machine < static_cast<int>(machine_release.size())
+             ? machine_release[static_cast<std::size_t>(machine)]
+             : 0;
+}
+
+namespace {
+
+std::optional<Time> fjs_duration(const void* ctx, int job, int index,
+                                 int machine) {
+  const auto& inst = *static_cast<const FlexibleJobShopInstance*>(ctx);
+  for (const auto& choice : inst.op(job, index).choices) {
+    if (choice.machine == machine) return choice.duration;
+  }
+  return std::nullopt;
+}
+
+Time fjs_gap(const void* ctx, int machine, int prev_job, int next_job) {
+  const auto& inst = *static_cast<const FlexibleJobShopInstance*>(ctx);
+  return inst.setup_time(machine, prev_job, next_job);
+}
+
+}  // namespace
+
+ValidationSpec FlexibleJobShopInstance::validation_spec() const {
+  ValidationSpec spec;
+  spec.jobs = jobs;
+  spec.machines = machines;
+  spec.ops_per_job.reserve(static_cast<std::size_t>(jobs));
+  for (const auto& route : ops) {
+    spec.ops_per_job.push_back(static_cast<int>(route.size()));
+  }
+  spec.ordered_stages = true;
+  spec.release = attrs.release;
+  spec.duration = &fjs_duration;
+  spec.ctx = this;
+  if (!setup.empty()) spec.machine_gap = &fjs_gap;
+  return spec;
+}
+
+int fjs_flat_op(const FlexibleJobShopInstance& inst, int job, int index) {
+  int flat = 0;
+  for (int j = 0; j < job; ++j) flat += inst.ops_of(j);
+  return flat + index;
+}
+
+Schedule decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
+                                  std::span<const int> assignment,
+                                  std::span<const int> op_sequence) {
+  Schedule schedule;
+  schedule.ops.reserve(op_sequence.size());
+  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<int> flat_base(static_cast<std::size_t>(inst.jobs), 0);
+  for (int j = 1; j < inst.jobs; ++j) {
+    flat_base[static_cast<std::size_t>(j)] =
+        flat_base[static_cast<std::size_t>(j - 1)] + inst.ops_of(j - 1);
+  }
+  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  for (int j = 0; j < inst.jobs; ++j) {
+    job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines));
+  for (int m = 0; m < inst.machines; ++m) {
+    machine_free[static_cast<std::size_t>(m)] = inst.machine_release_of(m);
+  }
+  std::vector<int> last_job(static_cast<std::size_t>(inst.machines), -1);
+
+  for (int job : op_sequence) {
+    const int index = next_op[static_cast<std::size_t>(job)]++;
+    const FjsOperation& op = inst.op(job, index);
+    const int flat = flat_base[static_cast<std::size_t>(job)] + index;
+    const int choice_raw = assignment[static_cast<std::size_t>(flat)];
+    const int choice =
+        choice_raw % static_cast<int>(op.choices.size());  // defensive wrap
+    const auto& [machine, duration] = op.choices[static_cast<std::size_t>(choice)];
+
+    const Time setup =
+        inst.setup_time(machine, last_job[static_cast<std::size_t>(machine)], job);
+    const Time job_ready = job_free[static_cast<std::size_t>(job)];
+    const Time mach_free = machine_free[static_cast<std::size_t>(machine)];
+    Time start;
+    if (inst.detached_setup) {
+      // Setup may run while the job is still upstream.
+      start = std::max(job_ready, mach_free + setup);
+    } else {
+      // Attached: setup begins once both machine and job are ready.
+      start = std::max(job_ready, mach_free) + setup;
+    }
+    const Time end = start + duration;
+    schedule.ops.push_back(ScheduledOp{job, index, machine, start, end});
+    job_free[static_cast<std::size_t>(job)] = end + op.min_lag_after;
+    machine_free[static_cast<std::size_t>(machine)] = end;
+    last_job[static_cast<std::size_t>(machine)] = job;
+  }
+  return schedule;
+}
+
+double flexible_job_shop_objective(const FlexibleJobShopInstance& inst,
+                                   const Schedule& schedule,
+                                   Criterion criterion) {
+  const auto completion = schedule.job_completion_times(inst.jobs);
+  return evaluate_criterion(criterion, completion, inst.attrs);
+}
+
+std::vector<int> random_fjs_assignment(const FlexibleJobShopInstance& inst,
+                                       par::Rng& rng) {
+  std::vector<int> assign;
+  assign.reserve(static_cast<std::size_t>(inst.total_ops()));
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (int k = 0; k < inst.ops_of(j); ++k) {
+      assign.push_back(static_cast<int>(
+          rng.below(inst.op(j, k).choices.size())));
+    }
+  }
+  return assign;
+}
+
+std::vector<int> random_fjs_sequence(const FlexibleJobShopInstance& inst,
+                                     par::Rng& rng) {
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(inst.total_ops()));
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (int k = 0; k < inst.ops_of(j); ++k) seq.push_back(j);
+  }
+  rng.shuffle(seq);
+  return seq;
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,80 @@
+// Flexible job shop (FJSP): each operation may run on any machine of its
+// eligibility set, with machine-dependent durations. The model carries the
+// extensions of Defersha & Chen [36]: sequence-dependent setup times that
+// are either *attached* (the job must be present during setup) or
+// *detached* (setup may be performed before the job arrives), machine
+// release dates, and minimum time lags between consecutive operations of a
+// job. The genome is the assignment + sequencing chromosome pair the
+// survey describes for flexible shops.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/par/rng.h"
+#include "src/sched/objectives.h"
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+struct FjsChoice {
+  int machine = 0;
+  Time duration = 0;
+};
+
+struct FjsOperation {
+  std::vector<FjsChoice> choices;  ///< eligible machines with durations
+  Time min_lag_after = 0;          ///< min gap before the job's next op
+};
+
+struct FlexibleJobShopInstance {
+  int jobs = 0;
+  int machines = 0;
+  /// ops[job] = the job's operations in processing order.
+  std::vector<std::vector<FjsOperation>> ops;
+  /// Optional sequence-dependent setups: setup[machine][prev_job+1][next_job]
+  /// (prev_job = -1 → initial setup). Empty = no setups.
+  std::vector<std::vector<std::vector<Time>>> setup;
+  /// Detached setups may overlap the job's waiting time; attached setups
+  /// start only once the job is physically on the machine.
+  bool detached_setup = true;
+  /// Machine release dates (empty = all available at 0).
+  std::vector<Time> machine_release;
+  JobAttributes attrs;
+
+  int total_ops() const;
+  int ops_of(int job) const {
+    return static_cast<int>(ops[static_cast<std::size_t>(job)].size());
+  }
+  const FjsOperation& op(int job, int index) const {
+    return ops[static_cast<std::size_t>(job)][static_cast<std::size_t>(index)];
+  }
+  Time setup_time(int machine, int prev_job, int next_job) const;
+  Time machine_release_of(int machine) const;
+
+  ValidationSpec validation_spec() const;
+};
+
+/// Decodes (assignment, sequencing): `assignment[flat_op]` is an index into
+/// that operation's eligibility set (flat ops are numbered job-major), and
+/// `op_sequence` is a permutation with repetition of job ids.
+Schedule decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
+                                  std::span<const int> assignment,
+                                  std::span<const int> op_sequence);
+
+/// Flat operation index of (job, op index).
+int fjs_flat_op(const FlexibleJobShopInstance& inst, int job, int index);
+
+double flexible_job_shop_objective(const FlexibleJobShopInstance& inst,
+                                   const Schedule& schedule,
+                                   Criterion criterion);
+
+/// Random valid assignment chromosome (one eligibility index per flat op).
+std::vector<int> random_fjs_assignment(const FlexibleJobShopInstance& inst,
+                                       par::Rng& rng);
+
+/// Random valid sequencing chromosome.
+std::vector<int> random_fjs_sequence(const FlexibleJobShopInstance& inst,
+                                     par::Rng& rng);
+
+}  // namespace psga::sched

@@ -1,0 +1,97 @@
+#include "src/sched/flow_shop.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace psga::sched {
+
+Time FlowShopInstance::total_processing(int job) const {
+  Time acc = 0;
+  for (int m = 0; m < machines; ++m) acc += processing(m, job);
+  return acc;
+}
+
+namespace {
+
+std::optional<Time> fs_duration(const void* ctx, int job, int index,
+                                int machine) {
+  const auto& inst = *static_cast<const FlowShopInstance*>(ctx);
+  // Flow shop: operation `index` of every job runs on machine `index`.
+  if (machine != index) return std::nullopt;
+  return inst.processing(machine, job);
+}
+
+}  // namespace
+
+ValidationSpec FlowShopInstance::validation_spec() const {
+  ValidationSpec spec;
+  spec.jobs = jobs;
+  spec.machines = machines;
+  spec.ops_per_job.assign(static_cast<std::size_t>(jobs), machines);
+  spec.ordered_stages = true;
+  spec.release = attrs.release;
+  spec.duration = &fs_duration;
+  spec.ctx = this;
+  return spec;
+}
+
+Time flow_shop_makespan(const FlowShopInstance& inst,
+                        std::span<const int> perm) {
+  // ready[m] = completion time of the previous permutation job on machine m.
+  std::vector<Time> ready(static_cast<std::size_t>(inst.machines), 0);
+  for (int job : perm) {
+    Time prev = inst.attrs.release_of(job);
+    for (int m = 0; m < inst.machines; ++m) {
+      const Time start = std::max(prev, ready[static_cast<std::size_t>(m)]);
+      prev = start + inst.processing(m, job);
+      ready[static_cast<std::size_t>(m)] = prev;
+    }
+  }
+  return ready.empty() ? 0 : ready.back();
+}
+
+std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
+                                             std::span<const int> perm) {
+  std::vector<Time> ready(static_cast<std::size_t>(inst.machines), 0);
+  std::vector<Time> completion(static_cast<std::size_t>(inst.jobs), 0);
+  for (int job : perm) {
+    Time prev = inst.attrs.release_of(job);
+    for (int m = 0; m < inst.machines; ++m) {
+      const Time start = std::max(prev, ready[static_cast<std::size_t>(m)]);
+      prev = start + inst.processing(m, job);
+      ready[static_cast<std::size_t>(m)] = prev;
+    }
+    completion[static_cast<std::size_t>(job)] = prev;
+  }
+  return completion;
+}
+
+Schedule flow_shop_schedule(const FlowShopInstance& inst,
+                            std::span<const int> perm) {
+  Schedule schedule;
+  schedule.ops.reserve(static_cast<std::size_t>(inst.jobs) *
+                       static_cast<std::size_t>(inst.machines));
+  std::vector<Time> ready(static_cast<std::size_t>(inst.machines), 0);
+  for (int job : perm) {
+    Time prev = inst.attrs.release_of(job);
+    for (int m = 0; m < inst.machines; ++m) {
+      const Time start = std::max(prev, ready[static_cast<std::size_t>(m)]);
+      const Time end = start + inst.processing(m, job);
+      schedule.ops.push_back(ScheduledOp{job, m, m, start, end});
+      ready[static_cast<std::size_t>(m)] = end;
+      prev = end;
+    }
+  }
+  return schedule;
+}
+
+double flow_shop_objective(const FlowShopInstance& inst,
+                           std::span<const int> perm, Criterion criterion) {
+  if (criterion == Criterion::kMakespan) {
+    return static_cast<double>(flow_shop_makespan(inst, perm));
+  }
+  const auto completion = flow_shop_completion_times(inst, perm);
+  return evaluate_criterion(criterion, completion, inst.attrs);
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,46 @@
+// Permutation flow shop: every job visits machines 0..m-1 in the same
+// order; a genome is a permutation of jobs (the standard chromosome of
+// Section III.A: "a string of length n, the i-th gene contains the index
+// of the job at position i").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sched/objectives.h"
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+struct FlowShopInstance {
+  int jobs = 0;
+  int machines = 0;
+  /// proc[machine][job] — Taillard's layout.
+  std::vector<std::vector<Time>> proc;
+  JobAttributes attrs;
+
+  Time processing(int machine, int job) const {
+    return proc[static_cast<std::size_t>(machine)][static_cast<std::size_t>(job)];
+  }
+  Time total_processing(int job) const;
+
+  ValidationSpec validation_spec() const;
+};
+
+/// Makespan of a job permutation — O(n·m) critical-path recurrence.
+Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm);
+
+/// Completion time of every job on the last machine (indexed by job id),
+/// for the weighted-completion / tardiness criteria.
+std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
+                                             std::span<const int> perm);
+
+/// Full explicit schedule (for validation and Gantt-style inspection).
+Schedule flow_shop_schedule(const FlowShopInstance& inst,
+                            std::span<const int> perm);
+
+/// Criterion value of a permutation.
+double flow_shop_objective(const FlowShopInstance& inst,
+                           std::span<const int> perm, Criterion criterion);
+
+}  // namespace psga::sched

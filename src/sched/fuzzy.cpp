@@ -1,0 +1,101 @@
+#include "src/sched/fuzzy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psga::sched {
+
+TriFuzzy TriFuzzy::fmax(const TriFuzzy& x, const TriFuzzy& y) {
+  return {std::max(x.a, y.a), std::max(x.b, y.b), std::max(x.c, y.c)};
+}
+
+double TriFuzzy::membership(double t) const {
+  if (t <= a || t >= c) return (t == b) ? 1.0 : 0.0;  // degenerate spikes
+  if (t <= b) {
+    return (b > a) ? (t - a) / (b - a) : 1.0;
+  }
+  return (c > b) ? (c - t) / (c - b) : 1.0;
+}
+
+double FuzzyDueDate::satisfaction(double t) const {
+  if (t <= d1) return 1.0;
+  if (t >= d2) return 0.0;
+  return (d2 - t) / (d2 - d1);
+}
+
+double agreement_index(const TriFuzzy& completion, const FuzzyDueDate& due) {
+  const double area = completion.area();
+  if (area <= 1e-12) return due.satisfaction(completion.b);
+  // Numeric integration of min(C(t), D(t)) over the support; 256 samples
+  // keep the error far below what the GA can perceive.
+  const int samples = 256;
+  const double width = completion.c - completion.a;
+  const double dt = width / samples;
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = completion.a + (i + 0.5) * dt;
+    acc += std::min(completion.membership(t), due.satisfaction(t)) * dt;
+  }
+  return std::clamp(acc / area, 0.0, 1.0);
+}
+
+std::vector<TriFuzzy> fuzzy_completion_times(const FuzzyFlowShopInstance& inst,
+                                             std::span<const int> perm) {
+  std::vector<TriFuzzy> ready(static_cast<std::size_t>(inst.machines));
+  std::vector<TriFuzzy> completion(static_cast<std::size_t>(inst.jobs));
+  for (int job : perm) {
+    TriFuzzy prev{};
+    for (int m = 0; m < inst.machines; ++m) {
+      const TriFuzzy start =
+          TriFuzzy::fmax(prev, ready[static_cast<std::size_t>(m)]);
+      prev = start +
+             inst.proc[static_cast<std::size_t>(m)][static_cast<std::size_t>(job)];
+      ready[static_cast<std::size_t>(m)] = prev;
+    }
+    completion[static_cast<std::size_t>(job)] = prev;
+  }
+  return completion;
+}
+
+double mean_agreement(const FuzzyFlowShopInstance& inst,
+                      std::span<const int> perm) {
+  const auto completion = fuzzy_completion_times(inst, perm);
+  double acc = 0.0;
+  for (int j = 0; j < inst.jobs; ++j) {
+    acc += agreement_index(completion[static_cast<std::size_t>(j)],
+                           inst.due[static_cast<std::size_t>(j)]);
+  }
+  return inst.jobs > 0 ? acc / inst.jobs : 0.0;
+}
+
+FuzzyFlowShopInstance fuzzify(const std::vector<std::vector<Time>>& crisp_proc,
+                              double spread, double slack, double ramp) {
+  FuzzyFlowShopInstance inst;
+  inst.machines = static_cast<int>(crisp_proc.size());
+  inst.jobs = inst.machines > 0 ? static_cast<int>(crisp_proc[0].size()) : 0;
+  inst.proc.resize(static_cast<std::size_t>(inst.machines));
+  for (int m = 0; m < inst.machines; ++m) {
+    auto& row = inst.proc[static_cast<std::size_t>(m)];
+    row.reserve(static_cast<std::size_t>(inst.jobs));
+    for (int j = 0; j < inst.jobs; ++j) {
+      const double p =
+          static_cast<double>(crisp_proc[static_cast<std::size_t>(m)]
+                                        [static_cast<std::size_t>(j)]);
+      row.push_back(TriFuzzy{p * (1.0 - spread), p, p * (1.0 + spread)});
+    }
+  }
+  inst.due.resize(static_cast<std::size_t>(inst.jobs));
+  for (int j = 0; j < inst.jobs; ++j) {
+    double total = 0.0;
+    for (int m = 0; m < inst.machines; ++m) {
+      total += static_cast<double>(
+          crisp_proc[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)]);
+    }
+    const double d1 = slack * total;
+    inst.due[static_cast<std::size_t>(j)] =
+        FuzzyDueDate{d1, d1 + ramp * total};
+  }
+  return inst;
+}
+
+}  // namespace psga::sched

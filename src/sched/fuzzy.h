@@ -1,0 +1,78 @@
+// Fuzzy flow shop scheduling (Huang et al. [24]): triangular fuzzy
+// processing times, fuzzy due dates, and the agreement index between a
+// job's fuzzy completion time and its fuzzy due date. The GA maximizes
+// total agreement (we expose 1 - mean agreement as a minimized objective).
+//
+// Fuzzy arithmetic follows the standard scheduling approximations
+// (Sakawa-style): addition is component-wise; the max of two triangular
+// numbers is approximated component-wise (exact for the support ends,
+// approximate for the kernel).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+/// Triangular fuzzy number (a <= b <= c): support [a, c], kernel b.
+struct TriFuzzy {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  TriFuzzy operator+(const TriFuzzy& o) const {
+    return {a + o.a, b + o.b, c + o.c};
+  }
+
+  /// Component-wise max approximation.
+  static TriFuzzy fmax(const TriFuzzy& x, const TriFuzzy& y);
+
+  /// Membership value at t.
+  double membership(double t) const;
+
+  /// Area under the membership triangle ((c - a) / 2); 0 for crisp values.
+  double area() const { return (c - a) / 2.0; }
+};
+
+/// Fuzzy due date: full satisfaction up to `d1`, linearly falling to zero
+/// at `d2` (a non-increasing ramp).
+struct FuzzyDueDate {
+  double d1 = 0.0;
+  double d2 = 0.0;
+
+  double satisfaction(double t) const;
+};
+
+/// Agreement index of Sakawa/Huang: area(C ∩ D) / area(C), where C is the
+/// fuzzy completion time and D the due-date satisfaction ramp. In [0, 1];
+/// 1 = certainly on time. Crisp completion (zero area) degenerates to
+/// D.satisfaction(kernel).
+double agreement_index(const TriFuzzy& completion, const FuzzyDueDate& due);
+
+struct FuzzyFlowShopInstance {
+  int jobs = 0;
+  int machines = 0;
+  /// proc[machine][job] — triangular fuzzy durations.
+  std::vector<std::vector<TriFuzzy>> proc;
+  std::vector<FuzzyDueDate> due;
+};
+
+/// Fuzzy completion time of every job under a permutation (fuzzy critical
+/// path recurrence with component-wise max).
+std::vector<TriFuzzy> fuzzy_completion_times(const FuzzyFlowShopInstance& inst,
+                                             std::span<const int> perm);
+
+/// Mean agreement index over jobs for a permutation (to MAXIMIZE).
+double mean_agreement(const FuzzyFlowShopInstance& inst,
+                      std::span<const int> perm);
+
+/// Builds a fuzzy instance from crisp times: duration p becomes the
+/// triangle (p·(1-spread), p, p·(1+spread)); due dates get a ramp of width
+/// `ramp` times the job's crisp total processing, centered at
+/// slack · total.
+FuzzyFlowShopInstance fuzzify(const std::vector<std::vector<Time>>& crisp_proc,
+                              double spread, double slack, double ramp);
+
+}  // namespace psga::sched

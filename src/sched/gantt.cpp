@@ -1,0 +1,57 @@
+#include "src/sched/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace psga::sched {
+
+namespace {
+
+char job_symbol(int job) {
+  if (job < 10) return static_cast<char>('0' + job);
+  if (job < 36) return static_cast<char>('a' + job - 10);
+  if (job < 62) return static_cast<char>('A' + job - 36);
+  return '*';
+}
+
+}  // namespace
+
+std::string render_gantt(const Schedule& schedule, int machines,
+                         const GanttOptions& options) {
+  const Time makespan = schedule.makespan();
+  const int width = std::max(10, options.width);
+  std::vector<std::string> rows(static_cast<std::size_t>(machines),
+                                std::string(static_cast<std::size_t>(width), '.'));
+  // Half-open scaling: time t maps to column t·width/makespan, so op
+  // [start, end) paints [col(start), col(end)) and adjacent ops tile the
+  // row without gaps or overlap.
+  auto column = [&](Time t) {
+    if (makespan <= 0) return 0LL;
+    const long long c = static_cast<long long>(t) * width / makespan;
+    return std::clamp<long long>(c, 0, width);
+  };
+  for (const auto& op : schedule.ops) {
+    if (op.machine < 0 || op.machine >= machines) continue;
+    auto& row = rows[static_cast<std::size_t>(op.machine)];
+    const int from =
+        static_cast<int>(std::min<long long>(column(op.start), width - 1));
+    // Paint at least one cell so scaling never hides an op.
+    const int to = std::max(from, static_cast<int>(column(op.end)) - 1);
+    for (int c = from; c <= to && c < width; ++c) {
+      row[static_cast<std::size_t>(c)] = job_symbol(op.job);
+    }
+  }
+  std::ostringstream out;
+  for (int m = 0; m < machines; ++m) {
+    out << "M" << m << (m < 10 ? "  |" : " |")
+        << rows[static_cast<std::size_t>(m)] << "|\n";
+  }
+  if (options.show_axis) {
+    out << "    |0" << std::string(static_cast<std::size_t>(width - 2), ' ')
+        << makespan << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace psga::sched

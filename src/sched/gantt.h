@@ -1,0 +1,22 @@
+// ASCII Gantt chart rendering of explicit schedules, for the examples and
+// for eyeballing decoder output.
+#pragma once
+
+#include <string>
+
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+struct GanttOptions {
+  int width = 80;        ///< character columns for the time axis
+  bool show_axis = true; ///< print a time ruler under the chart
+};
+
+/// Renders one row per machine; each operation paints its job's symbol
+/// (0-9, then a-z, then A-Z, then '*') over its scaled time span. Idle
+/// time shows as '.', downtime is simply unpainted.
+std::string render_gantt(const Schedule& schedule, int machines,
+                         const GanttOptions& options = {});
+
+}  // namespace psga::sched

@@ -1,0 +1,190 @@
+#include "src/sched/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/par/rng.h"
+
+namespace psga::sched {
+
+OpenShopInstance random_open_shop(int jobs, int machines, std::uint64_t seed,
+                                  Time lo, Time hi) {
+  par::Rng rng(seed);
+  OpenShopInstance inst;
+  inst.jobs = jobs;
+  inst.machines = machines;
+  inst.proc.assign(static_cast<std::size_t>(jobs),
+                   std::vector<Time>(static_cast<std::size_t>(machines), 0));
+  for (auto& row : inst.proc) {
+    for (auto& p : row) {
+      p = rng.range(static_cast<int>(lo), static_cast<int>(hi));
+    }
+  }
+  return inst;
+}
+
+HybridFlowShopInstance random_hybrid_flow_shop(const HfsParams& params,
+                                               std::uint64_t seed) {
+  par::Rng rng(seed);
+  HybridFlowShopInstance inst;
+  inst.jobs = params.jobs;
+  inst.machines_per_stage = params.machines_per_stage;
+  inst.blocking = params.blocking;
+  const int stages = inst.stages();
+  inst.proc.assign(static_cast<std::size_t>(stages), {});
+  for (int s = 0; s < stages; ++s) {
+    const int machines = params.machines_per_stage[static_cast<std::size_t>(s)];
+    // Per-machine speed multipliers model unrelated machines.
+    std::vector<double> factor(static_cast<std::size_t>(machines), 1.0);
+    if (params.unrelatedness > 1.0) {
+      for (auto& f : factor) f = rng.uniform(1.0, params.unrelatedness);
+    }
+    auto& stage_proc = inst.proc[static_cast<std::size_t>(s)];
+    stage_proc.assign(static_cast<std::size_t>(params.jobs), {});
+    for (int j = 0; j < params.jobs; ++j) {
+      const Time base =
+          rng.range(static_cast<int>(params.lo), static_cast<int>(params.hi));
+      auto& row = stage_proc[static_cast<std::size_t>(j)];
+      row.reserve(static_cast<std::size_t>(machines));
+      for (int k = 0; k < machines; ++k) {
+        row.push_back(std::max<Time>(
+            1, static_cast<Time>(static_cast<double>(base) *
+                                     factor[static_cast<std::size_t>(k)] +
+                                 0.5)));
+      }
+    }
+  }
+  if (params.setup_hi > 0) {
+    inst.setup.assign(static_cast<std::size_t>(stages), {});
+    for (int s = 0; s < stages; ++s) {
+      const int machines = params.machines_per_stage[static_cast<std::size_t>(s)];
+      auto& stage_setup = inst.setup[static_cast<std::size_t>(s)];
+      stage_setup.assign(static_cast<std::size_t>(machines), {});
+      for (int k = 0; k < machines; ++k) {
+        auto& by_prev = stage_setup[static_cast<std::size_t>(k)];
+        by_prev.assign(static_cast<std::size_t>(params.jobs + 1),
+                       std::vector<Time>(static_cast<std::size_t>(params.jobs), 0));
+        for (auto& row : by_prev) {
+          for (auto& t : row) {
+            t = rng.range(1, static_cast<int>(params.setup_hi));
+          }
+        }
+      }
+    }
+  }
+  return inst;
+}
+
+FlexibleJobShopInstance random_flexible_job_shop(const FjsParams& params,
+                                                 std::uint64_t seed) {
+  par::Rng rng(seed);
+  FlexibleJobShopInstance inst;
+  inst.jobs = params.jobs;
+  inst.machines = params.machines;
+  inst.detached_setup = params.detached_setup;
+  inst.ops.assign(static_cast<std::size_t>(params.jobs), {});
+  std::vector<int> machine_pool(static_cast<std::size_t>(params.machines));
+  std::iota(machine_pool.begin(), machine_pool.end(), 0);
+  for (int j = 0; j < params.jobs; ++j) {
+    auto& route = inst.ops[static_cast<std::size_t>(j)];
+    route.resize(static_cast<std::size_t>(params.ops_per_job));
+    for (auto& op : route) {
+      rng.shuffle(machine_pool);
+      const int eligible =
+          std::clamp(params.eligible_machines, 1, params.machines);
+      op.choices.reserve(static_cast<std::size_t>(eligible));
+      for (int e = 0; e < eligible; ++e) {
+        op.choices.push_back(FjsChoice{
+            machine_pool[static_cast<std::size_t>(e)],
+            rng.range(static_cast<int>(params.lo), static_cast<int>(params.hi))});
+      }
+      // Keep choices machine-sorted so decode is order-stable.
+      std::sort(op.choices.begin(), op.choices.end(),
+                [](const FjsChoice& a, const FjsChoice& b) {
+                  return a.machine < b.machine;
+                });
+      if (params.max_lag > 0) {
+        op.min_lag_after = rng.range(0, static_cast<int>(params.max_lag));
+      }
+    }
+  }
+  if (params.setup_hi > 0) {
+    inst.setup.assign(static_cast<std::size_t>(params.machines), {});
+    for (auto& by_prev : inst.setup) {
+      by_prev.assign(static_cast<std::size_t>(params.jobs + 1),
+                     std::vector<Time>(static_cast<std::size_t>(params.jobs), 0));
+      for (auto& row : by_prev) {
+        for (auto& t : row) t = rng.range(1, static_cast<int>(params.setup_hi));
+      }
+    }
+  }
+  if (params.machine_release_hi > 0) {
+    inst.machine_release.resize(static_cast<std::size_t>(params.machines));
+    for (auto& r : inst.machine_release) {
+      r = rng.range(0, static_cast<int>(params.machine_release_hi));
+    }
+  }
+  return inst;
+}
+
+LotStreamingInstance random_lot_streaming(const LotStreamParams& params,
+                                          std::uint64_t seed) {
+  par::Rng rng(seed);
+  LotStreamingInstance inst;
+  inst.machines_per_stage = params.machines_per_stage;
+  inst.batch.resize(static_cast<std::size_t>(params.jobs));
+  inst.sublots.assign(static_cast<std::size_t>(params.jobs), params.sublots);
+  for (auto& b : inst.batch) b = rng.range(params.batch_lo, params.batch_hi);
+  const int stages = inst.stages();
+  inst.unit_proc.assign(static_cast<std::size_t>(stages), {});
+  for (int s = 0; s < stages; ++s) {
+    auto& stage = inst.unit_proc[static_cast<std::size_t>(s)];
+    stage.assign(static_cast<std::size_t>(params.jobs), {});
+    const int machines = params.machines_per_stage[static_cast<std::size_t>(s)];
+    for (auto& row : stage) {
+      const Time unit = rng.range(static_cast<int>(params.unit_lo),
+                                  static_cast<int>(params.unit_hi));
+      row.assign(static_cast<std::size_t>(machines), unit);
+    }
+  }
+  return inst;
+}
+
+JobShopInstance random_job_shop(int jobs, int machines, std::uint64_t seed,
+                                Time lo, Time hi) {
+  par::Rng rng(seed);
+  JobShopInstance inst;
+  inst.jobs = jobs;
+  inst.machines = machines;
+  inst.ops.assign(static_cast<std::size_t>(jobs), {});
+  std::vector<int> order(static_cast<std::size_t>(machines));
+  for (auto& route : inst.ops) {
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    route.reserve(order.size());
+    for (int m : order) {
+      route.push_back(
+          JsOperation{m, rng.range(static_cast<int>(lo), static_cast<int>(hi))});
+    }
+  }
+  return inst;
+}
+
+void assign_due_dates(JobAttributes& attrs, const std::vector<Time>& work,
+                      double slack_factor, int max_weight, std::uint64_t seed) {
+  par::Rng rng(seed);
+  const int jobs = static_cast<int>(work.size());
+  attrs.due.resize(static_cast<std::size_t>(jobs));
+  attrs.weight.resize(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    const Time release = attrs.release_of(j);
+    attrs.due[static_cast<std::size_t>(j)] =
+        release + static_cast<Time>(
+                      slack_factor *
+                      static_cast<double>(work[static_cast<std::size_t>(j)]));
+    attrs.weight[static_cast<std::size_t>(j)] =
+        static_cast<double>(rng.range(1, max_weight));
+  }
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,77 @@
+// Parameterized random instance generators for the problem families the
+// surveyed works evaluate on but whose data files are not publicly
+// regenerable (open shop, hybrid flow shop, flexible job shop, lot
+// streaming). All generators are deterministic functions of their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sched/flexible_job_shop.h"
+#include "src/sched/hybrid_flow_shop.h"
+#include "src/sched/job_shop.h"
+#include "src/sched/lot_streaming.h"
+#include "src/sched/open_shop.h"
+
+namespace psga::sched {
+
+/// Uniform open shop: proc[job][machine] ~ U[lo, hi].
+OpenShopInstance random_open_shop(int jobs, int machines, std::uint64_t seed,
+                                  Time lo = 1, Time hi = 99);
+
+struct HfsParams {
+  int jobs = 20;
+  std::vector<int> machines_per_stage = {2, 2, 2};
+  Time lo = 1;
+  Time hi = 99;
+  /// Unrelated machines: per-machine multiplier in [1, unrelatedness];
+  /// 1.0 = identical machines.
+  double unrelatedness = 1.0;
+  /// If > 0 also generate sequence-dependent setups ~ U[1, setup_hi].
+  Time setup_hi = 0;
+  bool blocking = false;
+};
+
+HybridFlowShopInstance random_hybrid_flow_shop(const HfsParams& params,
+                                               std::uint64_t seed);
+
+struct FjsParams {
+  int jobs = 10;
+  int machines = 6;
+  int ops_per_job = 6;
+  /// Each op is eligible on a random subset of this size (>= 1).
+  int eligible_machines = 3;
+  Time lo = 1;
+  Time hi = 99;
+  Time setup_hi = 0;          ///< 0 = no setups
+  bool detached_setup = true;
+  Time machine_release_hi = 0;  ///< 0 = all machines free at t=0
+  Time max_lag = 0;             ///< 0 = no inter-operation time lags
+};
+
+FlexibleJobShopInstance random_flexible_job_shop(const FjsParams& params,
+                                                 std::uint64_t seed);
+
+struct LotStreamParams {
+  int jobs = 8;
+  std::vector<int> machines_per_stage = {2, 2};
+  int batch_lo = 20;
+  int batch_hi = 60;
+  int sublots = 3;
+  Time unit_lo = 1;
+  Time unit_hi = 9;
+};
+
+LotStreamingInstance random_lot_streaming(const LotStreamParams& params,
+                                          std::uint64_t seed);
+
+/// Uniform random job shop (jobs × machines, every job visits every
+/// machine once in a random order) — stand-in for ABZ/ORB-style instances.
+JobShopInstance random_job_shop(int jobs, int machines, std::uint64_t seed,
+                                Time lo = 1, Time hi = 99);
+
+/// Assigns due dates D_j = R_j + slack_factor × (total processing of j)
+/// and integer weights in [1, max_weight]; the standard TWT setup.
+void assign_due_dates(JobAttributes& attrs, const std::vector<Time>& work,
+                      double slack_factor, int max_weight, std::uint64_t seed);
+
+}  // namespace psga::sched

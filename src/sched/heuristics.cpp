@@ -1,0 +1,52 @@
+#include "src/sched/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace psga::sched {
+
+std::vector<int> neh_permutation(const FlowShopInstance& inst) {
+  // Order jobs by descending total processing time.
+  std::vector<int> order(static_cast<std::size_t>(inst.jobs));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return inst.total_processing(a) > inst.total_processing(b);
+  });
+  // Insert each job at the position minimizing partial makespan.
+  std::vector<int> seq;
+  seq.reserve(order.size());
+  std::vector<int> trial;
+  for (int job : order) {
+    std::size_t best_pos = 0;
+    Time best_makespan = -1;
+    for (std::size_t pos = 0; pos <= seq.size(); ++pos) {
+      trial = seq;
+      trial.insert(trial.begin() + static_cast<std::ptrdiff_t>(pos), job);
+      const Time makespan = flow_shop_makespan(inst, trial);
+      if (best_makespan < 0 || makespan < best_makespan) {
+        best_makespan = makespan;
+        best_pos = pos;
+      }
+    }
+    seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(best_pos), job);
+  }
+  return seq;
+}
+
+Time neh_makespan(const FlowShopInstance& inst) {
+  return flow_shop_makespan(inst, neh_permutation(inst));
+}
+
+Time best_dispatch_makespan(const JobShopInstance& inst) {
+  par::Rng rng(0);  // kRandom unused below; any seed works
+  Time best = -1;
+  for (PriorityRule rule : {PriorityRule::kSpt, PriorityRule::kLpt,
+                            PriorityRule::kMostWorkRemaining,
+                            PriorityRule::kFcfs}) {
+    const Time makespan = giffler_thompson(inst, rule, rng).makespan();
+    if (best < 0 || makespan < best) best = makespan;
+  }
+  return best;
+}
+
+}  // namespace psga::sched

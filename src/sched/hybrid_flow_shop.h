@@ -1,0 +1,62 @@
+// Hybrid (flexible) flow shop: jobs traverse stages in the same order, but
+// a stage holds several parallel machines — possibly unrelated (per-machine
+// processing times), with optional sequence-dependent setup times and
+// processor blocking, matching the models of Belkadi et al. [37] and
+// Rashidi et al. [38].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sched/objectives.h"
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+struct HybridFlowShopInstance {
+  int jobs = 0;
+  /// machines_per_stage[s] = parallel machine count at stage s.
+  std::vector<int> machines_per_stage;
+  /// proc[stage][job][machine-in-stage] — unrelated parallel machines.
+  /// Identical machines simply repeat the same duration.
+  std::vector<std::vector<std::vector<Time>>> proc;
+  /// Optional sequence-dependent setups:
+  /// setup[stage][machine-in-stage][prev_job + 1][next_job]; prev_job = -1
+  /// (index 0) is the initial setup. Empty = no setups.
+  std::vector<std::vector<std::vector<std::vector<Time>>>> setup;
+  /// Blocking: no intermediate buffers — a finished job occupies its
+  /// machine until a machine at the next stage frees up ([38]).
+  bool blocking = false;
+  JobAttributes attrs;
+
+  int stages() const { return static_cast<int>(machines_per_stage.size()); }
+  int total_machines() const;
+  /// Global machine id of machine `k` at stage `s` (Schedule needs one
+  /// flat machine namespace).
+  int global_machine(int stage, int k) const;
+
+  Time processing(int stage, int job, int k) const {
+    return proc[static_cast<std::size_t>(stage)][static_cast<std::size_t>(job)]
+               [static_cast<std::size_t>(k)];
+  }
+  Time setup_time(int stage, int k, int prev_job, int next_job) const;
+
+  ValidationSpec validation_spec() const;
+};
+
+/// Decodes a job permutation: stage 0 is sequenced in chromosome order;
+/// each later stage processes jobs in order of their completion at the
+/// previous stage (FIFO list scheduling); within a stage each job takes
+/// the machine that completes it earliest (setup-aware).
+Schedule decode_hybrid_flow_shop(const HybridFlowShopInstance& inst,
+                                 std::span<const int> perm);
+
+double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
+                                  const Schedule& schedule,
+                                  Criterion criterion);
+
+double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
+                                  const Schedule& schedule,
+                                  const CompositeObjective& objective);
+
+}  // namespace psga::sched

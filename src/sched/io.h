@@ -1,0 +1,42 @@
+// Instance file I/O in the community's standard text formats, so psga can
+// exchange instances with the OR-Library / Taillard ecosystems the
+// surveyed papers evaluate on.
+//
+//   * Job shop ("standard" / OR-Library format):
+//       <jobs> <machines>
+//       then one line per job: machine duration machine duration ...
+//   * Flow shop (Taillard's format):
+//       <jobs> <machines>
+//       then <machines> lines of <jobs> processing times each.
+//
+// Lines starting with '#' are skipped in both formats.
+#pragma once
+
+#include <string>
+
+#include "src/sched/flow_shop.h"
+#include "src/sched/job_shop.h"
+
+namespace psga::sched {
+
+/// Parses a job shop from standard-format text. Throws
+/// std::invalid_argument on malformed input.
+JobShopInstance parse_job_shop(const std::string& text);
+
+/// Serializes a job shop to standard format.
+std::string format_job_shop(const JobShopInstance& inst);
+
+/// Parses a flow shop from Taillard-format text. Throws
+/// std::invalid_argument on malformed input.
+FlowShopInstance parse_flow_shop(const std::string& text);
+
+/// Serializes a flow shop to Taillard format.
+std::string format_flow_shop(const FlowShopInstance& inst);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+JobShopInstance load_job_shop(const std::string& path);
+void save_job_shop(const JobShopInstance& inst, const std::string& path);
+FlowShopInstance load_flow_shop(const std::string& path);
+void save_flow_shop(const FlowShopInstance& inst, const std::string& path);
+
+}  // namespace psga::sched

@@ -1,0 +1,262 @@
+#include "src/sched/job_shop.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+namespace psga::sched {
+
+int JobShopInstance::total_ops() const {
+  int acc = 0;
+  for (const auto& route : ops) acc += static_cast<int>(route.size());
+  return acc;
+}
+
+namespace {
+
+std::optional<Time> js_duration(const void* ctx, int job, int index,
+                                int machine) {
+  const auto& inst = *static_cast<const JobShopInstance*>(ctx);
+  const JsOperation& op = inst.op(job, index);
+  if (machine != op.machine) return std::nullopt;
+  return op.duration;
+}
+
+}  // namespace
+
+ValidationSpec JobShopInstance::validation_spec() const {
+  ValidationSpec spec;
+  spec.jobs = jobs;
+  spec.machines = machines;
+  spec.ops_per_job.reserve(static_cast<std::size_t>(jobs));
+  for (const auto& route : ops) {
+    spec.ops_per_job.push_back(static_cast<int>(route.size()));
+  }
+  spec.ordered_stages = true;
+  spec.release = attrs.release;
+  spec.duration = &js_duration;
+  spec.ctx = this;
+  return spec;
+}
+
+Schedule decode_operation_based(const JobShopInstance& inst,
+                                std::span<const int> op_sequence) {
+  Schedule schedule;
+  schedule.ops.reserve(op_sequence.size());
+  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  for (int j = 0; j < inst.jobs; ++j) {
+    job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+  for (int job : op_sequence) {
+    const int index = next_op[static_cast<std::size_t>(job)]++;
+    const JsOperation& op = inst.op(job, index);
+    const Time start = std::max(job_free[static_cast<std::size_t>(job)],
+                                machine_free[static_cast<std::size_t>(op.machine)]);
+    const Time end = start + op.duration;
+    schedule.ops.push_back(ScheduledOp{job, index, op.machine, start, end});
+    job_free[static_cast<std::size_t>(job)] = end;
+    machine_free[static_cast<std::size_t>(op.machine)] = end;
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Shared Giffler–Thompson scaffold. `pick` chooses the winner among the
+/// conflict set (indices into `candidates`).
+template <typename Pick>
+Schedule giffler_thompson_impl(const JobShopInstance& inst, Pick&& pick) {
+  Schedule schedule;
+  schedule.ops.reserve(static_cast<std::size_t>(inst.total_ops()));
+  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  std::vector<Time> work_left(static_cast<std::size_t>(inst.jobs), 0);
+  for (int j = 0; j < inst.jobs; ++j) {
+    job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+    for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
+      work_left[static_cast<std::size_t>(j)] += op.duration;
+    }
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+
+  const int total = inst.total_ops();
+  for (int scheduled = 0; scheduled < total; ++scheduled) {
+    // Earliest-completing candidate determines the conflict machine.
+    Time best_completion = std::numeric_limits<Time>::max();
+    int conflict_machine = -1;
+    for (int j = 0; j < inst.jobs; ++j) {
+      const int k = next_op[static_cast<std::size_t>(j)];
+      if (k >= inst.ops_of(j)) continue;
+      const JsOperation& op = inst.op(j, k);
+      const Time start =
+          std::max(job_free[static_cast<std::size_t>(j)],
+                   machine_free[static_cast<std::size_t>(op.machine)]);
+      const Time completion = start + op.duration;
+      if (completion < best_completion) {
+        best_completion = completion;
+        conflict_machine = op.machine;
+      }
+    }
+    // Conflict set: schedulable ops on that machine that would start
+    // before the earliest completion.
+    std::vector<int> conflict_jobs;
+    for (int j = 0; j < inst.jobs; ++j) {
+      const int k = next_op[static_cast<std::size_t>(j)];
+      if (k >= inst.ops_of(j)) continue;
+      const JsOperation& op = inst.op(j, k);
+      if (op.machine != conflict_machine) continue;
+      const Time start =
+          std::max(job_free[static_cast<std::size_t>(j)],
+                   machine_free[static_cast<std::size_t>(op.machine)]);
+      if (start < best_completion) conflict_jobs.push_back(j);
+    }
+    const int winner = pick(conflict_jobs, next_op, work_left);
+    const int k = next_op[static_cast<std::size_t>(winner)]++;
+    const JsOperation& op = inst.op(winner, k);
+    const Time start =
+        std::max(job_free[static_cast<std::size_t>(winner)],
+                 machine_free[static_cast<std::size_t>(op.machine)]);
+    const Time end = start + op.duration;
+    schedule.ops.push_back(ScheduledOp{winner, k, op.machine, start, end});
+    job_free[static_cast<std::size_t>(winner)] = end;
+    machine_free[static_cast<std::size_t>(op.machine)] = end;
+    work_left[static_cast<std::size_t>(winner)] -= op.duration;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule giffler_thompson(const JobShopInstance& inst, PriorityRule rule,
+                          par::Rng& rng) {
+  int tick = 0;  // FCFS tiebreak counter
+  return giffler_thompson_impl(
+      inst, [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
+                const std::vector<Time>& work_left) {
+        ++tick;
+        int best = jobs.front();
+        auto duration_of = [&](int j) {
+          return inst.op(j, next_op[static_cast<std::size_t>(j)]).duration;
+        };
+        switch (rule) {
+          case PriorityRule::kSpt:
+            for (int j : jobs) {
+              if (duration_of(j) < duration_of(best)) best = j;
+            }
+            break;
+          case PriorityRule::kLpt:
+            for (int j : jobs) {
+              if (duration_of(j) > duration_of(best)) best = j;
+            }
+            break;
+          case PriorityRule::kMostWorkRemaining:
+            for (int j : jobs) {
+              if (work_left[static_cast<std::size_t>(j)] >
+                  work_left[static_cast<std::size_t>(best)]) {
+                best = j;
+              }
+            }
+            break;
+          case PriorityRule::kFcfs:
+            // Conflict set is already in job-id order; keep the first.
+            break;
+          case PriorityRule::kRandom:
+            best = jobs[static_cast<std::size_t>(rng.below(jobs.size()))];
+            break;
+        }
+        return best;
+      });
+}
+
+Schedule giffler_thompson_sequence(const JobShopInstance& inst,
+                                   std::span<const int> op_sequence) {
+  // For each job, the positions of its genes in the chromosome; cursor[j]
+  // points at the position of job j's next unconsumed gene.
+  std::vector<std::vector<int>> positions(static_cast<std::size_t>(inst.jobs));
+  for (int pos = 0; pos < static_cast<int>(op_sequence.size()); ++pos) {
+    positions[static_cast<std::size_t>(op_sequence[static_cast<std::size_t>(pos)])]
+        .push_back(pos);
+  }
+  std::vector<int> cursor(static_cast<std::size_t>(inst.jobs), 0);
+  return giffler_thompson_impl(
+      inst, [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
+                const std::vector<Time>& /*work_left*/) {
+        int best = jobs.front();
+        int best_pos = std::numeric_limits<int>::max();
+        for (int j : jobs) {
+          const auto& pos_list = positions[static_cast<std::size_t>(j)];
+          const int k = next_op[static_cast<std::size_t>(j)];
+          const int pos = pos_list[static_cast<std::size_t>(k)];
+          if (pos < best_pos) {
+            best_pos = pos;
+            best = j;
+          }
+        }
+        (void)cursor;
+        return best;
+      });
+}
+
+Schedule giffler_thompson_rules(const JobShopInstance& inst,
+                                std::span<const int> rule_per_step) {
+  int step = 0;
+  return giffler_thompson_impl(
+      inst, [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
+                const std::vector<Time>& work_left) {
+        const int raw =
+            step < static_cast<int>(rule_per_step.size())
+                ? rule_per_step[static_cast<std::size_t>(step)]
+                : 0;
+        ++step;
+        const int rule = ((raw % kDispatchRuleCount) + kDispatchRuleCount) %
+                         kDispatchRuleCount;
+        int best = jobs.front();
+        auto duration_of = [&](int j) {
+          return inst.op(j, next_op[static_cast<std::size_t>(j)]).duration;
+        };
+        switch (rule) {
+          case 0:  // SPT
+            for (int j : jobs) {
+              if (duration_of(j) < duration_of(best)) best = j;
+            }
+            break;
+          case 1:  // LPT
+            for (int j : jobs) {
+              if (duration_of(j) > duration_of(best)) best = j;
+            }
+            break;
+          case 2:  // MWR
+            for (int j : jobs) {
+              if (work_left[static_cast<std::size_t>(j)] >
+                  work_left[static_cast<std::size_t>(best)]) {
+                best = j;
+              }
+            }
+            break;
+          default:  // FCFS: first job id in the conflict set
+            break;
+        }
+        return best;
+      });
+}
+
+double job_shop_objective(const JobShopInstance& inst,
+                          const Schedule& schedule, Criterion criterion) {
+  const auto completion = schedule.job_completion_times(inst.jobs);
+  return evaluate_criterion(criterion, completion, inst.attrs);
+}
+
+std::vector<int> random_operation_sequence(const JobShopInstance& inst,
+                                           par::Rng& rng) {
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(inst.total_ops()));
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (int k = 0; k < inst.ops_of(j); ++k) seq.push_back(j);
+  }
+  rng.shuffle(seq);
+  return seq;
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,117 @@
+#include "src/sched/lot_streaming.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace psga::sched {
+
+int LotStreamingInstance::total_sublots() const {
+  return std::accumulate(sublots.begin(), sublots.end(), 0);
+}
+
+std::vector<int> sublot_sizes_from_keys(int batch_size,
+                                        std::span<const double> keys) {
+  const int lots = static_cast<int>(keys.size());
+  std::vector<int> sizes(static_cast<std::size_t>(lots), 0);
+  if (lots == 0) return sizes;
+  double total = 0.0;
+  for (double k : keys) total += std::max(k, 1e-9);
+  // Largest-remainder apportionment of batch_size items over the keys.
+  std::vector<double> exact(static_cast<std::size_t>(lots));
+  int assigned = 0;
+  for (int i = 0; i < lots; ++i) {
+    exact[static_cast<std::size_t>(i)] =
+        static_cast<double>(batch_size) * std::max(keys[static_cast<std::size_t>(i)], 1e-9) / total;
+    sizes[static_cast<std::size_t>(i)] =
+        static_cast<int>(exact[static_cast<std::size_t>(i)]);
+    assigned += sizes[static_cast<std::size_t>(i)];
+  }
+  std::vector<int> order(static_cast<std::size_t>(lots));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ra = exact[static_cast<std::size_t>(a)] -
+                      static_cast<double>(sizes[static_cast<std::size_t>(a)]);
+    const double rb = exact[static_cast<std::size_t>(b)] -
+                      static_cast<double>(sizes[static_cast<std::size_t>(b)]);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  for (int i = 0; assigned < batch_size; ++i, ++assigned) {
+    ++sizes[static_cast<std::size_t>(order[static_cast<std::size_t>(i % lots)])];
+  }
+  // Consistent sublots should all be non-empty when the batch allows it:
+  // steal items from the largest sublot for any empty one.
+  if (batch_size >= lots) {
+    for (int i = 0; i < lots; ++i) {
+      if (sizes[static_cast<std::size_t>(i)] > 0) continue;
+      const auto biggest = std::max_element(sizes.begin(), sizes.end());
+      --*biggest;
+      ++sizes[static_cast<std::size_t>(i)];
+    }
+  }
+  return sizes;
+}
+
+HybridFlowShopInstance expand_lot_streaming(const LotStreamingInstance& inst,
+                                            std::span<const double> keys,
+                                            std::vector<int>* sublot_of_job) {
+  HybridFlowShopInstance hfs;
+  hfs.machines_per_stage = inst.machines_per_stage;
+  const int expanded_jobs = inst.total_sublots();
+  hfs.jobs = expanded_jobs;
+  hfs.proc.assign(static_cast<std::size_t>(inst.stages()), {});
+  if (sublot_of_job != nullptr) sublot_of_job->clear();
+
+  // Sublot sizes per original job.
+  std::vector<std::vector<int>> sizes(static_cast<std::size_t>(inst.jobs()));
+  std::size_t key_cursor = 0;
+  for (int j = 0; j < inst.jobs(); ++j) {
+    const int lots = inst.sublots[static_cast<std::size_t>(j)];
+    sizes[static_cast<std::size_t>(j)] = sublot_sizes_from_keys(
+        inst.batch[static_cast<std::size_t>(j)],
+        keys.subspan(key_cursor, static_cast<std::size_t>(lots)));
+    key_cursor += static_cast<std::size_t>(lots);
+  }
+
+  for (int s = 0; s < inst.stages(); ++s) {
+    auto& stage_proc = hfs.proc[static_cast<std::size_t>(s)];
+    stage_proc.reserve(static_cast<std::size_t>(expanded_jobs));
+    for (int j = 0; j < inst.jobs(); ++j) {
+      for (int size : sizes[static_cast<std::size_t>(j)]) {
+        std::vector<Time> per_machine;
+        const auto& unit =
+            inst.unit_proc[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+        per_machine.reserve(unit.size());
+        for (Time u : unit) per_machine.push_back(u * size);
+        stage_proc.push_back(std::move(per_machine));
+        if (s == 0 && sublot_of_job != nullptr) sublot_of_job->push_back(j);
+      }
+    }
+  }
+  // Release/due/weight propagate from the owning job.
+  if (!inst.attrs.release.empty() || !inst.attrs.due.empty() ||
+      !inst.attrs.weight.empty()) {
+    for (int j = 0; j < inst.jobs(); ++j) {
+      for (int l = 0; l < inst.sublots[static_cast<std::size_t>(j)]; ++l) {
+        if (!inst.attrs.release.empty()) {
+          hfs.attrs.release.push_back(inst.attrs.release_of(j));
+        }
+        if (!inst.attrs.due.empty()) hfs.attrs.due.push_back(inst.attrs.due_of(j));
+        if (!inst.attrs.weight.empty()) {
+          hfs.attrs.weight.push_back(inst.attrs.weight_of(j));
+        }
+      }
+    }
+  }
+  return hfs;
+}
+
+Time lot_streaming_makespan(const LotStreamingInstance& inst,
+                            std::span<const double> keys,
+                            std::span<const int> sublot_perm) {
+  const HybridFlowShopInstance hfs = expand_lot_streaming(inst, keys, nullptr);
+  const Schedule schedule = decode_hybrid_flow_shop(hfs, sublot_perm);
+  return schedule.makespan();
+}
+
+}  // namespace psga::sched

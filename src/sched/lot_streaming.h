@@ -1,0 +1,54 @@
+// Lot streaming for the flexible flow shop (Defersha & Chen [35]): each
+// job is a batch of identical items split into a fixed number of unequal,
+// *consistent* sublots (same split at every stage). Each sublot travels
+// the stages independently, so downstream stages can start before the
+// whole batch finishes upstream. A genome contributes (a) continuous keys
+// that determine the sublot size split and (b) a sublot sequencing
+// permutation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sched/hybrid_flow_shop.h"
+
+namespace psga::sched {
+
+struct LotStreamingInstance {
+  /// Per-item processing times: unit_proc[stage][job][machine-in-stage].
+  /// Machine structure (stages, parallel machines) mirrors
+  /// HybridFlowShopInstance.
+  std::vector<int> machines_per_stage;
+  std::vector<std::vector<std::vector<Time>>> unit_proc;
+  /// batch[job] = number of identical items in the job's batch.
+  std::vector<int> batch;
+  /// sublots[job] = number of consistent sublots the batch splits into.
+  std::vector<int> sublots;
+  JobAttributes attrs;
+
+  int jobs() const { return static_cast<int>(batch.size()); }
+  int stages() const { return static_cast<int>(machines_per_stage.size()); }
+  int total_sublots() const;
+};
+
+/// Converts continuous split keys (one per sublot, any positive values)
+/// into integer sublot sizes that sum to the batch size; every sublot gets
+/// at least one item when the batch allows it.
+std::vector<int> sublot_sizes_from_keys(int batch_size,
+                                        std::span<const double> keys);
+
+/// Expands the lot-streaming instance into a hybrid flow shop over sublots
+/// (each sublot becomes a sub-job whose stage duration = size × unit time)
+/// using `keys` (concatenated per job, inst.sublots[j] keys each).
+/// `sublot_of_job` maps expanded job id -> original job id.
+HybridFlowShopInstance expand_lot_streaming(const LotStreamingInstance& inst,
+                                            std::span<const double> keys,
+                                            std::vector<int>* sublot_of_job);
+
+/// Decodes keys + a sublot permutation into a schedule of the expanded
+/// shop and returns the original-job makespan.
+Time lot_streaming_makespan(const LotStreamingInstance& inst,
+                            std::span<const double> keys,
+                            std::span<const int> sublot_perm);
+
+}  // namespace psga::sched

@@ -1,0 +1,86 @@
+#include "src/sched/objectives.h"
+
+#include <algorithm>
+
+namespace psga::sched {
+
+std::string to_string(Criterion c) {
+  switch (c) {
+    case Criterion::kMakespan:
+      return "Cmax";
+    case Criterion::kTotalWeightedCompletion:
+      return "sum wjCj";
+    case Criterion::kTotalWeightedTardiness:
+      return "sum wjTj";
+    case Criterion::kWeightedUnitPenalty:
+      return "sum wjUj";
+    case Criterion::kMaxTardiness:
+      return "Tmax";
+  }
+  return "?";
+}
+
+double evaluate_criterion(Criterion c, std::span<const Time> completion,
+                          const JobAttributes& attrs) {
+  switch (c) {
+    case Criterion::kMakespan: {
+      Time best = 0;
+      for (Time t : completion) best = std::max(best, t);
+      return static_cast<double>(best);
+    }
+    case Criterion::kTotalWeightedCompletion: {
+      double acc = 0.0;
+      for (int j = 0; j < static_cast<int>(completion.size()); ++j) {
+        acc += attrs.weight_of(j) *
+               static_cast<double>(completion[static_cast<std::size_t>(j)]);
+      }
+      return acc;
+    }
+    case Criterion::kTotalWeightedTardiness: {
+      double acc = 0.0;
+      for (int j = 0; j < static_cast<int>(completion.size()); ++j) {
+        const Time late = completion[static_cast<std::size_t>(j)] - attrs.due_of(j);
+        if (late > 0) acc += attrs.weight_of(j) * static_cast<double>(late);
+      }
+      return acc;
+    }
+    case Criterion::kWeightedUnitPenalty: {
+      double acc = 0.0;
+      for (int j = 0; j < static_cast<int>(completion.size()); ++j) {
+        if (completion[static_cast<std::size_t>(j)] > attrs.due_of(j)) {
+          acc += attrs.weight_of(j);
+        }
+      }
+      return acc;
+    }
+    case Criterion::kMaxTardiness: {
+      Time worst = 0;
+      for (int j = 0; j < static_cast<int>(completion.size()); ++j) {
+        worst = std::max(worst,
+                         completion[static_cast<std::size_t>(j)] - attrs.due_of(j));
+      }
+      return static_cast<double>(std::max<Time>(worst, 0));
+    }
+  }
+  return 0.0;
+}
+
+double CompositeObjective::evaluate(std::span<const Time> completion,
+                                    const JobAttributes& attrs) const {
+  double acc = 0.0;
+  for (const auto& [criterion, weight] : terms) {
+    acc += weight * evaluate_criterion(criterion, completion, attrs);
+  }
+  return acc;
+}
+
+double fitness_eq1(double objective, double heuristic_reference) {
+  return std::max(heuristic_reference - objective, 0.0);
+}
+
+double fitness_eq2(double objective) {
+  if (objective <= 0.0) return 1e18;
+  return 1.0 / objective;
+}
+
+}  // namespace psga::sched

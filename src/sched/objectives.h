@@ -1,0 +1,78 @@
+// Optimality criteria of Section II of the survey, plus the two fitness
+// transforms of Section III.A (Eq. 1 and Eq. 2).
+//
+// Given job completion times C_j and per-job due dates D_j / weights w_j:
+//   tardiness      T_j = max(0, C_j - D_j)
+//   unit penalty   U_j = 1 if C_j > D_j else 0
+// Criteria: Cmax, sum w_j C_j, sum w_j T_j, sum w_j U_j, Tmax, or a
+// weighted combination of any of them.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+/// Per-job data needed by the due-date criteria. Weights default to 1 and
+/// due dates to "never late" when empty.
+struct JobAttributes {
+  std::vector<Time> due;
+  std::vector<double> weight;
+  std::vector<Time> release;
+
+  double weight_of(int job) const {
+    return job < static_cast<int>(weight.size())
+               ? weight[static_cast<std::size_t>(job)]
+               : 1.0;
+  }
+  Time due_of(int job) const {
+    return job < static_cast<int>(due.size())
+               ? due[static_cast<std::size_t>(job)]
+               : kNoDueDate;
+  }
+  Time release_of(int job) const {
+    return job < static_cast<int>(release.size())
+               ? release[static_cast<std::size_t>(job)]
+               : 0;
+  }
+
+  static constexpr Time kNoDueDate = (1LL << 62);
+};
+
+enum class Criterion {
+  kMakespan,                ///< C_max
+  kTotalWeightedCompletion, ///< sum w_j C_j
+  kTotalWeightedTardiness,  ///< sum w_j T_j
+  kWeightedUnitPenalty,     ///< sum w_j U_j
+  kMaxTardiness,            ///< T_max (used by Rashidi et al. [38])
+};
+
+std::string to_string(Criterion c);
+
+/// Evaluates one criterion from completion times.
+double evaluate_criterion(Criterion c, std::span<const Time> completion,
+                          const JobAttributes& attrs);
+
+/// Weighted combination of criteria (Section II: "any combination among
+/// them"; Rashidi et al. combine makespan and max tardiness).
+struct CompositeObjective {
+  std::vector<std::pair<Criterion, double>> terms;
+
+  double evaluate(std::span<const Time> completion,
+                  const JobAttributes& attrs) const;
+};
+
+// --- Fitness transforms (Section III.A) -----------------------------------
+
+/// Eq. (1): FIT(i) = max(Fbar - F_i, 0), with Fbar the objective value of
+/// some heuristic solution. Larger is fitter.
+double fitness_eq1(double objective, double heuristic_reference);
+
+/// Eq. (2): FIT(i) = 1 / F_i. Larger is fitter; objective must be > 0
+/// (guards to a large finite value at 0).
+double fitness_eq2(double objective);
+
+}  // namespace psga::sched

@@ -1,0 +1,167 @@
+#include "src/sched/open_shop.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+namespace psga::sched {
+
+namespace {
+
+// Open shop "operation index" bookkeeping: validation wants each job's ops
+// numbered 0..m-1; we number them in the order they get scheduled, and the
+// schedule records which machine each ran on. Eligibility: index k of job
+// j may run on any machine not used by j's other ops — the multiset check
+// in validate() plus this duration lookup (by machine) enforces it.
+std::optional<Time> os_duration(const void* ctx, int job, int /*index*/,
+                                int machine) {
+  const auto& inst = *static_cast<const OpenShopInstance*>(ctx);
+  return inst.processing(job, machine);
+}
+
+}  // namespace
+
+ValidationSpec OpenShopInstance::validation_spec() const {
+  ValidationSpec spec;
+  spec.jobs = jobs;
+  spec.machines = machines;
+  spec.ops_per_job.assign(static_cast<std::size_t>(jobs), machines);
+  spec.ordered_stages = false;  // the defining property of the open shop
+  spec.release = attrs.release;
+  spec.duration = &os_duration;
+  spec.ctx = this;
+  return spec;
+}
+
+Schedule decode_open_shop(const OpenShopInstance& inst,
+                          std::span<const int> job_sequence,
+                          OpenShopDecoder decoder) {
+  Schedule schedule;
+  schedule.ops.reserve(job_sequence.size());
+  std::vector<std::vector<bool>> done(
+      static_cast<std::size_t>(inst.jobs),
+      std::vector<bool>(static_cast<std::size_t>(inst.machines), false));
+  std::vector<int> next_index(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  for (int j = 0; j < inst.jobs; ++j) {
+    job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+
+  for (int job : job_sequence) {
+    // Candidate machines = unscheduled cells of this job's row.
+    int chosen = -1;
+    for (int m = 0; m < inst.machines; ++m) {
+      if (done[static_cast<std::size_t>(job)][static_cast<std::size_t>(m)]) {
+        continue;
+      }
+      if (chosen < 0) {
+        chosen = m;
+        continue;
+      }
+      switch (decoder) {
+        case OpenShopDecoder::kLptTask:
+          if (inst.processing(job, m) > inst.processing(job, chosen)) {
+            chosen = m;
+          }
+          break;
+        case OpenShopDecoder::kLptMachine: {
+          const Time mf = machine_free[static_cast<std::size_t>(m)];
+          const Time cf = machine_free[static_cast<std::size_t>(chosen)];
+          if (mf < cf ||
+              (mf == cf &&
+               inst.processing(job, m) > inst.processing(job, chosen))) {
+            chosen = m;
+          }
+          break;
+        }
+      }
+    }
+    const Time start = std::max(job_free[static_cast<std::size_t>(job)],
+                                machine_free[static_cast<std::size_t>(chosen)]);
+    const Time end = start + inst.processing(job, chosen);
+    schedule.ops.push_back(
+        ScheduledOp{job, next_index[static_cast<std::size_t>(job)]++, chosen,
+                    start, end});
+    done[static_cast<std::size_t>(job)][static_cast<std::size_t>(chosen)] = true;
+    job_free[static_cast<std::size_t>(job)] = end;
+    machine_free[static_cast<std::size_t>(chosen)] = end;
+  }
+  return schedule;
+}
+
+Schedule open_shop_lpt_schedule(const OpenShopInstance& inst) {
+  struct Op {
+    int job;
+    int machine;
+    Time duration;
+  };
+  std::vector<Op> all;
+  all.reserve(static_cast<std::size_t>(inst.jobs) *
+              static_cast<std::size_t>(inst.machines));
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (int m = 0; m < inst.machines; ++m) {
+      all.push_back(Op{j, m, inst.processing(j, m)});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Op& a, const Op& b) {
+    if (a.duration != b.duration) return a.duration > b.duration;
+    if (a.job != b.job) return a.job < b.job;
+    return a.machine < b.machine;
+  });
+  Schedule schedule;
+  schedule.ops.reserve(all.size());
+  std::vector<int> next_index(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  for (int j = 0; j < inst.jobs; ++j) {
+    job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+  for (const Op& op : all) {
+    const Time start = std::max(job_free[static_cast<std::size_t>(op.job)],
+                                machine_free[static_cast<std::size_t>(op.machine)]);
+    const Time end = start + op.duration;
+    schedule.ops.push_back(ScheduledOp{
+        op.job, next_index[static_cast<std::size_t>(op.job)]++, op.machine,
+        start, end});
+    job_free[static_cast<std::size_t>(op.job)] = end;
+    machine_free[static_cast<std::size_t>(op.machine)] = end;
+  }
+  return schedule;
+}
+
+double open_shop_objective(const OpenShopInstance& inst,
+                           const Schedule& schedule, Criterion criterion) {
+  const auto completion = schedule.job_completion_times(inst.jobs);
+  return evaluate_criterion(criterion, completion, inst.attrs);
+}
+
+std::vector<int> random_job_repetition_sequence(const OpenShopInstance& inst,
+                                                par::Rng& rng) {
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(inst.jobs) *
+              static_cast<std::size_t>(inst.machines));
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (int m = 0; m < inst.machines; ++m) seq.push_back(j);
+  }
+  rng.shuffle(seq);
+  return seq;
+}
+
+Time open_shop_lower_bound(const OpenShopInstance& inst) {
+  Time bound = 0;
+  for (int j = 0; j < inst.jobs; ++j) {
+    const Time load = std::accumulate(
+        inst.proc[static_cast<std::size_t>(j)].begin(),
+        inst.proc[static_cast<std::size_t>(j)].end(), Time{0});
+    bound = std::max(bound, load);
+  }
+  for (int m = 0; m < inst.machines; ++m) {
+    Time load = 0;
+    for (int j = 0; j < inst.jobs; ++j) load += inst.processing(j, m);
+    bound = std::max(bound, load);
+  }
+  return bound;
+}
+
+}  // namespace psga::sched

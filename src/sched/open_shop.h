@@ -1,0 +1,57 @@
+// Open shop: no imposed route — any job/machine order is feasible as long
+// as a job is on one machine at a time. Chromosomes are permutations with
+// repetition of job indices (each job appears once per machine); the
+// decoders follow Kokosiński & Studzienny [32]: the LPT-Task decoder picks
+// the longest remaining operation of the gene's job, the LPT-Machine
+// decoder picks the operation whose machine frees earliest.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/par/rng.h"
+#include "src/sched/objectives.h"
+#include "src/sched/schedule.h"
+
+namespace psga::sched {
+
+struct OpenShopInstance {
+  int jobs = 0;
+  int machines = 0;
+  /// proc[job][machine].
+  std::vector<std::vector<Time>> proc;
+  JobAttributes attrs;
+
+  Time processing(int job, int machine) const {
+    return proc[static_cast<std::size_t>(job)][static_cast<std::size_t>(machine)];
+  }
+
+  ValidationSpec validation_spec() const;
+};
+
+enum class OpenShopDecoder { kLptTask, kLptMachine };
+
+/// Decodes a permutation-with-repetition of job indices (job j appears
+/// `machines` times). For each gene the decoder chooses which of the job's
+/// unscheduled machines to run next, per the chosen greedy heuristic, and
+/// list-schedules the op at max(job free, machine free).
+Schedule decode_open_shop(const OpenShopInstance& inst,
+                          std::span<const int> job_sequence,
+                          OpenShopDecoder decoder);
+
+/// Pure greedy LPT list schedule (all ops sorted by duration descending):
+/// the constructive reference heuristic.
+Schedule open_shop_lpt_schedule(const OpenShopInstance& inst);
+
+/// Criterion value of a decoded schedule.
+double open_shop_objective(const OpenShopInstance& inst,
+                           const Schedule& schedule, Criterion criterion);
+
+/// Random permutation-with-repetition chromosome.
+std::vector<int> random_job_repetition_sequence(const OpenShopInstance& inst,
+                                                par::Rng& rng);
+
+/// Trivial lower bound: max(max machine load, max job load).
+Time open_shop_lower_bound(const OpenShopInstance& inst);
+
+}  // namespace psga::sched

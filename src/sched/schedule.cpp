@@ -1,0 +1,150 @@
+#include "src/sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace psga::sched {
+
+Time Schedule::makespan() const {
+  Time best = 0;
+  for (const auto& op : ops) best = std::max(best, op.end);
+  return best;
+}
+
+std::vector<Time> Schedule::job_completion_times(int jobs) const {
+  std::vector<Time> done(static_cast<std::size_t>(jobs), 0);
+  for (const auto& op : ops) {
+    auto& slot = done.at(static_cast<std::size_t>(op.job));
+    slot = std::max(slot, op.end);
+  }
+  return done;
+}
+
+namespace {
+
+std::string describe(const ScheduledOp& op) {
+  std::ostringstream os;
+  os << "op(job=" << op.job << ", index=" << op.index << ", machine="
+     << op.machine << ", [" << op.start << ", " << op.end << "))";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> validate(const Schedule& schedule,
+                                    const ValidationSpec& spec) {
+  // --- Condition 1: each (job, index) appears exactly once, on exactly
+  // one machine, with the duration the instance prescribes.
+  std::vector<std::vector<const ScheduledOp*>> by_job(
+      static_cast<std::size_t>(spec.jobs));
+  for (const auto& op : schedule.ops) {
+    if (op.job < 0 || op.job >= spec.jobs) {
+      return "job id out of range: " + describe(op);
+    }
+    if (op.machine < 0 || op.machine >= spec.machines) {
+      return "machine id out of range: " + describe(op);
+    }
+    if (op.end < op.start) return "negative duration: " + describe(op);
+    by_job[static_cast<std::size_t>(op.job)].push_back(&op);
+  }
+  for (int j = 0; j < spec.jobs; ++j) {
+    auto& ops = by_job[static_cast<std::size_t>(j)];
+    const int expected =
+        j < static_cast<int>(spec.ops_per_job.size()) ? spec.ops_per_job[j] : 0;
+    if (static_cast<int>(ops.size()) != expected) {
+      std::ostringstream os;
+      os << "job " << j << " has " << ops.size() << " ops, expected "
+         << expected;
+      return os.str();
+    }
+    std::sort(ops.begin(), ops.end(),
+              [](const ScheduledOp* a, const ScheduledOp* b) {
+                return a->index < b->index;
+              });
+    for (int k = 0; k < expected; ++k) {
+      const ScheduledOp& op = *ops[static_cast<std::size_t>(k)];
+      if (op.index != k) {
+        std::ostringstream os;
+        os << "job " << j << " is missing operation index " << k;
+        return os.str();
+      }
+      if (spec.duration != nullptr) {
+        const auto want = spec.duration(spec.ctx, j, k, op.machine);
+        if (!want.has_value()) {
+          return "ineligible machine: " + describe(op);
+        }
+        if (op.end - op.start != *want) {
+          std::ostringstream os;
+          os << "wrong duration (want " << *want << "): " << describe(op);
+          return os.str();
+        }
+      }
+    }
+    // --- Condition 3: release times.
+    if (!spec.release.empty() && expected > 0) {
+      const Time release = spec.release[static_cast<std::size_t>(j)];
+      for (const ScheduledOp* op : ops) {
+        if (op->start < release) {
+          std::ostringstream os;
+          os << "job starts before release " << release << ": "
+             << describe(*op);
+          return os.str();
+        }
+      }
+    }
+    // --- Job-internal sequencing. Ordered shops need op k to finish
+    // before op k+1 starts; open shops only forbid overlap (a job is on
+    // at most one machine at a time).
+    if (spec.ordered_stages) {
+      for (int k = 0; k + 1 < expected; ++k) {
+        if (ops[static_cast<std::size_t>(k)]->end >
+            ops[static_cast<std::size_t>(k + 1)]->start) {
+          std::ostringstream os;
+          os << "job " << j << " stage order violated between index " << k
+             << " and " << k + 1;
+          return os.str();
+        }
+      }
+    } else {
+      auto in_time = ops;
+      std::sort(in_time.begin(), in_time.end(),
+                [](const ScheduledOp* a, const ScheduledOp* b) {
+                  return a->start < b->start;
+                });
+      for (std::size_t k = 0; k + 1 < in_time.size(); ++k) {
+        if (in_time[k]->end > in_time[k + 1]->start) {
+          std::ostringstream os;
+          os << "job " << j << " runs on two machines simultaneously";
+          return os.str();
+        }
+      }
+    }
+  }
+  // --- Condition 2 (+ setup gaps): no machine overlap.
+  std::map<int, std::vector<const ScheduledOp*>> by_machine;
+  for (const auto& op : schedule.ops) by_machine[op.machine].push_back(&op);
+  for (auto& [machine, ops] : by_machine) {
+    std::sort(ops.begin(), ops.end(),
+              [](const ScheduledOp* a, const ScheduledOp* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->end < b->end;
+              });
+    for (std::size_t k = 0; k + 1 < ops.size(); ++k) {
+      Time gap = 0;
+      if (spec.machine_gap != nullptr) {
+        gap = spec.machine_gap(spec.ctx, machine, ops[k]->job, ops[k + 1]->job);
+      }
+      if (ops[k]->end + gap > ops[k + 1]->start) {
+        std::ostringstream os;
+        os << "machine " << machine << " overlap (required gap " << gap
+           << ") between " << describe(*ops[k]) << " and "
+           << describe(*ops[k + 1]);
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,73 @@
+// Explicit schedules and feasibility validation.
+//
+// Every decoder in psga can emit a full Schedule (not just an objective
+// value), and Schedule::validate() enforces exactly the conditions of the
+// survey's Table I:
+//   1. each operation of a job is processed by one and only one machine;
+//   2. each machine processes at most one operation at a time;
+//   3. each job is available only after its release time;
+//   4. setup/transfer times are zero unless the instance models them
+//      (the FJSP/HFS variants with setups validate against their own
+//      setup-aware expectations);
+//   5. infinite intermediate storage (no blocking) unless the instance
+//      models blocking explicitly.
+// Property tests run validate() over random genomes for every decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psga::sched {
+
+using Time = std::int64_t;
+
+/// One scheduled operation: job `job`, its `index`-th operation, run on
+/// `machine` during [start, end).
+struct ScheduledOp {
+  int job = 0;
+  int index = 0;
+  int machine = 0;
+  Time start = 0;
+  Time end = 0;
+};
+
+struct Schedule {
+  std::vector<ScheduledOp> ops;
+
+  Time makespan() const;
+
+  /// Completion time per job (max end over the job's ops). `jobs` is the
+  /// total job count (jobs with no ops complete at 0).
+  std::vector<Time> job_completion_times(int jobs) const;
+};
+
+/// What a feasible schedule must satisfy; filled by each instance type.
+struct ValidationSpec {
+  int jobs = 0;
+  int machines = 0;
+  /// ops_per_job[j] = number of operations job j must execute.
+  std::vector<int> ops_per_job;
+  /// If true, operation k of a job must finish before operation k+1 starts
+  /// (flow shops / job shops). Open shops set this to false.
+  bool ordered_stages = true;
+  /// Release time per job (empty = all zero).
+  std::vector<Time> release;
+  /// expected_duration(job, index, machine) — returns the required
+  /// processing span, or nullopt if (job, index) may not run on `machine`.
+  /// Durations and eligibility come from the concrete instance.
+  std::optional<Time> (*duration)(const void* ctx, int job, int index,
+                                  int machine) = nullptr;
+  const void* ctx = nullptr;
+  /// Minimum idle gap required on a machine between consecutive ops
+  /// (sequence-dependent setups); 0 when the model has none.
+  Time (*machine_gap)(const void* ctx, int machine, int prev_job,
+                      int next_job) = nullptr;
+};
+
+/// Returns std::nullopt if the schedule is feasible, else a diagnostic.
+std::optional<std::string> validate(const Schedule& schedule,
+                                    const ValidationSpec& spec);
+
+}  // namespace psga::sched

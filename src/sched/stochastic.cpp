@@ -1,0 +1,42 @@
+#include "src/sched/stochastic.h"
+
+#include <algorithm>
+
+#include "src/par/rng.h"
+
+namespace psga::sched {
+
+StochasticJobShop::StochasticJobShop(JobShopInstance nominal, double spread,
+                                     int scenarios, std::uint64_t seed)
+    : nominal_(std::move(nominal)) {
+  par::Rng root(seed);
+  samples_.reserve(static_cast<std::size_t>(scenarios));
+  for (int s = 0; s < scenarios; ++s) {
+    par::Rng rng = root.split(static_cast<std::uint64_t>(s));
+    JobShopInstance sample = nominal_;
+    for (auto& route : sample.ops) {
+      for (auto& op : route) {
+        const double factor = rng.uniform(1.0 - spread, 1.0 + spread);
+        op.duration = std::max<Time>(
+            1, static_cast<Time>(static_cast<double>(op.duration) * factor + 0.5));
+      }
+    }
+    samples_.push_back(std::move(sample));
+  }
+}
+
+double StochasticJobShop::expected_makespan(
+    std::span<const int> op_sequence) const {
+  if (samples_.empty()) {
+    return static_cast<double>(
+        decode_operation_based(nominal_, op_sequence).makespan());
+  }
+  double acc = 0.0;
+  for (const auto& sample : samples_) {
+    acc += static_cast<double>(
+        decode_operation_based(sample, op_sequence).makespan());
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+}  // namespace psga::sched

@@ -1,0 +1,37 @@
+// Stochastic job shop (Gu et al. [28]): processing times are random; the
+// objective is the *expected* makespan, estimated by sample average over a
+// fixed scenario set generated once from a seed (common random numbers, so
+// two chromosomes are always compared on identical scenarios and the
+// fitness landscape is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sched/job_shop.h"
+
+namespace psga::sched {
+
+struct StochasticJobShop {
+  /// Builds `scenarios` deterministic samples; each duration is drawn
+  /// uniformly from [ (1-spread)·p, (1+spread)·p ] around the nominal.
+  StochasticJobShop(JobShopInstance nominal, double spread, int scenarios,
+                    std::uint64_t seed);
+
+  const JobShopInstance& nominal() const { return nominal_; }
+  int scenario_count() const { return static_cast<int>(samples_.size()); }
+  const JobShopInstance& scenario(int i) const {
+    return samples_[static_cast<std::size_t>(i)];
+  }
+
+  /// Sample-average expected makespan of an operation-based chromosome
+  /// (decoded per scenario with the semi-active decoder).
+  double expected_makespan(std::span<const int> op_sequence) const;
+
+ private:
+  JobShopInstance nominal_;
+  std::vector<JobShopInstance> samples_;
+};
+
+}  // namespace psga::sched

@@ -1,0 +1,86 @@
+#include "src/sched/taillard.h"
+
+namespace psga::sched {
+
+int TaillardRng::next(int low, int high) {
+  constexpr std::int32_t m = 2147483647;
+  constexpr std::int32_t a = 16807;
+  constexpr std::int32_t b = 127773;
+  constexpr std::int32_t c = 2836;
+  const std::int32_t k = seed_ / b;
+  seed_ = a * (seed_ % b) - k * c;
+  if (seed_ < 0) seed_ += m;
+  const double value_0_1 = static_cast<double>(seed_) / static_cast<double>(m);
+  return low + static_cast<int>(value_0_1 * (high - low + 1));
+}
+
+FlowShopInstance taillard_flow_shop(int jobs, int machines,
+                                    std::int32_t time_seed) {
+  FlowShopInstance inst;
+  inst.jobs = jobs;
+  inst.machines = machines;
+  inst.proc.assign(static_cast<std::size_t>(machines),
+                   std::vector<Time>(static_cast<std::size_t>(jobs), 0));
+  TaillardRng rng(time_seed);
+  // Published order: for each machine i, for each job j.
+  for (int i = 0; i < machines; ++i) {
+    for (int j = 0; j < jobs; ++j) {
+      inst.proc[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          rng.next(1, 99);
+    }
+  }
+  return inst;
+}
+
+JobShopInstance taillard_job_shop(int jobs, int machines,
+                                  std::int32_t time_seed,
+                                  std::int32_t machine_seed) {
+  JobShopInstance inst;
+  inst.jobs = jobs;
+  inst.machines = machines;
+  inst.ops.assign(static_cast<std::size_t>(jobs), {});
+  TaillardRng times(time_seed);
+  TaillardRng orders(machine_seed);
+  for (int j = 0; j < jobs; ++j) {
+    auto& route = inst.ops[static_cast<std::size_t>(j)];
+    route.resize(static_cast<std::size_t>(machines));
+    for (int i = 0; i < machines; ++i) {
+      route[static_cast<std::size_t>(i)].duration = times.next(1, 99);
+    }
+  }
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<int> machine_order(static_cast<std::size_t>(machines));
+    for (int i = 0; i < machines; ++i) {
+      machine_order[static_cast<std::size_t>(i)] = i;
+    }
+    for (int i = 0; i < machines; ++i) {
+      const int swap_with = orders.next(i, machines - 1);
+      std::swap(machine_order[static_cast<std::size_t>(i)],
+                machine_order[static_cast<std::size_t>(swap_with)]);
+    }
+    for (int i = 0; i < machines; ++i) {
+      inst.ops[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)].machine =
+          machine_order[static_cast<std::size_t>(i)];
+    }
+  }
+  return inst;
+}
+
+const std::vector<TaillardBenchmark>& taillard_20x5() {
+  // Time seeds are the published ta001..ta010 seeds; best-known makespans
+  // are the long-standing optima reported in the flow-shop literature.
+  static const std::vector<TaillardBenchmark> table = {
+      {"ta001", 20, 5, 873654221, 1278},  {"ta002", 20, 5, 379008056, 1359},
+      {"ta003", 20, 5, 1866992158, 1081}, {"ta004", 20, 5, 216771124, 1293},
+      {"ta005", 20, 5, 495070989, 1235},  {"ta006", 20, 5, 402959317, 1195},
+      {"ta007", 20, 5, 1369363414, 1234}, {"ta008", 20, 5, 2021925980, 1206},
+      {"ta009", 20, 5, 573109518, 1230},  {"ta010", 20, 5, 88325120, 1108},
+  };
+  return table;
+}
+
+FlowShopInstance make_taillard(const TaillardBenchmark& bench) {
+  return taillard_flow_shop(bench.jobs, bench.machines, bench.time_seed);
+}
+
+}  // namespace psga::sched

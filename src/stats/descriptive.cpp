@@ -1,0 +1,101 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace psga::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  return (xs.size() % 2 == 1) ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+double rpd(double value, double reference) {
+  if (reference == 0.0) return 0.0;
+  return 100.0 * (value - reference) / reference;
+}
+
+double mean_rpd(std::span<const double> values, double reference) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += rpd(v, reference);
+  return acc / static_cast<double>(values.size());
+}
+
+std::vector<Speedup> speedup_table(
+    const std::vector<std::pair<int, double>>& runs) {
+  std::vector<Speedup> out;
+  out.reserve(runs.size());
+  const double base = runs.empty() ? 1.0 : runs.front().second;
+  for (const auto& [workers, seconds] : runs) {
+    Speedup s;
+    s.workers = workers;
+    s.seconds = seconds;
+    s.speedup = seconds > 0.0 ? base / seconds : 0.0;
+    s.efficiency = workers > 0 ? s.speedup / workers : 0.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> pareto_front_2d(
+    std::vector<std::pair<double, double>> points) {
+  std::sort(points.begin(), points.end());
+  std::vector<std::pair<double, double>> front;
+  double best_second = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (p.second < best_second) {
+      // Drop an earlier point with equal first coordinate (it is weakly
+      // dominated by this one).
+      if (!front.empty() && front.back().first == p.first) front.pop_back();
+      front.push_back(p);
+      best_second = p.second;
+    }
+  }
+  return front;
+}
+
+double hypervolume_2d(std::vector<std::pair<double, double>> front,
+                      std::pair<double, double> reference) {
+  front = pareto_front_2d(std::move(front));
+  double volume = 0.0;
+  double prev_x = reference.first;
+  // Sweep from the largest first-objective point leftwards; each point
+  // owns the strip [x, prev_x) at height (ref_y - y).
+  for (auto it = front.rbegin(); it != front.rend(); ++it) {
+    const double x = std::min(it->first, reference.first);
+    const double y = it->second;
+    if (x >= prev_x || y >= reference.second) continue;
+    volume += (prev_x - x) * (reference.second - y);
+    prev_x = x;
+  }
+  return volume;
+}
+
+}  // namespace psga::stats

@@ -1,0 +1,48 @@
+// Descriptive statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psga::stats {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  ///< sample stddev (n-1)
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::vector<double> xs);  ///< by value: needs to sort
+
+/// Relative percentage deviation of `value` to `reference`:
+/// 100 * (value - reference) / reference. The standard quality metric in
+/// the shop-scheduling literature (distance to best-known solution).
+double rpd(double value, double reference);
+
+/// Mean RPD of a sample against a reference.
+double mean_rpd(std::span<const double> values, double reference);
+
+/// Parallel speedup & efficiency records used by the speedup experiments.
+struct Speedup {
+  int workers = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;     ///< t(1) / t(workers)
+  double efficiency = 1.0;  ///< speedup / workers
+};
+
+/// Builds the speedup table from {workers, seconds} pairs; entry 0 must be
+/// the single-worker measurement.
+std::vector<Speedup> speedup_table(const std::vector<std::pair<int, double>>& runs);
+
+/// Dominated hypervolume of a bi-objective MINIMIZATION front with respect
+/// to a reference (nadir) point: the area dominated by the front inside
+/// the box [0, ref). Points outside the box contribute nothing. The
+/// standard Pareto-quality indicator used for fronts like [38]'s.
+double hypervolume_2d(std::vector<std::pair<double, double>> front,
+                      std::pair<double, double> reference);
+
+/// Filters a bi-objective minimization point set to its non-dominated
+/// subset, sorted by the first objective.
+std::vector<std::pair<double, double>> pareto_front_2d(
+    std::vector<std::pair<double, double>> points);
+
+}  // namespace psga::stats

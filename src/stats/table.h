@@ -1,0 +1,35 @@
+// Minimal fixed-column ASCII table + CSV writer for experiment output.
+//
+// Every experiment bench prints one of these with a "paper" column and a
+// "measured" column so EXPERIMENTS.md rows can be regenerated verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psga::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with aligned columns and a header rule.
+  std::string to_string() const;
+
+  /// Renders as CSV (no quoting needed for our cell contents).
+  std::string to_csv() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psga::stats

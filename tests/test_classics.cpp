@@ -1,0 +1,95 @@
+#include "src/sched/classics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/par/rng.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(Classics, Ft06Shape) {
+  const auto& c = ft06();
+  EXPECT_STREQ(c.name, "ft06");
+  EXPECT_EQ(c.optimum, 55);
+  EXPECT_EQ(c.instance.jobs, 6);
+  EXPECT_EQ(c.instance.machines, 6);
+  for (int j = 0; j < 6; ++j) EXPECT_EQ(c.instance.ops_of(j), 6);
+}
+
+TEST(Classics, Ft06KnownTotals) {
+  // Published total processing time of ft06 rows.
+  const auto& inst = ft06().instance;
+  std::vector<Time> totals;
+  for (int j = 0; j < 6; ++j) {
+    Time t = 0;
+    for (int k = 0; k < 6; ++k) t += inst.op(j, k).duration;
+    totals.push_back(t);
+  }
+  EXPECT_EQ(totals, (std::vector<Time>{26, 47, 34, 35, 25, 30}));
+}
+
+TEST(Classics, EachJobVisitsEachMachineOnce) {
+  for (const ClassicInstance* c : classic_instances()) {
+    const auto& inst = c->instance;
+    for (int j = 0; j < inst.jobs; ++j) {
+      std::vector<int> count(static_cast<std::size_t>(inst.machines), 0);
+      for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
+        ASSERT_GE(op.machine, 0);
+        ASSERT_LT(op.machine, inst.machines);
+        ++count[static_cast<std::size_t>(op.machine)];
+        EXPECT_GT(op.duration, 0);
+      }
+      for (int cnt : count) {
+        EXPECT_EQ(cnt, 1) << c->name << " job " << j;
+      }
+    }
+  }
+}
+
+TEST(Classics, OptimumIsLowerBoundForRandomSchedules) {
+  par::Rng rng(3);
+  for (const ClassicInstance* c : classic_instances()) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto seq = random_operation_sequence(c->instance, rng);
+      const Schedule s = decode_operation_based(c->instance, seq);
+      EXPECT_GE(s.makespan(), c->optimum) << c->name;
+    }
+  }
+}
+
+TEST(Classics, MachineLoadLowerBoundsDoNotExceedOptimum) {
+  for (const ClassicInstance* c : classic_instances()) {
+    const auto& inst = c->instance;
+    std::vector<Time> machine_load(static_cast<std::size_t>(inst.machines), 0);
+    for (int j = 0; j < inst.jobs; ++j) {
+      for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
+        machine_load[static_cast<std::size_t>(op.machine)] += op.duration;
+      }
+    }
+    const Time lb =
+        *std::max_element(machine_load.begin(), machine_load.end());
+    EXPECT_LE(lb, c->optimum) << c->name;
+  }
+}
+
+TEST(Classics, ExpectedRoster) {
+  const auto& all = classic_instances();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_STREQ(all[0]->name, "ft06");
+  EXPECT_STREQ(all[1]->name, "ft10");
+  EXPECT_STREQ(all[2]->name, "ft20");
+  EXPECT_STREQ(all[3]->name, "la01");
+  EXPECT_EQ(all[1]->optimum, 930);
+  EXPECT_EQ(all[2]->optimum, 1165);
+  EXPECT_EQ(all[3]->optimum, 666);
+}
+
+TEST(Classics, Ft20IsTwentyByFive) {
+  EXPECT_EQ(ft20().instance.jobs, 20);
+  EXPECT_EQ(ft20().instance.machines, 5);
+}
+
+}  // namespace
+}  // namespace psga::sched

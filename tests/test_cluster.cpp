@@ -1,0 +1,179 @@
+#include "src/par/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace psga::par {
+namespace {
+
+TEST(Cluster, SingleRankRuns) {
+  Cluster cluster(1);
+  bool ran = false;
+  cluster.run([&](Rank& rank) {
+    EXPECT_EQ(rank.id(), 0);
+    EXPECT_EQ(rank.size(), 1);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Cluster, PointToPointMessage) {
+  Cluster cluster(2);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) {
+      Message msg;
+      msg.tag = 7;
+      msg.ints = {1, 2, 3};
+      msg.doubles = {4.5};
+      rank.send(1, msg);
+    } else {
+      const Message msg = rank.recv(7);
+      EXPECT_EQ(msg.source, 0);
+      EXPECT_EQ(msg.ints, (std::vector<std::int64_t>{1, 2, 3}));
+      EXPECT_EQ(msg.doubles, (std::vector<double>{4.5}));
+    }
+  });
+}
+
+TEST(Cluster, TagFiltering) {
+  // A message with a different tag must not satisfy a recv for another.
+  Cluster cluster(2);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) {
+      Message a;
+      a.tag = 1;
+      a.ints = {10};
+      Message b;
+      b.tag = 2;
+      b.ints = {20};
+      rank.send(1, a);
+      rank.send(1, b);
+    } else {
+      const Message second = rank.recv(2);  // out of arrival order
+      EXPECT_EQ(second.ints[0], 20);
+      const Message first = rank.recv(1);
+      EXPECT_EQ(first.ints[0], 10);
+    }
+  });
+}
+
+TEST(Cluster, TryRecvNonBlocking) {
+  Cluster cluster(2);
+  cluster.run([](Rank& rank) {
+    if (rank.id() == 0) {
+      Message none;
+      EXPECT_FALSE(rank.try_recv(9, none));
+      Message msg;
+      msg.tag = 3;
+      rank.send(1, msg);
+      rank.barrier();
+    } else {
+      rank.barrier();
+      Message msg;
+      // After the barrier the message must have been delivered.
+      EXPECT_TRUE(rank.try_recv(3, msg));
+      EXPECT_EQ(msg.source, 0);
+    }
+  });
+}
+
+TEST(Cluster, BarrierSynchronizes) {
+  const int ranks = 6;
+  Cluster cluster(ranks);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  cluster.run([&](Rank& rank) {
+    ++before;
+    rank.barrier();
+    if (before.load() != ranks) violated = true;
+    rank.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Cluster, RepeatedBarriers) {
+  Cluster cluster(4);
+  std::atomic<int> counter{0};
+  cluster.run([&](Rank& rank) {
+    for (int round = 0; round < 20; ++round) {
+      ++counter;
+      rank.barrier();
+      EXPECT_EQ(counter.load() % 4, 0);
+      rank.barrier();
+    }
+  });
+}
+
+TEST(Cluster, AllgatherDeliversEveryRanksPayload) {
+  const int ranks = 5;
+  Cluster cluster(ranks);
+  std::mutex mutex;
+  std::vector<std::vector<std::int64_t>> received(ranks);
+  cluster.run([&](Rank& rank) {
+    Message mine;
+    mine.ints = {rank.id() * 100};
+    const auto all = rank.allgather(std::move(mine), 11);
+    std::vector<std::int64_t> values;
+    for (const auto& msg : all) values.push_back(msg.ints[0]);
+    std::lock_guard lock(mutex);
+    received[static_cast<std::size_t>(rank.id())] = values;
+  });
+  for (int r = 0; r < ranks; ++r) {
+    ASSERT_EQ(received[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(ranks));
+    for (int s = 0; s < ranks; ++s) {
+      EXPECT_EQ(received[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                s * 100);
+    }
+  }
+}
+
+TEST(Cluster, ManyMessagesPreserveAll) {
+  Cluster cluster(3);
+  cluster.run([](Rank& rank) {
+    const int kMessages = 200;
+    if (rank.id() == 0) {
+      for (int i = 0; i < kMessages; ++i) {
+        Message msg;
+        msg.tag = 1;
+        msg.ints = {i};
+        rank.send(1, msg);
+      }
+    } else if (rank.id() == 1) {
+      long sum = 0;
+      for (int i = 0; i < kMessages; ++i) sum += rank.recv(1).ints[0];
+      EXPECT_EQ(sum, static_cast<long>(kMessages) * (kMessages - 1) / 2);
+    }
+  });
+}
+
+TEST(Cluster, RingPass) {
+  const int ranks = 8;
+  Cluster cluster(ranks);
+  cluster.run([&](Rank& rank) {
+    Message token;
+    token.tag = 4;
+    token.ints = {1};
+    if (rank.id() == 0) {
+      rank.send(1, token);
+      const Message back = rank.recv(4);
+      EXPECT_EQ(back.ints[0], ranks);
+    } else {
+      Message received = rank.recv(4);
+      received.ints[0] += 1;
+      received.tag = 4;
+      rank.send((rank.id() + 1) % ranks, received);
+    }
+  });
+}
+
+TEST(Cluster, InvalidSizeThrows) {
+  EXPECT_THROW(Cluster cluster(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psga::par

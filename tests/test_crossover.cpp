@@ -1,0 +1,280 @@
+#include "src/ga/crossover.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/sched/classics.h"
+
+namespace psga::ga {
+namespace {
+
+GenomeTraits perm_traits(int n) {
+  GenomeTraits t;
+  t.seq_kind = SeqKind::kPermutation;
+  t.seq_length = n;
+  return t;
+}
+
+GenomeTraits rep_traits(std::vector<int> repeats) {
+  GenomeTraits t;
+  t.seq_kind = SeqKind::kJobRepetition;
+  t.repeats = std::move(repeats);
+  t.seq_length = 0;
+  for (int r : t.repeats) t.seq_length += r;
+  return t;
+}
+
+Genome random_genome(const GenomeTraits& traits, par::Rng& rng) {
+  Genome g;
+  if (traits.seq_kind == SeqKind::kPermutation) {
+    g.seq.resize(static_cast<std::size_t>(traits.seq_length));
+    std::iota(g.seq.begin(), g.seq.end(), 0);
+    rng.shuffle(g.seq);
+  } else if (traits.seq_kind == SeqKind::kJobRepetition) {
+    for (std::size_t j = 0; j < traits.repeats.size(); ++j) {
+      for (int k = 0; k < traits.repeats[j]; ++k) {
+        g.seq.push_back(static_cast<int>(j));
+      }
+    }
+    rng.shuffle(g.seq);
+  }
+  if (traits.key_length > 0) {
+    g.keys.resize(static_cast<std::size_t>(traits.key_length));
+    for (auto& k : g.keys) k = rng.uniform();
+  }
+  for (int d : traits.assign_domain) {
+    g.assign.push_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(d))));
+  }
+  return g;
+}
+
+// --- property sweep: every registry crossover preserves validity -----------
+
+struct SweepCase {
+  std::string crossover;
+  bool repetition;  // false = permutation traits
+  int size_seed;
+};
+
+class CrossoverValidity
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(CrossoverValidity, PermutationChildrenValid) {
+  const auto& [name, seed] = GetParam();
+  const CrossoverPtr cx = make_crossover(name);
+  if (!cx->supports(SeqKind::kPermutation)) GTEST_SKIP();
+  const GenomeTraits traits = perm_traits(5 + seed % 20);
+  par::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Genome a = random_genome(traits, rng);
+    const Genome b = random_genome(traits, rng);
+    Genome c1;
+    Genome c2;
+    cx->cross(a, b, traits, c1, c2, rng);
+    ASSERT_TRUE(genome_valid(c1, traits))
+        << name << " child1 invalid (trial " << trial << ")";
+    ASSERT_TRUE(genome_valid(c2, traits))
+        << name << " child2 invalid (trial " << trial << ")";
+  }
+}
+
+TEST_P(CrossoverValidity, RepetitionChildrenValid) {
+  const auto& [name, seed] = GetParam();
+  const CrossoverPtr cx = make_crossover(name);
+  if (!cx->supports(SeqKind::kJobRepetition)) GTEST_SKIP();
+  std::vector<int> repeats;
+  par::Rng setup(static_cast<std::uint64_t>(seed) + 100);
+  const int jobs = 3 + seed % 5;
+  for (int j = 0; j < jobs; ++j) repeats.push_back(setup.range(1, 5));
+  const GenomeTraits traits = rep_traits(repeats);
+  par::Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Genome a = random_genome(traits, rng);
+    const Genome b = random_genome(traits, rng);
+    Genome c1;
+    Genome c2;
+    cx->cross(a, b, traits, c1, c2, rng);
+    ASSERT_TRUE(genome_valid(c1, traits)) << name;
+    ASSERT_TRUE(genome_valid(c2, traits)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, CrossoverValidity,
+    ::testing::Combine(
+        ::testing::Values("one-point", "two-point", "pmx", "ox", "cycle",
+                          "position-based", "jox", "ppx", "thx"),
+        ::testing::Range(0, 6)));
+
+// --- targeted semantics ------------------------------------------------------
+
+TEST(Pmx, WindowComesFromOtherParent) {
+  PmxCrossover cx;
+  const GenomeTraits traits = perm_traits(8);
+  par::Rng rng(42);
+  Genome a = random_genome(traits, rng);
+  Genome b = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, b, traits, c1, c2, rng);
+  // Every position of child1 comes from a or b.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(c1.seq[i] == a.seq[i] || c1.seq[i] == b.seq[i] ||
+                std::find(b.seq.begin(), b.seq.end(), c1.seq[i]) != b.seq.end());
+  }
+}
+
+TEST(Cycle, EveryGeneFromOneOfTheParentsAtSamePosition) {
+  CycleCrossover cx;
+  const GenomeTraits traits = perm_traits(10);
+  par::Rng rng(43);
+  const Genome a = random_genome(traits, rng);
+  const Genome b = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, b, traits, c1, c2, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(c1.seq[i] == a.seq[i] || c1.seq[i] == b.seq[i]);
+    EXPECT_TRUE(c2.seq[i] == a.seq[i] || c2.seq[i] == b.seq[i]);
+    // Complementary choice.
+    if (c1.seq[i] == a.seq[i]) EXPECT_EQ(c2.seq[i], b.seq[i]);
+  }
+}
+
+TEST(Cycle, IdenticalParentsYieldIdenticalChildren) {
+  CycleCrossover cx;
+  const GenomeTraits traits = perm_traits(6);
+  par::Rng rng(44);
+  const Genome a = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, a, traits, c1, c2, rng);
+  EXPECT_EQ(c1.seq, a.seq);
+  EXPECT_EQ(c2.seq, a.seq);
+}
+
+TEST(Jox, ChosenJobsKeepPositions) {
+  // With identical parents JOX must reproduce the parent.
+  JoxCrossover cx;
+  const GenomeTraits traits = rep_traits({2, 2, 2});
+  par::Rng rng(45);
+  const Genome a = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, a, traits, c1, c2, rng);
+  EXPECT_EQ(c1.seq, a.seq);
+  EXPECT_EQ(c2.seq, a.seq);
+}
+
+TEST(Ppx, PrecedencePreserved) {
+  // PPX output must preserve the relative order of any job's occurrences
+  // (trivially true for repetition chromosomes) and, for permutations,
+  // every element's precedence must come from one of the parents. Check
+  // the repetition multiset here.
+  PpxCrossover cx;
+  const GenomeTraits traits = rep_traits({3, 3});
+  par::Rng rng(46);
+  for (int t = 0; t < 20; ++t) {
+    const Genome a = random_genome(traits, rng);
+    const Genome b = random_genome(traits, rng);
+    Genome c1;
+    Genome c2;
+    cx.cross(a, b, traits, c1, c2, rng);
+    ASSERT_TRUE(genome_valid(c1, traits));
+    ASSERT_TRUE(genome_valid(c2, traits));
+  }
+}
+
+TEST(UniformKeys, ChildrenAreGeneWiseParentMix) {
+  UniformKeyCrossover cx(0.5);
+  GenomeTraits traits;
+  traits.seq_kind = SeqKind::kNone;
+  traits.key_length = 16;
+  par::Rng rng(47);
+  const Genome a = random_genome(traits, rng);
+  const Genome b = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, b, traits, c1, c2, rng);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(c1.keys[i] == a.keys[i] || c1.keys[i] == b.keys[i]);
+    // Complementary children.
+    if (c1.keys[i] == a.keys[i]) EXPECT_EQ(c2.keys[i], b.keys[i]);
+  }
+}
+
+TEST(ArithmeticKeys, ChildrenWithinParentRange) {
+  ArithmeticKeyCrossover cx;
+  GenomeTraits traits;
+  traits.seq_kind = SeqKind::kNone;
+  traits.key_length = 8;
+  par::Rng rng(48);
+  const Genome a = random_genome(traits, rng);
+  const Genome b = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, b, traits, c1, c2, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double lo = std::min(a.keys[i], b.keys[i]);
+    const double hi = std::max(a.keys[i], b.keys[i]);
+    EXPECT_GE(c1.keys[i], lo - 1e-12);
+    EXPECT_LE(c1.keys[i], hi + 1e-12);
+  }
+}
+
+TEST(AssignChannel, RecombinedWithinDomains) {
+  OxCrossover cx;
+  GenomeTraits traits = perm_traits(6);
+  traits.assign_domain = {2, 3, 2, 4, 2, 3};
+  par::Rng rng(49);
+  const Genome a = random_genome(traits, rng);
+  const Genome b = random_genome(traits, rng);
+  Genome c1;
+  Genome c2;
+  cx.cross(a, b, traits, c1, c2, rng);
+  ASSERT_TRUE(genome_valid(c1, traits));
+  ASSERT_TRUE(genome_valid(c2, traits));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(c1.assign[i] == a.assign[i] || c1.assign[i] == b.assign[i]);
+  }
+}
+
+// --- MSXF / path relinking ---------------------------------------------------
+
+TEST(Msxf, ChildNeverWorseThanStartingParent) {
+  auto problem = std::make_shared<JobShopProblem>(sched::ft06().instance);
+  MsxfCrossover cx(problem, 12);
+  par::Rng rng(50);
+  for (int t = 0; t < 10; ++t) {
+    const Genome a = problem->random_genome(rng);
+    const Genome b = problem->random_genome(rng);
+    Genome c1;
+    Genome c2;
+    cx.cross(a, b, problem->traits(), c1, c2, rng);
+    ASSERT_TRUE(genome_valid(c1, problem->traits()));
+    ASSERT_TRUE(genome_valid(c2, problem->traits()));
+    EXPECT_LE(problem->objective(c1), problem->objective(a) + 1e-9);
+    EXPECT_LE(problem->objective(c2), problem->objective(b) + 1e-9);
+  }
+}
+
+TEST(PathRelink, ChildValidAndNotWorseThanStart) {
+  auto problem = std::make_shared<JobShopProblem>(sched::ft06().instance);
+  PathRelinkCrossover cx(problem, 6);
+  par::Rng rng(51);
+  for (int t = 0; t < 10; ++t) {
+    const Genome a = problem->random_genome(rng);
+    const Genome b = problem->random_genome(rng);
+    Genome c1;
+    Genome c2;
+    cx.cross(a, b, problem->traits(), c1, c2, rng);
+    ASSERT_TRUE(genome_valid(c1, problem->traits()));
+    EXPECT_LE(problem->objective(c1), problem->objective(a) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace psga::ga

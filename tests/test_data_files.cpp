@@ -1,0 +1,55 @@
+// The shipped data/ directory must stay in sync with the embedded
+// instances and the Taillard generator (the files are generated from
+// them; these tests catch drift).
+#include <gtest/gtest.h>
+
+#include "src/sched/classics.h"
+#include "src/sched/io.h"
+#include "src/sched/taillard.h"
+
+#ifndef PSGA_DATA_DIR
+#define PSGA_DATA_DIR "data"
+#endif
+
+namespace psga::sched {
+namespace {
+
+std::string data_path(const std::string& file) {
+  return std::string(PSGA_DATA_DIR) + "/" + file;
+}
+
+TEST(DataFiles, ClassicsMatchEmbeddedInstances) {
+  for (const ClassicInstance* c : classic_instances()) {
+    const JobShopInstance loaded =
+        load_job_shop(data_path(std::string(c->name) + ".jsp"));
+    ASSERT_EQ(loaded.jobs, c->instance.jobs) << c->name;
+    ASSERT_EQ(loaded.machines, c->instance.machines) << c->name;
+    for (int j = 0; j < loaded.jobs; ++j) {
+      for (int k = 0; k < loaded.ops_of(j); ++k) {
+        EXPECT_EQ(loaded.op(j, k).machine, c->instance.op(j, k).machine);
+        EXPECT_EQ(loaded.op(j, k).duration, c->instance.op(j, k).duration);
+      }
+    }
+  }
+}
+
+TEST(DataFiles, TaillardFilesMatchGenerator) {
+  for (const TaillardBenchmark& bench : taillard_20x5()) {
+    const FlowShopInstance loaded =
+        load_flow_shop(data_path(std::string(bench.name) + ".fsp"));
+    const FlowShopInstance generated = make_taillard(bench);
+    EXPECT_EQ(loaded.proc, generated.proc) << bench.name;
+  }
+}
+
+TEST(DataFiles, LoadedInstanceIsSolvable) {
+  const JobShopInstance ft = load_job_shop(data_path("ft06.jsp"));
+  par::Rng rng(1);
+  const auto seq = random_operation_sequence(ft, rng);
+  const Schedule s = decode_operation_based(ft, seq);
+  EXPECT_EQ(validate(s, ft.validation_spec()), std::nullopt);
+  EXPECT_GE(s.makespan(), 55);
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,151 @@
+#include "src/sched/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/par/rng.h"
+#include "src/sched/classics.h"
+
+namespace psga::sched {
+namespace {
+
+JobShopInstance tiny() {
+  JobShopInstance inst;
+  inst.jobs = 2;
+  inst.machines = 2;
+  inst.ops = {
+      {{0, 3}, {1, 2}},
+      {{1, 4}, {0, 1}},
+  };
+  return inst;
+}
+
+TEST(DowntimeDecode, NoDowntimeMatchesPlainDecode) {
+  const JobShopInstance inst = tiny();
+  const std::vector<int> seq = {0, 1, 0, 1};
+  const Schedule plain = decode_operation_based(inst, seq);
+  const Schedule with = decode_with_downtime(inst, seq, {});
+  EXPECT_EQ(plain.makespan(), with.makespan());
+}
+
+TEST(DowntimeDecode, OperationPushedPastWindow) {
+  const JobShopInstance inst = tiny();
+  const std::vector<int> seq = {0, 1, 0, 1};
+  // Plain: j0 op0 on m0 [0,3). Block m0 during [1,5): op must start at 5.
+  const std::vector<Downtime> windows = {{0, 1, 5}};
+  const Schedule s = decode_with_downtime(inst, seq, windows);
+  EXPECT_EQ(s.ops[0].start, 5);
+  EXPECT_EQ(s.ops[0].end, 8);
+  // No op overlaps the window.
+  for (const auto& op : s.ops) {
+    if (op.machine == 0) {
+      EXPECT_TRUE(op.end <= 1 || op.start >= 5);
+    }
+  }
+}
+
+TEST(DowntimeDecode, BackToBackWindowsChainCorrectly) {
+  const JobShopInstance inst = tiny();
+  const std::vector<int> seq = {0, 1, 0, 1};
+  const std::vector<Downtime> windows = {{0, 1, 4}, {0, 4, 6}, {0, 7, 8}};
+  const Schedule s = decode_with_downtime(inst, seq, windows);
+  // j0 op0 (3 units on m0) cannot fit in [0,1), is pushed past [1,4) and
+  // [4,6), cannot fit in [6,7), so starts at 8.
+  EXPECT_EQ(s.ops[0].start, 8);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(SimulateDynamic, RightShiftNeverBeatsNoDisruption) {
+  par::Rng rng(1);
+  const JobShopInstance& inst = ft06().instance;
+  const auto seq = random_operation_sequence(inst, rng);
+  const auto windows = random_downtimes(6, 4, 40, 5, 15, 7);
+  const DynamicRunResult result = simulate_dynamic(inst, seq, windows);
+  EXPECT_GE(result.realized_makespan, result.predictive_makespan);
+  EXPECT_EQ(result.replans, 0);
+}
+
+TEST(SimulateDynamic, ReactiveReplanCountsAndHelps) {
+  par::Rng rng(2);
+  const JobShopInstance& inst = ft06().instance;
+  const auto seq = random_operation_sequence(inst, rng);
+  const auto windows = random_downtimes(6, 3, 30, 10, 20, 11);
+
+  const DynamicRunResult passive = simulate_dynamic(inst, seq, windows);
+
+  // Reactive: re-optimize the remaining operations with a short GA.
+  std::vector<Downtime> window_vec(windows.begin(), windows.end());
+  auto replanner = [&](const ReplanContext& context) {
+    auto problem = std::make_shared<ga::DynamicSuffixProblem>(
+        &inst, context.frozen_prefix, context.remaining, window_vec);
+    ga::GaConfig cfg;
+    cfg.population = 20;
+    cfg.termination.max_generations = 15;
+    cfg.seed = 5;
+    ga::SimpleGa engine(problem, cfg);
+    const ga::GaResult r = engine.run();
+    ga::Genome incumbent;
+    incumbent.seq = context.remaining;
+    return problem->objective(incumbent) <= r.best_objective
+               ? context.remaining
+               : r.best.seq;
+  };
+  const DynamicRunResult reactive =
+      simulate_dynamic(inst, seq, windows, replanner);
+  EXPECT_GT(reactive.replans, 0);
+  EXPECT_LE(reactive.realized_makespan, passive.realized_makespan);
+  // The realized schedule is still feasible.
+  EXPECT_EQ(validate(reactive.realized_schedule, inst.validation_spec()),
+            std::nullopt);
+}
+
+TEST(SimulateDynamic, ReplannerReturningGarbageIsRejected) {
+  par::Rng rng(3);
+  const JobShopInstance& inst = ft06().instance;
+  const auto seq = random_operation_sequence(inst, rng);
+  const auto windows = random_downtimes(6, 2, 30, 5, 10, 13);
+  auto bad_replanner = [](const ReplanContext& context) {
+    std::vector<int> wrong = context.remaining;
+    if (!wrong.empty()) wrong[0] = (wrong[0] + 1) % 6;  // breaks multiset
+    return wrong;
+  };
+  const DynamicRunResult result =
+      simulate_dynamic(inst, seq, windows, bad_replanner);
+  EXPECT_EQ(result.replans, 0);  // rejected
+  EXPECT_EQ(validate(result.realized_schedule, inst.validation_spec()),
+            std::nullopt);
+}
+
+TEST(RandomDowntimes, DeterministicAndWellFormed) {
+  const auto a = random_downtimes(5, 10, 100, 5, 20, 42);
+  const auto b = random_downtimes(5, 10, 100, 5, 20, 42);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].machine, b[i].machine);
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_GE(a[i].machine, 0);
+    EXPECT_LT(a[i].machine, 5);
+    EXPECT_GT(a[i].end, a[i].start);
+  }
+}
+
+TEST(DynamicSuffixProblem, GenomesArePermutationsOfRemaining) {
+  const JobShopInstance& inst = ft06().instance;
+  const std::vector<int> prefix = {0, 1, 2};
+  std::vector<int> remaining;
+  for (int j = 0; j < 6; ++j) {
+    for (int k = 0; k < 6; ++k) remaining.push_back(j);
+  }
+  remaining.erase(remaining.begin(), remaining.begin() + 3);
+  ga::DynamicSuffixProblem problem(&inst, prefix, remaining, {});
+  par::Rng rng(4);
+  for (int t = 0; t < 10; ++t) {
+    const ga::Genome g = problem.random_genome(rng);
+    EXPECT_TRUE(genome_valid(g, problem.traits()));
+    EXPECT_GT(problem.objective(g), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace psga::sched

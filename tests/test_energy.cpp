@@ -1,0 +1,121 @@
+#include "src/sched/energy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/ga/problems.h"
+#include "src/ga/simple_ga.h"
+#include "src/sched/taillard.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(EnergyReport, HandComputedTotals) {
+  // Machine 0: ops [0,10) and [15,20) -> busy 15, idle 5.
+  // Machine 1: op [5,10) -> busy 5, idle 0.
+  Schedule s;
+  s.ops = {
+      {0, 0, 0, 0, 10},
+      {1, 0, 1, 5, 10},
+      {2, 0, 0, 15, 20},
+  };
+  const std::vector<PowerProfile> profiles = {{10.0, 2.0}, {4.0, 1.0}};
+  const EnergyReport r = energy_report(s, profiles);
+  EXPECT_DOUBLE_EQ(r.processing_energy, 15 * 10.0 + 5 * 4.0);
+  EXPECT_DOUBLE_EQ(r.idle_energy, 5 * 2.0);
+  EXPECT_DOUBLE_EQ(r.total_energy(), 170.0 + 10.0);
+  // Peak: both machines busy during [5,10): 10 + 4.
+  EXPECT_DOUBLE_EQ(r.peak_power, 14.0);
+}
+
+TEST(EnergyReport, EmptyScheduleIsZero) {
+  const EnergyReport r = energy_report(Schedule{}, {});
+  EXPECT_DOUBLE_EQ(r.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(r.peak_power, 0.0);
+}
+
+TEST(EnergyReport, AdjacentOpsDoNotDoublePeak) {
+  // Two back-to-back ops on one machine: peak = one op's power.
+  Schedule s;
+  s.ops = {
+      {0, 0, 0, 0, 10},
+      {1, 0, 0, 10, 20},
+  };
+  const std::vector<PowerProfile> profiles = {{7.0, 1.0}};
+  EXPECT_DOUBLE_EQ(energy_report(s, profiles).peak_power, 7.0);
+}
+
+TEST(EnergyAwareFlowShop, PureMakespanWeightsMatchPlainObjective) {
+  const FlowShopInstance inst = taillard_flow_shop(10, 4, 77);
+  EnergyAwareFlowShop shop(inst, random_power_profiles(4, 5), {1.0, 0.0, 0.0});
+  std::vector<int> perm(10);
+  std::iota(perm.begin(), perm.end(), 0);
+  EXPECT_DOUBLE_EQ(shop.objective(perm),
+                   static_cast<double>(flow_shop_makespan(inst, perm)));
+}
+
+TEST(EnergyAwareFlowShop, ProcessingEnergyIsSequenceInvariant) {
+  // Total processing energy depends only on the work content, not the
+  // order; only idle energy and peak vary with the permutation.
+  const FlowShopInstance inst = taillard_flow_shop(8, 3, 78);
+  EnergyAwareFlowShop shop(inst, random_power_profiles(3, 6), {0.0, 1.0, 0.0});
+  std::vector<int> a(8);
+  std::iota(a.begin(), a.end(), 0);
+  std::vector<int> b(a.rbegin(), a.rend());
+  EXPECT_DOUBLE_EQ(shop.report(a).processing_energy,
+                   shop.report(b).processing_energy);
+}
+
+TEST(EnergyAwareFlowShop, GaReducesEnergyObjective) {
+  const FlowShopInstance inst = taillard_flow_shop(15, 5, 79);
+  ga::EnergyFlowShopProblem problem(
+      EnergyAwareFlowShop(inst, random_power_profiles(5, 7),
+                          {1.0, 0.05, 0.5}));
+  auto shared = std::make_shared<ga::EnergyFlowShopProblem>(problem);
+  ga::GaConfig cfg;
+  cfg.population = 40;
+  cfg.termination.max_generations = 40;
+  ga::SimpleGa engine(shared, cfg);
+  const ga::GaResult result = engine.run();
+  EXPECT_LT(result.best_objective, result.history.front());
+  EXPECT_TRUE(genome_valid(result.best, shared->traits()));
+}
+
+TEST(EnergyAwareFlowShop, WeightsTradeOffMakespanVsPeak) {
+  // Optimizing peak power only should find a permutation with peak no
+  // higher than the makespan-only optimum's peak.
+  const FlowShopInstance inst = taillard_flow_shop(12, 4, 80);
+  const auto profiles = random_power_profiles(4, 8);
+  auto run = [&](EnergyObjectiveWeights weights, std::uint64_t seed) {
+    auto problem = std::make_shared<ga::EnergyFlowShopProblem>(
+        EnergyAwareFlowShop(inst, profiles, weights));
+    ga::GaConfig cfg;
+    cfg.population = 40;
+    cfg.termination.max_generations = 60;
+    cfg.seed = seed;
+    ga::SimpleGa engine(problem, cfg);
+    const ga::GaResult r = engine.run();
+    EnergyAwareFlowShop shop(inst, profiles, weights);
+    return shop.report(r.best.seq).peak_power;
+  };
+  const double peak_when_minimizing_makespan = run({1.0, 0.0, 0.0}, 3);
+  const double peak_when_minimizing_peak = run({0.0, 0.0, 1.0}, 3);
+  EXPECT_LE(peak_when_minimizing_peak, peak_when_minimizing_makespan + 1e-9);
+}
+
+TEST(PowerProfiles, DeterministicAndInRange) {
+  const auto a = random_power_profiles(6, 42, 5, 20, 0.5, 4);
+  const auto b = random_power_profiles(6, 42, 5, 20, 0.5, 4);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].processing, b[i].processing);
+    EXPECT_GE(a[i].processing, 5.0);
+    EXPECT_LE(a[i].processing, 20.0);
+    EXPECT_GE(a[i].idle, 0.5);
+    EXPECT_LE(a[i].idle, 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace psga::sched

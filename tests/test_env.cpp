@@ -1,0 +1,56 @@
+#include "src/par/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace psga::par {
+namespace {
+
+TEST(Env, LongFallbacks) {
+  unsetenv("PSGA_TEST_VALUE");
+  EXPECT_EQ(env_long("PSGA_TEST_VALUE", 42), 42);
+  setenv("PSGA_TEST_VALUE", "17", 1);
+  EXPECT_EQ(env_long("PSGA_TEST_VALUE", 42), 17);
+  setenv("PSGA_TEST_VALUE", "not-a-number", 1);
+  EXPECT_EQ(env_long("PSGA_TEST_VALUE", 42), 42);
+  setenv("PSGA_TEST_VALUE", "", 1);
+  EXPECT_EQ(env_long("PSGA_TEST_VALUE", 42), 42);
+  unsetenv("PSGA_TEST_VALUE");
+}
+
+TEST(Env, StringFallbacks) {
+  unsetenv("PSGA_TEST_STRING");
+  EXPECT_EQ(env_string("PSGA_TEST_STRING", "dflt"), "dflt");
+  setenv("PSGA_TEST_STRING", "hello", 1);
+  EXPECT_EQ(env_string("PSGA_TEST_STRING", "dflt"), "hello");
+  unsetenv("PSGA_TEST_STRING");
+}
+
+TEST(Env, BenchScaleMapping) {
+  setenv("PSGA_BENCH_SCALE", "small", 1);
+  EXPECT_EQ(bench_scale(), 1);
+  setenv("PSGA_BENCH_SCALE", "medium", 1);
+  EXPECT_EQ(bench_scale(), 4);
+  setenv("PSGA_BENCH_SCALE", "large", 1);
+  EXPECT_EQ(bench_scale(), 16);
+  setenv("PSGA_BENCH_SCALE", "garbage", 1);
+  EXPECT_EQ(bench_scale(), 1);
+  unsetenv("PSGA_BENCH_SCALE");
+  EXPECT_EQ(bench_scale(), 1);
+}
+
+TEST(Env, ThreadCountClampedToHardware) {
+  setenv("PSGA_THREADS", "1", 1);
+  EXPECT_EQ(default_thread_count(), 1);
+  setenv("PSGA_THREADS", "0", 1);
+  EXPECT_EQ(default_thread_count(), 1);
+  setenv("PSGA_THREADS", "100000", 1);
+  EXPECT_LE(default_thread_count(), 100000);
+  EXPECT_GE(default_thread_count(), 1);
+  unsetenv("PSGA_THREADS");
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace psga::par

@@ -1,0 +1,149 @@
+#include "src/sched/flexible_job_shop.h"
+
+#include <gtest/gtest.h>
+
+#include "src/par/rng.h"
+#include "src/sched/generators.h"
+
+namespace psga::sched {
+namespace {
+
+/// 2 jobs, 2 machines; every op eligible on both machines.
+/// Job 0: op0 {m0: 3, m1: 5}, op1 {m0: 2, m1: 2}.
+/// Job 1: op0 {m0: 4, m1: 1}.
+FlexibleJobShopInstance tiny() {
+  FlexibleJobShopInstance inst;
+  inst.jobs = 2;
+  inst.machines = 2;
+  inst.ops.resize(2);
+  inst.ops[0].resize(2);
+  inst.ops[0][0].choices = {{0, 3}, {1, 5}};
+  inst.ops[0][1].choices = {{0, 2}, {1, 2}};
+  inst.ops[1].resize(1);
+  inst.ops[1][0].choices = {{0, 4}, {1, 1}};
+  return inst;
+}
+
+TEST(FlexibleJobShop, FlatOpIndexing) {
+  const FlexibleJobShopInstance inst = tiny();
+  EXPECT_EQ(inst.total_ops(), 3);
+  EXPECT_EQ(fjs_flat_op(inst, 0, 0), 0);
+  EXPECT_EQ(fjs_flat_op(inst, 0, 1), 1);
+  EXPECT_EQ(fjs_flat_op(inst, 1, 0), 2);
+}
+
+TEST(FlexibleJobShop, HandDecodedSchedule) {
+  const FlexibleJobShopInstance inst = tiny();
+  // assign: j0 op0 -> m0 (3), j0 op1 -> m1 (2), j1 op0 -> m1 (1).
+  const std::vector<int> assign = {0, 1, 1};
+  const std::vector<int> seq = {1, 0, 0};
+  // j1 op0 on m1 [0,1); j0 op0 on m0 [0,3); j0 op1 on m1 [3,5).
+  const Schedule s = decode_flexible_job_shop(inst, assign, seq);
+  EXPECT_EQ(s.makespan(), 5);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(FlexibleJobShop, MachineReleaseDatesDelayStart) {
+  FlexibleJobShopInstance inst = tiny();
+  inst.machine_release = {10, 0};
+  const std::vector<int> assign = {0, 1, 1};
+  const std::vector<int> seq = {0, 0, 1};
+  const Schedule s = decode_flexible_job_shop(inst, assign, seq);
+  for (const auto& op : s.ops) {
+    if (op.machine == 0) EXPECT_GE(op.start, 10);
+  }
+}
+
+TEST(FlexibleJobShop, TimeLagsSeparateConsecutiveOps) {
+  FlexibleJobShopInstance inst = tiny();
+  inst.ops[0][0].min_lag_after = 7;
+  const std::vector<int> assign = {0, 0, 0};
+  const std::vector<int> seq = {0, 0, 1};
+  const Schedule s = decode_flexible_job_shop(inst, assign, seq);
+  // j0 op0 [0,3); lag 7 => op1 starts >= 10.
+  EXPECT_GE(s.ops[1].start, 10);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(FlexibleJobShop, DetachedSetupsOverlapWaiting) {
+  // One machine, two jobs, big setup. Detached: setup runs while job 1 is
+  // still "travelling", so with job arrival late the setup hides inside
+  // the wait. Attached: setup starts only after both are ready.
+  FlexibleJobShopInstance inst;
+  inst.jobs = 2;
+  inst.machines = 1;
+  inst.ops.resize(2);
+  inst.ops[0].resize(1);
+  inst.ops[0][0].choices = {{0, 5}};
+  inst.ops[1].resize(1);
+  inst.ops[1][0].choices = {{0, 5}};
+  inst.setup.assign(1, std::vector<std::vector<Time>>(
+                           3, std::vector<Time>(2, 4)));  // all setups = 4
+  inst.attrs.release = {0, 20};
+
+  const std::vector<int> assign = {0, 0};
+  const std::vector<int> seq = {0, 1};
+  inst.detached_setup = true;
+  Schedule detached = decode_flexible_job_shop(inst, assign, seq);
+  // j0: setup [?], start max(0, 0+4)=4, runs [4,9). j1 ready at 20;
+  // machine free 9 + setup 4 = 13 < 20, so start 20.
+  EXPECT_EQ(detached.makespan(), 25);
+
+  inst.detached_setup = false;
+  Schedule attached = decode_flexible_job_shop(inst, assign, seq);
+  // attached: j1 start = max(20, 9) + 4 = 24, ends 29.
+  EXPECT_EQ(attached.makespan(), 29);
+}
+
+class FjsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FjsSweep, RandomGenomesDecodeFeasibly) {
+  const int seed = GetParam();
+  FjsParams params;
+  params.jobs = 4 + seed % 6;
+  params.machines = 3 + seed % 4;
+  params.ops_per_job = 2 + seed % 4;
+  params.eligible_machines = 1 + seed % 3;
+  params.setup_hi = (seed % 2 == 0) ? 6 : 0;
+  params.detached_setup = (seed % 4 < 2);
+  params.machine_release_hi = (seed % 3 == 0) ? 15 : 0;
+  params.max_lag = (seed % 5 == 0) ? 4 : 0;
+  const FlexibleJobShopInstance inst =
+      random_flexible_job_shop(params, static_cast<std::uint64_t>(seed) + 17);
+  par::Rng rng(static_cast<std::uint64_t>(seed) * 131 + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto assign = random_fjs_assignment(inst, rng);
+    const auto seq = random_fjs_sequence(inst, rng);
+    const Schedule s = decode_flexible_job_shop(inst, assign, seq);
+    ASSERT_EQ(validate(s, inst.validation_spec()), std::nullopt)
+        << "seed=" << seed << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FjsSweep, ::testing::Range(0, 16));
+
+TEST(FlexibleJobShop, AssignmentChromosomeRespectsDomains) {
+  par::Rng rng(21);
+  const FlexibleJobShopInstance inst = tiny();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto assign = random_fjs_assignment(inst, rng);
+    ASSERT_EQ(assign.size(), 3u);
+    for (std::size_t i = 0; i < assign.size(); ++i) {
+      EXPECT_GE(assign[i], 0);
+      EXPECT_LT(assign[i], 2);
+    }
+  }
+}
+
+TEST(FlexibleJobShop, ObjectiveMatchesScheduleMakespan) {
+  const FlexibleJobShopInstance inst = tiny();
+  const std::vector<int> assign = {0, 1, 1};
+  const std::vector<int> seq = {1, 0, 0};
+  const Schedule s = decode_flexible_job_shop(inst, assign, seq);
+  EXPECT_DOUBLE_EQ(
+      flexible_job_shop_objective(inst, s, Criterion::kMakespan),
+      static_cast<double>(s.makespan()));
+}
+
+}  // namespace
+}  // namespace psga::sched

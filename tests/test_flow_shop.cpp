@@ -1,0 +1,116 @@
+#include "src/sched/flow_shop.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/par/rng.h"
+
+namespace psga::sched {
+namespace {
+
+/// 2 machines x 2 jobs: p(m0) = {3, 2}, p(m1) = {2, 4}.
+FlowShopInstance tiny() {
+  FlowShopInstance inst;
+  inst.jobs = 2;
+  inst.machines = 2;
+  inst.proc = {{3, 2}, {2, 4}};
+  return inst;
+}
+
+TEST(FlowShop, HandComputedMakespan) {
+  const FlowShopInstance inst = tiny();
+  // Order (0, 1): m0: j0 [0,3), j1 [3,5); m1: j0 [3,5), j1 [5,9) => 9.
+  const std::vector<int> order01 = {0, 1};
+  EXPECT_EQ(flow_shop_makespan(inst, order01), 9);
+  // Order (1, 0): m0: j1 [0,2), j0 [2,5); m1: j1 [2,6), j0 [6,8) => 8.
+  const std::vector<int> order10 = {1, 0};
+  EXPECT_EQ(flow_shop_makespan(inst, order10), 8);
+}
+
+TEST(FlowShop, CompletionTimesMatchSchedule) {
+  const FlowShopInstance inst = tiny();
+  const std::vector<int> perm = {0, 1};
+  const auto completion = flow_shop_completion_times(inst, perm);
+  EXPECT_EQ(completion[0], 5);
+  EXPECT_EQ(completion[1], 9);
+  const Schedule schedule = flow_shop_schedule(inst, perm);
+  const auto from_schedule = schedule.job_completion_times(inst.jobs);
+  EXPECT_EQ(completion, from_schedule);
+}
+
+TEST(FlowShop, ScheduleIsFeasible) {
+  const FlowShopInstance inst = tiny();
+  const std::vector<int> perm = {1, 0};
+  const Schedule schedule = flow_shop_schedule(inst, perm);
+  EXPECT_EQ(validate(schedule, inst.validation_spec()), std::nullopt);
+}
+
+TEST(FlowShop, ReleaseTimesDelayJobs) {
+  FlowShopInstance inst = tiny();
+  inst.attrs.release = {4, 0};
+  const std::vector<int> perm = {0, 1};
+  // j0 cannot start before 4: m0 [4,7), m1 [7,9); j1 m0 [7,9), m1 [9,13).
+  EXPECT_EQ(flow_shop_makespan(inst, perm), 13);
+  const Schedule schedule = flow_shop_schedule(inst, perm);
+  EXPECT_EQ(validate(schedule, inst.validation_spec()), std::nullopt);
+}
+
+TEST(FlowShop, SingleMachineIsSumOfProcessing) {
+  FlowShopInstance inst;
+  inst.jobs = 4;
+  inst.machines = 1;
+  inst.proc = {{5, 1, 3, 2}};
+  std::vector<int> perm = {2, 0, 3, 1};
+  EXPECT_EQ(flow_shop_makespan(inst, perm), 11);
+}
+
+class FlowShopRandomPermutations : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowShopRandomPermutations, AllPermutationsYieldFeasibleSchedules) {
+  par::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  FlowShopInstance inst;
+  inst.jobs = 3 + GetParam() % 8;
+  inst.machines = 2 + GetParam() % 5;
+  inst.proc.assign(static_cast<std::size_t>(inst.machines),
+                   std::vector<Time>(static_cast<std::size_t>(inst.jobs), 0));
+  for (auto& row : inst.proc) {
+    for (auto& p : row) p = rng.range(1, 50);
+  }
+  std::vector<int> perm(static_cast<std::size_t>(inst.jobs));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.shuffle(perm);
+    const Schedule schedule = flow_shop_schedule(inst, perm);
+    ASSERT_EQ(validate(schedule, inst.validation_spec()), std::nullopt);
+    EXPECT_EQ(schedule.makespan(), flow_shop_makespan(inst, perm));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlowShopRandomPermutations,
+                         ::testing::Range(0, 12));
+
+TEST(FlowShop, ObjectiveCriteriaConsistent) {
+  FlowShopInstance inst = tiny();
+  inst.attrs.due = {4, 20};
+  inst.attrs.weight = {2.0, 1.0};
+  const std::vector<int> perm = {0, 1};
+  // completion = {5, 9}; T = {1, 0}.
+  EXPECT_DOUBLE_EQ(
+      flow_shop_objective(inst, perm, Criterion::kMakespan), 9.0);
+  EXPECT_DOUBLE_EQ(
+      flow_shop_objective(inst, perm, Criterion::kTotalWeightedCompletion),
+      2.0 * 5 + 1.0 * 9);
+  EXPECT_DOUBLE_EQ(
+      flow_shop_objective(inst, perm, Criterion::kTotalWeightedTardiness),
+      2.0);
+}
+
+TEST(FlowShop, TotalProcessing) {
+  const FlowShopInstance inst = tiny();
+  EXPECT_EQ(inst.total_processing(0), 5);
+  EXPECT_EQ(inst.total_processing(1), 6);
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,130 @@
+#include "src/sched/fuzzy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/ga/problems.h"
+#include "src/sched/taillard.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(TriFuzzy, Addition) {
+  const TriFuzzy x{1, 2, 3};
+  const TriFuzzy y{4, 5, 7};
+  const TriFuzzy z = x + y;
+  EXPECT_DOUBLE_EQ(z.a, 5);
+  EXPECT_DOUBLE_EQ(z.b, 7);
+  EXPECT_DOUBLE_EQ(z.c, 10);
+}
+
+TEST(TriFuzzy, ComponentwiseMax) {
+  const TriFuzzy x{1, 5, 6};
+  const TriFuzzy y{2, 3, 9};
+  const TriFuzzy z = TriFuzzy::fmax(x, y);
+  EXPECT_DOUBLE_EQ(z.a, 2);
+  EXPECT_DOUBLE_EQ(z.b, 5);
+  EXPECT_DOUBLE_EQ(z.c, 9);
+}
+
+TEST(TriFuzzy, Membership) {
+  const TriFuzzy x{0, 2, 4};
+  EXPECT_DOUBLE_EQ(x.membership(0), 0.0);
+  EXPECT_DOUBLE_EQ(x.membership(1), 0.5);
+  EXPECT_DOUBLE_EQ(x.membership(2), 1.0);
+  EXPECT_DOUBLE_EQ(x.membership(3), 0.5);
+  EXPECT_DOUBLE_EQ(x.membership(4), 0.0);
+  EXPECT_DOUBLE_EQ(x.membership(9), 0.0);
+}
+
+TEST(TriFuzzy, AreaAndCrispDegenerate) {
+  EXPECT_DOUBLE_EQ((TriFuzzy{0, 2, 4}).area(), 2.0);
+  EXPECT_DOUBLE_EQ((TriFuzzy{3, 3, 3}).area(), 0.0);
+}
+
+TEST(FuzzyDueDate, SatisfactionRamp) {
+  const FuzzyDueDate d{10, 20};
+  EXPECT_DOUBLE_EQ(d.satisfaction(5), 1.0);
+  EXPECT_DOUBLE_EQ(d.satisfaction(10), 1.0);
+  EXPECT_DOUBLE_EQ(d.satisfaction(15), 0.5);
+  EXPECT_DOUBLE_EQ(d.satisfaction(20), 0.0);
+  EXPECT_DOUBLE_EQ(d.satisfaction(25), 0.0);
+}
+
+TEST(AgreementIndex, CertainlyEarlyIsOne) {
+  // Completion entirely before d1.
+  EXPECT_NEAR(agreement_index(TriFuzzy{1, 2, 3}, FuzzyDueDate{10, 20}), 1.0,
+              1e-6);
+}
+
+TEST(AgreementIndex, CertainlyLateIsZero) {
+  EXPECT_NEAR(agreement_index(TriFuzzy{30, 32, 34}, FuzzyDueDate{10, 20}), 0.0,
+              1e-6);
+}
+
+TEST(AgreementIndex, PartialOverlapBetween) {
+  const double ai =
+      agreement_index(TriFuzzy{8, 12, 16}, FuzzyDueDate{10, 20});
+  EXPECT_GT(ai, 0.0);
+  EXPECT_LT(ai, 1.0);
+}
+
+TEST(AgreementIndex, MonotoneInLateness) {
+  const FuzzyDueDate due{10, 20};
+  const double early = agreement_index(TriFuzzy{8, 10, 12}, due);
+  const double later = agreement_index(TriFuzzy{12, 14, 16}, due);
+  EXPECT_GT(early, later);
+}
+
+TEST(AgreementIndex, CrispCompletionUsesSatisfaction) {
+  EXPECT_DOUBLE_EQ(
+      agreement_index(TriFuzzy{15, 15, 15}, FuzzyDueDate{10, 20}), 0.5);
+}
+
+TEST(FuzzyFlowShop, CompletionKernelMatchesCrispMakespan) {
+  // With zero spread the kernel recurrence equals the crisp flow shop.
+  const FlowShopInstance crisp = taillard_flow_shop(8, 4, 12345);
+  const FuzzyFlowShopInstance fuzzy = fuzzify(crisp.proc, 0.0, 1.5, 0.5);
+  std::vector<int> perm(8);
+  std::iota(perm.begin(), perm.end(), 0);
+  const auto completion = fuzzy_completion_times(fuzzy, perm);
+  const auto crisp_completion = flow_shop_completion_times(crisp, perm);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(completion[static_cast<std::size_t>(j)].b,
+                     static_cast<double>(
+                         crisp_completion[static_cast<std::size_t>(j)]));
+  }
+}
+
+TEST(FuzzyFlowShop, SpreadWidensSupport) {
+  const FlowShopInstance crisp = taillard_flow_shop(6, 3, 777);
+  const FuzzyFlowShopInstance fuzzy = fuzzify(crisp.proc, 0.3, 1.5, 0.5);
+  std::vector<int> perm = {0, 1, 2, 3, 4, 5};
+  for (const TriFuzzy& c : fuzzy_completion_times(fuzzy, perm)) {
+    EXPECT_LT(c.a, c.b);
+    EXPECT_LT(c.b, c.c);
+  }
+}
+
+TEST(FuzzyFlowShop, MeanAgreementInUnitInterval) {
+  const FlowShopInstance crisp = taillard_flow_shop(10, 5, 31);
+  const FuzzyFlowShopInstance fuzzy = fuzzify(crisp.proc, 0.2, 2.0, 1.0);
+  std::vector<int> perm(10);
+  std::iota(perm.begin(), perm.end(), 0);
+  const double agreement = mean_agreement(fuzzy, perm);
+  EXPECT_GE(agreement, 0.0);
+  EXPECT_LE(agreement, 1.0);
+}
+
+TEST(FuzzyFlowShopProblem, GaObjectiveIsOneMinusAgreement) {
+  const FlowShopInstance crisp = taillard_flow_shop(10, 5, 31);
+  ga::FuzzyFlowShopProblem problem(fuzzify(crisp.proc, 0.2, 2.0, 1.0));
+  par::Rng rng(4);
+  const ga::Genome g = problem.random_genome(rng);
+  EXPECT_DOUBLE_EQ(problem.objective(g), 1.0 - problem.agreement(g));
+  EXPECT_EQ(g.keys.size(), 10u);
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,84 @@
+#include "src/sched/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/par/rng.h"
+#include "src/sched/classics.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(Gantt, RendersOneRowPerMachine) {
+  Schedule s;
+  s.ops = {
+      {0, 0, 0, 0, 10},
+      {1, 0, 1, 0, 5},
+  };
+  const std::string out = render_gantt(s, 2, {.width = 20});
+  EXPECT_NE(out.find("M0 "), std::string::npos);
+  EXPECT_NE(out.find("M1 "), std::string::npos);
+  // Job symbols painted.
+  EXPECT_NE(out.find('0'), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(Gantt, FullSpanOpCoversRow) {
+  Schedule s;
+  s.ops = {{0, 0, 0, 0, 100}};
+  const std::string out = render_gantt(s, 1, {.width = 20, .show_axis = false});
+  // The single op spans the whole makespan: no idle dots inside the bars.
+  EXPECT_EQ(out.find('.'), std::string::npos);
+}
+
+TEST(Gantt, IdleShowsAsDots) {
+  Schedule s;
+  s.ops = {
+      {0, 0, 0, 0, 10},
+      {1, 0, 0, 90, 100},
+  };
+  const std::string out = render_gantt(s, 1, {.width = 40, .show_axis = false});
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Gantt, AxisShowsMakespan) {
+  Schedule s;
+  s.ops = {{0, 0, 0, 0, 123}};
+  const std::string out = render_gantt(s, 1, {.width = 30});
+  EXPECT_NE(out.find("123"), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleRendersEmptyRows) {
+  const std::string out = render_gantt(Schedule{}, 2, {.width = 12});
+  EXPECT_NE(out.find("M0 "), std::string::npos);
+  EXPECT_NE(out.find("M1 "), std::string::npos);
+}
+
+TEST(Gantt, ManyJobsUseDistinctSymbolClasses) {
+  Schedule s;
+  // Jobs 5, 15, 40 -> '5', 'f', 'E'.
+  s.ops = {
+      {5, 0, 0, 0, 10},
+      {15, 0, 1, 0, 10},
+      {40, 0, 2, 0, 10},
+  };
+  const std::string out = render_gantt(s, 3, {.width = 15, .show_axis = false});
+  EXPECT_NE(out.find('5'), std::string::npos);
+  EXPECT_NE(out.find('f'), std::string::npos);
+  EXPECT_NE(out.find('E'), std::string::npos);
+}
+
+TEST(Gantt, Ft06ScheduleRendersWithoutOverlapArtifacts) {
+  par::Rng rng(1);
+  const auto seq = random_operation_sequence(ft06().instance, rng);
+  const Schedule s = decode_operation_based(ft06().instance, seq);
+  const std::string out = render_gantt(s, 6, {.width = 60});
+  // 6 machine rows + axis.
+  int rows = 0;
+  for (char c : out) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 7);
+}
+
+}  // namespace
+}  // namespace psga::sched

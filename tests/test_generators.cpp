@@ -1,0 +1,135 @@
+#include "src/sched/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace psga::sched {
+namespace {
+
+TEST(Generators, OpenShopDeterministicAndInRange) {
+  const OpenShopInstance a = random_open_shop(6, 4, 42, 1, 50);
+  const OpenShopInstance b = random_open_shop(6, 4, 42, 1, 50);
+  EXPECT_EQ(a.proc, b.proc);
+  for (const auto& row : a.proc) {
+    for (Time p : row) {
+      EXPECT_GE(p, 1);
+      EXPECT_LE(p, 50);
+    }
+  }
+}
+
+TEST(Generators, OpenShopSeedChangesData) {
+  const OpenShopInstance a = random_open_shop(6, 4, 1);
+  const OpenShopInstance b = random_open_shop(6, 4, 2);
+  EXPECT_NE(a.proc, b.proc);
+}
+
+TEST(Generators, HfsIdenticalMachinesHaveEqualRows) {
+  HfsParams params;
+  params.jobs = 5;
+  params.machines_per_stage = {3, 2};
+  params.unrelatedness = 1.0;
+  const HybridFlowShopInstance inst = random_hybrid_flow_shop(params, 9);
+  for (int s = 0; s < inst.stages(); ++s) {
+    for (int j = 0; j < inst.jobs; ++j) {
+      const auto& row = inst.proc[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      for (Time p : row) EXPECT_EQ(p, row.front());
+    }
+  }
+}
+
+TEST(Generators, HfsUnrelatedMachinesDiffer) {
+  HfsParams params;
+  params.jobs = 10;
+  params.machines_per_stage = {4};
+  params.unrelatedness = 3.0;
+  const HybridFlowShopInstance inst = random_hybrid_flow_shop(params, 10);
+  bool any_difference = false;
+  for (int j = 0; j < inst.jobs; ++j) {
+    const auto& row = inst.proc[0][static_cast<std::size_t>(j)];
+    for (Time p : row) {
+      if (p != row.front()) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generators, HfsSetupsPresentOnlyWhenRequested) {
+  HfsParams params;
+  params.jobs = 4;
+  params.machines_per_stage = {2};
+  EXPECT_TRUE(random_hybrid_flow_shop(params, 1).setup.empty());
+  params.setup_hi = 7;
+  const HybridFlowShopInstance with = random_hybrid_flow_shop(params, 1);
+  ASSERT_FALSE(with.setup.empty());
+  for (int k = 0; k < 2; ++k) {
+    for (int prev = -1; prev < 4; ++prev) {
+      for (int next = 0; next < 4; ++next) {
+        const Time s = with.setup_time(0, k, prev, next);
+        EXPECT_GE(s, 1);
+        EXPECT_LE(s, 7);
+      }
+    }
+  }
+}
+
+TEST(Generators, FjsEligibilitySetsHaveRequestedSize) {
+  FjsParams params;
+  params.jobs = 5;
+  params.machines = 6;
+  params.ops_per_job = 4;
+  params.eligible_machines = 3;
+  const FlexibleJobShopInstance inst = random_flexible_job_shop(params, 3);
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (int k = 0; k < inst.ops_of(j); ++k) {
+      const auto& choices = inst.op(j, k).choices;
+      EXPECT_EQ(choices.size(), 3u);
+      // Machines distinct and sorted.
+      for (std::size_t c = 1; c < choices.size(); ++c) {
+        EXPECT_LT(choices[c - 1].machine, choices[c].machine);
+      }
+    }
+  }
+}
+
+TEST(Generators, FjsEligibleCountClamped) {
+  FjsParams params;
+  params.machines = 2;
+  params.eligible_machines = 10;  // more than machines: clamp
+  const FlexibleJobShopInstance inst = random_flexible_job_shop(params, 4);
+  EXPECT_EQ(inst.op(0, 0).choices.size(), 2u);
+}
+
+TEST(Generators, JobShopRoutesArePermutations) {
+  const JobShopInstance inst = random_job_shop(7, 5, 77);
+  for (int j = 0; j < inst.jobs; ++j) {
+    std::vector<bool> seen(5, false);
+    for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(op.machine)]);
+      seen[static_cast<std::size_t>(op.machine)] = true;
+    }
+  }
+}
+
+TEST(Generators, DueDatesScaleWithWork) {
+  JobAttributes attrs;
+  const std::vector<Time> work = {100, 200};
+  assign_due_dates(attrs, work, 1.5, 5, 8);
+  ASSERT_EQ(attrs.due.size(), 2u);
+  EXPECT_EQ(attrs.due[0], 150);
+  EXPECT_EQ(attrs.due[1], 300);
+  for (double w : attrs.weight) {
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 5.0);
+  }
+}
+
+TEST(Generators, DueDatesHonorReleaseTimes) {
+  JobAttributes attrs;
+  attrs.release = {50, 0};
+  assign_due_dates(attrs, {100, 100}, 1.0, 3, 8);
+  EXPECT_EQ(attrs.due[0], 150);
+  EXPECT_EQ(attrs.due[1], 100);
+}
+
+}  // namespace
+}  // namespace psga::sched

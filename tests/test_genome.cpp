@@ -1,0 +1,120 @@
+#include "src/ga/genome.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ga/problems.h"
+
+namespace psga::ga {
+namespace {
+
+GenomeTraits perm_traits(int n) {
+  GenomeTraits t;
+  t.seq_kind = SeqKind::kPermutation;
+  t.seq_length = n;
+  return t;
+}
+
+GenomeTraits rep_traits(std::vector<int> repeats) {
+  GenomeTraits t;
+  t.seq_kind = SeqKind::kJobRepetition;
+  t.repeats = std::move(repeats);
+  t.seq_length = 0;
+  for (int r : t.repeats) t.seq_length += r;
+  return t;
+}
+
+TEST(Genome, HammingDistance) {
+  Genome a;
+  a.seq = {0, 1, 2, 3};
+  Genome b;
+  b.seq = {0, 2, 1, 3};
+  EXPECT_EQ(hamming_distance(a, a), 0);
+  EXPECT_EQ(hamming_distance(a, b), 2);
+}
+
+TEST(Genome, HammingDistanceDifferentLengths) {
+  Genome a;
+  a.seq = {0, 1, 2};
+  Genome b;
+  b.seq = {0, 1};
+  EXPECT_EQ(hamming_distance(a, b), 1);
+}
+
+TEST(GenomeValid, AcceptsPermutation) {
+  Genome g;
+  g.seq = {2, 0, 1, 3};
+  EXPECT_TRUE(genome_valid(g, perm_traits(4)));
+}
+
+TEST(GenomeValid, RejectsDuplicateInPermutation) {
+  Genome g;
+  g.seq = {2, 0, 0, 3};
+  EXPECT_FALSE(genome_valid(g, perm_traits(4)));
+}
+
+TEST(GenomeValid, RejectsWrongLength) {
+  Genome g;
+  g.seq = {0, 1, 2};
+  EXPECT_FALSE(genome_valid(g, perm_traits(4)));
+}
+
+TEST(GenomeValid, AcceptsRepetitionMultiset) {
+  Genome g;
+  g.seq = {0, 1, 0, 1, 1};
+  EXPECT_TRUE(genome_valid(g, rep_traits({2, 3})));
+}
+
+TEST(GenomeValid, RejectsWrongMultiset) {
+  Genome g;
+  g.seq = {0, 0, 0, 1, 1};
+  EXPECT_FALSE(genome_valid(g, rep_traits({2, 3})));
+}
+
+TEST(GenomeValid, ChecksAssignDomains) {
+  GenomeTraits t = perm_traits(2);
+  t.assign_domain = {3, 2};
+  Genome g;
+  g.seq = {1, 0};
+  g.assign = {2, 1};
+  EXPECT_TRUE(genome_valid(g, t));
+  g.assign = {3, 1};
+  EXPECT_FALSE(genome_valid(g, t));
+  g.assign = {2};
+  EXPECT_FALSE(genome_valid(g, t));
+}
+
+TEST(GenomeValid, ChecksKeyLength) {
+  GenomeTraits t;
+  t.seq_kind = SeqKind::kNone;
+  t.key_length = 3;
+  Genome g;
+  g.keys = {0.1, 0.5, 0.9};
+  EXPECT_TRUE(genome_valid(g, t));
+  g.keys.pop_back();
+  EXPECT_FALSE(genome_valid(g, t));
+}
+
+TEST(KeysToPermutation, SortsByKey) {
+  const std::vector<double> keys = {0.7, 0.1, 0.4};
+  EXPECT_EQ(keys_to_permutation(keys), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(KeysToPermutation, StableOnTies) {
+  const std::vector<double> keys = {0.5, 0.5, 0.1};
+  EXPECT_EQ(keys_to_permutation(keys), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(KeysToRepetition, ProducesValidMultiset) {
+  const std::vector<int> repeats = {2, 1, 3};
+  const std::vector<double> keys = {0.9, 0.1, 0.5, 0.2, 0.8, 0.3};
+  const auto seq = keys_to_repetition_sequence(keys, repeats);
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(std::count(seq.begin(), seq.end(), 0), 2);
+  EXPECT_EQ(std::count(seq.begin(), seq.end(), 1), 1);
+  EXPECT_EQ(std::count(seq.begin(), seq.end(), 2), 3);
+  // Smallest key is slot 1 (job 0's second op slot -> job 0 first).
+  EXPECT_EQ(seq[0], 0);
+}
+
+}  // namespace
+}  // namespace psga::ga

@@ -1,0 +1,76 @@
+#include "src/sched/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/par/rng.h"
+#include "src/sched/classics.h"
+#include "src/sched/taillard.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(Neh, PermutationIsValid) {
+  const FlowShopInstance inst = taillard_flow_shop(20, 5, 873654221);
+  const auto perm = neh_permutation(inst);
+  ASSERT_EQ(perm.size(), 20u);
+  std::vector<bool> seen(20, false);
+  for (int j : perm) {
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, 20);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(j)]);
+    seen[static_cast<std::size_t>(j)] = true;
+  }
+}
+
+TEST(Neh, BeatsAverageRandomPermutation) {
+  const FlowShopInstance inst = taillard_flow_shop(20, 5, 873654221);
+  const Time neh = neh_makespan(inst);
+  par::Rng rng(5);
+  std::vector<int> perm(20);
+  std::iota(perm.begin(), perm.end(), 0);
+  double random_total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    rng.shuffle(perm);
+    random_total += static_cast<double>(flow_shop_makespan(inst, perm));
+  }
+  EXPECT_LT(static_cast<double>(neh), random_total / trials);
+}
+
+TEST(Neh, OptimalOnTinyInstance) {
+  // 2 jobs: both orders checkable by hand; NEH must pick the better one.
+  FlowShopInstance inst;
+  inst.jobs = 2;
+  inst.machines = 2;
+  inst.proc = {{3, 2}, {2, 4}};
+  // Orders: (0,1) -> 9, (1,0) -> 8.
+  EXPECT_EQ(neh_makespan(inst), 8);
+}
+
+TEST(Neh, SingleJob) {
+  FlowShopInstance inst;
+  inst.jobs = 1;
+  inst.machines = 3;
+  inst.proc = {{4}, {5}, {6}};
+  EXPECT_EQ(neh_permutation(inst), (std::vector<int>{0}));
+  EXPECT_EQ(neh_makespan(inst), 15);
+}
+
+TEST(Dispatch, BestRuleBeatsWorstRandomOnFt06) {
+  const Time best = best_dispatch_makespan(ft06().instance);
+  EXPECT_GE(best, ft06().optimum);
+  EXPECT_LE(best, 2 * ft06().optimum);
+}
+
+TEST(Dispatch, ReturnsFeasibleValueForAllClassics) {
+  for (const ClassicInstance* c : classic_instances()) {
+    const Time best = best_dispatch_makespan(c->instance);
+    EXPECT_GE(best, c->optimum) << c->name;
+    EXPECT_LE(best, 3 * c->optimum) << c->name;
+  }
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,148 @@
+#include "src/sched/hybrid_flow_shop.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/par/rng.h"
+#include "src/sched/generators.h"
+
+namespace psga::sched {
+namespace {
+
+/// One stage with 2 identical machines, 4 jobs of durations {4, 3, 2, 1}:
+/// pure parallel-machine scheduling.
+HybridFlowShopInstance parallel_machines() {
+  HybridFlowShopInstance inst;
+  inst.jobs = 4;
+  inst.machines_per_stage = {2};
+  inst.proc = {{{4, 4}, {3, 3}, {2, 2}, {1, 1}}};
+  return inst;
+}
+
+TEST(HybridFlowShop, GlobalMachineIds) {
+  HybridFlowShopInstance inst;
+  inst.machines_per_stage = {2, 3, 1};
+  EXPECT_EQ(inst.total_machines(), 6);
+  EXPECT_EQ(inst.global_machine(0, 0), 0);
+  EXPECT_EQ(inst.global_machine(0, 1), 1);
+  EXPECT_EQ(inst.global_machine(1, 0), 2);
+  EXPECT_EQ(inst.global_machine(2, 0), 5);
+}
+
+TEST(HybridFlowShop, ParallelMachinesListSchedule) {
+  const HybridFlowShopInstance inst = parallel_machines();
+  // Order (0,1,2,3): m0 gets j0 [0,4), m1 gets j1 [0,3),
+  // j2 goes to m1 (ends 5; m0 would end 6): [3,5), j3 to m0? m0 ends 4+1=5,
+  // m1 ends 5+1=6 -> m0 [4,5). Makespan 5.
+  const std::vector<int> perm = {0, 1, 2, 3};
+  const Schedule s = decode_hybrid_flow_shop(inst, perm);
+  EXPECT_EQ(s.makespan(), 5);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(HybridFlowShop, TwoStagePipelineHandCase) {
+  HybridFlowShopInstance inst;
+  inst.jobs = 2;
+  inst.machines_per_stage = {1, 1};
+  // Identical to the tiny flow shop: p(s0) = {3, 2}, p(s1) = {2, 4}.
+  inst.proc = {{{3}, {2}}, {{2}, {4}}};
+  const std::vector<int> perm = {1, 0};
+  const Schedule s = decode_hybrid_flow_shop(inst, perm);
+  EXPECT_EQ(s.makespan(), 8);  // matches flow-shop hand computation
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(HybridFlowShop, UnrelatedMachinesPickFaster) {
+  HybridFlowShopInstance inst;
+  inst.jobs = 1;
+  inst.machines_per_stage = {2};
+  inst.proc = {{{9, 2}}};  // machine 1 much faster for job 0
+  const std::vector<int> perm = {0};
+  const Schedule s = decode_hybrid_flow_shop(inst, perm);
+  EXPECT_EQ(s.makespan(), 2);
+  EXPECT_EQ(s.ops[0].machine, inst.global_machine(0, 1));
+}
+
+class HfsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HfsSweep, RandomInstancesFeasible) {
+  const int seed = GetParam();
+  HfsParams params;
+  params.jobs = 6 + seed % 10;
+  params.machines_per_stage = {1 + seed % 3, 2, 1 + (seed / 2) % 2};
+  params.unrelatedness = (seed % 2 == 0) ? 1.0 : 2.5;
+  params.setup_hi = (seed % 3 == 0) ? 9 : 0;
+  const HybridFlowShopInstance inst =
+      random_hybrid_flow_shop(params, static_cast<std::uint64_t>(seed) + 1);
+  par::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  std::vector<int> perm(static_cast<std::size_t>(inst.jobs));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 8; ++trial) {
+    rng.shuffle(perm);
+    const Schedule s = decode_hybrid_flow_shop(inst, perm);
+    ASSERT_EQ(validate(s, inst.validation_spec()), std::nullopt)
+        << "seed=" << seed << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HfsSweep, ::testing::Range(0, 12));
+
+TEST(HybridFlowShop, BlockingNeverBeatsUnlimitedBuffers) {
+  HfsParams params;
+  params.jobs = 10;
+  params.machines_per_stage = {2, 2, 2};
+  HybridFlowShopInstance buffered = random_hybrid_flow_shop(params, 99);
+  HybridFlowShopInstance blocked = buffered;
+  blocked.blocking = true;
+  par::Rng rng(123);
+  std::vector<int> perm(10);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(perm);
+    const Time free_ms = decode_hybrid_flow_shop(buffered, perm).makespan();
+    const Time block_ms = decode_hybrid_flow_shop(blocked, perm).makespan();
+    EXPECT_GE(block_ms, free_ms);
+  }
+}
+
+TEST(HybridFlowShop, BlockingScheduleStillFeasible) {
+  HfsParams params;
+  params.jobs = 8;
+  params.machines_per_stage = {2, 1, 2};
+  params.blocking = true;
+  const HybridFlowShopInstance inst = random_hybrid_flow_shop(params, 7);
+  std::vector<int> perm(8);
+  std::iota(perm.begin(), perm.end(), 0);
+  const Schedule s = decode_hybrid_flow_shop(inst, perm);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(HybridFlowShop, SetupTimesEnforced) {
+  HfsParams params;
+  params.jobs = 6;
+  params.machines_per_stage = {2, 2};
+  params.setup_hi = 10;
+  const HybridFlowShopInstance inst = random_hybrid_flow_shop(params, 55);
+  std::vector<int> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  const Schedule s = decode_hybrid_flow_shop(inst, perm);
+  // validation_spec carries the setup-aware machine_gap.
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(HybridFlowShop, CompositeObjective) {
+  HybridFlowShopInstance inst = parallel_machines();
+  inst.attrs.due = {1, 1, 1, 1};
+  CompositeObjective obj;
+  obj.terms = {{Criterion::kMakespan, 0.5}, {Criterion::kMaxTardiness, 0.5}};
+  const std::vector<int> perm = {0, 1, 2, 3};
+  const Schedule s = decode_hybrid_flow_shop(inst, perm);
+  const double value = hybrid_flow_shop_objective(inst, s, obj);
+  EXPECT_GT(value, 0.0);
+  const double cmax = hybrid_flow_shop_objective(inst, s, Criterion::kMakespan);
+  EXPECT_DOUBLE_EQ(cmax, 5.0);
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,82 @@
+#include "src/ga/hybrid_ga.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ga/problems.h"
+#include "src/sched/classics.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+namespace {
+
+ProblemPtr problem() {
+  return std::make_shared<JobShopProblem>(sched::ft06().instance);
+}
+
+IslandsOfCellularConfig config(std::uint64_t seed = 1) {
+  IslandsOfCellularConfig cfg;
+  cfg.islands = 3;
+  cfg.cell.width = 5;
+  cfg.cell.height = 5;
+  cfg.migration_interval = 5;
+  cfg.termination.max_generations = 20;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(IslandsOfCellular, RunsAndImproves) {
+  IslandsOfCellularGa ga(problem(), config());
+  const GaResult result = ga.run();
+  EXPECT_LT(result.best_objective, result.history.front());
+  EXPECT_GE(result.best_objective, 55.0);
+  EXPECT_TRUE(genome_valid(result.best, problem()->traits()));
+}
+
+TEST(IslandsOfCellular, Deterministic) {
+  IslandsOfCellularGa a(problem(), config(21));
+  IslandsOfCellularGa b(problem(), config(21));
+  EXPECT_EQ(a.run().history, b.run().history);
+}
+
+TEST(IslandsOfCellular, EvaluationsAggregateAllIslands) {
+  IslandsOfCellularConfig cfg = config();
+  cfg.termination.max_generations = 4;
+  IslandsOfCellularGa ga(problem(), cfg);
+  const GaResult result = ga.run();
+  // 3 islands x 25 cells x (init + 4 steps).
+  EXPECT_EQ(result.evaluations, 3LL * 25 * 5);
+}
+
+TEST(IslandsOfCellular, MigrationChangesDynamics) {
+  // Heavy migration (many migrants, every other step) must perturb the
+  // evolutionary path relative to isolated islands.
+  IslandsOfCellularConfig with = config(33);
+  with.migration_interval = 2;
+  with.migrants = 6;
+  with.termination.max_generations = 40;
+  IslandsOfCellularConfig without = with;
+  without.migration_interval = 0;
+  IslandsOfCellularGa a(problem(), with);
+  IslandsOfCellularGa b(problem(), without);
+  EXPECT_NE(a.run().history, b.run().history);
+}
+
+TEST(TorusIslandConfig, ModelBWiring) {
+  GaConfig base;
+  base.population = 8;
+  base.termination.max_generations = 10;
+  const IslandGaConfig cfg = make_torus_island_config(16, base, 3);
+  EXPECT_EQ(cfg.islands, 16);
+  EXPECT_EQ(cfg.migration.topology, Topology::kTorus);
+  EXPECT_EQ(cfg.migration.interval, 3);
+  // And it runs:
+  IslandGa ga(std::make_shared<FlowShopProblem>(
+                  sched::make_taillard(sched::taillard_20x5().front())),
+              cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.overall.best_objective,
+            result.overall.history.front() + 1.0);
+}
+
+}  // namespace
+}  // namespace psga::ga

@@ -1,0 +1,227 @@
+#include "src/ga/island_ga.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/sched/classics.h"
+#include "src/sched/objectives.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+namespace {
+
+ProblemPtr problem() {
+  return std::make_shared<FlowShopProblem>(
+      sched::make_taillard(sched::taillard_20x5().front()));
+}
+
+IslandGaConfig config(std::uint64_t seed = 1) {
+  IslandGaConfig cfg;
+  cfg.islands = 4;
+  cfg.base.population = 24;
+  cfg.base.termination.max_generations = 30;
+  cfg.base.seed = seed;
+  cfg.migration.interval = 5;
+  return cfg;
+}
+
+TEST(IslandGa, ImprovesAndMonotone) {
+  IslandGa ga(problem(), config());
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+  for (std::size_t i = 1; i < result.overall.history.size(); ++i) {
+    EXPECT_LE(result.overall.history[i], result.overall.history[i - 1]);
+  }
+}
+
+TEST(IslandGa, DeterministicForSeedAcrossThreadCounts) {
+  std::vector<double> reference;
+  {
+    par::ThreadPool pool(1);
+    IslandGa ga(problem(), config(9), &pool);
+    reference = ga.run().overall.history;
+  }
+  for (int threads : {2, 8}) {
+    par::ThreadPool pool(threads);
+    IslandGa ga(problem(), config(9), &pool);
+    EXPECT_EQ(ga.run().overall.history, reference) << threads;
+  }
+}
+
+TEST(IslandGa, GlobalBestIsMinOfIslandBests) {
+  IslandGa ga(problem(), config(3));
+  const IslandGaResult result = ga.run();
+  double min_island = result.island_best.front();
+  for (double b : result.island_best) min_island = std::min(min_island, b);
+  EXPECT_DOUBLE_EQ(result.overall.best_objective, min_island);
+}
+
+class TopologySweep : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(TopologySweep, RunsAndImproves) {
+  IslandGaConfig cfg = config(5);
+  cfg.islands = 6;
+  cfg.migration.topology = GetParam();
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+  EXPECT_EQ(result.surviving_islands, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologySweep,
+    ::testing::Values(Topology::kRing, Topology::kGrid, Topology::kTorus,
+                      Topology::kFullyConnected, Topology::kStar,
+                      Topology::kHypercube, Topology::kRandom));
+
+class PolicySweep : public ::testing::TestWithParam<MigrationPolicy> {};
+
+TEST_P(PolicySweep, RunsAndImproves) {
+  IslandGaConfig cfg = config(6);
+  cfg.migration.policy = GetParam();
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values(
+                             MigrationPolicy::kBestReplaceWorst,
+                             MigrationPolicy::kBestReplaceRandom,
+                             MigrationPolicy::kRandomReplaceRandom));
+
+TEST(IslandGa, MigrationSpreadsBestIndividual) {
+  // With migration every generation and best-replace-worst on a fully
+  // connected topology, all islands should quickly share the global best;
+  // without migration island bests stay more spread. Compare the spread.
+  IslandGaConfig with = config(7);
+  with.migration.interval = 1;
+  with.migration.topology = Topology::kFullyConnected;
+  IslandGaConfig without = config(7);
+  without.migration.interval = 0;
+
+  const IslandGaResult rw = IslandGa(problem(), with).run();
+  const IslandGaResult ro = IslandGa(problem(), without).run();
+  auto spread = [](const std::vector<double>& xs) {
+    return *std::max_element(xs.begin(), xs.end()) -
+           *std::min_element(xs.begin(), xs.end());
+  };
+  EXPECT_LE(spread(rw.island_best), spread(ro.island_best));
+}
+
+TEST(IslandGa, IdenticalStartMakesIslandsEqualWithoutMigration) {
+  IslandGaConfig cfg = config(8);
+  cfg.identical_start = true;
+  cfg.migration.interval = 0;
+  cfg.per_island_ops.clear();
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  // Same seed, same operators, no interaction: all islands identical.
+  for (double b : result.island_best) {
+    EXPECT_DOUBLE_EQ(b, result.island_best.front());
+  }
+}
+
+TEST(IslandGa, HeterogeneousOperatorsPerIsland) {
+  IslandGaConfig cfg = config(10);
+  for (const char* cx : {"ox", "pmx", "two-point", "cycle"}) {
+    OperatorConfig ops;
+    ops.selection = make_selection("tournament2");
+    ops.crossover = make_crossover(cx);
+    ops.mutation = make_mutation("swap");
+    cfg.per_island_ops.push_back(ops);
+  }
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+}
+
+TEST(IslandGa, PerIslandProblemsForWeightedObjectives) {
+  // Rashidi-style: each island minimizes a differently weighted
+  // combination of makespan and max tardiness.
+  sched::HybridFlowShopInstance inst;
+  inst.jobs = 6;
+  inst.machines_per_stage = {2, 2};
+  inst.proc.assign(2, std::vector<std::vector<sched::Time>>(
+                          6, std::vector<sched::Time>(2, 5)));
+  for (int s = 0; s < 2; ++s) {
+    for (int j = 0; j < 6; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        inst.proc[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]
+                 [static_cast<std::size_t>(k)] = 3 + (j * 7 + s * 3 + k) % 9;
+      }
+    }
+  }
+  inst.attrs.due.assign(6, 15);
+
+  IslandGaConfig cfg;
+  cfg.islands = 4;
+  cfg.base.population = 16;
+  cfg.base.termination.max_generations = 15;
+  for (int i = 0; i < 4; ++i) {
+    const double w = 0.2 + 0.2 * i;
+    sched::CompositeObjective obj;
+    obj.terms = {{sched::Criterion::kMakespan, w},
+                 {sched::Criterion::kMaxTardiness, 1.0 - w}};
+    cfg.per_island_problems.push_back(
+        std::make_shared<HybridFlowShopProblem>(inst, obj));
+  }
+  IslandGa ga(cfg.per_island_problems.front(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_EQ(result.island_best.size(), 4u);
+  for (double b : result.island_best) EXPECT_GT(b, 0.0);
+}
+
+TEST(IslandGa, MergingReducesIslandCount) {
+  IslandGaConfig cfg = config(12);
+  cfg.islands = 6;
+  cfg.base.population = 10;
+  cfg.base.termination.max_generations = 80;
+  cfg.merge.enabled = true;
+  cfg.merge.hamming_threshold = 25;  // generous: triggers merging fast
+  cfg.merge.fraction = 0.4;
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.surviving_islands, 6);
+  EXPECT_GE(result.surviving_islands, 1);
+}
+
+TEST(IslandGa, DelayedMigrationIsDeterministicAndDistinct) {
+  // delay_epochs models asynchronous staleness; it must stay reproducible
+  // and produce a different trajectory than synchronous delivery.
+  IslandGaConfig sync = config(15);
+  sync.migration.interval = 3;
+  IslandGaConfig delayed = sync;
+  delayed.migration.delay_epochs = 2;
+
+  IslandGa a1(problem(), delayed);
+  IslandGa a2(problem(), delayed);
+  const auto r1 = a1.run();
+  const auto r2 = a2.run();
+  EXPECT_EQ(r1.overall.history, r2.overall.history);
+
+  IslandGa b(problem(), sync);
+  EXPECT_NE(b.run().overall.history, r1.overall.history);
+}
+
+TEST(IslandGa, DelayedMigrationStillImproves) {
+  IslandGaConfig cfg = config(16);
+  cfg.migration.interval = 2;
+  cfg.migration.delay_epochs = 1;
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+}
+
+TEST(IslandGa, SingleIslandDegeneratesToSimpleGa) {
+  IslandGaConfig cfg = config(13);
+  cfg.islands = 1;
+  IslandGa ga(problem(), cfg);
+  const IslandGaResult result = ga.run();
+  EXPECT_EQ(result.island_best.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.overall.best_objective, result.island_best[0]);
+}
+
+}  // namespace
+}  // namespace psga::ga

@@ -1,0 +1,128 @@
+#include "src/sched/lot_streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/par/rng.h"
+#include "src/sched/generators.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(SublotSizes, EqualKeysSplitEvenly) {
+  const std::vector<double> keys = {1.0, 1.0, 1.0, 1.0};
+  const auto sizes = sublot_sizes_from_keys(40, keys);
+  EXPECT_EQ(sizes, (std::vector<int>{10, 10, 10, 10}));
+}
+
+TEST(SublotSizes, SumAlwaysEqualsBatch) {
+  par::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int batch = rng.range(1, 100);
+    const int lots = rng.range(1, 6);
+    std::vector<double> keys(static_cast<std::size_t>(lots));
+    for (auto& k : keys) k = rng.uniform(0.01, 1.0);
+    const auto sizes = sublot_sizes_from_keys(batch, keys);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), batch);
+  }
+}
+
+TEST(SublotSizes, NoEmptySublotWhenBatchAllows) {
+  const std::vector<double> keys = {100.0, 0.0001, 0.0001};
+  const auto sizes = sublot_sizes_from_keys(10, keys);
+  for (int s : sizes) EXPECT_GE(s, 1);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 10);
+}
+
+TEST(SublotSizes, ProportionalToKeys) {
+  const std::vector<double> keys = {3.0, 1.0};
+  const auto sizes = sublot_sizes_from_keys(40, keys);
+  EXPECT_EQ(sizes, (std::vector<int>{30, 10}));
+}
+
+LotStreamingInstance tiny() {
+  LotStreamingInstance inst;
+  inst.machines_per_stage = {1, 1};
+  inst.batch = {10, 12};
+  inst.sublots = {2, 2};
+  // unit_proc[stage][job][machine]
+  inst.unit_proc = {{{2}, {1}}, {{1}, {3}}};
+  return inst;
+}
+
+TEST(LotStreaming, ExpansionStructure) {
+  const LotStreamingInstance inst = tiny();
+  EXPECT_EQ(inst.total_sublots(), 4);
+  std::vector<int> owner;
+  std::vector<double> keys(4, 1.0);
+  const HybridFlowShopInstance hfs = expand_lot_streaming(inst, keys, &owner);
+  EXPECT_EQ(hfs.jobs, 4);
+  EXPECT_EQ(owner, (std::vector<int>{0, 0, 1, 1}));
+  // Equal keys: job 0 splits 10 -> {5, 5}; durations on stage 0 = 10 each.
+  EXPECT_EQ(hfs.proc[0][0][0], 10);
+  EXPECT_EQ(hfs.proc[0][1][0], 10);
+  // Job 1 splits 12 -> {6, 6}; stage 1 unit 3 -> 18.
+  EXPECT_EQ(hfs.proc[1][2][0], 18);
+}
+
+TEST(LotStreaming, StreamingBeatsWholeBatch) {
+  // With sublots the second stage can start before the whole batch is
+  // done on stage one; a single sublot per job is the no-streaming case.
+  LotStreamingInstance streamed = tiny();
+  LotStreamingInstance whole = tiny();
+  whole.sublots = {1, 1};
+
+  std::vector<double> streamed_keys(4, 1.0);
+  std::vector<int> streamed_perm = {0, 1, 2, 3};
+  const Time with_streaming =
+      lot_streaming_makespan(streamed, streamed_keys, streamed_perm);
+
+  std::vector<double> whole_keys(2, 1.0);
+  std::vector<int> whole_perm = {0, 1};
+  const Time without = lot_streaming_makespan(whole, whole_keys, whole_perm);
+
+  EXPECT_LT(with_streaming, without);
+}
+
+TEST(LotStreaming, ExpandedScheduleFeasible) {
+  LotStreamParams params;
+  params.jobs = 5;
+  params.machines_per_stage = {2, 2};
+  params.sublots = 3;
+  const LotStreamingInstance inst = random_lot_streaming(params, 13);
+  par::Rng rng(31);
+  std::vector<double> keys(static_cast<std::size_t>(inst.total_sublots()));
+  for (auto& k : keys) k = rng.uniform(0.1, 1.0);
+  std::vector<int> perm(static_cast<std::size_t>(inst.total_sublots()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  const HybridFlowShopInstance hfs = expand_lot_streaming(inst, keys, nullptr);
+  const Schedule s = decode_hybrid_flow_shop(hfs, perm);
+  EXPECT_EQ(validate(s, hfs.validation_spec()), std::nullopt);
+}
+
+class LotSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LotSweep, MakespanDeterministicAndPositive) {
+  const int seed = GetParam();
+  LotStreamParams params;
+  params.jobs = 3 + seed % 5;
+  params.sublots = 1 + seed % 4;
+  const LotStreamingInstance inst =
+      random_lot_streaming(params, static_cast<std::uint64_t>(seed) + 5);
+  par::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<double> keys(static_cast<std::size_t>(inst.total_sublots()));
+  for (auto& k : keys) k = rng.uniform(0.1, 1.0);
+  std::vector<int> perm(static_cast<std::size_t>(inst.total_sublots()));
+  std::iota(perm.begin(), perm.end(), 0);
+  const Time a = lot_streaming_makespan(inst, keys, perm);
+  const Time b = lot_streaming_makespan(inst, keys, perm);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LotSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace psga::sched

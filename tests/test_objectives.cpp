@@ -1,0 +1,99 @@
+#include "src/sched/objectives.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psga::sched {
+namespace {
+
+JobAttributes attrs_3jobs() {
+  JobAttributes attrs;
+  attrs.due = {10, 20, 30};
+  attrs.weight = {1.0, 2.0, 3.0};
+  return attrs;
+}
+
+TEST(Objectives, Makespan) {
+  const std::vector<Time> completion = {12, 25, 18};
+  EXPECT_DOUBLE_EQ(
+      evaluate_criterion(Criterion::kMakespan, completion, attrs_3jobs()),
+      25.0);
+}
+
+TEST(Objectives, TotalWeightedCompletion) {
+  const std::vector<Time> completion = {12, 25, 18};
+  // 1*12 + 2*25 + 3*18 = 116
+  EXPECT_DOUBLE_EQ(evaluate_criterion(Criterion::kTotalWeightedCompletion,
+                                      completion, attrs_3jobs()),
+                   116.0);
+}
+
+TEST(Objectives, TotalWeightedTardiness) {
+  const std::vector<Time> completion = {12, 25, 18};
+  // T = {2, 5, 0}; weighted: 1*2 + 2*5 + 3*0 = 12
+  EXPECT_DOUBLE_EQ(evaluate_criterion(Criterion::kTotalWeightedTardiness,
+                                      completion, attrs_3jobs()),
+                   12.0);
+}
+
+TEST(Objectives, WeightedUnitPenalty) {
+  const std::vector<Time> completion = {12, 25, 18};
+  // U = {1, 1, 0}; weighted: 1 + 2 = 3
+  EXPECT_DOUBLE_EQ(evaluate_criterion(Criterion::kWeightedUnitPenalty,
+                                      completion, attrs_3jobs()),
+                   3.0);
+}
+
+TEST(Objectives, MaxTardiness) {
+  const std::vector<Time> completion = {12, 25, 18};
+  EXPECT_DOUBLE_EQ(
+      evaluate_criterion(Criterion::kMaxTardiness, completion, attrs_3jobs()),
+      5.0);
+  const std::vector<Time> early = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(
+      evaluate_criterion(Criterion::kMaxTardiness, early, attrs_3jobs()), 0.0);
+}
+
+TEST(Objectives, DefaultsWhenAttributesMissing) {
+  JobAttributes empty;
+  const std::vector<Time> completion = {12, 25};
+  // No due dates: nothing is ever tardy; weights default to 1.
+  EXPECT_DOUBLE_EQ(evaluate_criterion(Criterion::kTotalWeightedTardiness,
+                                      completion, empty),
+                   0.0);
+  EXPECT_DOUBLE_EQ(evaluate_criterion(Criterion::kTotalWeightedCompletion,
+                                      completion, empty),
+                   37.0);
+}
+
+TEST(Objectives, CompositeCombinesTerms) {
+  CompositeObjective obj;
+  obj.terms = {{Criterion::kMakespan, 0.6}, {Criterion::kMaxTardiness, 0.4}};
+  const std::vector<Time> completion = {12, 25, 18};
+  EXPECT_DOUBLE_EQ(obj.evaluate(completion, attrs_3jobs()),
+                   0.6 * 25.0 + 0.4 * 5.0);
+}
+
+TEST(Objectives, FitnessEq1) {
+  EXPECT_DOUBLE_EQ(fitness_eq1(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(fitness_eq1(110.0, 100.0), 0.0);  // clamped at zero
+}
+
+TEST(Objectives, FitnessEq2) {
+  EXPECT_DOUBLE_EQ(fitness_eq2(4.0), 0.25);
+  EXPECT_GT(fitness_eq2(0.0), 1e17);  // guarded
+  // Better (smaller) objective => larger fitness.
+  EXPECT_GT(fitness_eq2(10.0), fitness_eq2(20.0));
+}
+
+TEST(Objectives, CriterionNames) {
+  EXPECT_EQ(to_string(Criterion::kMakespan), "Cmax");
+  EXPECT_EQ(to_string(Criterion::kTotalWeightedCompletion), "sum wjCj");
+  EXPECT_EQ(to_string(Criterion::kTotalWeightedTardiness), "sum wjTj");
+  EXPECT_EQ(to_string(Criterion::kWeightedUnitPenalty), "sum wjUj");
+  EXPECT_EQ(to_string(Criterion::kMaxTardiness), "Tmax");
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,98 @@
+#include "src/sched/open_shop.h"
+
+#include <gtest/gtest.h>
+
+#include "src/par/rng.h"
+#include "src/sched/generators.h"
+
+namespace psga::sched {
+namespace {
+
+/// 2 jobs x 2 machines: p[0] = {3, 2}, p[1] = {2, 4}.
+OpenShopInstance tiny() {
+  OpenShopInstance inst;
+  inst.jobs = 2;
+  inst.machines = 2;
+  inst.proc = {{3, 2}, {2, 4}};
+  return inst;
+}
+
+TEST(OpenShop, LowerBound) {
+  // Job loads: 5, 6. Machine loads: 5, 6. LB = 6.
+  EXPECT_EQ(open_shop_lower_bound(tiny()), 6);
+}
+
+TEST(OpenShop, LptTaskDecoderHandCase) {
+  const OpenShopInstance inst = tiny();
+  // Sequence {0, 1, 0, 1} with LPT-Task:
+  //  gene 0 (job 0): longest op is m0 (3): m0 [0,3)
+  //  gene 1 (job 1): longest op is m1 (4): m1 [0,4)
+  //  gene 2 (job 0): remaining m1 (2): starts max(3,4)=4 -> [4,6)
+  //  gene 3 (job 1): remaining m0 (2): starts max(4,3)=4 -> [4,6)
+  const std::vector<int> seq = {0, 1, 0, 1};
+  const Schedule s = decode_open_shop(inst, seq, OpenShopDecoder::kLptTask);
+  EXPECT_EQ(s.makespan(), 6);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+}
+
+TEST(OpenShop, DecodersReachLowerBoundOnTiny) {
+  const OpenShopInstance inst = tiny();
+  const std::vector<int> seq = {0, 1, 0, 1};
+  const Schedule a = decode_open_shop(inst, seq, OpenShopDecoder::kLptTask);
+  const Schedule b = decode_open_shop(inst, seq, OpenShopDecoder::kLptMachine);
+  EXPECT_EQ(a.makespan(), open_shop_lower_bound(inst));
+  EXPECT_GE(b.makespan(), open_shop_lower_bound(inst));
+}
+
+class OpenShopDecoderSweep
+    : public ::testing::TestWithParam<std::tuple<int, OpenShopDecoder>> {};
+
+TEST_P(OpenShopDecoderSweep, RandomChromosomesFeasible) {
+  const auto [seed, decoder] = GetParam();
+  par::Rng rng(static_cast<std::uint64_t>(seed));
+  const OpenShopInstance inst =
+      random_open_shop(4 + seed % 5, 3 + seed % 3,
+                       static_cast<std::uint64_t>(seed) * 977 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto seq = random_job_repetition_sequence(inst, rng);
+    const Schedule s = decode_open_shop(inst, seq, decoder);
+    ASSERT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+    EXPECT_GE(s.makespan(), open_shop_lower_bound(inst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OpenShopDecoderSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(OpenShopDecoder::kLptTask,
+                                         OpenShopDecoder::kLptMachine)));
+
+TEST(OpenShop, GreedyLptFeasibleAndBounded) {
+  const OpenShopInstance inst = random_open_shop(8, 4, 42);
+  const Schedule s = open_shop_lpt_schedule(inst);
+  EXPECT_EQ(validate(s, inst.validation_spec()), std::nullopt);
+  EXPECT_GE(s.makespan(), open_shop_lower_bound(inst));
+  // Greedy list scheduling is a 2-approximation for open shop makespan.
+  EXPECT_LE(s.makespan(), 2 * open_shop_lower_bound(inst));
+}
+
+TEST(OpenShop, RandomChromosomeHasMachineCountRepeats) {
+  par::Rng rng(9);
+  const OpenShopInstance inst = tiny();
+  const auto seq = random_job_repetition_sequence(inst, rng);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(std::count(seq.begin(), seq.end(), 0), 2);
+  EXPECT_EQ(std::count(seq.begin(), seq.end(), 1), 2);
+}
+
+TEST(OpenShop, ObjectiveComputesCriteria) {
+  OpenShopInstance inst = tiny();
+  inst.attrs.due = {5, 5};
+  const std::vector<int> seq = {0, 1, 0, 1};
+  const Schedule s = decode_open_shop(inst, seq, OpenShopDecoder::kLptTask);
+  // completion: j0 = 6, j1 = 6 => Tmax = 1.
+  EXPECT_DOUBLE_EQ(open_shop_objective(inst, s, Criterion::kMaxTardiness), 1.0);
+}
+
+}  // namespace
+}  // namespace psga::sched

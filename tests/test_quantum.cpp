@@ -1,0 +1,95 @@
+#include "src/ga/quantum_ga.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ga/problems.h"
+#include "src/sched/classics.h"
+#include "src/sched/stochastic.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+namespace {
+
+ProblemPtr job_shop() {
+  return std::make_shared<JobShopProblem>(sched::ft06().instance);
+}
+
+QuantumGaConfig config(std::uint64_t seed = 1) {
+  QuantumGaConfig cfg;
+  cfg.islands = 3;
+  cfg.population = 12;
+  cfg.generations = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(QuantumGa, ImprovesOnJobShop) {
+  QuantumGa ga(job_shop(), config());
+  const QuantumGaResult result = ga.run();
+  ASSERT_FALSE(result.overall.history.empty());
+  EXPECT_LE(result.overall.best_objective, result.overall.history.front());
+  EXPECT_GE(result.overall.best_objective, 55.0);
+}
+
+TEST(QuantumGa, BestGenomeIsValid) {
+  QuantumGa ga(job_shop(), config(3));
+  const QuantumGaResult result = ga.run();
+  EXPECT_TRUE(genome_valid(result.overall.best, job_shop()->traits()));
+}
+
+TEST(QuantumGa, Deterministic) {
+  QuantumGa a(job_shop(), config(5));
+  QuantumGa b(job_shop(), config(5));
+  EXPECT_EQ(a.run().overall.history, b.run().overall.history);
+}
+
+TEST(QuantumGa, IslandBestsBoundGlobal) {
+  QuantumGa ga(job_shop(), config(7));
+  const QuantumGaResult result = ga.run();
+  for (double b : result.island_best) {
+    EXPECT_GE(b, result.overall.best_objective);
+  }
+}
+
+TEST(QuantumGa, WorksOnPermutationProblems) {
+  auto fs = std::make_shared<FlowShopProblem>(
+      sched::make_taillard(sched::taillard_20x5().front()));
+  QuantumGa ga(fs, config(9));
+  const QuantumGaResult result = ga.run();
+  EXPECT_TRUE(genome_valid(result.overall.best, fs->traits()));
+  EXPECT_GE(result.overall.best_objective, 1278.0);  // ta001 optimum bound
+}
+
+TEST(QuantumGa, StochasticExpectedValueModel) {
+  // The actual setting of Gu et al. [28]: stochastic JSSP under the
+  // expected-value model.
+  auto shop = std::make_shared<sched::StochasticJobShop>(
+      sched::ft06().instance, 0.2, 8, 42);
+  auto problem = std::make_shared<StochasticJobShopProblem>(shop);
+  QuantumGaConfig cfg = config(11);
+  cfg.generations = 25;
+  QuantumGa ga(problem, cfg);
+  const QuantumGaResult result = ga.run();
+  EXPECT_LE(result.overall.best_objective, result.overall.history.front());
+}
+
+TEST(QuantumGa, MigrationOffStillRuns) {
+  QuantumGaConfig cfg = config(13);
+  cfg.migration_interval = 0;
+  QuantumGa ga(job_shop(), cfg);
+  const QuantumGaResult result = ga.run();
+  EXPECT_GT(result.overall.evaluations, 0);
+}
+
+TEST(QuantumGa, EvaluationCount) {
+  QuantumGaConfig cfg = config(15);
+  cfg.islands = 2;
+  cfg.population = 10;
+  cfg.generations = 7;
+  QuantumGa ga(job_shop(), cfg);
+  const QuantumGaResult result = ga.run();
+  EXPECT_EQ(result.overall.evaluations, 2LL * 10 * 7);
+}
+
+}  // namespace
+}  // namespace psga::ga

@@ -1,0 +1,157 @@
+#include "src/sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace psga::sched {
+namespace {
+
+// A fixed toy world: 2 jobs x 2 ops; op (j, k) runs on machine k and lasts
+// 10*(j+1).
+std::optional<Time> toy_duration(const void*, int job, int /*index*/,
+                                 int /*machine*/) {
+  return 10 * (job + 1);
+}
+
+ValidationSpec toy_spec() {
+  ValidationSpec spec;
+  spec.jobs = 2;
+  spec.machines = 2;
+  spec.ops_per_job = {2, 2};
+  spec.ordered_stages = true;
+  spec.duration = &toy_duration;
+  return spec;
+}
+
+Schedule feasible_toy() {
+  Schedule s;
+  // job 0: m0 [0,10), m1 [10,20); job 1: m0 [10,30), m1 [30,50).
+  s.ops = {
+      {0, 0, 0, 0, 10},
+      {0, 1, 1, 10, 20},
+      {1, 0, 0, 10, 30},
+      {1, 1, 1, 30, 50},
+  };
+  return s;
+}
+
+TEST(Schedule, MakespanIsMaxEnd) {
+  EXPECT_EQ(feasible_toy().makespan(), 50);
+  EXPECT_EQ(Schedule{}.makespan(), 0);
+}
+
+TEST(Schedule, JobCompletionTimes) {
+  const auto completion = feasible_toy().job_completion_times(2);
+  EXPECT_EQ(completion[0], 20);
+  EXPECT_EQ(completion[1], 50);
+}
+
+TEST(Validate, AcceptsFeasible) {
+  EXPECT_EQ(validate(feasible_toy(), toy_spec()), std::nullopt);
+}
+
+TEST(Validate, RejectsMachineOverlap) {
+  Schedule s = feasible_toy();
+  s.ops[2].start = 5;  // job1 op0 overlaps job0 op0 on machine 0
+  s.ops[2].end = 25;
+  const auto error = validate(s, toy_spec());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("overlap"), std::string::npos);
+}
+
+TEST(Validate, RejectsStageOrderViolation) {
+  Schedule s = feasible_toy();
+  s.ops[1].start = 5;  // job0 op1 starts before op0 ends
+  s.ops[1].end = 15;
+  const auto error = validate(s, toy_spec());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("order"), std::string::npos);
+}
+
+TEST(Validate, RejectsMissingOperation) {
+  Schedule s = feasible_toy();
+  s.ops.pop_back();
+  EXPECT_TRUE(validate(s, toy_spec()).has_value());
+}
+
+TEST(Validate, RejectsDuplicateOperation) {
+  Schedule s = feasible_toy();
+  s.ops.push_back(s.ops[0]);
+  EXPECT_TRUE(validate(s, toy_spec()).has_value());
+}
+
+TEST(Validate, RejectsWrongDuration) {
+  Schedule s = feasible_toy();
+  s.ops[0].end = 12;
+  const auto error = validate(s, toy_spec());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("duration"), std::string::npos);
+}
+
+TEST(Validate, RejectsOutOfRangeIds) {
+  Schedule s = feasible_toy();
+  s.ops[0].machine = 9;
+  EXPECT_TRUE(validate(s, toy_spec()).has_value());
+  s = feasible_toy();
+  s.ops[0].job = -1;
+  EXPECT_TRUE(validate(s, toy_spec()).has_value());
+}
+
+TEST(Validate, EnforcesReleaseTimes) {
+  ValidationSpec spec = toy_spec();
+  spec.release = {5, 0};
+  Schedule s = feasible_toy();  // job 0 starts at 0 < release 5
+  const auto error = validate(s, spec);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("release"), std::string::npos);
+}
+
+TEST(Validate, UnorderedStagesAllowAnyOrderButNoJobOverlap) {
+  ValidationSpec spec = toy_spec();
+  spec.ordered_stages = false;
+  // Job 0 does op1 before op0 — fine in an open shop.
+  Schedule s;
+  s.ops = {
+      {0, 1, 1, 0, 10},
+      {0, 0, 0, 10, 20},
+      {1, 0, 0, 20, 40},
+      {1, 1, 1, 40, 60},
+  };
+  EXPECT_EQ(validate(s, spec), std::nullopt);
+  // But a job on two machines at once is rejected.
+  s.ops[1].start = 5;
+  s.ops[1].end = 15;
+  const auto error = validate(s, spec);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("simultaneous"), std::string::npos);
+}
+
+Time toy_gap(const void*, int /*machine*/, int /*prev*/, int /*next*/) {
+  return 5;
+}
+
+TEST(Validate, EnforcesSetupGaps) {
+  ValidationSpec spec = toy_spec();
+  spec.machine_gap = &toy_gap;
+  Schedule s = feasible_toy();  // job1 op0 starts exactly at job0 op0 end
+  const auto error = validate(s, spec);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("gap"), std::string::npos);
+  // Shift to honor the 5-unit setup everywhere.
+  s.ops[2].start = 15;
+  s.ops[2].end = 35;
+  s.ops[3].start = 40;
+  s.ops[3].end = 60;
+  EXPECT_EQ(validate(s, spec), std::nullopt);
+}
+
+TEST(Validate, NegativeDurationRejected) {
+  Schedule s = feasible_toy();
+  s.ops[0].start = 20;
+  s.ops[0].end = 10;
+  EXPECT_TRUE(validate(s, toy_spec()).has_value());
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -1,0 +1,93 @@
+#include "src/par/simt_model.h"
+
+#include <gtest/gtest.h>
+
+namespace psga::par {
+namespace {
+
+SimtModelParams base_params() {
+  SimtModelParams p;
+  p.lanes = 448;
+  p.divergence = 1.0;
+  p.launch_overhead_us = 0.0;
+  p.serial_fraction = 0.0;
+  p.lane_slowdown = 1.0;
+  return p;
+}
+
+TEST(SimtModel, SingleLaneEqualsHost) {
+  SimtModelParams p = base_params();
+  p.lanes = 1;
+  SimtModel model(p);
+  EXPECT_DOUBLE_EQ(model.device_time_us(100, 10.0),
+                   model.host_time_us(100, 10.0));
+  EXPECT_DOUBLE_EQ(model.speedup(100, 10.0), 1.0);
+}
+
+TEST(SimtModel, PerfectScalingWithoutOverheads) {
+  SimtModel model(base_params());
+  // 448 tasks on 448 ideal lanes: one wave.
+  EXPECT_DOUBLE_EQ(model.device_time_us(448, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(model.speedup(448, 10.0), 448.0);
+}
+
+TEST(SimtModel, WaveQuantization) {
+  SimtModel model(base_params());
+  // 449 tasks need two waves.
+  EXPECT_DOUBLE_EQ(model.device_time_us(449, 10.0), 20.0);
+}
+
+TEST(SimtModel, ZeroTasksZeroTime) {
+  SimtModel model(base_params());
+  EXPECT_DOUBLE_EQ(model.device_time_us(0, 10.0), 0.0);
+}
+
+TEST(SimtModel, LaunchOverheadBoundsSmallKernels) {
+  SimtModelParams p = base_params();
+  p.launch_overhead_us = 100.0;
+  SimtModel model(p);
+  // One tiny task: overhead dominates and speedup < 1.
+  EXPECT_LT(model.speedup(1, 1.0), 1.0);
+}
+
+TEST(SimtModel, SerialFractionCapsSpeedup) {
+  SimtModelParams p = base_params();
+  p.serial_fraction = 0.01;  // Amdahl cap at 100x
+  SimtModel model(p);
+  EXPECT_LT(model.speedup(100000, 10.0), 100.0);
+  EXPECT_GT(model.speedup(100000, 10.0), 50.0);
+}
+
+TEST(SimtModel, DivergenceReducesEffectiveLanes) {
+  SimtModelParams ideal = base_params();
+  SimtModelParams diverged = base_params();
+  diverged.divergence = 0.5;
+  EXPECT_GT(SimtModel(ideal).speedup(10000, 10.0),
+            SimtModel(diverged).speedup(10000, 10.0));
+}
+
+TEST(SimtModel, LaneSlowdownScalesTime) {
+  SimtModelParams p = base_params();
+  p.lane_slowdown = 4.0;
+  SimtModel model(p);
+  EXPECT_DOUBLE_EQ(model.device_time_us(448, 10.0), 40.0);
+}
+
+TEST(SimtModel, SurveyRegimeProducesReportedMagnitudes) {
+  // With parameters in the range of the surveyed GPUs, batch evaluation of
+  // a 1056-individual population (AitZai's population size) of ~50us tasks
+  // should land in the 10-120x window the surveyed papers report.
+  SimtModelParams p;
+  p.lanes = 448;           // Tesla C2075
+  p.divergence = 0.85;
+  p.launch_overhead_us = 8;
+  p.serial_fraction = 0.02;
+  p.lane_slowdown = 4.0;
+  SimtModel model(p);
+  const double s = model.speedup(1056, 50.0);
+  EXPECT_GT(s, 10.0);
+  EXPECT_LT(s, 120.0);
+}
+
+}  // namespace
+}  // namespace psga::par

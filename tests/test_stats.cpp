@@ -1,0 +1,129 @@
+#include "src/stats/descriptive.h"
+#include "src/stats/table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psga::stats {
+namespace {
+
+TEST(Descriptive, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138089935299395, 1e-12);
+}
+
+TEST(Descriptive, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(min_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Descriptive, SingleElementStddevZero) {
+  const std::vector<double> xs = {3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Descriptive, MinMaxMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 9.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 9.0, 3.0}), 4.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 9.0}), 5.0);
+}
+
+TEST(Descriptive, Rpd) {
+  EXPECT_DOUBLE_EQ(rpd(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(rpd(90.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(rpd(100.0, 0.0), 0.0);  // guarded
+}
+
+TEST(Descriptive, MeanRpd) {
+  const std::vector<double> values = {110.0, 120.0};
+  EXPECT_DOUBLE_EQ(mean_rpd(values, 100.0), 15.0);
+}
+
+TEST(Descriptive, SpeedupTable) {
+  const auto table = speedup_table({{1, 8.0}, {2, 4.0}, {4, 2.5}});
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_DOUBLE_EQ(table[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(table[1].speedup, 2.0);
+  EXPECT_DOUBLE_EQ(table[1].efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(table[2].speedup, 3.2);
+  EXPECT_DOUBLE_EQ(table[2].efficiency, 0.8);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  // All lines same length.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(csv, "a,b,c\nonly,,\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Pareto, FrontFiltersDominated) {
+  const auto front = pareto_front_2d({{3, 3}, {1, 5}, {2, 4}, {2, 6}, {5, 1}});
+  EXPECT_EQ(front, (std::vector<std::pair<double, double>>{
+                       {1, 5}, {2, 4}, {3, 3}, {5, 1}}));
+}
+
+TEST(Pareto, EqualFirstCoordinateKeepsBetterSecond) {
+  const auto front = pareto_front_2d({{1, 5}, {1, 3}, {2, 2}});
+  EXPECT_EQ(front,
+            (std::vector<std::pair<double, double>>{{1, 3}, {2, 2}}));
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  // Point (2, 3) vs reference (10, 10): area (10-2)*(10-3) = 56.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2, 3}}, {10, 10}), 56.0);
+}
+
+TEST(Hypervolume, TwoPointsAddStripes) {
+  // Points (2, 6) and (5, 3), ref (10, 10):
+  // strip of (5,3): (10-5)*(10-3) = 35; strip of (2,6): (5-2)*(10-6) = 12.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2, 6}, {5, 3}}, {10, 10}), 47.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const double base = hypervolume_2d({{2, 6}, {5, 3}}, {10, 10});
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2, 6}, {5, 3}, {6, 7}}, {10, 10}), base);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{12, 3}}, {10, 10}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{3, 12}}, {10, 10}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {10, 10}), 0.0);
+}
+
+TEST(Hypervolume, BetterFrontHasLargerVolume) {
+  const double worse = hypervolume_2d({{4, 4}}, {10, 10});
+  const double better = hypervolume_2d({{2, 4}, {4, 2}}, {10, 10});
+  EXPECT_GT(better, worse);
+}
+
+}  // namespace
+}  // namespace psga::stats

@@ -1,0 +1,81 @@
+#include "src/sched/stochastic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/par/rng.h"
+#include "src/sched/classics.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(Stochastic, DeterministicScenarios) {
+  const StochasticJobShop a(ft06().instance, 0.2, 8, 42);
+  const StochasticJobShop b(ft06().instance, 0.2, 8, 42);
+  par::Rng rng(1);
+  const auto seq = random_operation_sequence(ft06().instance, rng);
+  EXPECT_DOUBLE_EQ(a.expected_makespan(seq), b.expected_makespan(seq));
+}
+
+TEST(Stochastic, DifferentSeedsDifferentScenarios) {
+  const StochasticJobShop a(ft06().instance, 0.2, 8, 42);
+  const StochasticJobShop b(ft06().instance, 0.2, 8, 43);
+  par::Rng rng(1);
+  const auto seq = random_operation_sequence(ft06().instance, rng);
+  EXPECT_NE(a.expected_makespan(seq), b.expected_makespan(seq));
+}
+
+TEST(Stochastic, ZeroSpreadEqualsNominal) {
+  const StochasticJobShop shop(ft06().instance, 0.0, 4, 7);
+  par::Rng rng(2);
+  const auto seq = random_operation_sequence(ft06().instance, rng);
+  const double nominal = static_cast<double>(
+      decode_operation_based(ft06().instance, seq).makespan());
+  EXPECT_DOUBLE_EQ(shop.expected_makespan(seq), nominal);
+}
+
+TEST(Stochastic, ScenariosStayWithinSpread) {
+  const double spread = 0.3;
+  const StochasticJobShop shop(ft06().instance, spread, 10, 11);
+  const auto& nominal = shop.nominal();
+  for (int s = 0; s < shop.scenario_count(); ++s) {
+    const auto& sample = shop.scenario(s);
+    for (int j = 0; j < nominal.jobs; ++j) {
+      for (int k = 0; k < nominal.ops_of(j); ++k) {
+        const double base = static_cast<double>(nominal.op(j, k).duration);
+        const double drawn = static_cast<double>(sample.op(j, k).duration);
+        EXPECT_GE(drawn, std::max(1.0, base * (1.0 - spread) - 1.0));
+        EXPECT_LE(drawn, base * (1.0 + spread) + 1.0);
+        EXPECT_EQ(sample.op(j, k).machine, nominal.op(j, k).machine);
+      }
+    }
+  }
+}
+
+TEST(Stochastic, ExpectedValueBetweenScenarioExtremes) {
+  const StochasticJobShop shop(ft06().instance, 0.25, 16, 3);
+  par::Rng rng(4);
+  const auto seq = random_operation_sequence(ft06().instance, rng);
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int s = 0; s < shop.scenario_count(); ++s) {
+    const double v = static_cast<double>(
+        decode_operation_based(shop.scenario(s), seq).makespan());
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double expected = shop.expected_makespan(seq);
+  EXPECT_GE(expected, lo);
+  EXPECT_LE(expected, hi);
+}
+
+TEST(Stochastic, NoScenariosFallsBackToNominal) {
+  const StochasticJobShop shop(ft06().instance, 0.25, 0, 3);
+  par::Rng rng(4);
+  const auto seq = random_operation_sequence(ft06().instance, rng);
+  const double nominal = static_cast<double>(
+      decode_operation_based(ft06().instance, seq).makespan());
+  EXPECT_DOUBLE_EQ(shop.expected_makespan(seq), nominal);
+}
+
+}  // namespace
+}  // namespace psga::sched

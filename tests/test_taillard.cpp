@@ -1,0 +1,107 @@
+#include "src/sched/taillard.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/heuristics.h"
+
+namespace psga::sched {
+namespace {
+
+TEST(TaillardRng, MatchesPublishedRecurrence) {
+  // One step of x <- 16807 x mod (2^31 - 1) from seed 873654221 (ta001's
+  // published time seed), computed independently with 64-bit arithmetic.
+  TaillardRng rng(873654221);
+  (void)rng.next(1, 99);
+  const std::int64_t expected =
+      (16807LL * 873654221LL) % 2147483647LL;
+  EXPECT_EQ(rng.state(), static_cast<std::int32_t>(expected));
+}
+
+TEST(TaillardRng, ValuesInRange) {
+  TaillardRng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.next(1, 99);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 99);
+  }
+}
+
+TEST(TaillardRng, DeterministicSequence) {
+  TaillardRng a(555);
+  TaillardRng b(555);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(1, 99), b.next(1, 99));
+}
+
+TEST(TaillardFlowShop, ShapeAndRange) {
+  const FlowShopInstance inst = taillard_flow_shop(20, 5, 873654221);
+  EXPECT_EQ(inst.jobs, 20);
+  EXPECT_EQ(inst.machines, 5);
+  ASSERT_EQ(inst.proc.size(), 5u);
+  for (const auto& row : inst.proc) {
+    ASSERT_EQ(row.size(), 20u);
+    for (Time p : row) {
+      EXPECT_GE(p, 1);
+      EXPECT_LE(p, 99);
+    }
+  }
+}
+
+TEST(TaillardFlowShop, RegenerationIsBitExact) {
+  const FlowShopInstance a = taillard_flow_shop(20, 5, 873654221);
+  const FlowShopInstance b = taillard_flow_shop(20, 5, 873654221);
+  EXPECT_EQ(a.proc, b.proc);
+}
+
+TEST(TaillardFlowShop, BenchmarkTableWellFormed) {
+  const auto& table = taillard_20x5();
+  ASSERT_EQ(table.size(), 10u);
+  for (const auto& bench : table) {
+    EXPECT_EQ(bench.jobs, 20);
+    EXPECT_EQ(bench.machines, 5);
+    EXPECT_GT(bench.best_known, 1000);
+    EXPECT_LT(bench.best_known, 1500);
+  }
+}
+
+TEST(TaillardFlowShop, NehIsCloseToBestKnownOnTa001) {
+  // NEH typically lands within a few percent of the optimum on 20x5; use a
+  // generous 10% guard so the test documents shape without being brittle.
+  const auto& bench = taillard_20x5().front();
+  const FlowShopInstance inst = make_taillard(bench);
+  const Time neh = neh_makespan(inst);
+  EXPECT_GE(neh, bench.best_known);
+  EXPECT_LE(static_cast<double>(neh),
+            1.10 * static_cast<double>(bench.best_known));
+}
+
+TEST(TaillardJobShop, ShapeAndPermutationRoutes) {
+  const JobShopInstance inst = taillard_job_shop(15, 15, 840612802, 398197754);
+  EXPECT_EQ(inst.jobs, 15);
+  EXPECT_EQ(inst.machines, 15);
+  for (int j = 0; j < inst.jobs; ++j) {
+    ASSERT_EQ(inst.ops_of(j), 15);
+    std::vector<bool> seen(15, false);
+    for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
+      EXPECT_GE(op.duration, 1);
+      EXPECT_LE(op.duration, 99);
+      ASSERT_FALSE(seen[static_cast<std::size_t>(op.machine)])
+          << "machine repeated in route";
+      seen[static_cast<std::size_t>(op.machine)] = true;
+    }
+  }
+}
+
+TEST(TaillardJobShop, SeedsChangeInstance) {
+  const JobShopInstance a = taillard_job_shop(10, 5, 1, 2);
+  const JobShopInstance b = taillard_job_shop(10, 5, 3, 2);
+  bool different = false;
+  for (int j = 0; j < 10 && !different; ++j) {
+    for (int k = 0; k < 5 && !different; ++k) {
+      if (a.op(j, k).duration != b.op(j, k).duration) different = true;
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+}  // namespace
+}  // namespace psga::sched

@@ -39,6 +39,20 @@ void BM_JobShopSemiActive(benchmark::State& state) {
 }
 BENCHMARK(BM_JobShopSemiActive);
 
+void BM_JobShopSemiActiveScratch(benchmark::State& state) {
+  // Workspace-reuse fast path: scratch allocated once, reused per decode —
+  // the per-genome cost inside the Evaluator hot loop.
+  const auto& inst = sched::ft10().instance;
+  par::Rng rng(1);
+  const auto seq = sched::random_operation_sequence(inst, rng);
+  sched::JobShopScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&sched::decode_operation_based(inst, seq, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobShopSemiActiveScratch);
+
 void BM_JobShopGifflerThompson(benchmark::State& state) {
   const auto& inst = sched::ft10().instance;
   par::Rng rng(1);
@@ -49,6 +63,19 @@ void BM_JobShopGifflerThompson(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_JobShopGifflerThompson);
+
+void BM_JobShopGifflerThompsonScratch(benchmark::State& state) {
+  const auto& inst = sched::ft10().instance;
+  par::Rng rng(1);
+  const auto seq = sched::random_operation_sequence(inst, rng);
+  sched::JobShopScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &sched::giffler_thompson_sequence(inst, seq, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobShopGifflerThompsonScratch);
 
 void BM_OpenShopDecode(benchmark::State& state) {
   const auto inst = sched::random_open_shop(15, 8, 7);
@@ -61,6 +88,19 @@ void BM_OpenShopDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OpenShopDecode);
+
+void BM_OpenShopDecodeScratch(benchmark::State& state) {
+  const auto inst = sched::random_open_shop(15, 8, 7);
+  par::Rng rng(2);
+  const auto seq = sched::random_job_repetition_sequence(inst, rng);
+  sched::OpenShopScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&sched::decode_open_shop(
+        inst, seq, sched::OpenShopDecoder::kLptTask, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenShopDecodeScratch);
 
 void BM_HybridFlowShopDecode(benchmark::State& state) {
   sched::HfsParams params;
@@ -76,6 +116,23 @@ void BM_HybridFlowShopDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HybridFlowShopDecode)->Arg(0)->Arg(1);
+
+void BM_HybridFlowShopDecodeScratch(benchmark::State& state) {
+  sched::HfsParams params;
+  params.jobs = 20;
+  params.machines_per_stage = {3, 2, 3};
+  params.setup_hi = state.range(0) != 0 ? 10 : 0;
+  const auto inst = sched::random_hybrid_flow_shop(params, 9);
+  std::vector<int> perm(20);
+  std::iota(perm.begin(), perm.end(), 0);
+  sched::HybridFlowShopScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &sched::decode_hybrid_flow_shop(inst, perm, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridFlowShopDecodeScratch)->Arg(0)->Arg(1);
 
 void BM_FlexibleJobShopDecode(benchmark::State& state) {
   sched::FjsParams params;
@@ -94,6 +151,25 @@ void BM_FlexibleJobShopDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlexibleJobShopDecode);
+
+void BM_FlexibleJobShopDecodeScratch(benchmark::State& state) {
+  sched::FjsParams params;
+  params.jobs = 12;
+  params.machines = 6;
+  params.ops_per_job = 5;
+  params.setup_hi = 10;
+  const auto inst = sched::random_flexible_job_shop(params, 11);
+  par::Rng rng(3);
+  const auto assign = sched::random_fjs_assignment(inst, rng);
+  const auto seq = sched::random_fjs_sequence(inst, rng);
+  sched::FlexibleJobShopScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &sched::decode_flexible_job_shop(inst, assign, seq, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlexibleJobShopDecodeScratch);
 
 void BM_FuzzyFlowShopAgreement(benchmark::State& state) {
   const auto crisp = sched::taillard_flow_shop(20, 5, 42);
@@ -123,6 +199,28 @@ void BM_LotStreamingDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LotStreamingDecode);
+
+void BM_LotStreamingDecodeScratch(benchmark::State& state) {
+  // The scratch keeps the expanded hybrid-flow-shop instance alive and
+  // only rewrites durations per genome — the largest reuse win of all
+  // decoders.
+  sched::LotStreamParams params;
+  params.jobs = 8;
+  params.sublots = 3;
+  const auto inst = sched::random_lot_streaming(params, 13);
+  par::Rng rng(5);
+  std::vector<double> keys(static_cast<std::size_t>(inst.total_sublots()));
+  for (auto& k : keys) k = rng.uniform(0.1, 1.0);
+  std::vector<int> perm(static_cast<std::size_t>(inst.total_sublots()));
+  std::iota(perm.begin(), perm.end(), 0);
+  sched::LotStreamingScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::lot_streaming_makespan(inst, keys, perm, scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LotStreamingDecodeScratch);
 
 }  // namespace
 

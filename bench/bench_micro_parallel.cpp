@@ -1,13 +1,17 @@
 // Micro-benchmarks: parallel substrate — thread-pool dispatch overhead,
-// parallel_for scaling on a fitness-like kernel, cluster message latency.
+// parallel_for scaling on a fitness-like kernel, Evaluator backend
+// throughput on a real decoder, cluster message latency.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cmath>
 
+#include "src/ga/evaluator.h"
+#include "src/ga/problems.h"
 #include "src/par/cluster.h"
 #include "src/par/rng.h"
 #include "src/par/thread_pool.h"
+#include "src/sched/classics.h"
 
 namespace {
 
@@ -43,6 +47,35 @@ void BM_ParallelForFitnessKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * population);
 }
 BENCHMARK(BM_ParallelForFitnessKernel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_EvaluatorJobShopBatch(benchmark::State& state) {
+  // Whole-population evaluation of ft10 through the unified Evaluator —
+  // the actual hot loop of every engine. Arg = thread-pool width
+  // (0 = serial backend).
+  using namespace psga::ga;
+  const auto problem = std::make_shared<JobShopProblem>(
+      psga::sched::ft10().instance, JobShopProblem::Decoder::kOperationBased);
+  Rng rng(7);
+  std::vector<Genome> population;
+  const std::size_t pop = 256;
+  population.reserve(pop);
+  for (std::size_t i = 0; i < pop; ++i) {
+    population.push_back(problem->random_genome(rng));
+  }
+  std::vector<double> objectives(pop, 0.0);
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads > 0 ? threads : 1);
+  Evaluator evaluator(problem,
+                      threads > 0 ? EvalBackend::kThreadPool
+                                  : EvalBackend::kSerial,
+                      &pool);
+  for (auto _ : state) {
+    evaluator.evaluate(population, objectives);
+    benchmark::DoNotOptimize(objectives);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(pop));
+}
+BENCHMARK(BM_EvaluatorJobShopBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_RngThroughput(benchmark::State& state) {
   Rng rng(1);

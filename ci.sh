@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verify + perf smoke for psga.
+#
+#   ./ci.sh            build, run the full ctest suite, then emit a
+#                      bench_micro_decoders JSON snapshot to BENCH_micro.json
+#   SKIP_BENCH=1 ./ci.sh   tests only
+#
+# The JSON snapshot gives future PRs a perf trajectory: compare the
+# *_Scratch decoder timings against the committed baseline before and
+# after a change to the evaluation hot path.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${SKIP_BENCH:-0}" != "1" && ! -x "$BUILD_DIR/bench_micro_decoders" ]]; then
+  echo "bench_micro_decoders not built (google-benchmark missing?); skipping perf snapshot"
+  SKIP_BENCH=1
+fi
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  "$BUILD_DIR"/bench_micro_decoders \
+    --benchmark_min_time=0.05 \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_micro.json \
+    --benchmark_out_format=json >/dev/null
+  echo "wrote BENCH_micro.json"
+fi
+
+echo "ci.sh: OK"

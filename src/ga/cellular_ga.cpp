@@ -12,7 +12,8 @@ CellularGa::CellularGa(ProblemPtr problem, CellularConfig config,
                        par::ThreadPool* pool)
     : problem_(std::move(problem)),
       config_(std::move(config)),
-      pool_(pool != nullptr ? pool : &par::default_pool()) {
+      pool_(pool != nullptr ? pool : &par::default_pool()),
+      evaluator_(problem_, config_.eval_backend, pool_) {
   if (!config_.crossover || !config_.mutation) {
     OperatorConfig defaults = default_operators(*problem_);
     if (!config_.crossover) config_.crossover = defaults.crossover;
@@ -61,10 +62,8 @@ void CellularGa::init() {
     neighbor_table_.push_back(neighbors_of(c));
   }
   objectives_.assign(static_cast<std::size_t>(n), 0.0);
-  pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t c) {
-    objectives_[c] = problem_->objective(grid_[c]);
-  });
-  evaluations_ = n;
+  evaluations_baseline_ = evaluator_.evaluations();
+  evaluator_.evaluate(grid_, objectives_);
   generation_ = 0;
   best_objective_ = objectives_.front();
   best_ = grid_.front();
@@ -86,6 +85,8 @@ void CellularGa::step() {
   next_objectives_.assign(static_cast<std::size_t>(n), 0.0);
   const GenomeTraits& traits = problem_->traits();
 
+  // Phase 1 — breeding: every cell produces its candidate offspring from
+  // its own Rng stream (thread-count independent).
   pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t c) {
     par::Rng& rng = cell_rngs_[c];
     const std::vector<int>& hood = neighbor_table_[c];
@@ -111,18 +112,21 @@ void CellularGa::step() {
     if (rng.chance(config_.mutation_rate)) {
       config_.mutation->mutate(child1, traits, rng);
     }
-    const double child_obj = problem_->objective(child1);
-    if (!config_.replace_if_better || child_obj <= objectives_[c]) {
-      next_grid_[c] = std::move(child1);
-      next_objectives_[c] = child_obj;
-    } else {
+    next_grid_[c] = std::move(child1);
+  });
+
+  // Phase 2 — one batched fitness evaluation for the whole grid.
+  evaluator_.evaluate(next_grid_, next_objectives_);
+
+  // Phase 3 — synchronous replacement.
+  for (std::size_t c = 0; c < static_cast<std::size_t>(n); ++c) {
+    if (config_.replace_if_better && next_objectives_[c] > objectives_[c]) {
       next_grid_[c] = grid_[c];
       next_objectives_[c] = objectives_[c];
     }
-  });
+  }
   grid_.swap(next_grid_);
   objectives_.swap(next_objectives_);
-  evaluations_ += n;
   ++generation_;
   update_best();
 }
@@ -169,7 +173,7 @@ GaResult CellularGa::run() {
   }
   result.best = best_;
   result.best_objective = best_objective_;
-  result.evaluations = evaluations_;
+  result.evaluations = evaluations();
   result.generations = generation_;
   result.seconds = elapsed();
   return result;

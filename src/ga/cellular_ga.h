@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/ga/config.h"
+#include "src/ga/evaluator.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
 #include "src/par/thread_pool.h"
@@ -35,6 +36,9 @@ struct CellularConfig {
   double mutation_rate = 0.2;
   CrossoverPtr crossover;  ///< defaults from the problem encoding
   MutationPtr mutation;
+  /// Fitness batches for the whole grid; the torus is the survey's
+  /// fine-grained parallel model, so the parallel pool is the default.
+  EvalBackend eval_backend = EvalBackend::kThreadPool;
   Termination termination;
   std::uint64_t seed = 1;
 };
@@ -51,7 +55,10 @@ class CellularGa {
   void step();
   double best_objective() const { return best_objective_; }
   const Genome& best() const { return best_; }
-  long long evaluations() const { return evaluations_; }
+  /// Fitness evaluations since the last init() (counted by the Evaluator).
+  long long evaluations() const {
+    return evaluator_.evaluations() - evaluations_baseline_;
+  }
   int cells() const { return config_.width * config_.height; }
   /// Replaces the individual at `cell` (hybrid-model migration).
   void replace_cell(int cell, const Genome& genome, double objective);
@@ -69,6 +76,7 @@ class CellularGa {
   ProblemPtr problem_;
   CellularConfig config_;
   par::ThreadPool* pool_;
+  Evaluator evaluator_;
 
   std::vector<Genome> grid_;
   std::vector<double> objectives_;
@@ -78,7 +86,7 @@ class CellularGa {
   std::vector<std::vector<int>> neighbor_table_;
   Genome best_;
   double best_objective_ = 0.0;
-  long long evaluations_ = 0;
+  long long evaluations_baseline_ = 0;
   int generation_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/ga/crossover.h"
+#include "src/ga/evaluator.h"
 #include "src/ga/mutation.h"
 #include "src/ga/problem.h"
 #include "src/ga/selection.h"
@@ -61,6 +62,10 @@ struct GaConfig {
   /// Entries beyond `population` are ignored.
   std::vector<Genome> seed_genomes;
   OperatorConfig ops;
+  /// Which runtime evaluates fitness batches (see evaluator.h). Engines
+  /// that already parallelize at a coarser level (islands, cluster ranks)
+  /// force this to kSerial for their inner engines.
+  EvalBackend eval_backend = EvalBackend::kSerial;
   FitnessTransform transform = FitnessTransform::kInverse;
   double reference_objective = 0.0;  ///< Fbar for FitnessTransform::kReference
   Termination termination;

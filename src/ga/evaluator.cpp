@@ -1,0 +1,87 @@
+#include "src/ga/evaluator.h"
+
+#include "src/par/omp_backend.h"
+
+namespace psga::ga {
+
+Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
+                     par::ThreadPool* pool)
+    : problem_(std::move(problem)),
+      backend_(backend),
+      // Only the thread-pool backend needs a pool; don't materialize the
+      // process-wide default pool (and its worker threads) for serial or
+      // OpenMP evaluators.
+      pool_(backend == EvalBackend::kThreadPool && pool == nullptr
+                ? &par::default_pool()
+                : pool) {
+  int lanes = 1;
+  switch (backend_) {
+    case EvalBackend::kSerial:
+      break;
+    case EvalBackend::kThreadPool:
+      lanes = pool_->thread_count();
+      break;
+    case EvalBackend::kOpenMp:
+      lanes = par::omp_worker_count();
+      break;
+  }
+  workspaces_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    workspaces_.push_back(problem_->make_workspace());
+  }
+}
+
+void Evaluator::evaluate(std::span<const Genome> genomes,
+                         std::span<double> objectives) {
+  const std::size_t n = genomes.size();
+  evaluations_ += static_cast<long long>(n);
+  switch (backend_) {
+    case EvalBackend::kSerial:
+      problem_->objective_batch(genomes, objectives, workspace(0));
+      return;
+    case EvalBackend::kThreadPool:
+      pool_->parallel_lanes(
+          n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+            problem_->objective_batch(genomes.subspan(begin, end - begin),
+                                      objectives.subspan(begin, end - begin),
+                                      workspace(lane));
+          });
+      return;
+    case EvalBackend::kOpenMp: {
+#if defined(PSGA_HAVE_OPENMP)
+      // num_threads() caps the team at the lane count fixed at
+      // construction, so no two threads ever share a Workspace even after
+      // a later omp_set_num_threads(). The runtime may still deliver
+      // FEWER threads (OMP_DYNAMIC, thread limits), so chunk by the
+      // actual team size observed inside the region — every genome is
+      // covered either way. Chunks go through objective_batch, so batch
+      // overrides apply on every backend.
+      const int team = static_cast<int>(workspaces_.size());
+#pragma omp parallel num_threads(team)
+      {
+        const std::size_t actual =
+            static_cast<std::size_t>(omp_get_num_threads());
+        const std::size_t lane =
+            static_cast<std::size_t>(omp_get_thread_num());
+        const std::size_t begin = lane * n / actual;
+        const std::size_t end = (lane + 1) * n / actual;
+        if (begin < end) {
+          problem_->objective_batch(genomes.subspan(begin, end - begin),
+                                    objectives.subspan(begin, end - begin),
+                                    workspace(lane));
+        }
+      }
+#else
+      problem_->objective_batch(genomes, objectives, workspace(0));
+#endif
+      return;
+    }
+  }
+}
+
+double Evaluator::evaluate_one(const Genome& genome) {
+  ++evaluations_;
+  return problem_->objective(genome, workspace(0));
+}
+
+}  // namespace psga::ga

@@ -1,0 +1,72 @@
+// The unified batched fitness-evaluation engine shared by every GA model.
+//
+// The survey's central axis is *where* fitness evaluation is parallelized
+// (master-slave, cellular, island); this class is the single place that
+// axis lives. An engine hands a population to evaluate() and the chosen
+// backend fills the objective vector:
+//   kSerial     — the calling thread, one reusable Workspace;
+//   kThreadPool — the library thread pool, one static chunk + Workspace
+//                 per lane (the master-slave model of Table III);
+//   kOpenMp     — the OpenMP runtime with the same static chunking
+//                 (serial when OpenMP is not compiled in).
+// Objectives are pure, and the chunk→lane mapping is deterministic, so
+// results are bit-identical across backends and thread counts; Workspaces
+// only recycle allocations, never carry state between genomes.
+//
+// An Evaluator instance is NOT re-entrant: it owns one Workspace per lane.
+// Engines that evaluate from several threads at once (islands stepping in
+// parallel) give each inner engine its own serial Evaluator instead.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/ga/problem.h"
+#include "src/par/thread_pool.h"
+
+namespace psga::ga {
+
+/// Which runtime executes fitness batches (selected via GaConfig).
+enum class EvalBackend {
+  kSerial,      ///< calling thread only
+  kThreadPool,  ///< the library thread pool (master-slave slaves)
+  kOpenMp,      ///< OpenMP parallel-for (serial if not compiled in)
+};
+
+class Evaluator {
+ public:
+  /// `pool` may be null — the library default pool is used (only relevant
+  /// for EvalBackend::kThreadPool).
+  explicit Evaluator(ProblemPtr problem,
+                     EvalBackend backend = EvalBackend::kSerial,
+                     par::ThreadPool* pool = nullptr);
+
+  /// Fills objectives[i] = problem objective of genomes[i]. Spans must
+  /// have equal size. Counts toward evaluations().
+  void evaluate(std::span<const Genome> genomes, std::span<double> objectives);
+
+  /// Single-genome convenience on lane 0's Workspace (local search, B&B
+  /// comparisons). Counts toward evaluations().
+  double evaluate_one(const Genome& genome);
+
+  /// Total genomes evaluated through this Evaluator.
+  long long evaluations() const noexcept { return evaluations_; }
+
+  EvalBackend backend() const noexcept { return backend_; }
+  const Problem& problem() const noexcept { return *problem_; }
+
+  /// Worker-lane count of the active backend (1 for kSerial).
+  int lanes() const noexcept { return static_cast<int>(workspaces_.size()); }
+
+ private:
+  Workspace& workspace(std::size_t lane) { return *workspaces_[lane]; }
+
+  ProblemPtr problem_;
+  EvalBackend backend_;
+  par::ThreadPool* pool_;
+  std::vector<std::unique_ptr<Workspace>> workspaces_;  // one per lane
+  long long evaluations_ = 0;
+};
+
+}  // namespace psga::ga

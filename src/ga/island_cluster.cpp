@@ -60,6 +60,8 @@ ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
 
   cluster.run([&](par::Rank& rank) {
     GaConfig cfg = config.base;
+    // Ranks are concurrent threads; inner evaluation must stay on-rank.
+    cfg.eval_backend = EvalBackend::kSerial;
     cfg.seed = rank_seeds[static_cast<std::size_t>(rank.id())];
     SimpleGa island(problem, cfg);
     island.init();

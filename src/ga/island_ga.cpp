@@ -159,6 +159,10 @@ IslandGaResult IslandGa::run() {
   islands.reserve(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
     GaConfig cfg = config_.base;
+    // Islands step concurrently on the pool; their inner evaluators must
+    // stay on the stepping thread (the pool is not re-entrant). The
+    // parallelism of this model lives at the island level.
+    cfg.eval_backend = EvalBackend::kSerial;
     cfg.seed = config_.identical_start
                    ? config_.base.seed
                    : root.split(static_cast<std::uint64_t>(i + 1))();

@@ -1,12 +1,19 @@
 #include "src/ga/local_search.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace psga::ga {
 
 double local_search_swap(const Problem& problem, Genome& genome,
-                         int max_evaluations, par::Rng& rng) {
-  double best = problem.objective(genome);
+                         int max_evaluations, par::Rng& rng,
+                         Workspace* workspace) {
+  std::unique_ptr<Workspace> owned;
+  if (workspace == nullptr) {
+    owned = problem.make_workspace();
+    workspace = owned.get();
+  }
+  double best = problem.objective(genome, *workspace);
   const std::size_t n = genome.seq.size();
   if (n < 2) return best;
   int budget = max_evaluations;
@@ -20,7 +27,7 @@ double local_search_swap(const Problem& problem, Genome& genome,
       const std::size_t j = rng.below(n);
       if (i == j || genome.seq[i] == genome.seq[j]) continue;
       std::swap(genome.seq[i], genome.seq[j]);
-      const double candidate = problem.objective(genome);
+      const double candidate = problem.objective(genome, *workspace);
       --budget;
       if (candidate < best) {
         best = candidate;

@@ -10,9 +10,12 @@ namespace psga::ga {
 
 /// First-improvement hill climbing over the swap neighborhood of the
 /// sequencing chromosome, bounded by `max_evaluations`. Returns the final
-/// objective; `genome` is updated in place.
+/// objective; `genome` is updated in place. `workspace` is an optional
+/// reusable evaluation scratch from problem.make_workspace() (one is
+/// created for the climb when null).
 double local_search_swap(const Problem& problem, Genome& genome,
-                         int max_evaluations, par::Rng& rng);
+                         int max_evaluations, par::Rng& rng,
+                         Workspace* workspace = nullptr);
 
 /// Redirect procedure ([38]): a strong perturbation that re-aims the
 /// search — scrambles a random quarter of the sequencing chromosome.

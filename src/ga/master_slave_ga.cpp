@@ -2,37 +2,20 @@
 
 #include <limits>
 
-#include "src/par/omp_backend.h"
-
 namespace psga::ga {
 
 MasterSlaveGa::MasterSlaveGa(ProblemPtr problem, GaConfig config,
-                             par::ThreadPool* pool, Backend backend)
+                             par::ThreadPool* pool)
     : problem_(std::move(problem)),
       config_(std::move(config)),
-      pool_(pool != nullptr ? pool : &par::default_pool()),
-      backend_(backend) {}
+      pool_(pool != nullptr ? pool : &par::default_pool()) {
+  if (config_.eval_backend == EvalBackend::kSerial) {
+    config_.eval_backend = EvalBackend::kThreadPool;
+  }
+}
 
 SimpleGa MasterSlaveGa::make_engine(const GaConfig& config) const {
-  SimpleGa engine(problem_, config);
-  if (backend_ == Backend::kOpenMp) {
-    engine.set_evaluator([](const Problem& p, std::span<const Genome> genomes,
-                            std::span<double> objectives) {
-      par::omp_parallel_for(genomes.size(), [&](std::size_t i) {
-        objectives[i] = p.objective(genomes[i]);
-      });
-    });
-    return engine;
-  }
-  par::ThreadPool* workers = pool_;
-  engine.set_evaluator([workers](const Problem& p,
-                                 std::span<const Genome> genomes,
-                                 std::span<double> objectives) {
-    workers->parallel_for(genomes.size(), [&](std::size_t i) {
-      objectives[i] = p.objective(genomes[i]);
-    });
-  });
-  return engine;
+  return SimpleGa(problem_, config, pool_);
 }
 
 GaResult MasterSlaveGa::run() {

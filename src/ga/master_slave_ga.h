@@ -1,11 +1,12 @@
 // The master-slave (global parallel) GA — Table III of the survey.
 //
 // A single population lives on the master; the only parallelized stage is
-// fitness evaluation, farmed out to the thread pool ("slaves"). As the
-// survey notes, this is the one parallel model that does not change the
-// algorithm's behaviour — enforced here by construction: MasterSlaveGa is
-// a SimpleGa whose evaluator hook runs on the pool, and a test asserts
-// trace equality with the serial engine for any thread count.
+// fitness evaluation, farmed out to worker lanes ("slaves") through the
+// shared Evaluator. As the survey notes, this is the one parallel model
+// that does not change the algorithm's behaviour — enforced here by
+// construction: MasterSlaveGa is a SimpleGa whose GaConfig::eval_backend
+// is promoted to a parallel backend, and a test asserts trace equality
+// with the serial engine for any thread count.
 //
 // The engine also offers the fixed-time-budget mode of AitZai et al. [14]:
 // run until a wall-clock budget expires and report how many solutions
@@ -20,16 +21,12 @@ namespace psga::ga {
 
 class MasterSlaveGa {
  public:
-  /// Which parallel runtime evaluates the slaves.
-  enum class Backend {
-    kThreadPool,  ///< the library thread pool (default)
-    kOpenMp,      ///< OpenMP parallel-for (serial if not compiled in)
-  };
-
-  /// `pool` may be null — the library default pool is used.
+  /// `pool` may be null — the library default pool is used. The parallel
+  /// runtime comes from config.eval_backend; a config still set to
+  /// kSerial is promoted to kThreadPool (a serial master-slave engine is
+  /// a contradiction in terms).
   MasterSlaveGa(ProblemPtr problem, GaConfig config,
-                par::ThreadPool* pool = nullptr,
-                Backend backend = Backend::kThreadPool);
+                par::ThreadPool* pool = nullptr);
 
   /// Full run honoring config.termination.
   GaResult run();
@@ -45,7 +42,6 @@ class MasterSlaveGa {
   ProblemPtr problem_;
   GaConfig config_;
   par::ThreadPool* pool_;
-  Backend backend_;
 };
 
 }  // namespace psga::ga

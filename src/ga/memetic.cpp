@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <numeric>
 
 namespace psga::ga {
@@ -18,6 +19,8 @@ GaResult MemeticGa::run() {
   };
   SimpleGa inner(problem_, config_.base);
   par::Rng rng(config_.base.seed ^ 0x5eedu);
+  // One reusable scratch for every local-search climb of the run.
+  const std::unique_ptr<Workspace> workspace = problem_->make_workspace();
   inner.init();
   GaResult result;
   result.history.push_back(inner.best_objective());
@@ -50,14 +53,16 @@ GaResult MemeticGa::run() {
         const double before =
             inner.objectives()[static_cast<std::size_t>(slot)];
         double after = local_search_swap(*problem_, candidate,
-                                         config_.search_budget, rng);
+                                         config_.search_budget, rng,
+                                         workspace.get());
         extra_evaluations += config_.search_budget;
         if (config_.use_redirect && after >= before) {
           // Escape: perturb and climb again ([38]'s Redirect step).
           Genome restarted = candidate;
           redirect(restarted, rng);
           const double redirected = local_search_swap(
-              *problem_, restarted, config_.search_budget, rng);
+              *problem_, restarted, config_.search_budget, rng,
+              workspace.get());
           extra_evaluations += config_.search_budget;
           if (redirected < after) {
             candidate = std::move(restarted);

@@ -1,6 +1,7 @@
 #include "src/ga/problems.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 
 namespace psga::ga {
@@ -14,31 +15,64 @@ std::vector<int> random_permutation(int n, par::Rng& rng) {
   return perm;
 }
 
+/// Typed per-worker scratch carrier: each heavy problem hands the
+/// evaluator a ScratchWorkspace over its sched-layer scratch struct, and
+/// objective(genome, workspace) recovers it via dynamic_cast (falling back
+/// to the allocating path if handed a foreign workspace).
+template <typename S>
+class ScratchWorkspace final : public Workspace {
+ public:
+  S scratch;
+};
+
+template <typename S>
+S* scratch_of(Workspace& workspace) {
+  auto* typed = dynamic_cast<ScratchWorkspace<S>*>(&workspace);
+  // A mismatch means make_workspace() and objective() disagree on the
+  // scratch type — a programming error, not a runtime condition; the
+  // release fallback to the allocating path stays correct but slow.
+  assert(typed != nullptr && "workspace type mismatch");
+  return typed != nullptr ? &typed->scratch : nullptr;
+}
+
 }  // namespace
 
-std::vector<int> keys_to_permutation(std::span<const double> keys) {
-  std::vector<int> perm(keys.size());
-  std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+void keys_to_permutation(std::span<const double> keys, std::vector<int>& out) {
+  out.resize(keys.size());
+  std::iota(out.begin(), out.end(), 0);
+  std::stable_sort(out.begin(), out.end(), [&](int a, int b) {
     return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
   });
+}
+
+std::vector<int> keys_to_permutation(std::span<const double> keys) {
+  std::vector<int> perm;
+  keys_to_permutation(keys, perm);
   return perm;
+}
+
+void keys_to_repetition_sequence(std::span<const double> keys,
+                                 std::span<const int> repeats,
+                                 std::vector<int>& perm_scratch,
+                                 std::vector<int>& out) {
+  // Flat slot -> owning job table, kept in perm_scratch.
+  perm_scratch.clear();
+  perm_scratch.reserve(keys.size());
+  for (int j = 0; j < static_cast<int>(repeats.size()); ++j) {
+    for (int k = 0; k < repeats[static_cast<std::size_t>(j)]; ++k) {
+      perm_scratch.push_back(j);
+    }
+  }
+  keys_to_permutation(keys, out);
+  // Map each argsorted slot to its owner in place (elements independent).
+  for (int& slot : out) slot = perm_scratch[static_cast<std::size_t>(slot)];
 }
 
 std::vector<int> keys_to_repetition_sequence(std::span<const double> keys,
                                              std::span<const int> repeats) {
-  // Flat slot -> owning job.
-  std::vector<int> owner;
-  owner.reserve(keys.size());
-  for (int j = 0; j < static_cast<int>(repeats.size()); ++j) {
-    for (int k = 0; k < repeats[static_cast<std::size_t>(j)]; ++k) {
-      owner.push_back(j);
-    }
-  }
-  const std::vector<int> perm = keys_to_permutation(keys);
+  std::vector<int> perm;
   std::vector<int> seq;
-  seq.reserve(perm.size());
-  for (int slot : perm) seq.push_back(owner[static_cast<std::size_t>(slot)]);
+  keys_to_repetition_sequence(keys, repeats, perm, seq);
   return seq;
 }
 
@@ -59,6 +93,32 @@ Genome FlowShopProblem::random_genome(par::Rng& rng) const {
 
 double FlowShopProblem::objective(const Genome& genome) const {
   return sched::flow_shop_objective(inst_, genome.seq, criterion_);
+}
+
+std::unique_ptr<Workspace> FlowShopProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<sched::FlowShopScratch>>();
+}
+
+double FlowShopProblem::objective(const Genome& genome,
+                                  Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::FlowShopScratch>(workspace)) {
+    return sched::flow_shop_objective(inst_, genome.seq, criterion_, *s);
+  }
+  return objective(genome);
+}
+
+void FlowShopProblem::objective_batch(std::span<const Genome> genomes,
+                                      std::span<double> objectives,
+                                      Workspace& workspace) const {
+  // Resolve the typed scratch once per chunk, not once per genome.
+  if (auto* s = scratch_of<sched::FlowShopScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      objectives[i] =
+          sched::flow_shop_objective(inst_, genomes[i].seq, criterion_, *s);
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 // --- RandomKeyFlowShopProblem ----------------------------------------------
@@ -84,6 +144,41 @@ std::vector<int> RandomKeyFlowShopProblem::decode(const Genome& genome) const {
 
 double RandomKeyFlowShopProblem::objective(const Genome& genome) const {
   return sched::flow_shop_objective(inst_, decode(genome), criterion_);
+}
+
+namespace {
+/// Random-key scratch: the decoded permutation plus the flow-shop buffers.
+struct RkFlowScratch {
+  std::vector<int> perm;
+  sched::FlowShopScratch fs;
+};
+}  // namespace
+
+std::unique_ptr<Workspace> RandomKeyFlowShopProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<RkFlowScratch>>();
+}
+
+double RandomKeyFlowShopProblem::objective(const Genome& genome,
+                                           Workspace& workspace) const {
+  if (auto* s = scratch_of<RkFlowScratch>(workspace)) {
+    keys_to_permutation(genome.keys, s->perm);
+    return sched::flow_shop_objective(inst_, s->perm, criterion_, s->fs);
+  }
+  return objective(genome);
+}
+
+void RandomKeyFlowShopProblem::objective_batch(std::span<const Genome> genomes,
+                                               std::span<double> objectives,
+                                               Workspace& workspace) const {
+  if (auto* s = scratch_of<RkFlowScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      keys_to_permutation(genomes[i].keys, s->perm);
+      objectives[i] =
+          sched::flow_shop_objective(inst_, s->perm, criterion_, s->fs);
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 // --- JobShopProblem ---------------------------------------------------------
@@ -119,6 +214,39 @@ double JobShopProblem::objective(const Genome& genome) const {
   return sched::job_shop_objective(inst_, decode(genome), criterion_);
 }
 
+std::unique_ptr<Workspace> JobShopProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<sched::JobShopScratch>>();
+}
+
+double JobShopProblem::objective(const Genome& genome,
+                                 Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::JobShopScratch>(workspace)) {
+    return objective_with(genome, *s);
+  }
+  return objective(genome);
+}
+
+double JobShopProblem::objective_with(const Genome& genome,
+                                      sched::JobShopScratch& scratch) const {
+  const sched::Schedule& schedule =
+      decoder_ == Decoder::kGifflerThompson
+          ? sched::giffler_thompson_sequence(inst_, genome.seq, scratch)
+          : sched::decode_operation_based(inst_, genome.seq, scratch);
+  return sched::job_shop_objective(inst_, schedule, criterion_, scratch);
+}
+
+void JobShopProblem::objective_batch(std::span<const Genome> genomes,
+                                     std::span<double> objectives,
+                                     Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::JobShopScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      objectives[i] = objective_with(genomes[i], *s);
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
+}
+
 // --- OpenShopProblem ---------------------------------------------------------
 
 OpenShopProblem::OpenShopProblem(sched::OpenShopInstance inst,
@@ -142,6 +270,37 @@ double OpenShopProblem::objective(const Genome& genome) const {
   return sched::open_shop_objective(inst_, schedule, criterion_);
 }
 
+std::unique_ptr<Workspace> OpenShopProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<sched::OpenShopScratch>>();
+}
+
+double OpenShopProblem::objective(const Genome& genome,
+                                  Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::OpenShopScratch>(workspace)) {
+    return objective_with(genome, *s);
+  }
+  return objective(genome);
+}
+
+double OpenShopProblem::objective_with(const Genome& genome,
+                                       sched::OpenShopScratch& scratch) const {
+  const sched::Schedule& schedule =
+      sched::decode_open_shop(inst_, genome.seq, decoder_, scratch);
+  return sched::open_shop_objective(inst_, schedule, criterion_, scratch);
+}
+
+void OpenShopProblem::objective_batch(std::span<const Genome> genomes,
+                                      std::span<double> objectives,
+                                      Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::OpenShopScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      objectives[i] = objective_with(genomes[i], *s);
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
+}
+
 // --- HybridFlowShopProblem ----------------------------------------------------
 
 HybridFlowShopProblem::HybridFlowShopProblem(sched::HybridFlowShopInstance inst,
@@ -160,6 +319,38 @@ Genome HybridFlowShopProblem::random_genome(par::Rng& rng) const {
 double HybridFlowShopProblem::objective(const Genome& genome) const {
   const sched::Schedule schedule = sched::decode_hybrid_flow_shop(inst_, genome.seq);
   return sched::hybrid_flow_shop_objective(inst_, schedule, objective_);
+}
+
+std::unique_ptr<Workspace> HybridFlowShopProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<sched::HybridFlowShopScratch>>();
+}
+
+double HybridFlowShopProblem::objective(const Genome& genome,
+                                        Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::HybridFlowShopScratch>(workspace)) {
+    return objective_with(genome, *s);
+  }
+  return objective(genome);
+}
+
+double HybridFlowShopProblem::objective_with(
+    const Genome& genome, sched::HybridFlowShopScratch& scratch) const {
+  const sched::Schedule& schedule =
+      sched::decode_hybrid_flow_shop(inst_, genome.seq, scratch);
+  return sched::hybrid_flow_shop_objective(inst_, schedule, objective_,
+                                           scratch);
+}
+
+void HybridFlowShopProblem::objective_batch(std::span<const Genome> genomes,
+                                            std::span<double> objectives,
+                                            Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::HybridFlowShopScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      objectives[i] = objective_with(genomes[i], *s);
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 double HybridFlowShopProblem::criterion_value(const Genome& genome,
@@ -201,6 +392,39 @@ double FlexibleJobShopProblem::objective(const Genome& genome) const {
   return sched::flexible_job_shop_objective(inst_, schedule, criterion_);
 }
 
+std::unique_ptr<Workspace> FlexibleJobShopProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<sched::FlexibleJobShopScratch>>();
+}
+
+double FlexibleJobShopProblem::objective(const Genome& genome,
+                                         Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::FlexibleJobShopScratch>(workspace)) {
+    return objective_with(genome, *s);
+  }
+  return objective(genome);
+}
+
+double FlexibleJobShopProblem::objective_with(
+    const Genome& genome, sched::FlexibleJobShopScratch& scratch) const {
+  const sched::Schedule& schedule =
+      sched::decode_flexible_job_shop(inst_, genome.assign, genome.seq,
+                                      scratch);
+  return sched::flexible_job_shop_objective(inst_, schedule, criterion_,
+                                            scratch);
+}
+
+void FlexibleJobShopProblem::objective_batch(std::span<const Genome> genomes,
+                                             std::span<double> objectives,
+                                             Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::FlexibleJobShopScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      objectives[i] = objective_with(genomes[i], *s);
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
+}
+
 // --- LotStreamingProblem ----------------------------------------------------
 
 LotStreamingProblem::LotStreamingProblem(sched::LotStreamingInstance inst)
@@ -221,6 +445,32 @@ Genome LotStreamingProblem::random_genome(par::Rng& rng) const {
 double LotStreamingProblem::objective(const Genome& genome) const {
   return static_cast<double>(
       sched::lot_streaming_makespan(inst_, genome.keys, genome.seq));
+}
+
+std::unique_ptr<Workspace> LotStreamingProblem::make_workspace() const {
+  return std::make_unique<ScratchWorkspace<sched::LotStreamingScratch>>();
+}
+
+double LotStreamingProblem::objective(const Genome& genome,
+                                      Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::LotStreamingScratch>(workspace)) {
+    return static_cast<double>(
+        sched::lot_streaming_makespan(inst_, genome.keys, genome.seq, *s));
+  }
+  return objective(genome);
+}
+
+void LotStreamingProblem::objective_batch(std::span<const Genome> genomes,
+                                          std::span<double> objectives,
+                                          Workspace& workspace) const {
+  if (auto* s = scratch_of<sched::LotStreamingScratch>(workspace)) {
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      objectives[i] = static_cast<double>(sched::lot_streaming_makespan(
+          inst_, genomes[i].keys, genomes[i].seq, *s));
+    }
+    return;
+  }
+  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 // --- FuzzyFlowShopProblem ----------------------------------------------------

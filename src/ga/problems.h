@@ -27,6 +27,11 @@ class FlowShopProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::FlowShopInstance& instance() const { return inst_; }
 
@@ -47,6 +52,11 @@ class RandomKeyFlowShopProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   /// The decoded permutation (exposed for inspection).
   std::vector<int> decode(const Genome& genome) const;
@@ -70,11 +80,19 @@ class JobShopProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::JobShopInstance& instance() const { return inst_; }
   sched::Schedule decode(const Genome& genome) const;
 
  private:
+  double objective_with(const Genome& genome,
+                        sched::JobShopScratch& scratch) const;
+
   sched::JobShopInstance inst_;
   Decoder decoder_;
   sched::Criterion criterion_;
@@ -92,10 +110,18 @@ class OpenShopProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::OpenShopInstance& instance() const { return inst_; }
 
  private:
+  double objective_with(const Genome& genome,
+                        sched::OpenShopScratch& scratch) const;
+
   sched::OpenShopInstance inst_;
   sched::OpenShopDecoder decoder_;
   sched::Criterion criterion_;
@@ -115,6 +141,11 @@ class HybridFlowShopProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   /// Evaluates a single criterion of the decoded schedule (Pareto
   /// reporting needs the components separately).
@@ -123,6 +154,9 @@ class HybridFlowShopProblem final : public Problem {
   const sched::HybridFlowShopInstance& instance() const { return inst_; }
 
  private:
+  double objective_with(const Genome& genome,
+                        sched::HybridFlowShopScratch& scratch) const;
+
   sched::HybridFlowShopInstance inst_;
   sched::CompositeObjective objective_;
   GenomeTraits traits_;
@@ -138,10 +172,18 @@ class FlexibleJobShopProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::FlexibleJobShopInstance& instance() const { return inst_; }
 
  private:
+  double objective_with(const Genome& genome,
+                        sched::FlexibleJobShopScratch& scratch) const;
+
   sched::FlexibleJobShopInstance inst_;
   sched::Criterion criterion_;
   GenomeTraits traits_;
@@ -156,6 +198,11 @@ class LotStreamingProblem final : public Problem {
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
+  std::unique_ptr<Workspace> make_workspace() const override;
+  double objective(const Genome& genome, Workspace& workspace) const override;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::LotStreamingInstance& instance() const { return inst_; }
 
@@ -262,9 +309,19 @@ class DynamicSuffixProblem final : public Problem {
 /// Decodes random keys into the permutation argsort(keys) (stable).
 std::vector<int> keys_to_permutation(std::span<const double> keys);
 
+/// Allocation-free variant: fills `out` (resized to keys.size()).
+void keys_to_permutation(std::span<const double> keys, std::vector<int>& out);
+
 /// Decodes random keys into a job-repetition sequence: argsort(keys) over
 /// flat op slots, slot i belonging to the job that owns the i-th flat op.
 std::vector<int> keys_to_repetition_sequence(std::span<const double> keys,
                                              std::span<const int> repeats);
+
+/// Allocation-free variant (aside from a per-call argsort buffer reuse
+/// through `perm_scratch`): fills `out` with the repetition sequence.
+void keys_to_repetition_sequence(std::span<const double> keys,
+                                 std::span<const int> repeats,
+                                 std::vector<int>& perm_scratch,
+                                 std::vector<int>& out);
 
 }  // namespace psga::ga

@@ -13,27 +13,33 @@ namespace {
 constexpr double kHalfPi = 1.5707963267948966;
 
 struct QuantumIndividual {
-  std::vector<double> theta;   ///< qubit angles
-  Genome measured;             ///< last measurement
-  double objective = 0.0;
+  std::vector<double> theta;  ///< qubit angles
+};
+
+/// Reusable per-island buffers for the measurement loop.
+struct MeasureScratch {
+  std::vector<double> priority;
+  std::vector<int> perm;
 };
 
 /// Collapses angles to a genome: priority_i = sin²θ_i + noise·U(0,1),
 /// decoded by the random-keys rule appropriate for the problem's traits.
-Genome measure(const std::vector<double>& theta, const GenomeTraits& traits,
-               double noise, par::Rng& rng) {
-  std::vector<double> priority(theta.size());
+/// All buffers (including out.seq) are reused across calls.
+void measure(const std::vector<double>& theta, const GenomeTraits& traits,
+             double noise, par::Rng& rng, MeasureScratch& scratch,
+             Genome& out) {
+  std::vector<double>& priority = scratch.priority;
+  priority.resize(theta.size());
   for (std::size_t i = 0; i < theta.size(); ++i) {
     const double s = std::sin(theta[i]);
     priority[i] = s * s + noise * rng.uniform();
   }
-  Genome g;
   if (traits.seq_kind == SeqKind::kJobRepetition) {
-    g.seq = keys_to_repetition_sequence(priority, traits.repeats);
+    keys_to_repetition_sequence(priority, traits.repeats, scratch.perm,
+                                out.seq);
   } else {
-    g.seq = keys_to_permutation(priority);
+    keys_to_permutation(priority, out.seq);
   }
-  return g;
 }
 
 /// Rotation gate: pull θ toward the angle configuration whose measurement
@@ -96,6 +102,7 @@ QuantumGaResult QuantumGa::run() {
     par::Rng rng;
     Genome best;
     double best_obj = -1.0;
+    MeasureScratch measure_scratch;
   };
   std::vector<Island> islands(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
@@ -112,17 +119,29 @@ QuantumGaResult QuantumGa::run() {
   }
 
   QuantumGaResult result;
-  long long evaluations = 0;
+
+  // All measurements of a generation live in one flat batch (island-major)
+  // so a single Evaluator call covers every island at once.
+  const std::size_t pop = static_cast<std::size_t>(config_.population);
+  std::vector<Genome> measured(static_cast<std::size_t>(k) * pop);
+  std::vector<double> objectives(measured.size(), 0.0);
+  Evaluator evaluator(problem_, config_.eval_backend, pool_);
 
   double annealed_noise = config_.measure_noise;
-  auto island_step = [&](std::size_t idx) {
+  auto measure_island = [&](std::size_t idx) {
     Island& island = islands[idx];
-    for (auto& ind : island.pop) {
-      ind.measured = measure(ind.theta, traits, annealed_noise, island.rng);
-      ind.objective = problem_->objective(ind.measured);
-      if (island.best_obj < 0.0 || ind.objective < island.best_obj) {
-        island.best_obj = ind.objective;
-        island.best = ind.measured;
+    for (std::size_t p = 0; p < island.pop.size(); ++p) {
+      measure(island.pop[p].theta, traits, annealed_noise, island.rng,
+              island.measure_scratch, measured[idx * pop + p]);
+    }
+  };
+  auto evolve_island = [&](std::size_t idx) {
+    Island& island = islands[idx];
+    for (std::size_t p = 0; p < island.pop.size(); ++p) {
+      const double objective = objectives[idx * pop + p];
+      if (island.best_obj < 0.0 || objective < island.best_obj) {
+        island.best_obj = objective;
+        island.best = measured[idx * pop + p];
       }
     }
     // Rotation toward the island best.
@@ -155,8 +174,9 @@ QuantumGaResult QuantumGa::run() {
             : 0.0;
     annealed_noise = config_.measure_noise +
                      t * (config_.measure_noise_final - config_.measure_noise);
-    pool_->parallel_for(islands.size(), island_step);
-    evaluations += static_cast<long long>(k) * config_.population;
+    pool_->parallel_for(islands.size(), measure_island);
+    evaluator.evaluate(measured, objectives);
+    pool_->parallel_for(islands.size(), evolve_island);
     // Upper level: penetration migration from the globally best island.
     if (config_.migration_interval > 0 &&
         (gen + 1) % config_.migration_interval == 0 && k > 1) {
@@ -170,14 +190,14 @@ QuantumGaResult QuantumGa::run() {
       rotate_toward(leader_theta, islands[leader].best, traits, kHalfPi);
       for (std::size_t i = 0; i < islands.size(); ++i) {
         if (i == leader) continue;
-        auto worst = std::max_element(
-            islands[i].pop.begin(), islands[i].pop.end(),
-            [](const QuantumIndividual& a, const QuantumIndividual& b) {
-              return a.objective < b.objective;
-            });
+        std::size_t worst = 0;
+        for (std::size_t p = 1; p < islands[i].pop.size(); ++p) {
+          if (objectives[i * pop + p] > objectives[i * pop + worst]) worst = p;
+        }
+        auto& worst_theta = islands[i].pop[worst].theta;
         for (std::size_t g = 0; g < genes; ++g) {
-          worst->theta[g] = config_.penetration * leader_theta[g] +
-                            (1.0 - config_.penetration) * worst->theta[g];
+          worst_theta[g] = config_.penetration * leader_theta[g] +
+                           (1.0 - config_.penetration) * worst_theta[g];
         }
       }
     }
@@ -194,7 +214,7 @@ QuantumGaResult QuantumGa::run() {
   }
   result.overall.best = islands[leader].best;
   result.overall.best_objective = islands[leader].best_obj;
-  result.overall.evaluations = evaluations;
+  result.overall.evaluations = evaluator.evaluations();
   result.overall.generations = config_.generations;
   result.overall.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/ga/config.h"
+#include "src/ga/evaluator.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
 #include "src/par/thread_pool.h"
@@ -36,6 +37,9 @@ struct QuantumGaConfig {
   double crossover_rate = 0.4;   ///< quantum segment crossover probability
   int migration_interval = 10;   ///< penetration migration period; 0 = off
   double penetration = 0.5;      ///< blend factor of the penetrating angles
+  /// Backend for the per-generation batch evaluation of all measured
+  /// individuals (k × population genomes at once).
+  EvalBackend eval_backend = EvalBackend::kThreadPool;
   std::uint64_t seed = 1;
 };
 

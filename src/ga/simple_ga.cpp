@@ -7,17 +7,6 @@
 
 namespace psga::ga {
 
-namespace {
-
-void serial_evaluate(const Problem& problem, std::span<const Genome> genomes,
-                     std::span<double> objectives) {
-  for (std::size_t i = 0; i < genomes.size(); ++i) {
-    objectives[i] = problem.objective(genomes[i]);
-  }
-}
-
-}  // namespace
-
 OperatorConfig default_operators(const Problem& problem) {
   OperatorConfig ops;
   ops.selection = std::make_shared<TournamentSelection>(2);
@@ -43,21 +32,17 @@ OperatorConfig default_operators(const Problem& problem) {
   return ops;
 }
 
-SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config)
+SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config, par::ThreadPool* pool)
     : problem_(std::move(problem)),
       config_(std::move(config)),
       rng_(config_.seed),
-      evaluator_(&serial_evaluate) {
+      evaluator_(problem_, config_.eval_backend, pool) {
   if (!config_.ops.selection || !config_.ops.crossover || !config_.ops.mutation) {
     OperatorConfig defaults = default_operators(*problem_);
     if (!config_.ops.selection) config_.ops.selection = defaults.selection;
     if (!config_.ops.crossover) config_.ops.crossover = defaults.crossover;
     if (!config_.ops.mutation) config_.ops.mutation = defaults.mutation;
   }
-}
-
-void SimpleGa::set_evaluator(Evaluator evaluator) {
-  evaluator_ = std::move(evaluator);
 }
 
 void SimpleGa::init() {
@@ -72,14 +57,13 @@ void SimpleGa::init() {
   }
   objectives_.assign(population_.size(), 0.0);
   generation_ = 0;
-  evaluations_ = 0;
+  evaluations_baseline_ = evaluator_.evaluations();
   has_best_ = false;
   evaluate_all();
 }
 
 void SimpleGa::evaluate_all() {
-  evaluator_(*problem_, population_, objectives_);
-  evaluations_ += static_cast<long long>(population_.size());
+  evaluator_.evaluate(population_, objectives_);
   for (std::size_t i = 0; i < population_.size(); ++i) {
     if (!has_best_ || objectives_[i] < best_objective_) {
       best_objective_ = objectives_[i];
@@ -225,7 +209,7 @@ GaResult SimpleGa::run() {
   }
   result.best = best_;
   result.best_objective = best_objective_;
-  result.evaluations = evaluations_;
+  result.evaluations = evaluations();
   result.generations = generation_;
   result.seconds = elapsed();
   return result;

@@ -1,18 +1,19 @@
-// The simple (serial) GA — Table II of the survey:
+// The simple GA — Table II of the survey:
 //   initialize(); while (!done) { Selection(); Crossover(); Mutation();
 //   FitnessValueEvaluation(); }
 //
 // The class also exposes a stepwise API (init / step / population access)
-// so the island engine can drive one SimpleGa per island, and an
-// evaluator hook so the master-slave engine can farm evaluation out to
-// the thread pool while provably keeping the evolutionary trace identical
-// (evaluation is the only hooked stage and objectives are pure).
+// so the island engine can drive one SimpleGa per island. All fitness
+// evaluation goes through a psga::ga::Evaluator whose backend comes from
+// GaConfig::eval_backend; since objectives are pure and chunking is
+// deterministic, the evolutionary trace is identical for every backend
+// and thread count (the master-slave invariance of Table III).
 #pragma once
 
-#include <functional>
 #include <span>
 
 #include "src/ga/config.h"
+#include "src/ga/evaluator.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
 #include "src/par/rng.h"
@@ -21,14 +22,10 @@ namespace psga::ga {
 
 class SimpleGa {
  public:
-  /// Batch evaluator: fills objectives[i] = problem.objective(genomes[i]).
-  using Evaluator = std::function<void(
-      const Problem&, std::span<const Genome>, std::span<double>)>;
-
-  SimpleGa(ProblemPtr problem, GaConfig config);
-
-  /// Replaces the serial evaluation stage (master-slave model).
-  void set_evaluator(Evaluator evaluator);
+  /// `pool` may be null — the library default pool is used when the
+  /// config selects the thread-pool backend.
+  SimpleGa(ProblemPtr problem, GaConfig config,
+           par::ThreadPool* pool = nullptr);
 
   /// Full run honoring config.termination.
   GaResult run();
@@ -39,7 +36,11 @@ class SimpleGa {
   int generation() const { return generation_; }
   double best_objective() const { return best_objective_; }
   const Genome& best() const { return best_; }
-  long long evaluations() const { return evaluations_; }
+  /// Fitness evaluations since the last init() (counted by the Evaluator,
+  /// the engine's single evaluation path).
+  long long evaluations() const {
+    return evaluator_.evaluations() - evaluations_baseline_;
+  }
   const std::vector<Genome>& population() const { return population_; }
   const std::vector<double>& objectives() const { return objectives_; }
   const GenomeTraits& traits() const { return problem_->traits(); }
@@ -78,7 +79,7 @@ class SimpleGa {
   double best_objective_ = 0.0;
   bool has_best_ = false;
   int generation_ = 0;
-  long long evaluations_ = 0;
+  long long evaluations_baseline_ = 0;
 };
 
 }  // namespace psga::ga

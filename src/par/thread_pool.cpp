@@ -35,7 +35,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = tasks_[worker_index];
     }
     if (task.body != nullptr && task.begin < task.end) {
-      (*task.body)(task.begin, task.end);
+      (*task.body)(task.lane, task.begin, task.end);
     }
     {
       // Every helper acknowledges every generation, even with an empty
@@ -46,12 +46,13 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
-void ThreadPool::parallel_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::parallel_lanes(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t lanes = tasks_.size() + 1;
   if (lanes == 1 || n == 1) {
-    fn(0, n);
+    fn(0, 0, n);
     return;
   }
   // Static chunking: lane k gets [k*n/lanes, (k+1)*n/lanes).
@@ -66,15 +67,21 @@ void ThreadPool::parallel_chunks(
         my_begin = begin;
         my_end = end;
       } else {
-        tasks_[k - 1] = Task{&fn, begin, end};
+        tasks_[k - 1] = Task{&fn, k, begin, end};
       }
     }
     ++generation_;
   }
   wake_.notify_all();
-  if (my_begin < my_end) fn(my_begin, my_end);
+  if (my_begin < my_end) fn(0, my_begin, my_end);
   std::unique_lock lock(mutex_);
   done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_lanes(n, [&fn](std::size_t /*lane*/, std::size_t begin,
+                          std::size_t end) { fn(begin, end); });
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -40,9 +40,19 @@ class ThreadPool {
   void parallel_chunks(std::size_t n,
                        const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Like parallel_chunks, but also passes the lane index (0-based, lane 0
+  /// is the calling thread). Lane k always receives the k-th static chunk
+  /// [k*n/lanes, (k+1)*n/lanes), so per-lane state (e.g. an evaluation
+  /// Workspace) is reused deterministically across calls.
+  void parallel_lanes(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   struct Task {
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
+    std::size_t lane = 0;
     std::size_t begin = 0;
     std::size_t end = 0;
   };

@@ -65,26 +65,33 @@ int fjs_flat_op(const FlexibleJobShopInstance& inst, int job, int index) {
   return flat + index;
 }
 
-Schedule decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
-                                  std::span<const int> assignment,
-                                  std::span<const int> op_sequence) {
-  Schedule schedule;
+const Schedule& decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
+                                         std::span<const int> assignment,
+                                         std::span<const int> op_sequence,
+                                         FlexibleJobShopScratch& scratch) {
+  Schedule& schedule = scratch.schedule;
+  schedule.ops.clear();
   schedule.ops.reserve(op_sequence.size());
-  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
-  std::vector<int> flat_base(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<int>& next_op = scratch.next_op;
+  next_op.assign(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<int>& flat_base = scratch.flat_base;
+  flat_base.assign(static_cast<std::size_t>(inst.jobs), 0);
   for (int j = 1; j < inst.jobs; ++j) {
     flat_base[static_cast<std::size_t>(j)] =
         flat_base[static_cast<std::size_t>(j - 1)] + inst.ops_of(j - 1);
   }
-  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  std::vector<Time>& job_free = scratch.job_free;
+  job_free.resize(static_cast<std::size_t>(inst.jobs));
   for (int j = 0; j < inst.jobs; ++j) {
     job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
   }
-  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines));
+  std::vector<Time>& machine_free = scratch.machine_free;
+  machine_free.resize(static_cast<std::size_t>(inst.machines));
   for (int m = 0; m < inst.machines; ++m) {
     machine_free[static_cast<std::size_t>(m)] = inst.machine_release_of(m);
   }
-  std::vector<int> last_job(static_cast<std::size_t>(inst.machines), -1);
+  std::vector<int>& last_job = scratch.last_job;
+  last_job.assign(static_cast<std::size_t>(inst.machines), -1);
 
   for (int job : op_sequence) {
     const int index = next_op[static_cast<std::size_t>(job)]++;
@@ -116,11 +123,26 @@ Schedule decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
   return schedule;
 }
 
+Schedule decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
+                                  std::span<const int> assignment,
+                                  std::span<const int> op_sequence) {
+  FlexibleJobShopScratch scratch;
+  return decode_flexible_job_shop(inst, assignment, op_sequence, scratch);
+}
+
+double flexible_job_shop_objective(const FlexibleJobShopInstance& inst,
+                                   const Schedule& schedule,
+                                   Criterion criterion,
+                                   FlexibleJobShopScratch& scratch) {
+  schedule.job_completion_times(inst.jobs, scratch.completion);
+  return evaluate_criterion(criterion, scratch.completion, inst.attrs);
+}
+
 double flexible_job_shop_objective(const FlexibleJobShopInstance& inst,
                                    const Schedule& schedule,
                                    Criterion criterion) {
-  const auto completion = schedule.job_completion_times(inst.jobs);
-  return evaluate_criterion(criterion, completion, inst.attrs);
+  FlexibleJobShopScratch scratch;
+  return flexible_job_shop_objective(inst, schedule, criterion, scratch);
 }
 
 std::vector<int> random_fjs_assignment(const FlexibleJobShopInstance& inst,

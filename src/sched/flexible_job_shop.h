@@ -55,6 +55,17 @@ struct FlexibleJobShopInstance {
   ValidationSpec validation_spec() const;
 };
 
+/// Reusable evaluation scratch for the FJSP decoder (one per worker).
+struct FlexibleJobShopScratch {
+  Schedule schedule;
+  std::vector<int> next_op;
+  std::vector<int> flat_base;
+  std::vector<Time> job_free;
+  std::vector<Time> machine_free;
+  std::vector<int> last_job;
+  std::vector<Time> completion;
+};
+
 /// Decodes (assignment, sequencing): `assignment[flat_op]` is an index into
 /// that operation's eligibility set (flat ops are numbered job-major), and
 /// `op_sequence` is a permutation with repetition of job ids.
@@ -62,12 +73,24 @@ Schedule decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
                                   std::span<const int> assignment,
                                   std::span<const int> op_sequence);
 
+/// Allocation-free variant: the returned reference points into `scratch`.
+const Schedule& decode_flexible_job_shop(const FlexibleJobShopInstance& inst,
+                                         std::span<const int> assignment,
+                                         std::span<const int> op_sequence,
+                                         FlexibleJobShopScratch& scratch);
+
 /// Flat operation index of (job, op index).
 int fjs_flat_op(const FlexibleJobShopInstance& inst, int job, int index);
 
 double flexible_job_shop_objective(const FlexibleJobShopInstance& inst,
                                    const Schedule& schedule,
                                    Criterion criterion);
+
+/// Allocation-free variant (reuses scratch.completion).
+double flexible_job_shop_objective(const FlexibleJobShopInstance& inst,
+                                   const Schedule& schedule,
+                                   Criterion criterion,
+                                   FlexibleJobShopScratch& scratch);
 
 /// Random valid assignment chromosome (one eligibility index per flat op).
 std::vector<int> random_fjs_assignment(const FlexibleJobShopInstance& inst,

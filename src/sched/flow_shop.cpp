@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 namespace psga::sched {
 
@@ -35,10 +36,11 @@ ValidationSpec FlowShopInstance::validation_spec() const {
   return spec;
 }
 
-Time flow_shop_makespan(const FlowShopInstance& inst,
-                        std::span<const int> perm) {
+Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm,
+                        FlowShopScratch& scratch) {
   // ready[m] = completion time of the previous permutation job on machine m.
-  std::vector<Time> ready(static_cast<std::size_t>(inst.machines), 0);
+  std::vector<Time>& ready = scratch.ready;
+  ready.assign(static_cast<std::size_t>(inst.machines), 0);
   for (int job : perm) {
     Time prev = inst.attrs.release_of(job);
     for (int m = 0; m < inst.machines; ++m) {
@@ -50,10 +52,19 @@ Time flow_shop_makespan(const FlowShopInstance& inst,
   return ready.empty() ? 0 : ready.back();
 }
 
-std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
-                                             std::span<const int> perm) {
-  std::vector<Time> ready(static_cast<std::size_t>(inst.machines), 0);
-  std::vector<Time> completion(static_cast<std::size_t>(inst.jobs), 0);
+Time flow_shop_makespan(const FlowShopInstance& inst,
+                        std::span<const int> perm) {
+  FlowShopScratch scratch;
+  return flow_shop_makespan(inst, perm, scratch);
+}
+
+const std::vector<Time>& flow_shop_completion_times(
+    const FlowShopInstance& inst, std::span<const int> perm,
+    FlowShopScratch& scratch) {
+  std::vector<Time>& ready = scratch.ready;
+  std::vector<Time>& completion = scratch.completion;
+  ready.assign(static_cast<std::size_t>(inst.machines), 0);
+  completion.assign(static_cast<std::size_t>(inst.jobs), 0);
   for (int job : perm) {
     Time prev = inst.attrs.release_of(job);
     for (int m = 0; m < inst.machines; ++m) {
@@ -64,6 +75,13 @@ std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
     completion[static_cast<std::size_t>(job)] = prev;
   }
   return completion;
+}
+
+std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
+                                             std::span<const int> perm) {
+  FlowShopScratch scratch;
+  flow_shop_completion_times(inst, perm, scratch);
+  return std::move(scratch.completion);
 }
 
 Schedule flow_shop_schedule(const FlowShopInstance& inst,
@@ -86,12 +104,19 @@ Schedule flow_shop_schedule(const FlowShopInstance& inst,
 }
 
 double flow_shop_objective(const FlowShopInstance& inst,
-                           std::span<const int> perm, Criterion criterion) {
+                           std::span<const int> perm, Criterion criterion,
+                           FlowShopScratch& scratch) {
   if (criterion == Criterion::kMakespan) {
-    return static_cast<double>(flow_shop_makespan(inst, perm));
+    return static_cast<double>(flow_shop_makespan(inst, perm, scratch));
   }
-  const auto completion = flow_shop_completion_times(inst, perm);
-  return evaluate_criterion(criterion, completion, inst.attrs);
+  return evaluate_criterion(
+      criterion, flow_shop_completion_times(inst, perm, scratch), inst.attrs);
+}
+
+double flow_shop_objective(const FlowShopInstance& inst,
+                           std::span<const int> perm, Criterion criterion) {
+  FlowShopScratch scratch;
+  return flow_shop_objective(inst, perm, criterion, scratch);
 }
 
 }  // namespace psga::sched

@@ -27,13 +27,29 @@ struct FlowShopInstance {
   ValidationSpec validation_spec() const;
 };
 
+/// Reusable evaluation scratch: allocate once per worker, reuse for every
+/// genome (the buffers are resized on first use and only grow).
+struct FlowShopScratch {
+  std::vector<Time> ready;       ///< per-machine frontier
+  std::vector<Time> completion;  ///< per-job completion times
+};
+
 /// Makespan of a job permutation — O(n·m) critical-path recurrence.
 Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm);
+
+/// Allocation-free variant for hot loops.
+Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm,
+                        FlowShopScratch& scratch);
 
 /// Completion time of every job on the last machine (indexed by job id),
 /// for the weighted-completion / tardiness criteria.
 std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
                                              std::span<const int> perm);
+
+/// Allocation-free variant: fills scratch.completion and returns it.
+const std::vector<Time>& flow_shop_completion_times(
+    const FlowShopInstance& inst, std::span<const int> perm,
+    FlowShopScratch& scratch);
 
 /// Full explicit schedule (for validation and Gantt-style inspection).
 Schedule flow_shop_schedule(const FlowShopInstance& inst,
@@ -42,5 +58,10 @@ Schedule flow_shop_schedule(const FlowShopInstance& inst,
 /// Criterion value of a permutation.
 double flow_shop_objective(const FlowShopInstance& inst,
                            std::span<const int> perm, Criterion criterion);
+
+/// Allocation-free variant for hot loops.
+double flow_shop_objective(const FlowShopInstance& inst,
+                           std::span<const int> perm, Criterion criterion,
+                           FlowShopScratch& scratch);
 
 }  // namespace psga::sched

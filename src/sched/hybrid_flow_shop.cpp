@@ -76,18 +76,24 @@ namespace {
 
 /// Non-blocking decode: stage 0 in chromosome order, stage s > 0 in FIFO
 /// order of completion at stage s-1; earliest-completion machine choice.
-Schedule decode_hfs_fifo(const HybridFlowShopInstance& inst,
-                         std::span<const int> perm) {
-  Schedule schedule;
+const Schedule& decode_hfs_fifo(const HybridFlowShopInstance& inst,
+                                std::span<const int> perm,
+                                HybridFlowShopScratch& scratch) {
+  Schedule& schedule = scratch.schedule;
+  schedule.ops.clear();
   schedule.ops.reserve(static_cast<std::size_t>(inst.jobs) *
                        static_cast<std::size_t>(inst.stages()));
-  std::vector<Time> ready(static_cast<std::size_t>(inst.jobs));
+  std::vector<Time>& ready = scratch.ready;
+  ready.resize(static_cast<std::size_t>(inst.jobs));
   for (int j = 0; j < inst.jobs; ++j) {
     ready[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
   }
-  std::vector<Time> machine_free(static_cast<std::size_t>(inst.total_machines()), 0);
-  std::vector<int> last_job(static_cast<std::size_t>(inst.total_machines()), -1);
-  std::vector<int> order(perm.begin(), perm.end());
+  std::vector<Time>& machine_free = scratch.machine_free;
+  machine_free.assign(static_cast<std::size_t>(inst.total_machines()), 0);
+  std::vector<int>& last_job = scratch.last_job;
+  last_job.assign(static_cast<std::size_t>(inst.total_machines()), -1);
+  std::vector<int>& order = scratch.order;
+  order.assign(perm.begin(), perm.end());
 
   for (int s = 0; s < inst.stages(); ++s) {
     const int machines = inst.machines_per_stage[static_cast<std::size_t>(s)];
@@ -128,13 +134,17 @@ Schedule decode_hfs_fifo(const HybridFlowShopInstance& inst,
 /// stage-s operation starts — later jobs in the permutation observe the
 /// extended occupancy, which is exactly the no-intermediate-buffer rule of
 /// Rashidi et al. [38].
-Schedule decode_hfs_blocking(const HybridFlowShopInstance& inst,
-                             std::span<const int> perm) {
-  Schedule schedule;
+const Schedule& decode_hfs_blocking(const HybridFlowShopInstance& inst,
+                                    std::span<const int> perm,
+                                    HybridFlowShopScratch& scratch) {
+  Schedule& schedule = scratch.schedule;
+  schedule.ops.clear();
   schedule.ops.reserve(static_cast<std::size_t>(inst.jobs) *
                        static_cast<std::size_t>(inst.stages()));
-  std::vector<Time> machine_free(static_cast<std::size_t>(inst.total_machines()), 0);
-  std::vector<int> last_job(static_cast<std::size_t>(inst.total_machines()), -1);
+  std::vector<Time>& machine_free = scratch.machine_free;
+  machine_free.assign(static_cast<std::size_t>(inst.total_machines()), 0);
+  std::vector<int>& last_job = scratch.last_job;
+  last_job.assign(static_cast<std::size_t>(inst.total_machines()), -1);
 
   for (int job : perm) {
     Time ready = inst.attrs.release_of(job);
@@ -175,24 +185,46 @@ Schedule decode_hfs_blocking(const HybridFlowShopInstance& inst,
 
 }  // namespace
 
+const Schedule& decode_hybrid_flow_shop(const HybridFlowShopInstance& inst,
+                                        std::span<const int> perm,
+                                        HybridFlowShopScratch& scratch) {
+  return inst.blocking ? decode_hfs_blocking(inst, perm, scratch)
+                       : decode_hfs_fifo(inst, perm, scratch);
+}
+
 Schedule decode_hybrid_flow_shop(const HybridFlowShopInstance& inst,
                                  std::span<const int> perm) {
-  return inst.blocking ? decode_hfs_blocking(inst, perm)
-                       : decode_hfs_fifo(inst, perm);
+  HybridFlowShopScratch scratch;
+  return decode_hybrid_flow_shop(inst, perm, scratch);
+}
+
+double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
+                                  const Schedule& schedule, Criterion criterion,
+                                  HybridFlowShopScratch& scratch) {
+  schedule.job_completion_times(inst.jobs, scratch.completion);
+  return evaluate_criterion(criterion, scratch.completion, inst.attrs);
 }
 
 double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
                                   const Schedule& schedule,
                                   Criterion criterion) {
-  const auto completion = schedule.job_completion_times(inst.jobs);
-  return evaluate_criterion(criterion, completion, inst.attrs);
+  HybridFlowShopScratch scratch;
+  return hybrid_flow_shop_objective(inst, schedule, criterion, scratch);
+}
+
+double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
+                                  const Schedule& schedule,
+                                  const CompositeObjective& objective,
+                                  HybridFlowShopScratch& scratch) {
+  schedule.job_completion_times(inst.jobs, scratch.completion);
+  return objective.evaluate(scratch.completion, inst.attrs);
 }
 
 double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
                                   const Schedule& schedule,
                                   const CompositeObjective& objective) {
-  const auto completion = schedule.job_completion_times(inst.jobs);
-  return objective.evaluate(completion, inst.attrs);
+  HybridFlowShopScratch scratch;
+  return hybrid_flow_shop_objective(inst, schedule, objective, scratch);
 }
 
 }  // namespace psga::sched

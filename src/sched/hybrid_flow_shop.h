@@ -44,12 +44,27 @@ struct HybridFlowShopInstance {
   ValidationSpec validation_spec() const;
 };
 
+/// Reusable evaluation scratch for the HFS decoders (one per worker).
+struct HybridFlowShopScratch {
+  Schedule schedule;
+  std::vector<Time> ready;
+  std::vector<Time> machine_free;
+  std::vector<int> last_job;
+  std::vector<int> order;
+  std::vector<Time> completion;
+};
+
 /// Decodes a job permutation: stage 0 is sequenced in chromosome order;
 /// each later stage processes jobs in order of their completion at the
 /// previous stage (FIFO list scheduling); within a stage each job takes
 /// the machine that completes it earliest (setup-aware).
 Schedule decode_hybrid_flow_shop(const HybridFlowShopInstance& inst,
                                  std::span<const int> perm);
+
+/// Allocation-free variant: the returned reference points into `scratch`.
+const Schedule& decode_hybrid_flow_shop(const HybridFlowShopInstance& inst,
+                                        std::span<const int> perm,
+                                        HybridFlowShopScratch& scratch);
 
 double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
                                   const Schedule& schedule,
@@ -58,5 +73,15 @@ double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
 double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
                                   const Schedule& schedule,
                                   const CompositeObjective& objective);
+
+/// Allocation-free variants (reuse scratch.completion).
+double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
+                                  const Schedule& schedule, Criterion criterion,
+                                  HybridFlowShopScratch& scratch);
+
+double hybrid_flow_shop_objective(const HybridFlowShopInstance& inst,
+                                  const Schedule& schedule,
+                                  const CompositeObjective& objective,
+                                  HybridFlowShopScratch& scratch);
 
 }  // namespace psga::sched

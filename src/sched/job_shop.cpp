@@ -39,16 +39,21 @@ ValidationSpec JobShopInstance::validation_spec() const {
   return spec;
 }
 
-Schedule decode_operation_based(const JobShopInstance& inst,
-                                std::span<const int> op_sequence) {
-  Schedule schedule;
+const Schedule& decode_operation_based(const JobShopInstance& inst,
+                                       std::span<const int> op_sequence,
+                                       JobShopScratch& scratch) {
+  Schedule& schedule = scratch.schedule;
+  schedule.ops.clear();
   schedule.ops.reserve(op_sequence.size());
-  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
-  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  std::vector<int>& next_op = scratch.next_op;
+  next_op.assign(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time>& job_free = scratch.job_free;
+  job_free.resize(static_cast<std::size_t>(inst.jobs));
   for (int j = 0; j < inst.jobs; ++j) {
     job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
   }
-  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+  std::vector<Time>& machine_free = scratch.machine_free;
+  machine_free.assign(static_cast<std::size_t>(inst.machines), 0);
   for (int job : op_sequence) {
     const int index = next_op[static_cast<std::size_t>(job)]++;
     const JsOperation& op = inst.op(job, index);
@@ -62,24 +67,37 @@ Schedule decode_operation_based(const JobShopInstance& inst,
   return schedule;
 }
 
+Schedule decode_operation_based(const JobShopInstance& inst,
+                                std::span<const int> op_sequence) {
+  JobShopScratch scratch;
+  return decode_operation_based(inst, op_sequence, scratch);
+}
+
 namespace {
 
 /// Shared Giffler–Thompson scaffold. `pick` chooses the winner among the
-/// conflict set (indices into `candidates`).
+/// conflict set (indices into `candidates`). Decodes into
+/// scratch.schedule; all working vectors live in the scratch.
 template <typename Pick>
-Schedule giffler_thompson_impl(const JobShopInstance& inst, Pick&& pick) {
-  Schedule schedule;
+const Schedule& giffler_thompson_impl(const JobShopInstance& inst,
+                                      JobShopScratch& scratch, Pick&& pick) {
+  Schedule& schedule = scratch.schedule;
+  schedule.ops.clear();
   schedule.ops.reserve(static_cast<std::size_t>(inst.total_ops()));
-  std::vector<int> next_op(static_cast<std::size_t>(inst.jobs), 0);
-  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
-  std::vector<Time> work_left(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<int>& next_op = scratch.next_op;
+  std::vector<Time>& job_free = scratch.job_free;
+  std::vector<Time>& work_left = scratch.work_left;
+  std::vector<Time>& machine_free = scratch.machine_free;
+  next_op.assign(static_cast<std::size_t>(inst.jobs), 0);
+  job_free.resize(static_cast<std::size_t>(inst.jobs));
+  work_left.assign(static_cast<std::size_t>(inst.jobs), 0);
   for (int j = 0; j < inst.jobs; ++j) {
     job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
     for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
       work_left[static_cast<std::size_t>(j)] += op.duration;
     }
   }
-  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+  machine_free.assign(static_cast<std::size_t>(inst.machines), 0);
 
   const int total = inst.total_ops();
   for (int scheduled = 0; scheduled < total; ++scheduled) {
@@ -101,7 +119,8 @@ Schedule giffler_thompson_impl(const JobShopInstance& inst, Pick&& pick) {
     }
     // Conflict set: schedulable ops on that machine that would start
     // before the earliest completion.
-    std::vector<int> conflict_jobs;
+    std::vector<int>& conflict_jobs = scratch.conflict_jobs;
+    conflict_jobs.clear();
     for (int j = 0; j < inst.jobs; ++j) {
       const int k = next_op[static_cast<std::size_t>(j)];
       if (k >= inst.ops_of(j)) continue;
@@ -131,10 +150,12 @@ Schedule giffler_thompson_impl(const JobShopInstance& inst, Pick&& pick) {
 
 Schedule giffler_thompson(const JobShopInstance& inst, PriorityRule rule,
                           par::Rng& rng) {
+  JobShopScratch scratch;
   int tick = 0;  // FCFS tiebreak counter
   return giffler_thompson_impl(
-      inst, [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
-                const std::vector<Time>& work_left) {
+      inst, scratch,
+      [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
+          const std::vector<Time>& work_left) {
         ++tick;
         int best = jobs.front();
         auto duration_of = [&](int j) {
@@ -170,19 +191,22 @@ Schedule giffler_thompson(const JobShopInstance& inst, PriorityRule rule,
       });
 }
 
-Schedule giffler_thompson_sequence(const JobShopInstance& inst,
-                                   std::span<const int> op_sequence) {
-  // For each job, the positions of its genes in the chromosome; cursor[j]
-  // points at the position of job j's next unconsumed gene.
-  std::vector<std::vector<int>> positions(static_cast<std::size_t>(inst.jobs));
+const Schedule& giffler_thompson_sequence(const JobShopInstance& inst,
+                                          std::span<const int> op_sequence,
+                                          JobShopScratch& scratch) {
+  // For each job, the positions of its genes in the chromosome; the
+  // conflict winner is the job whose next unconsumed gene occurs earliest.
+  std::vector<std::vector<int>>& positions = scratch.positions;
+  positions.resize(static_cast<std::size_t>(inst.jobs));
+  for (auto& p : positions) p.clear();
   for (int pos = 0; pos < static_cast<int>(op_sequence.size()); ++pos) {
     positions[static_cast<std::size_t>(op_sequence[static_cast<std::size_t>(pos)])]
         .push_back(pos);
   }
-  std::vector<int> cursor(static_cast<std::size_t>(inst.jobs), 0);
   return giffler_thompson_impl(
-      inst, [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
-                const std::vector<Time>& /*work_left*/) {
+      inst, scratch,
+      [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
+          const std::vector<Time>& /*work_left*/) {
         int best = jobs.front();
         int best_pos = std::numeric_limits<int>::max();
         for (int j : jobs) {
@@ -194,17 +218,24 @@ Schedule giffler_thompson_sequence(const JobShopInstance& inst,
             best = j;
           }
         }
-        (void)cursor;
         return best;
       });
 }
 
+Schedule giffler_thompson_sequence(const JobShopInstance& inst,
+                                   std::span<const int> op_sequence) {
+  JobShopScratch scratch;
+  return giffler_thompson_sequence(inst, op_sequence, scratch);
+}
+
 Schedule giffler_thompson_rules(const JobShopInstance& inst,
                                 std::span<const int> rule_per_step) {
+  JobShopScratch scratch;
   int step = 0;
   return giffler_thompson_impl(
-      inst, [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
-                const std::vector<Time>& work_left) {
+      inst, scratch,
+      [&](const std::vector<int>& jobs, const std::vector<int>& next_op,
+          const std::vector<Time>& work_left) {
         const int raw =
             step < static_cast<int>(rule_per_step.size())
                 ? rule_per_step[static_cast<std::size_t>(step)]
@@ -243,9 +274,16 @@ Schedule giffler_thompson_rules(const JobShopInstance& inst,
 }
 
 double job_shop_objective(const JobShopInstance& inst,
+                          const Schedule& schedule, Criterion criterion,
+                          JobShopScratch& scratch) {
+  schedule.job_completion_times(inst.jobs, scratch.completion);
+  return evaluate_criterion(criterion, scratch.completion, inst.attrs);
+}
+
+double job_shop_objective(const JobShopInstance& inst,
                           const Schedule& schedule, Criterion criterion) {
-  const auto completion = schedule.job_completion_times(inst.jobs);
-  return evaluate_criterion(criterion, completion, inst.attrs);
+  JobShopScratch scratch;
+  return job_shop_objective(inst, schedule, criterion, scratch);
 }
 
 std::vector<int> random_operation_sequence(const JobShopInstance& inst,

@@ -38,11 +38,31 @@ struct JobShopInstance {
   ValidationSpec validation_spec() const;
 };
 
+/// Reusable evaluation scratch for the job-shop decoders: one per worker,
+/// reused for every genome, so the schedule matrix and frontier vectors
+/// are allocated once per run instead of once per decode.
+struct JobShopScratch {
+  Schedule schedule;  ///< decode output (ops vector reused)
+  std::vector<int> next_op;
+  std::vector<Time> job_free;
+  std::vector<Time> machine_free;
+  std::vector<Time> work_left;
+  std::vector<int> conflict_jobs;
+  std::vector<std::vector<int>> positions;  ///< per-job gene positions (G&T)
+  std::vector<Time> completion;
+};
+
 /// Decodes an operation-based chromosome (permutation with repetition: job
 /// j appears once per operation; the k-th occurrence of j is its k-th
 /// operation) into a semi-active schedule.
 Schedule decode_operation_based(const JobShopInstance& inst,
                                 std::span<const int> op_sequence);
+
+/// Allocation-free variant: the returned reference points into `scratch`
+/// and is valid until the next decode with the same scratch.
+const Schedule& decode_operation_based(const JobShopInstance& inst,
+                                       std::span<const int> op_sequence,
+                                       JobShopScratch& scratch);
 
 /// Priority rules for the Giffler–Thompson active schedule builder.
 enum class PriorityRule { kSpt, kLpt, kMostWorkRemaining, kFcfs, kRandom };
@@ -59,6 +79,11 @@ Schedule giffler_thompson(const JobShopInstance& inst, PriorityRule rule,
 Schedule giffler_thompson_sequence(const JobShopInstance& inst,
                                    std::span<const int> op_sequence);
 
+/// Allocation-free variant (see decode_operation_based overload).
+const Schedule& giffler_thompson_sequence(const JobShopInstance& inst,
+                                          std::span<const int> op_sequence,
+                                          JobShopScratch& scratch);
+
 /// Giffler–Thompson where the k-th conflict is resolved by the k-th entry
 /// of `rule_per_step` (indices into {SPT, LPT, MWR, FCFS}) — the survey's
 /// "indirect way" chromosome: "a sequence of dispatching rules for job
@@ -72,6 +97,11 @@ constexpr int kDispatchRuleCount = 4;
 /// Criterion value of a decoded schedule.
 double job_shop_objective(const JobShopInstance& inst,
                           const Schedule& schedule, Criterion criterion);
+
+/// Allocation-free variant (reuses scratch.completion).
+double job_shop_objective(const JobShopInstance& inst,
+                          const Schedule& schedule, Criterion criterion,
+                          JobShopScratch& scratch);
 
 /// A valid operation-based chromosome drawn uniformly at random.
 std::vector<int> random_operation_sequence(const JobShopInstance& inst,

@@ -108,10 +108,65 @@ HybridFlowShopInstance expand_lot_streaming(const LotStreamingInstance& inst,
 
 Time lot_streaming_makespan(const LotStreamingInstance& inst,
                             std::span<const double> keys,
-                            std::span<const int> sublot_perm) {
-  const HybridFlowShopInstance hfs = expand_lot_streaming(inst, keys, nullptr);
-  const Schedule schedule = decode_hybrid_flow_shop(hfs, sublot_perm);
+                            std::span<const int> sublot_perm,
+                            LotStreamingScratch& scratch) {
+  const bool cache_hit =
+      scratch.expanded_ready &&
+      scratch.sig_machines_per_stage == inst.machines_per_stage &&
+      scratch.sig_batch == inst.batch && scratch.sig_sublots == inst.sublots &&
+      scratch.sig_attrs.release == inst.attrs.release &&
+      scratch.sig_attrs.due == inst.attrs.due &&
+      scratch.sig_attrs.weight == inst.attrs.weight;
+  if (!cache_hit) {
+    // The structure (stage layout, sublot counts, attrs) is genome
+    // independent; build it once per instance and only rewrite durations
+    // afterwards.
+    scratch.expanded = expand_lot_streaming(inst, keys, nullptr);
+    scratch.expanded_ready = true;
+    scratch.sig_machines_per_stage = inst.machines_per_stage;
+    scratch.sig_batch = inst.batch;
+    scratch.sig_sublots = inst.sublots;
+    scratch.sig_attrs = inst.attrs;
+  } else {
+    // Recompute sublot sizes and overwrite the expanded durations.
+    std::vector<int>& sizes = scratch.sizes;
+    sizes.clear();
+    std::size_t key_cursor = 0;
+    for (int j = 0; j < inst.jobs(); ++j) {
+      const int lots = inst.sublots[static_cast<std::size_t>(j)];
+      const std::vector<int> job_sizes = sublot_sizes_from_keys(
+          inst.batch[static_cast<std::size_t>(j)],
+          keys.subspan(key_cursor, static_cast<std::size_t>(lots)));
+      sizes.insert(sizes.end(), job_sizes.begin(), job_sizes.end());
+      key_cursor += static_cast<std::size_t>(lots);
+    }
+    for (int s = 0; s < inst.stages(); ++s) {
+      auto& stage_proc = scratch.expanded.proc[static_cast<std::size_t>(s)];
+      std::size_t expanded_job = 0;
+      for (int j = 0; j < inst.jobs(); ++j) {
+        const auto& unit = inst.unit_proc[static_cast<std::size_t>(s)]
+                                         [static_cast<std::size_t>(j)];
+        for (int l = 0; l < inst.sublots[static_cast<std::size_t>(j)]; ++l) {
+          auto& per_machine = stage_proc[expanded_job];
+          const int size = sizes[expanded_job];
+          for (std::size_t m = 0; m < unit.size(); ++m) {
+            per_machine[m] = unit[m] * size;
+          }
+          ++expanded_job;
+        }
+      }
+    }
+  }
+  const Schedule& schedule =
+      decode_hybrid_flow_shop(scratch.expanded, sublot_perm, scratch.hfs);
   return schedule.makespan();
+}
+
+Time lot_streaming_makespan(const LotStreamingInstance& inst,
+                            std::span<const double> keys,
+                            std::span<const int> sublot_perm) {
+  LotStreamingScratch scratch;
+  return lot_streaming_makespan(inst, keys, sublot_perm, scratch);
 }
 
 }  // namespace psga::sched

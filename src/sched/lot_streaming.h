@@ -51,4 +51,30 @@ Time lot_streaming_makespan(const LotStreamingInstance& inst,
                             std::span<const double> keys,
                             std::span<const int> sublot_perm);
 
+/// Reusable evaluation scratch: the expanded hybrid-flow-shop instance's
+/// *structure* (sublot counts, machine layout, attrs) does not depend on
+/// the genome — only the durations do — so it is built once on first use
+/// and every later evaluation just overwrites processing times in place.
+struct LotStreamingScratch {
+  /// Fingerprint of the instance the cached expansion was built from
+  /// (everything that shapes the expansion except unit durations, which
+  /// are rewritten on every call). A mismatch triggers a rebuild, so one
+  /// scratch may serve several instances (re-expanding on each switch).
+  /// Value-based on purpose: instance addresses can be reused.
+  bool expanded_ready = false;
+  std::vector<int> sig_machines_per_stage;
+  std::vector<int> sig_batch;
+  std::vector<int> sig_sublots;
+  JobAttributes sig_attrs;
+  HybridFlowShopInstance expanded;
+  std::vector<int> sizes;  ///< per-sublot sizes, job-concatenated
+  HybridFlowShopScratch hfs;
+};
+
+/// Allocation-free (after first use) variant of lot_streaming_makespan.
+Time lot_streaming_makespan(const LotStreamingInstance& inst,
+                            std::span<const double> keys,
+                            std::span<const int> sublot_perm,
+                            LotStreamingScratch& scratch);
+
 }  // namespace psga::sched

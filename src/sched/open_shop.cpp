@@ -33,26 +33,35 @@ ValidationSpec OpenShopInstance::validation_spec() const {
   return spec;
 }
 
-Schedule decode_open_shop(const OpenShopInstance& inst,
-                          std::span<const int> job_sequence,
-                          OpenShopDecoder decoder) {
-  Schedule schedule;
+const Schedule& decode_open_shop(const OpenShopInstance& inst,
+                                 std::span<const int> job_sequence,
+                                 OpenShopDecoder decoder,
+                                 OpenShopScratch& scratch) {
+  Schedule& schedule = scratch.schedule;
+  schedule.ops.clear();
   schedule.ops.reserve(job_sequence.size());
-  std::vector<std::vector<bool>> done(
-      static_cast<std::size_t>(inst.jobs),
-      std::vector<bool>(static_cast<std::size_t>(inst.machines), false));
-  std::vector<int> next_index(static_cast<std::size_t>(inst.jobs), 0);
-  std::vector<Time> job_free(static_cast<std::size_t>(inst.jobs));
+  // done is a flat jobs × machines bitmap (row-major).
+  std::vector<unsigned char>& done = scratch.done;
+  done.assign(static_cast<std::size_t>(inst.jobs) *
+                  static_cast<std::size_t>(inst.machines),
+              0);
+  std::vector<int>& next_index = scratch.next_index;
+  next_index.assign(static_cast<std::size_t>(inst.jobs), 0);
+  std::vector<Time>& job_free = scratch.job_free;
+  job_free.resize(static_cast<std::size_t>(inst.jobs));
   for (int j = 0; j < inst.jobs; ++j) {
     job_free[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
   }
-  std::vector<Time> machine_free(static_cast<std::size_t>(inst.machines), 0);
+  std::vector<Time>& machine_free = scratch.machine_free;
+  machine_free.assign(static_cast<std::size_t>(inst.machines), 0);
 
   for (int job : job_sequence) {
+    const std::size_t row =
+        static_cast<std::size_t>(job) * static_cast<std::size_t>(inst.machines);
     // Candidate machines = unscheduled cells of this job's row.
     int chosen = -1;
     for (int m = 0; m < inst.machines; ++m) {
-      if (done[static_cast<std::size_t>(job)][static_cast<std::size_t>(m)]) {
+      if (done[row + static_cast<std::size_t>(m)] != 0) {
         continue;
       }
       if (chosen < 0) {
@@ -83,11 +92,18 @@ Schedule decode_open_shop(const OpenShopInstance& inst,
     schedule.ops.push_back(
         ScheduledOp{job, next_index[static_cast<std::size_t>(job)]++, chosen,
                     start, end});
-    done[static_cast<std::size_t>(job)][static_cast<std::size_t>(chosen)] = true;
+    done[row + static_cast<std::size_t>(chosen)] = 1;
     job_free[static_cast<std::size_t>(job)] = end;
     machine_free[static_cast<std::size_t>(chosen)] = end;
   }
   return schedule;
+}
+
+Schedule decode_open_shop(const OpenShopInstance& inst,
+                          std::span<const int> job_sequence,
+                          OpenShopDecoder decoder) {
+  OpenShopScratch scratch;
+  return decode_open_shop(inst, job_sequence, decoder, scratch);
 }
 
 Schedule open_shop_lpt_schedule(const OpenShopInstance& inst) {
@@ -131,9 +147,16 @@ Schedule open_shop_lpt_schedule(const OpenShopInstance& inst) {
 }
 
 double open_shop_objective(const OpenShopInstance& inst,
+                           const Schedule& schedule, Criterion criterion,
+                           OpenShopScratch& scratch) {
+  schedule.job_completion_times(inst.jobs, scratch.completion);
+  return evaluate_criterion(criterion, scratch.completion, inst.attrs);
+}
+
+double open_shop_objective(const OpenShopInstance& inst,
                            const Schedule& schedule, Criterion criterion) {
-  const auto completion = schedule.job_completion_times(inst.jobs);
-  return evaluate_criterion(criterion, completion, inst.attrs);
+  OpenShopScratch scratch;
+  return open_shop_objective(inst, schedule, criterion, scratch);
 }
 
 std::vector<int> random_job_repetition_sequence(const OpenShopInstance& inst,

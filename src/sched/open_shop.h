@@ -31,6 +31,16 @@ struct OpenShopInstance {
 
 enum class OpenShopDecoder { kLptTask, kLptMachine };
 
+/// Reusable evaluation scratch for the open-shop decoder (one per worker).
+struct OpenShopScratch {
+  Schedule schedule;
+  std::vector<unsigned char> done;  ///< jobs × machines, row-major
+  std::vector<int> next_index;
+  std::vector<Time> job_free;
+  std::vector<Time> machine_free;
+  std::vector<Time> completion;
+};
+
 /// Decodes a permutation-with-repetition of job indices (job j appears
 /// `machines` times). For each gene the decoder chooses which of the job's
 /// unscheduled machines to run next, per the chosen greedy heuristic, and
@@ -39,6 +49,12 @@ Schedule decode_open_shop(const OpenShopInstance& inst,
                           std::span<const int> job_sequence,
                           OpenShopDecoder decoder);
 
+/// Allocation-free variant: the returned reference points into `scratch`.
+const Schedule& decode_open_shop(const OpenShopInstance& inst,
+                                 std::span<const int> job_sequence,
+                                 OpenShopDecoder decoder,
+                                 OpenShopScratch& scratch);
+
 /// Pure greedy LPT list schedule (all ops sorted by duration descending):
 /// the constructive reference heuristic.
 Schedule open_shop_lpt_schedule(const OpenShopInstance& inst);
@@ -46,6 +62,11 @@ Schedule open_shop_lpt_schedule(const OpenShopInstance& inst);
 /// Criterion value of a decoded schedule.
 double open_shop_objective(const OpenShopInstance& inst,
                            const Schedule& schedule, Criterion criterion);
+
+/// Allocation-free variant (reuses scratch.completion).
+double open_shop_objective(const OpenShopInstance& inst,
+                           const Schedule& schedule, Criterion criterion,
+                           OpenShopScratch& scratch);
 
 /// Random permutation-with-repetition chromosome.
 std::vector<int> random_job_repetition_sequence(const OpenShopInstance& inst,

@@ -13,12 +13,17 @@ Time Schedule::makespan() const {
 }
 
 std::vector<Time> Schedule::job_completion_times(int jobs) const {
-  std::vector<Time> done(static_cast<std::size_t>(jobs), 0);
+  std::vector<Time> done;
+  job_completion_times(jobs, done);
+  return done;
+}
+
+void Schedule::job_completion_times(int jobs, std::vector<Time>& out) const {
+  out.assign(static_cast<std::size_t>(jobs), 0);
   for (const auto& op : ops) {
-    auto& slot = done.at(static_cast<std::size_t>(op.job));
+    auto& slot = out.at(static_cast<std::size_t>(op.job));
     slot = std::max(slot, op.end);
   }
-  return done;
 }
 
 namespace {

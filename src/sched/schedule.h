@@ -41,6 +41,9 @@ struct Schedule {
   /// Completion time per job (max end over the job's ops). `jobs` is the
   /// total job count (jobs with no ops complete at 0).
   std::vector<Time> job_completion_times(int jobs) const;
+
+  /// Allocation-free variant: fills `out` (resized to `jobs`).
+  void job_completion_times(int jobs, std::vector<Time>& out) const;
 };
 
 /// What a feasible schedule must satisfy; filled by each instance type.

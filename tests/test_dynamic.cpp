@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/ga/problems.h"
 #include "src/ga/simple_ga.h"
 #include "src/par/rng.h"
@@ -137,7 +139,13 @@ TEST(DynamicSuffixProblem, GenomesArePermutationsOfRemaining) {
   for (int j = 0; j < 6; ++j) {
     for (int k = 0; k < 6; ++k) remaining.push_back(j);
   }
-  remaining.erase(remaining.begin(), remaining.begin() + 3);
+  // The prefix dispatched the first op of jobs 0, 1 and 2 — drop one
+  // occurrence of each so prefix + suffix stays a valid op multiset
+  // (erasing the first three genes dropped three job-0 ops instead,
+  // which made the decoder read past job 1's and 2's routes).
+  for (int j : prefix) {
+    remaining.erase(std::find(remaining.begin(), remaining.end(), j));
+  }
   ga::DynamicSuffixProblem problem(&inst, prefix, remaining, {});
   par::Rng rng(4);
   for (int t = 0; t < 10; ++t) {

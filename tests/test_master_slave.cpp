@@ -76,10 +76,12 @@ TEST(MasterSlave, UsesDefaultPoolWhenNull) {
 TEST(MasterSlave, OpenMpBackendMatchesThreadPoolTrace) {
   // Backend choice must not change the algorithm — same invariance as the
   // serial/parallel equality, across runtimes.
-  MasterSlaveGa pool_engine(problem(), config(21), nullptr,
-                            MasterSlaveGa::Backend::kThreadPool);
-  MasterSlaveGa omp_engine(problem(), config(21), nullptr,
-                           MasterSlaveGa::Backend::kOpenMp);
+  GaConfig pool_cfg = config(21);
+  pool_cfg.eval_backend = EvalBackend::kThreadPool;
+  GaConfig omp_cfg = config(21);
+  omp_cfg.eval_backend = EvalBackend::kOpenMp;
+  MasterSlaveGa pool_engine(problem(), pool_cfg);
+  MasterSlaveGa omp_engine(problem(), omp_cfg);
   const GaResult a = pool_engine.run();
   const GaResult b = omp_engine.run();
   EXPECT_EQ(a.history, b.history);

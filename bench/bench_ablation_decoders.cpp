@@ -4,7 +4,7 @@
 // dispatching-rule encoding ([12]). Same GA budget, three decoders.
 #include "bench/bench_util.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -22,8 +22,8 @@ int main() {
       cfg.population = 60;
       cfg.termination.max_generations = 60 * bench::scale();
       cfg.seed = 27;
-      ga::SimpleGa engine(std::move(problem), cfg);
-      return engine.run().best_objective;
+      const auto engine = ga::make_engine(std::move(problem), cfg);
+      return engine->run().best_objective;
     };
     const double semi = run(std::make_shared<ga::JobShopProblem>(
         classic->instance, ga::JobShopProblem::Decoder::kOperationBased));

@@ -9,10 +9,9 @@
 #include <set>
 
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -25,9 +24,11 @@ int main() {
       sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
   const int generations = 60 * bench::scale();
 
-  auto distinct = [](const ga::SimpleGa& engine) {
+  auto distinct = [](const ga::Engine& engine) {
     std::set<std::vector<int>> seen;
-    for (const auto& ind : engine.population()) seen.insert(ind.seq);
+    for (int i = 0; i < engine.population_size(); ++i) {
+      seen.insert(engine.individual(i).seq);
+    }
     return seen.size();
   };
 
@@ -43,13 +44,13 @@ int main() {
     cfg.ops.selection = ga::make_selection("roulette");
     cfg.ops.mutation_rate = mutation_rate;
     cfg.niche_radius = niche_radius;
-    ga::SimpleGa engine(problem, cfg);
-    engine.init();
+    const auto engine = ga::make_engine(problem, cfg);
+    engine->init();
     const double seconds = bench::time_seconds([&] {
-      for (int g = 0; g < generations; ++g) engine.step();
+      for (int g = 0; g < generations; ++g) engine->step();
     });
-    table.add_row({label, stats::Table::num(engine.best_objective(), 0),
-                   std::to_string(distinct(engine)),
+    table.add_row({label, stats::Table::num(engine->best_objective(), 0),
+                   std::to_string(distinct(*engine)),
                    stats::Table::num(seconds, 3)});
   };
 
@@ -66,11 +67,11 @@ int main() {
     cfg.base.seed = 41;
     cfg.base.ops.selection = ga::make_selection("roulette");
     cfg.migration.interval = 10;
-    ga::IslandGa engine(problem, cfg);
-    ga::IslandGaResult r;
-    const double seconds = bench::time_seconds([&] { r = engine.run(); });
+    const auto engine = ga::make_engine(problem, cfg);
+    ga::RunResult r;
+    const double seconds = bench::time_seconds([&] { r = engine->run(); });
     table.add_row({"island model (4 x 15)",
-                   stats::Table::num(r.overall.best_objective, 0), "-",
+                   stats::Table::num(r.best_objective, 0), "-",
                    stats::Table::num(seconds, 3)});
   }
   table.print();

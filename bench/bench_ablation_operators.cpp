@@ -6,7 +6,7 @@
 #include "bench/bench_util.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/taillard.h"
 
 int main() {
@@ -33,8 +33,8 @@ int main() {
         cfg.ops.selection = ga::make_selection("tournament2");
         cfg.ops.crossover = ga::make_crossover(cx);
         cfg.ops.mutation = ga::make_mutation(mut);
-        ga::SimpleGa engine(problem, cfg);
-        finals.push_back(engine.run().best_objective);
+        const auto engine = ga::make_engine(problem, cfg);
+        finals.push_back(engine->run().best_objective);
       }
       table.add_row({cx, mut,
                      stats::Table::num(stats::mean_rpd(finals, reference), 2),

@@ -7,7 +7,7 @@
 // budget vs worker count on the thread pool, plus the SIMT model's
 // prediction for a GPU-sized lane count.
 #include "bench/bench_util.h"
-#include "src/ga/master_slave_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/par/simt_model.h"
 #include "src/sched/classics.h"
@@ -33,8 +33,9 @@ int main() {
   long long base = 0;
   for (int workers : {1, 2, 4, 8, 16, 24}) {
     par::ThreadPool pool(workers);
-    ga::MasterSlaveGa engine(problem, cfg, &pool);
-    const ga::GaResult result = engine.run_time_budget(budget);
+    const auto engine = ga::make_master_slave_engine(problem, cfg, &pool);
+    const ga::GaResult result =
+        engine->run(ga::StopCondition::time_budget(budget));
     if (workers == 1) base = result.evaluations;
     table.add_row({std::to_string(workers), std::to_string(result.evaluations),
                    stats::Table::num(static_cast<double>(result.evaluations) /

@@ -5,9 +5,8 @@
 // the job-shop instance grows. Small instances are overhead-bound (low
 // speedup), large instances approach the worker count — the paper's shape.
 #include "bench/bench_util.h"
-#include "src/ga/master_slave_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/generators.h"
 
 int main() {
@@ -38,12 +37,12 @@ int main() {
     double serial_s = 0.0;
     double parallel_s = 0.0;
     {
-      ga::SimpleGa serial(problem, cfg);
-      serial_s = bench::time_seconds([&] { serial.run(); });
+      const auto serial = ga::make_engine(problem, cfg);
+      serial_s = bench::time_seconds([&] { serial->run(); });
     }
     {
-      ga::MasterSlaveGa parallel(problem, cfg, &pool);
-      parallel_s = bench::time_seconds([&] { parallel.run(); });
+      const auto parallel = ga::make_master_slave_engine(problem, cfg, &pool);
+      parallel_s = bench::time_seconds([&] { parallel->run(); });
     }
     const double speedup = serial_s / parallel_s;
     table.add_row({std::to_string(c.jobs) + "x" + std::to_string(c.machines),

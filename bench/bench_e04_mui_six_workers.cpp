@@ -5,10 +5,9 @@
 // Reproduction: the same GA (GT active decoding, elitist-roulette
 // selection) serial vs 6 workers; report the time ratio.
 #include "bench/bench_util.h"
-#include "src/ga/master_slave_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -30,14 +29,14 @@ int main() {
 
   double serial_s;
   {
-    ga::SimpleGa serial(problem, cfg);
-    serial_s = bench::time_seconds([&] { serial.run(); });
+    const auto serial = ga::make_engine(problem, cfg);
+    serial_s = bench::time_seconds([&] { serial->run(); });
   }
   stats::Table table({"configuration", "seconds", "time saving"});
   table.add_row({"sequential", stats::Table::num(serial_s, 3), "1.00x"});
   par::ThreadPool pool(6);
-  ga::MasterSlaveGa parallel(problem, cfg, &pool);
-  const double parallel_s = bench::time_seconds([&] { parallel.run(); });
+  const auto parallel = ga::make_master_slave_engine(problem, cfg, &pool);
+  const double parallel_s = bench::time_seconds([&] { parallel->run(); });
   table.add_row({"master-slave, 6 workers", stats::Table::num(parallel_s, 3),
                  stats::Table::num(serial_s / parallel_s, 2) + "x"});
   table.print();

@@ -7,10 +7,9 @@
 // Reproduction: the same operator set on ta001; serial vs batched parallel
 // evaluation across worker counts, and solution quality vs NEH.
 #include "bench/bench_util.h"
-#include "src/ga/master_slave_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/heuristics.h"
 #include "src/sched/taillard.h"
 
@@ -36,9 +35,9 @@ int main() {
   double serial_s = 0.0;
   double best = 0.0;
   {
-    ga::SimpleGa serial(problem, cfg);
+    const auto serial = ga::make_engine(problem, cfg);
     ga::GaResult r;
-    serial_s = bench::time_seconds([&] { r = serial.run(); });
+    serial_s = bench::time_seconds([&] { r = serial->run(); });
     best = r.best_objective;
   }
 
@@ -47,9 +46,9 @@ int main() {
                  stats::Table::num(best, 0)});
   for (int workers : {2, 4, 8, 16}) {
     par::ThreadPool pool(workers);
-    ga::MasterSlaveGa parallel(problem, cfg, &pool);
+    const auto parallel = ga::make_master_slave_engine(problem, cfg, &pool);
     ga::GaResult r;
-    const double s = bench::time_seconds([&] { r = parallel.run(); });
+    const double s = bench::time_seconds([&] { r = parallel->run(); });
     table.add_row({std::to_string(workers), stats::Table::num(s, 3),
                    stats::Table::num(serial_s / s, 2) + "x",
                    stats::Table::num(r.best_objective, 0)});

@@ -7,8 +7,7 @@
 // flow shop improves mean agreement; (2) throughput — thread-parallel
 // block evaluation scaling plus the SIMT model's CUDA-class prediction.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
-#include "src/ga/master_slave_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/par/simt_model.h"
 #include "src/sched/taillard.h"
@@ -37,15 +36,15 @@ int main() {
   cfg.base.ops.selection = std::make_shared<ga::TournamentSelection>(2);
   cfg.base.seed = 24;
 
-  ga::IslandGa engine(problem, cfg);
-  const auto result = engine.run();
+  const auto engine = ga::make_engine(problem, cfg);
+  const auto result = engine->run();
   stats::Table quality({"metric", "initial", "final"});
   quality.add_row({"1 - mean agreement (minimized)",
-                   stats::Table::num(result.overall.history.front(), 4),
-                   stats::Table::num(result.overall.best_objective, 4)});
+                   stats::Table::num(result.history.front(), 4),
+                   stats::Table::num(result.best_objective, 4)});
   quality.add_row({"mean agreement index",
-                   stats::Table::num(1.0 - result.overall.history.front(), 4),
-                   stats::Table::num(1.0 - result.overall.best_objective, 4)});
+                   stats::Table::num(1.0 - result.history.front(), 4),
+                   stats::Table::num(1.0 - result.best_objective, 4)});
   quality.print();
 
   // Throughput: parallel fitness evaluation scaling.
@@ -56,8 +55,8 @@ int main() {
   double base_s = 0.0;
   for (int workers : {1, 4, 8, 16}) {
     par::ThreadPool pool(workers);
-    ga::MasterSlaveGa engine2(problem, ms, &pool);
-    const double s = bench::time_seconds([&] { engine2.run(); });
+    const auto engine2 = ga::make_master_slave_engine(problem, ms, &pool);
+    const double s = bench::time_seconds([&] { engine2->run(); });
     if (workers == 1) base_s = s;
     scaling.add_row({std::to_string(workers), stats::Table::num(s, 3),
                      stats::Table::num(base_s / s, 2) + "x"});

@@ -8,7 +8,7 @@
 // paper's 60-120x window because the whole generation (not only fitness)
 // runs on the device.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/par/simt_model.h"
 #include "src/sched/taillard.h"
@@ -35,13 +35,13 @@ int main() {
   double base_s = 0.0;
   for (int threads : {1, 2, 4, 8, 16, 24}) {
     par::ThreadPool pool(threads);
-    ga::IslandGa engine(problem, cfg, &pool);
-    ga::IslandGaResult r;
-    const double s = bench::time_seconds([&] { r = engine.run(); });
+    const auto engine = ga::make_engine(problem, cfg, &pool);
+    ga::RunResult r;
+    const double s = bench::time_seconds([&] { r = engine->run(); });
     if (threads == 1) base_s = s;
     table.add_row({std::to_string(threads), stats::Table::num(s, 3),
                    stats::Table::num(base_s / s, 2) + "x",
-                   stats::Table::num(r.overall.best_objective, 0)});
+                   stats::Table::num(r.best_objective, 0)});
   }
   table.print();
 

@@ -9,10 +9,9 @@
 // substitutes for ABZ/ORB (DESIGN.md §2), at equal total evaluation
 // budget; best and average over replications.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 #include "src/sched/generators.h"
 
@@ -57,8 +56,8 @@ int main() {
         cfg.ops.crossover = ga::make_crossover("jox");
         cfg.ops.mutation = ga::make_mutation("swap");
         cfg.ops.mutation_rate = 0.1;
-        ga::SimpleGa engine(problem, cfg);
-        return engine.run().best_objective;
+        const auto engine = ga::make_engine(problem, cfg);
+        return engine->run().best_objective;
       }
       ga::IslandGaConfig cfg;
       cfg.islands = islands;
@@ -79,8 +78,8 @@ int main() {
         ops.mutation_rate = 0.1;
         cfg.per_island_ops.push_back(ops);
       }
-      ga::IslandGa engine(problem, cfg);
-      return engine.run().overall.best_objective;
+      const auto engine = ga::make_engine(problem, cfg);
+      return engine->run().best_objective;
     };
 
     auto replicate = [&](int islands) {

@@ -8,10 +8,9 @@
 // and ft20; report final makespan and the generation at which each run
 // first reaches the serial GA's final level (convergence speed).
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -37,8 +36,8 @@ int main() {
     base.ops.mutation = ga::make_mutation("swap");
     base.ops.mutation_rate = 0.1;
 
-    ga::SimpleGa serial(problem, base);
-    const ga::GaResult rs = serial.run();
+    const auto serial = ga::make_engine(problem, base);
+    const ga::GaResult rs = serial->run();
 
     ga::IslandGaConfig cube;
     cube.islands = 8;  // virtual cube: 3 neighbors each
@@ -46,8 +45,8 @@ int main() {
     cube.base.population = 12;
     cube.migration.topology = ga::Topology::kHypercube;
     cube.migration.interval = 5;
-    ga::IslandGa parallel(problem, cube);
-    const ga::IslandGaResult rc = parallel.run();
+    const auto parallel = ga::make_engine(problem, cube);
+    const ga::RunResult rc = parallel->run();
 
     auto first_reach = [](const std::vector<double>& history, double level) {
       for (std::size_t g = 0; g < history.size(); ++g) {
@@ -58,9 +57,9 @@ int main() {
 
     table.add_row(
         {classic->name, stats::Table::num(rs.best_objective, 0),
-         stats::Table::num(rc.overall.best_objective, 0),
+         stats::Table::num(rc.best_objective, 0),
          std::to_string(first_reach(rs.history, rs.best_objective)),
-         std::to_string(first_reach(rc.overall.history, rs.best_objective))});
+         std::to_string(first_reach(rc.history, rs.best_objective))});
   }
   table.print();
   std::printf("\nExpected shape ([27]): cube best <= serial best, and the "

@@ -10,8 +10,7 @@
 #include "bench/bench_util.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/quantum_ga.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/generators.h"
 #include "src/sched/stochastic.h"
 
@@ -45,8 +44,8 @@ int main() {
       cfg.ops.crossover = ga::make_crossover("one-point");
       cfg.ops.mutation = ga::make_mutation("swap");
       cfg.ops.mutation_rate = 0.1;
-      ga::SimpleGa engine(problem, cfg);
-      finals.push_back(engine.run().best_objective);
+      const auto engine = ga::make_engine(problem, cfg);
+      finals.push_back(engine->run().best_objective);
     }
     table.add_row({"plain GA", stats::Table::num(stats::mean(finals), 1),
                    stats::Table::num(stats::min_of(finals), 1)});
@@ -62,8 +61,8 @@ int main() {
       cfg.generations = generations;
       cfg.migration_interval = 5;  // frequent penetration pays off here
       cfg.seed = 200 + 31 * rep + islands;
-      ga::QuantumGa engine(problem, cfg);
-      finals.push_back(engine.run().overall.best_objective);
+      const auto engine = ga::make_engine(problem, cfg);
+      finals.push_back(engine->run().best_objective);
     }
     table.add_row({islands == 1 ? "quantum GA (1 island)"
                                 : "parallel quantum GA (4 islands)",

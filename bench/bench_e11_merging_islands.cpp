@@ -7,10 +7,9 @@
 // Reproduction: merging islands vs fixed islands vs single GA at equal
 // budget on ft10; report bests and surviving island count.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -45,27 +44,27 @@ int main() {
     cfg.merge.enabled = true;
     cfg.merge.hamming_threshold = 40;
     cfg.merge.fraction = 0.5;
-    ga::IslandGa engine(problem, cfg);
-    const auto r = engine.run();
+    const auto engine = ga::make_engine(problem, cfg);
+    const auto r = engine->run();
     table.add_row({"merging islands ([29])",
-                   stats::Table::num(r.overall.best_objective, 0),
-                   std::to_string(r.surviving_islands),
-                   std::to_string(r.overall.evaluations)});
+                   stats::Table::num(r.best_objective, 0),
+                   std::to_string(r.islands->surviving),
+                   std::to_string(r.evaluations)});
   }
   {
     ga::IslandGaConfig cfg = base_config();
-    ga::IslandGa engine(problem, cfg);
-    const auto r = engine.run();
+    const auto engine = ga::make_engine(problem, cfg);
+    const auto r = engine->run();
     table.add_row({"fixed 6 islands",
-                   stats::Table::num(r.overall.best_objective, 0),
-                   std::to_string(r.surviving_islands),
-                   std::to_string(r.overall.evaluations)});
+                   stats::Table::num(r.best_objective, 0),
+                   std::to_string(r.islands->surviving),
+                   std::to_string(r.evaluations)});
   }
   {
     ga::GaConfig cfg = base_config().base;
     cfg.population = 96;
-    ga::SimpleGa engine(problem, cfg);
-    const auto r = engine.run();
+    const auto engine = ga::make_engine(problem, cfg);
+    const auto r = engine->run();
     table.add_row({"single GA (same total pop)",
                    stats::Table::num(r.best_objective, 0), "1",
                    std::to_string(r.evaluations)});

@@ -10,10 +10,9 @@
 // report mean RPD to best-known and its std dev, plus the sequential GA
 // row the improvements are measured against.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/taillard.h"
 
 int main() {
@@ -50,8 +49,8 @@ int main() {
           cfg.per_island_ops.push_back(ops);
         }
       }
-      ga::IslandGa engine(problem, cfg);
-      finals.push_back(engine.run().overall.best_objective);
+      const auto engine = ga::make_engine(problem, cfg);
+      finals.push_back(engine->run().best_objective);
     }
     return finals;
   };
@@ -63,8 +62,8 @@ int main() {
     cfg.population = 96;
     cfg.termination.max_generations = generations;
     cfg.seed = 3000 + 7 * rep;
-    ga::SimpleGa engine(problem, cfg);
-    serial_finals.push_back(engine.run().best_objective);
+    const auto engine = ga::make_engine(problem, cfg);
+    serial_finals.push_back(engine->run().best_objective);
   }
 
   stats::Table table({"starts", "operators", "islands", "mean RPD (%)",

@@ -5,9 +5,8 @@
 // Reproduction: sum(wj Cj) flow shop under 1, 2, 4, 8, 16 islands at equal
 // total budget; quality per island count plus parallel wall-clock.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/generators.h"
 #include "src/sched/taillard.h"
 
@@ -36,9 +35,9 @@ int main() {
       cfg.population = total_pop;
       cfg.termination.max_generations = generations;
       cfg.seed = 31;
-      ga::SimpleGa engine(problem, cfg);
+      const auto engine = ga::make_engine(problem, cfg);
       ga::GaResult r;
-      seconds = bench::time_seconds([&] { r = engine.run(); });
+      seconds = bench::time_seconds([&] { r = engine->run(); });
       best = r.best_objective;
     } else {
       ga::IslandGaConfig cfg;
@@ -47,10 +46,10 @@ int main() {
       cfg.base.termination.max_generations = generations;
       cfg.base.seed = 31;
       cfg.migration.interval = 8;
-      ga::IslandGa engine(problem, cfg);
-      ga::IslandGaResult r;
-      seconds = bench::time_seconds([&] { r = engine.run(); });
-      best = r.overall.best_objective;
+      const auto engine = ga::make_engine(problem, cfg);
+      ga::RunResult r;
+      seconds = bench::time_seconds([&] { r = engine->run(); });
+      best = r.best_objective;
     }
     table.add_row({std::to_string(islands), stats::Table::num(best, 0),
                    stats::Table::num(seconds, 3)});

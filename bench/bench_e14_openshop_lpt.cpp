@@ -9,10 +9,9 @@
 // all-to-all island GA at equal budget, showing the near-tie the paper
 // reports.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/generators.h"
 #include "src/sched/open_shop.h"
 
@@ -42,12 +41,12 @@ int main() {
         cfg.ops.mutation = ga::make_mutation(mutation);
         cfg.ops.mutation_rate = 0.4;
         if (variable) cfg.ops.mutation_rate_final = 0.05;
-        ga::SimpleGa engine(problem, cfg);
+        const auto engine = ga::make_engine(problem, cfg);
         matrix.add_row(
             {decoder == sched::OpenShopDecoder::kLptTask ? "LPT-Task"
                                                          : "LPT-Machine",
              mutation, variable ? "variable" : "constant",
-             stats::Table::num(engine.run().best_objective, 0)});
+             stats::Table::num(engine->run().best_objective, 0)});
       }
     }
   }
@@ -63,8 +62,8 @@ int main() {
     cfg.population = 80;
     cfg.termination.max_generations = generations;
     cfg.seed = 500 + 13 * rep;
-    ga::SimpleGa serial(problem, cfg);
-    serial_finals.push_back(serial.run().best_objective);
+    const auto serial = ga::make_engine(problem, cfg);
+    serial_finals.push_back(serial->run().best_objective);
 
     ga::IslandGaConfig icfg;
     icfg.islands = 4;
@@ -73,8 +72,8 @@ int main() {
     icfg.migration.topology = ga::Topology::kFullyConnected;  // all-to-all
     icfg.migration.policy = ga::MigrationPolicy::kBestReplaceRandom;
     icfg.migration.interval = 5;
-    ga::IslandGa island(problem, icfg);
-    island_finals.push_back(island.run().overall.best_objective);
+    const auto island = ga::make_engine(problem, icfg);
+    island_finals.push_back(island->run().best_objective);
   }
   stats::Table verdict({"configuration", "mean best Cmax", "min best Cmax"});
   verdict.add_row({"serial GA", stats::Table::num(stats::mean(serial_finals), 1),

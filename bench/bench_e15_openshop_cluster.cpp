@@ -8,7 +8,7 @@
 // DESIGN.md §2) on 1..5 ranks at fixed per-rank budget; wall-clock for the
 // same TOTAL work (5 islands' worth) versus rank count.
 #include "bench/bench_util.h"
-#include "src/ga/island_cluster.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/sched/generators.h"
 #include "src/sched/open_shop.h"
@@ -40,12 +40,12 @@ int main() {
     cfg.base.seed = 33;
     cfg.neighbor_interval = 5;    // GN
     cfg.broadcast_interval = 25;  // LN >> GN
-    ga::ClusterIslandResult r;
-    const double s =
-        bench::time_seconds([&] { r = run_cluster_island_ga(problem, cfg); });
+    ga::RunResult r;
+    const auto engine = ga::make_engine(problem, cfg);
+    const double s = bench::time_seconds([&] { r = engine->run(); });
     if (ranks == 1) base_s = s;
     table.add_row({std::to_string(ranks),
-                   stats::Table::num(r.overall.best_objective, 0),
+                   stats::Table::num(r.best_objective, 0),
                    stats::Table::num(s, 3),
                    stats::Table::num(base_s / s, 2) + "x"});
   }

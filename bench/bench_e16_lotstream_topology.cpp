@@ -9,10 +9,9 @@
 // Reproduction: the same sweeps on a generated lot-streaming instance,
 // replicated over seeds.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/generators.h"
 
 int main() {
@@ -43,8 +42,8 @@ int main() {
     cfg.migration.topology = topology;
     cfg.migration.policy = policy;
     cfg.migration.interval = 5;
-    ga::IslandGa engine(problem, cfg);
-    return engine.run().overall.best_objective;
+    const auto engine = ga::make_engine(problem, cfg);
+    return engine->run().best_objective;
   };
 
   // (a) serial vs island.
@@ -57,8 +56,8 @@ int main() {
       cfg.termination.max_generations = generations;
       cfg.seed = 9000 + 11 * rep;
       cfg.ops.selection = ga::make_selection("tournament3");
-      ga::SimpleGa engine(problem, cfg);
-      serial.push_back(engine.run().best_objective);
+      const auto engine = ga::make_engine(problem, cfg);
+      serial.push_back(engine->run().best_objective);
       island.push_back(run_island(ga::Topology::kFullyConnected,
                                   ga::MigrationPolicy::kBestReplaceRandom,
                                   9000 + 11 * rep));

@@ -8,9 +8,8 @@
 // Reproduction: medium and large generated FJSP instances; single GA vs
 // random-topology island GA at equal wall budget per size.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/generators.h"
 
 int main() {
@@ -51,8 +50,8 @@ int main() {
     base.ops.selection = std::make_shared<ga::RouletteSelection>();
     base.ops.mutation_rate = 0.1;
 
-    ga::SimpleGa single(problem, base);
-    const double single_best = single.run().best_objective;
+    const auto single = ga::make_engine(problem, base);
+    const double single_best = single->run().best_objective;
 
     ga::IslandGaConfig icfg;
     icfg.islands = 6;
@@ -60,8 +59,8 @@ int main() {
     icfg.base.population = 16;
     icfg.migration.topology = ga::Topology::kRandom;  // [36]'s routes
     icfg.migration.interval = 5;
-    ga::IslandGa island(problem, icfg);
-    const double island_best = island.run().overall.best_objective;
+    const auto island = ga::make_engine(problem, icfg);
+    const double island_best = island->run().best_objective;
 
     table.add_row({size.label, stats::Table::num(single_best, 0),
                    stats::Table::num(island_best, 0),

@@ -8,7 +8,7 @@
 //
 // Reproduction: the three sweeps on a generated HFS instance, replicated.
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/sched/generators.h"
 
@@ -43,8 +43,8 @@ int main() {
     cfg.migration.topology = topo;
     cfg.migration.policy = policy;
     cfg.migration.interval = interval;
-    ga::IslandGa engine(problem, cfg);
-    return engine.run().overall.best_objective;
+    const auto engine = ga::make_engine(problem, cfg);
+    return engine->run().best_objective;
   };
   auto mean_over_reps = [&](auto&&... args) {
     std::vector<double> finals;

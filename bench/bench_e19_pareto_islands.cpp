@@ -10,7 +10,7 @@
 #include <algorithm>
 
 #include "bench/bench_util.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/local_search.h"
 #include "src/ga/problems.h"
 #include "src/sched/generators.h"
@@ -60,15 +60,15 @@ int main() {
       problems.push_back(std::make_shared<ga::HybridFlowShopProblem>(inst, obj));
       cfg.per_island_problems.push_back(problems.back());
     }
-    ga::IslandGa engine(cfg.per_island_problems.front(), cfg);
-    const ga::IslandGaResult result = engine.run();
+    const auto engine = ga::make_engine(cfg.per_island_problems.front(), cfg);
+    const ga::RunResult result = engine->run();
 
     // Collect (Cmax, Tmax) of every island's best, optionally refined by
     // local search + Redirect restarts.
     std::vector<std::pair<double, double>> points;
     par::Rng rng(97);
     for (int i = 0; i < islands; ++i) {
-      ga::Genome g = result.island_best_genome[static_cast<std::size_t>(i)];
+      ga::Genome g = result.islands->best_genome[static_cast<std::size_t>(i)];
       if (memetic) {
         ga::local_search_swap(*problems[static_cast<std::size_t>(i)], g,
                               150 * bench::scale(), rng);

@@ -10,9 +10,8 @@
 #include <set>
 
 #include "bench/bench_util.h"
-#include "src/ga/cellular_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -35,8 +34,8 @@ int main() {
   double base_s = 0.0;
   for (int workers : {1, 2, 4, 8, 16}) {
     par::ThreadPool pool(workers);
-    ga::CellularGa engine(problem, cfg, &pool);
-    const double s = bench::time_seconds([&] { engine.run(); });
+    const auto engine = ga::make_engine(problem, cfg, &pool);
+    const double s = bench::time_seconds([&] { engine->run(); });
     if (workers == 1) base_s = s;
     table.add_row({std::to_string(workers), stats::Table::num(s, 3),
                    stats::Table::num(base_s / s, 2) + "x",
@@ -47,31 +46,33 @@ int main() {
               "< 1 (the Transputer's communication penalty).\n\n");
 
   // Diversity comparison at the same budget.
-  ga::CellularGa cellular(problem, cfg);
-  cellular.init();
-  for (int g = 0; g < cfg.termination.max_generations; ++g) cellular.step();
+  const auto cellular = ga::make_engine(problem, cfg);
+  cellular->init();
+  for (int g = 0; g < cfg.termination.max_generations; ++g) cellular->step();
   std::set<std::vector<int>> cellular_distinct;
-  for (int c = 0; c < cellular.cells(); ++c) {
-    cellular_distinct.insert(cellular.individual(c).seq);
+  for (int c = 0; c < cellular->population_size(); ++c) {
+    cellular_distinct.insert(cellular->individual(c).seq);
   }
 
   ga::GaConfig pan;
   pan.population = 256;
   pan.termination.max_generations = cfg.termination.max_generations;
   pan.seed = 20;
-  ga::SimpleGa panmictic(problem, pan);
-  panmictic.init();
-  for (int g = 0; g < pan.termination.max_generations; ++g) panmictic.step();
+  const auto panmictic = ga::make_engine(problem, pan);
+  panmictic->init();
+  for (int g = 0; g < pan.termination.max_generations; ++g) panmictic->step();
   std::set<std::vector<int>> pan_distinct;
-  for (const auto& ind : panmictic.population()) pan_distinct.insert(ind.seq);
+  for (int i = 0; i < panmictic->population_size(); ++i) {
+    pan_distinct.insert(panmictic->individual(i).seq);
+  }
 
   stats::Table diversity({"model", "population", "distinct individuals",
                           "best Cmax"});
   diversity.add_row({"cellular (16x16 torus)", "256",
                      std::to_string(cellular_distinct.size()),
-                     stats::Table::num(cellular.best_objective(), 0)});
+                     stats::Table::num(cellular->best_objective(), 0)});
   diversity.add_row({"panmictic", "256", std::to_string(pan_distinct.size()),
-                     stats::Table::num(panmictic.best_objective(), 0)});
+                     stats::Table::num(panmictic->best_objective(), 0)});
   diversity.print();
   std::printf("\nExpected ([20]): the neighborhood model keeps more "
               "distinct individuals (diversity) at similar quality — the "

@@ -9,11 +9,9 @@
 // Reproduction: all five configurations at equal total evaluation budget
 // on ft10 (quality), plus time-to-target speedups for the island rows.
 #include "bench/bench_util.h"
-#include "src/ga/hybrid_ga.h"
-#include "src/ga/island_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -43,9 +41,9 @@ int main() {
     cfg.termination.max_generations = generations;
     cfg.ops = thx_ops;
     cfg.seed = 21;
-    ga::SimpleGa engine(problem, cfg);
+    const auto engine = ga::make_engine(problem, cfg);
     ga::GaResult r;
-    single_seconds = bench::time_seconds([&] { r = engine.run(); });
+    single_seconds = bench::time_seconds([&] { r = engine->run(); });
     single_best = r.best_objective;
     table.add_row({"single population", stats::Table::num(r.best_objective, 0),
                    std::to_string(r.evaluations),
@@ -60,14 +58,14 @@ int main() {
     cfg.base.seed = 21;
     cfg.migration.topology = topo;
     cfg.migration.interval = 10;
-    ga::IslandGa engine(problem, cfg);
-    ga::IslandGaResult r;
-    const double seconds = bench::time_seconds([&] { r = engine.run(); });
-    table.add_row({label, stats::Table::num(r.overall.best_objective, 0),
-                   std::to_string(r.overall.evaluations),
+    const auto engine = ga::make_engine(problem, cfg);
+    ga::RunResult r;
+    const double seconds = bench::time_seconds([&] { r = engine->run(); });
+    table.add_row({label, stats::Table::num(r.best_objective, 0),
+                   std::to_string(r.evaluations),
                    stats::Table::num(seconds, 3),
                    stats::Table::num(single_seconds / seconds, 2) + "x"});
-    return r.overall.best_objective;
+    return r.best_objective;
   };
   island_run(4, ga::Topology::kRing, "island GA, ring, 4x60");
   island_run(12, ga::Topology::kRing, "island GA, ring, 12x20");
@@ -79,9 +77,9 @@ int main() {
     cfg.crossover = thx_ops.crossover;
     cfg.mutation = thx_ops.mutation;
     cfg.seed = 21;
-    ga::CellularGa engine(problem, cfg);
+    const auto engine = ga::make_engine(problem, cfg);
     ga::GaResult r;
-    const double seconds = bench::time_seconds([&] { r = engine.run(); });
+    const double seconds = bench::time_seconds([&] { r = engine->run(); });
     table.add_row({"torus fine-grained 16x15",
                    stats::Table::num(r.best_objective, 0),
                    std::to_string(r.evaluations),
@@ -98,9 +96,9 @@ int main() {
     cfg.migration_interval = 10;
     cfg.termination.max_generations = generations;
     cfg.seed = 21;
-    ga::IslandsOfCellularGa engine(problem, cfg);
+    const auto engine = ga::make_engine(problem, cfg);
     ga::GaResult r;
-    const double seconds = bench::time_seconds([&] { r = engine.run(); });
+    const double seconds = bench::time_seconds([&] { r = engine->run(); });
     table.add_row({"hybrid A: island of torus (4 x 8x8)",
                    stats::Table::num(r.best_objective, 0),
                    std::to_string(r.evaluations),
@@ -114,15 +112,15 @@ int main() {
     base.ops = thx_ops;
     base.seed = 21;
     ga::IslandGaConfig cfg = ga::make_torus_island_config(16, base, 5);
-    ga::IslandGa engine(problem, cfg);
-    ga::IslandGaResult r;
-    const double seconds = bench::time_seconds([&] { r = engine.run(); });
+    const auto engine = ga::make_engine(problem, cfg);
+    ga::RunResult r;
+    const double seconds = bench::time_seconds([&] { r = engine->run(); });
     table.add_row({"hybrid B: 16 islands on torus (fine-grained style)",
-                   stats::Table::num(r.overall.best_objective, 0),
-                   std::to_string(r.overall.evaluations),
+                   stats::Table::num(r.best_objective, 0),
+                   std::to_string(r.evaluations),
                    stats::Table::num(seconds, 3),
                    stats::Table::num(single_seconds / seconds, 2) + "x"});
-    return r.overall.best_objective;
+    return r.best_objective;
   }();
   table.print();
 

@@ -7,7 +7,7 @@
 #include "bench/bench_util.h"
 #include "src/ga/problems.h"
 #include "src/ga/registry.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/heuristics.h"
 #include "src/sched/taillard.h"
 
@@ -36,8 +36,8 @@ int main() {
     cfg.ops.selection = ga::make_selection(selection);
     cfg.ops.crossover = ga::make_crossover("ox");
     cfg.ops.mutation = ga::make_mutation("swap");
-    ga::SimpleGa engine(problem, cfg);
-    return engine.run().best_objective;
+    const auto engine = ga::make_engine(problem, cfg);
+    return engine->run().best_objective;
   };
 
   stats::Table table({"selection", "transform", "mean best Cmax",

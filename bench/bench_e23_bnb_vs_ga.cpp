@@ -4,7 +4,7 @@
 // them, and feeding the GA's result to the B&B as the initial incumbent
 // prunes the exact search — the cooperation the papers advocate.
 #include "bench/bench_util.h"
-#include "src/ga/master_slave_ga.h"
+#include "src/ga/solver.h"
 #include "src/ga/problems.h"
 #include "src/sched/branch_bound.h"
 #include "src/sched/classics.h"
@@ -43,8 +43,8 @@ int main() {
     cfg.population = 64;
     cfg.termination.max_generations = 30 * bench::scale();
     cfg.seed = 23;
-    ga::MasterSlaveGa engine(problem, cfg, &pool);
-    const ga::GaResult approx = engine.run();
+    const auto engine = ga::make_master_slave_engine(problem, cfg, &pool);
+    const ga::GaResult approx = engine->run();
 
     sched::BranchBoundConfig warm = cold;
     warm.initial_upper_bound =

@@ -6,7 +6,7 @@
 // power is bought with longer makespan, and vice versa).
 #include "bench/bench_util.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/energy.h"
 #include "src/sched/taillard.h"
 
@@ -35,8 +35,8 @@ int main() {
     cfg.population = 60;
     cfg.termination.max_generations = 40 * bench::scale();
     cfg.seed = 24;
-    ga::SimpleGa engine(problem, cfg);
-    const ga::GaResult result = engine.run();
+    const auto engine = ga::make_engine(problem, cfg);
+    const ga::GaResult result = engine->run();
 
     sched::EnergyAwareFlowShop reporter(inst, profiles, weights);
     const auto report = reporter.report(result.best.seq);

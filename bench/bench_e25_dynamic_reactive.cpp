@@ -6,7 +6,7 @@
 // operations — the predictive-reactive scheme.
 #include "bench/bench_util.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/classics.h"
 #include "src/sched/dynamic.h"
 
@@ -24,8 +24,8 @@ int main() {
   cfg.population = 60;
   cfg.termination.max_generations = 40 * bench::scale();
   cfg.seed = 25;
-  ga::SimpleGa predictive_engine(nominal, cfg);
-  const ga::GaResult predictive = predictive_engine.run();
+  const auto predictive_engine = ga::make_engine(nominal, cfg);
+  const ga::GaResult predictive = predictive_engine->run();
 
   stats::Table table({"scenario", "predictive Cmax", "right-shift Cmax",
                       "reactive Cmax", "reactive advantage (%)", "replans"});
@@ -45,8 +45,8 @@ int main() {
       rcfg.population = 30;
       rcfg.termination.max_generations = 20 * bench::scale();
       rcfg.seed = 77;
-      ga::SimpleGa engine(problem, rcfg);
-      const ga::GaResult r = engine.run();
+      const auto engine = ga::make_engine(problem, rcfg);
+      const ga::GaResult r = engine->run();
       // Keep the incumbent (right-shift) order unless the GA beats it, so
       // reacting can never hurt — the predictive-reactive guarantee.
       ga::Genome incumbent;

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verify + perf smoke for psga.
 #
-#   ./ci.sh            build, run the full ctest suite, then emit a
-#                      bench_micro_decoders JSON snapshot to BENCH_micro.json
-#   SKIP_BENCH=1 ./ci.sh   tests only
+#   ./ci.sh            build, run the full ctest suite, emit a fresh
+#                      bench_micro_decoders JSON snapshot, diff it against
+#                      the committed BENCH_micro.json (per-bench deltas),
+#                      then refresh the snapshot
+#   SKIP_BENCH=1 ./ci.sh        tests only
+#   SKIP_BENCH_DIFF=1 ./ci.sh   snapshot without the regression gate
+#   BENCH_TOLERANCE=0.25        decode-bench regression threshold (fraction)
 #
-# The JSON snapshot gives future PRs a perf trajectory: compare the
-# *_Scratch decoder timings against the committed baseline before and
-# after a change to the evaluation hot path.
+# The JSON snapshot gives future PRs a perf trajectory: the diff prints
+# the per-benchmark change vs the committed baseline and FAILS when any
+# decode bench regresses by more than BENCH_TOLERANCE (default 25%).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,11 +28,63 @@ if [[ "${SKIP_BENCH:-0}" != "1" && ! -x "$BUILD_DIR/bench_micro_decoders" ]]; th
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  FRESH=$(mktemp /tmp/psga_bench_micro.XXXXXX.json)
   "$BUILD_DIR"/bench_micro_decoders \
     --benchmark_min_time=0.05 \
     --benchmark_format=json \
-    --benchmark_out=BENCH_micro.json \
+    --benchmark_out="$FRESH" \
     --benchmark_out_format=json >/dev/null
+
+  if [[ "${SKIP_BENCH_DIFF:-0}" != "1" && -f BENCH_micro.json ]] \
+     && command -v python3 >/dev/null; then
+    BENCH_TOLERANCE=${BENCH_TOLERANCE:-0.25} \
+      python3 - BENCH_micro.json "$FRESH" <<'PYEOF'
+import json
+import os
+import sys
+
+tolerance = float(os.environ.get("BENCH_TOLERANCE", "0.25"))
+with open(sys.argv[1]) as f:
+    baseline = {b["name"]: b for b in json.load(f)["benchmarks"]}
+with open(sys.argv[2]) as f:
+    fresh = {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+width = max((len(n) for n in fresh), default=20)
+print(f"\n-- bench deltas vs committed BENCH_micro.json "
+      f"(gate: decode benches > {tolerance:.0%} slower fail)")
+failures = []
+for name, bench in fresh.items():
+    old = baseline.get(name)
+    if old is None:
+        print(f"  {name:<{width}}  (new bench)")
+        continue
+    delta = bench["real_time"] / old["real_time"] - 1.0
+    # The regression gate covers the decoder benches (the evaluation hot
+    # path this snapshot exists to guard); *_Scratch twins included.
+    gated = any(tag in name for tag in
+                ("Decode", "SemiActive", "GifflerThompson", "Makespan",
+                 "Flexible", "LotStreaming", "OpenShop", "HybridFlowShop"))
+    marker = ""
+    if gated and delta > tolerance:
+        marker = "  << REGRESSION"
+        failures.append((name, delta))
+    print(f"  {name:<{width}}  {old['real_time']:10.0f} -> "
+          f"{bench['real_time']:10.0f} {bench.get('time_unit', 'ns')} "
+          f"({delta:+7.1%}){marker}")
+for name in baseline:
+    if name not in fresh:
+        print(f"  {name:<{width}}  (removed)")
+if failures:
+    print(f"\nci.sh: {len(failures)} decode bench(es) regressed more than "
+          f"{tolerance:.0%}:")
+    for name, delta in failures:
+        print(f"  {name}: {delta:+.1%}")
+    sys.exit(1)
+print()
+PYEOF
+  fi
+
+  mv "$FRESH" BENCH_micro.json
   echo "wrote BENCH_micro.json"
 fi
 

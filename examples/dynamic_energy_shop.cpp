@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/classics.h"
 #include "src/sched/dynamic.h"
 #include "src/sched/energy.h"
@@ -27,12 +27,10 @@ int main() {
   auto solve = [&](sched::EnergyObjectiveWeights weights) {
     auto problem = std::make_shared<ga::EnergyFlowShopProblem>(
         sched::EnergyAwareFlowShop(inst, profiles, weights));
-    ga::GaConfig cfg;
-    cfg.population = 60;
-    cfg.termination.max_generations = 80;
-    cfg.seed = 11;
-    ga::SimpleGa engine(problem, cfg);
-    return engine.run().best.seq;
+    return ga::Solver::build(
+               ga::SolverSpec::parse("engine=simple pop=60 seed=11"), problem)
+        .run(ga::StopCondition::generations(80))
+        .best.seq;
   };
 
   const auto fast = solve({1.0, 0.0, 0.0});          // pure makespan
@@ -58,12 +56,10 @@ int main() {
   std::printf("== Dynamic job shop: breakdowns on ft06 (survey §II, [9]) ==\n");
   const auto& js = sched::ft06().instance;
   auto nominal = std::make_shared<ga::JobShopProblem>(js);
-  ga::GaConfig cfg;
-  cfg.population = 50;
-  cfg.termination.max_generations = 60;
-  cfg.seed = 3;
-  ga::SimpleGa predictive_engine(nominal, cfg);
-  const ga::GaResult predictive = predictive_engine.run();
+  const ga::RunResult predictive =
+      ga::Solver::build(ga::SolverSpec::parse("engine=simple pop=50 seed=3"),
+                        nominal)
+          .run(ga::StopCondition::generations(60));
 
   const auto windows = sched::random_downtimes(js.machines, 2, 30, 8, 15, 99);
   for (const auto& w : windows) {
@@ -77,11 +73,10 @@ int main() {
   auto replanner = [&](const sched::ReplanContext& context) {
     auto problem = std::make_shared<ga::DynamicSuffixProblem>(
         &js, context.frozen_prefix, context.remaining, window_vec);
-    ga::GaConfig rcfg;
-    rcfg.population = 30;
-    rcfg.termination.max_generations = 30;
-    ga::SimpleGa engine(problem, rcfg);
-    const ga::GaResult r = engine.run();
+    const ga::RunResult r =
+        ga::Solver::build(ga::SolverSpec::parse("engine=simple pop=30"),
+                          problem)
+            .run(ga::StopCondition::generations(30));
     // Never react for the worse: keep the incumbent order unless beaten.
     ga::Genome incumbent;
     incumbent.seq = context.remaining;

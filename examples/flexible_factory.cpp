@@ -3,17 +3,19 @@
 // dates and time lags (the model of Defersha & Chen [36]), solved with an
 // island GA, plus a lot-streaming flexible flow shop ([35]) where the GA
 // co-optimizes sublot sizes (continuous keys) and sublot sequencing.
+// Both runs go through the Solver facade: one spec string per scenario.
 //
 //   $ ./example_flexible_factory
 #include <cstdio>
 
-#include "src/ga/island_ga.h"
 #include "src/ga/problems.h"
+#include "src/ga/solver.h"
 #include "src/sched/generators.h"
 #include "src/stats/table.h"
 
 int main() {
   using namespace psga;
+  const ga::StopCondition stop = ga::StopCondition::generations(100);
 
   // --- Part 1: flexible job shop with setups --------------------------------
   std::printf("== Flexible job shop with sequence-dependent setups ==\n");
@@ -29,24 +31,17 @@ int main() {
   const auto fjs = sched::random_flexible_job_shop(fjs_params, 2024);
   auto fjs_problem = std::make_shared<ga::FlexibleJobShopProblem>(fjs);
 
-  ga::IslandGaConfig cfg;
-  cfg.islands = 4;
-  cfg.base.population = 40;
-  cfg.base.termination.max_generations = 100;
-  cfg.base.seed = 5;
-  cfg.migration.topology = ga::Topology::kRandom;  // [36]'s random routes
-  cfg.migration.interval = 8;
-
-  ga::IslandGa fjs_engine(fjs_problem, cfg);
-  const auto fjs_result = fjs_engine.run();
-  std::printf("  makespan (island GA): %.0f\n",
-              fjs_result.overall.best_objective);
-  std::printf("  initial random best : %.0f\n",
-              fjs_result.overall.history.front());
+  // [36]'s fresh random migration routes per epoch: topology=random.
+  const ga::SolverSpec island_spec = ga::SolverSpec::parse(
+      "engine=island islands=4 pop=40 seed=5 topology=random interval=8");
+  const auto fjs_result =
+      ga::Solver::build(island_spec, fjs_problem).run(stop);
+  std::printf("  makespan (island GA): %.0f\n", fjs_result.best_objective);
+  std::printf("  initial random best : %.0f\n", fjs_result.history.front());
   std::printf("  improvement         : %.1f%%\n\n",
-              100.0 * (fjs_result.overall.history.front() -
-                       fjs_result.overall.best_objective) /
-                  fjs_result.overall.history.front());
+              100.0 * (fjs_result.history.front() -
+                       fjs_result.best_objective) /
+                  fjs_result.history.front());
 
   // --- Part 2: lot streaming ------------------------------------------------
   std::printf("== Lot-streaming flexible flow shop ==\n");
@@ -57,24 +52,24 @@ int main() {
   const auto lot = sched::random_lot_streaming(lot_params, 7);
   auto lot_problem = std::make_shared<ga::LotStreamingProblem>(lot);
 
-  ga::IslandGaConfig lot_cfg = cfg;
-  lot_cfg.migration.topology = ga::Topology::kFullyConnected;  // [35]'s best
-  ga::IslandGa lot_engine(lot_problem, lot_cfg);
-  const auto lot_result = lot_engine.run();
+  // [35] found the fully connected topology best for lot streaming.
+  const ga::SolverSpec lot_spec = ga::SolverSpec::parse(
+      "engine=island islands=4 pop=40 seed=5 topology=full interval=8");
+  const auto lot_result = ga::Solver::build(lot_spec, lot_problem).run(stop);
 
   // Compare against the no-streaming variant (one sublot per job).
   sched::LotStreamParams whole_params = lot_params;
   whole_params.sublots = 1;
   const auto whole = sched::random_lot_streaming(whole_params, 7);
   auto whole_problem = std::make_shared<ga::LotStreamingProblem>(whole);
-  ga::IslandGa whole_engine(whole_problem, lot_cfg);
-  const auto whole_result = whole_engine.run();
+  const auto whole_result =
+      ga::Solver::build(lot_spec, whole_problem).run(stop);
 
   stats::Table table({"variant", "sublots/job", "best makespan"});
   table.add_row({"lot streaming", "3",
-                 stats::Table::num(lot_result.overall.best_objective, 0)});
+                 stats::Table::num(lot_result.best_objective, 0)});
   table.add_row({"whole batches", "1",
-                 stats::Table::num(whole_result.overall.best_objective, 0)});
+                 stats::Table::num(whole_result.best_objective, 0)});
   table.print();
   std::printf(
       "\nSplitting batches into sublots lets downstream stages start early —\n"

@@ -7,8 +7,8 @@
 //   $ ./example_openshop_cluster
 #include <cstdio>
 
-#include "src/ga/island_cluster.h"
 #include "src/ga/problems.h"
+#include "src/ga/solver.h"
 #include "src/sched/generators.h"
 #include "src/sched/open_shop.h"
 #include "src/stats/table.h"
@@ -29,20 +29,19 @@ int main() {
                              sched::OpenShopDecoder::kLptMachine}) {
     auto problem = std::make_shared<ga::OpenShopProblem>(instance, decoder);
 
-    ga::ClusterIslandConfig cfg;
-    cfg.ranks = 5;  // the Beowulf cluster size of [33]
-    cfg.base.population = 40;
-    cfg.base.termination.max_generations = 120;
-    cfg.base.seed = 31;
-    cfg.neighbor_interval = 5;    // GN
-    cfg.broadcast_interval = 30;  // LN, with GN << LN
-
-    const auto result = run_cluster_island_ga(problem, cfg);
+    // ranks=5 is the Beowulf cluster size of [33]; interval/broadcast are
+    // the GN/LN dual-frequency periods with GN << LN.
+    const auto result =
+        ga::Solver::build(
+            ga::SolverSpec::parse(
+                "engine=cluster ranks=5 pop=40 seed=31 interval=5 broadcast=30"),
+            problem)
+            .run(ga::StopCondition::generations(120));
     table.add_row(
         {decoder == sched::OpenShopDecoder::kLptTask ? "LPT-Task"
                                                      : "LPT-Machine",
-         "5", stats::Table::num(result.overall.best_objective, 0),
-         stats::Table::num(100.0 * (result.overall.best_objective -
+         "5", stats::Table::num(result.best_objective, 0),
+         stats::Table::num(100.0 * (result.best_objective -
                                     static_cast<double>(lower_bound)) /
                                static_cast<double>(lower_bound),
                            2)});

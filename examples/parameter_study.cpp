@@ -1,14 +1,16 @@
 // Migration parameter study — a miniature of the empirical studies the
 // survey reviews ([35][37]): sweep topology, policy, interval and island
 // count on one instance and print the study tables. Demonstrates driving
-// the library programmatically for experimentation.
+// the library declaratively: every experiment cell is one SolverSpec
+// string, so the whole grid is string composition.
 //
 //   $ ./example_parameter_study [replications]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "src/ga/island_ga.h"
 #include "src/ga/problems.h"
+#include "src/ga/solver.h"
 #include "src/sched/taillard.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/table.h"
@@ -18,18 +20,16 @@ namespace {
 using namespace psga;
 
 double run_once(const ga::ProblemPtr& problem, int islands,
-                ga::Topology topology, ga::MigrationPolicy policy,
+                const std::string& topology, const std::string& policy,
                 int interval, std::uint64_t seed) {
-  ga::IslandGaConfig cfg;
-  cfg.islands = islands;
-  cfg.base.population = 120 / islands;
-  cfg.base.termination.max_generations = 80;
-  cfg.base.seed = seed;
-  cfg.migration.topology = topology;
-  cfg.migration.policy = policy;
-  cfg.migration.interval = interval;
-  ga::IslandGa engine(problem, cfg);
-  return engine.run().overall.best_objective;
+  const std::string spec =
+      "engine=island islands=" + std::to_string(islands) +
+      " pop=" + std::to_string(120 / islands) + " topology=" + topology +
+      " policy=" + policy + " interval=" + std::to_string(interval) +
+      " seed=" + std::to_string(seed);
+  return ga::Solver::build(ga::SolverSpec::parse(spec), problem)
+      .run(ga::StopCondition::generations(80))
+      .best_objective;
 }
 
 }  // namespace
@@ -56,21 +56,11 @@ int main(int argc, char** argv) {
 
   {
     stats::Table table({"topology", "mean RPD (%)"});
-    const std::pair<const char*, ga::Topology> topologies[] = {
-        {"ring", ga::Topology::kRing},
-        {"grid", ga::Topology::kGrid},
-        {"torus", ga::Topology::kTorus},
-        {"fully connected", ga::Topology::kFullyConnected},
-        {"star", ga::Topology::kStar},
-        {"hypercube", ga::Topology::kHypercube},
-        {"random per epoch", ga::Topology::kRandom},
-    };
-    for (const auto& [name, topology] : topologies) {
-      table.add_row({name,
+    for (const char* topology :
+         {"ring", "grid", "torus", "full", "star", "hypercube", "random"}) {
+      table.add_row({topology,
                      stats::Table::num(
-                         mean_of(6, topology,
-                                 ga::MigrationPolicy::kBestReplaceRandom, 8),
-                         3)});
+                         mean_of(6, topology, "best-random", 8), 3)});
     }
     std::printf("-- Topology (6 islands, best-replace-random, interval 8)\n");
     table.print();
@@ -80,10 +70,7 @@ int main(int argc, char** argv) {
     for (int interval : {0, 1, 4, 8, 16, 32}) {
       table.add_row({interval == 0 ? "never" : std::to_string(interval),
                      stats::Table::num(
-                         mean_of(6, ga::Topology::kRing,
-                                 ga::MigrationPolicy::kBestReplaceWorst,
-                                 interval),
-                         3)});
+                         mean_of(6, "ring", "best-worst", interval), 3)});
     }
     std::printf("\n-- Migration interval (6 islands, ring)\n");
     table.print();
@@ -94,9 +81,7 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(islands),
                      std::to_string(120 / islands),
                      stats::Table::num(
-                         mean_of(islands, ga::Topology::kRing,
-                                 ga::MigrationPolicy::kBestReplaceWorst, 8),
-                         3)});
+                         mean_of(islands, "ring", "best-worst", 8), 3)});
     }
     std::printf("\n-- Island count at fixed total population 120\n");
     table.print();

@@ -1,17 +1,25 @@
-// Quickstart: solve a Taillard flow-shop benchmark with the four parallel
-// GA models of the survey and compare what each finds.
+// Quickstart: solve a Taillard flow-shop benchmark through the unified
+// psga::ga::Solver facade and compare the survey's parallel GA models.
 //
 //   $ ./example_quickstart
 //
-// Walks through the minimal public API: build an instance, wrap it in a
-// Problem, configure an engine, run, inspect the result.
+// The canonical entry point is ten lines: build an instance, wrap it in
+// a Problem, parse a spec, run under a stop condition:
+//
+//   auto instance = sched::make_taillard(sched::taillard_20x5().front());
+//   auto problem  = std::make_shared<ga::FlowShopProblem>(instance);
+//   ga::RunResult r =
+//       ga::Solver::build(ga::SolverSpec::parse("engine=island islands=4"),
+//                         problem)
+//           .run(ga::StopCondition::generations(200));
+//   std::printf("best Cmax %.0f after %lld evaluations\n",
+//               r.best_objective, r.evaluations);
+//
+// Below, the same facade drives all four classic models by name.
 #include <cstdio>
 
-#include "src/ga/cellular_ga.h"
-#include "src/ga/island_ga.h"
-#include "src/ga/master_slave_ga.h"
 #include "src/ga/problems.h"
-#include "src/ga/simple_ga.h"
+#include "src/ga/solver.h"
 #include "src/sched/heuristics.h"
 #include "src/sched/taillard.h"
 #include "src/stats/table.h"
@@ -31,14 +39,11 @@ int main() {
   auto problem = std::make_shared<ga::FlowShopProblem>(instance);
 
   // 3. A shared budget for all engines.
-  ga::GaConfig base;
-  base.population = 100;
-  base.termination.max_generations = 200;
-  base.seed = 2024;
+  const ga::StopCondition stop = ga::StopCondition::generations(200);
 
   stats::Table table({"engine", "best Cmax", "RPD vs best known (%)",
                       "evaluations", "seconds"});
-  auto report = [&](const char* name, const ga::GaResult& r) {
+  auto report = [&](const char* name, const ga::RunResult& r) {
     table.add_row({name, stats::Table::num(r.best_objective, 0),
                    stats::Table::num(
                        100.0 * (r.best_objective - bench.best_known) /
@@ -53,31 +58,18 @@ int main() {
   std::printf("NEH constructive heuristic: %lld\n\n",
               static_cast<long long>(neh));
 
-  // 4a. Simple GA (survey Table II).
-  ga::SimpleGa simple(problem, base);
-  report("simple", simple.run());
-
-  // 4b. Master-slave GA (Table III): same algorithm, parallel evaluation.
-  ga::MasterSlaveGa master_slave(problem, base);
-  report("master-slave", master_slave.run());
-
-  // 4c. Cellular GA (Table IV): 10x10 torus.
-  ga::CellularConfig cell;
-  cell.width = 10;
-  cell.height = 10;
-  cell.termination = base.termination;
-  cell.seed = base.seed;
-  ga::CellularGa cellular(problem, cell);
-  report("cellular", cellular.run());
-
-  // 4d. Island GA (Table V): 4 islands on a ring.
-  ga::IslandGaConfig island_cfg;
-  island_cfg.islands = 4;
-  island_cfg.base = base;
-  island_cfg.base.population = 25;  // same total population
-  island_cfg.migration.interval = 10;
-  ga::IslandGa island(problem, island_cfg);
-  report("island", island.run().overall);
+  // 4. One spec string per parallel model of the survey:
+  //    Table II (simple), III (master-slave), IV (cellular), V (island).
+  const char* specs[][2] = {
+      {"simple", "engine=simple pop=100 seed=2024"},
+      {"master-slave", "engine=master-slave pop=100 seed=2024"},
+      {"cellular", "engine=cellular width=10 height=10 seed=2024"},
+      {"island", "engine=island islands=4 pop=25 interval=10 seed=2024"},
+  };
+  for (const auto& [name, spec] : specs) {
+    report(name,
+           ga::Solver::build(ga::SolverSpec::parse(spec), problem).run(stop));
+  }
 
   table.print();
   std::printf(

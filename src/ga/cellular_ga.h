@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/ga/config.h"
+#include "src/ga/engine.h"
 #include "src/ga/evaluator.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
@@ -43,30 +44,41 @@ struct CellularConfig {
   std::uint64_t seed = 1;
 };
 
-class CellularGa {
+class CellularGa : public Engine {
  public:
   CellularGa(ProblemPtr problem, CellularConfig config,
              par::ThreadPool* pool = nullptr);
 
-  GaResult run();
-
-  // Stepwise API (used by the hybrid island-of-torus engine [21]).
-  void init();
-  void step();
-  double best_objective() const { return best_objective_; }
-  const Genome& best() const { return best_; }
+  // Stepwise Engine API (also used by the hybrid island-of-torus
+  // engine [21]).
+  void init() override;
+  void step() override;
+  int generation() const override { return generation_; }
+  double best_objective() const override { return best_objective_; }
+  const Genome& best() const override { return best_; }
   /// Fitness evaluations since the last init() (counted by the Evaluator).
-  long long evaluations() const {
+  long long evaluations() const override {
     return evaluator_.evaluations() - evaluations_baseline_;
   }
+  int population_size() const override { return cells(); }
+  const Genome& individual(int cell) const override {
+    return grid_[static_cast<std::size_t>(cell)];
+  }
+  double objective_of(int cell) const override {
+    return objectives_[static_cast<std::size_t>(cell)];
+  }
+  StopCondition stop_default() const override { return config_.termination; }
+
   int cells() const { return config_.width * config_.height; }
   /// Replaces the individual at `cell` (hybrid-model migration).
   void replace_cell(int cell, const Genome& genome, double objective);
-  const Genome& individual(int cell) const {
-    return grid_[static_cast<std::size_t>(cell)];
-  }
-  double objective_at(int cell) const {
-    return objectives_[static_cast<std::size_t>(cell)];
+  double objective_at(int cell) const { return objective_of(cell); }
+
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override {
+    config_.termination = stop;
   }
 
  private:

@@ -9,16 +9,9 @@
 #include "src/ga/mutation.h"
 #include "src/ga/problem.h"
 #include "src/ga/selection.h"
+#include "src/ga/stop.h"
 
 namespace psga::ga {
-
-/// Stop conditions; any satisfied condition terminates the run.
-struct Termination {
-  int max_generations = 100;
-  double max_seconds = 0.0;        ///< 0 = no wall-clock limit
-  double target_objective = -1.0;  ///< stop when best <= target (if >= 0)
-  int stagnation_generations = 0;  ///< 0 = disabled
-};
 
 /// The survey's two fitness transforms (Section III.A).
 enum class FitnessTransform {

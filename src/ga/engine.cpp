@@ -1,0 +1,76 @@
+#include "src/ga/engine.h"
+
+#include <chrono>
+
+namespace psga::ga {
+
+RunResult Engine::run(const StopCondition& stop) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  prepare_run(stop);
+  init();
+
+  RunResult result;
+  bool has_best = evaluates_on_init();
+  double stagnation_best = has_best ? best_objective() : 0.0;
+  int stagnant = 0;
+
+  auto notify = [&](bool improved) {
+    if (observer_ == nullptr) return true;
+    GenerationEvent event;
+    event.generation = generation();
+    event.best_objective = best_objective();
+    event.evaluations = evaluations();
+    event.seconds = elapsed();
+    if (improved) observer_->on_improvement(*this, event);
+    return observer_->on_generation(*this, event);
+  };
+
+  bool keep_going = true;
+  if (has_best) {
+    result.history.push_back(best_objective());
+    keep_going = notify(/*improved=*/true);
+  }
+
+  while (keep_going && generation() < stop.max_generations) {
+    if (stop.max_seconds > 0.0 && elapsed() >= stop.max_seconds) break;
+    if (stop.max_evaluations > 0 && evaluations() >= stop.max_evaluations) {
+      break;
+    }
+    if (has_best && stop.target_objective >= 0.0 &&
+        best_objective() <= stop.target_objective) {
+      break;
+    }
+    if (stop.stagnation_generations > 0 &&
+        stagnant >= stop.stagnation_generations) {
+      break;
+    }
+    step();
+    result.history.push_back(best_objective());
+    bool improved = false;
+    if (!has_best || best_objective() < stagnation_best) {
+      stagnation_best = best_objective();
+      stagnant = 0;
+      improved = true;
+      has_best = true;
+    } else {
+      ++stagnant;
+    }
+    keep_going = notify(improved);
+  }
+
+  result.best = best();
+  result.best_objective = best_objective();
+  result.evaluations = evaluations();
+  result.generations = generation();
+  result.seconds = elapsed();
+  fill_sections(result);
+  return result;
+}
+
+}  // namespace psga::ga

@@ -8,7 +8,10 @@
 //             convenience constructor.
 #pragma once
 
+#include <vector>
+
 #include "src/ga/cellular_ga.h"
+#include "src/ga/engine.h"
 #include "src/ga/island_ga.h"
 
 namespace psga::ga {
@@ -23,16 +26,42 @@ struct IslandsOfCellularConfig {
 };
 
 /// Model A: island-of-torus.
-class IslandsOfCellularGa {
+class IslandsOfCellularGa : public Engine {
  public:
   IslandsOfCellularGa(ProblemPtr problem, IslandsOfCellularConfig config,
                       par::ThreadPool* pool = nullptr);
-  GaResult run();
+
+  void init() override;
+  /// One torus step on every island (each internally parallel over
+  /// cells), then ring migration when due.
+  void step() override;
+  int generation() const override { return generation_; }
+  double best_objective() const override;
+  const Genome& best() const override;
+  long long evaluations() const override;
+  /// Flat view over the islands' cell grids, island-major.
+  int population_size() const override;
+  const Genome& individual(int i) const override;
+  double objective_of(int i) const override;
+  StopCondition stop_default() const override { return config_.termination; }
+
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override {
+    config_.termination = stop;
+  }
+  void fill_sections(RunResult& result) const override;
 
  private:
   ProblemPtr problem_;
   IslandsOfCellularConfig config_;
   par::ThreadPool* pool_;
+
+  // Run state (rebuilt by init()).
+  std::vector<CellularGa> islands_;
+  par::Rng migration_rng_;
+  int generation_ = 0;
 };
 
 /// Model B: a many-small-islands GA on a torus topology.

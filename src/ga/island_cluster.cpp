@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <stdexcept>
 
 namespace psga::ga {
 
@@ -10,6 +11,7 @@ namespace {
 
 constexpr int kTagNeighbor = 1;
 constexpr int kTagBroadcast = 2;
+constexpr int kTagConsensus = 3;
 
 par::Message pack(const Genome& genome, double objective, int tag) {
   par::Message msg;
@@ -39,39 +41,76 @@ void unpack(const par::Message& msg, Genome& genome, double& objective) {
 
 }  // namespace
 
-ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
-                                          const ClusterIslandConfig& config) {
+ClusterIslandGa::ClusterIslandGa(ProblemPtr problem, ClusterIslandConfig config)
+    : problem_(std::move(problem)), config_(std::move(config)) {}
+
+void ClusterIslandGa::step() {
+  throw std::logic_error(
+      "ClusterIslandGa has no step boundary (ranks are threads); use run()");
+}
+
+const Genome& ClusterIslandGa::individual(int) const {
+  throw std::out_of_range("ClusterIslandGa has no inspectable population");
+}
+
+double ClusterIslandGa::objective_of(int) const {
+  throw std::out_of_range("ClusterIslandGa has no inspectable population");
+}
+
+RunResult ClusterIslandGa::run(const StopCondition& stop) {
   const auto start = std::chrono::steady_clock::now();
-  par::Cluster cluster(config.ranks);
-  ClusterIslandResult result;
-  result.rank_best.assign(static_cast<std::size_t>(config.ranks), 0.0);
+  par::Cluster cluster(config_.ranks);
+  RunResult result;
+  IslandSection section;
+  section.best.assign(static_cast<std::size_t>(config_.ranks), 0.0);
+  section.best_genome.resize(static_cast<std::size_t>(config_.ranks));
+  section.surviving = config_.ranks;
 
   std::mutex result_mutex;
   Genome global_best;
   double global_best_obj = -1.0;
   long long total_evaluations = 0;
+  int max_generations_run = 0;
 
-  par::Rng root(config.base.seed);
+  par::Rng root(config_.base.seed);
   std::vector<std::uint64_t> rank_seeds;
-  rank_seeds.reserve(static_cast<std::size_t>(config.ranks));
-  for (int r = 0; r < config.ranks; ++r) {
+  rank_seeds.reserve(static_cast<std::size_t>(config_.ranks));
+  for (int r = 0; r < config_.ranks; ++r) {
     rank_seeds.push_back(root.split(static_cast<std::uint64_t>(r + 1))());
   }
 
+  // Stop conditions beyond the generation budget need a per-generation
+  // consensus so every rank leaves the collective pattern at the same
+  // generation (a rank breaking alone would deadlock its neighbors).
+  const bool consensus_needed = stop.max_seconds > 0.0 ||
+                                stop.target_objective >= 0.0 ||
+                                stop.max_evaluations > 0 ||
+                                stop.stagnation_generations > 0;
+
   cluster.run([&](par::Rank& rank) {
-    GaConfig cfg = config.base;
+    GaConfig cfg = config_.base;
     // Ranks are concurrent threads; inner evaluation must stay on-rank.
     cfg.eval_backend = EvalBackend::kSerial;
     cfg.seed = rank_seeds[static_cast<std::size_t>(rank.id())];
-    SimpleGa island(problem, cfg);
+    cfg.termination = stop;
+    SimpleGa island(problem_, cfg);
     island.init();
 
-    const int generations = config.base.termination.max_generations;
+    const int generations = stop.max_generations;
     const int right = (rank.id() + 1) % rank.size();
-    for (int gen = 1; gen <= generations; ++gen) {
+    double stagnation_best = island.best_objective();
+    int stagnant = 0;
+    int gen = 1;
+    for (; gen <= generations; ++gen) {
       island.step();
+      if (island.best_objective() < stagnation_best) {
+        stagnation_best = island.best_objective();
+        stagnant = 0;
+      } else {
+        ++stagnant;
+      }
       // GN: ship my best to my ring neighbor, receive from my left.
-      if (config.neighbor_interval > 0 && gen % config.neighbor_interval == 0 &&
+      if (config_.neighbor_interval > 0 && gen % config_.neighbor_interval == 0 &&
           rank.size() > 1) {
         const int best = island.best_index();
         rank.send(right, pack(island.population()[static_cast<std::size_t>(best)],
@@ -84,8 +123,8 @@ ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
         island.replace_individual(island.worst_index(), migrant, objective);
       }
       // LN: everyone broadcasts its best to all ([33], GN << LN).
-      if (config.broadcast_interval > 0 &&
-          gen % config.broadcast_interval == 0 && rank.size() > 1) {
+      if (config_.broadcast_interval > 0 &&
+          gen % config_.broadcast_interval == 0 && rank.size() > 1) {
         const int best = island.best_index();
         const auto all = rank.allgather(
             pack(island.population()[static_cast<std::size_t>(best)],
@@ -110,26 +149,64 @@ ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
         }
         rank.barrier();  // keep epochs aligned so tags never mix
       }
+      // Consensus stop vote: any rank over budget (or at target) ends the
+      // run for everyone at the same generation.
+      if (consensus_needed) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        par::Message vote_msg;
+        vote_msg.tag = kTagConsensus;
+        const bool vote =
+            (stop.max_seconds > 0.0 && elapsed >= stop.max_seconds) ||
+            (stop.target_objective >= 0.0 &&
+             island.best_objective() <= stop.target_objective) ||
+            (stop.stagnation_generations > 0 &&
+             stagnant >= stop.stagnation_generations);
+        vote_msg.ints = {vote ? 1 : 0, island.evaluations()};
+        const auto votes = rank.allgather(std::move(vote_msg), kTagConsensus);
+        bool any_vote = false;
+        long long cluster_evaluations = 0;
+        for (const auto& v : votes) {
+          any_vote = any_vote || v.ints[0] != 0;
+          cluster_evaluations += v.ints[1];
+        }
+        if (any_vote || (stop.max_evaluations > 0 &&
+                         cluster_evaluations >= stop.max_evaluations)) {
+          break;
+        }
+      }
     }
 
     std::lock_guard lock(result_mutex);
-    result.rank_best[static_cast<std::size_t>(rank.id())] =
+    section.best[static_cast<std::size_t>(rank.id())] =
         island.best_objective();
+    section.best_genome[static_cast<std::size_t>(rank.id())] = island.best();
     total_evaluations += island.evaluations();
+    max_generations_run = std::max(max_generations_run, island.generation());
     if (global_best_obj < 0.0 || island.best_objective() < global_best_obj) {
       global_best_obj = island.best_objective();
       global_best = island.best();
     }
   });
 
-  result.overall.best = global_best;
-  result.overall.best_objective = global_best_obj;
-  result.overall.evaluations = total_evaluations;
-  result.overall.generations = config.base.termination.max_generations;
-  result.overall.seconds =
+  result.best = global_best;
+  result.best_objective = global_best_obj;
+  result.evaluations = total_evaluations;
+  result.generations = max_generations_run;
+  result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  result.islands = std::move(section);
+  last_ = result;
   return result;
+}
+
+RunResult run_cluster_island_ga(ProblemPtr problem,
+                                const ClusterIslandConfig& config) {
+  ClusterIslandGa engine(std::move(problem), config);
+  return engine.run();
 }
 
 }  // namespace psga::ga

@@ -10,6 +10,7 @@
 // GN << LN.
 #pragma once
 
+#include "src/ga/engine.h"
 #include "src/ga/island_ga.h"
 #include "src/par/cluster.h"
 
@@ -22,15 +23,48 @@ struct ClusterIslandConfig {
   int broadcast_interval = 25;  ///< LN: all-to-all best broadcast; 0 = off
 };
 
-struct ClusterIslandResult {
-  GaResult overall;
-  std::vector<double> rank_best;  ///< best objective found by each rank
+/// The SPMD island engine. Ranks are real threads exchanging messages, so
+/// this engine has no step boundary: run() executes the whole SPMD
+/// program and the stepwise API is unavailable (step() throws). Stop
+/// conditions beyond the generation budget (wall-clock, target,
+/// evaluation budget, rank-local stagnation) are honored through a
+/// per-generation consensus vote among the ranks, so no rank blocks on a
+/// migrant from a rank that already stopped. RunObserver hooks are not
+/// fired (callbacks would cross rank threads).
+class ClusterIslandGa : public Engine {
+ public:
+  ClusterIslandGa(ProblemPtr problem, ClusterIslandConfig config);
+
+  RunResult run(const StopCondition& stop) override;
+
+  void init() override {}
+  [[noreturn]] void step() override;
+  int generation() const override { return last_.generations; }
+  double best_objective() const override { return last_.best_objective; }
+  const Genome& best() const override { return last_.best; }
+  long long evaluations() const override { return last_.evaluations; }
+  /// The rank populations live on their own threads; nothing to inspect.
+  int population_size() const override { return 0; }
+  [[noreturn]] const Genome& individual(int i) const override;
+  [[noreturn]] double objective_of(int i) const override;
+  StopCondition stop_default() const override {
+    return config_.base.termination;
+  }
+
+  using Engine::run;
+
+ private:
+  ProblemPtr problem_;
+  ClusterIslandConfig config_;
+  /// Gathered result of the last run (introspection after the fact).
+  RunResult last_;
 };
 
 /// Runs the SPMD island GA on an in-process cluster and returns the
-/// gathered result. Deterministic for a fixed config (per-rank seeds are
-/// derived streams; migration only reads messages at barriers).
-ClusterIslandResult run_cluster_island_ga(ProblemPtr problem,
-                                          const ClusterIslandConfig& config);
+/// gathered result (RunResult::islands holds the per-rank bests).
+/// Deterministic for a fixed config (per-rank seeds are derived streams;
+/// migration only reads messages at barriers).
+RunResult run_cluster_island_ga(ProblemPtr problem,
+                                const ClusterIslandConfig& config);
 
 }  // namespace psga::ga

@@ -1,9 +1,9 @@
 #include "src/ga/island_ga.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace psga::ga {
 
@@ -11,7 +11,8 @@ IslandGa::IslandGa(ProblemPtr problem, IslandGaConfig config,
                    par::ThreadPool* pool)
     : problem_(std::move(problem)),
       config_(std::move(config)),
-      pool_(pool != nullptr ? pool : &par::default_pool()) {}
+      pool_(pool != nullptr ? pool : &par::default_pool()),
+      migration_rng_(0) {}
 
 std::vector<IslandGa::Edge> IslandGa::edges_for_epoch(
     int epoch, std::span<const int> alive) {
@@ -89,8 +90,7 @@ std::vector<IslandGa::Edge> IslandGa::edges_for_epoch(
   return edges;
 }
 
-void IslandGa::migrate(std::vector<SimpleGa>& islands,
-                       std::span<const Edge> edges, par::Rng& rng) {
+void IslandGa::migrate(std::span<const Edge> edges) {
   const MigrationConfig& mig = config_.migration;
   // Collect all transfers first (synchronous migration: everyone ships the
   // individuals selected *before* any replacement happens). With
@@ -99,16 +99,17 @@ void IslandGa::migrate(std::vector<SimpleGa>& islands,
   // model of asynchronous migration staleness.
   std::vector<Transfer> transfers;
   for (const Edge& edge : edges) {
-    SimpleGa& source = islands[static_cast<std::size_t>(edge.from)];
+    SimpleGa& source = islands_[static_cast<std::size_t>(edge.from)];
     for (int c = 0; c < mig.count; ++c) {
       int index;
       if (mig.policy == MigrationPolicy::kRandomReplaceRandom) {
-        index = static_cast<int>(rng.below(source.population().size()));
+        index = static_cast<int>(migration_rng_.below(source.population().size()));
       } else {
         index = source.best_index();
       }
       transfers.push_back(Transfer{
-          edge.to, source.population()[static_cast<std::size_t>(index)],
+          edge.from, edge.to,
+          source.population()[static_cast<std::size_t>(index)],
           source.objectives()[static_cast<std::size_t>(index)]});
     }
   }
@@ -116,47 +117,43 @@ void IslandGa::migrate(std::vector<SimpleGa>& islands,
     in_flight_.push_back(std::move(transfers));
     return;
   }
-  deliver(islands, transfers, rng);
+  deliver(transfers);
 }
 
-void IslandGa::deliver(std::vector<SimpleGa>& islands,
-                       std::span<const Transfer> transfers, par::Rng& rng) {
+void IslandGa::deliver(std::span<const Transfer> transfers) {
   for (const Transfer& t : transfers) {
-    SimpleGa& dest = islands[static_cast<std::size_t>(t.to)];
+    SimpleGa& dest = islands_[static_cast<std::size_t>(t.to)];
     int slot;
     if (config_.migration.policy == MigrationPolicy::kBestReplaceWorst) {
       slot = dest.worst_index();
     } else {
-      slot = static_cast<int>(rng.below(dest.population().size()));
+      slot = static_cast<int>(migration_rng_.below(dest.population().size()));
     }
     dest.replace_individual(slot, t.genome, t.objective);
+    if (observer_ != nullptr) {
+      observer_->on_migration(
+          MigrationEvent{epoch_, t.from, t.to, t.objective});
+    }
   }
 }
 
-void IslandGa::deliver_due(std::vector<SimpleGa>& islands, par::Rng& rng) {
+void IslandGa::deliver_due() {
   // in_flight_[k] was queued k+1 epochs ago (front is oldest).
   if (static_cast<int>(in_flight_.size()) >= config_.migration.delay_epochs) {
-    deliver(islands, in_flight_.front(), rng);
+    deliver(in_flight_.front());
     in_flight_.erase(in_flight_.begin());
   }
 }
 
-IslandGaResult IslandGa::run() {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&start] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
-
+void IslandGa::init() {
   const int k = config_.islands;
   par::Rng root(config_.base.seed);
-  par::Rng migration_rng = root.split(0x10000);
+  migration_rng_ = root.split(0x10000);
 
   // Build the islands: per-island seed streams, optional heterogeneous
   // operators/problems, optional identical start populations.
-  std::vector<SimpleGa> islands;
-  islands.reserve(static_cast<std::size_t>(k));
+  islands_.clear();
+  islands_.reserve(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
     GaConfig cfg = config_.base;
     // Islands step concurrently on the pool; their inner evaluators must
@@ -174,101 +171,133 @@ IslandGaResult IslandGa::run() {
         config_.per_island_problems.empty()
             ? problem_
             : config_.per_island_problems[static_cast<std::size_t>(i)];
-    islands.emplace_back(std::move(problem), cfg);
+    islands_.emplace_back(std::move(problem), cfg);
   }
   // With identical starts but heterogeneous operators the initial
   // population must still match: same seed ⇒ same random genomes, because
   // initialization draws only genome randomness.
-  pool_->parallel_for(islands.size(),
-                      [&](std::size_t i) { islands[i].init(); });
+  pool_->parallel_for(islands_.size(),
+                      [&](std::size_t i) { islands_[i].init(); });
 
-  std::vector<int> alive(static_cast<std::size_t>(k));
-  std::iota(alive.begin(), alive.end(), 0);
+  alive_.resize(static_cast<std::size_t>(k));
+  std::iota(alive_.begin(), alive_.end(), 0);
+  in_flight_.clear();
+  generation_ = 0;
+  epoch_ = 0;
+  island_history_.assign(static_cast<std::size_t>(k), {});
+  for (int i = 0; i < k; ++i) {
+    island_history_[static_cast<std::size_t>(i)].push_back(
+        islands_[static_cast<std::size_t>(i)].best_objective());
+  }
+}
 
-  IslandGaResult result;
-  const Termination& term = config_.base.termination;
-  auto global_best = [&] {
-    double best = islands[static_cast<std::size_t>(alive.front())].best_objective();
-    for (int i : alive) {
-      best = std::min(best, islands[static_cast<std::size_t>(i)].best_objective());
+void IslandGa::step() {
+  // One generation on every alive island, in parallel.
+  pool_->parallel_for(alive_.size(), [&](std::size_t idx) {
+    islands_[static_cast<std::size_t>(alive_[idx])].step();
+  });
+  // Migration epoch.
+  if (config_.migration.interval > 0 &&
+      (generation_ + 1) % config_.migration.interval == 0 &&
+      alive_.size() > 1) {
+    if (config_.migration.delay_epochs > 0) {
+      deliver_due();
     }
-    return best;
-  };
-  result.overall.history.push_back(global_best());
-
-  int epoch = 0;
-  double stagnation_best = global_best();
-  int stagnant = 0;
-  for (int gen = 0; gen < term.max_generations; ++gen) {
-    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
-    if (term.target_objective >= 0.0 && global_best() <= term.target_objective) {
-      break;
-    }
-    if (term.stagnation_generations > 0 && stagnant >= term.stagnation_generations) {
-      break;
-    }
-    // One generation on every island, in parallel.
-    pool_->parallel_for(alive.size(), [&](std::size_t idx) {
-      islands[static_cast<std::size_t>(alive[idx])].step();
-    });
-    // Migration epoch.
-    if (config_.migration.interval > 0 &&
-        (gen + 1) % config_.migration.interval == 0 && alive.size() > 1) {
-      if (config_.migration.delay_epochs > 0) {
-        deliver_due(islands, migration_rng);
+    const auto edges = edges_for_epoch(epoch_++, alive_);
+    migrate(edges);
+  }
+  // Stagnation-triggered merging ([29]): a stagnated island pours its
+  // population into its ring successor and disappears.
+  if (config_.merge.enabled && alive_.size() > 1) {
+    for (std::size_t pos = 0; pos < alive_.size(); ++pos) {
+      SimpleGa& island = islands_[static_cast<std::size_t>(alive_[pos])];
+      if (island.stagnation_fraction(config_.merge.hamming_threshold) >
+          config_.merge.fraction) {
+        SimpleGa& heir = islands_[static_cast<std::size_t>(
+            alive_[(pos + 1) % alive_.size()])];
+        heir.absorb(island.population(), island.objectives());
+        alive_.erase(alive_.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;  // at most one merge per generation keeps things simple
       }
-      const auto edges = edges_for_epoch(epoch++, alive);
-      migrate(islands, edges, migration_rng);
-    }
-    // Stagnation-triggered merging ([29]): a stagnated island pours its
-    // population into its ring successor and disappears.
-    if (config_.merge.enabled && alive.size() > 1) {
-      for (std::size_t pos = 0; pos < alive.size(); ++pos) {
-        SimpleGa& island = islands[static_cast<std::size_t>(alive[pos])];
-        if (island.stagnation_fraction(config_.merge.hamming_threshold) >
-            config_.merge.fraction) {
-          SimpleGa& heir =
-              islands[static_cast<std::size_t>(alive[(pos + 1) % alive.size()])];
-          heir.absorb(island.population(), island.objectives());
-          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pos));
-          break;  // at most one merge per generation keeps things simple
-        }
-      }
-    }
-    result.overall.history.push_back(global_best());
-    if (global_best() < stagnation_best) {
-      stagnation_best = global_best();
-      stagnant = 0;
-    } else {
-      ++stagnant;
     }
   }
+  ++generation_;
+  for (int i : alive_) {
+    island_history_[static_cast<std::size_t>(i)].push_back(
+        islands_[static_cast<std::size_t>(i)].best_objective());
+  }
+}
 
-  // Gather results.
-  result.island_best.resize(static_cast<std::size_t>(k), -1.0);
-  result.island_best_genome.resize(static_cast<std::size_t>(k));
-  double best = islands.front().best_objective();
-  const SimpleGa* best_island = &islands.front();
-  long long evaluations = 0;
-  int generations = 0;
-  for (int i = 0; i < k; ++i) {
-    const SimpleGa& island = islands[static_cast<std::size_t>(i)];
-    result.island_best[static_cast<std::size_t>(i)] = island.best_objective();
-    result.island_best_genome[static_cast<std::size_t>(i)] = island.best();
-    evaluations += island.evaluations();
-    generations = std::max(generations, island.generation());
-    if (island.best_objective() < best) {
-      best = island.best_objective();
+double IslandGa::best_objective() const {
+  // Scan ALL islands, not just alive ones: a merged-away island's
+  // best-so-far genome may have been evicted from its population (by a
+  // random-slot migration) before absorb() transferred it, and its
+  // frozen record must still count — this also keeps best_objective()
+  // consistent with fill_sections' per-island bests.
+  if (islands_.empty()) return 0.0;
+  double best = islands_.front().best_objective();
+  for (const SimpleGa& island : islands_) {
+    best = std::min(best, island.best_objective());
+  }
+  return best;
+}
+
+const Genome& IslandGa::best() const {
+  const SimpleGa* best_island = &islands_.front();
+  for (const SimpleGa& island : islands_) {
+    if (island.best_objective() < best_island->best_objective()) {
       best_island = &island;
     }
   }
-  result.overall.best = best_island->best();
-  result.overall.best_objective = best;
-  result.overall.evaluations = evaluations;
-  result.overall.generations = generations;
-  result.overall.seconds = elapsed();
-  result.surviving_islands = static_cast<int>(alive.size());
-  return result;
+  return best_island->best();
+}
+
+long long IslandGa::evaluations() const {
+  long long evaluations = 0;
+  for (const SimpleGa& island : islands_) {
+    evaluations += island.evaluations();
+  }
+  return evaluations;
+}
+
+int IslandGa::population_size() const {
+  int size = 0;
+  for (int i : alive_) {
+    size += islands_[static_cast<std::size_t>(i)].population_size();
+  }
+  return size;
+}
+
+const Genome& IslandGa::individual(int i) const {
+  for (int a : alive_) {
+    const SimpleGa& island = islands_[static_cast<std::size_t>(a)];
+    if (i < island.population_size()) return island.individual(i);
+    i -= island.population_size();
+  }
+  throw std::out_of_range("IslandGa::individual: index past population");
+}
+
+double IslandGa::objective_of(int i) const {
+  for (int a : alive_) {
+    const SimpleGa& island = islands_[static_cast<std::size_t>(a)];
+    if (i < island.population_size()) return island.objective_of(i);
+    i -= island.population_size();
+  }
+  throw std::out_of_range("IslandGa::objective_of: index past population");
+}
+
+void IslandGa::fill_sections(RunResult& result) const {
+  IslandSection section;
+  const std::size_t k = islands_.size();
+  section.best.reserve(k);
+  section.best_genome.reserve(k);
+  for (const SimpleGa& island : islands_) {
+    section.best.push_back(island.best_objective());
+    section.best_genome.push_back(island.best());
+  }
+  section.history = island_history_;
+  section.surviving = surviving_islands();
+  result.islands = std::move(section);
 }
 
 }  // namespace psga::ga

@@ -18,9 +18,9 @@
 //   stagnation-triggered island merging (Spanos et al. [29]).
 #pragma once
 
-#include <optional>
 #include <vector>
 
+#include "src/ga/engine.h"
 #include "src/ga/simple_ga.h"
 #include "src/par/thread_pool.h"
 
@@ -78,21 +78,42 @@ struct IslandGaConfig {
   bool identical_start = false;
 };
 
-struct IslandGaResult {
-  GaResult overall;
-  /// Per-island best objective at the end of the run.
-  std::vector<double> island_best;
-  /// Per-island best genome (the Pareto candidates in [38]).
-  std::vector<Genome> island_best_genome;
-  int surviving_islands = 0;  ///< < islands when merging is enabled
-};
-
-class IslandGa {
+class IslandGa : public Engine {
  public:
   IslandGa(ProblemPtr problem, IslandGaConfig config,
            par::ThreadPool* pool = nullptr);
 
-  IslandGaResult run();
+  // --- Engine interface ---------------------------------------------------
+  void init() override;
+  /// One generation on every alive island (in parallel), followed by the
+  /// migration epoch and stagnation-triggered merging when due.
+  void step() override;
+  int generation() const override { return generation_; }
+  double best_objective() const override;
+  const Genome& best() const override;
+  long long evaluations() const override;
+  /// Flat view over the alive islands' populations, island-major.
+  int population_size() const override;
+  const Genome& individual(int i) const override;
+  double objective_of(int i) const override;
+  StopCondition stop_default() const override {
+    return config_.base.termination;
+  }
+
+  /// The islands still alive (merging shrinks this).
+  int surviving_islands() const { return static_cast<int>(alive_.size()); }
+  /// Stepwise access to one island's engine (telemetry, tests).
+  const SimpleGa& island(int i) const {
+    return islands_[static_cast<std::size_t>(i)];
+  }
+
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override {
+    config_.base.termination = stop;
+  }
+  void fill_sections(RunResult& result) const override;
 
  private:
   struct Edge {
@@ -100,22 +121,30 @@ class IslandGa {
     int to;
   };
   struct Transfer {
+    int from;
     int to;
     Genome genome;
     double objective;
   };
   std::vector<Edge> edges_for_epoch(int epoch, std::span<const int> alive);
-  void migrate(std::vector<SimpleGa>& islands, std::span<const Edge> edges,
-               par::Rng& rng);
-  void deliver(std::vector<SimpleGa>& islands,
-               std::span<const Transfer> transfers, par::Rng& rng);
-  void deliver_due(std::vector<SimpleGa>& islands, par::Rng& rng);
+  void migrate(std::span<const Edge> edges);
+  void deliver(std::span<const Transfer> transfers);
+  void deliver_due();
 
   ProblemPtr problem_;
   IslandGaConfig config_;
   par::ThreadPool* pool_;
+
+  // Run state (rebuilt by init()).
+  std::vector<SimpleGa> islands_;
+  std::vector<int> alive_;
+  par::Rng migration_rng_;
+  int generation_ = 0;
+  int epoch_ = 0;
   /// Migrations queued by the delayed (asynchronous-model) mode.
   std::vector<std::vector<Transfer>> in_flight_;
+  /// Per-island best-so-far curves (RunResult::islands history).
+  std::vector<std::vector<double>> island_history_;
 };
 
 }  // namespace psga::ga

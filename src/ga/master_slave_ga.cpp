@@ -1,7 +1,5 @@
 #include "src/ga/master_slave_ga.h"
 
-#include <limits>
-
 namespace psga::ga {
 
 MasterSlaveGa::MasterSlaveGa(ProblemPtr problem, GaConfig config,
@@ -14,23 +12,11 @@ MasterSlaveGa::MasterSlaveGa(ProblemPtr problem, GaConfig config,
   }
 }
 
-SimpleGa MasterSlaveGa::make_engine(const GaConfig& config) const {
-  return SimpleGa(problem_, config, pool_);
+void MasterSlaveGa::init() {
+  inner_.emplace(problem_, config_, pool_);
+  inner_->init();
 }
 
-GaResult MasterSlaveGa::run() {
-  SimpleGa engine = make_engine(config_);
-  return engine.run();
-}
-
-GaResult MasterSlaveGa::run_time_budget(double seconds) {
-  GaConfig patched = config_;
-  patched.termination.max_generations = std::numeric_limits<int>::max();
-  patched.termination.max_seconds = seconds;
-  patched.termination.target_objective = -1.0;
-  patched.termination.stagnation_generations = 0;
-  SimpleGa engine = make_engine(patched);
-  return engine.run();
-}
+void MasterSlaveGa::step() { inner_->step(); }
 
 }  // namespace psga::ga

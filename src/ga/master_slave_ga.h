@@ -4,22 +4,24 @@
 // fitness evaluation, farmed out to worker lanes ("slaves") through the
 // shared Evaluator. As the survey notes, this is the one parallel model
 // that does not change the algorithm's behaviour — enforced here by
-// construction: MasterSlaveGa is a SimpleGa whose GaConfig::eval_backend
-// is promoted to a parallel backend, and a test asserts trace equality
-// with the serial engine for any thread count.
+// construction: MasterSlaveGa drives a SimpleGa whose
+// GaConfig::eval_backend is promoted to a parallel backend, and a test
+// asserts trace equality with the serial engine for any thread count.
 //
-// The engine also offers the fixed-time-budget mode of AitZai et al. [14]:
-// run until a wall-clock budget expires and report how many solutions
-// were explored (fitness evaluations), the metric their CPU-vs-GPU
-// comparison uses.
+// The fixed-time-budget mode of AitZai et al. [14] (run until a
+// wall-clock budget expires, report explored solutions) is not special
+// to this engine any more: pass StopCondition::time_budget(seconds) to
+// run() — every engine honors it.
 #pragma once
+
+#include <optional>
 
 #include "src/ga/simple_ga.h"
 #include "src/par/thread_pool.h"
 
 namespace psga::ga {
 
-class MasterSlaveGa {
+class MasterSlaveGa : public Engine {
  public:
   /// `pool` may be null — the library default pool is used. The parallel
   /// runtime comes from config.eval_backend; a config still set to
@@ -28,20 +30,39 @@ class MasterSlaveGa {
   MasterSlaveGa(ProblemPtr problem, GaConfig config,
                 par::ThreadPool* pool = nullptr);
 
-  /// Full run honoring config.termination.
-  GaResult run();
+  void init() override;
+  void step() override;
+  int generation() const override { return inner_ ? inner_->generation() : 0; }
+  double best_objective() const override {
+    return inner_ ? inner_->best_objective() : 0.0;
+  }
+  const Genome& best() const override { return inner_->best(); }
+  long long evaluations() const override {
+    return inner_ ? inner_->evaluations() : 0;
+  }
+  int population_size() const override {
+    return inner_ ? inner_->population_size() : 0;
+  }
+  const Genome& individual(int i) const override {
+    return inner_->individual(i);
+  }
+  double objective_of(int i) const override { return inner_->objective_of(i); }
+  StopCondition stop_default() const override { return config_.termination; }
 
-  /// Fixed-budget mode ([14]): ignores max_generations and runs until
-  /// `seconds` elapse; GaResult::evaluations is the explored-solutions
-  /// count.
-  GaResult run_time_budget(double seconds);
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override {
+    config_.termination = stop;
+  }
 
  private:
-  SimpleGa make_engine(const GaConfig& config) const;
-
   ProblemPtr problem_;
   GaConfig config_;
   par::ThreadPool* pool_;
+  /// The single-population engine doing the work; rebuilt by init() so
+  /// every run starts from the configured seed.
+  std::optional<SimpleGa> inner_;
 };
 
 }  // namespace psga::ga

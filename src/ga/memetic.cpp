@@ -1,8 +1,6 @@
 #include "src/ga/memetic.h"
 
 #include <algorithm>
-#include <chrono>
-#include <memory>
 #include <numeric>
 
 namespace psga::ga {
@@ -10,78 +8,55 @@ namespace psga::ga {
 MemeticGa::MemeticGa(ProblemPtr problem, MemeticConfig config)
     : problem_(std::move(problem)), config_(std::move(config)) {}
 
-GaResult MemeticGa::run() {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&start] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
-  SimpleGa inner(problem_, config_.base);
-  par::Rng rng(config_.base.seed ^ 0x5eedu);
-  // One reusable scratch for every local-search climb of the run.
-  const std::unique_ptr<Workspace> workspace = problem_->make_workspace();
-  inner.init();
-  GaResult result;
-  result.history.push_back(inner.best_objective());
-  long long extra_evaluations = 0;
+void MemeticGa::init() {
+  inner_.emplace(problem_, config_.base);
+  rng_ = par::Rng(config_.base.seed ^ 0x5eedu);
+  workspace_ = problem_->make_workspace();
+  extra_evaluations_ = 0;
+  inner_->init();
+}
 
-  const Termination& term = config_.base.termination;
-  for (int gen = 0; gen < term.max_generations; ++gen) {
-    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
-    if (term.target_objective >= 0.0 &&
-        inner.best_objective() <= term.target_objective) {
-      break;
-    }
-    inner.step();
-    if (config_.interval > 0 && (gen + 1) % config_.interval == 0) {
-      // Refine the current top individuals in place.
-      std::vector<int> order(inner.population().size());
-      std::iota(order.begin(), order.end(), 0);
-      const int refine =
-          std::min<int>(config_.refine_count,
-                        static_cast<int>(inner.population().size()));
-      std::partial_sort(order.begin(),
-                        order.begin() + static_cast<std::ptrdiff_t>(refine),
-                        order.end(), [&](int a, int b) {
-                          return inner.objectives()[static_cast<std::size_t>(a)] <
-                                 inner.objectives()[static_cast<std::size_t>(b)];
-                        });
-      for (int r = 0; r < refine; ++r) {
-        const int slot = order[static_cast<std::size_t>(r)];
-        Genome candidate = inner.population()[static_cast<std::size_t>(slot)];
-        const double before =
-            inner.objectives()[static_cast<std::size_t>(slot)];
-        double after = local_search_swap(*problem_, candidate,
-                                         config_.search_budget, rng,
-                                         workspace.get());
-        extra_evaluations += config_.search_budget;
-        if (config_.use_redirect && after >= before) {
-          // Escape: perturb and climb again ([38]'s Redirect step).
-          Genome restarted = candidate;
-          redirect(restarted, rng);
-          const double redirected = local_search_swap(
-              *problem_, restarted, config_.search_budget, rng,
-              workspace.get());
-          extra_evaluations += config_.search_budget;
-          if (redirected < after) {
-            candidate = std::move(restarted);
-            after = redirected;
-          }
-        }
-        if (after < before) {
-          inner.replace_individual(slot, candidate, after);
+void MemeticGa::step() {
+  inner_->step();
+  if (config_.interval > 0 && inner_->generation() % config_.interval == 0) {
+    // Refine the current top individuals in place.
+    std::vector<int> order(inner_->population().size());
+    std::iota(order.begin(), order.end(), 0);
+    const int refine = std::min<int>(
+        config_.refine_count, static_cast<int>(inner_->population().size()));
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(refine),
+                      order.end(), [&](int a, int b) {
+                        return inner_->objectives()[static_cast<std::size_t>(a)] <
+                               inner_->objectives()[static_cast<std::size_t>(b)];
+                      });
+    for (int r = 0; r < refine; ++r) {
+      const int slot = order[static_cast<std::size_t>(r)];
+      Genome candidate = inner_->population()[static_cast<std::size_t>(slot)];
+      const double before =
+          inner_->objectives()[static_cast<std::size_t>(slot)];
+      double after = local_search_swap(*problem_, candidate,
+                                       config_.search_budget, rng_,
+                                       workspace_.get());
+      extra_evaluations_ += config_.search_budget;
+      if (config_.use_redirect && after >= before) {
+        // Escape: perturb and climb again ([38]'s Redirect step).
+        Genome restarted = candidate;
+        redirect(restarted, rng_);
+        const double redirected = local_search_swap(
+            *problem_, restarted, config_.search_budget, rng_,
+            workspace_.get());
+        extra_evaluations_ += config_.search_budget;
+        if (redirected < after) {
+          candidate = std::move(restarted);
+          after = redirected;
         }
       }
+      if (after < before) {
+        inner_->replace_individual(slot, candidate, after);
+      }
     }
-    result.history.push_back(inner.best_objective());
   }
-  result.best = inner.best();
-  result.best_objective = inner.best_objective();
-  result.evaluations = inner.evaluations() + extra_evaluations;
-  result.generations = inner.generation();
-  result.seconds = elapsed();
-  return result;
 }
 
 }  // namespace psga::ga

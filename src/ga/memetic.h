@@ -7,6 +7,10 @@
 // no progress).
 #pragma once
 
+#include <memory>
+#include <optional>
+
+#include "src/ga/engine.h"
 #include "src/ga/local_search.h"
 #include "src/ga/simple_ga.h"
 
@@ -20,15 +24,52 @@ struct MemeticConfig {
   bool use_redirect = true;   ///< Redirect-restart a stuck climb ([38])
 };
 
-class MemeticGa {
+class MemeticGa : public Engine {
  public:
   MemeticGa(ProblemPtr problem, MemeticConfig config);
 
-  GaResult run();
+  void init() override;
+  /// One SimpleGa generation, plus a local-search wave when due.
+  void step() override;
+  int generation() const override {
+    return inner_ ? inner_->generation() : 0;
+  }
+  double best_objective() const override {
+    return inner_ ? inner_->best_objective() : 0.0;
+  }
+  const Genome& best() const override { return inner_->best(); }
+  /// Inner-GA evaluations plus the local-search climbs' budgets.
+  long long evaluations() const override {
+    return (inner_ ? inner_->evaluations() : 0) + extra_evaluations_;
+  }
+  int population_size() const override {
+    return inner_ ? inner_->population_size() : 0;
+  }
+  const Genome& individual(int i) const override {
+    return inner_->individual(i);
+  }
+  double objective_of(int i) const override { return inner_->objective_of(i); }
+  StopCondition stop_default() const override {
+    return config_.base.termination;
+  }
+
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override {
+    config_.base.termination = stop;
+  }
 
  private:
   ProblemPtr problem_;
   MemeticConfig config_;
+
+  // Run state (rebuilt by init()).
+  std::optional<SimpleGa> inner_;
+  par::Rng rng_{0};
+  /// One reusable scratch for every local-search climb of the run.
+  std::unique_ptr<Workspace> workspace_;
+  long long extra_evaluations_ = 0;
 };
 
 }  // namespace psga::ga

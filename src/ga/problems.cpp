@@ -1,7 +1,6 @@
 #include "src/ga/problems.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
 namespace psga::ga {
@@ -13,26 +12,6 @@ std::vector<int> random_permutation(int n, par::Rng& rng) {
   std::iota(perm.begin(), perm.end(), 0);
   rng.shuffle(perm);
   return perm;
-}
-
-/// Typed per-worker scratch carrier: each heavy problem hands the
-/// evaluator a ScratchWorkspace over its sched-layer scratch struct, and
-/// objective(genome, workspace) recovers it via dynamic_cast (falling back
-/// to the allocating path if handed a foreign workspace).
-template <typename S>
-class ScratchWorkspace final : public Workspace {
- public:
-  S scratch;
-};
-
-template <typename S>
-S* scratch_of(Workspace& workspace) {
-  auto* typed = dynamic_cast<ScratchWorkspace<S>*>(&workspace);
-  // A mismatch means make_workspace() and objective() disagree on the
-  // scratch type — a programming error, not a runtime condition; the
-  // release fallback to the allocating path stays correct but slow.
-  assert(typed != nullptr && "workspace type mismatch");
-  return typed != nullptr ? &typed->scratch : nullptr;
 }
 
 }  // namespace
@@ -95,30 +74,9 @@ double FlowShopProblem::objective(const Genome& genome) const {
   return sched::flow_shop_objective(inst_, genome.seq, criterion_);
 }
 
-std::unique_ptr<Workspace> FlowShopProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<sched::FlowShopScratch>>();
-}
-
-double FlowShopProblem::objective(const Genome& genome,
-                                  Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::FlowShopScratch>(workspace)) {
-    return sched::flow_shop_objective(inst_, genome.seq, criterion_, *s);
-  }
-  return objective(genome);
-}
-
-void FlowShopProblem::objective_batch(std::span<const Genome> genomes,
-                                      std::span<double> objectives,
-                                      Workspace& workspace) const {
-  // Resolve the typed scratch once per chunk, not once per genome.
-  if (auto* s = scratch_of<sched::FlowShopScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      objectives[i] =
-          sched::flow_shop_objective(inst_, genomes[i].seq, criterion_, *s);
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
+double FlowShopProblem::objective_with(const Genome& genome,
+                                       sched::FlowShopScratch& scratch) const {
+  return sched::flow_shop_objective(inst_, genome.seq, criterion_, scratch);
 }
 
 // --- RandomKeyFlowShopProblem ----------------------------------------------
@@ -146,39 +104,11 @@ double RandomKeyFlowShopProblem::objective(const Genome& genome) const {
   return sched::flow_shop_objective(inst_, decode(genome), criterion_);
 }
 
-namespace {
-/// Random-key scratch: the decoded permutation plus the flow-shop buffers.
-struct RkFlowScratch {
-  std::vector<int> perm;
-  sched::FlowShopScratch fs;
-};
-}  // namespace
-
-std::unique_ptr<Workspace> RandomKeyFlowShopProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<RkFlowScratch>>();
-}
-
-double RandomKeyFlowShopProblem::objective(const Genome& genome,
-                                           Workspace& workspace) const {
-  if (auto* s = scratch_of<RkFlowScratch>(workspace)) {
-    keys_to_permutation(genome.keys, s->perm);
-    return sched::flow_shop_objective(inst_, s->perm, criterion_, s->fs);
-  }
-  return objective(genome);
-}
-
-void RandomKeyFlowShopProblem::objective_batch(std::span<const Genome> genomes,
-                                               std::span<double> objectives,
-                                               Workspace& workspace) const {
-  if (auto* s = scratch_of<RkFlowScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      keys_to_permutation(genomes[i].keys, s->perm);
-      objectives[i] =
-          sched::flow_shop_objective(inst_, s->perm, criterion_, s->fs);
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
+double RandomKeyFlowShopProblem::objective_with(
+    const Genome& genome, RandomKeyFlowScratch& scratch) const {
+  keys_to_permutation(genome.keys, scratch.perm);
+  return sched::flow_shop_objective(inst_, scratch.perm, criterion_,
+                                    scratch.fs);
 }
 
 // --- JobShopProblem ---------------------------------------------------------
@@ -214,18 +144,6 @@ double JobShopProblem::objective(const Genome& genome) const {
   return sched::job_shop_objective(inst_, decode(genome), criterion_);
 }
 
-std::unique_ptr<Workspace> JobShopProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<sched::JobShopScratch>>();
-}
-
-double JobShopProblem::objective(const Genome& genome,
-                                 Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::JobShopScratch>(workspace)) {
-    return objective_with(genome, *s);
-  }
-  return objective(genome);
-}
-
 double JobShopProblem::objective_with(const Genome& genome,
                                       sched::JobShopScratch& scratch) const {
   const sched::Schedule& schedule =
@@ -233,18 +151,6 @@ double JobShopProblem::objective_with(const Genome& genome,
           ? sched::giffler_thompson_sequence(inst_, genome.seq, scratch)
           : sched::decode_operation_based(inst_, genome.seq, scratch);
   return sched::job_shop_objective(inst_, schedule, criterion_, scratch);
-}
-
-void JobShopProblem::objective_batch(std::span<const Genome> genomes,
-                                     std::span<double> objectives,
-                                     Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::JobShopScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      objectives[i] = objective_with(genomes[i], *s);
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 // --- OpenShopProblem ---------------------------------------------------------
@@ -270,35 +176,11 @@ double OpenShopProblem::objective(const Genome& genome) const {
   return sched::open_shop_objective(inst_, schedule, criterion_);
 }
 
-std::unique_ptr<Workspace> OpenShopProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<sched::OpenShopScratch>>();
-}
-
-double OpenShopProblem::objective(const Genome& genome,
-                                  Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::OpenShopScratch>(workspace)) {
-    return objective_with(genome, *s);
-  }
-  return objective(genome);
-}
-
 double OpenShopProblem::objective_with(const Genome& genome,
                                        sched::OpenShopScratch& scratch) const {
   const sched::Schedule& schedule =
       sched::decode_open_shop(inst_, genome.seq, decoder_, scratch);
   return sched::open_shop_objective(inst_, schedule, criterion_, scratch);
-}
-
-void OpenShopProblem::objective_batch(std::span<const Genome> genomes,
-                                      std::span<double> objectives,
-                                      Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::OpenShopScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      objectives[i] = objective_with(genomes[i], *s);
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 // --- HybridFlowShopProblem ----------------------------------------------------
@@ -321,36 +203,12 @@ double HybridFlowShopProblem::objective(const Genome& genome) const {
   return sched::hybrid_flow_shop_objective(inst_, schedule, objective_);
 }
 
-std::unique_ptr<Workspace> HybridFlowShopProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<sched::HybridFlowShopScratch>>();
-}
-
-double HybridFlowShopProblem::objective(const Genome& genome,
-                                        Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::HybridFlowShopScratch>(workspace)) {
-    return objective_with(genome, *s);
-  }
-  return objective(genome);
-}
-
 double HybridFlowShopProblem::objective_with(
     const Genome& genome, sched::HybridFlowShopScratch& scratch) const {
   const sched::Schedule& schedule =
       sched::decode_hybrid_flow_shop(inst_, genome.seq, scratch);
   return sched::hybrid_flow_shop_objective(inst_, schedule, objective_,
                                            scratch);
-}
-
-void HybridFlowShopProblem::objective_batch(std::span<const Genome> genomes,
-                                            std::span<double> objectives,
-                                            Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::HybridFlowShopScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      objectives[i] = objective_with(genomes[i], *s);
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 double HybridFlowShopProblem::criterion_value(const Genome& genome,
@@ -392,18 +250,6 @@ double FlexibleJobShopProblem::objective(const Genome& genome) const {
   return sched::flexible_job_shop_objective(inst_, schedule, criterion_);
 }
 
-std::unique_ptr<Workspace> FlexibleJobShopProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<sched::FlexibleJobShopScratch>>();
-}
-
-double FlexibleJobShopProblem::objective(const Genome& genome,
-                                         Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::FlexibleJobShopScratch>(workspace)) {
-    return objective_with(genome, *s);
-  }
-  return objective(genome);
-}
-
 double FlexibleJobShopProblem::objective_with(
     const Genome& genome, sched::FlexibleJobShopScratch& scratch) const {
   const sched::Schedule& schedule =
@@ -411,18 +257,6 @@ double FlexibleJobShopProblem::objective_with(
                                       scratch);
   return sched::flexible_job_shop_objective(inst_, schedule, criterion_,
                                             scratch);
-}
-
-void FlexibleJobShopProblem::objective_batch(std::span<const Genome> genomes,
-                                             std::span<double> objectives,
-                                             Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::FlexibleJobShopScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      objectives[i] = objective_with(genomes[i], *s);
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
 }
 
 // --- LotStreamingProblem ----------------------------------------------------
@@ -447,30 +281,10 @@ double LotStreamingProblem::objective(const Genome& genome) const {
       sched::lot_streaming_makespan(inst_, genome.keys, genome.seq));
 }
 
-std::unique_ptr<Workspace> LotStreamingProblem::make_workspace() const {
-  return std::make_unique<ScratchWorkspace<sched::LotStreamingScratch>>();
-}
-
-double LotStreamingProblem::objective(const Genome& genome,
-                                      Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::LotStreamingScratch>(workspace)) {
-    return static_cast<double>(
-        sched::lot_streaming_makespan(inst_, genome.keys, genome.seq, *s));
-  }
-  return objective(genome);
-}
-
-void LotStreamingProblem::objective_batch(std::span<const Genome> genomes,
-                                          std::span<double> objectives,
-                                          Workspace& workspace) const {
-  if (auto* s = scratch_of<sched::LotStreamingScratch>(workspace)) {
-    for (std::size_t i = 0; i < genomes.size(); ++i) {
-      objectives[i] = static_cast<double>(sched::lot_streaming_makespan(
-          inst_, genomes[i].keys, genomes[i].seq, *s));
-    }
-    return;
-  }
-  Problem::objective_batch(genomes, objectives, workspace);
+double LotStreamingProblem::objective_with(
+    const Genome& genome, sched::LotStreamingScratch& scratch) const {
+  return static_cast<double>(
+      sched::lot_streaming_makespan(inst_, genome.keys, genome.seq, scratch));
 }
 
 // --- FuzzyFlowShopProblem ----------------------------------------------------

@@ -1,6 +1,7 @@
 // Concrete Problem adapters, one per shop model in src/sched.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <utility>
 
@@ -18,20 +19,83 @@
 
 namespace psga::ga {
 
+namespace detail {
+
+/// Typed per-worker scratch carrier: each heavy problem hands the
+/// evaluator a ScratchWorkspace over its sched-layer scratch struct, and
+/// the workspace entry points recover it via dynamic_cast (falling back
+/// to the allocating path if handed a foreign workspace).
+template <typename S>
+class ScratchWorkspace final : public Workspace {
+ public:
+  S scratch;
+};
+
+template <typename S>
+S* scratch_of(Workspace& workspace) {
+  auto* typed = dynamic_cast<ScratchWorkspace<S>*>(&workspace);
+  // A mismatch means make_workspace() and objective() disagree on the
+  // scratch type — a programming error, not a runtime condition; the
+  // release fallback to the allocating path stays correct but slow.
+  assert(typed != nullptr && "workspace type mismatch");
+  return typed != nullptr ? &typed->scratch : nullptr;
+}
+
+}  // namespace detail
+
+/// CRTP mixin deduplicating the workspace plumbing every heavy problem
+/// used to repeat: make_workspace() produces a ScratchWorkspace<Scratch>,
+/// and the workspace/batch objective entry points dispatch to
+/// `Derived::objective_with(genome, Scratch&)` with the typed scratch
+/// resolved once per chunk. Derived still implements the allocating
+/// `objective(genome)` (the fallback for foreign workspaces) and may
+/// override objective_batch to exploit cross-genome structure.
+template <typename Derived, typename Scratch>
+class WorkspaceProblem : public Problem {
+ public:
+  std::unique_ptr<Workspace> make_workspace() const final {
+    return std::make_unique<detail::ScratchWorkspace<Scratch>>();
+  }
+
+  double objective(const Genome& genome, Workspace& workspace) const final {
+    if (auto* s = detail::scratch_of<Scratch>(workspace)) {
+      return derived().objective_with(genome, *s);
+    }
+    return derived().objective(genome);
+  }
+
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override {
+    // Resolve the typed scratch once per chunk, not once per genome.
+    if (auto* s = detail::scratch_of<Scratch>(workspace)) {
+      for (std::size_t i = 0; i < genomes.size(); ++i) {
+        objectives[i] = derived().objective_with(genomes[i], *s);
+      }
+      return;
+    }
+    Problem::objective_batch(genomes, objectives, workspace);
+  }
+
+ private:
+  const Derived& derived() const {
+    return static_cast<const Derived&>(*this);
+  }
+};
+
 /// Permutation flow shop under any single criterion.
-class FlowShopProblem final : public Problem {
+class FlowShopProblem final
+    : public WorkspaceProblem<FlowShopProblem, sched::FlowShopScratch> {
  public:
   FlowShopProblem(sched::FlowShopInstance inst,
                   sched::Criterion criterion = sched::Criterion::kMakespan);
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        sched::FlowShopScratch& scratch) const;
 
   const sched::FlowShopInstance& instance() const { return inst_; }
 
@@ -41,9 +105,16 @@ class FlowShopProblem final : public Problem {
   GenomeTraits traits_;
 };
 
+/// Random-key scratch: the decoded permutation plus the flow-shop buffers.
+struct RandomKeyFlowScratch {
+  std::vector<int> perm;
+  sched::FlowShopScratch fs;
+};
+
 /// Flow shop on random keys (Bean-style: permutation = argsort(keys)),
 /// the encoding of Huang et al. [24].
-class RandomKeyFlowShopProblem final : public Problem {
+class RandomKeyFlowShopProblem final
+    : public WorkspaceProblem<RandomKeyFlowShopProblem, RandomKeyFlowScratch> {
  public:
   RandomKeyFlowShopProblem(
       sched::FlowShopInstance inst,
@@ -51,12 +122,10 @@ class RandomKeyFlowShopProblem final : public Problem {
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        RandomKeyFlowScratch& scratch) const;
 
   /// The decoded permutation (exposed for inspection).
   std::vector<int> decode(const Genome& genome) const;
@@ -69,7 +138,8 @@ class RandomKeyFlowShopProblem final : public Problem {
 
 /// Job shop with either the semi-active operation-based decoder or the
 /// Giffler–Thompson active decoder.
-class JobShopProblem final : public Problem {
+class JobShopProblem final
+    : public WorkspaceProblem<JobShopProblem, sched::JobShopScratch> {
  public:
   enum class Decoder { kOperationBased, kGifflerThompson };
 
@@ -79,20 +149,15 @@ class JobShopProblem final : public Problem {
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        sched::JobShopScratch& scratch) const;
 
   const sched::JobShopInstance& instance() const { return inst_; }
   sched::Schedule decode(const Genome& genome) const;
 
  private:
-  double objective_with(const Genome& genome,
-                        sched::JobShopScratch& scratch) const;
-
   sched::JobShopInstance inst_;
   Decoder decoder_;
   sched::Criterion criterion_;
@@ -100,7 +165,8 @@ class JobShopProblem final : public Problem {
 };
 
 /// Open shop with the LPT-Task or LPT-Machine chromosome decoder ([32]).
-class OpenShopProblem final : public Problem {
+class OpenShopProblem final
+    : public WorkspaceProblem<OpenShopProblem, sched::OpenShopScratch> {
  public:
   OpenShopProblem(sched::OpenShopInstance inst,
                   sched::OpenShopDecoder decoder =
@@ -109,19 +175,14 @@ class OpenShopProblem final : public Problem {
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        sched::OpenShopScratch& scratch) const;
 
   const sched::OpenShopInstance& instance() const { return inst_; }
 
  private:
-  double objective_with(const Genome& genome,
-                        sched::OpenShopScratch& scratch) const;
-
   sched::OpenShopInstance inst_;
   sched::OpenShopDecoder decoder_;
   sched::Criterion criterion_;
@@ -131,7 +192,9 @@ class OpenShopProblem final : public Problem {
 /// Hybrid flow shop (job permutation genome), single or composite
 /// criterion — the composite form is the weighted bi-objective of
 /// Rashidi et al. [38].
-class HybridFlowShopProblem final : public Problem {
+class HybridFlowShopProblem final
+    : public WorkspaceProblem<HybridFlowShopProblem,
+                              sched::HybridFlowShopScratch> {
  public:
   HybridFlowShopProblem(
       sched::HybridFlowShopInstance inst,
@@ -140,12 +203,10 @@ class HybridFlowShopProblem final : public Problem {
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        sched::HybridFlowShopScratch& scratch) const;
 
   /// Evaluates a single criterion of the decoded schedule (Pareto
   /// reporting needs the components separately).
@@ -154,16 +215,15 @@ class HybridFlowShopProblem final : public Problem {
   const sched::HybridFlowShopInstance& instance() const { return inst_; }
 
  private:
-  double objective_with(const Genome& genome,
-                        sched::HybridFlowShopScratch& scratch) const;
-
   sched::HybridFlowShopInstance inst_;
   sched::CompositeObjective objective_;
   GenomeTraits traits_;
 };
 
 /// Flexible job shop: assignment + sequencing chromosomes ([36]).
-class FlexibleJobShopProblem final : public Problem {
+class FlexibleJobShopProblem final
+    : public WorkspaceProblem<FlexibleJobShopProblem,
+                              sched::FlexibleJobShopScratch> {
  public:
   FlexibleJobShopProblem(
       sched::FlexibleJobShopInstance inst,
@@ -171,19 +231,14 @@ class FlexibleJobShopProblem final : public Problem {
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        sched::FlexibleJobShopScratch& scratch) const;
 
   const sched::FlexibleJobShopInstance& instance() const { return inst_; }
 
  private:
-  double objective_with(const Genome& genome,
-                        sched::FlexibleJobShopScratch& scratch) const;
-
   sched::FlexibleJobShopInstance inst_;
   sched::Criterion criterion_;
   GenomeTraits traits_;
@@ -191,18 +246,17 @@ class FlexibleJobShopProblem final : public Problem {
 
 /// Lot-streaming flexible flow shop: keys (sublot splits) + sublot
 /// sequencing permutation ([35]).
-class LotStreamingProblem final : public Problem {
+class LotStreamingProblem final
+    : public WorkspaceProblem<LotStreamingProblem, sched::LotStreamingScratch> {
  public:
   explicit LotStreamingProblem(sched::LotStreamingInstance inst);
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
-  std::unique_ptr<Workspace> make_workspace() const override;
-  double objective(const Genome& genome, Workspace& workspace) const override;
-  void objective_batch(std::span<const Genome> genomes,
-                       std::span<double> objectives,
-                       Workspace& workspace) const override;
+  double objective_with(const Genome& genome,
+                        sched::LotStreamingScratch& scratch) const;
 
   const sched::LotStreamingInstance& instance() const { return inst_; }
 

@@ -1,8 +1,9 @@
 #include "src/ga/quantum_ga.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "src/ga/problems.h"
 
@@ -84,19 +85,7 @@ void rotate_toward(std::vector<double>& theta, const Genome& target,
 
 }  // namespace
 
-QuantumGa::QuantumGa(ProblemPtr problem, QuantumGaConfig config,
-                     par::ThreadPool* pool)
-    : problem_(std::move(problem)),
-      config_(std::move(config)),
-      pool_(pool != nullptr ? pool : &par::default_pool()) {}
-
-QuantumGaResult QuantumGa::run() {
-  const auto start = std::chrono::steady_clock::now();
-  const GenomeTraits& traits = problem_->traits();
-  const std::size_t genes = static_cast<std::size_t>(traits.seq_length);
-  const int k = config_.islands;
-
-  par::Rng root(config_.seed);
+struct QuantumGa::State {
   struct Island {
     std::vector<QuantumIndividual> pop;
     par::Rng rng;
@@ -104,11 +93,61 @@ QuantumGaResult QuantumGa::run() {
     double best_obj = -1.0;
     MeasureScratch measure_scratch;
   };
-  std::vector<Island> islands(static_cast<std::size_t>(k));
+
+  State(ProblemPtr problem, EvalBackend backend, par::ThreadPool* pool)
+      : evaluator(std::move(problem), backend, pool) {}
+
+  std::vector<Island> islands;
+  /// All measurements of a generation in one flat batch (island-major)
+  /// so a single Evaluator call covers every island at once.
+  std::vector<Genome> measured;
+  std::vector<double> objectives;
+  Evaluator evaluator;
+  double annealed_noise = 0.0;
+  int generation = 0;
+
+  std::size_t leader() const {
+    std::size_t lead = 0;
+    for (std::size_t i = 1; i < islands.size(); ++i) {
+      if (islands[i].best_obj < islands[lead].best_obj) lead = i;
+    }
+    return lead;
+  }
+};
+
+QuantumGa::QuantumGa(ProblemPtr problem, QuantumGaConfig config,
+                     par::ThreadPool* pool)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &par::default_pool()),
+      planned_generations_(config_.generations) {}
+
+QuantumGa::~QuantumGa() = default;
+
+void QuantumGa::prepare_run(const StopCondition& stop) {
+  // The noise-annealing schedule needs a finite horizon; under an
+  // unbounded generation cap (wall-clock / evaluation budgets) fall back
+  // to the configured generation count so the exploration→exploitation
+  // ramp still happens.
+  planned_generations_ =
+      stop.max_generations == std::numeric_limits<int>::max()
+          ? config_.generations
+          : stop.max_generations;
+}
+
+void QuantumGa::init() {
+  const GenomeTraits& traits = problem_->traits();
+  const std::size_t genes = static_cast<std::size_t>(traits.seq_length);
+  const int k = config_.islands;
+  const std::size_t pop = static_cast<std::size_t>(config_.population);
+
+  state_ = std::make_unique<State>(problem_, config_.eval_backend, pool_);
+  par::Rng root(config_.seed);
+  state_->islands.resize(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
-    Island& island = islands[static_cast<std::size_t>(i)];
+    State::Island& island = state_->islands[static_cast<std::size_t>(i)];
     island.rng = root.split(static_cast<std::uint64_t>(i + 1));
-    island.pop.resize(static_cast<std::size_t>(config_.population));
+    island.pop.resize(pop);
     for (auto& ind : island.pop) {
       ind.theta.resize(genes);
       // Start at maximum superposition (π/4) with small jitter.
@@ -117,31 +156,40 @@ QuantumGaResult QuantumGa::run() {
       }
     }
   }
+  state_->measured.assign(static_cast<std::size_t>(k) * pop, Genome{});
+  state_->objectives.assign(state_->measured.size(), 0.0);
+  state_->annealed_noise = config_.measure_noise;
+  state_->generation = 0;
+}
 
-  QuantumGaResult result;
-
-  // All measurements of a generation live in one flat batch (island-major)
-  // so a single Evaluator call covers every island at once.
+void QuantumGa::step() {
+  State& s = *state_;
+  const GenomeTraits& traits = problem_->traits();
+  const std::size_t genes = static_cast<std::size_t>(traits.seq_length);
   const std::size_t pop = static_cast<std::size_t>(config_.population);
-  std::vector<Genome> measured(static_cast<std::size_t>(k) * pop);
-  std::vector<double> objectives(measured.size(), 0.0);
-  Evaluator evaluator(problem_, config_.eval_backend, pool_);
+  const int k = config_.islands;
 
-  double annealed_noise = config_.measure_noise;
+  const double t =
+      planned_generations_ > 1
+          ? static_cast<double>(s.generation) / (planned_generations_ - 1)
+          : 0.0;
+  s.annealed_noise = config_.measure_noise +
+                     t * (config_.measure_noise_final - config_.measure_noise);
+
   auto measure_island = [&](std::size_t idx) {
-    Island& island = islands[idx];
+    State::Island& island = s.islands[idx];
     for (std::size_t p = 0; p < island.pop.size(); ++p) {
-      measure(island.pop[p].theta, traits, annealed_noise, island.rng,
-              island.measure_scratch, measured[idx * pop + p]);
+      measure(island.pop[p].theta, traits, s.annealed_noise, island.rng,
+              island.measure_scratch, s.measured[idx * pop + p]);
     }
   };
   auto evolve_island = [&](std::size_t idx) {
-    Island& island = islands[idx];
+    State::Island& island = s.islands[idx];
     for (std::size_t p = 0; p < island.pop.size(); ++p) {
-      const double objective = objectives[idx * pop + p];
+      const double objective = s.objectives[idx * pop + p];
       if (island.best_obj < 0.0 || objective < island.best_obj) {
         island.best_obj = objective;
-        island.best = measured[idx * pop + p];
+        island.best = s.measured[idx * pop + p];
       }
     }
     // Rotation toward the island best.
@@ -167,59 +215,96 @@ QuantumGaResult QuantumGa::run() {
     }
   };
 
-  for (int gen = 0; gen < config_.generations; ++gen) {
-    const double t =
-        config_.generations > 1
-            ? static_cast<double>(gen) / (config_.generations - 1)
-            : 0.0;
-    annealed_noise = config_.measure_noise +
-                     t * (config_.measure_noise_final - config_.measure_noise);
-    pool_->parallel_for(islands.size(), measure_island);
-    evaluator.evaluate(measured, objectives);
-    pool_->parallel_for(islands.size(), evolve_island);
-    // Upper level: penetration migration from the globally best island.
-    if (config_.migration_interval > 0 &&
-        (gen + 1) % config_.migration_interval == 0 && k > 1) {
-      std::size_t leader = 0;
-      for (std::size_t i = 1; i < islands.size(); ++i) {
-        if (islands[i].best_obj < islands[leader].best_obj) leader = i;
+  pool_->parallel_for(s.islands.size(), measure_island);
+  s.evaluator.evaluate(s.measured, s.objectives);
+  pool_->parallel_for(s.islands.size(), evolve_island);
+
+  // Upper level: penetration migration from the globally best island.
+  if (config_.migration_interval > 0 &&
+      (s.generation + 1) % config_.migration_interval == 0 && k > 1) {
+    const std::size_t leader = s.leader();
+    // Blend the leader's best-measured solution into every other
+    // island's worst individual's angles.
+    std::vector<double> leader_theta(genes, kHalfPi / 2.0);
+    rotate_toward(leader_theta, s.islands[leader].best, traits, kHalfPi);
+    for (std::size_t i = 0; i < s.islands.size(); ++i) {
+      if (i == leader) continue;
+      std::size_t worst = 0;
+      for (std::size_t p = 1; p < s.islands[i].pop.size(); ++p) {
+        if (s.objectives[i * pop + p] > s.objectives[i * pop + worst]) {
+          worst = p;
+        }
       }
-      // Blend the leader's best-measured solution into every other
-      // island's worst individual's angles.
-      std::vector<double> leader_theta(genes, kHalfPi / 2.0);
-      rotate_toward(leader_theta, islands[leader].best, traits, kHalfPi);
-      for (std::size_t i = 0; i < islands.size(); ++i) {
-        if (i == leader) continue;
-        std::size_t worst = 0;
-        for (std::size_t p = 1; p < islands[i].pop.size(); ++p) {
-          if (objectives[i * pop + p] > objectives[i * pop + worst]) worst = p;
-        }
-        auto& worst_theta = islands[i].pop[worst].theta;
-        for (std::size_t g = 0; g < genes; ++g) {
-          worst_theta[g] = config_.penetration * leader_theta[g] +
-                           (1.0 - config_.penetration) * worst_theta[g];
-        }
+      auto& worst_theta = s.islands[i].pop[worst].theta;
+      for (std::size_t g = 0; g < genes; ++g) {
+        worst_theta[g] = config_.penetration * leader_theta[g] +
+                         (1.0 - config_.penetration) * worst_theta[g];
+      }
+      if (observer_ != nullptr) {
+        observer_->on_migration(MigrationEvent{
+            s.generation + 1, static_cast<int>(leader), static_cast<int>(i),
+            s.islands[leader].best_obj});
       }
     }
-    double global = islands.front().best_obj;
-    for (const auto& island : islands) global = std::min(global, island.best_obj);
-    result.overall.history.push_back(global);
   }
+  ++s.generation;
+}
 
-  std::size_t leader = 0;
-  result.island_best.resize(islands.size());
-  for (std::size_t i = 0; i < islands.size(); ++i) {
-    result.island_best[i] = islands[i].best_obj;
-    if (islands[i].best_obj < islands[leader].best_obj) leader = i;
+int QuantumGa::generation() const {
+  return state_ ? state_->generation : 0;
+}
+
+double QuantumGa::best_objective() const {
+  return state_ ? state_->islands[state_->leader()].best_obj : 0.0;
+}
+
+const Genome& QuantumGa::best() const {
+  return state_->islands[state_->leader()].best;
+}
+
+long long QuantumGa::evaluations() const {
+  return state_ ? state_->evaluator.evaluations() : 0;
+}
+
+int QuantumGa::population_size() const {
+  return state_ ? static_cast<int>(state_->measured.size()) : 0;
+}
+
+const Genome& QuantumGa::individual(int i) const {
+  return state_->measured[static_cast<std::size_t>(i)];
+}
+
+double QuantumGa::objective_of(int i) const {
+  return state_->objectives[static_cast<std::size_t>(i)];
+}
+
+void QuantumGa::fill_sections(RunResult& result) const {
+  const State& s = *state_;
+  IslandSection islands;
+  islands.best.reserve(s.islands.size());
+  islands.best_genome.reserve(s.islands.size());
+  for (const auto& island : s.islands) {
+    islands.best.push_back(island.best_obj);
+    islands.best_genome.push_back(island.best);
   }
-  result.overall.best = islands[leader].best;
-  result.overall.best_objective = islands[leader].best_obj;
-  result.overall.evaluations = evaluator.evaluations();
-  result.overall.generations = config_.generations;
-  result.overall.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return result;
+  islands.surviving = static_cast<int>(s.islands.size());
+  result.islands = std::move(islands);
+
+  QuantumSection quantum;
+  quantum.final_noise = s.annealed_noise;
+  double collapse = 0.0;
+  std::size_t angles = 0;
+  for (const auto& island : s.islands) {
+    for (const auto& ind : island.pop) {
+      for (double theta : ind.theta) {
+        collapse += std::abs(theta - kHalfPi / 2.0);
+        ++angles;
+      }
+    }
+  }
+  quantum.mean_collapse = angles > 0 ? collapse / static_cast<double>(angles)
+                                     : 0.0;
+  result.quantum = quantum;
 }
 
 }  // namespace psga::ga

@@ -14,9 +14,11 @@
 //                  (star-shaped information flow).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/ga/config.h"
+#include "src/ga/engine.h"
 #include "src/ga/evaluator.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
@@ -43,22 +45,46 @@ struct QuantumGaConfig {
   std::uint64_t seed = 1;
 };
 
-struct QuantumGaResult {
-  GaResult overall;
-  std::vector<double> island_best;
-};
-
-class QuantumGa {
+class QuantumGa : public Engine {
  public:
   QuantumGa(ProblemPtr problem, QuantumGaConfig config,
             par::ThreadPool* pool = nullptr);
+  ~QuantumGa() override;
 
-  QuantumGaResult run();
+  /// Sets up the qubit populations; no measurement happens until the
+  /// first step() (evaluates_on_init is false).
+  void init() override;
+  /// One generation: anneal noise, measure every individual, evaluate the
+  /// flat batch, apply rotation/crossover/Not-gate, migrate when due.
+  void step() override;
+  int generation() const override;
+  double best_objective() const override;
+  const Genome& best() const override;
+  long long evaluations() const override;
+  /// The previous generation's measured (collapsed) genomes, island-major.
+  int population_size() const override;
+  const Genome& individual(int i) const override;
+  double objective_of(int i) const override;
+  StopCondition stop_default() const override {
+    return StopCondition::generations(config_.generations);
+  }
+
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override;
+  bool evaluates_on_init() const override { return false; }
+  void fill_sections(RunResult& result) const override;
 
  private:
   ProblemPtr problem_;
   QuantumGaConfig config_;
   par::ThreadPool* pool_;
+  /// Planned horizon of the current run (noise-annealing schedule).
+  int planned_generations_;
+
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace psga::ga

@@ -1,13 +1,47 @@
 // Run records returned by every engine.
+//
+// One RunResult type covers all seven engine families: the common core
+// (best genome, convergence curve, budgets) plus optional typed sections
+// for engine-specific extras — per-island data for the island-structured
+// engines (island, cluster, hybrid, quantum) and measurement/collapse
+// statistics for the quantum engine. A section is engaged only when the
+// engine that produced the result populates it.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "src/ga/genome.h"
 
 namespace psga::ga {
 
-struct GaResult {
+/// Per-island extras of the island-structured engines (island GA, cluster
+/// island GA, islands-of-cellular, quantum). For the cluster engine the
+/// "islands" are MPI-style ranks.
+struct IslandSection {
+  /// Final best objective per island.
+  std::vector<double> best;
+  /// Final best genome per island (the Pareto candidates in [38]). Empty
+  /// for engines that only track objectives per island.
+  std::vector<Genome> best_genome;
+  /// Per-island best-so-far convergence curves, one inner vector per
+  /// island (empty when the engine does not record them).
+  std::vector<std::vector<double>> history;
+  /// Islands still alive at the end of the run; smaller than best.size()
+  /// when stagnation-triggered merging ([29]) is enabled.
+  int surviving = 0;
+};
+
+/// Measurement/collapse statistics of the quantum-inspired engine [28].
+struct QuantumSection {
+  /// Exploration noise level at the final measurement (annealed).
+  double final_noise = 0.0;
+  /// Mean |θ - π/4| over all qubits at the end of the run: 0 = full
+  /// superposition everywhere, π/4 = fully collapsed angles.
+  double mean_collapse = 0.0;
+};
+
+struct RunResult {
   Genome best;
   double best_objective = 0.0;
   /// Best-so-far objective after each generation (convergence curve).
@@ -15,6 +49,13 @@ struct GaResult {
   long long evaluations = 0;  ///< fitness evaluations ("explored solutions")
   int generations = 0;
   double seconds = 0.0;
+
+  /// Engine-specific sections (engaged by the engines that produce them).
+  std::optional<IslandSection> islands;
+  std::optional<QuantumSection> quantum;
 };
+
+/// Historical name from when every engine had its own result struct.
+using GaResult = RunResult;
 
 }  // namespace psga::ga

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <chrono>
 #include <numeric>
 
 namespace psga::ga {
@@ -174,45 +173,6 @@ void SimpleGa::step() {
   objectives_.assign(population_.size(), 0.0);
   ++generation_;
   evaluate_all();
-}
-
-GaResult SimpleGa::run() {
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&start] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
-  init();
-  GaResult result;
-  result.history.push_back(best_objective_);
-  const Termination& term = config_.termination;
-  double stagnation_best = best_objective_;
-  int stagnant = 0;
-  while (generation_ < term.max_generations) {
-    if (term.max_seconds > 0.0 && elapsed() >= term.max_seconds) break;
-    if (term.target_objective >= 0.0 && best_objective_ <= term.target_objective) {
-      break;
-    }
-    if (term.stagnation_generations > 0 &&
-        stagnant >= term.stagnation_generations) {
-      break;
-    }
-    step();
-    result.history.push_back(best_objective_);
-    if (best_objective_ < stagnation_best) {
-      stagnation_best = best_objective_;
-      stagnant = 0;
-    } else {
-      ++stagnant;
-    }
-  }
-  result.best = best_;
-  result.best_objective = best_objective_;
-  result.evaluations = evaluations();
-  result.generations = generation_;
-  result.seconds = elapsed();
-  return result;
 }
 
 void SimpleGa::replace_individual(int slot, const Genome& genome,

@@ -2,17 +2,19 @@
 //   initialize(); while (!done) { Selection(); Crossover(); Mutation();
 //   FitnessValueEvaluation(); }
 //
-// The class also exposes a stepwise API (init / step / population access)
-// so the island engine can drive one SimpleGa per island. All fitness
-// evaluation goes through a psga::ga::Evaluator whose backend comes from
-// GaConfig::eval_backend; since objectives are pure and chunking is
-// deterministic, the evolutionary trace is identical for every backend
-// and thread count (the master-slave invariance of Table III).
+// Implements the unified psga::ga::Engine interface; the island engine
+// drives one SimpleGa per island through the same stepwise API. All
+// fitness evaluation goes through a psga::ga::Evaluator whose backend
+// comes from GaConfig::eval_backend; since objectives are pure and
+// chunking is deterministic, the evolutionary trace is identical for
+// every backend and thread count (the master-slave invariance of
+// Table III).
 #pragma once
 
 #include <span>
 
 #include "src/ga/config.h"
+#include "src/ga/engine.h"
 #include "src/ga/evaluator.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
@@ -20,27 +22,35 @@
 
 namespace psga::ga {
 
-class SimpleGa {
+class SimpleGa : public Engine {
  public:
   /// `pool` may be null — the library default pool is used when the
   /// config selects the thread-pool backend.
   SimpleGa(ProblemPtr problem, GaConfig config,
            par::ThreadPool* pool = nullptr);
 
-  /// Full run honoring config.termination.
-  GaResult run();
-
-  // --- stepwise API (used by the island engine) ---------------------------
-  void init();
-  void step();  ///< one generation: selection, crossover, mutation, evaluation
-  int generation() const { return generation_; }
-  double best_objective() const { return best_objective_; }
-  const Genome& best() const { return best_; }
+  // --- Engine interface ---------------------------------------------------
+  void init() override;
+  void step() override;  ///< one generation: selection, crossover, mutation, evaluation
+  int generation() const override { return generation_; }
+  double best_objective() const override { return best_objective_; }
+  const Genome& best() const override { return best_; }
   /// Fitness evaluations since the last init() (counted by the Evaluator,
   /// the engine's single evaluation path).
-  long long evaluations() const {
+  long long evaluations() const override {
     return evaluator_.evaluations() - evaluations_baseline_;
   }
+  int population_size() const override {
+    return static_cast<int>(population_.size());
+  }
+  const Genome& individual(int i) const override {
+    return population_[static_cast<std::size_t>(i)];
+  }
+  double objective_of(int i) const override {
+    return objectives_[static_cast<std::size_t>(i)];
+  }
+  StopCondition stop_default() const override { return config_.termination; }
+
   const std::vector<Genome>& population() const { return population_; }
   const std::vector<double>& objectives() const { return objectives_; }
   const GenomeTraits& traits() const { return problem_->traits(); }
@@ -63,6 +73,13 @@ class SimpleGa {
 
   /// Current mutation rate (honors the variable-probability schedule).
   double current_mutation_rate() const;
+
+  using Engine::run;
+
+ protected:
+  void prepare_run(const StopCondition& stop) override {
+    config_.termination = stop;
+  }
 
  private:
   void evaluate_all();

@@ -1,0 +1,368 @@
+#include "src/ga/solver.h"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/ga/registry.h"
+
+namespace psga::ga {
+
+namespace {
+
+[[noreturn]] void bad_token(const std::string& token,
+                            const std::string& reason) {
+  throw std::invalid_argument("SolverSpec: " + reason + " in token '" + token +
+                              "'");
+}
+
+EvalBackend parse_eval(const std::string& value, const std::string& token) {
+  if (value == "serial") return EvalBackend::kSerial;
+  if (value == "pool") return EvalBackend::kThreadPool;
+  if (value == "omp") return EvalBackend::kOpenMp;
+  bad_token(token, "unknown eval backend");
+}
+
+Topology parse_topology(const std::string& value, const std::string& token) {
+  if (value == "ring") return Topology::kRing;
+  if (value == "grid") return Topology::kGrid;
+  if (value == "torus") return Topology::kTorus;
+  if (value == "full") return Topology::kFullyConnected;
+  if (value == "star") return Topology::kStar;
+  if (value == "hypercube") return Topology::kHypercube;
+  if (value == "random") return Topology::kRandom;
+  bad_token(token, "unknown topology");
+}
+
+MigrationPolicy parse_policy(const std::string& value,
+                             const std::string& token) {
+  if (value == "best-worst") return MigrationPolicy::kBestReplaceWorst;
+  if (value == "best-random") return MigrationPolicy::kBestReplaceRandom;
+  if (value == "random-random") return MigrationPolicy::kRandomReplaceRandom;
+  bad_token(token, "unknown migration policy");
+}
+
+Neighborhood parse_neighborhood(const std::string& value,
+                                const std::string& token) {
+  if (value == "von-neumann") return Neighborhood::kVonNeumann;
+  if (value == "moore") return Neighborhood::kMoore;
+  bad_token(token, "unknown neighborhood");
+}
+
+FitnessTransform parse_transform(const std::string& value,
+                                 const std::string& token) {
+  if (value == "inverse") return FitnessTransform::kInverse;
+  if (value == "reference") return FitnessTransform::kReference;
+  bad_token(token, "unknown fitness transform");
+}
+
+int parse_int(const std::string& value, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const int parsed = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    bad_token(token, "malformed integer");
+  }
+}
+
+double parse_double(const std::string& value, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    bad_token(token, "malformed number");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    bad_token(token, "malformed integer");
+  }
+}
+
+}  // namespace
+
+SolverSpec SolverSpec::parse(const std::string& text) {
+  SolverSpec spec;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      bad_token(token, "expected key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "engine") {
+      spec.engine = value;
+    } else if (key == "pop") {
+      spec.population = parse_int(value, token);
+    } else if (key == "elites") {
+      spec.elites = parse_int(value, token);
+    } else if (key == "seed") {
+      spec.seed = parse_u64(value, token);
+    } else if (key == "eval") {
+      spec.eval = parse_eval(value, token);
+    } else if (key == "sel") {
+      spec.selection = value;
+    } else if (key == "xover") {
+      spec.crossover = value;
+    } else if (key == "mut") {
+      spec.mutation = value;
+    } else if (key == "xover-rate") {
+      spec.crossover_rate = parse_double(value, token);
+    } else if (key == "mut-rate") {
+      spec.mutation_rate = parse_double(value, token);
+    } else if (key == "immigration") {
+      spec.immigration = parse_double(value, token);
+    } else if (key == "transform") {
+      spec.transform = parse_transform(value, token);
+    } else if (key == "reference") {
+      spec.reference = parse_double(value, token);
+    } else if (key == "islands") {
+      spec.islands = parse_int(value, token);
+    } else if (key == "topology") {
+      spec.topology = parse_topology(value, token);
+    } else if (key == "policy") {
+      spec.policy = parse_policy(value, token);
+    } else if (key == "interval") {
+      spec.interval = parse_int(value, token);
+    } else if (key == "migrants") {
+      spec.migrants = parse_int(value, token);
+    } else if (key == "delay") {
+      spec.delay = parse_int(value, token);
+    } else if (key == "width") {
+      spec.width = parse_int(value, token);
+    } else if (key == "height") {
+      spec.height = parse_int(value, token);
+    } else if (key == "neighborhood") {
+      spec.neighborhood = parse_neighborhood(value, token);
+    } else if (key == "radius") {
+      spec.radius = parse_int(value, token);
+    } else if (key == "refine") {
+      spec.refine = parse_int(value, token);
+    } else if (key == "budget") {
+      spec.budget = parse_int(value, token);
+    } else if (key == "ranks") {
+      spec.ranks = parse_int(value, token);
+    } else if (key == "broadcast") {
+      spec.broadcast = parse_int(value, token);
+    } else {
+      bad_token(token, "unknown key");
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+/// Applies the spec's shared GA knobs onto a GaConfig.
+GaConfig base_config(const SolverSpec& spec) {
+  GaConfig cfg;
+  if (spec.population) cfg.population = *spec.population;
+  if (spec.elites) cfg.elites = *spec.elites;
+  if (spec.seed) cfg.seed = *spec.seed;
+  if (spec.eval) cfg.eval_backend = *spec.eval;
+  if (spec.selection) cfg.ops.selection = make_selection(*spec.selection);
+  if (spec.crossover) cfg.ops.crossover = make_crossover(*spec.crossover);
+  if (spec.mutation) cfg.ops.mutation = make_mutation(*spec.mutation);
+  if (spec.crossover_rate) cfg.ops.crossover_rate = *spec.crossover_rate;
+  if (spec.mutation_rate) cfg.ops.mutation_rate = *spec.mutation_rate;
+  if (spec.immigration) cfg.immigration_fraction = *spec.immigration;
+  if (spec.transform) cfg.transform = *spec.transform;
+  if (spec.reference) cfg.reference_objective = *spec.reference;
+  return cfg;
+}
+
+MigrationConfig migration_config(const SolverSpec& spec) {
+  MigrationConfig mig;
+  if (spec.topology) mig.topology = *spec.topology;
+  if (spec.policy) mig.policy = *spec.policy;
+  if (spec.interval) mig.interval = *spec.interval;
+  if (spec.migrants) mig.count = *spec.migrants;
+  if (spec.delay) mig.delay_epochs = *spec.delay;
+  return mig;
+}
+
+CellularConfig cellular_config(const SolverSpec& spec) {
+  CellularConfig cell;
+  if (spec.width) cell.width = *spec.width;
+  if (spec.height) cell.height = *spec.height;
+  if (spec.neighborhood) cell.neighborhood = *spec.neighborhood;
+  if (spec.radius) cell.radius = *spec.radius;
+  if (spec.crossover) cell.crossover = make_crossover(*spec.crossover);
+  if (spec.mutation) cell.mutation = make_mutation(*spec.mutation);
+  if (spec.crossover_rate) cell.crossover_rate = *spec.crossover_rate;
+  if (spec.mutation_rate) cell.mutation_rate = *spec.mutation_rate;
+  if (spec.eval) cell.eval_backend = *spec.eval;
+  if (spec.seed) cell.seed = *spec.seed;
+  return cell;
+}
+
+std::map<std::string, EngineFactory>& registry() {
+  static std::map<std::string, EngineFactory> engines = [] {
+    std::map<std::string, EngineFactory> map;
+    map["simple"] = [](ProblemPtr problem, const SolverSpec& spec,
+                       par::ThreadPool* pool) {
+      return make_engine(std::move(problem), base_config(spec), pool);
+    };
+    map["master-slave"] = [](ProblemPtr problem, const SolverSpec& spec,
+                             par::ThreadPool* pool) {
+      return make_master_slave_engine(std::move(problem), base_config(spec),
+                                      pool);
+    };
+    map["cellular"] = [](ProblemPtr problem, const SolverSpec& spec,
+                         par::ThreadPool* pool) {
+      return make_engine(std::move(problem), cellular_config(spec), pool);
+    };
+    map["island"] = [](ProblemPtr problem, const SolverSpec& spec,
+                       par::ThreadPool* pool) {
+      IslandGaConfig cfg;
+      cfg.base = base_config(spec);
+      if (spec.islands) cfg.islands = *spec.islands;
+      cfg.migration = migration_config(spec);
+      return make_engine(std::move(problem), std::move(cfg), pool);
+    };
+    map["islands-of-cellular"] = [](ProblemPtr problem, const SolverSpec& spec,
+                                    par::ThreadPool* pool) {
+      IslandsOfCellularConfig cfg;
+      cfg.cell = cellular_config(spec);
+      if (spec.islands) cfg.islands = *spec.islands;
+      if (spec.interval) cfg.migration_interval = *spec.interval;
+      if (spec.migrants) cfg.migrants = *spec.migrants;
+      if (spec.seed) cfg.seed = *spec.seed;
+      return make_engine(std::move(problem), std::move(cfg), pool);
+    };
+    map["quantum"] = [](ProblemPtr problem, const SolverSpec& spec,
+                        par::ThreadPool* pool) {
+      // The quantum engine evolves qubit angles; classical operator names
+      // (xover/mut/sel) do not apply and are ignored.
+      QuantumGaConfig cfg;
+      if (spec.islands) cfg.islands = *spec.islands;
+      if (spec.population) cfg.population = *spec.population;
+      if (spec.interval) cfg.migration_interval = *spec.interval;
+      if (spec.eval) cfg.eval_backend = *spec.eval;
+      if (spec.seed) cfg.seed = *spec.seed;
+      return make_engine(std::move(problem), std::move(cfg), pool);
+    };
+    map["memetic"] = [](ProblemPtr problem, const SolverSpec& spec,
+                        par::ThreadPool*) {
+      MemeticConfig cfg;
+      cfg.base = base_config(spec);
+      if (spec.interval) cfg.interval = *spec.interval;
+      if (spec.refine) cfg.refine_count = *spec.refine;
+      if (spec.budget) cfg.search_budget = *spec.budget;
+      return make_engine(std::move(problem), std::move(cfg));
+    };
+    map["cluster"] = [](ProblemPtr problem, const SolverSpec& spec,
+                        par::ThreadPool*) {
+      ClusterIslandConfig cfg;
+      cfg.base = base_config(spec);
+      if (spec.ranks) cfg.ranks = *spec.ranks;
+      if (spec.interval) cfg.neighbor_interval = *spec.interval;
+      if (spec.broadcast) cfg.broadcast_interval = *spec.broadcast;
+      return make_engine(std::move(problem), std::move(cfg));
+    };
+    return map;
+  }();
+  return engines;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+void register_engine(const std::string& name, EngineFactory factory) {
+  std::lock_guard lock(registry_mutex());
+  registry()[name] = std::move(factory);
+}
+
+std::vector<std::string> engine_names() {
+  std::lock_guard lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+Solver Solver::build(const SolverSpec& spec, ProblemPtr problem,
+                     par::ThreadPool* pool) {
+  EngineFactory factory;
+  {
+    std::lock_guard lock(registry_mutex());
+    const auto it = registry().find(spec.engine);
+    if (it == registry().end()) {
+      std::string known;
+      for (const auto& [name, f] : registry()) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw std::invalid_argument("Solver: unknown engine '" + spec.engine +
+                                  "' (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return Solver(factory(std::move(problem), spec, pool));
+}
+
+// --- typed escape hatches ----------------------------------------------------
+
+EnginePtr make_engine(ProblemPtr problem, GaConfig config,
+                      par::ThreadPool* pool) {
+  return std::make_unique<SimpleGa>(std::move(problem), std::move(config),
+                                    pool);
+}
+
+EnginePtr make_master_slave_engine(ProblemPtr problem, GaConfig config,
+                                   par::ThreadPool* pool) {
+  return std::make_unique<MasterSlaveGa>(std::move(problem), std::move(config),
+                                         pool);
+}
+
+EnginePtr make_engine(ProblemPtr problem, CellularConfig config,
+                      par::ThreadPool* pool) {
+  return std::make_unique<CellularGa>(std::move(problem), std::move(config),
+                                      pool);
+}
+
+EnginePtr make_engine(ProblemPtr problem, IslandGaConfig config,
+                      par::ThreadPool* pool) {
+  return std::make_unique<IslandGa>(std::move(problem), std::move(config),
+                                    pool);
+}
+
+EnginePtr make_engine(ProblemPtr problem, IslandsOfCellularConfig config,
+                      par::ThreadPool* pool) {
+  return std::make_unique<IslandsOfCellularGa>(std::move(problem),
+                                               std::move(config), pool);
+}
+
+EnginePtr make_engine(ProblemPtr problem, QuantumGaConfig config,
+                      par::ThreadPool* pool) {
+  return std::make_unique<QuantumGa>(std::move(problem), std::move(config),
+                                     pool);
+}
+
+EnginePtr make_engine(ProblemPtr problem, MemeticConfig config) {
+  return std::make_unique<MemeticGa>(std::move(problem), std::move(config));
+}
+
+EnginePtr make_engine(ProblemPtr problem, ClusterIslandConfig config) {
+  return std::make_unique<ClusterIslandGa>(std::move(problem),
+                                           std::move(config));
+}
+
+}  // namespace psga::ga

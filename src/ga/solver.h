@@ -1,0 +1,150 @@
+// The unified solver facade: declarative run specs, a string-keyed
+// engine registry, and one entry point for every parallel GA model.
+//
+//   auto problem = std::make_shared<FlowShopProblem>(instance);
+//   Solver solver = Solver::build(
+//       SolverSpec::parse("engine=island topology=ring islands=8 xover=ox"),
+//       problem);
+//   RunResult r = solver.run(StopCondition::generations(200));
+//
+// SolverSpec mirrors make_crossover/make_mutation/make_selection in
+// src/ga/registry.h one level up: engines are named, operators are named,
+// and a whole experiment row (bench sweeps, scenario grids) is one short
+// string. Fields are optional so an unset key keeps the engine's own
+// default (e.g. the cellular engine's thread-pool evaluation backend).
+//
+// Spec-string cookbook (see docs/architecture.md for the full list):
+//   engine=simple pop=100 seed=7 xover=ox mut=swap sel=tournament4
+//   engine=master-slave pop=200 eval=omp
+//   engine=cellular width=16 height=16 neighborhood=moore radius=2
+//   engine=island islands=8 topology=hypercube policy=best-random interval=5
+//   engine=islands-of-cellular islands=4 width=8 height=8 interval=20
+//   engine=quantum islands=4 pop=20
+//   engine=memetic pop=60 interval=5 refine=2 budget=150
+//   engine=cluster ranks=6 interval=5 broadcast=25
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ga/cellular_ga.h"
+#include "src/ga/engine.h"
+#include "src/ga/hybrid_ga.h"
+#include "src/ga/island_cluster.h"
+#include "src/ga/island_ga.h"
+#include "src/ga/master_slave_ga.h"
+#include "src/ga/memetic.h"
+#include "src/ga/quantum_ga.h"
+#include "src/ga/simple_ga.h"
+
+namespace psga::ga {
+
+/// Declarative engine configuration parsed from "key=value ..." strings.
+/// Unset fields keep the target engine's defaults.
+struct SolverSpec {
+  std::string engine = "simple";
+
+  // Shared GA knobs.
+  std::optional<int> population;       ///< pop= (per island for island engines)
+  std::optional<int> elites;           ///< elites=
+  std::optional<std::uint64_t> seed;   ///< seed=
+  std::optional<EvalBackend> eval;     ///< eval=serial|pool|omp
+  std::optional<std::string> selection;  ///< sel= (make_selection names)
+  std::optional<std::string> crossover;  ///< xover= (make_crossover names)
+  std::optional<std::string> mutation;   ///< mut= (make_mutation names)
+  std::optional<double> crossover_rate;  ///< xover-rate=
+  std::optional<double> mutation_rate;   ///< mut-rate=
+  std::optional<double> immigration;     ///< immigration= ([24]'s c%)
+  std::optional<FitnessTransform> transform;  ///< transform=inverse|reference
+  std::optional<double> reference;       ///< reference= (Fbar for Eq. (1))
+
+  // Island-structured engines.
+  std::optional<int> islands;            ///< islands=
+  std::optional<Topology> topology;      ///< topology=ring|grid|torus|full|star|hypercube|random
+  std::optional<MigrationPolicy> policy; ///< policy=best-worst|best-random|random-random
+  std::optional<int> interval;  ///< interval= (migration / LS wave / GN period)
+  std::optional<int> migrants;  ///< migrants= per edge per epoch
+  std::optional<int> delay;     ///< delay= epochs (async migration model)
+
+  // Cellular engines.
+  std::optional<int> width;
+  std::optional<int> height;
+  std::optional<Neighborhood> neighborhood;  ///< neighborhood=von-neumann|moore
+  std::optional<int> radius;
+
+  // Memetic engine.
+  std::optional<int> refine;  ///< refine= individuals per LS wave
+  std::optional<int> budget;  ///< budget= objective evaluations per climb
+
+  // Cluster engine.
+  std::optional<int> ranks;      ///< ranks=
+  std::optional<int> broadcast;  ///< broadcast= (LN period; 0 = off)
+
+  /// Parses a whitespace-separated "key=value ..." spec. Throws
+  /// std::invalid_argument naming the offending token for unknown keys,
+  /// malformed tokens, and unknown enum values.
+  static SolverSpec parse(const std::string& text);
+};
+
+/// The facade: builds any registered engine from a spec and runs it.
+class Solver {
+ public:
+  /// Looks the spec's engine up in the registry and configures it for
+  /// `problem`. Throws std::invalid_argument for unknown engine names
+  /// (the message lists the registered ones).
+  static Solver build(const SolverSpec& spec, ProblemPtr problem,
+                      par::ThreadPool* pool = nullptr);
+
+  RunResult run(const StopCondition& stop) { return engine_->run(stop); }
+  RunResult run() { return engine_->run(); }
+
+  /// Observer hooks for telemetry / early stopping / checkpoints.
+  void set_observer(RunObserver* observer) { engine_->set_observer(observer); }
+
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  explicit Solver(EnginePtr engine) : engine_(std::move(engine)) {}
+
+ private:
+  EnginePtr engine_;
+};
+
+// --- engine registry ---------------------------------------------------------
+
+/// Factory signature: build an engine for `problem` from `spec`.
+using EngineFactory =
+    std::function<EnginePtr(ProblemPtr, const SolverSpec&, par::ThreadPool*)>;
+
+/// Registers (or replaces) an engine factory under `name`; the built-in
+/// engines are pre-registered. Lets downstream code plug new models into
+/// SolverSpec strings without touching this file.
+void register_engine(const std::string& name, EngineFactory factory);
+
+/// Sorted names currently registered (the legal `engine=` values).
+std::vector<std::string> engine_names();
+
+// --- typed escape hatches ----------------------------------------------------
+// For configurations beyond what spec strings express (heterogeneous
+// per-island operators, composite objectives, merge schedules), build the
+// typed config and get the same Engine interface back. These are the only
+// supported way to obtain an engine outside Solver::build.
+
+EnginePtr make_engine(ProblemPtr problem, GaConfig config,
+                      par::ThreadPool* pool = nullptr);  ///< simple GA
+EnginePtr make_master_slave_engine(ProblemPtr problem, GaConfig config,
+                                   par::ThreadPool* pool = nullptr);
+EnginePtr make_engine(ProblemPtr problem, CellularConfig config,
+                      par::ThreadPool* pool = nullptr);
+EnginePtr make_engine(ProblemPtr problem, IslandGaConfig config,
+                      par::ThreadPool* pool = nullptr);
+EnginePtr make_engine(ProblemPtr problem, IslandsOfCellularConfig config,
+                      par::ThreadPool* pool = nullptr);
+EnginePtr make_engine(ProblemPtr problem, QuantumGaConfig config,
+                      par::ThreadPool* pool = nullptr);
+EnginePtr make_engine(ProblemPtr problem, MemeticConfig config);
+EnginePtr make_engine(ProblemPtr problem, ClusterIslandConfig config);
+
+}  // namespace psga::ga

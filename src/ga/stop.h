@@ -1,0 +1,62 @@
+// Universal stop condition shared by every engine and the Solver facade.
+//
+// Any satisfied condition terminates a run. This is the survey's whole
+// budget vocabulary in one struct: generation counts (the usual GA
+// budget), wall-clock budgets (the fixed-time CPU-vs-GPU comparisons of
+// AitZai et al. [14]), explored-solutions budgets (fitness evaluations),
+// target objectives (stop at a known optimum) and stagnation windows.
+#pragma once
+
+#include <limits>
+
+namespace psga::ga {
+
+struct StopCondition {
+  int max_generations = 100;
+  double max_seconds = 0.0;        ///< 0 = no wall-clock limit
+  double target_objective = -1.0;  ///< stop when best <= target (if >= 0)
+  int stagnation_generations = 0;  ///< 0 = disabled
+  long long max_evaluations = 0;   ///< 0 = no evaluation budget
+
+  /// Plain generation budget.
+  static StopCondition generations(int n) {
+    StopCondition stop;
+    stop.max_generations = n;
+    return stop;
+  }
+
+  /// Fixed wall-clock budget ([14]): run until `seconds` elapse,
+  /// whatever the generation count.
+  static StopCondition time_budget(double seconds) {
+    StopCondition stop;
+    stop.max_generations = std::numeric_limits<int>::max();
+    stop.max_seconds = seconds;
+    return stop;
+  }
+
+  /// Explored-solutions budget: stop once `n` fitness evaluations have
+  /// been spent.
+  static StopCondition evaluation_budget(long long n) {
+    StopCondition stop;
+    stop.max_generations = std::numeric_limits<int>::max();
+    stop.max_evaluations = n;
+    return stop;
+  }
+
+  /// Stop as soon as the best objective reaches `objective` (or after
+  /// `max_generations` as a backstop).
+  static StopCondition target(double objective,
+                              int generation_backstop =
+                                  std::numeric_limits<int>::max()) {
+    StopCondition stop;
+    stop.max_generations = generation_backstop;
+    stop.target_objective = objective;
+    return stop;
+  }
+};
+
+/// Historical name, kept so GaConfig-based code reads naturally; the
+/// config's termination IS the engine's default StopCondition.
+using Termination = StopCondition;
+
+}  // namespace psga::ga

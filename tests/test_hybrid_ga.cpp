@@ -73,9 +73,9 @@ TEST(TorusIslandConfig, ModelBWiring) {
   IslandGa ga(std::make_shared<FlowShopProblem>(
                   sched::make_taillard(sched::taillard_20x5().front())),
               cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.overall.best_objective,
-            result.overall.history.front() + 1.0);
+  const RunResult result = ga.run();
+  EXPECT_LT(result.best_objective,
+            result.history.front() + 1.0);
 }
 
 }  // namespace

@@ -24,10 +24,10 @@ TEST(Integration, IslandGaGetsCloseToFt06Optimum) {
   cfg.base.seed = 7;
   cfg.migration.interval = 5;
   IslandGa ga(problem, cfg);
-  const IslandGaResult result = ga.run();
+  const RunResult result = ga.run();
   // ft06 optimum is 55; the GT-decoded island GA should land within 10%.
-  EXPECT_GE(result.overall.best_objective, 55.0);
-  EXPECT_LE(result.overall.best_objective, 60.5);
+  EXPECT_GE(result.best_objective, 55.0);
+  EXPECT_LE(result.best_objective, 60.5);
 }
 
 TEST(Integration, SimpleGaBeatsNehGivenTime) {
@@ -94,9 +94,9 @@ TEST(Integration, AllEnginesAgreeOnObjectiveSemantics) {
   icfg.islands = 3;
   icfg.base = cfg;
   IslandGa island(problem, icfg);
-  const IslandGaResult r2 = island.run();
-  EXPECT_DOUBLE_EQ(problem->objective(r2.overall.best),
-                   r2.overall.best_objective);
+  const RunResult r2 = island.run();
+  EXPECT_DOUBLE_EQ(problem->objective(r2.best),
+                   r2.best_objective);
 }
 
 }  // namespace

@@ -28,10 +28,10 @@ IslandGaConfig config(std::uint64_t seed = 1) {
 
 TEST(IslandGa, ImprovesAndMonotone) {
   IslandGa ga(problem(), config());
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
-  for (std::size_t i = 1; i < result.overall.history.size(); ++i) {
-    EXPECT_LE(result.overall.history[i], result.overall.history[i - 1]);
+  const RunResult result = ga.run();
+  EXPECT_LT(result.best_objective, result.history.front());
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LE(result.history[i], result.history[i - 1]);
   }
 }
 
@@ -40,21 +40,21 @@ TEST(IslandGa, DeterministicForSeedAcrossThreadCounts) {
   {
     par::ThreadPool pool(1);
     IslandGa ga(problem(), config(9), &pool);
-    reference = ga.run().overall.history;
+    reference = ga.run().history;
   }
   for (int threads : {2, 8}) {
     par::ThreadPool pool(threads);
     IslandGa ga(problem(), config(9), &pool);
-    EXPECT_EQ(ga.run().overall.history, reference) << threads;
+    EXPECT_EQ(ga.run().history, reference) << threads;
   }
 }
 
 TEST(IslandGa, GlobalBestIsMinOfIslandBests) {
   IslandGa ga(problem(), config(3));
-  const IslandGaResult result = ga.run();
-  double min_island = result.island_best.front();
-  for (double b : result.island_best) min_island = std::min(min_island, b);
-  EXPECT_DOUBLE_EQ(result.overall.best_objective, min_island);
+  const RunResult result = ga.run();
+  double min_island = result.islands->best.front();
+  for (double b : result.islands->best) min_island = std::min(min_island, b);
+  EXPECT_DOUBLE_EQ(result.best_objective, min_island);
 }
 
 class TopologySweep : public ::testing::TestWithParam<Topology> {};
@@ -64,9 +64,9 @@ TEST_P(TopologySweep, RunsAndImproves) {
   cfg.islands = 6;
   cfg.migration.topology = GetParam();
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
-  EXPECT_EQ(result.surviving_islands, 6);
+  const RunResult result = ga.run();
+  EXPECT_LT(result.best_objective, result.history.front());
+  EXPECT_EQ(result.islands->surviving, 6);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -81,8 +81,8 @@ TEST_P(PolicySweep, RunsAndImproves) {
   IslandGaConfig cfg = config(6);
   cfg.migration.policy = GetParam();
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+  const RunResult result = ga.run();
+  EXPECT_LT(result.best_objective, result.history.front());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
@@ -101,13 +101,13 @@ TEST(IslandGa, MigrationSpreadsBestIndividual) {
   IslandGaConfig without = config(7);
   without.migration.interval = 0;
 
-  const IslandGaResult rw = IslandGa(problem(), with).run();
-  const IslandGaResult ro = IslandGa(problem(), without).run();
+  const RunResult rw = IslandGa(problem(), with).run();
+  const RunResult ro = IslandGa(problem(), without).run();
   auto spread = [](const std::vector<double>& xs) {
     return *std::max_element(xs.begin(), xs.end()) -
            *std::min_element(xs.begin(), xs.end());
   };
-  EXPECT_LE(spread(rw.island_best), spread(ro.island_best));
+  EXPECT_LE(spread(rw.islands->best), spread(ro.islands->best));
 }
 
 TEST(IslandGa, IdenticalStartMakesIslandsEqualWithoutMigration) {
@@ -116,10 +116,10 @@ TEST(IslandGa, IdenticalStartMakesIslandsEqualWithoutMigration) {
   cfg.migration.interval = 0;
   cfg.per_island_ops.clear();
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
+  const RunResult result = ga.run();
   // Same seed, same operators, no interaction: all islands identical.
-  for (double b : result.island_best) {
-    EXPECT_DOUBLE_EQ(b, result.island_best.front());
+  for (double b : result.islands->best) {
+    EXPECT_DOUBLE_EQ(b, result.islands->best.front());
   }
 }
 
@@ -133,8 +133,8 @@ TEST(IslandGa, HeterogeneousOperatorsPerIsland) {
     cfg.per_island_ops.push_back(ops);
   }
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+  const RunResult result = ga.run();
+  EXPECT_LT(result.best_objective, result.history.front());
 }
 
 TEST(IslandGa, PerIslandProblemsForWeightedObjectives) {
@@ -168,9 +168,9 @@ TEST(IslandGa, PerIslandProblemsForWeightedObjectives) {
         std::make_shared<HybridFlowShopProblem>(inst, obj));
   }
   IslandGa ga(cfg.per_island_problems.front(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_EQ(result.island_best.size(), 4u);
-  for (double b : result.island_best) EXPECT_GT(b, 0.0);
+  const RunResult result = ga.run();
+  EXPECT_EQ(result.islands->best.size(), 4u);
+  for (double b : result.islands->best) EXPECT_GT(b, 0.0);
 }
 
 TEST(IslandGa, MergingReducesIslandCount) {
@@ -182,9 +182,9 @@ TEST(IslandGa, MergingReducesIslandCount) {
   cfg.merge.hamming_threshold = 25;  // generous: triggers merging fast
   cfg.merge.fraction = 0.4;
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.surviving_islands, 6);
-  EXPECT_GE(result.surviving_islands, 1);
+  const RunResult result = ga.run();
+  EXPECT_LT(result.islands->surviving, 6);
+  EXPECT_GE(result.islands->surviving, 1);
 }
 
 TEST(IslandGa, DelayedMigrationIsDeterministicAndDistinct) {
@@ -199,10 +199,10 @@ TEST(IslandGa, DelayedMigrationIsDeterministicAndDistinct) {
   IslandGa a2(problem(), delayed);
   const auto r1 = a1.run();
   const auto r2 = a2.run();
-  EXPECT_EQ(r1.overall.history, r2.overall.history);
+  EXPECT_EQ(r1.history, r2.history);
 
   IslandGa b(problem(), sync);
-  EXPECT_NE(b.run().overall.history, r1.overall.history);
+  EXPECT_NE(b.run().history, r1.history);
 }
 
 TEST(IslandGa, DelayedMigrationStillImproves) {
@@ -210,17 +210,17 @@ TEST(IslandGa, DelayedMigrationStillImproves) {
   cfg.migration.interval = 2;
   cfg.migration.delay_epochs = 1;
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_LT(result.overall.best_objective, result.overall.history.front());
+  const RunResult result = ga.run();
+  EXPECT_LT(result.best_objective, result.history.front());
 }
 
 TEST(IslandGa, SingleIslandDegeneratesToSimpleGa) {
   IslandGaConfig cfg = config(13);
   cfg.islands = 1;
   IslandGa ga(problem(), cfg);
-  const IslandGaResult result = ga.run();
-  EXPECT_EQ(result.island_best.size(), 1u);
-  EXPECT_DOUBLE_EQ(result.overall.best_objective, result.island_best[0]);
+  const RunResult result = ga.run();
+  EXPECT_EQ(result.islands->best.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.best_objective, result.islands->best[0]);
 }
 
 }  // namespace

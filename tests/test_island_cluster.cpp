@@ -27,31 +27,31 @@ ClusterIslandConfig config(int ranks = 4) {
 
 TEST(ClusterIsland, RunsAndImproves) {
   const auto result = run_cluster_island_ga(open_shop_problem(), config());
-  EXPECT_GT(result.overall.best_objective, 0.0);
-  EXPECT_EQ(result.rank_best.size(), 4u);
-  for (double b : result.rank_best) {
-    EXPECT_GE(b, result.overall.best_objective);
+  EXPECT_GT(result.best_objective, 0.0);
+  EXPECT_EQ(result.islands->best.size(), 4u);
+  for (double b : result.islands->best) {
+    EXPECT_GE(b, result.best_objective);
   }
 }
 
 TEST(ClusterIsland, DeterministicAcrossRuns) {
   const auto a = run_cluster_island_ga(open_shop_problem(), config());
   const auto b = run_cluster_island_ga(open_shop_problem(), config());
-  EXPECT_DOUBLE_EQ(a.overall.best_objective, b.overall.best_objective);
-  EXPECT_EQ(a.rank_best, b.rank_best);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+  EXPECT_EQ(a.islands->best, b.islands->best);
 }
 
 TEST(ClusterIsland, SingleRankWorks) {
   const auto result = run_cluster_island_ga(open_shop_problem(), config(1));
-  EXPECT_EQ(result.rank_best.size(), 1u);
-  EXPECT_DOUBLE_EQ(result.rank_best[0], result.overall.best_objective);
+  EXPECT_EQ(result.islands->best.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.islands->best[0], result.best_objective);
 }
 
 TEST(ClusterIsland, FiveRanksMatchHarmananiSetup) {
   // [33] ran on a 5-machine Beowulf cluster.
   const auto result = run_cluster_island_ga(open_shop_problem(), config(5));
-  EXPECT_EQ(result.rank_best.size(), 5u);
-  EXPECT_GT(result.overall.evaluations, 0);
+  EXPECT_EQ(result.islands->best.size(), 5u);
+  EXPECT_GT(result.evaluations, 0);
 }
 
 TEST(ClusterIsland, MigrationHelpsVersusIsolation) {
@@ -63,7 +63,7 @@ TEST(ClusterIsland, MigrationHelpsVersusIsolation) {
   without.broadcast_interval = 0;
   const auto rw = run_cluster_island_ga(open_shop_problem(), with);
   const auto ro = run_cluster_island_ga(open_shop_problem(), without);
-  EXPECT_LE(rw.overall.best_objective, ro.overall.best_objective * 1.05);
+  EXPECT_LE(rw.best_objective, ro.best_objective * 1.05);
 }
 
 TEST(ClusterIsland, JobShopGenomesSurviveTransport) {
@@ -74,8 +74,8 @@ TEST(ClusterIsland, JobShopGenomesSurviveTransport) {
   ClusterIslandConfig cfg = config(3);
   cfg.neighbor_interval = 1;  // migrate every generation: stress transport
   const auto result = run_cluster_island_ga(js, cfg);
-  EXPECT_TRUE(genome_valid(result.overall.best, js->traits()));
-  EXPECT_GE(result.overall.best_objective, 55.0);
+  EXPECT_TRUE(genome_valid(result.best, js->traits()));
+  EXPECT_GE(result.best_objective, 55.0);
 }
 
 }  // namespace

@@ -57,13 +57,13 @@ TEST(MasterSlave, DeterministicAcrossRuns) {
 TEST(MasterSlave, TimeBudgetModeCountsExploredSolutions) {
   par::ThreadPool pool(4);
   MasterSlaveGa ga(problem(), config(), &pool);
-  const GaResult result = ga.run_time_budget(0.2);
+  const GaResult result = ga.run(StopCondition::time_budget(0.2));
   EXPECT_GT(result.evaluations, 0);
   EXPECT_GE(result.seconds, 0.15);
   EXPECT_LT(result.seconds, 3.0);
   // More budget => at least as many explored solutions.
   MasterSlaveGa ga2(problem(), config(), &pool);
-  const GaResult longer = ga2.run_time_budget(0.5);
+  const GaResult longer = ga2.run(StopCondition::time_budget(0.5));
   EXPECT_GT(longer.evaluations, result.evaluations / 2);
 }
 
@@ -93,7 +93,7 @@ TEST(MasterSlave, BudgetModeIgnoresGenerationCap) {
   cfg.termination.max_generations = 1;  // would stop immediately in run()
   par::ThreadPool pool(4);
   MasterSlaveGa ga(problem(), cfg, &pool);
-  const GaResult result = ga.run_time_budget(0.15);
+  const GaResult result = ga.run(StopCondition::time_budget(0.15));
   EXPECT_GT(result.generations, 1);
 }
 

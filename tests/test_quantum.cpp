@@ -25,29 +25,29 @@ QuantumGaConfig config(std::uint64_t seed = 1) {
 
 TEST(QuantumGa, ImprovesOnJobShop) {
   QuantumGa ga(job_shop(), config());
-  const QuantumGaResult result = ga.run();
-  ASSERT_FALSE(result.overall.history.empty());
-  EXPECT_LE(result.overall.best_objective, result.overall.history.front());
-  EXPECT_GE(result.overall.best_objective, 55.0);
+  const RunResult result = ga.run();
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_LE(result.best_objective, result.history.front());
+  EXPECT_GE(result.best_objective, 55.0);
 }
 
 TEST(QuantumGa, BestGenomeIsValid) {
   QuantumGa ga(job_shop(), config(3));
-  const QuantumGaResult result = ga.run();
-  EXPECT_TRUE(genome_valid(result.overall.best, job_shop()->traits()));
+  const RunResult result = ga.run();
+  EXPECT_TRUE(genome_valid(result.best, job_shop()->traits()));
 }
 
 TEST(QuantumGa, Deterministic) {
   QuantumGa a(job_shop(), config(5));
   QuantumGa b(job_shop(), config(5));
-  EXPECT_EQ(a.run().overall.history, b.run().overall.history);
+  EXPECT_EQ(a.run().history, b.run().history);
 }
 
 TEST(QuantumGa, IslandBestsBoundGlobal) {
   QuantumGa ga(job_shop(), config(7));
-  const QuantumGaResult result = ga.run();
-  for (double b : result.island_best) {
-    EXPECT_GE(b, result.overall.best_objective);
+  const RunResult result = ga.run();
+  for (double b : result.islands->best) {
+    EXPECT_GE(b, result.best_objective);
   }
 }
 
@@ -55,9 +55,9 @@ TEST(QuantumGa, WorksOnPermutationProblems) {
   auto fs = std::make_shared<FlowShopProblem>(
       sched::make_taillard(sched::taillard_20x5().front()));
   QuantumGa ga(fs, config(9));
-  const QuantumGaResult result = ga.run();
-  EXPECT_TRUE(genome_valid(result.overall.best, fs->traits()));
-  EXPECT_GE(result.overall.best_objective, 1278.0);  // ta001 optimum bound
+  const RunResult result = ga.run();
+  EXPECT_TRUE(genome_valid(result.best, fs->traits()));
+  EXPECT_GE(result.best_objective, 1278.0);  // ta001 optimum bound
 }
 
 TEST(QuantumGa, StochasticExpectedValueModel) {
@@ -69,16 +69,16 @@ TEST(QuantumGa, StochasticExpectedValueModel) {
   QuantumGaConfig cfg = config(11);
   cfg.generations = 25;
   QuantumGa ga(problem, cfg);
-  const QuantumGaResult result = ga.run();
-  EXPECT_LE(result.overall.best_objective, result.overall.history.front());
+  const RunResult result = ga.run();
+  EXPECT_LE(result.best_objective, result.history.front());
 }
 
 TEST(QuantumGa, MigrationOffStillRuns) {
   QuantumGaConfig cfg = config(13);
   cfg.migration_interval = 0;
   QuantumGa ga(job_shop(), cfg);
-  const QuantumGaResult result = ga.run();
-  EXPECT_GT(result.overall.evaluations, 0);
+  const RunResult result = ga.run();
+  EXPECT_GT(result.evaluations, 0);
 }
 
 TEST(QuantumGa, EvaluationCount) {
@@ -87,8 +87,8 @@ TEST(QuantumGa, EvaluationCount) {
   cfg.population = 10;
   cfg.generations = 7;
   QuantumGa ga(job_shop(), cfg);
-  const QuantumGaResult result = ga.run();
-  EXPECT_EQ(result.overall.evaluations, 2LL * 10 * 7);
+  const RunResult result = ga.run();
+  EXPECT_EQ(result.evaluations, 2LL * 10 * 7);
 }
 
 }  // namespace

@@ -1,0 +1,406 @@
+// The unified Solver facade: spec parsing, the string-keyed engine
+// registry, facade-vs-direct trace equality for every engine, observer
+// hooks, and the universal StopCondition (wall-clock / evaluation
+// budgets for all engines).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/ga/problems.h"
+#include "src/ga/registry.h"
+#include "src/ga/solver.h"
+#include "src/sched/classics.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+namespace {
+
+ProblemPtr flow_shop() {
+  return std::make_shared<FlowShopProblem>(
+      sched::make_taillard(sched::taillard_20x5().front()));
+}
+
+ProblemPtr job_shop() {
+  return std::make_shared<JobShopProblem>(sched::ft06().instance);
+}
+
+// --- facade vs direct construction: identical traces ------------------------
+
+TEST(SolverFacade, SimpleMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(15);
+  GaConfig cfg;
+  cfg.population = 30;
+  cfg.seed = 5;
+  SimpleGa direct(flow_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=simple pop=30 seed=5"),
+                    flow_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+  EXPECT_EQ(expect.evaluations, got.evaluations);
+}
+
+TEST(SolverFacade, MasterSlaveMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(12);
+  GaConfig cfg;
+  cfg.population = 24;
+  cfg.seed = 3;
+  MasterSlaveGa direct(flow_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=master-slave pop=24 seed=3"),
+                    flow_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+}
+
+TEST(SolverFacade, CellularMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(8);
+  CellularConfig cfg;
+  cfg.width = 6;
+  cfg.height = 6;
+  cfg.seed = 7;
+  CellularGa direct(flow_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=cellular width=6 height=6 seed=7"),
+                    flow_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+}
+
+TEST(SolverFacade, IslandMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(10);
+  IslandGaConfig cfg;
+  cfg.islands = 3;
+  cfg.base.population = 16;
+  cfg.base.seed = 9;
+  cfg.migration.interval = 4;
+  IslandGa direct(flow_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(
+          SolverSpec::parse("engine=island islands=3 pop=16 seed=9 interval=4"),
+          flow_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+  ASSERT_TRUE(got.islands.has_value());
+  EXPECT_EQ(expect.islands->best, got.islands->best);
+}
+
+TEST(SolverFacade, IslandsOfCellularMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(6);
+  IslandsOfCellularConfig cfg;
+  cfg.islands = 2;
+  cfg.cell.width = 4;
+  cfg.cell.height = 4;
+  cfg.seed = 11;
+  cfg.migration_interval = 3;
+  IslandsOfCellularGa direct(job_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=islands-of-cellular islands=2 "
+                                      "width=4 height=4 seed=11 interval=3"),
+                    job_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+}
+
+TEST(SolverFacade, QuantumMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(10);
+  QuantumGaConfig cfg;
+  cfg.islands = 2;
+  cfg.population = 8;
+  cfg.seed = 13;
+  QuantumGa direct(job_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=quantum islands=2 pop=8 seed=13"),
+                    job_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+  ASSERT_TRUE(got.quantum.has_value());
+  EXPECT_GT(got.quantum->final_noise, 0.0);
+}
+
+TEST(SolverFacade, MemeticMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(9);
+  MemeticConfig cfg;
+  cfg.base.population = 20;
+  cfg.base.seed = 15;
+  cfg.interval = 3;
+  cfg.refine_count = 2;
+  cfg.search_budget = 40;
+  MemeticGa direct(flow_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=memetic pop=20 seed=15 "
+                                      "interval=3 refine=2 budget=40"),
+                    flow_shop())
+          .run(stop);
+  EXPECT_EQ(expect.history, got.history);
+  EXPECT_EQ(expect.best.seq, got.best.seq);
+  EXPECT_EQ(expect.evaluations, got.evaluations);
+}
+
+TEST(SolverFacade, ClusterMatchesDirectConstruction) {
+  const StopCondition stop = StopCondition::generations(8);
+  ClusterIslandConfig cfg;
+  cfg.ranks = 2;
+  cfg.base.population = 12;
+  cfg.base.seed = 17;
+  cfg.neighbor_interval = 3;
+  cfg.broadcast_interval = 0;
+  ClusterIslandGa direct(flow_shop(), cfg);
+  const RunResult expect = direct.run(stop);
+  const RunResult got =
+      Solver::build(SolverSpec::parse("engine=cluster ranks=2 pop=12 seed=17 "
+                                      "interval=3 broadcast=0"),
+                    flow_shop())
+          .run(stop);
+  EXPECT_DOUBLE_EQ(expect.best_objective, got.best_objective);
+  ASSERT_TRUE(got.islands.has_value());
+  EXPECT_EQ(expect.islands->best, got.islands->best);
+}
+
+// --- registry round-trips ----------------------------------------------------
+
+TEST(SolverSpecRegistry, EveryEngineTimesEveryCrossoverRoundTrips) {
+  // Small instance so the full engine x operator product stays fast.
+  auto problem = std::make_shared<FlowShopProblem>(
+      sched::taillard_flow_shop(8, 3, 1234));
+  const StopCondition one_gen = StopCondition::generations(1);
+  for (const std::string& engine : engine_names()) {
+    for (const std::string& xover : crossover_names(SeqKind::kPermutation)) {
+      const std::string text = "engine=" + engine + " xover=" + xover +
+                               " pop=8 islands=2 ranks=2 width=3 height=3";
+      SCOPED_TRACE(text);
+      const SolverSpec spec = SolverSpec::parse(text);
+      EXPECT_EQ(spec.engine, engine);
+      ASSERT_TRUE(spec.crossover.has_value());
+      EXPECT_EQ(*spec.crossover, xover);
+      const RunResult r = Solver::build(spec, problem).run(one_gen);
+      EXPECT_GT(r.best_objective, 0.0);
+    }
+  }
+}
+
+TEST(SolverSpecRegistry, EveryEngineTimesEveryMutationAndSelectionRoundTrips) {
+  auto problem = std::make_shared<FlowShopProblem>(
+      sched::taillard_flow_shop(8, 3, 99));
+  const StopCondition one_gen = StopCondition::generations(1);
+  const std::vector<std::string> selections = {"roulette", "sus", "tournament3",
+                                               "rank", "elitist-roulette"};
+  for (const std::string& engine : engine_names()) {
+    for (const std::string& mut : sequence_mutation_names()) {
+      const std::string text = "engine=" + engine + " mut=" + mut +
+                               " pop=8 islands=2 ranks=2 width=3 height=3";
+      SCOPED_TRACE(text);
+      const RunResult r =
+          Solver::build(SolverSpec::parse(text), problem).run(one_gen);
+      EXPECT_GT(r.best_objective, 0.0);
+    }
+    for (const std::string& sel : selections) {
+      const std::string text = "engine=" + engine + " sel=" + sel +
+                               " pop=8 islands=2 ranks=2 width=3 height=3";
+      SCOPED_TRACE(text);
+      const RunResult r =
+          Solver::build(SolverSpec::parse(text), problem).run(one_gen);
+      EXPECT_GT(r.best_objective, 0.0);
+    }
+  }
+}
+
+TEST(SolverSpecRegistry, RegisteredEngineNamesAreComplete) {
+  const std::vector<std::string> names = engine_names();
+  for (const char* expected :
+       {"simple", "master-slave", "cellular", "island", "islands-of-cellular",
+        "quantum", "memetic", "cluster"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(SolverSpecRegistry, CustomEngineRegistration) {
+  register_engine("custom-simple",
+                  [](ProblemPtr problem, const SolverSpec&, par::ThreadPool*) {
+                    GaConfig cfg;
+                    cfg.population = 10;
+                    return make_engine(std::move(problem), cfg);
+                  });
+  const RunResult r =
+      Solver::build(SolverSpec::parse("engine=custom-simple"), flow_shop())
+          .run(StopCondition::generations(2));
+  EXPECT_GT(r.best_objective, 0.0);
+}
+
+// --- error reporting ---------------------------------------------------------
+
+TEST(SolverSpec, UnknownKeyThrowsWithOffendingToken) {
+  try {
+    SolverSpec::parse("engine=simple bogus-key=3");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus-key=3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SolverSpec, MalformedTokenThrowsWithOffendingToken) {
+  try {
+    SolverSpec::parse("engine=simple pop");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pop"), std::string::npos);
+  }
+  try {
+    SolverSpec::parse("pop=abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pop=abc"), std::string::npos);
+  }
+  EXPECT_THROW(SolverSpec::parse("topology=moebius"), std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("eval=gpu"), std::invalid_argument);
+}
+
+TEST(Solver, UnknownEngineThrowsListingRegistered) {
+  try {
+    Solver::build(SolverSpec::parse("engine=annealing"), flow_shop());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("annealing"), std::string::npos);
+    EXPECT_NE(what.find("island"), std::string::npos);
+  }
+}
+
+// --- observer hooks ----------------------------------------------------------
+
+class CountingObserver : public RunObserver {
+ public:
+  bool on_generation(const Engine&, const GenerationEvent& event) override {
+    ++generations_seen;
+    last_generation = event.generation;
+    return stop_after < 0 || event.generation < stop_after;
+  }
+  void on_improvement(const Engine&, const GenerationEvent& event) override {
+    improvements.push_back(event.best_objective);
+  }
+  void on_migration(const MigrationEvent& event) override {
+    ++migrations;
+    last_migration_to = event.to;
+  }
+
+  int generations_seen = 0;
+  int last_generation = 0;
+  int stop_after = -1;
+  int migrations = 0;
+  int last_migration_to = -1;
+  std::vector<double> improvements;
+};
+
+TEST(RunObserverHooks, GenerationAndImprovementEvents) {
+  CountingObserver observer;
+  Solver solver =
+      Solver::build(SolverSpec::parse("engine=simple pop=20 seed=21"),
+                    flow_shop());
+  solver.set_observer(&observer);
+  const RunResult r = solver.run(StopCondition::generations(10));
+  // Gen 0 (after init) plus one event per step.
+  EXPECT_EQ(observer.generations_seen, 11);
+  EXPECT_EQ(observer.last_generation, r.generations);
+  // The initial best always counts as an improvement; improvements must
+  // be strictly decreasing.
+  ASSERT_FALSE(observer.improvements.empty());
+  EXPECT_DOUBLE_EQ(observer.improvements.front(), r.history.front());
+  for (std::size_t i = 1; i < observer.improvements.size(); ++i) {
+    EXPECT_LT(observer.improvements[i], observer.improvements[i - 1]);
+  }
+}
+
+TEST(RunObserverHooks, ReturningFalseStopsTheRunEarly) {
+  CountingObserver observer;
+  observer.stop_after = 3;
+  Solver solver =
+      Solver::build(SolverSpec::parse("engine=simple pop=20 seed=23"),
+                    flow_shop());
+  solver.set_observer(&observer);
+  const RunResult r = solver.run(StopCondition::generations(100));
+  EXPECT_EQ(r.generations, 3);
+}
+
+TEST(RunObserverHooks, MigrationEventsFromIslandEngine) {
+  CountingObserver observer;
+  Solver solver = Solver::build(
+      SolverSpec::parse("engine=island islands=3 pop=10 seed=25 interval=1"),
+      flow_shop());
+  solver.set_observer(&observer);
+  solver.run(StopCondition::generations(6));
+  EXPECT_GT(observer.migrations, 0);
+  EXPECT_GE(observer.last_migration_to, 0);
+  EXPECT_LT(observer.last_migration_to, 3);
+}
+
+// --- universal stop conditions ----------------------------------------------
+
+class BudgetSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BudgetSweep, EveryEngineRespectsFiftyMsWallClock) {
+  // Small problem, huge generation cap: only the wall-clock budget can
+  // end the run. Generous upper bound: the budget check runs between
+  // generations, so a run may overshoot by a few generation times.
+  auto problem = std::make_shared<FlowShopProblem>(
+      sched::taillard_flow_shop(10, 4, 777));
+  Solver solver = Solver::build(SolverSpec::parse(GetParam()), problem);
+  const RunResult r = solver.run(StopCondition::time_budget(0.05));
+  EXPECT_GE(r.seconds, 0.05);
+  EXPECT_LT(r.seconds, 1.0) << "engine ran far past its 50 ms budget";
+  EXPECT_GT(r.generations, 0);
+  EXPECT_GT(r.evaluations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, BudgetSweep,
+    ::testing::Values("engine=simple pop=16",
+                      "engine=master-slave pop=16",
+                      "engine=cellular width=4 height=4",
+                      "engine=island islands=2 pop=8 interval=2",
+                      "engine=islands-of-cellular islands=2 width=3 height=3",
+                      "engine=quantum islands=2 pop=8",
+                      "engine=memetic pop=16 interval=2 budget=20",
+                      "engine=cluster ranks=2 pop=8 interval=2 broadcast=4"));
+
+TEST(StopConditions, EvaluationBudgetStopsTheRun) {
+  const RunResult r =
+      Solver::build(SolverSpec::parse("engine=simple pop=20 seed=31"),
+                    flow_shop())
+          .run(StopCondition::evaluation_budget(100));
+  EXPECT_GE(r.evaluations, 100);
+  EXPECT_LE(r.evaluations, 120);  // overshoot bounded by one generation
+}
+
+TEST(StopConditions, TargetObjectiveStopsTheRun) {
+  // A target below any reachable makespan: runs to the generation cap.
+  const RunResult unreachable =
+      Solver::build(SolverSpec::parse("engine=simple pop=16 seed=33"),
+                    flow_shop())
+          .run(StopCondition::target(1.0, 5));
+  EXPECT_EQ(unreachable.generations, 5);
+  // A trivially satisfied target: stops immediately after init.
+  const RunResult trivial =
+      Solver::build(SolverSpec::parse("engine=simple pop=16 seed=33"),
+                    flow_shop())
+          .run(StopCondition::target(1e9, 5));
+  EXPECT_EQ(trivial.generations, 0);
+}
+
+}  // namespace
+}  // namespace psga::ga

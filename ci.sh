@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verify + perf smoke for psga.
 #
-#   ./ci.sh            build, run the full ctest suite, emit a fresh
-#                      bench_micro_decoders JSON snapshot, diff it against
-#                      the committed BENCH_micro.json (per-bench deltas),
-#                      then refresh the snapshot
+#   ./ci.sh            build, run the full ctest suite, rebuild the
+#                      cache/async determinism suites under ASan/UBSan and
+#                      run them, emit a fresh bench JSON snapshot
+#                      (bench_micro_decoders + bench_micro_cache merged),
+#                      diff it against the committed BENCH_micro.json
+#                      (per-bench deltas), then refresh the snapshot
 #   SKIP_BENCH=1 ./ci.sh        tests only
+#   SKIP_SAN=1 ./ci.sh          skip the sanitizer leg
 #   SKIP_BENCH_DIFF=1 ./ci.sh   snapshot without the regression gate
 #   BENCH_TOLERANCE=0.25        decode-bench regression threshold (fraction)
 #
@@ -22,6 +25,26 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
+# Sanitizer leg: the cache/async suites stress a double-buffered pipeline
+# (coordinator threads writing objective slots the engine thread reads
+# after the fence), so run exactly those binaries under ASan/UBSan.
+if [[ "${SKIP_SAN:-0}" != "1" ]]; then
+  SAN_DIR=${SAN_DIR:-build-asan}
+  cmake -B "$SAN_DIR" -S . -DPSGA_SANITIZE=ON \
+        -DPSGA_BUILD_BENCHES=OFF -DPSGA_BUILD_EXAMPLES=OFF
+  # Without GTest the target is never defined (main build only warns) —
+  # degrade the same way instead of failing on the missing target.
+  # (Capture first: `grep -q` would SIGPIPE make under pipefail.)
+  SAN_TARGETS=$(cmake --build "$SAN_DIR" --target help 2>/dev/null || true)
+  if grep -q psga_pipeline_tests <<<"$SAN_TARGETS"; then
+    cmake --build "$SAN_DIR" -j "$JOBS" --target psga_pipeline_tests
+    "$SAN_DIR"/psga_pipeline_tests --gtest_brief=1
+    echo "ci.sh: sanitizer leg OK"
+  else
+    echo "psga_pipeline_tests not configured (GTest missing?); skipping sanitizer leg"
+  fi
+fi
+
 if [[ "${SKIP_BENCH:-0}" != "1" && ! -x "$BUILD_DIR/bench_micro_decoders" ]]; then
   echo "bench_micro_decoders not built (google-benchmark missing?); skipping perf snapshot"
   SKIP_BENCH=1
@@ -34,6 +57,29 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     --benchmark_format=json \
     --benchmark_out="$FRESH" \
     --benchmark_out_format=json >/dev/null
+
+  # Merge the cache/async bench into the same snapshot so the
+  # hit-rate/decode-reduction counters live in BENCH_micro.json.
+  if [[ -x "$BUILD_DIR/bench_micro_cache" ]] && command -v python3 >/dev/null; then
+    CACHE_FRESH=$(mktemp /tmp/psga_bench_cache.XXXXXX.json)
+    "$BUILD_DIR"/bench_micro_cache \
+      --benchmark_min_time=0.05 \
+      --benchmark_format=json \
+      --benchmark_out="$CACHE_FRESH" \
+      --benchmark_out_format=json >/dev/null
+    python3 - "$FRESH" "$CACHE_FRESH" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    merged = json.load(f)
+with open(sys.argv[2]) as f:
+    merged["benchmarks"].extend(json.load(f)["benchmarks"])
+with open(sys.argv[1], "w") as f:
+    json.dump(merged, f, indent=1)
+PYEOF
+    rm -f "$CACHE_FRESH"
+  fi
 
   if [[ "${SKIP_BENCH_DIFF:-0}" != "1" && -f BENCH_micro.json ]] \
      && command -v python3 >/dev/null; then

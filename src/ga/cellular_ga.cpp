@@ -12,12 +12,15 @@ CellularGa::CellularGa(ProblemPtr problem, CellularConfig config,
     : problem_(std::move(problem)),
       config_(std::move(config)),
       pool_(pool != nullptr ? pool : &par::default_pool()),
-      evaluator_(problem_, config_.eval_backend, pool_) {
+      evaluator_(problem_, config_.eval_backend, pool_,
+                 config_.async_coordinator_only) {
   if (!config_.crossover || !config_.mutation) {
     OperatorConfig defaults = default_operators(*problem_);
     if (!config_.crossover) config_.crossover = defaults.crossover;
     if (!config_.mutation) config_.mutation = defaults.mutation;
   }
+  evaluator_.set_cache(
+      EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
 }
 
 std::vector<int> CellularGa::neighbors_of(int cell) const {

@@ -40,6 +40,13 @@ struct CellularConfig {
   /// Fitness batches for the whole grid; the torus is the survey's
   /// fine-grained parallel model, so the parallel pool is the default.
   EvalBackend eval_backend = EvalBackend::kThreadPool;
+  /// Objective memoization (see eval_cache.h); off by default.
+  EvalCacheConfig eval_cache;
+  /// Pre-built cache shared across islands (islands-of-cellular).
+  EvalCachePtr shared_eval_cache;
+  /// Restrict a kAsyncPool pipeline to its coordinator thread (set by
+  /// engines whose outer level owns the pool).
+  bool async_coordinator_only = false;
   Termination termination;
   std::uint64_t seed = 1;
 };
@@ -66,6 +73,9 @@ class CellularGa : public Engine {
   }
   double objective_of(int cell) const override {
     return objectives_[static_cast<std::size_t>(cell)];
+  }
+  EvalCachePtr eval_cache_shared() const override {
+    return evaluator_.cache_ptr();
   }
   StopCondition stop_default() const override { return config_.termination; }
 

@@ -37,6 +37,16 @@ struct OperatorConfig {
 /// genome has an assignment chromosome.
 OperatorConfig default_operators(const Problem& problem);
 
+struct GaConfig;
+
+/// Demotes `base` for an inner engine stepped from a pool thread (an
+/// island, a cluster rank): the non-reentrant ThreadPool must not be
+/// entered again, so kAsyncPool becomes coordinator-only and every other
+/// backend becomes kSerial; `shared_cache` (may be null) is wired in so
+/// all inner engines memoize into one table. Island-structured engines
+/// MUST build their inner configs through this helper.
+GaConfig inner_engine_config(GaConfig base, EvalCachePtr shared_cache);
+
 struct GaConfig {
   int population = 100;
   int elites = 1;  ///< individuals copied unchanged to the next generation
@@ -57,8 +67,22 @@ struct GaConfig {
   OperatorConfig ops;
   /// Which runtime evaluates fitness batches (see evaluator.h). Engines
   /// that already parallelize at a coarser level (islands, cluster ranks)
-  /// force this to kSerial for their inner engines.
+  /// force this to kSerial for their inner engines — except kAsyncPool,
+  /// which they keep in coordinator-only form (async_coordinator_only).
   EvalBackend eval_backend = EvalBackend::kSerial;
+  /// Objective memoization by genome hash (see eval_cache.h); off by
+  /// default. Traces are bit-identical with the cache on or off.
+  EvalCacheConfig eval_cache;
+  /// Pre-built cache to share across engines — island-structured engines
+  /// set this on their inner configs so elites and migrants hit across
+  /// subpopulations. When null and eval_cache.mode != kOff, the engine
+  /// builds its own cache from eval_cache.
+  EvalCachePtr shared_eval_cache;
+  /// Restricts the kAsyncPool pipeline to its coordinator thread (no
+  /// thread-pool fan-out). Engines whose outer level owns the pool
+  /// (parallel island steps, cluster ranks) set this on inner configs;
+  /// leave false for single-population engines.
+  bool async_coordinator_only = false;
   FitnessTransform transform = FitnessTransform::kInverse;
   double reference_objective = 0.0;  ///< Fbar for FitnessTransform::kReference
   Termination termination;

@@ -13,6 +13,15 @@ RunResult Engine::run(const StopCondition& stop) {
   };
 
   prepare_run(stop);
+  // Snapshot cache counters so RunResult::cache reports this run's delta
+  // even when the cache outlives the run (engine reuse, a shared cache
+  // handed to several engines). The shared handle keeps the pre-init
+  // cache alive, so the identity comparison below cannot be fooled by a
+  // fresh cache reusing a freed address; a cache first attached during
+  // init() is fresh by construction, so its zero baseline is correct.
+  const EvalCachePtr pre_run_cache = eval_cache_shared();
+  const EvalCacheStats cache_baseline =
+      pre_run_cache != nullptr ? pre_run_cache->stats() : EvalCacheStats{};
   init();
 
   RunResult result;
@@ -70,6 +79,11 @@ RunResult Engine::run(const StopCondition& stop) {
   result.generations = generation();
   result.seconds = elapsed();
   fill_sections(result);
+  if (const EvalCachePtr cache = eval_cache_shared()) {
+    EvalCacheStats stats = cache->stats();
+    if (cache == pre_run_cache) stats -= cache_baseline;
+    result.cache = stats;
+  }
   return result;
 }
 

@@ -100,6 +100,18 @@ class Engine {
   virtual const Genome& individual(int i) const = 0;
   virtual double objective_of(int i) const = 0;
 
+  /// The evaluation cache behind this engine's evaluators (null when
+  /// caching is off), as a shared handle: the run loop snapshots it
+  /// before init() and holds it across the run, so an engine that
+  /// rebuilds its cache inside init() can never alias the old address
+  /// and corrupt the per-run counter delta. Overrides MUST return a
+  /// handle to a cache the engine itself keeps alive (a copy of a live
+  /// member), never a freshly created or sole-owner snapshot —
+  /// eval_cache() hands out the raw pointer after the handle dies.
+  virtual EvalCachePtr eval_cache_shared() const { return nullptr; }
+  /// Raw-pointer convenience over eval_cache_shared().
+  const EvalCache* eval_cache() const { return eval_cache_shared().get(); }
+
   // --- running ------------------------------------------------------------
   /// Full run under `stop`. The default implementation is the shared
   /// init/step loop; `stop` also replaces the engine's configured

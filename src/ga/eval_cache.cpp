@@ -1,0 +1,89 @@
+#include "src/ga/eval_cache.h"
+
+#include <algorithm>
+
+namespace psga::ga {
+
+EvalCache::EvalCache(EvalCacheConfig config) : config_(config) {
+  const std::size_t shards =
+      static_cast<std::size_t>(std::max(1, config_.shards));
+  shard_capacity_ = std::max<std::size_t>(1, config_.capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<double> EvalCache::lookup(std::uint64_t hash,
+                                        const Genome& genome) {
+  Shard& shard = shard_for(hash);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(hash);
+  if (it == shard.map.end() || !(it->second.genome == genome)) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  if (config_.mode == EvalCacheMode::kLru && it->second.lru != shard.order.begin()) {
+    shard.order.splice(shard.order.begin(), shard.order, it->second.lru);
+  }
+  ++shard.stats.hits;
+  return it->second.objective;
+}
+
+void EvalCache::insert(std::uint64_t hash, const Genome& genome,
+                       double objective) {
+  Shard& shard = shard_for(hash);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(hash);
+  if (it != shard.map.end()) {
+    // Same hash already present: refresh an equal genome, replace a
+    // colliding one (either way the table keeps one entry per hash).
+    it->second.genome = genome;
+    it->second.objective = objective;
+    ++shard.stats.inserts;
+    if (config_.mode == EvalCacheMode::kLru &&
+        it->second.lru != shard.order.begin()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second.lru);
+    }
+    return;
+  }
+  Entry entry;
+  entry.genome = genome;
+  entry.objective = objective;
+  if (config_.mode == EvalCacheMode::kLru) {
+    shard.order.push_front(hash);
+    entry.lru = shard.order.begin();
+  }
+  shard.map.emplace(hash, std::move(entry));
+  ++shard.stats.inserts;
+  if (config_.mode == EvalCacheMode::kLru &&
+      shard.map.size() > shard_capacity_) {
+    const std::uint64_t victim = shard.order.back();
+    shard.order.pop_back();
+    shard.map.erase(victim);
+    ++shard.stats.evictions;
+  }
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.inserts += shard->stats.inserts;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t size = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    size += shard->map.size();
+  }
+  return size;
+}
+
+}  // namespace psga::ga

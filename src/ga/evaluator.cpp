@@ -1,17 +1,164 @@
 #include "src/ga/evaluator.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 #include "src/par/omp_backend.h"
 
 namespace psga::ga {
 
+// --- async pipeline ----------------------------------------------------------
+//
+// One coordinator thread per pipelined Evaluator. submit() enqueues a
+// batch and returns to the engine thread, which keeps breeding while the
+// coordinator decodes — either fanning the batch out on the thread pool
+// (single-population engines, where the pool is otherwise idle between
+// fences) or on the coordinator alone (inner engines of islands/ranks,
+// whose outer level owns the pool). The pipeline is self-contained — own
+// problem handle, workspaces, cache pointer and decode counter — so the
+// owning Evaluator can be moved (vectors of engines) while jobs run.
+class AsyncPipeline {
+ public:
+  struct Job {
+    // Direct mode: evaluate genomes[i] into out[i] (no cache attached).
+    std::span<const Genome> genomes;
+    std::span<double> out;
+    // Filtered mode: cache misses compacted on the engine thread; each
+    // result lands in *miss_out[j] and is inserted into the cache.
+    bool filtered = false;
+    std::vector<Genome> miss_genomes;
+    std::vector<std::uint64_t> miss_hashes;
+    std::vector<double*> miss_out;
+  };
+
+  AsyncPipeline(ProblemPtr problem, par::ThreadPool* pool, bool use_pool)
+      : problem_(std::move(problem)), pool_(pool), use_pool_(use_pool) {
+    const int lanes = use_pool_ ? pool_->thread_count() : 1;
+    workspaces_.reserve(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < lanes; ++i) {
+      workspaces_.push_back(problem_->make_workspace());
+    }
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~AsyncPipeline() {
+    fence();
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_one();
+    thread_.join();
+  }
+
+  void submit(Job job) {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+    work_cv_.notify_one();
+  }
+
+  void fence() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  }
+
+  /// Only call through a fence (the coordinator reads it while busy).
+  void set_cache(EvalCachePtr cache) {
+    std::lock_guard lock(mutex_);
+    cache_ = std::move(cache);
+  }
+
+  long long decode_calls() const noexcept {
+    return decode_calls_.load(std::memory_order_relaxed);
+  }
+
+  int width() const noexcept { return static_cast<int>(workspaces_.size()); }
+
+ private:
+  void loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        busy_ = true;
+      }
+      process(job);
+      {
+        std::lock_guard lock(mutex_);
+        busy_ = false;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  void process(Job& job) {
+    if (!job.filtered) {
+      run_batch(job.genomes, job.out);
+      return;
+    }
+    scratch_.resize(job.miss_genomes.size());
+    run_batch(job.miss_genomes, scratch_);
+    for (std::size_t j = 0; j < job.miss_genomes.size(); ++j) {
+      *job.miss_out[j] = scratch_[j];
+      if (cache_ != nullptr) {
+        cache_->insert(job.miss_hashes[j], job.miss_genomes[j], scratch_[j]);
+      }
+    }
+  }
+
+  void run_batch(std::span<const Genome> genomes, std::span<double> out) {
+    decode_calls_.fetch_add(static_cast<long long>(genomes.size()),
+                            std::memory_order_relaxed);
+    if (!use_pool_) {
+      problem_->objective_batch(genomes, out, *workspaces_[0]);
+      return;
+    }
+    pool_->parallel_lanes(
+        genomes.size(),
+        [&](std::size_t lane, std::size_t begin, std::size_t end) {
+          problem_->objective_batch(genomes.subspan(begin, end - begin),
+                                    out.subspan(begin, end - begin),
+                                    *workspaces_[lane]);
+        });
+  }
+
+  ProblemPtr problem_;
+  par::ThreadPool* pool_;
+  bool use_pool_;
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+  EvalCachePtr cache_;
+  std::vector<double> scratch_;
+  std::atomic<long long> decode_calls_{0};
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// --- evaluator ---------------------------------------------------------------
+
 Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
-                     par::ThreadPool* pool)
+                     par::ThreadPool* pool, bool async_coordinator_only)
     : problem_(std::move(problem)),
       backend_(backend),
-      // Only the thread-pool backend needs a pool; don't materialize the
+      // Only the pool-carried backends need a pool; don't materialize the
       // process-wide default pool (and its worker threads) for serial or
       // OpenMP evaluators.
-      pool_(backend == EvalBackend::kThreadPool && pool == nullptr
+      pool_((backend == EvalBackend::kThreadPool ||
+             (backend == EvalBackend::kAsyncPool && !async_coordinator_only)) &&
+                    pool == nullptr
                 ? &par::default_pool()
                 : pool) {
   int lanes = 1;
@@ -24,6 +171,12 @@ Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
     case EvalBackend::kOpenMp:
       lanes = par::omp_worker_count();
       break;
+    case EvalBackend::kAsyncPool:
+      // Lane 0 here serves evaluate_one; batch workspaces live inside the
+      // pipeline, which owns the threads that use them.
+      pipeline_ = std::make_unique<AsyncPipeline>(problem_, pool_,
+                                                  !async_coordinator_only);
+      break;
   }
   workspaces_.reserve(static_cast<std::size_t>(lanes));
   for (int i = 0; i < lanes; ++i) {
@@ -31,12 +184,16 @@ Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
   }
 }
 
-void Evaluator::evaluate(std::span<const Genome> genomes,
-                         std::span<double> objectives) {
+Evaluator::~Evaluator() = default;
+Evaluator::Evaluator(Evaluator&&) noexcept = default;
+Evaluator& Evaluator::operator=(Evaluator&&) noexcept = default;
+
+void Evaluator::raw_evaluate(std::span<const Genome> genomes,
+                             std::span<double> objectives) {
   const std::size_t n = genomes.size();
-  evaluations_ += static_cast<long long>(n);
   switch (backend_) {
     case EvalBackend::kSerial:
+    case EvalBackend::kAsyncPool:  // unreachable: async goes via submit()
       problem_->objective_batch(genomes, objectives, workspace(0));
       return;
     case EvalBackend::kThreadPool:
@@ -79,9 +236,107 @@ void Evaluator::evaluate(std::span<const Genome> genomes,
   }
 }
 
+void Evaluator::evaluate(std::span<const Genome> genomes,
+                         std::span<double> objectives) {
+  if (backend_ == EvalBackend::kAsyncPool) {
+    submit(genomes, objectives);
+    fence();
+    return;
+  }
+  const std::size_t n = genomes.size();
+  evaluations_ += static_cast<long long>(n);
+  if (cache_ == nullptr) {
+    raw_evaluate(genomes, objectives);
+    decode_calls_ += static_cast<long long>(n);
+    return;
+  }
+  // Filter hits on the calling thread, decode only the misses (still
+  // batched through the backend), then publish the fresh values.
+  miss_genomes_.clear();
+  miss_hashes_.clear();
+  miss_slots_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t hash = genome_hash(genomes[i]);
+    if (const auto value = cache_->lookup(hash, genomes[i])) {
+      objectives[i] = *value;
+    } else {
+      miss_genomes_.push_back(genomes[i]);
+      miss_hashes_.push_back(hash);
+      miss_slots_.push_back(i);
+    }
+  }
+  if (miss_genomes_.empty()) return;
+  miss_values_.resize(miss_genomes_.size());
+  raw_evaluate(miss_genomes_, miss_values_);
+  decode_calls_ += static_cast<long long>(miss_genomes_.size());
+  for (std::size_t j = 0; j < miss_genomes_.size(); ++j) {
+    cache_->insert(miss_hashes_[j], miss_genomes_[j], miss_values_[j]);
+    objectives[miss_slots_[j]] = miss_values_[j];
+  }
+}
+
+void Evaluator::submit(std::span<const Genome> genomes,
+                       std::span<double> objectives) {
+  if (backend_ != EvalBackend::kAsyncPool) {
+    evaluate(genomes, objectives);
+    return;
+  }
+  const std::size_t n = genomes.size();
+  evaluations_ += static_cast<long long>(n);
+  if (n == 0) return;
+  AsyncPipeline::Job job;
+  if (cache_ == nullptr) {
+    job.genomes = genomes;
+    job.out = objectives;
+    pipeline_->submit(std::move(job));
+    return;
+  }
+  // Hits resolve right here on the engine thread; only misses travel.
+  job.filtered = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t hash = genome_hash(genomes[i]);
+    if (const auto value = cache_->lookup(hash, genomes[i])) {
+      objectives[i] = *value;
+    } else {
+      job.miss_genomes.push_back(genomes[i]);
+      job.miss_hashes.push_back(hash);
+      job.miss_out.push_back(&objectives[i]);
+    }
+  }
+  if (!job.miss_genomes.empty()) pipeline_->submit(std::move(job));
+}
+
+void Evaluator::fence() {
+  if (pipeline_ != nullptr) pipeline_->fence();
+}
+
 double Evaluator::evaluate_one(const Genome& genome) {
+  fence();
   ++evaluations_;
+  if (cache_ != nullptr) {
+    const std::uint64_t hash = genome_hash(genome);
+    if (const auto value = cache_->lookup(hash, genome)) return *value;
+    const double objective = problem_->objective(genome, workspace(0));
+    ++decode_calls_;
+    cache_->insert(hash, genome, objective);
+    return objective;
+  }
+  ++decode_calls_;
   return problem_->objective(genome, workspace(0));
+}
+
+void Evaluator::set_cache(EvalCachePtr cache) {
+  fence();
+  cache_ = std::move(cache);
+  if (pipeline_ != nullptr) pipeline_->set_cache(cache_);
+}
+
+long long Evaluator::decode_calls() const noexcept {
+  return decode_calls_ + (pipeline_ != nullptr ? pipeline_->decode_calls() : 0);
+}
+
+int Evaluator::pipeline_width() const noexcept {
+  return pipeline_ != nullptr ? pipeline_->width() : 0;
 }
 
 }  // namespace psga::ga

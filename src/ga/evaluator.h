@@ -8,20 +8,40 @@
 //   kThreadPool — the library thread pool, one static chunk + Workspace
 //                 per lane (the master-slave model of Table III);
 //   kOpenMp     — the OpenMP runtime with the same static chunking
-//                 (serial when OpenMP is not compiled in).
+//                 (serial when OpenMP is not compiled in);
+//   kAsyncPool  — the pipelined mode: submit() enqueues batches on a
+//                 coordinator thread and returns immediately, so an
+//                 engine keeps breeding generation g+1 while earlier
+//                 blocks of it are already being evaluated; fence() is
+//                 the generation fence that every objective read (elitism
+//                 sort, migration, run-loop bookkeeping) must cross.
 // Objectives are pure, and the chunk→lane mapping is deterministic, so
 // results are bit-identical across backends and thread counts; Workspaces
-// only recycle allocations, never carry state between genomes.
+// only recycle allocations, never carry state between genomes. The async
+// pipeline preserves that contract: it changes *when* a batch is decoded,
+// never what the decode returns, and evaluations() counts at submit time
+// on the engine thread, so evaluation-budget stops are backend-invariant.
+//
+// An optional EvalCache (set_cache) memoizes objectives by genome hash;
+// lookups happen on the engine thread, only the misses reach the backend,
+// and decode_calls() reports how many genomes were actually decoded.
+// Several evaluators may share one cache (islands, cluster ranks): cached
+// values come from the same pure objectives, so sharing never perturbs a
+// trace. Cache counters are exact on synchronous backends; under the
+// async pipeline the hit/miss split of intra-flight duplicates depends on
+// insert timing (values never do).
 //
 // An Evaluator instance is NOT re-entrant: it owns one Workspace per lane.
 // Engines that evaluate from several threads at once (islands stepping in
-// parallel) give each inner engine its own serial Evaluator instead.
+// parallel) give each inner engine its own serial — or coordinator-only
+// async — Evaluator instead.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "src/ga/eval_cache.h"
 #include "src/ga/problem.h"
 #include "src/par/thread_pool.h"
 
@@ -32,41 +52,98 @@ enum class EvalBackend {
   kSerial,      ///< calling thread only
   kThreadPool,  ///< the library thread pool (master-slave slaves)
   kOpenMp,      ///< OpenMP parallel-for (serial if not compiled in)
+  kAsyncPool,   ///< pipelined submit()/fence() on a coordinator thread
 };
+
+class AsyncPipeline;  // internal to evaluator.cpp
 
 class Evaluator {
  public:
   /// `pool` may be null — the library default pool is used (only relevant
-  /// for EvalBackend::kThreadPool).
+  /// for the thread-pool and async backends). `async_coordinator_only`
+  /// restricts the async pipeline to its coordinator thread instead of
+  /// fanning batches out on the pool — set by engines whose outer level
+  /// already owns the pool (parallel island steps, cluster ranks), where
+  /// a nested fork-join would contend or deadlock.
   explicit Evaluator(ProblemPtr problem,
                      EvalBackend backend = EvalBackend::kSerial,
-                     par::ThreadPool* pool = nullptr);
+                     par::ThreadPool* pool = nullptr,
+                     bool async_coordinator_only = false);
+  ~Evaluator();
+  Evaluator(Evaluator&&) noexcept;
+  Evaluator& operator=(Evaluator&&) noexcept;
 
   /// Fills objectives[i] = problem objective of genomes[i]. Spans must
-  /// have equal size. Counts toward evaluations().
+  /// have equal size. Counts toward evaluations(). Synchronous on every
+  /// backend: on kAsyncPool this is submit() + fence().
   void evaluate(std::span<const Genome> genomes, std::span<double> objectives);
 
+  /// Pipelined entry point. On kAsyncPool: resolves cache hits
+  /// immediately, enqueues the rest and returns — both spans must stay
+  /// valid and untouched until the next fence(). On synchronous backends
+  /// this is evaluate(). Counts toward evaluations() at submit time.
+  void submit(std::span<const Genome> genomes, std::span<double> objectives);
+
+  /// The generation fence: blocks until every submitted batch has been
+  /// evaluated and written back. No-op on synchronous backends.
+  void fence();
+
   /// Single-genome convenience on lane 0's Workspace (local search, B&B
-  /// comparisons). Counts toward evaluations().
+  /// comparisons). Fences first on kAsyncPool. Counts toward
+  /// evaluations().
   double evaluate_one(const Genome& genome);
 
-  /// Total genomes evaluated through this Evaluator.
+  /// Attaches (or clears) the memoization cache. Call while no batch is
+  /// in flight. The cache may be shared with other evaluators.
+  void set_cache(EvalCachePtr cache);
+  const EvalCache* cache() const { return cache_.get(); }
+  /// Shared handle for per-run stat snapshots (Engine::eval_cache_shared).
+  EvalCachePtr cache_ptr() const { return cache_; }
+
+  /// Total genomes evaluated through this Evaluator — the *logical*
+  /// count: a cache hit counts exactly once, same as a decode, so
+  /// evaluation budgets see identical numbers with the cache on or off.
   long long evaluations() const noexcept { return evaluations_; }
 
+  /// Genomes actually decoded (cache misses reaching the backend).
+  /// Equals evaluations() when no cache is attached.
+  long long decode_calls() const noexcept;
+
   EvalBackend backend() const noexcept { return backend_; }
+  /// True when submit() actually pipelines (kAsyncPool).
+  bool pipelined() const noexcept { return backend_ == EvalBackend::kAsyncPool; }
   const Problem& problem() const noexcept { return *problem_; }
 
-  /// Worker-lane count of the active backend (1 for kSerial).
+  /// Worker-lane count of the active backend (1 for kSerial and for the
+  /// engine-thread side of kAsyncPool).
   int lanes() const noexcept { return static_cast<int>(workspaces_.size()); }
+
+  /// Decode lanes behind the async pipeline (0 when not pipelined).
+  /// Engines size their submit blocks from this so a wide pool is not
+  /// dispatched over a handful of genomes.
+  int pipeline_width() const noexcept;
 
  private:
   Workspace& workspace(std::size_t lane) { return *workspaces_[lane]; }
+  /// Backend dispatch without cache filtering (the decode path).
+  void raw_evaluate(std::span<const Genome> genomes,
+                    std::span<double> objectives);
 
   ProblemPtr problem_;
   EvalBackend backend_;
   par::ThreadPool* pool_;
   std::vector<std::unique_ptr<Workspace>> workspaces_;  // one per lane
+  EvalCachePtr cache_;
+  /// Present only on kAsyncPool; self-contained (own workspaces, own
+  /// decode counter) so the Evaluator stays movable while jobs run.
+  std::unique_ptr<AsyncPipeline> pipeline_;
   long long evaluations_ = 0;
+  long long decode_calls_ = 0;  ///< engine-thread decodes (sync paths)
+  // Reusable scratch for the cache-filtering path.
+  std::vector<Genome> miss_genomes_;
+  std::vector<std::uint64_t> miss_hashes_;
+  std::vector<std::size_t> miss_slots_;
+  std::vector<double> miss_values_;
 };
 
 }  // namespace psga::ga

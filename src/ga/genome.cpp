@@ -1,8 +1,41 @@
 #include "src/ga/genome.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace psga::ga {
+
+namespace {
+
+/// Absorbs one 64-bit word with full avalanche (the SplitMix64
+/// finalizer over the running state): every input bit flips each output
+/// bit with probability ~1/2, so low-entropy inputs (small ints, nearby
+/// doubles) still spread over the whole hash.
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::uint64_t genome_hash(const Genome& g) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  h = mix(h, g.seq.size());
+  for (int v : g.seq) {
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  h = mix(h, g.assign.size());
+  for (int v : g.assign) {
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  h = mix(h, g.keys.size());
+  for (double k : g.keys) {
+    h = mix(h, std::bit_cast<std::uint64_t>(k));
+  }
+  return h;
+}
 
 int hamming_distance(const Genome& a, const Genome& b) {
   const std::size_t n = std::min(a.seq.size(), b.seq.size());

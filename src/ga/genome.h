@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace psga::ga {
@@ -26,6 +27,14 @@ struct Genome {
 /// Hamming distance over the sequencing chromosome — the stagnation
 /// measure of Spanos et al. [29].
 int hamming_distance(const Genome& a, const Genome& b);
+
+/// Well-mixed 64-bit hash over all three chromosomes (the evaluation
+/// cache's key; also the basis for future population dedup). Equal
+/// genomes hash equal; each element passes through a full-avalanche
+/// mixer and the chromosomes are length-prefixed, so permutations,
+/// repetition sequences and key vectors that differ anywhere — including
+/// the same values split differently across chromosomes — hash apart.
+std::uint64_t genome_hash(const Genome& g);
 
 /// What the sequencing chromosome means; operators use this to stay
 /// validity-preserving.

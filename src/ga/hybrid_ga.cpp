@@ -11,15 +11,25 @@ IslandsOfCellularGa::IslandsOfCellularGa(ProblemPtr problem,
     : problem_(std::move(problem)),
       config_(std::move(config)),
       pool_(pool != nullptr ? pool : &par::default_pool()),
-      migration_rng_(0) {}
+      migration_rng_(0) {
+  // Shared memoization across the tori: migrants are cloned island to
+  // island, so one cache catches the duplicates. Built here (not in
+  // init()) so run() can snapshot per-run counter deltas.
+  cache_ =
+      EvalCache::make(config_.cell.eval_cache, config_.cell.shared_eval_cache);
+}
 
 void IslandsOfCellularGa::init() {
   par::Rng root(config_.seed);
   migration_rng_ = root.split(0x20000);
   islands_.clear();
   islands_.reserve(static_cast<std::size_t>(config_.islands));
+  // The islands step sequentially (each internally parallel over
+  // cells), so their evaluators may keep any backend, including
+  // pool-carried async.
   for (int i = 0; i < config_.islands; ++i) {
     CellularConfig cell = config_.cell;
+    cell.shared_eval_cache = cache_;
     cell.seed = root.split(static_cast<std::uint64_t>(i + 1))();
     cell.termination = config_.termination;
     islands_.emplace_back(problem_, cell, pool_);

@@ -72,6 +72,16 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
   long long total_evaluations = 0;
   int max_generations_run = 0;
 
+  // One cache across ranks: neighbor/broadcast migrants are verbatim
+  // clones, and memoized objectives are pure values, so the sharing is
+  // deterministic exactly like the in-process island engine's. Counters
+  // are snapshotted so result.cache is this run's delta even when the
+  // cache is shared or the engine reruns.
+  cache_ =
+      EvalCache::make(config_.base.eval_cache, config_.base.shared_eval_cache);
+  const EvalCacheStats cache_baseline =
+      cache_ != nullptr ? cache_->stats() : EvalCacheStats{};
+
   par::Rng root(config_.base.seed);
   std::vector<std::uint64_t> rank_seeds;
   rank_seeds.reserve(static_cast<std::size_t>(config_.ranks));
@@ -88,9 +98,11 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
                                 stop.stagnation_generations > 0;
 
   cluster.run([&](par::Rank& rank) {
-    GaConfig cfg = config_.base;
-    // Ranks are concurrent threads; inner evaluation must stay on-rank.
-    cfg.eval_backend = EvalBackend::kSerial;
+    // Ranks are concurrent threads; inner_engine_config keeps their
+    // evaluation off the shared pool — serial on-rank, or a
+    // coordinator-only async pipeline so a rank's breeding overlaps its
+    // own evaluation.
+    GaConfig cfg = inner_engine_config(config_.base, cache_);
     cfg.seed = rank_seeds[static_cast<std::size_t>(rank.id())];
     cfg.termination = stop;
     SimpleGa island(problem_, cfg);
@@ -199,6 +211,11 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   result.islands = std::move(section);
+  if (cache_ != nullptr) {
+    EvalCacheStats stats = cache_->stats();
+    stats -= cache_baseline;
+    result.cache = stats;
+  }
   last_ = result;
   return result;
 }

@@ -47,6 +47,8 @@ class ClusterIslandGa : public Engine {
   int population_size() const override { return 0; }
   [[noreturn]] const Genome& individual(int i) const override;
   [[noreturn]] double objective_of(int i) const override;
+  /// The cache shared by the ranks of the last run (null when off).
+  EvalCachePtr eval_cache_shared() const override { return cache_; }
   StopCondition stop_default() const override {
     return config_.base.termination;
   }
@@ -56,6 +58,8 @@ class ClusterIslandGa : public Engine {
  private:
   ProblemPtr problem_;
   ClusterIslandConfig config_;
+  /// Cache shared across ranks during run() (kept for introspection).
+  EvalCachePtr cache_;
   /// Gathered result of the last run (introspection after the fact).
   RunResult last_;
 };

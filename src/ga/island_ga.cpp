@@ -12,7 +12,14 @@ IslandGa::IslandGa(ProblemPtr problem, IslandGaConfig config,
     : problem_(std::move(problem)),
       config_(std::move(config)),
       pool_(pool != nullptr ? pool : &par::default_pool()),
-      migration_rng_(0) {}
+      migration_rng_(0) {
+  // One cache for the whole archipelago: migration and merging duplicate
+  // genomes *across* islands, and memoized objectives are pure values, so
+  // sharing is deterministic and strictly increases the hit rate. Built
+  // here (not in init()) so run() can snapshot per-run counter deltas.
+  cache_ =
+      EvalCache::make(config_.base.eval_cache, config_.base.shared_eval_cache);
+}
 
 std::vector<IslandGa::Edge> IslandGa::edges_for_epoch(
     int epoch, std::span<const int> alive) {
@@ -155,11 +162,12 @@ void IslandGa::init() {
   islands_.clear();
   islands_.reserve(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
-    GaConfig cfg = config_.base;
-    // Islands step concurrently on the pool; their inner evaluators must
-    // stay on the stepping thread (the pool is not re-entrant). The
-    // parallelism of this model lives at the island level.
-    cfg.eval_backend = EvalBackend::kSerial;
+    // Islands step concurrently on the pool; inner_engine_config keeps
+    // their evaluators off it (the pool is not re-entrant) — serial on
+    // the stepping thread, or a coordinator-only async pipeline so an
+    // island's breeding still overlaps its own evaluation. The fan-out
+    // parallelism of this model lives at the island level either way.
+    GaConfig cfg = inner_engine_config(config_.base, cache_);
     cfg.seed = config_.identical_start
                    ? config_.base.seed
                    : root.split(static_cast<std::uint64_t>(i + 1))();

@@ -5,15 +5,14 @@
 
 namespace psga::ga {
 
-double local_search_swap(const Problem& problem, Genome& genome,
-                         int max_evaluations, par::Rng& rng,
-                         Workspace* workspace) {
-  std::unique_ptr<Workspace> owned;
-  if (workspace == nullptr) {
-    owned = problem.make_workspace();
-    workspace = owned.get();
-  }
-  double best = problem.objective(genome, *workspace);
+namespace {
+
+/// The climb itself, over any objective functor — the two public
+/// overloads only differ in where objective values come from.
+template <typename Objective>
+double climb_swap(Objective&& objective, Genome& genome, int max_evaluations,
+                  par::Rng& rng) {
+  double best = objective(genome);
   const std::size_t n = genome.seq.size();
   if (n < 2) return best;
   int budget = max_evaluations;
@@ -27,7 +26,7 @@ double local_search_swap(const Problem& problem, Genome& genome,
       const std::size_t j = rng.below(n);
       if (i == j || genome.seq[i] == genome.seq[j]) continue;
       std::swap(genome.seq[i], genome.seq[j]);
-      const double candidate = problem.objective(genome, *workspace);
+      const double candidate = objective(genome);
       --budget;
       if (candidate < best) {
         best = candidate;
@@ -38,6 +37,28 @@ double local_search_swap(const Problem& problem, Genome& genome,
     }
   }
   return best;
+}
+
+}  // namespace
+
+double local_search_swap(const Problem& problem, Genome& genome,
+                         int max_evaluations, par::Rng& rng,
+                         Workspace* workspace) {
+  std::unique_ptr<Workspace> owned;
+  if (workspace == nullptr) {
+    owned = problem.make_workspace();
+    workspace = owned.get();
+  }
+  return climb_swap(
+      [&](const Genome& g) { return problem.objective(g, *workspace); },
+      genome, max_evaluations, rng);
+}
+
+double local_search_swap(Evaluator& evaluator, Genome& genome,
+                         int max_evaluations, par::Rng& rng) {
+  return climb_swap(
+      [&](const Genome& g) { return evaluator.evaluate_one(g); }, genome,
+      max_evaluations, rng);
 }
 
 void redirect(Genome& genome, par::Rng& rng) {

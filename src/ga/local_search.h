@@ -2,6 +2,7 @@
 // hill climber and the Redirect perturbation of Rashidi et al. [38].
 #pragma once
 
+#include "src/ga/evaluator.h"
 #include "src/ga/genome.h"
 #include "src/ga/problem.h"
 #include "src/par/rng.h"
@@ -16,6 +17,13 @@ namespace psga::ga {
 double local_search_swap(const Problem& problem, Genome& genome,
                          int max_evaluations, par::Rng& rng,
                          Workspace* workspace = nullptr);
+
+/// Same climb, but every objective goes through `evaluator` — so climbs
+/// are counted toward evaluation budgets exactly like GA evaluations,
+/// memoized by the evaluation cache, and fenced against an async
+/// pipeline. The memetic engine uses this overload.
+double local_search_swap(Evaluator& evaluator, Genome& genome,
+                         int max_evaluations, par::Rng& rng);
 
 /// Redirect procedure ([38]): a strong perturbation that re-aims the
 /// search — scrambles a random quarter of the sequencing chromosome.

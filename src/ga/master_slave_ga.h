@@ -26,7 +26,9 @@ class MasterSlaveGa : public Engine {
   /// `pool` may be null — the library default pool is used. The parallel
   /// runtime comes from config.eval_backend; a config still set to
   /// kSerial is promoted to kThreadPool (a serial master-slave engine is
-  /// a contradiction in terms).
+  /// a contradiction in terms), while kAsyncPool keeps the pipelined
+  /// master: breeding overlaps the slaves' evaluation up to the
+  /// generation fence.
   MasterSlaveGa(ProblemPtr problem, GaConfig config,
                 par::ThreadPool* pool = nullptr);
 
@@ -47,6 +49,11 @@ class MasterSlaveGa : public Engine {
     return inner_->individual(i);
   }
   double objective_of(int i) const override { return inner_->objective_of(i); }
+  EvalCachePtr eval_cache_shared() const override {
+    // Pre-init, a user-shared cache is already known from the config, so
+    // the run loop can baseline its counters before init() attaches it.
+    return inner_ ? inner_->eval_cache_shared() : config_.shared_eval_cache;
+  }
   StopCondition stop_default() const override { return config_.termination; }
 
   using Engine::run;

@@ -11,8 +11,6 @@ MemeticGa::MemeticGa(ProblemPtr problem, MemeticConfig config)
 void MemeticGa::init() {
   inner_.emplace(problem_, config_.base);
   rng_ = par::Rng(config_.base.seed ^ 0x5eedu);
-  workspace_ = problem_->make_workspace();
-  extra_evaluations_ = 0;
   inner_->init();
 }
 
@@ -35,18 +33,17 @@ void MemeticGa::step() {
       Genome candidate = inner_->population()[static_cast<std::size_t>(slot)];
       const double before =
           inner_->objectives()[static_cast<std::size_t>(slot)];
-      double after = local_search_swap(*problem_, candidate,
-                                       config_.search_budget, rng_,
-                                       workspace_.get());
-      extra_evaluations_ += config_.search_budget;
+      // Climbs evaluate through the inner engine's Evaluator: counted
+      // toward budgets like any evaluation, memoized by the cache, and
+      // fenced against the async pipeline.
+      double after = local_search_swap(inner_->evaluator(), candidate,
+                                       config_.search_budget, rng_);
       if (config_.use_redirect && after >= before) {
         // Escape: perturb and climb again ([38]'s Redirect step).
         Genome restarted = candidate;
         redirect(restarted, rng_);
         const double redirected = local_search_swap(
-            *problem_, restarted, config_.search_budget, rng_,
-            workspace_.get());
-        extra_evaluations_ += config_.search_budget;
+            inner_->evaluator(), restarted, config_.search_budget, rng_);
         if (redirected < after) {
           candidate = std::move(restarted);
           after = redirected;

@@ -38,9 +38,11 @@ class MemeticGa : public Engine {
     return inner_ ? inner_->best_objective() : 0.0;
   }
   const Genome& best() const override { return inner_->best(); }
-  /// Inner-GA evaluations plus the local-search climbs' budgets.
+  /// All evaluations — GA generations and local-search climbs — flow
+  /// through the inner engine's Evaluator, so budgets and cache counters
+  /// see one consistent number.
   long long evaluations() const override {
-    return (inner_ ? inner_->evaluations() : 0) + extra_evaluations_;
+    return inner_ ? inner_->evaluations() : 0;
   }
   int population_size() const override {
     return inner_ ? inner_->population_size() : 0;
@@ -49,6 +51,12 @@ class MemeticGa : public Engine {
     return inner_->individual(i);
   }
   double objective_of(int i) const override { return inner_->objective_of(i); }
+  EvalCachePtr eval_cache_shared() const override {
+    // Pre-init, a user-shared cache is already known from the config, so
+    // the run loop can baseline its counters before init() attaches it.
+    return inner_ ? inner_->eval_cache_shared()
+                  : config_.base.shared_eval_cache;
+  }
   StopCondition stop_default() const override {
     return config_.base.termination;
   }
@@ -67,9 +75,6 @@ class MemeticGa : public Engine {
   // Run state (rebuilt by init()).
   std::optional<SimpleGa> inner_;
   par::Rng rng_{0};
-  /// One reusable scratch for every local-search climb of the run.
-  std::unique_ptr<Workspace> workspace_;
-  long long extra_evaluations_ = 0;
 };
 
 }  // namespace psga::ga

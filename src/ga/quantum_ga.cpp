@@ -142,6 +142,8 @@ void QuantumGa::init() {
   const std::size_t pop = static_cast<std::size_t>(config_.population);
 
   state_ = std::make_unique<State>(problem_, config_.eval_backend, pool_);
+  state_->evaluator.set_cache(
+      EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
   par::Rng root(config_.seed);
   state_->islands.resize(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
@@ -276,6 +278,12 @@ const Genome& QuantumGa::individual(int i) const {
 
 double QuantumGa::objective_of(int i) const {
   return state_->objectives[static_cast<std::size_t>(i)];
+}
+
+EvalCachePtr QuantumGa::eval_cache_shared() const {
+  // Pre-init, a user-shared cache is already known from the config, so
+  // the run loop can baseline its counters before init() attaches it.
+  return state_ ? state_->evaluator.cache_ptr() : config_.shared_eval_cache;
 }
 
 void QuantumGa::fill_sections(RunResult& result) const {

@@ -42,6 +42,9 @@ struct QuantumGaConfig {
   /// Backend for the per-generation batch evaluation of all measured
   /// individuals (k × population genomes at once).
   EvalBackend eval_backend = EvalBackend::kThreadPool;
+  /// Objective memoization for the measured genomes (see eval_cache.h).
+  EvalCacheConfig eval_cache;
+  EvalCachePtr shared_eval_cache;  ///< pre-built cache to share
   std::uint64_t seed = 1;
 };
 
@@ -65,6 +68,7 @@ class QuantumGa : public Engine {
   int population_size() const override;
   const Genome& individual(int i) const override;
   double objective_of(int i) const override;
+  EvalCachePtr eval_cache_shared() const override;
   StopCondition stop_default() const override {
     return StopCondition::generations(config_.generations);
   }

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/ga/eval_cache.h"
 #include "src/ga/genome.h"
 
 namespace psga::ga {
@@ -53,6 +54,11 @@ struct RunResult {
   /// Engine-specific sections (engaged by the engines that produce them).
   std::optional<IslandSection> islands;
   std::optional<QuantumSection> quantum;
+  /// Evaluation-cache counters accrued by THIS run (a delta, not the
+  /// cache's lifetime totals — a shared or reused cache reports clean
+  /// per-run numbers). hits + misses == evaluations for the cached
+  /// evaluation paths.
+  std::optional<EvalCacheStats> cache;
 };
 
 /// Historical name from when every engine had its own result struct.

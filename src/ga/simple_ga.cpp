@@ -31,17 +31,30 @@ OperatorConfig default_operators(const Problem& problem) {
   return ops;
 }
 
+GaConfig inner_engine_config(GaConfig base, EvalCachePtr shared_cache) {
+  if (base.eval_backend == EvalBackend::kAsyncPool) {
+    base.async_coordinator_only = true;
+  } else {
+    base.eval_backend = EvalBackend::kSerial;
+  }
+  base.shared_eval_cache = std::move(shared_cache);
+  return base;
+}
+
 SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config, par::ThreadPool* pool)
     : problem_(std::move(problem)),
       config_(std::move(config)),
       rng_(config_.seed),
-      evaluator_(problem_, config_.eval_backend, pool) {
+      evaluator_(problem_, config_.eval_backend, pool,
+                 config_.async_coordinator_only) {
   if (!config_.ops.selection || !config_.ops.crossover || !config_.ops.mutation) {
     OperatorConfig defaults = default_operators(*problem_);
     if (!config_.ops.selection) config_.ops.selection = defaults.selection;
     if (!config_.ops.crossover) config_.ops.crossover = defaults.crossover;
     if (!config_.ops.mutation) config_.ops.mutation = defaults.mutation;
   }
+  evaluator_.set_cache(
+      EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
 }
 
 void SimpleGa::init() {
@@ -63,6 +76,10 @@ void SimpleGa::init() {
 
 void SimpleGa::evaluate_all() {
   evaluator_.evaluate(population_, objectives_);
+  scan_population_best();
+}
+
+void SimpleGa::scan_population_best() {
   for (std::size_t i = 0; i < population_.size(); ++i) {
     if (!has_best_ || objectives_[i] < best_objective_) {
       best_objective_ = objectives_[i];
@@ -120,10 +137,37 @@ void SimpleGa::step() {
       static_cast<int>(config_.immigration_fraction * population));
   const int bred = population - elites - immigrants;
 
-  std::vector<Genome> next;
-  next.reserve(static_cast<std::size_t>(population));
+  // Double-buffered breeding: children land in fixed slots of the next
+  // buffers, so with the async pipeline every flushed block is stable
+  // memory the coordinator can evaluate while breeding continues below
+  // it. Breeding and evaluation overlap *within* the generation; the
+  // fence before the buffer swap is the generation fence — no objective
+  // of generation g+1 is read before it, so traces stay bit-identical
+  // to the synchronous backends.
+  next_population_.resize(static_cast<std::size_t>(population));
+  next_objectives_.assign(static_cast<std::size_t>(population), 0.0);
+  const bool pipelined = evaluator_.pipelined();
+  // Flush granularity: a handful of blocks per generation keeps the
+  // coordinator busy without paying a queue round-trip per child — but
+  // never smaller than the pipeline's decode width, or a wide pool gets
+  // fork-joined over a sliver of genomes.
+  const std::size_t block = std::max<std::size_t>(
+      {4, static_cast<std::size_t>(population) / 8,
+       2 * static_cast<std::size_t>(evaluator_.pipeline_width())});
+  std::size_t filled = 0;
+  std::size_t submitted = 0;
+  auto flush = [&] {
+    if (!pipelined || filled == submitted) return;
+    evaluator_.submit(
+        std::span<const Genome>(next_population_).subspan(submitted,
+                                                          filled - submitted),
+        std::span<double>(next_objectives_).subspan(submitted,
+                                                    filled - submitted));
+    submitted = filled;
+  };
 
-  // Elitism: best `elites` individuals survive unchanged.
+  // Elitism: best `elites` individuals survive unchanged (all cache hits
+  // when memoization is on — they were decoded last generation).
   std::vector<int> order(population_.size());
   std::iota(order.begin(), order.end(), 0);
   std::partial_sort(order.begin(),
@@ -133,19 +177,25 @@ void SimpleGa::step() {
                              objectives_[static_cast<std::size_t>(b)];
                     });
   for (int e = 0; e < elites; ++e) {
-    next.push_back(population_[static_cast<std::size_t>(order[static_cast<std::size_t>(e)])]);
+    next_population_[filled++] =
+        population_[static_cast<std::size_t>(order[static_cast<std::size_t>(e)])];
   }
+  flush();
 
   // Breeding: selection (possibly SUS batch), crossover, mutation.
   const int pairs = (bred + 1) / 2;
   const std::vector<int> parents =
       config_.ops.selection->pick_many(fitness, pairs * 2, rng_);
   const double mutation_rate = current_mutation_rate();
-  Genome child1;
-  Genome child2;
+  const std::size_t last_bred_slot = static_cast<std::size_t>(elites + bred);
   for (int p = 0; p < pairs; ++p) {
     const Genome& a = population_[static_cast<std::size_t>(parents[static_cast<std::size_t>(2 * p)])];
     const Genome& b = population_[static_cast<std::size_t>(parents[static_cast<std::size_t>(2 * p + 1)])];
+    // The odd-count tail pair still breeds (and draws for) a second
+    // child; it just lands in the spare buffer instead of a slot.
+    const bool has_room2 = filled + 1 < last_bred_slot;
+    Genome& child1 = next_population_[filled];
+    Genome& child2 = has_room2 ? next_population_[filled + 1] : spare_child_;
     if (rng_.chance(config_.ops.crossover_rate)) {
       config_.ops.crossover->cross(a, b, traits, child1, child2, rng_);
     } else {
@@ -158,21 +208,26 @@ void SimpleGa::step() {
     if (rng_.chance(mutation_rate)) {
       config_.ops.mutation->mutate(child2, traits, rng_);
     }
-    next.push_back(std::move(child1));
-    if (static_cast<int>(next.size()) < elites + bred) {
-      next.push_back(std::move(child2));
-    }
+    filled += has_room2 ? 2 : 1;
+    if (filled - submitted >= block) flush();
   }
 
   // Immigration ([24]): fresh random individuals.
   for (int i = 0; i < immigrants; ++i) {
-    next.push_back(problem_->random_genome(rng_));
+    next_population_[filled++] = problem_->random_genome(rng_);
+    if (filled - submitted >= block) flush();
   }
+  flush();
 
-  population_ = std::move(next);
-  objectives_.assign(population_.size(), 0.0);
+  if (pipelined) {
+    evaluator_.fence();  // the generation fence
+  } else {
+    evaluator_.evaluate(next_population_, next_objectives_);
+  }
+  population_.swap(next_population_);
+  objectives_.swap(next_objectives_);
   ++generation_;
-  evaluate_all();
+  scan_population_best();
 }
 
 void SimpleGa::replace_individual(int slot, const Genome& genome,

@@ -49,7 +49,19 @@ class SimpleGa : public Engine {
   double objective_of(int i) const override {
     return objectives_[static_cast<std::size_t>(i)];
   }
+  EvalCachePtr eval_cache_shared() const override {
+    return evaluator_.cache_ptr();
+  }
   StopCondition stop_default() const override { return config_.termination; }
+
+  /// Genomes actually decoded (cache misses); == evaluations() without a
+  /// cache. Telemetry for benches and the cache tests.
+  long long decode_calls() const { return evaluator_.decode_calls(); }
+
+  /// The engine's evaluation path — the memetic engine routes its
+  /// local-search climbs through it so they share the cache, the async
+  /// fence and the evaluation count.
+  Evaluator& evaluator() { return evaluator_; }
 
   const std::vector<Genome>& population() const { return population_; }
   const std::vector<double>& objectives() const { return objectives_; }
@@ -83,6 +95,7 @@ class SimpleGa : public Engine {
 
  private:
   void evaluate_all();
+  void scan_population_best();
   std::vector<double> fitness_values() const;
 
   ProblemPtr problem_;
@@ -92,6 +105,13 @@ class SimpleGa : public Engine {
 
   std::vector<Genome> population_;
   std::vector<double> objectives_;
+  /// Double buffers for the next generation: with the async pipeline the
+  /// tail of generation g+1 is still being bred while its head is being
+  /// evaluated, so both buffers must be stable until the generation
+  /// fence — only then do they swap with population_/objectives_.
+  std::vector<Genome> next_population_;
+  std::vector<double> next_objectives_;
+  Genome spare_child_;  ///< discarded second child of the last odd pair
   Genome best_;
   double best_objective_ = 0.0;
   bool has_best_ = false;

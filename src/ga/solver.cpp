@@ -1,5 +1,6 @@
 #include "src/ga/solver.h"
 
+#include <limits>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -21,6 +22,7 @@ EvalBackend parse_eval(const std::string& value, const std::string& token) {
   if (value == "serial") return EvalBackend::kSerial;
   if (value == "pool") return EvalBackend::kThreadPool;
   if (value == "omp") return EvalBackend::kOpenMp;
+  if (value == "async_pool" || value == "async") return EvalBackend::kAsyncPool;
   bad_token(token, "unknown eval backend");
 }
 
@@ -90,6 +92,41 @@ std::uint64_t parse_u64(const std::string& value, const std::string& token) {
   }
 }
 
+EvalCacheConfig parse_eval_cache(std::string value, const std::string& token) {
+  EvalCacheConfig cache;
+  if (value == "off") {
+    cache.mode = EvalCacheMode::kOff;
+    return cache;
+  }
+  // Optional trailing ":<shards>" on the cached modes.
+  auto take_shards = [&](std::string rest) {
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      cache.shards = parse_int(rest.substr(colon + 1), token);
+      if (cache.shards < 1) bad_token(token, "shard count must be positive");
+      rest = rest.substr(0, colon);
+    }
+    return rest;
+  };
+  if (value.rfind("unbounded", 0) == 0) {
+    cache.mode = EvalCacheMode::kUnbounded;
+    if (!take_shards(value.substr(9)).empty()) {
+      bad_token(token, "expected unbounded[:<shards>]");
+    }
+    return cache;
+  }
+  if (value.rfind("lru:", 0) == 0) {
+    cache.mode = EvalCacheMode::kLru;
+    const std::string capacity = take_shards(value.substr(4));
+    cache.capacity = static_cast<std::size_t>(parse_u64(capacity, token));
+    if (cache.capacity == 0) bad_token(token, "lru capacity must be positive");
+    return cache;
+  }
+  bad_token(token,
+            "unknown eval cache (off | unbounded[:<shards>] | "
+            "lru:<capacity>[:<shards>])");
+}
+
 }  // namespace
 
 SolverSpec SolverSpec::parse(const std::string& text) {
@@ -111,8 +148,10 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       spec.elites = parse_int(value, token);
     } else if (key == "seed") {
       spec.seed = parse_u64(value, token);
-    } else if (key == "eval") {
+    } else if (key == "eval" || key == "eval_backend") {
       spec.eval = parse_eval(value, token);
+    } else if (key == "eval_cache") {
+      spec.eval_cache = parse_eval_cache(value, token);
     } else if (key == "sel") {
       spec.selection = value;
     } else if (key == "xover") {
@@ -166,6 +205,103 @@ SolverSpec SolverSpec::parse(const std::string& text) {
 
 namespace {
 
+const char* eval_name(EvalBackend backend) {
+  switch (backend) {
+    case EvalBackend::kSerial: return "serial";
+    case EvalBackend::kThreadPool: return "pool";
+    case EvalBackend::kOpenMp: return "omp";
+    case EvalBackend::kAsyncPool: return "async_pool";
+  }
+  return "serial";
+}
+
+const char* topology_name(Topology topology) {
+  switch (topology) {
+    case Topology::kRing: return "ring";
+    case Topology::kGrid: return "grid";
+    case Topology::kTorus: return "torus";
+    case Topology::kFullyConnected: return "full";
+    case Topology::kStar: return "star";
+    case Topology::kHypercube: return "hypercube";
+    case Topology::kRandom: return "random";
+  }
+  return "ring";
+}
+
+const char* policy_name(MigrationPolicy policy) {
+  switch (policy) {
+    case MigrationPolicy::kBestReplaceWorst: return "best-worst";
+    case MigrationPolicy::kBestReplaceRandom: return "best-random";
+    case MigrationPolicy::kRandomReplaceRandom: return "random-random";
+  }
+  return "best-worst";
+}
+
+const char* neighborhood_name(Neighborhood neighborhood) {
+  return neighborhood == Neighborhood::kMoore ? "moore" : "von-neumann";
+}
+
+const char* transform_name(FitnessTransform transform) {
+  return transform == FitnessTransform::kReference ? "reference" : "inverse";
+}
+
+std::string eval_cache_value(const EvalCacheConfig& cache) {
+  // A non-default shard count rides along as ":<shards>" so programmatic
+  // configs survive the parse(to_string()) round-trip too.
+  const std::string shards = cache.shards != EvalCacheConfig{}.shards
+                                 ? ":" + std::to_string(cache.shards)
+                                 : "";
+  switch (cache.mode) {
+    case EvalCacheMode::kOff: return "off";
+    case EvalCacheMode::kUnbounded: return "unbounded" + shards;
+    case EvalCacheMode::kLru:
+      return "lru:" + std::to_string(cache.capacity) + shards;
+  }
+  return "off";
+}
+
+}  // namespace
+
+std::string SolverSpec::to_string() const {
+  std::ostringstream out;
+  // max_digits10 keeps doubles exact through a parse round-trip.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "engine=" << engine;
+  auto put = [&out](const char* key, const auto& value) {
+    if (value) out << ' ' << key << '=' << *value;
+  };
+  put("pop", population);
+  put("elites", elites);
+  put("seed", seed);
+  if (eval) out << " eval=" << eval_name(*eval);
+  if (eval_cache) out << " eval_cache=" << eval_cache_value(*eval_cache);
+  put("sel", selection);
+  put("xover", crossover);
+  put("mut", mutation);
+  put("xover-rate", crossover_rate);
+  put("mut-rate", mutation_rate);
+  put("immigration", immigration);
+  if (transform) out << " transform=" << transform_name(*transform);
+  put("reference", reference);
+  put("islands", islands);
+  if (topology) out << " topology=" << topology_name(*topology);
+  if (policy) out << " policy=" << policy_name(*policy);
+  put("interval", interval);
+  put("migrants", migrants);
+  put("delay", delay);
+  put("width", width);
+  put("height", height);
+  if (neighborhood) out << " neighborhood=" << neighborhood_name(*neighborhood);
+  put("radius", radius);
+  put("refine", refine);
+  put("budget", budget);
+  put("ranks", ranks);
+  put("broadcast", broadcast);
+  return out.str();
+}
+
+namespace {
+
 /// Applies the spec's shared GA knobs onto a GaConfig.
 GaConfig base_config(const SolverSpec& spec) {
   GaConfig cfg;
@@ -173,6 +309,7 @@ GaConfig base_config(const SolverSpec& spec) {
   if (spec.elites) cfg.elites = *spec.elites;
   if (spec.seed) cfg.seed = *spec.seed;
   if (spec.eval) cfg.eval_backend = *spec.eval;
+  if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
   if (spec.selection) cfg.ops.selection = make_selection(*spec.selection);
   if (spec.crossover) cfg.ops.crossover = make_crossover(*spec.crossover);
   if (spec.mutation) cfg.ops.mutation = make_mutation(*spec.mutation);
@@ -205,6 +342,7 @@ CellularConfig cellular_config(const SolverSpec& spec) {
   if (spec.crossover_rate) cell.crossover_rate = *spec.crossover_rate;
   if (spec.mutation_rate) cell.mutation_rate = *spec.mutation_rate;
   if (spec.eval) cell.eval_backend = *spec.eval;
+  if (spec.eval_cache) cell.eval_cache = *spec.eval_cache;
   if (spec.seed) cell.seed = *spec.seed;
   return cell;
 }
@@ -252,6 +390,7 @@ std::map<std::string, EngineFactory>& registry() {
       if (spec.population) cfg.population = *spec.population;
       if (spec.interval) cfg.migration_interval = *spec.interval;
       if (spec.eval) cfg.eval_backend = *spec.eval;
+      if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
       if (spec.seed) cfg.seed = *spec.seed;
       return make_engine(std::move(problem), std::move(cfg), pool);
     };
@@ -315,7 +454,7 @@ Solver Solver::build(const SolverSpec& spec, ProblemPtr problem,
     }
     factory = it->second;
   }
-  return Solver(factory(std::move(problem), spec, pool));
+  return Solver(factory(std::move(problem), spec, pool), spec);
 }
 
 // --- typed escape hatches ----------------------------------------------------

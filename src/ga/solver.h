@@ -22,6 +22,7 @@
 //   engine=quantum islands=4 pop=20
 //   engine=memetic pop=60 interval=5 refine=2 budget=150
 //   engine=cluster ranks=6 interval=5 broadcast=25
+//   engine=island eval_backend=async_pool eval_cache=lru:65536
 #pragma once
 
 #include <functional>
@@ -50,7 +51,11 @@ struct SolverSpec {
   std::optional<int> population;       ///< pop= (per island for island engines)
   std::optional<int> elites;           ///< elites=
   std::optional<std::uint64_t> seed;   ///< seed=
-  std::optional<EvalBackend> eval;     ///< eval=serial|pool|omp
+  /// eval= (alias eval_backend=): serial|pool|omp|async_pool
+  std::optional<EvalBackend> eval;
+  /// eval_cache=off|unbounded|lru:<capacity> — both cached modes accept
+  /// an optional trailing :<shards> (e.g. lru:65536:16)
+  std::optional<EvalCacheConfig> eval_cache;
   std::optional<std::string> selection;  ///< sel= (make_selection names)
   std::optional<std::string> crossover;  ///< xover= (make_crossover names)
   std::optional<std::string> mutation;   ///< mut= (make_mutation names)
@@ -86,6 +91,13 @@ struct SolverSpec {
   /// std::invalid_argument naming the offending token for unknown keys,
   /// malformed tokens, and unknown enum values.
   static SolverSpec parse(const std::string& text);
+
+  /// Canonical spec string: parse(to_string()) reproduces this spec
+  /// exactly (the round-trip the facade tests pin down). Unset fields are
+  /// omitted; aliases and enum values render in canonical form.
+  std::string to_string() const;
+
+  bool operator==(const SolverSpec&) const = default;
 };
 
 /// The facade: builds any registered engine from a spec and runs it.
@@ -106,10 +118,18 @@ class Solver {
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
 
-  explicit Solver(EnginePtr engine) : engine_(std::move(engine)) {}
+  /// The spec this solver was built from (empty default spec when the
+  /// solver was constructed directly from an engine). Closes the
+  /// spec → Solver → spec round-trip: spec() compares equal to the spec
+  /// passed to build().
+  const SolverSpec& spec() const { return spec_; }
+
+  explicit Solver(EnginePtr engine, SolverSpec spec = {})
+      : engine_(std::move(engine)), spec_(std::move(spec)) {}
 
  private:
   EnginePtr engine_;
+  SolverSpec spec_;
 };
 
 // --- engine registry ---------------------------------------------------------

@@ -1,0 +1,201 @@
+// The async evaluation pipeline (eval=async_pool) overlaps breeding with
+// evaluation behind a generation fence. Because objectives are pure and
+// the logical evaluation count is taken at submit time, the pipeline must
+// be invisible in every observable: these tests pin async-vs-sync trace
+// equivalence for all eight engines, the per-generation fence at the
+// stepwise API, determinism under 1-16 worker threads and repeated seeds,
+// and the interaction with StopCondition evaluation budgets and the
+// evaluation cache.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ga/problems.h"
+#include "src/ga/solver.h"
+#include "src/sched/classics.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+namespace {
+
+ProblemPtr flow_shop() {
+  return std::make_shared<FlowShopProblem>(
+      sched::make_taillard(sched::taillard_20x5().front()));
+}
+
+// --- evaluator-level submit/fence contract -----------------------------------
+
+TEST(AsyncEvaluator, SubmitCountsAtSubmitAndFenceCompletes) {
+  const ProblemPtr problem = flow_shop();
+  par::Rng rng(3);
+  std::vector<Genome> batch;
+  for (int i = 0; i < 16; ++i) batch.push_back(problem->random_genome(rng));
+  std::vector<double> expect(batch.size());
+  Evaluator serial(problem, EvalBackend::kSerial);
+  serial.evaluate(batch, expect);
+
+  par::ThreadPool pool(3);
+  Evaluator async(problem, EvalBackend::kAsyncPool, &pool);
+  std::vector<double> got(batch.size(), -1.0);
+  async.submit(std::span<const Genome>(batch).subspan(0, 10),
+               std::span<double>(got).subspan(0, 10));
+  async.submit(std::span<const Genome>(batch).subspan(10),
+               std::span<double>(got).subspan(10));
+  // The logical count is visible immediately — budgets never depend on
+  // how far the coordinator got.
+  EXPECT_EQ(async.evaluations(), 16);
+  async.fence();
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(async.decode_calls(), 16);
+  EXPECT_EQ(async.evaluate_one(batch.front()), expect.front());
+}
+
+TEST(AsyncEvaluator, CoordinatorOnlyModeMatchesSerial) {
+  const ProblemPtr problem = flow_shop();
+  par::Rng rng(9);
+  std::vector<Genome> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(problem->random_genome(rng));
+  std::vector<double> expect(batch.size());
+  Evaluator serial(problem, EvalBackend::kSerial);
+  serial.evaluate(batch, expect);
+
+  Evaluator async(problem, EvalBackend::kAsyncPool, nullptr,
+                  /*async_coordinator_only=*/true);
+  std::vector<double> got(batch.size(), -1.0);
+  async.submit(batch, got);
+  async.fence();
+  EXPECT_EQ(got, expect);
+}
+
+// --- per-generation fence at the stepwise API --------------------------------
+
+TEST(AsyncPipeline, StepwiseStateIdenticalAtEveryGenerationFence) {
+  const ProblemPtr problem = flow_shop();
+  GaConfig serial_cfg;
+  serial_cfg.population = 18;
+  serial_cfg.elites = 3;
+  serial_cfg.seed = 77;
+  GaConfig async_cfg = serial_cfg;
+  async_cfg.eval_backend = EvalBackend::kAsyncPool;
+
+  SimpleGa serial(problem, serial_cfg);
+  SimpleGa async(problem, async_cfg);
+  serial.init();
+  async.init();
+  ASSERT_EQ(serial.objectives(), async.objectives());
+  for (int gen = 0; gen < 10; ++gen) {
+    SCOPED_TRACE(gen);
+    serial.step();
+    async.step();
+    // After each step the fence has passed: the whole population, its
+    // objectives and the running best must match bit for bit.
+    EXPECT_EQ(serial.best_objective(), async.best_objective());
+    EXPECT_EQ(serial.best().seq, async.best().seq);
+    EXPECT_EQ(serial.objectives(), async.objectives());
+    EXPECT_EQ(serial.population(), async.population());
+    EXPECT_EQ(serial.evaluations(), async.evaluations());
+  }
+}
+
+// --- async vs sync equivalence for all eight engines -------------------------
+
+const char* kEngineSpecs[] = {
+    "engine=simple pop=20 elites=4 seed=19",
+    "engine=master-slave pop=20 elites=4 seed=19",
+    "engine=cellular width=5 height=4 seed=19",
+    "engine=island islands=3 pop=10 interval=2 seed=19",
+    "engine=islands-of-cellular islands=2 width=4 height=3 interval=2 seed=19",
+    "engine=quantum islands=2 pop=8 seed=19",
+    "engine=memetic pop=14 interval=2 refine=2 budget=40 seed=19",
+    "engine=cluster ranks=2 pop=10 interval=2 seed=19",
+};
+
+class AsyncEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AsyncEquivalence, TraceBitIdenticalToSerialWithAndWithoutCache) {
+  const std::string base = GetParam();
+  const StopCondition stop = StopCondition::generations(6);
+  const ProblemPtr problem = flow_shop();
+  const RunResult serial =
+      Solver::build(SolverSpec::parse(base + " eval=serial"), problem)
+          .run(stop);
+  const RunResult async =
+      Solver::build(SolverSpec::parse(base + " eval=async_pool"), problem)
+          .run(stop);
+  EXPECT_EQ(serial.history, async.history);
+  EXPECT_EQ(serial.best.seq, async.best.seq);
+  EXPECT_EQ(serial.best_objective, async.best_objective);
+  EXPECT_EQ(serial.evaluations, async.evaluations);
+  // The acceptance bar: cache AND pipeline on together, still the exact
+  // synchronous serial baseline.
+  const RunResult both =
+      Solver::build(
+          SolverSpec::parse(base + " eval=async_pool eval_cache=lru:65536"),
+          problem)
+          .run(stop);
+  EXPECT_EQ(serial.history, both.history);
+  EXPECT_EQ(serial.best.seq, both.best.seq);
+  EXPECT_EQ(serial.evaluations, both.evaluations);
+  ASSERT_TRUE(both.cache.has_value());
+  EXPECT_EQ(both.cache->hits + both.cache->misses, both.evaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, AsyncEquivalence,
+                         ::testing::ValuesIn(kEngineSpecs));
+
+// --- stress: worker counts x repeated seeds ----------------------------------
+
+TEST(AsyncPipeline, StressOneToSixteenThreadsRepeatedSeeds) {
+  const ProblemPtr problem = flow_shop();
+  const StopCondition stop = StopCondition::generations(5);
+  for (const std::uint64_t seed : {1ull, 5ull, 9ull, 13ull, 17ull}) {
+    GaConfig cfg;
+    cfg.population = 16;
+    cfg.elites = 2;
+    cfg.seed = seed;
+    SimpleGa serial(problem, cfg);
+    const RunResult expect = serial.run(stop);
+    for (const int threads : {1, 2, 3, 4, 8, 16}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      par::ThreadPool pool(threads);
+      GaConfig async_cfg = cfg;
+      async_cfg.eval_backend = EvalBackend::kAsyncPool;
+      SimpleGa async(problem, async_cfg, &pool);
+      const RunResult got = async.run(stop);
+      EXPECT_EQ(expect.history, got.history);
+      EXPECT_EQ(expect.best.seq, got.best.seq);
+      EXPECT_EQ(expect.evaluations, got.evaluations);
+    }
+  }
+}
+
+// --- evaluation budgets: cache hits count exactly once -----------------------
+
+TEST(AsyncPipeline, EvaluationBudgetCountsCacheHitsExactlyOnce) {
+  // Regression: a cache hit (or an in-flight async batch) must count
+  // toward the evaluation budget exactly like a decode, so the budget
+  // cuts every variant at the same generation with identical traces.
+  const ProblemPtr problem = flow_shop();
+  const StopCondition budget = StopCondition::evaluation_budget(95);
+  const std::string base = "engine=simple pop=10 elites=4 seed=29";
+  const RunResult reference =
+      Solver::build(SolverSpec::parse(base + " eval=serial"), problem)
+          .run(budget);
+  EXPECT_GE(reference.evaluations, 95);
+  for (const char* variant :
+       {" eval=serial eval_cache=unbounded", " eval=async_pool",
+        " eval=async_pool eval_cache=lru:4096"}) {
+    SCOPED_TRACE(variant);
+    const RunResult got =
+        Solver::build(SolverSpec::parse(base + variant), problem).run(budget);
+    EXPECT_EQ(reference.generations, got.generations);
+    EXPECT_EQ(reference.evaluations, got.evaluations);
+    EXPECT_EQ(reference.history, got.history);
+    EXPECT_EQ(reference.best.seq, got.best.seq);
+  }
+}
+
+}  // namespace
+}  // namespace psga::ga

@@ -1,0 +1,371 @@
+// The evaluation cache must be an invisible optimization: with
+// memoization on, every engine's best-fitness trace is bit-identical to
+// the uncached run on every backend, only the number of decode calls
+// changes. These tests pin that down, plus the genome hash the cache
+// keys on, exact counter accounting, and LRU eviction.
+#include "src/ga/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ga/problems.h"
+#include "src/ga/solver.h"
+#include "src/sched/classics.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+namespace {
+
+ProblemPtr flow_shop() {
+  return std::make_shared<FlowShopProblem>(
+      sched::make_taillard(sched::taillard_20x5().front()));
+}
+
+Genome perm_genome(std::vector<int> seq) {
+  Genome g;
+  g.seq = std::move(seq);
+  return g;
+}
+
+// --- genome hash -------------------------------------------------------------
+
+TEST(GenomeHash, DeterministicAndEqualForEqualGenomes) {
+  Genome a;
+  a.seq = {3, 1, 0, 2};
+  a.assign = {0, 1};
+  a.keys = {0.25, 0.75};
+  Genome b = a;
+  EXPECT_EQ(genome_hash(a), genome_hash(a));
+  EXPECT_EQ(genome_hash(a), genome_hash(b));
+}
+
+TEST(GenomeHash, AllPermutationsOfSixHashDistinct) {
+  std::vector<int> seq = {0, 1, 2, 3, 4, 5};
+  std::set<std::uint64_t> hashes;
+  std::size_t count = 0;
+  do {
+    hashes.insert(genome_hash(perm_genome(seq)));
+    ++count;
+  } while (std::next_permutation(seq.begin(), seq.end()));
+  EXPECT_EQ(count, 720u);
+  EXPECT_EQ(hashes.size(), count) << "permutation hash collision";
+}
+
+TEST(GenomeHash, RandomPermutationAndKeyGenomesHashDistinct) {
+  // Collision sweep over both encodings the survey uses most: distinct
+  // genomes must map to distinct 64-bit hashes in samples far larger
+  // than any population.
+  par::Rng rng(99);
+  const ProblemPtr problem = flow_shop();
+  std::set<std::uint64_t> perm_hashes;
+  std::set<std::vector<int>> perm_seen;
+  for (int i = 0; i < 2000; ++i) {
+    const Genome g = problem->random_genome(rng);
+    perm_seen.insert(g.seq);
+    perm_hashes.insert(genome_hash(g));
+  }
+  EXPECT_EQ(perm_hashes.size(), perm_seen.size());
+
+  std::set<std::uint64_t> key_hashes;
+  for (int i = 0; i < 2000; ++i) {
+    Genome g;
+    g.keys.resize(12);
+    for (double& k : g.keys) k = rng.uniform();
+    key_hashes.insert(genome_hash(g));
+  }
+  EXPECT_EQ(key_hashes.size(), 2000u) << "random-key hash collision";
+}
+
+TEST(GenomeHash, ChromosomeBoundariesDisambiguate) {
+  // The same values split differently across chromosomes are different
+  // genomes and must hash apart (length prefixes guarantee it).
+  Genome seq_both;
+  seq_both.seq = {1, 2};
+  Genome split;
+  split.seq = {1};
+  split.assign = {2};
+  Genome assign_both;
+  assign_both.assign = {1, 2};
+  Genome keys_only;
+  keys_only.keys = {1.0, 2.0};
+  std::set<std::uint64_t> hashes = {
+      genome_hash(seq_both), genome_hash(split), genome_hash(assign_both),
+      genome_hash(keys_only), genome_hash(Genome{})};
+  EXPECT_EQ(hashes.size(), 5u);
+}
+
+TEST(GenomeHash, SingleSwapChangesHash) {
+  const Genome a = perm_genome({0, 1, 2, 3, 4, 5, 6, 7});
+  Genome b = a;
+  std::swap(b.seq[2], b.seq[6]);
+  EXPECT_NE(genome_hash(a), genome_hash(b));
+}
+
+// --- cache unit behavior -----------------------------------------------------
+
+EvalCacheConfig one_shard(EvalCacheMode mode, std::size_t capacity) {
+  EvalCacheConfig cfg;
+  cfg.mode = mode;
+  cfg.capacity = capacity;
+  cfg.shards = 1;  // deterministic eviction order for the unit tests
+  return cfg;
+}
+
+TEST(EvalCacheUnit, MissInsertHitAndCounters) {
+  EvalCache cache(one_shard(EvalCacheMode::kUnbounded, 16));
+  const Genome g = perm_genome({2, 0, 1});
+  const std::uint64_t h = genome_hash(g);
+  EXPECT_FALSE(cache.lookup(h, g).has_value());
+  cache.insert(h, g, 42.5);
+  const auto hit = cache.lookup(h, g);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 42.5);
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCacheUnit, HashCollisionIsAMissAndInsertReplaces) {
+  // Force a collision through the explicit-hash API: same key, different
+  // genomes. The cache must never serve the wrong objective.
+  EvalCache cache(one_shard(EvalCacheMode::kUnbounded, 16));
+  const Genome a = perm_genome({0, 1, 2});
+  const Genome b = perm_genome({2, 1, 0});
+  const std::uint64_t shared_hash = 0xdeadbeefcafef00dULL;
+  cache.insert(shared_hash, a, 10.0);
+  EXPECT_FALSE(cache.lookup(shared_hash, b).has_value());
+  cache.insert(shared_hash, b, 20.0);  // replaces the colliding entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup(shared_hash, a).has_value());
+  const auto hit = cache.lookup(shared_hash, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 20.0);
+}
+
+TEST(EvalCacheUnit, LruEvictsLeastRecentlyUsed) {
+  EvalCache cache(one_shard(EvalCacheMode::kLru, 3));
+  const Genome a = perm_genome({0, 1, 2});
+  const Genome b = perm_genome({1, 2, 0});
+  const Genome c = perm_genome({2, 0, 1});
+  const Genome d = perm_genome({0, 2, 1});
+  cache.insert(genome_hash(a), a, 1.0);
+  cache.insert(genome_hash(b), b, 2.0);
+  cache.insert(genome_hash(c), c, 3.0);
+  EXPECT_EQ(cache.size(), 3u);
+  // Touch a: recency becomes a, c, b — so the next insert evicts b.
+  EXPECT_TRUE(cache.lookup(genome_hash(a), a).has_value());
+  cache.insert(genome_hash(d), d, 4.0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_FALSE(cache.lookup(genome_hash(b), b).has_value()) << "b survived";
+  EXPECT_TRUE(cache.lookup(genome_hash(a), a).has_value());
+  EXPECT_TRUE(cache.lookup(genome_hash(c), c).has_value());
+  EXPECT_TRUE(cache.lookup(genome_hash(d), d).has_value());
+}
+
+TEST(EvalCacheUnit, UnboundedNeverEvicts) {
+  EvalCache cache(one_shard(EvalCacheMode::kUnbounded, 2));
+  par::Rng rng(5);
+  const ProblemPtr problem = flow_shop();
+  for (int i = 0; i < 50; ++i) {
+    const Genome g = problem->random_genome(rng);
+    cache.insert(genome_hash(g), g, static_cast<double>(i));
+  }
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_GT(cache.size(), 2u);
+}
+
+// --- evaluator integration: exact accounting ---------------------------------
+
+TEST(EvaluatorCache, BatchCountersMatchHandComputedDuplicates) {
+  const ProblemPtr problem = flow_shop();
+  par::Rng rng(7);
+  std::vector<Genome> batch;
+  for (int i = 0; i < 6; ++i) batch.push_back(problem->random_genome(rng));
+  batch.push_back(batch[0]);  // two in-batch duplicates
+  batch.push_back(batch[1]);
+
+  Evaluator evaluator(problem, EvalBackend::kSerial);
+  auto cache = std::make_shared<EvalCache>(
+      one_shard(EvalCacheMode::kUnbounded, 1024));
+  evaluator.set_cache(cache);
+  std::vector<double> out(batch.size());
+  // First pass: nothing is memoized yet; in-batch duplicates decode
+  // independently (inserts land after the batch), so all 8 miss.
+  evaluator.evaluate(batch, out);
+  EXPECT_EQ(cache->stats().misses, 8);
+  EXPECT_EQ(cache->stats().hits, 0);
+  EXPECT_EQ(evaluator.decode_calls(), 8);
+  EXPECT_EQ(cache->size(), 6u);
+  // Second pass over the same batch: all 8 hit, zero decodes.
+  std::vector<double> again(batch.size());
+  evaluator.evaluate(batch, again);
+  EXPECT_EQ(again, out);
+  EXPECT_EQ(cache->stats().hits, 8);
+  EXPECT_EQ(evaluator.decode_calls(), 8);
+  EXPECT_EQ(evaluator.evaluations(), 16);
+}
+
+TEST(EvaluatorCache, HeavyElitismCloneOnlyRunDecodesEachGenomeOnce) {
+  // crossover_rate = mutation_rate = 0 makes every child a verbatim copy
+  // of a parent, and distinct seed genomes make the initial population
+  // the complete genome universe: after the first generation decode,
+  // every evaluation is a cache hit — the hand-computable extreme of the
+  // heavy-elitism duplication the cache exists for.
+  const ProblemPtr problem = flow_shop();
+  const int pop = 12;
+  const int generations = 5;
+  GaConfig cfg;
+  cfg.population = pop;
+  cfg.elites = 4;
+  cfg.ops.crossover_rate = 0.0;
+  cfg.ops.mutation_rate = 0.0;
+  cfg.seed = 41;
+  cfg.eval_cache.mode = EvalCacheMode::kUnbounded;
+  par::Rng seeder(17);
+  std::set<std::uint64_t> distinct;
+  while (static_cast<int>(cfg.seed_genomes.size()) < pop) {
+    Genome g = problem->random_genome(seeder);
+    if (distinct.insert(genome_hash(g)).second) {
+      cfg.seed_genomes.push_back(std::move(g));
+    }
+  }
+  SimpleGa engine(problem, cfg);
+  const RunResult r = engine.run(StopCondition::generations(generations));
+  ASSERT_TRUE(r.cache.has_value());
+  EXPECT_EQ(r.cache->misses, pop);
+  EXPECT_EQ(r.cache->inserts, pop);
+  EXPECT_EQ(r.cache->hits, pop * generations);
+  EXPECT_EQ(engine.decode_calls(), pop);
+  EXPECT_EQ(r.evaluations, pop * (generations + 1));
+}
+
+TEST(EvaluatorCache, SharedAndReusedCachesReportPerRunDeltas) {
+  // RunResult::cache must be this run's delta, not cache-lifetime
+  // totals: rerun the same engine, and hand one pre-built cache to two
+  // engines in sequence — every result keeps hits+misses==evaluations.
+  const ProblemPtr problem = flow_shop();
+  const StopCondition stop = StopCondition::generations(5);
+  Solver solver = Solver::build(
+      SolverSpec::parse("engine=simple pop=12 elites=4 seed=51 "
+                        "eval_cache=unbounded"),
+      problem);
+  const RunResult first = solver.run(stop);
+  const RunResult second = solver.run(stop);  // warm cache, same engine
+  ASSERT_TRUE(second.cache.has_value());
+  // The per-run delta invariant: lifetime totals span both runs, so
+  // without the baseline snapshot the second result would double-count.
+  EXPECT_EQ(first.cache->hits + first.cache->misses, first.evaluations);
+  EXPECT_EQ(second.cache->hits + second.cache->misses, second.evaluations);
+
+  // Engines that rebuild their inner engine — and with it the cache —
+  // inside init() (memetic, master-slave, quantum) must not subtract a
+  // stale baseline when a fresh cache lands at a recycled address.
+  Solver memetic = Solver::build(
+      SolverSpec::parse("engine=memetic pop=12 interval=2 refine=2 budget=30 "
+                        "seed=55 eval_cache=unbounded"),
+      problem);
+  (void)memetic.run(stop);
+  const RunResult rerun = memetic.run(stop);
+  ASSERT_TRUE(rerun.cache.has_value());
+  EXPECT_EQ(rerun.cache->hits + rerun.cache->misses, rerun.evaluations);
+  EXPECT_GT(rerun.cache->misses, 0);
+
+  auto shared = std::make_shared<EvalCache>(
+      one_shard(EvalCacheMode::kUnbounded, 1024));
+  for (const std::uint64_t seed : {61ull, 61ull}) {
+    GaConfig cfg;
+    cfg.population = 12;
+    cfg.seed = seed;
+    cfg.shared_eval_cache = shared;
+    IslandGaConfig island_cfg;
+    island_cfg.islands = 2;
+    island_cfg.base = cfg;
+    IslandGa engine(problem, island_cfg);
+    const RunResult r = engine.run(stop);
+    ASSERT_TRUE(r.cache.has_value());
+    EXPECT_EQ(r.cache->hits + r.cache->misses, r.evaluations);
+  }
+}
+
+TEST(EvaluatorCache, HitsPlusMissesEqualsEvaluations) {
+  Solver solver = Solver::build(
+      SolverSpec::parse("engine=simple pop=16 elites=6 seed=3 "
+                        "eval_cache=lru:4096"),
+      flow_shop());
+  const RunResult r = solver.run(StopCondition::generations(8));
+  ASSERT_TRUE(r.cache.has_value());
+  EXPECT_EQ(r.cache->hits + r.cache->misses, r.evaluations);
+  EXPECT_GE(r.cache->hits, 6 * 8) << "elites alone guarantee this many hits";
+  EXPECT_NE(solver.engine().eval_cache(), nullptr);
+}
+
+// --- cache-on vs cache-off trace equivalence, all engines x backends ---------
+
+const char* kEngineSpecs[] = {
+    "engine=simple pop=20 elites=4 seed=11",
+    "engine=master-slave pop=20 elites=4 seed=11",
+    "engine=cellular width=5 height=4 seed=11",
+    "engine=island islands=3 pop=10 interval=2 seed=11",
+    "engine=islands-of-cellular islands=2 width=4 height=3 interval=2 seed=11",
+    "engine=quantum islands=2 pop=8 seed=11",
+    "engine=memetic pop=14 interval=2 refine=2 budget=40 seed=11",
+    "engine=cluster ranks=2 pop=10 interval=2 seed=11",
+};
+
+class CacheEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CacheEquivalence, BitIdenticalTracesAcrossBackendsAndCacheModes) {
+  const std::string base = GetParam();
+  const StopCondition stop = StopCondition::generations(6);
+  const ProblemPtr problem = flow_shop();
+  for (const char* eval : {" eval=serial", " eval=pool", " eval=omp"}) {
+    SCOPED_TRACE(base + eval);
+    const RunResult off =
+        Solver::build(SolverSpec::parse(base + eval), problem).run(stop);
+    for (const char* cache : {" eval_cache=lru:4096", " eval_cache=unbounded"}) {
+      SCOPED_TRACE(cache);
+      const RunResult on =
+          Solver::build(SolverSpec::parse(base + eval + cache), problem)
+              .run(stop);
+      EXPECT_EQ(off.history, on.history);
+      EXPECT_EQ(off.best.seq, on.best.seq);
+      EXPECT_EQ(off.best_objective, on.best_objective);
+      EXPECT_EQ(off.evaluations, on.evaluations)
+          << "cache hits must count like decodes";
+      ASSERT_TRUE(on.cache.has_value());
+      EXPECT_EQ(on.cache->hits + on.cache->misses, on.evaluations);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, CacheEquivalence,
+                         ::testing::ValuesIn(kEngineSpecs));
+
+TEST(CacheEquivalence, TinyLruCapacityStillBitIdentical) {
+  // A pathologically small LRU (constant thrash) may not save decodes,
+  // but it must never change a trace.
+  const StopCondition stop = StopCondition::generations(6);
+  const ProblemPtr problem = flow_shop();
+  const RunResult off = Solver::build(
+      SolverSpec::parse("engine=island islands=3 pop=10 interval=2 seed=13"),
+      problem).run(stop);
+  const RunResult on = Solver::build(
+      SolverSpec::parse("engine=island islands=3 pop=10 interval=2 seed=13 "
+                        "eval_cache=lru:8"),
+      problem).run(stop);
+  EXPECT_EQ(off.history, on.history);
+  EXPECT_EQ(off.best.seq, on.best.seq);
+  ASSERT_TRUE(on.cache.has_value());
+  EXPECT_GT(on.cache->evictions, 0) << "capacity 8 should thrash";
+}
+
+}  // namespace
+}  // namespace psga::ga

@@ -242,6 +242,154 @@ TEST(SolverSpecRegistry, CustomEngineRegistration) {
   EXPECT_GT(r.best_objective, 0.0);
 }
 
+// --- spec round-trips: property/fuzz style -----------------------------------
+
+TEST(SolverSpecRoundTrip, CanonicalStringReparsesToTheSameSpec) {
+  for (const char* text :
+       {"engine=simple", "engine=simple pop=100 seed=7 xover=ox mut=swap",
+        "engine=master-slave pop=200 eval=omp",
+        "engine=cellular width=16 height=16 neighborhood=moore radius=2",
+        "engine=island islands=8 topology=hypercube policy=best-random "
+        "interval=5 eval=async_pool eval_cache=lru:65536",
+        "engine=island eval_backend=async_pool eval_cache=lru:65536",
+        "engine=quantum islands=4 pop=20 eval=async_pool",
+        "engine=cluster ranks=6 interval=5 broadcast=25 eval_cache=unbounded",
+        "engine=memetic pop=60 interval=5 refine=2 budget=150 "
+        "eval_cache=off xover-rate=0.85 mut-rate=0.15"}) {
+    SCOPED_TRACE(text);
+    const SolverSpec spec = SolverSpec::parse(text);
+    EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+  }
+}
+
+TEST(SolverSpecRoundTrip, RandomSpecsSurviveParsePrintParse) {
+  // Property-style sweep: random subsets of the whole token grammar,
+  // random values, 200 draws — spec -> to_string -> parse must be the
+  // identity, including the async/cache tokens.
+  par::Rng rng(4242);
+  const std::vector<std::string> engines = engine_names();
+  const char* evals[] = {"serial", "pool", "omp", "async_pool"};
+  const char* caches[] = {"off", "unbounded", "lru:16", "lru:65536"};
+  const char* topologies[] = {"ring", "grid",  "torus",     "full",
+                              "star", "hypercube", "random"};
+  const char* policies[] = {"best-worst", "best-random", "random-random"};
+  const char* sels[] = {"roulette", "sus", "tournament3", "rank"};
+  for (int draw = 0; draw < 200; ++draw) {
+    std::string text = "engine=" + engines[rng.below(engines.size())];
+    if (rng.chance(0.5)) text += " pop=" + std::to_string(rng.range(2, 500));
+    if (rng.chance(0.5)) text += " elites=" + std::to_string(rng.range(0, 8));
+    if (rng.chance(0.5)) text += " seed=" + std::to_string(rng() >> 1);
+    if (rng.chance(0.5)) text += std::string(" eval=") + evals[rng.below(4)];
+    if (rng.chance(0.5)) {
+      text += std::string(" eval_cache=") + caches[rng.below(4)];
+    }
+    if (rng.chance(0.3)) text += std::string(" sel=") + sels[rng.below(4)];
+    if (rng.chance(0.3)) {
+      text += " xover-rate=" + std::to_string(rng.uniform());
+      text += " mut-rate=" + std::to_string(rng.uniform());
+    }
+    if (rng.chance(0.3)) {
+      text += " islands=" + std::to_string(rng.range(2, 16));
+      text += std::string(" topology=") + topologies[rng.below(7)];
+      text += std::string(" policy=") + policies[rng.below(3)];
+      text += " interval=" + std::to_string(rng.range(1, 20));
+    }
+    if (rng.chance(0.3)) {
+      text += " width=" + std::to_string(rng.range(2, 16));
+      text += " height=" + std::to_string(rng.range(2, 16));
+      text += rng.chance(0.5) ? " neighborhood=moore" : " neighborhood=von-neumann";
+    }
+    if (rng.chance(0.3)) text += " ranks=" + std::to_string(rng.range(2, 8));
+    SCOPED_TRACE(text);
+    const SolverSpec once = SolverSpec::parse(text);
+    const SolverSpec twice = SolverSpec::parse(once.to_string());
+    EXPECT_EQ(once, twice);
+    EXPECT_EQ(once.to_string(), twice.to_string());
+  }
+}
+
+TEST(SolverSpecRoundTrip, SpecToSolverToSpecIsTheIdentity) {
+  // The full loop the satellite asks for: spec -> Solver -> spec.
+  for (const char* text :
+       {"engine=simple pop=12 seed=3 eval=async_pool eval_cache=lru:512",
+        "engine=island islands=2 pop=8 interval=2 eval_cache=unbounded",
+        "engine=cellular width=4 height=3 eval=serial"}) {
+    SCOPED_TRACE(text);
+    const SolverSpec spec = SolverSpec::parse(text);
+    Solver solver = Solver::build(spec, flow_shop());
+    EXPECT_EQ(solver.spec(), spec);
+    EXPECT_EQ(SolverSpec::parse(solver.spec().to_string()), spec);
+  }
+}
+
+TEST(SolverSpecRoundTrip, MalformedTokenFuzzAlwaysThrows) {
+  // Deterministic fuzz over broken shapes: every draw must throw
+  // std::invalid_argument and never crash or silently parse.
+  par::Rng rng(777);
+  const std::string valid = "engine=simple pop=20 eval_cache=lru:64";
+  for (int draw = 0; draw < 200; ++draw) {
+    std::string text = valid;
+    switch (rng.below(6)) {
+      case 0:  // junk key
+        text += " zz" + std::to_string(rng.below(100)) + "=1";
+        break;
+      case 1:  // missing '='
+        text += " population";
+        break;
+      case 2:  // empty value
+        text += " pop=";
+        break;
+      case 3:  // empty key
+        text += " =5";
+        break;
+      case 4:  // malformed numbers / enums
+        text += rng.chance(0.5) ? " pop=12x" : " eval=gpu";
+        break;
+      case 5:  // malformed cache tokens
+        text += rng.chance(0.5) ? " eval_cache=lru:" : " eval_cache=lru:0";
+        break;
+    }
+    SCOPED_TRACE(text);
+    EXPECT_THROW(SolverSpec::parse(text), std::invalid_argument);
+  }
+}
+
+TEST(SolverSpecRoundTrip, ProgrammaticEvalCacheConfigsSurviveToString) {
+  // A spec built in code (not parsed) must round-trip too — including a
+  // non-default shard count, which rides as lru:<capacity>:<shards>.
+  SolverSpec spec;
+  spec.engine = "island";
+  spec.eval_cache = EvalCacheConfig{EvalCacheMode::kLru, 1024, 16};
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+  spec.eval_cache = EvalCacheConfig{EvalCacheMode::kUnbounded, 0, 3};
+  EXPECT_EQ(SolverSpec::parse(spec.to_string()), spec);
+  const SolverSpec sharded =
+      SolverSpec::parse("engine=simple eval_cache=lru:1024:16");
+  EXPECT_EQ(sharded.eval_cache->shards, 16);
+  EXPECT_EQ(sharded.eval_cache->capacity, 1024u);
+  EXPECT_THROW(SolverSpec::parse("engine=simple eval_cache=lru:1024:0"),
+               std::invalid_argument);
+  EXPECT_THROW(SolverSpec::parse("engine=simple eval_cache=unbounded:x"),
+               std::invalid_argument);
+}
+
+TEST(SolverSpec, EvalCacheAndAsyncTokensParse) {
+  const SolverSpec spec = SolverSpec::parse(
+      "engine=island eval_backend=async_pool eval_cache=lru:65536");
+  ASSERT_TRUE(spec.eval.has_value());
+  EXPECT_EQ(*spec.eval, EvalBackend::kAsyncPool);
+  ASSERT_TRUE(spec.eval_cache.has_value());
+  EXPECT_EQ(spec.eval_cache->mode, EvalCacheMode::kLru);
+  EXPECT_EQ(spec.eval_cache->capacity, 65536u);
+  EXPECT_EQ(*SolverSpec::parse("engine=simple eval=async").eval,
+            EvalBackend::kAsyncPool);
+  EXPECT_EQ(SolverSpec::parse("engine=simple eval_cache=off").eval_cache->mode,
+            EvalCacheMode::kOff);
+  EXPECT_EQ(
+      SolverSpec::parse("engine=simple eval_cache=unbounded").eval_cache->mode,
+      EvalCacheMode::kUnbounded);
+}
+
 // --- error reporting ---------------------------------------------------------
 
 TEST(SolverSpec, UnknownKeyThrowsWithOffendingToken) {

@@ -7,19 +7,25 @@
 // is slightly better.
 //
 // Reproduction: the same sweeps on a generated lot-streaming instance,
-// replicated over seeds.
-#include "bench/bench_util.h"
-#include "src/ga/solver.h"
+// replicated over seeds — declared as exp::SweepSpec grids and run by the
+// sweep runner (a custom resolver serves the generated instance).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/exp/aggregate.h"
+#include "src/exp/report.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/sweep_spec.h"
 #include "src/ga/problems.h"
-#include "src/ga/registry.h"
 #include "src/sched/generators.h"
 
 int main() {
   using namespace psga;
-  bench::header("E16 lotstream_topology", "Defersha & Chen [35], §III.D",
-                "island GA reduces lot-streaming FFS makespan; fully "
-                "connected topology best; best-replace-random slightly "
-                "better policy");
+  exp::bench_header("E16 lotstream_topology", "Defersha & Chen [35], §III.D",
+                    "island GA reduces lot-streaming FFS makespan; fully "
+                    "connected topology best; best-replace-random slightly "
+                    "better policy");
 
   sched::LotStreamParams params;
   params.jobs = 10;
@@ -28,88 +34,50 @@ int main() {
   auto problem = std::make_shared<ga::LotStreamingProblem>(
       sched::random_lot_streaming(params, 3501));
 
-  const int generations = 25 * bench::scale();
-  const int replications = 3 * bench::scale();
+  const int generations = 25 * exp::bench_scale();
+  const int replications = 3 * exp::bench_scale();
 
-  auto run_island = [&](ga::Topology topology, ga::MigrationPolicy policy,
-                        std::uint64_t seed) {
-    ga::IslandGaConfig cfg;
-    cfg.islands = 6;
-    cfg.base.population = 20;
-    cfg.base.termination.max_generations = generations;
-    cfg.base.seed = seed;
-    cfg.base.ops.selection = ga::make_selection("tournament3");  // k-way [35]
-    cfg.migration.topology = topology;
-    cfg.migration.policy = policy;
-    cfg.migration.interval = 5;
-    const auto engine = ga::make_engine(problem, cfg);
-    return engine->run().best_objective;
+  exp::SweepOptions options;
+  options.resolve = [&](const std::string&) { return problem; };
+
+  // @crn=on pairs every configuration on the same seed series (the
+  // common-random-numbers design the hand-rolled loops used), so the
+  // row-vs-row comparisons isolate the configuration effect.
+  const std::string budget = "@instances=lotstream-10x3 @crn=on "
+                             "@generations=" +
+                             std::to_string(generations) + " ";
+  auto study = [&](const std::string& name, const std::string& grid,
+                   int reps) {
+    exp::SweepSpec sweep = exp::SweepSpec::parse(
+        grid + " sel=tournament3 " + budget + "@reps=" +
+        std::to_string(reps));  // k-way tournament as in [35]
+    sweep.name = name;
+    exp::print_summary(exp::run_sweep(std::move(sweep), options), std::cout);
   };
 
-  // (a) serial vs island.
-  {
-    std::vector<double> serial;
-    std::vector<double> island;
-    for (int rep = 0; rep < replications; ++rep) {
-      ga::GaConfig cfg;
-      cfg.population = 120;
-      cfg.termination.max_generations = generations;
-      cfg.seed = 9000 + 11 * rep;
-      cfg.ops.selection = ga::make_selection("tournament3");
-      const auto engine = ga::make_engine(problem, cfg);
-      serial.push_back(engine->run().best_objective);
-      island.push_back(run_island(ga::Topology::kFullyConnected,
-                                  ga::MigrationPolicy::kBestReplaceRandom,
-                                  9000 + 11 * rep));
-    }
-    stats::Table table({"configuration", "mean makespan", "min makespan"});
-    table.add_row({"serial GA", stats::Table::num(stats::mean(serial), 1),
-                   stats::Table::num(stats::min_of(serial), 0)});
-    table.add_row({"island GA", stats::Table::num(stats::mean(island), 1),
-                   stats::Table::num(stats::min_of(island), 0)});
-    table.print();
-  }
+  // (a) serial vs island at total population 120.
+  study("serial vs island",
+        "{engine=simple pop=120,"
+        "engine=island islands=6 pop=20 topology=full policy=best-random "
+        "interval=5} @seed=9000",
+        replications);
+  std::printf("Expected ([35]): the island row improves on the serial GA.\n\n");
 
   // (b) topology sweep.
-  {
-    stats::Table table({"topology", "mean makespan"});
-    for (const auto& [name, topo] :
-         std::vector<std::pair<std::string, ga::Topology>>{
-             {"ring", ga::Topology::kRing},
-             {"mesh", ga::Topology::kGrid},
-             {"fully connected", ga::Topology::kFullyConnected}}) {
-      std::vector<double> finals;
-      for (int rep = 0; rep < replications; ++rep) {
-        finals.push_back(run_island(topo,
-                                    ga::MigrationPolicy::kBestReplaceRandom,
-                                    7000 + 13 * rep));
-      }
-      table.add_row({name, stats::Table::num(stats::mean(finals), 1)});
-    }
-    table.print();
-    std::printf("Expected ([35]): fully connected lowest.\n\n");
-  }
+  study("topology",
+        "engine=island islands=6 pop=20 policy=best-random interval=5 "
+        "topology={ring,grid,full} @seed=7000",
+        replications);
+  std::printf("Expected ([35]): fully connected (full) lowest.\n\n");
 
   // (c) policy sweep — more replications: the differences are small and
   // [35]'s finding is precisely that the GA is not very sensitive here.
-  {
-    stats::Table table({"migration policy", "mean makespan"});
-    for (const auto& [name, policy] :
-         std::vector<std::pair<std::string, ga::MigrationPolicy>>{
-             {"random-replace-random", ga::MigrationPolicy::kRandomReplaceRandom},
-             {"best-replace-random", ga::MigrationPolicy::kBestReplaceRandom},
-             {"best-replace-worst", ga::MigrationPolicy::kBestReplaceWorst}}) {
-      std::vector<double> finals;
-      for (int rep = 0; rep < 2 * replications; ++rep) {
-        finals.push_back(
-            run_island(ga::Topology::kFullyConnected, policy, 8000 + 17 * rep));
-      }
-      table.add_row({name, stats::Table::num(stats::mean(finals), 1)});
-    }
-    table.print();
-    std::printf("Expected ([35]): rows close together — the low sensitivity "
-                "to the migration policy is the finding; [35] saw a slight "
-                "edge for best-replace-random.\n");
-  }
+  study("policy",
+        "engine=island islands=6 pop=20 topology=full interval=5 "
+        "policy={random-random,best-random,best-worst} @seed=8000",
+        2 * replications);
+  std::printf("Expected ([35]): rows close together — the low sensitivity "
+              "to the migration policy is the finding; [35] saw a slight "
+              "edge for best-replace-random.\n");
   return 0;
 }

@@ -6,17 +6,25 @@
 // migration interval is the decisive parameter — more frequent migration
 // improves quality.
 //
-// Reproduction: the three sweeps on a generated HFS instance, replicated.
-#include "bench/bench_util.h"
-#include "src/ga/solver.h"
+// Reproduction: the three sweeps on a generated HFS instance, replicated
+// — declared as exp::SweepSpec grids and run by the sweep runner (a
+// custom resolver serves the generated instance).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/exp/aggregate.h"
+#include "src/exp/report.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/sweep_spec.h"
 #include "src/ga/problems.h"
 #include "src/sched/generators.h"
 
 int main() {
   using namespace psga;
-  bench::header("E18 belkadi_params", "Belkadi et al. [37], §III.D",
-                "topology/replacement insignificant; more subpopulations "
-                "degrade quality; migration interval is decisive");
+  exp::bench_header("E18 belkadi_params", "Belkadi et al. [37], §III.D",
+                    "topology/replacement insignificant; more subpopulations "
+                    "degrade quality; migration interval is decisive");
 
   sched::HfsParams params;
   params.jobs = 20;
@@ -24,87 +32,48 @@ int main() {
   auto problem = std::make_shared<ga::HybridFlowShopProblem>(
       sched::random_hybrid_flow_shop(params, 3701));
 
-  const int generations = 120 * bench::scale();
-  const int replications = 4 * bench::scale();
-  const int total_pop = 120;
+  const int generations = 120 * exp::bench_scale();
+  const int replications = 4 * exp::bench_scale();
 
-  auto run_once = [&](int islands, ga::Topology topo,
-                      ga::MigrationPolicy policy, int interval,
-                      std::uint64_t seed) {
-    ga::IslandGaConfig cfg;
-    cfg.islands = islands;
-    cfg.base.population = total_pop / islands;
-    cfg.base.termination.max_generations = generations;
-    cfg.base.seed = seed;
-    // Fitness-proportionate selection, as in [37]: small subpopulations
-    // then genuinely depend on migration for diversity.
-    cfg.base.ops.selection = std::make_shared<ga::RouletteSelection>();
-    cfg.base.ops.mutation_rate = 0.1;
-    cfg.migration.topology = topo;
-    cfg.migration.policy = policy;
-    cfg.migration.interval = interval;
-    const auto engine = ga::make_engine(problem, cfg);
-    return engine->run().best_objective;
-  };
-  auto mean_over_reps = [&](auto&&... args) {
-    std::vector<double> finals;
-    for (int rep = 0; rep < replications; ++rep) {
-      finals.push_back(run_once(args..., 4000 + 19 * rep));
-    }
-    return stats::mean(finals);
+  exp::SweepOptions options;
+  options.resolve = [&](const std::string&) { return problem; };
+
+  // Fitness-proportionate selection, as in [37]: small subpopulations
+  // then genuinely depend on migration for diversity.
+  const std::string base = "engine=island sel=roulette mut-rate=0.1 ";
+  // @crn=on: all configurations of a table share one seed series, so
+  // the sweeps compare rows under identical randomness (as the
+  // hand-rolled loops did).
+  const std::string budget = "@instances=hfs-20x3 @crn=on @reps=" +
+                             std::to_string(replications) +
+                             " @generations=" + std::to_string(generations) +
+                             " @seed=4000 ";
+  auto study = [&](const std::string& name, const std::string& grid) {
+    exp::SweepSpec sweep = exp::SweepSpec::parse(base + grid + " " + budget);
+    sweep.name = name;
+    exp::print_summary(exp::run_sweep(std::move(sweep), options), std::cout);
   };
 
-  // (a) topology x replacement.
-  {
-    stats::Table table({"topology", "replacement", "mean makespan"});
-    for (const auto& [tname, topo] :
-         std::vector<std::pair<std::string, ga::Topology>>{
-             {"ring", ga::Topology::kRing}, {"grid", ga::Topology::kGrid}}) {
-      for (const auto& [pname, policy] :
-           std::vector<std::pair<std::string, ga::MigrationPolicy>>{
-               {"best", ga::MigrationPolicy::kBestReplaceWorst},
-               {"random", ga::MigrationPolicy::kRandomReplaceRandom}}) {
-        table.add_row({tname, pname,
-                       stats::Table::num(
-                           mean_over_reps(4, topo, policy, 5), 1)});
-      }
-    }
-    table.print();
-    std::printf("Expected ([37]): four rows close together.\n\n");
-  }
+  // (a) topology x replacement at 4 islands of 30.
+  study("topology x replacement",
+        "islands=4 pop=30 interval=5 topology={ring,grid} "
+        "policy={best-worst,random-random}");
+  std::printf("Expected ([37]): four rows close together.\n\n");
 
-  // (b) subpopulation count at fixed total population.
-  {
-    stats::Table table({"subpopulations", "subpop size", "mean makespan"});
-    for (int islands : {2, 4, 6, 10}) {
-      table.add_row({std::to_string(islands),
-                     std::to_string(total_pop / islands),
-                     stats::Table::num(
-                         mean_over_reps(islands, ga::Topology::kRing,
-                                        ga::MigrationPolicy::kBestReplaceWorst,
-                                        5),
-                         1)});
-    }
-    table.print();
-    std::printf("Expected ([37]): quality degrades as subpopulations "
-                "multiply (each gets too small).\n\n");
-  }
+  // (b) subpopulation count at fixed total population 120.
+  study("subpopulations",
+        "topology=ring policy=best-worst interval=5 "
+        "{islands=2 pop=60,islands=4 pop=30,islands=6 pop=20,"
+        "islands=10 pop=12}");
+  std::printf("Expected ([37]): quality degrades as subpopulations "
+              "multiply (each gets too small).\n\n");
 
-  // (c) migration interval.
-  {
-    stats::Table table({"migration interval", "mean makespan"});
-    for (int interval : {1, 3, 5, 10, 20, 0}) {
-      table.add_row({interval == 0 ? "never" : std::to_string(interval),
-                     stats::Table::num(
-                         mean_over_reps(4, ga::Topology::kRing,
-                                        ga::MigrationPolicy::kBestReplaceWorst,
-                                        interval),
-                         1)});
-    }
-    table.print();
-    std::printf("Expected ([37]): quality improves as migration gets more "
-                "frequent; 'never' is the worst row — the decisive "
-                "parameter.\n");
-  }
+  // (c) migration interval (0 = never).
+  study("migration interval",
+        "islands=4 pop=30 topology=ring policy=best-worst "
+        "interval={1,3,5,10,20,0}");
+  std::printf("Expected ([37]): quality improves as migration gets more "
+              "frequent; the interval=0 'never' row is the worst — the "
+              "decisive parameter.\n");
   return 0;
 }

@@ -2,37 +2,23 @@
 // prints a header, the survey's reported finding ("paper" column) and the
 // measured reproduction, then exits. PSGA_BENCH_SCALE=small|medium|large
 // scales the budgets.
+//
+// The implementations moved to src/exp/report.h (the sweep subsystem's
+// report layer); this header forwards for the benches that predate it.
 #pragma once
 
-#include <chrono>
-#include <cstdio>
-#include <string>
-
-#include "src/par/env.h"
+#include "src/exp/report.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/table.h"
 
 namespace psga::bench {
 
+using exp::time_seconds;
+
 inline void header(const char* id, const char* source, const char* claim) {
-  std::printf("==============================================================\n");
-  std::printf("%s — %s\n", id, source);
-  std::printf("Paper-reported finding: %s\n", claim);
-  std::printf("Scale: %s (PSGA_BENCH_SCALE)\n",
-              par::env_string("PSGA_BENCH_SCALE", "small").c_str());
-  std::printf("==============================================================\n");
+  exp::bench_header(id, source, claim);
 }
 
-/// Wall-clock seconds of a callable.
-template <typename Fn>
-double time_seconds(Fn&& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-inline int scale() { return par::bench_scale(); }
+inline int scale() { return exp::bench_scale(); }
 
 }  // namespace psga::bench

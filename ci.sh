@@ -2,8 +2,10 @@
 # Tier-1 verify + perf smoke for psga.
 #
 #   ./ci.sh            build, run the full ctest suite, rebuild the
-#                      cache/async determinism suites under ASan/UBSan and
-#                      run them, emit a fresh bench JSON snapshot
+#                      cache/async/sweep determinism suites under
+#                      ASan/UBSan and run them, run a psga_sweep smoke
+#                      sweep (JSONL + summary validated), emit a fresh
+#                      bench JSON snapshot
 #                      (bench_micro_decoders + bench_micro_cache merged),
 #                      diff it against the committed BENCH_micro.json
 #                      (per-bench deltas), then refresh the snapshot
@@ -27,7 +29,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 # Sanitizer leg: the cache/async suites stress a double-buffered pipeline
 # (coordinator threads writing objective slots the engine thread reads
-# after the fence), so run exactly those binaries under ASan/UBSan.
+# after the fence) and the sweep suite races whole solver runs across
+# lanes, so run exactly those binaries under ASan/UBSan.
 if [[ "${SKIP_SAN:-0}" != "1" ]]; then
   SAN_DIR=${SAN_DIR:-build-asan}
   cmake -B "$SAN_DIR" -S . -DPSGA_SANITIZE=ON \
@@ -43,6 +46,37 @@ if [[ "${SKIP_SAN:-0}" != "1" ]]; then
   else
     echo "psga_pipeline_tests not configured (GTest missing?); skipping sanitizer leg"
   fi
+fi
+
+# Sweep smoke: a 2-axes x 2-reps grid on ta001 through the psga_sweep
+# CLI (parallel, 2 cells in flight); validates that every JSONL telemetry
+# line parses, all cells succeeded and the summary table is non-empty.
+if [[ -x "$BUILD_DIR/psga_sweep" ]] && command -v python3 >/dev/null; then
+  SWEEP_JSONL=$(mktemp /tmp/psga_sweep.XXXXXX.jsonl)
+  SWEEP_SUMMARY=$(mktemp /tmp/psga_sweep_summary.XXXXXX.txt)
+  "$BUILD_DIR"/psga_sweep --quiet --threads 2 \
+    --telemetry "$SWEEP_JSONL" --summary "$SWEEP_SUMMARY" sweeps/smoke.sweep
+  python3 - "$SWEEP_JSONL" "$SWEEP_SUMMARY" <<'PYEOF'
+import json
+import sys
+
+cells = ok = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        record = json.loads(line)  # every line must parse
+        if record.get("event") == "cell":
+            cells += 1
+            ok += bool(record["ok"])
+with open(sys.argv[2]) as f:
+    summary = f.read()
+assert cells == 8, f"expected 8 cell records, got {cells}"
+assert ok == cells, f"{cells - ok} smoke sweep cells failed"
+assert "topology" in summary and "|" in summary, "summary table looks empty"
+print(f"ci.sh: sweep smoke OK ({cells} cells, telemetry parses)")
+PYEOF
+  rm -f "$SWEEP_JSONL" "$SWEEP_SUMMARY"
+else
+  echo "psga_sweep or python3 missing; skipping sweep smoke"
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" && ! -x "$BUILD_DIR/bench_micro_decoders" ]]; then

@@ -1,92 +1,73 @@
 // Migration parameter study — a miniature of the empirical studies the
 // survey reviews ([35][37]): sweep topology, policy, interval and island
-// count on one instance and print the study tables. Demonstrates driving
-// the library declaratively: every experiment cell is one SolverSpec
-// string, so the whole grid is string composition.
+// count on one instance and print the study tables.
+//
+// Since the psga::exp subsystem, the whole study is three declarative
+// sweep sections driven by exp::SweepRunner — the same sections shipped
+// as sweeps/parameter_study.sweep, so
 //
 //   $ ./example_parameter_study [replications]
+//   $ ./psga_sweep sweeps/parameter_study.sweep
+//
+// print the same tables (both render through exp::print_summary).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <string>
+#include <iostream>
 
-#include "src/ga/problems.h"
-#include "src/ga/solver.h"
-#include "src/sched/taillard.h"
-#include "src/stats/descriptive.h"
-#include "src/stats/table.h"
+#include "src/exp/aggregate.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/sweep_spec.h"
 
-namespace {
+// Kept verbatim in sync with sweeps/parameter_study.sweep.
+static const char* kStudy = R"(
+[topology]
+# Topology sweep: 6 islands, best-replace-random, interval 8.
+engine=island islands=6 pop=20 policy=best-random interval=8
+topology={ring,grid,torus,full,star,hypercube,random}
+@instances=ta003
+@reps=10
+@generations=80
+@seed=42
+@reference=1081
+@crn=on
 
-using namespace psga;
+[interval]
+# Migration interval sweep: 6 islands, ring, best-replace-worst
+# (interval 0 = never migrate).
+engine=island islands=6 pop=20 topology=ring policy=best-worst
+interval={0,1,4,8,16,32}
+@instances=ta003
+@reps=10
+@generations=80
+@seed=42
+@reference=1081
+@crn=on
 
-double run_once(const ga::ProblemPtr& problem, int islands,
-                const std::string& topology, const std::string& policy,
-                int interval, std::uint64_t seed) {
-  const std::string spec =
-      "engine=island islands=" + std::to_string(islands) +
-      " pop=" + std::to_string(120 / islands) + " topology=" + topology +
-      " policy=" + policy + " interval=" + std::to_string(interval) +
-      " seed=" + std::to_string(seed);
-  return ga::Solver::build(ga::SolverSpec::parse(spec), problem)
-      .run(ga::StopCondition::generations(80))
-      .best_objective;
-}
-
-}  // namespace
+[islands]
+# Island count at fixed total population 120 (zipped axis moves the
+# per-island pop with the island count).
+engine=island topology=ring policy=best-worst interval=8
+{islands=2 pop=60,islands=3 pop=40,islands=4 pop=30,islands=6 pop=20,islands=10 pop=12}
+@instances=ta003
+@reps=10
+@generations=80
+@seed=42
+@reference=1081
+@crn=on
+)";
 
 int main(int argc, char** argv) {
   using namespace psga;
-  const int replications = argc > 1 ? std::atoi(argv[1]) : 3;
-
-  const auto bench = sched::taillard_20x5()[2];  // ta003
-  auto problem =
-      std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench));
-  std::printf("Parameter study on %s (best known %lld), %d replications "
-              "per cell\n\n",
-              bench.name, static_cast<long long>(bench.best_known),
-              replications);
-
-  auto mean_of = [&](auto&&... args) {
-    std::vector<double> finals;
-    for (int rep = 0; rep < replications; ++rep) {
-      finals.push_back(run_once(problem, args..., 42 + 17 * rep));
-    }
-    return stats::mean_rpd(finals, static_cast<double>(bench.best_known));
-  };
-
-  {
-    stats::Table table({"topology", "mean RPD (%)"});
-    for (const char* topology :
-         {"ring", "grid", "torus", "full", "star", "hypercube", "random"}) {
-      table.add_row({topology,
-                     stats::Table::num(
-                         mean_of(6, topology, "best-random", 8), 3)});
-    }
-    std::printf("-- Topology (6 islands, best-replace-random, interval 8)\n");
-    table.print();
+  std::printf("Parameter study on ta003 (best known 1081); every cell is a "
+              "deterministic SolverSpec string.\n\n");
+  for (exp::SweepSpec sweep : exp::SweepSpec::parse_file(kStudy)) {
+    if (argc > 1) sweep.reps = std::max(1, std::atoi(argv[1]));
+    exp::print_summary(exp::run_sweep(std::move(sweep)), std::cout);
+    std::printf("\n");
   }
-  {
-    stats::Table table({"interval", "mean RPD (%)"});
-    for (int interval : {0, 1, 4, 8, 16, 32}) {
-      table.add_row({interval == 0 ? "never" : std::to_string(interval),
-                     stats::Table::num(
-                         mean_of(6, "ring", "best-worst", interval), 3)});
-    }
-    std::printf("\n-- Migration interval (6 islands, ring)\n");
-    table.print();
-  }
-  {
-    stats::Table table({"islands", "subpop size", "mean RPD (%)"});
-    for (int islands : {2, 3, 4, 6, 10}) {
-      table.add_row({std::to_string(islands),
-                     std::to_string(120 / islands),
-                     stats::Table::num(
-                         mean_of(islands, "ring", "best-worst", 8), 3)});
-    }
-    std::printf("\n-- Island count at fixed total population 120\n");
-    table.print();
-  }
-  std::printf("\nEvery cell is deterministic given its seed; rerun with more "
-              "replications for tighter means.\n");
+  std::printf("Rerun with more replications (argv[1]) for tighter means, or "
+              "drive the same grid via psga_sweep sweeps/parameter_study.sweep "
+              "for JSONL telemetry.\n");
   return 0;
 }

@@ -1,0 +1,135 @@
+#include "src/exp/aggregate.h"
+
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "src/stats/descriptive.h"
+
+namespace psga::exp {
+
+SweepSummary summarize(const SweepResult& result) {
+  SweepSummary summary;
+  // Cells are stored by flat index, which is already config-major then
+  // instance then rep — group boundaries are contiguous runs.
+  std::map<std::pair<int, std::string>, std::size_t> index_of;
+  for (const CellResult& cell : result.cells) {
+    const std::pair<int, std::string> key{cell.cell.config,
+                                          cell.cell.instance};
+    auto it = index_of.find(key);
+    if (it == index_of.end()) {
+      it = index_of.emplace(key, summary.groups.size()).first;
+      GroupSummary group;
+      group.config = cell.cell.config;
+      group.instance = cell.cell.instance;
+      group.axis_values = cell.cell.axis_values;
+      summary.groups.push_back(std::move(group));
+    }
+    GroupSummary& group = summary.groups[it->second];
+    if (!cell.ok) {
+      ++group.failed;
+      ++summary.failed_cells;
+      continue;
+    }
+    group.best_objectives.push_back(cell.result.best_objective);
+    group.mean_evaluations += static_cast<double>(cell.result.evaluations);
+    // Truncate the mean curve to the shortest history so every entry
+    // averages the same number of reps.
+    const std::vector<double>& history = cell.result.history;
+    if (group.best_objectives.size() == 1) {
+      group.mean_history = history;
+    } else {
+      if (history.size() < group.mean_history.size()) {
+        group.mean_history.resize(history.size());
+      }
+      for (std::size_t g = 0; g < group.mean_history.size(); ++g) {
+        group.mean_history[g] += history[g];
+      }
+    }
+  }
+  for (GroupSummary& group : summary.groups) {
+    const std::span<const double> xs(group.best_objectives);
+    group.best = stats::min_of(xs);
+    group.mean = stats::mean(xs);
+    group.stddev = stats::stddev(xs);
+    if (!group.best_objectives.empty()) {
+      const double n = static_cast<double>(group.best_objectives.size());
+      group.mean_evaluations /= n;
+      for (double& g : group.mean_history) g /= n;
+      if (result.spec.reference > 0) {
+        group.mean_rpd = stats::mean_rpd(xs, result.spec.reference);
+      }
+    }
+  }
+  return summary;
+}
+
+stats::Table summary_table(const SweepSpec& spec,
+                           const SweepSummary& summary) {
+  // Multiplicity from the groups actually run — not from re-expanding
+  // the spec, which would hit the filesystem again at report time.
+  bool many_instances = false;
+  for (const GroupSummary& group : summary.groups) {
+    if (group.instance != summary.groups.front().instance) {
+      many_instances = true;
+    }
+  }
+  const bool with_rpd = spec.reference > 0;
+  bool with_failures = false;
+  for (const GroupSummary& group : summary.groups) {
+    if (group.failed > 0) with_failures = true;
+  }
+
+  std::vector<std::string> headers;
+  for (const SweepAxis& axis : spec.axes) headers.push_back(axis.label);
+  if (many_instances) headers.push_back("instance");
+  headers.push_back("reps");
+  headers.push_back("best");
+  headers.push_back("mean");
+  headers.push_back("stddev");
+  if (with_rpd) headers.push_back("mean RPD (%)");
+  headers.push_back("mean evals");
+  if (with_failures) headers.push_back("failed");
+
+  stats::Table table(std::move(headers));
+  for (const GroupSummary& group : summary.groups) {
+    std::vector<std::string> row = group.axis_values;
+    if (many_instances) row.push_back(group.instance);
+    const std::size_t n = group.best_objectives.size();
+    row.push_back(std::to_string(n));
+    if (n == 0) {
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+      if (with_rpd) row.push_back("-");
+      row.push_back("-");
+    } else {
+      row.push_back(stats::Table::num(group.best, 0));
+      row.push_back(stats::Table::num(group.mean, 1));
+      row.push_back(n > 1 ? stats::Table::num(group.stddev, 1) : "-");
+      if (with_rpd) row.push_back(stats::Table::num(group.mean_rpd, 3));
+      row.push_back(stats::Table::num(group.mean_evaluations, 0));
+    }
+    if (with_failures) row.push_back(std::to_string(group.failed));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void print_summary(const SweepResult& result, std::ostream& out) {
+  const SweepSummary summary = summarize(result);
+  out << "-- sweep '" << result.spec.name << "': "
+      << result.cells.size() - static_cast<std::size_t>(result.failed) << "/"
+      << result.cells.size() << " cells ok\n";
+  out << summary_table(result.spec, summary).to_string();
+  if (result.failed > 0) {
+    for (const CellResult& cell : result.cells) {
+      if (!cell.ok) {
+        out << "!! cell " << cell.cell.index << " (" << cell.cell.spec
+            << " @ " << cell.cell.instance << "): " << cell.error << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace psga::exp

@@ -1,0 +1,58 @@
+// Reduces sweep results into the study tables the experiment benches and
+// examples print: per-(configuration, instance) descriptive statistics
+// over replications, keyed by axis values, via stats::descriptive and
+// stats::Table.
+//
+// Everything here is a pure function of the CellResults (timing fields
+// are deliberately excluded from the tables), so a parallel sweep's
+// summary table is byte-identical to a serial one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep_runner.h"
+#include "src/stats/table.h"
+
+namespace psga::exp {
+
+/// Statistics of one (configuration, instance) group over its reps.
+struct GroupSummary {
+  int config = 0;
+  std::string instance;
+  std::vector<std::string> axis_values;  ///< one per axis
+  /// Final best objectives of the successful reps, rep order.
+  std::vector<double> best_objectives;
+  int failed = 0;  ///< reps that recorded an error
+  double best = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;      ///< sample stddev; 0 when fewer than 2 reps
+  double mean_rpd = 0.0;    ///< vs SweepSpec::reference (when set)
+  double mean_evaluations = 0.0;
+  /// Mean best-so-far convergence curve over the successful reps,
+  /// truncated to the shortest rep history.
+  std::vector<double> mean_history;
+};
+
+struct SweepSummary {
+  /// Groups in config-major, instance-minor order (table row order).
+  std::vector<GroupSummary> groups;
+  int failed_cells = 0;
+};
+
+/// Groups `result`'s cells and computes the per-group statistics.
+SweepSummary summarize(const SweepResult& result);
+
+/// Renders the summary as a study table: one row per group with the axis
+/// values, the instance (when more than one), rep counts and the
+/// best/mean/stddev columns — plus "mean RPD (%)" when the spec set
+/// @reference. Deterministic across thread counts.
+stats::Table summary_table(const SweepSpec& spec, const SweepSummary& summary);
+
+/// Prints a sweep heading, the summary table and a failure note (if any)
+/// to `out` — the one rendering shared by psga_sweep and the ported
+/// examples/benches, so the CLI reproduces their tables byte-for-byte.
+void print_summary(const SweepResult& result, std::ostream& out);
+
+}  // namespace psga::exp

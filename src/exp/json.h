@@ -1,0 +1,97 @@
+// Minimal JSON value type for the sweep telemetry layer (JSONL lines).
+//
+// This is deliberately a subset of JSON sized for telemetry records:
+// objects keep insertion order (stable line layout), numbers carry an
+// exact 64-bit integer twin when they were written/parsed as integers
+// (cell seeds are full-range uint64 and must round-trip losslessly), and
+// doubles render with max_digits10 so parse(dump()) is the identity on
+// every value the sink emits. Not a general-purpose JSON library — no
+// \uXXXX escapes beyond what escaping our own strings needs, no
+// streaming — just enough for the telemetry schema and its tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psga::exp {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, Json>;
+  using Array = std::vector<Json>;
+  using Object = std::vector<Member>;
+
+  Json() = default;
+
+  // --- constructors -------------------------------------------------------
+  static Json null() { return Json(); }
+  static Json boolean(bool value);
+  static Json number(double value);
+  /// Exact 64-bit integer (renders as plain digits, parses back exactly).
+  static Json integer(std::int64_t value);
+  static Json uinteger(std::uint64_t value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  // --- builders -----------------------------------------------------------
+  /// Appends a member (objects) — returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Appends an element (arrays).
+  Json& push(Json value);
+
+  // --- accessors ----------------------------------------------------------
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  /// The exact unsigned integer twin; valid when the value was built via
+  /// integer()/uinteger() or parsed from undecorated digits.
+  std::uint64_t as_u64() const { return u64_; }
+  std::int64_t as_i64() const {
+    // -1 - (u64_ - 1) avoids signed overflow at INT64_MIN (u64_ = 2^63).
+    return negative_ ? -1 - static_cast<std::int64_t>(u64_ - 1)
+                     : static_cast<std::int64_t>(u64_);
+  }
+  const std::string& as_string() const { return string_; }
+  const Array& items() const { return array_; }
+  const Object& members() const { return object_; }
+
+  /// Member lookup on objects; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  /// Convenience lookups with fallbacks.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  // --- serialization ------------------------------------------------------
+  /// Compact single-line rendering (the JSONL line format).
+  std::string dump() const;
+
+  /// Parses one JSON document; throws std::invalid_argument (with a byte
+  /// offset) on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(const std::string& raw);
+
+ private:
+  void dump_to(std::string& out) const;
+  std::string number_text() const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::uint64_t u64_ = 0;
+  bool exact_int_ = false;  ///< render from u64_ (negative flag in neg_)
+  bool negative_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace psga::exp

@@ -1,0 +1,42 @@
+// Shared experiment-report helpers: the bench header banner, wall-clock
+// timing and the PSGA_BENCH_SCALE budget multiplier.
+//
+// These lived as copies in bench/bench_util.h; the sweep subsystem and
+// the ported experiment benches use them from here (bench_util.h
+// forwards for the not-yet-ported benches).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/par/env.h"
+
+namespace psga::exp {
+
+/// Experiment banner: id, source paper and the reported finding the
+/// bench reproduces, plus the active PSGA_BENCH_SCALE.
+inline void bench_header(const char* id, const char* source,
+                         const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, source);
+  std::printf("Paper-reported finding: %s\n", claim);
+  std::printf("Scale: %s (PSGA_BENCH_SCALE)\n",
+              par::env_string("PSGA_BENCH_SCALE", "small").c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Wall-clock seconds of a callable.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Budget multiplier from PSGA_BENCH_SCALE (small|medium|large).
+inline int bench_scale() { return par::bench_scale(); }
+
+}  // namespace psga::exp

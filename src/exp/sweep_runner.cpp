@@ -1,0 +1,251 @@
+#include "src/exp/sweep_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "src/ga/problems.h"
+#include "src/ga/solver.h"
+#include "src/par/thread_pool.h"
+#include "src/sched/io.h"
+#include "src/sched/taillard.h"
+
+namespace psga::exp {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Json axes_object(const SweepSpec& spec, const SweepCell& cell) {
+  Json axes = Json::object();
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    axes.set(spec.axes[a].label, Json::string(cell.axis_values[a]));
+  }
+  return axes;
+}
+
+Json cell_record(const SweepSpec& spec, const CellResult& result) {
+  const SweepCell& cell = result.cell;
+  Json line = Json::object();
+  line.set("event", Json::string("cell"))
+      .set("cell", Json::integer(cell.index))
+      .set("config", Json::integer(cell.config))
+      .set("instance", Json::string(cell.instance))
+      .set("rep", Json::integer(cell.rep))
+      .set("seed", Json::uinteger(cell.seed))
+      .set("spec", Json::string(cell.spec))
+      .set("axes", axes_object(spec, cell))
+      .set("ok", Json::boolean(result.ok));
+  if (!result.ok) {
+    line.set("error", Json::string(result.error));
+    return line;
+  }
+  line.set("best_objective", Json::number(result.result.best_objective))
+      .set("generations", Json::integer(result.result.generations))
+      .set("evaluations", Json::integer(result.result.evaluations))
+      .set("seconds", Json::number(result.seconds));
+  if (result.result.cache) {
+    line.set("cache",
+             Json::object()
+                 .set("hits", Json::integer(result.result.cache->hits))
+                 .set("misses", Json::integer(result.result.cache->misses))
+                 .set("inserts", Json::integer(result.result.cache->inserts))
+                 .set("evictions",
+                      Json::integer(result.result.cache->evictions)));
+  }
+  return line;
+}
+
+}  // namespace
+
+ga::ProblemPtr default_resolver(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "sweep has no @instances and no custom resolver");
+  }
+  if (ends_with(name, ".fsp")) {
+    return std::make_shared<ga::FlowShopProblem>(sched::load_flow_shop(name));
+  }
+  if (ends_with(name, ".jsp")) {
+    return std::make_shared<ga::JobShopProblem>(sched::load_job_shop(name));
+  }
+  for (const sched::TaillardBenchmark& bench : sched::taillard_20x5()) {
+    if (name == bench.name) {
+      return std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench));
+    }
+  }
+  throw std::invalid_argument("unknown instance '" + name +
+                              "' (expected *.fsp, *.jsp or ta001..ta010)");
+}
+
+SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+SweepResult SweepRunner::run() {
+  const double sweep_start = now_seconds();
+  SweepResult out;
+  out.spec = spec_;
+  std::vector<SweepCell> cells = spec_.expand();
+  if (cells.empty()) {
+    throw std::invalid_argument("SweepSpec '" + spec_.name +
+                                "' expands to zero cells");
+  }
+  const ProblemResolver resolve =
+      options_.resolve ? options_.resolve : ProblemResolver(default_resolver);
+
+  // Resolve each distinct instance once, up front and serially. A failed
+  // resolution poisons only that instance's cells (fail-soft).
+  std::map<std::string, ga::ProblemPtr> problems;
+  std::map<std::string, std::string> resolve_errors;
+  for (const SweepCell& cell : cells) {
+    if (problems.count(cell.instance) || resolve_errors.count(cell.instance)) {
+      continue;
+    }
+    try {
+      problems[cell.instance] = resolve(cell.instance);
+      if (problems[cell.instance] == nullptr) {
+        throw std::invalid_argument("resolver returned null for instance '" +
+                                    cell.instance + "'");
+      }
+    } catch (const std::exception& e) {
+      problems.erase(cell.instance);
+      resolve_errors[cell.instance] = e.what();
+    }
+  }
+
+  TelemetrySink* sink = options_.telemetry;
+  if (sink != nullptr) {
+    Json axes = Json::array();
+    for (const SweepAxis& axis : spec_.axes) {
+      Json values = Json::array();
+      for (const std::string& value : axis.values) {
+        values.push(Json::string(value));
+      }
+      axes.push(Json::object()
+                    .set("label", Json::string(axis.label))
+                    .set("values", std::move(values)));
+    }
+    Json instances = Json::array();
+    // From the expanded cells (the authoritative list), not a second
+    // expand_instances() glob that could disagree with the grid run.
+    for (const SweepCell& cell : cells) {
+      if (cell.instance_index ==
+          static_cast<int>(instances.items().size())) {
+        instances.push(Json::string(cell.instance));
+      }
+    }
+    sink->write(Json::object()
+                    .set("event", Json::string("sweep_begin"))
+                    .set("sweep", Json::string(spec_.name))
+                    .set("cells", Json::integer(static_cast<long long>(
+                                      cells.size())))
+                    .set("configs", Json::integer(spec_.configs()))
+                    .set("reps", Json::integer(spec_.reps))
+                    .set("seed", Json::uinteger(spec_.seed))
+                    .set("base", Json::string(spec_.base))
+                    .set("axes", std::move(axes))
+                    .set("instances", std::move(instances)));
+  }
+
+  out.cells.resize(cells.size());
+  std::mutex progress_mutex;
+  int done = 0;  // guarded by progress_mutex: callbacks see monotonic counts
+  const int total = static_cast<int>(cells.size());
+
+  auto run_cell = [&](const SweepCell& cell) {
+    CellResult result;
+    result.cell = cell;
+    if (sink != nullptr) {
+      sink->write(Json::object()
+                      .set("event", Json::string("run_begin"))
+                      .set("cell", Json::integer(cell.index))
+                      .set("config", Json::integer(cell.config))
+                      .set("instance", Json::string(cell.instance))
+                      .set("rep", Json::integer(cell.rep))
+                      .set("seed", Json::uinteger(cell.seed))
+                      .set("spec", Json::string(cell.spec)));
+    }
+    const double start = now_seconds();
+    try {
+      const auto poisoned = resolve_errors.find(cell.instance);
+      if (poisoned != resolve_errors.end()) {
+        throw std::invalid_argument(poisoned->second);
+      }
+      // A private single-lane pool: engine-level parallelism runs inline
+      // on this lane, so pool regions never nest inside the sweep pool.
+      par::ThreadPool cell_pool(1);
+      ga::Solver solver =
+          ga::Solver::build(ga::SolverSpec::parse(cell.spec),
+                            problems.at(cell.instance), &cell_pool);
+      std::optional<CellObserver> observer;
+      if (sink != nullptr) {
+        observer.emplace(*sink, cell.index, options_.telemetry_every);
+        solver.set_observer(&*observer);
+      }
+      result.result = solver.run(spec_.stop);
+      result.ok = true;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    }
+    result.seconds = now_seconds() - start;
+    if (sink != nullptr) sink->write(cell_record(spec_, result));
+    {
+      std::lock_guard lock(progress_mutex);
+      ++done;
+      if (options_.progress) options_.progress(result, done, total);
+    }
+    out.cells[static_cast<std::size_t>(cell.index)] = std::move(result);
+  };
+
+  const int lanes = options_.threads > 1 ? options_.threads : 1;
+  if (lanes == 1) {
+    for (const SweepCell& cell : cells) run_cell(cell);
+  } else {
+    // Dynamic dealing: cells are uneven, so lanes pull from an atomic
+    // cursor instead of taking static chunks.
+    par::ThreadPool pool(lanes);
+    std::atomic<std::size_t> next{0};
+    pool.parallel_for(static_cast<std::size_t>(lanes),
+                      [&](std::size_t /*lane*/) {
+                        for (;;) {
+                          const std::size_t i = next.fetch_add(1);
+                          if (i >= cells.size()) break;
+                          run_cell(cells[i]);
+                        }
+                      });
+  }
+
+  for (const CellResult& result : out.cells) {
+    if (!result.ok) ++out.failed;
+  }
+  out.seconds = now_seconds() - sweep_start;
+  if (sink != nullptr) {
+    sink->write(Json::object()
+                    .set("event", Json::string("sweep_end"))
+                    .set("sweep", Json::string(spec_.name))
+                    .set("ok", Json::integer(total - out.failed))
+                    .set("failed", Json::integer(out.failed))
+                    .set("seconds", Json::number(out.seconds)));
+  }
+  return out;
+}
+
+SweepResult run_sweep(SweepSpec spec, SweepOptions options) {
+  return SweepRunner(std::move(spec), std::move(options)).run();
+}
+
+}  // namespace psga::exp

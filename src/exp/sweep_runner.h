@@ -1,0 +1,94 @@
+// Executes an expanded SweepSpec: schedules cells across a thread pool,
+// runs each cell's Solver, streams telemetry and captures per-cell
+// errors without aborting the sweep.
+//
+// Parallel model: cells are the unit of parallelism. The runner owns a
+// par::ThreadPool of `threads` lanes and deals cells to lanes through an
+// atomic cursor (cells are wildly uneven — static chunks would idle
+// lanes), and every cell runs its engine on a private single-thread pool
+// so engine-level pool parallelism never nests inside the sweep pool.
+// Because each cell's seed derives from its index alone, per-cell
+// results are bit-identical between serial and parallel sweeps and
+// across thread counts; only telemetry line order and timing fields
+// differ.
+//
+// Fail-soft: a cell whose SolverSpec fails to parse, whose engine name
+// is unknown or whose instance cannot be resolved records a structured
+// error (CellResult::error + an ok=false telemetry record) and the sweep
+// carries on.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep_spec.h"
+#include "src/exp/telemetry.h"
+#include "src/ga/problem.h"
+#include "src/ga/result.h"
+
+namespace psga::exp {
+
+/// Maps an @instances entry to a Problem. Implementations throw
+/// std::exception subclasses to report unresolvable names (captured as
+/// the cell error). Called once per distinct instance, before cells run;
+/// the resolved Problem is shared by every cell of that instance
+/// (Problem::objective is const and pure, so concurrent cells are safe).
+using ProblemResolver = std::function<ga::ProblemPtr(const std::string&)>;
+
+/// The built-in resolver: `*.fsp` loads a Taillard-format flow shop,
+/// `*.jsp` a standard-format job shop, and a bare `ta001`..`ta010`
+/// regenerates the published benchmark from the embedded generator (no
+/// data directory needed). Throws std::invalid_argument otherwise.
+ga::ProblemPtr default_resolver(const std::string& name);
+
+struct CellResult {
+  SweepCell cell;
+  bool ok = false;
+  std::string error;      ///< when !ok: what failed (parse/build/run)
+  ga::RunResult result;   ///< when ok
+  double seconds = 0.0;   ///< wall-clock of this cell
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  /// One entry per cell, indexed by SweepCell::index regardless of
+  /// execution order.
+  std::vector<CellResult> cells;
+  double seconds = 0.0;
+  int failed = 0;
+};
+
+struct SweepOptions {
+  /// Cells in flight; <= 1 runs the sweep serially on the caller.
+  int threads = 1;
+  /// Optional JSONL sink (see telemetry.h for the schema).
+  TelemetrySink* telemetry = nullptr;
+  /// Generation-event stride (1 = every generation, 0 = final records
+  /// only). Improvement/migration events always stream when a sink is set.
+  int telemetry_every = 1;
+  /// Instance resolver; default_resolver when unset.
+  ProblemResolver resolve;
+  /// Called after every finished cell (any lane, serialized by the
+  /// runner): the cell's result plus done/total progress.
+  std::function<void(const CellResult&, int done, int total)> progress;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepSpec spec, SweepOptions options = {});
+
+  /// Expands and runs the whole grid. Throws only for unrunnable sweeps
+  /// (empty grid, glob matching nothing) — per-cell failures are
+  /// captured in the results.
+  SweepResult run();
+
+ private:
+  SweepSpec spec_;
+  SweepOptions options_;
+};
+
+/// Convenience: expand + run in one call.
+SweepResult run_sweep(SweepSpec spec, SweepOptions options = {});
+
+}  // namespace psga::exp

@@ -1,0 +1,366 @@
+#include "src/exp/sweep_spec.h"
+
+#include <glob.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/ga/spec_util.h"
+
+namespace psga::exp {
+
+namespace {
+
+[[noreturn]] void bad_token(const std::string& token,
+                            const std::string& reason) {
+  ga::spec::bad_token("SweepSpec", token, reason);
+}
+
+std::string trim(const std::string& text) {
+  const std::size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// Splits brace content on commas, trimming each value.
+std::vector<std::string> split_values(const std::string& body,
+                                      const std::string& token) {
+  std::vector<std::string> values;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = body.find(',', start);
+    const std::string value = trim(body.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (value.empty()) bad_token(token, "empty axis value");
+    values.push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+/// The keys of a token group ("islands=2 pop=60" -> "islands+pop").
+std::string group_label(const std::string& group, const std::string& token) {
+  std::istringstream stream(group);
+  std::string label;
+  std::string part;
+  while (stream >> part) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_token(token, "group axis values must be key=value tokens");
+    }
+    if (!label.empty()) label += '+';
+    label += part.substr(0, eq);
+  }
+  if (label.empty()) bad_token(token, "empty axis value");
+  return label;
+}
+
+int parse_int(const std::string& value, const std::string& token) {
+  return ga::spec::parse_int("SweepSpec", value, token);
+}
+
+double parse_double(const std::string& value, const std::string& token) {
+  return ga::spec::parse_double("SweepSpec", value, token);
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& token) {
+  return ga::spec::parse_u64("SweepSpec", value, token);
+}
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Strips comments and splits `text` into raw tokens; a balanced `{...}`
+/// region keeps its internal whitespace (group axes).
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  int depth = 0;
+  bool in_comment = false;
+  for (const char c : text) {
+    if (in_comment) {
+      if (c == '\n') in_comment = false;
+      if (c != '\n') continue;
+    }
+    // '#' comments out the rest of the line even inside a brace region
+    // (a multi-line group axis with an inline comment).
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}') {
+      if (depth == 0) bad_token(current + "}", "unbalanced '}'");
+      --depth;
+    }
+    if ((c == ' ' || c == '\t' || c == '\r' || c == '\n') && depth == 0) {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (depth != 0) bad_token(current, "unbalanced '{'");
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::string part = trim(value.substr(
+        start,
+        comma == std::string::npos ? std::string::npos : comma - start));
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::parse(const std::string& text) {
+  SweepSpec spec;
+  int generations = -1;
+  double seconds = -1.0;
+  long long evals = -1;
+  double target = -1.0;
+  for (const std::string& token : tokenize(text)) {
+    if (token[0] == '@') {
+      // Sweep-level directive.
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq + 1 >= token.size()) {
+        bad_token(token, "expected @key=value");
+      }
+      const std::string key = token.substr(1, eq - 1);
+      const std::string value = token.substr(eq + 1);
+      if (key == "instances") {
+        spec.instances = split_list(value);
+        if (spec.instances.empty()) bad_token(token, "empty instance list");
+      } else if (key == "reps") {
+        spec.reps = parse_int(value, token);
+        if (spec.reps < 1) bad_token(token, "reps must be positive");
+      } else if (key == "seed") {
+        spec.seed = parse_u64(value, token);
+      } else if (key == "crn") {
+        if (value == "on") {
+          spec.crn = true;
+        } else if (value == "off") {
+          spec.crn = false;
+        } else {
+          bad_token(token, "expected @crn=on|off");
+        }
+      } else if (key == "generations") {
+        generations = parse_int(value, token);
+        if (generations < 1) bad_token(token, "generations must be positive");
+      } else if (key == "seconds") {
+        seconds = parse_double(value, token);
+        if (seconds <= 0) bad_token(token, "seconds must be positive");
+      } else if (key == "evals") {
+        evals = static_cast<long long>(parse_u64(value, token));
+        if (evals < 1) bad_token(token, "evals must be positive");
+      } else if (key == "target") {
+        target = parse_double(value, token);
+        if (target < 0) bad_token(token, "target must be >= 0");
+      } else if (key == "reference") {
+        spec.reference = parse_double(value, token);
+        if (spec.reference <= 0) bad_token(token, "reference must be positive");
+      } else {
+        bad_token(token, "unknown sweep directive");
+      }
+      continue;
+    }
+    if (token[0] == '{') {
+      // Zipped group axis: {islands=2 pop=60,islands=3 pop=40,...}.
+      if (token.back() != '}') bad_token(token, "malformed group axis");
+      SweepAxis axis;
+      axis.grouped = true;
+      axis.values = split_values(token.substr(1, token.size() - 2), token);
+      axis.label = group_label(axis.values.front(), token);
+      spec.axes.push_back(std::move(axis));
+      continue;
+    }
+    const std::size_t brace = token.find("={");
+    if (brace != std::string::npos) {
+      // Keyed axis: topology={ring,grid,...}.
+      if (brace == 0) bad_token(token, "missing axis key");
+      if (token.back() != '}') bad_token(token, "malformed axis");
+      SweepAxis axis;
+      axis.label = token.substr(0, brace);
+      axis.values = split_values(
+          token.substr(brace + 2, token.size() - brace - 3), token);
+      spec.axes.push_back(std::move(axis));
+      continue;
+    }
+    // Fixed SolverSpec token (validated by SolverSpec::parse per cell,
+    // fail-soft at run time).
+    if (token.find('=') == std::string::npos) {
+      bad_token(token, "expected key=value, key={...}, {...} or @key=value");
+    }
+    if (!spec.base.empty()) spec.base += ' ';
+    spec.base += token;
+  }
+  // Assemble the stop condition: an explicit generation budget wins;
+  // otherwise any other budget lifts the default generation cap.
+  if (generations > 0) {
+    spec.stop.max_generations = generations;
+  } else if (seconds > 0 || evals > 0 || target >= 0) {
+    spec.stop.max_generations = std::numeric_limits<int>::max();
+  }
+  if (seconds > 0) spec.stop.max_seconds = seconds;
+  if (evals > 0) spec.stop.max_evaluations = evals;
+  if (target >= 0) spec.stop.target_objective = target;
+  return spec;
+}
+
+std::vector<SweepSpec> SweepSpec::parse_file(const std::string& text) {
+  std::vector<SweepSpec> sweeps;
+  std::string section_name = "sweep";
+  std::string section_text;
+  auto flush = [&] {
+    if (trim(section_text).empty()) return;
+    SweepSpec spec = parse(section_text);
+    // A comment-only section (e.g. a file-level banner before the first
+    // [header]) declares nothing runnable — skip it.
+    if (spec.base.empty() && spec.axes.empty() && spec.instances.empty()) {
+      return;
+    }
+    spec.name = section_name;
+    sweeps.push_back(std::move(spec));
+  };
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.size() >= 2 && trimmed.front() == '[' &&
+        trimmed.back() == ']') {
+      flush();
+      section_name = trim(trimmed.substr(1, trimmed.size() - 2));
+      if (section_name.empty()) {
+        throw std::invalid_argument("SweepSpec: empty section name '[]'");
+      }
+      section_text.clear();
+      continue;
+    }
+    section_text += line;
+    section_text += '\n';
+  }
+  flush();
+  return sweeps;
+}
+
+long long SweepSpec::configs() const {
+  long long n = 1;
+  for (const SweepAxis& axis : axes) {
+    n *= static_cast<long long>(axis.values.size());
+  }
+  return n;
+}
+
+std::vector<std::string> SweepSpec::expand_instances() const {
+  if (instances.empty()) return {""};
+  std::vector<std::string> expanded;
+  for (const std::string& entry : instances) {
+    if (entry.find_first_of("*?[") == std::string::npos) {
+      expanded.push_back(entry);
+      continue;
+    }
+    ::glob_t matches;
+    const int rc = ::glob(entry.c_str(), 0, nullptr, &matches);
+    if (rc != 0) {
+      ::globfree(&matches);
+      throw std::invalid_argument(
+          "SweepSpec: instance glob '" + entry + "' " +
+          (rc == GLOB_NOMATCH ? "matched nothing"
+                              : "failed (I/O error while expanding)"));
+    }
+    // glob() sorts by default; order is deterministic.
+    for (std::size_t i = 0; i < matches.gl_pathc; ++i) {
+      expanded.emplace_back(matches.gl_pathv[i]);
+    }
+    ::globfree(&matches);
+  }
+  return expanded;
+}
+
+std::vector<SweepCell> SweepSpec::expand() const {
+  // parse() validates @reps, but programmatic/CLI overrides can zero it.
+  if (reps < 1) {
+    throw std::invalid_argument("SweepSpec '" + name +
+                                "': reps must be positive");
+  }
+  const std::vector<std::string> insts = expand_instances();
+  const long long n_configs = configs();
+  std::vector<SweepCell> cells;
+  cells.reserve(static_cast<std::size_t>(n_configs) * insts.size() *
+                static_cast<std::size_t>(reps));
+  for (long long config = 0; config < n_configs; ++config) {
+    // Decompose config into per-axis indices, first axis slowest.
+    std::vector<std::size_t> pick(axes.size(), 0);
+    long long rest = config;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      const long long size = static_cast<long long>(axes[a].values.size());
+      pick[a] = static_cast<std::size_t>(rest % size);
+      rest /= size;
+    }
+    std::string config_spec = base;
+    std::vector<std::string> axis_values;
+    axis_values.reserve(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      if (!config_spec.empty()) config_spec += ' ';
+      config_spec += axes[a].token(pick[a]);
+      axis_values.push_back(axes[a].values[pick[a]]);
+    }
+    for (std::size_t inst = 0; inst < insts.size(); ++inst) {
+      for (int rep = 0; rep < reps; ++rep) {
+        SweepCell cell;
+        cell.config = static_cast<int>(config);
+        cell.instance_index = static_cast<int>(inst);
+        cell.rep = rep;
+        cell.index = static_cast<int>(
+            (config * static_cast<long long>(insts.size()) +
+             static_cast<long long>(inst)) *
+                reps +
+            rep);
+        // Under @crn=on the hashed index drops the configuration, so
+        // every config replays the same per-(instance, rep) seed series.
+        const std::uint64_t seed_index =
+            crn ? static_cast<std::uint64_t>(inst) * static_cast<std::uint64_t>(
+                                                         reps) +
+                      static_cast<std::uint64_t>(rep)
+                : static_cast<std::uint64_t>(cell.index);
+        cell.seed = derive_seed(seed, seed_index,
+                                static_cast<std::uint64_t>(rep));
+        // The derived seed is appended last so it overrides any seed=
+        // token in the base (later assignments win in SolverSpec::parse).
+        cell.spec = config_spec.empty()
+                        ? "seed=" + std::to_string(cell.seed)
+                        : config_spec + " seed=" + std::to_string(cell.seed);
+        cell.instance = insts[inst];
+        cell.axis_values = axis_values;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::uint64_t derive_seed(std::uint64_t sweep_seed, std::uint64_t cell_index,
+                          std::uint64_t rep) {
+  // Absorb the three words through chained SplitMix64 finalizers; any
+  // change to one input avalanches the result.
+  return splitmix64(sweep_seed ^ splitmix64(cell_index ^ splitmix64(rep)));
+}
+
+}  // namespace psga::exp

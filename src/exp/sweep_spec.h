@@ -1,0 +1,133 @@
+// Declarative sweep descriptions: a grid of SolverSpec configurations ×
+// problem instances × replications, expanded into a deterministic list
+// of cells.
+//
+// The compact grid syntax is the SolverSpec token language plus braces
+// and @-directives:
+//
+//   engine=island pop=20 islands=6 policy=best-random interval=8
+//   topology={ring,grid,torus,full,star,hypercube,random}
+//   @instances=data/ta00*.fsp
+//   @reps=10
+//   @generations=80
+//   @seed=42
+//
+// Plain `key=value` tokens are the fixed base of every cell.
+// `key={a,b,c}` declares an axis: the sweep crosses every axis value
+// with every other axis (first-declared axis varies slowest). A bare
+// braced group `{islands=2 pop=60,islands=3 pop=40,...}` declares a
+// *zipped* axis whose values are whole token groups — the way to move
+// several keys together (e.g. island count at fixed total population).
+// `@`-directives configure the sweep itself, not the solver:
+//
+//   @instances=  comma-separated instance names; entries containing
+//                `*`/`?`/`[` are filesystem globs expanded (sorted) at
+//                expand() time, other entries pass through verbatim and
+//                are resolved by the runner (paths by extension,
+//                `ta001`..`ta010` from the Taillard generator, or a
+//                custom resolver for generated instances)
+//   @reps=       replications per (configuration, instance) cell
+//   @seed=       sweep master seed (default 1)
+//   @crn=on      common random numbers: pair configurations on the same
+//                per-(instance, rep) seed series (study tables compare
+//                rows under identical randomness)
+//   @generations= / @seconds= / @evals= / @target=   the StopCondition
+//   @reference=  best-known objective: summaries gain a mean-RPD column
+//
+// A spec file may hold several sweeps: a `[name]` line starts a new
+// section (text before the first header is the sweep "sweep"). `#`
+// starts a comment; newlines and spaces both separate tokens.
+//
+// Every cell's seed derives from hash(sweep_seed, cell_index, rep), so
+// results are a pure function of the spec — independent of scheduling,
+// thread count and execution order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ga/stop.h"
+
+namespace psga::exp {
+
+/// One swept dimension. A keyed axis (`topology={ring,grid}`) stores the
+/// bare values and renders cell tokens as `key=value`; a group axis
+/// (`{islands=2 pop=60,...}`) stores whole token groups used verbatim.
+struct SweepAxis {
+  std::string label;                ///< key, or keys joined with '+'
+  std::vector<std::string> values;  ///< value strings or token groups
+  bool grouped = false;
+
+  /// The SolverSpec token(s) contributed by `values[i]`.
+  std::string token(std::size_t i) const {
+    return grouped ? values[i] : label + "=" + values[i];
+  }
+
+  bool operator==(const SweepAxis&) const = default;
+};
+
+/// One expanded experiment cell: a fully resolved SolverSpec string, an
+/// instance name and a replication, with a deterministic derived seed.
+struct SweepCell {
+  int index = 0;           ///< flat index: ((config·I)+instance)·reps+rep
+  int config = 0;          ///< index into the axis cross-product
+  int instance_index = 0;  ///< index into the expanded instance list
+  int rep = 0;
+  std::uint64_t seed = 0;  ///< derive_seed(sweep seed, index, rep)
+  std::string spec;        ///< SolverSpec tokens incl. trailing seed=
+  std::string instance;
+  /// One value per axis (the group labels for aggregation), config-order.
+  std::vector<std::string> axis_values;
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+  /// Fixed SolverSpec tokens shared by every cell.
+  std::string base;
+  std::vector<SweepAxis> axes;
+  /// Raw @instances entries (globs not yet expanded).
+  std::vector<std::string> instances;
+  int reps = 1;
+  std::uint64_t seed = 1;
+  /// Common random numbers (`@crn=on`): derive cell seeds from the
+  /// (instance, rep) pair only, so every configuration of a study runs
+  /// the same seed series and row-vs-row differences isolate the
+  /// configuration effect (the variance-reduction pairing the hand-rolled
+  /// bench loops used). Off by default: seeds then hash the full cell
+  /// index, making every cell an independent stream.
+  bool crn = false;
+  ga::StopCondition stop;   ///< from @generations/@seconds/@evals/@target
+  double reference = -1.0;  ///< best-known objective; < 0 = unset
+
+  /// Parses one sweep (no section headers). Throws std::invalid_argument
+  /// naming the offending token for malformed axes, unknown
+  /// @-directives and unbalanced braces.
+  static SweepSpec parse(const std::string& text);
+
+  /// Parses a whole spec file (sections split on `[name]` lines).
+  static std::vector<SweepSpec> parse_file(const std::string& text);
+
+  /// Number of axis combinations (product of axis sizes; 1 when no axes).
+  long long configs() const;
+
+  /// Expands the grid into cells, config-major then instance then rep;
+  /// glob instance entries are expanded (sorted) here. Throws
+  /// std::invalid_argument when a glob matches nothing or the grid is
+  /// empty (reps < 1). A sweep without @instances yields one unnamed
+  /// instance ("") for resolver-based callers.
+  std::vector<SweepCell> expand() const;
+
+  /// The expanded instance list (globs resolved, order preserved).
+  std::vector<std::string> expand_instances() const;
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+/// SplitMix64-style mix of (sweep_seed, cell_index, rep): the per-cell
+/// engine seed. Stable across platforms and releases — telemetry files
+/// stay comparable.
+std::uint64_t derive_seed(std::uint64_t sweep_seed, std::uint64_t cell_index,
+                          std::uint64_t rep);
+
+}  // namespace psga::exp

@@ -1,0 +1,52 @@
+#include "src/exp/telemetry.h"
+
+namespace psga::exp {
+
+void TelemetrySink::write(const Json& line) {
+  const std::string text = line.dump();
+  std::lock_guard lock(mutex_);
+  *out_ << text << '\n';
+  ++lines_;
+}
+
+long long TelemetrySink::lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+bool CellObserver::on_generation(const ga::Engine& engine,
+                                 const ga::GenerationEvent& event) {
+  (void)engine;
+  if (every_ > 0 && event.generation % every_ == 0) {
+    sink_->write(Json::object()
+                     .set("event", Json::string("generation"))
+                     .set("cell", Json::integer(cell_))
+                     .set("generation", Json::integer(event.generation))
+                     .set("best", Json::number(event.best_objective))
+                     .set("evaluations", Json::integer(event.evaluations))
+                     .set("seconds", Json::number(event.seconds)));
+  }
+  return true;
+}
+
+void CellObserver::on_improvement(const ga::Engine& engine,
+                                  const ga::GenerationEvent& event) {
+  (void)engine;
+  sink_->write(Json::object()
+                   .set("event", Json::string("improvement"))
+                   .set("cell", Json::integer(cell_))
+                   .set("generation", Json::integer(event.generation))
+                   .set("best", Json::number(event.best_objective)));
+}
+
+void CellObserver::on_migration(const ga::MigrationEvent& event) {
+  sink_->write(Json::object()
+                   .set("event", Json::string("migration"))
+                   .set("cell", Json::integer(cell_))
+                   .set("epoch", Json::integer(event.epoch))
+                   .set("from", Json::integer(event.from))
+                   .set("to", Json::integer(event.to))
+                   .set("objective", Json::number(event.objective)));
+}
+
+}  // namespace psga::exp

@@ -1,0 +1,73 @@
+// JSONL telemetry for sweeps: a thread-safe line sink plus the
+// RunObserver that streams per-generation / improvement / migration
+// events and final cell records.
+//
+// Schema (one JSON object per line, `event` discriminates):
+//
+//   sweep_begin  sweep, cells, configs, reps, seed, base, axes[],
+//                instances[]
+//   run_begin    cell, config, instance, rep, seed, spec
+//   generation   cell, generation, best, evaluations, seconds
+//   improvement  cell, generation, best
+//   migration    cell, epoch, from, to, objective
+//   cell         cell, config, instance, rep, seed, spec, axes{},
+//                ok, best_objective, generations, evaluations, seconds
+//                [, cache{hits,misses,inserts,evictions}]
+//                — or ok=false with `error` instead of the result fields
+//   sweep_end    sweep, ok, failed, seconds
+//
+// Cell seeds are full-range uint64 and render as exact JSON integers.
+// Lines from concurrent cells interleave, but each line is written
+// atomically under the sink's mutex; per-cell event order is preserved
+// because each cell runs on one thread. Timing fields (`seconds`) are
+// wall-clock and therefore not reproducible run-to-run — everything
+// else is a pure function of the spec.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+
+#include "src/exp/json.h"
+#include "src/ga/engine.h"
+
+namespace psga::exp {
+
+/// Thread-safe JSONL writer over a caller-owned stream.
+class TelemetrySink {
+ public:
+  /// The stream is not owned and must outlive the sink.
+  explicit TelemetrySink(std::ostream& out) : out_(&out) {}
+
+  /// Serializes `line` and appends it (plus '\n') atomically.
+  void write(const Json& line);
+
+  /// Lines written so far.
+  long long lines() const;
+
+ private:
+  std::ostream* out_;
+  mutable std::mutex mutex_;
+  long long lines_ = 0;
+};
+
+/// RunObserver streaming one cell's events into a sink. `every` thins the
+/// per-generation stream (1 = every generation, 0 = none; improvements
+/// and migrations always stream).
+class CellObserver final : public ga::RunObserver {
+ public:
+  CellObserver(TelemetrySink& sink, int cell_index, int every = 1)
+      : sink_(&sink), cell_(cell_index), every_(every) {}
+
+  bool on_generation(const ga::Engine& engine,
+                     const ga::GenerationEvent& event) override;
+  void on_improvement(const ga::Engine& engine,
+                      const ga::GenerationEvent& event) override;
+  void on_migration(const ga::MigrationEvent& event) override;
+
+ private:
+  TelemetrySink* sink_;
+  int cell_;
+  int every_;
+};
+
+}  // namespace psga::exp

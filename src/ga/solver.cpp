@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/ga/registry.h"
+#include "src/ga/spec_util.h"
 
 namespace psga::ga {
 
@@ -14,8 +15,7 @@ namespace {
 
 [[noreturn]] void bad_token(const std::string& token,
                             const std::string& reason) {
-  throw std::invalid_argument("SolverSpec: " + reason + " in token '" + token +
-                              "'");
+  spec::bad_token("SolverSpec", token, reason);
 }
 
 EvalBackend parse_eval(const std::string& value, const std::string& token) {
@@ -60,36 +60,15 @@ FitnessTransform parse_transform(const std::string& value,
 }
 
 int parse_int(const std::string& value, const std::string& token) {
-  try {
-    std::size_t used = 0;
-    const int parsed = std::stoi(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return parsed;
-  } catch (const std::exception&) {
-    bad_token(token, "malformed integer");
-  }
+  return spec::parse_int("SolverSpec", value, token);
 }
 
 double parse_double(const std::string& value, const std::string& token) {
-  try {
-    std::size_t used = 0;
-    const double parsed = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return parsed;
-  } catch (const std::exception&) {
-    bad_token(token, "malformed number");
-  }
+  return spec::parse_double("SolverSpec", value, token);
 }
 
 std::uint64_t parse_u64(const std::string& value, const std::string& token) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long parsed = std::stoull(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return static_cast<std::uint64_t>(parsed);
-  } catch (const std::exception&) {
-    bad_token(token, "malformed integer");
-  }
+  return spec::parse_u64("SolverSpec", value, token);
 }
 
 EvalCacheConfig parse_eval_cache(std::string value, const std::string& token) {

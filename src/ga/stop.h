@@ -18,6 +18,8 @@ struct StopCondition {
   int stagnation_generations = 0;  ///< 0 = disabled
   long long max_evaluations = 0;   ///< 0 = no evaluation budget
 
+  bool operator==(const StopCondition&) const = default;
+
   /// Plain generation budget.
   static StopCondition generations(int n) {
     StopCondition stop;

@@ -1,0 +1,530 @@
+// The sweep subsystem's lockdown: grid expansion (axis cross-product
+// order, zipped group axes, deterministic seed derivation), JSONL
+// telemetry round-trips, fail-soft cell errors, and the headline
+// invariant — a parallel sweep is bit-identical to a serial one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/aggregate.h"
+#include "src/exp/json.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/sweep_spec.h"
+#include "src/exp/telemetry.h"
+#include "src/ga/problems.h"
+#include "src/ga/solver.h"
+#include "src/sched/taillard.h"
+
+#ifndef PSGA_DATA_DIR
+#define PSGA_DATA_DIR "data"
+#endif
+
+namespace psga::exp {
+namespace {
+
+std::string data_path(const std::string& file) {
+  return std::string(PSGA_DATA_DIR) + "/" + file;
+}
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTripsValues) {
+  Json line = Json::object();
+  line.set("event", Json::string("cell"))
+      .set("ok", Json::boolean(true))
+      .set("best", Json::number(1278.5))
+      .set("seed", Json::uinteger(0xdeadbeefcafef00dULL))
+      .set("delta", Json::integer(-42))
+      .set("tags", Json::array().push(Json::string("a\"b\\c\n")))
+      .set("nothing", Json::null());
+  const Json parsed = Json::parse(line.dump());
+  EXPECT_EQ(parsed.string_or("event", ""), "cell");
+  EXPECT_TRUE(parsed.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(parsed.number_or("best", 0.0), 1278.5);
+  EXPECT_EQ(parsed.find("seed")->as_u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(parsed.find("delta")->as_i64(), -42);
+  EXPECT_EQ(parsed.find("tags")->items().at(0).as_string(), "a\"b\\c\n");
+  EXPECT_EQ(parsed.find("nothing")->kind(), Json::Kind::kNull);
+}
+
+TEST(Json, ExactU64SurvivesWhereDoubleWouldNot) {
+  // 2^64 - 59 is not representable as a double; the integer twin must
+  // carry it exactly through dump + parse.
+  const std::uint64_t big = 18446744073709551557ULL;
+  const Json parsed = Json::parse(Json::uinteger(big).dump());
+  EXPECT_EQ(parsed.as_u64(), big);
+}
+
+TEST(Json, MaxDigitsDoubleRoundTrip) {
+  const double value = 1234.5678901234567;
+  EXPECT_EQ(Json::parse(Json::number(value).dump()).as_number(), value);
+}
+
+TEST(Json, Int64MinRoundTripsWithoutOverflow) {
+  const Json parsed = Json::parse("-9223372036854775808");
+  EXPECT_EQ(parsed.as_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parsed.dump(), "-9223372036854775808");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\uzzzz\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\u12gz\""), std::invalid_argument);
+  EXPECT_EQ(Json::parse("\"\\u000a\"").as_string(), "\n");
+}
+
+// --- SweepSpec parsing ------------------------------------------------------
+
+TEST(SweepSpec, ParsesBaseAxesAndDirectives) {
+  const SweepSpec spec = SweepSpec::parse(
+      "engine=island pop=20 islands=6\n"
+      "topology={ring,grid,full}  # axis comment\n"
+      "interval={5,20}\n"
+      "@instances=ta001,ta002\n"
+      "@reps=3 @seed=99 @generations=40 @reference=1278\n");
+  EXPECT_EQ(spec.base, "engine=island pop=20 islands=6");
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].label, "topology");
+  EXPECT_EQ(spec.axes[0].values,
+            (std::vector<std::string>{"ring", "grid", "full"}));
+  EXPECT_FALSE(spec.axes[0].grouped);
+  EXPECT_EQ(spec.axes[1].label, "interval");
+  EXPECT_EQ(spec.instances, (std::vector<std::string>{"ta001", "ta002"}));
+  EXPECT_EQ(spec.reps, 3);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.stop.max_generations, 40);
+  EXPECT_DOUBLE_EQ(spec.reference, 1278.0);
+  EXPECT_EQ(spec.configs(), 6);
+}
+
+TEST(SweepSpec, GroupAxisZipsKeys) {
+  const SweepSpec spec = SweepSpec::parse(
+      "engine=island {islands=2 pop=60,islands=3 pop=40,islands=4 pop=30}");
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_TRUE(spec.axes[0].grouped);
+  EXPECT_EQ(spec.axes[0].label, "islands+pop");
+  EXPECT_EQ(spec.axes[0].values.size(), 3u);
+  EXPECT_EQ(spec.axes[0].token(1), "islands=3 pop=40");
+}
+
+TEST(SweepSpec, NonGenerationBudgetsLiftTheGenerationCap) {
+  const SweepSpec spec = SweepSpec::parse("engine=simple @evals=5000");
+  EXPECT_EQ(spec.stop.max_generations, std::numeric_limits<int>::max());
+  EXPECT_EQ(spec.stop.max_evaluations, 5000);
+  // Default when nothing is set: the shared 100-generation default.
+  EXPECT_EQ(SweepSpec::parse("engine=simple").stop.max_generations, 100);
+}
+
+TEST(SweepSpec, RejectsMalformedGrids) {
+  EXPECT_THROW(SweepSpec::parse("topology={ring"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("topology=ring}"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("topology={}"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("topology={a,,b}"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("@bogus=1"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("@reps=0"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("@reps=abc"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("loneword"), std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("{ring,grid}"), std::invalid_argument);
+  try {
+    SweepSpec::parse("engine=island topology={ring");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("topology={ring"),
+              std::string::npos);
+  }
+}
+
+TEST(SweepSpec, CommentsWorkInsideGroupAxes) {
+  const SweepSpec spec = SweepSpec::parse(
+      "engine=island {islands=2 pop=60, # fixed total 120\n"
+      "islands=4 pop=30}");
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].values,
+            (std::vector<std::string>{"islands=2 pop=60", "islands=4 pop=30"}));
+}
+
+TEST(SweepSpec, ExpandRejectsNonPositiveReps) {
+  SweepSpec spec = SweepSpec::parse("engine=simple @instances=ta001");
+  spec.reps = 0;  // CLI --reps override path bypasses parse() validation
+  EXPECT_THROW(spec.expand(), std::invalid_argument);
+}
+
+TEST(SweepSpec, ParseFileSplitsSections) {
+  const std::vector<SweepSpec> sweeps = SweepSpec::parse_file(
+      "# leading comment\n"
+      "engine=simple pop=10\n"
+      "[alpha]\n"
+      "engine=island islands=2\n"
+      "topology={ring,full}\n"
+      "[beta]\n"
+      "engine=cellular width=4 height=4\n");
+  ASSERT_EQ(sweeps.size(), 3u);
+  EXPECT_EQ(sweeps[0].name, "sweep");
+  EXPECT_EQ(sweeps[0].base, "engine=simple pop=10");
+  EXPECT_EQ(sweeps[1].name, "alpha");
+  EXPECT_EQ(sweeps[1].axes.size(), 1u);
+  EXPECT_EQ(sweeps[2].name, "beta");
+}
+
+TEST(SweepSpec, StudyFileStaysInSyncWithEmbeddedExample) {
+  // examples/parameter_study.cpp embeds the same sections as
+  // sweeps/parameter_study.sweep so `psga_sweep` reproduces its tables;
+  // this pins the two down against drifting apart. Repo root derives
+  // from the compiled-in data directory.
+  const std::string root =
+      std::string(PSGA_DATA_DIR).substr(0, std::string(PSGA_DATA_DIR).rfind("data"));
+  auto slurp = [](const std::string& path) {
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path;
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+  };
+  const std::string sweep_file = slurp(root + "sweeps/parameter_study.sweep");
+  const std::string example_src = slurp(root + "examples/parameter_study.cpp");
+  // The example's one raw string literal holds its embedded study spec.
+  const std::size_t begin = example_src.find("R\"(");
+  const std::size_t end = example_src.find(")\"", begin);
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  const std::string embedded =
+      example_src.substr(begin + 3, end - begin - 3);
+  const std::vector<SweepSpec> from_file = SweepSpec::parse_file(sweep_file);
+  const std::vector<SweepSpec> from_example = SweepSpec::parse_file(embedded);
+  ASSERT_EQ(from_file.size(), from_example.size());
+  for (std::size_t i = 0; i < from_file.size(); ++i) {
+    EXPECT_EQ(from_file[i], from_example[i]) << from_file[i].name;
+  }
+}
+
+// --- expansion & seeds ------------------------------------------------------
+
+TEST(SweepExpand, CrossProductOrderFirstAxisSlowest) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=island topology={ring,full} interval={1,5,9} @reps=2");
+  spec.instances = {"instA", "instB"};
+  const std::vector<SweepCell> cells = spec.expand();
+  // 2 topologies x 3 intervals x 2 instances x 2 reps.
+  ASSERT_EQ(cells.size(), 24u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<int>(i));
+  }
+  // First axis (topology) varies slowest; instances then reps innermost.
+  EXPECT_EQ(cells[0].axis_values,
+            (std::vector<std::string>{"ring", "1"}));
+  EXPECT_EQ(cells[0].instance, "instA");
+  EXPECT_EQ(cells[0].rep, 0);
+  EXPECT_EQ(cells[1].rep, 1);
+  EXPECT_EQ(cells[2].instance, "instB");
+  EXPECT_EQ(cells[4].axis_values,
+            (std::vector<std::string>{"ring", "5"}));
+  EXPECT_EQ(cells[12].axis_values,
+            (std::vector<std::string>{"full", "1"}));
+  // The cell spec carries base + axis tokens + the derived seed.
+  EXPECT_EQ(cells[0].spec,
+            "engine=island topology=ring interval=1 seed=" +
+                std::to_string(cells[0].seed));
+}
+
+TEST(SweepExpand, SeedsAreDeterministicAndDistinct) {
+  const SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop={10,20} @reps=3 @seed=7");
+  const std::vector<SweepCell> a = spec.expand();
+  const std::vector<SweepCell> b = spec.expand();
+  ASSERT_EQ(a.size(), 6u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);  // pure function of the spec
+    EXPECT_EQ(a[i].seed, derive_seed(7, static_cast<std::uint64_t>(i),
+                                     static_cast<std::uint64_t>(a[i].rep)));
+    seeds.insert(a[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), a.size());
+  // Changing the sweep seed moves every cell seed.
+  SweepSpec reseeded = spec;
+  reseeded.seed = 8;
+  EXPECT_NE(reseeded.expand()[0].seed, a[0].seed);
+}
+
+TEST(SweepExpand, CrnPairsConfigurationsOnOneSeedSeries) {
+  const char* grid =
+      "engine=island topology={ring,full} @instances=ta001,ta002 @reps=2 "
+      "@seed=3 @crn=on";
+  const std::vector<SweepCell> cells = SweepSpec::parse(grid).expand();
+  ASSERT_EQ(cells.size(), 8u);
+  for (const SweepCell& cell : cells) {
+    // Same (instance, rep) -> same seed in every configuration.
+    EXPECT_EQ(cell.seed, cells[static_cast<std::size_t>(
+                                   cell.instance_index * 2 + cell.rep)]
+                             .seed);
+  }
+  // Distinct (instance, rep) pairs still get distinct seeds.
+  std::set<std::uint64_t> series;
+  for (int i = 0; i < 4; ++i) series.insert(cells[static_cast<std::size_t>(i)].seed);
+  EXPECT_EQ(series.size(), 4u);
+  // Default (no @crn) keeps every cell independent.
+  SweepSpec independent = SweepSpec::parse(grid);
+  independent.crn = false;
+  const std::vector<SweepCell> plain = independent.expand();
+  EXPECT_NE(plain[0].seed, plain[4].seed);
+}
+
+TEST(SweepExpand, DerivedSeedOverridesBaseSeedToken) {
+  const SweepSpec spec =
+      SweepSpec::parse("engine=simple seed=123 pop=10 @seed=9");
+  const SweepCell cell = spec.expand()[0];
+  // SolverSpec::parse applies tokens left to right, so the trailing
+  // derived seed wins over the fixed seed=123.
+  EXPECT_EQ(ga::SolverSpec::parse(cell.spec).seed, cell.seed);
+}
+
+TEST(SweepExpand, GlobExpandsAndSorts) {
+  SweepSpec spec = SweepSpec::parse("engine=simple");
+  spec.instances = {data_path("ta00*.fsp")};
+  const std::vector<std::string> instances = spec.expand_instances();
+  ASSERT_EQ(instances.size(), 9u);  // ta001..ta009 (ta010 has a 1)
+  EXPECT_EQ(instances.front(), data_path("ta001.fsp"));
+  EXPECT_EQ(instances.back(), data_path("ta009.fsp"));
+  spec.instances = {data_path("nope*.fsp")};
+  EXPECT_THROW(spec.expand(), std::invalid_argument);
+}
+
+// --- runner -----------------------------------------------------------------
+
+SweepSpec tiny_island_sweep() {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=island islands=2 pop=8\n"
+      "topology={ring,full}\n"
+      "interval={1,3}\n"
+      "@instances=ta001,ta002 @reps=2 @generations=4 @seed=11");
+  return spec;
+}
+
+TEST(SweepRunner, RunsTheGridAndAggregates) {
+  const SweepResult result = run_sweep(tiny_island_sweep());
+  ASSERT_EQ(result.cells.size(), 16u);  // 4 configs x 2 instances x 2 reps
+  EXPECT_EQ(result.failed, 0);
+  for (const CellResult& cell : result.cells) {
+    ASSERT_TRUE(cell.ok) << cell.error;
+    EXPECT_GT(cell.result.best_objective, 0.0);
+    EXPECT_EQ(cell.result.generations, 4);
+  }
+  const SweepSummary summary = summarize(result);
+  ASSERT_EQ(summary.groups.size(), 8u);  // 4 configs x 2 instances
+  for (const GroupSummary& group : summary.groups) {
+    EXPECT_EQ(group.best_objectives.size(), 2u);
+    EXPECT_GE(group.mean, group.best);
+  }
+  const stats::Table table = summary_table(result.spec, summary);
+  EXPECT_NE(table.to_string().find("topology"), std::string::npos);
+}
+
+TEST(SweepRunner, ParallelSweepBitIdenticalToSerial) {
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepResult a = run_sweep(tiny_island_sweep(), serial);
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const SweepResult b = run_sweep(tiny_island_sweep(), parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_EQ(a.cells[i].ok, b.cells[i].ok);
+    EXPECT_EQ(a.cells[i].cell.seed, b.cells[i].cell.seed);
+    EXPECT_EQ(a.cells[i].result.best_objective,
+              b.cells[i].result.best_objective)
+        << "cell " << i << " diverged between serial and parallel sweeps";
+    EXPECT_EQ(a.cells[i].result.evaluations, b.cells[i].result.evaluations);
+    EXPECT_EQ(a.cells[i].result.history, b.cells[i].result.history);
+  }
+  // The rendered summary tables are byte-identical.
+  EXPECT_EQ(summary_table(a.spec, summarize(a)).to_string(),
+            summary_table(b.spec, summarize(b)).to_string());
+}
+
+TEST(SweepRunner, CustomResolverAndProgress) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=10 @instances=generated @reps=2 @generations=3");
+  SweepOptions options;
+  const auto instance = sched::make_taillard(sched::taillard_20x5()[0]);
+  options.resolve = [&](const std::string& name) -> ga::ProblemPtr {
+    EXPECT_EQ(name, "generated");
+    return std::make_shared<ga::FlowShopProblem>(instance);
+  };
+  int calls = 0;
+  options.progress = [&](const CellResult& cell, int done, int total) {
+    EXPECT_TRUE(cell.ok);
+    EXPECT_EQ(total, 2);
+    EXPECT_EQ(done, ++calls);
+  };
+  const SweepResult result = run_sweep(std::move(spec), options);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_EQ(calls, 2);
+}
+
+// --- fail-soft --------------------------------------------------------------
+
+TEST(SweepRunner, MalformedCellSpecIsCapturedNotFatal) {
+  // engine axis includes an unregistered engine and a malformed token
+  // value: those cells fail, the others complete.
+  SweepSpec spec = SweepSpec::parse(
+      "pop=8 {engine=simple,engine=warp-drive,engine=simple pop=oops}\n"
+      "@instances=ta001 @reps=2 @generations=3");
+  std::ostringstream telemetry;
+  TelemetrySink sink(telemetry);
+  SweepOptions options;
+  options.telemetry = &sink;
+  const SweepResult result = run_sweep(spec, options);
+  ASSERT_EQ(result.cells.size(), 6u);
+  EXPECT_EQ(result.failed, 4);
+  EXPECT_TRUE(result.cells[0].ok);
+  EXPECT_TRUE(result.cells[1].ok);
+  EXPECT_FALSE(result.cells[2].ok);
+  EXPECT_NE(result.cells[2].error.find("warp-drive"), std::string::npos);
+  EXPECT_FALSE(result.cells[4].ok);
+  EXPECT_NE(result.cells[4].error.find("oops"), std::string::npos);
+  // The telemetry records the structured error.
+  int error_records = 0;
+  std::istringstream lines(telemetry.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const Json record = Json::parse(line);
+    if (record.string_or("event", "") == "cell" &&
+        !record.find("ok")->as_bool()) {
+      ++error_records;
+      EXPECT_FALSE(record.string_or("error", "").empty());
+    }
+  }
+  EXPECT_EQ(error_records, 4);
+  // The summary still renders, with a failed column.
+  const stats::Table table = summary_table(result.spec, summarize(result));
+  EXPECT_NE(table.to_string().find("failed"), std::string::npos);
+}
+
+TEST(SweepRunner, MissingInstanceFileIsCapturedNotFatal) {
+  SweepSpec spec = SweepSpec::parse("engine=simple pop=8 @generations=2");
+  spec.instances = {data_path("ta001.fsp"), data_path("missing.fsp")};
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_TRUE(result.cells[0].ok);
+  EXPECT_FALSE(result.cells[1].ok);
+  EXPECT_FALSE(result.cells[1].error.empty());
+  EXPECT_EQ(result.failed, 1);
+}
+
+// --- telemetry --------------------------------------------------------------
+
+TEST(Telemetry, JsonlRoundTripsCellRecords) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=island islands=2 pop=8 eval_cache=unbounded\n"
+      "topology={ring,full}\n"
+      "@instances=ta001 @reps=2 @generations=3 @seed=5");
+  std::ostringstream telemetry;
+  TelemetrySink sink(telemetry);
+  SweepOptions options;
+  options.telemetry = &sink;
+  const SweepResult result = run_sweep(spec, options);
+  ASSERT_EQ(result.failed, 0);
+
+  int cell_records = 0;
+  int generation_records = 0;
+  int sweep_begin = 0;
+  int sweep_end = 0;
+  std::istringstream lines(telemetry.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const Json record = Json::parse(line);  // every line parses
+    const std::string event = record.string_or("event", "");
+    if (event == "sweep_begin") {
+      ++sweep_begin;
+      EXPECT_EQ(record.number_or("cells", 0), 4);
+      EXPECT_EQ(record.find("axes")->items().size(), 1u);
+    } else if (event == "generation") {
+      ++generation_records;
+    } else if (event == "sweep_end") {
+      ++sweep_end;
+      EXPECT_EQ(record.number_or("failed", -1), 0);
+    } else if (event == "cell") {
+      ++cell_records;
+      const int index = static_cast<int>(record.number_or("cell", -1));
+      ASSERT_GE(index, 0);
+      const CellResult& expected =
+          result.cells[static_cast<std::size_t>(index)];
+      // Exact round-trip: u64 seed, double objective, counters.
+      EXPECT_EQ(record.find("seed")->as_u64(), expected.cell.seed);
+      EXPECT_EQ(record.number_or("best_objective", -1),
+                expected.result.best_objective);
+      EXPECT_EQ(record.number_or("evaluations", -1),
+                static_cast<double>(expected.result.evaluations));
+      EXPECT_EQ(record.string_or("spec", ""), expected.cell.spec);
+      EXPECT_EQ(record.find("axes")->string_or("topology", ""),
+                expected.cell.axis_values[0]);
+      ASSERT_NE(record.find("cache"), nullptr);
+      EXPECT_EQ(record.find("cache")->number_or("hits", -1),
+                static_cast<double>(expected.result.cache->hits));
+    }
+  }
+  EXPECT_EQ(sweep_begin, 1);
+  EXPECT_EQ(sweep_end, 1);
+  EXPECT_EQ(cell_records, 4);
+  // init + 3 generations per cell, stride 1.
+  EXPECT_EQ(generation_records, 4 * 4);
+}
+
+TEST(Telemetry, EveryZeroSuppressesGenerationStream) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 @instances=ta001 @generations=3");
+  std::ostringstream telemetry;
+  TelemetrySink sink(telemetry);
+  SweepOptions options;
+  options.telemetry = &sink;
+  options.telemetry_every = 0;
+  run_sweep(spec, options);
+  std::istringstream lines(telemetry.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(Json::parse(line).string_or("event", ""), "generation");
+  }
+}
+
+// --- aggregation ------------------------------------------------------------
+
+TEST(Aggregate, ComputesStatsAndRpd) {
+  SweepSpec spec = SweepSpec::parse("engine=simple x={a,b} @reps=2");
+  spec.reference = 100.0;
+  SweepResult result;
+  result.spec = spec;
+  const std::vector<SweepCell> cells = [&] {
+    SweepSpec layout = spec;
+    layout.base = "";  // layout only; results are injected below
+    return layout.expand();
+  }();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    CellResult cell;
+    cell.cell = cells[i];
+    cell.ok = true;
+    cell.result.best_objective = 110.0 + 10.0 * static_cast<double>(i);
+    cell.result.evaluations = 100;
+    cell.result.history = {120.0, cell.result.best_objective};
+    result.cells.push_back(std::move(cell));
+  }
+  const SweepSummary summary = summarize(result);
+  ASSERT_EQ(summary.groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary.groups[0].best, 110.0);
+  EXPECT_DOUBLE_EQ(summary.groups[0].mean, 115.0);
+  EXPECT_DOUBLE_EQ(summary.groups[0].mean_rpd, 15.0);  // (10% + 20%) / 2
+  EXPECT_DOUBLE_EQ(summary.groups[1].mean, 135.0);
+  ASSERT_EQ(summary.groups[0].mean_history.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary.groups[0].mean_history[0], 120.0);
+  EXPECT_DOUBLE_EQ(summary.groups[0].mean_history[1], 115.0);
+}
+
+}  // namespace
+}  // namespace psga::exp

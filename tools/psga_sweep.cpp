@@ -1,0 +1,208 @@
+// psga_sweep — the canonical way to reproduce the paper's parameter
+// studies: run every sweep in a declarative spec file, stream JSONL
+// telemetry and print the study tables.
+//
+//   $ psga_sweep [options] <spec-file>
+//
+//   --threads N        cells in flight (default 1: serial; results are
+//                      bit-identical at any thread count)
+//   --telemetry PATH   write JSONL telemetry (see docs/sweeps.md)
+//   --every N          generation-event stride (default 1; 0 = final
+//                      records only)
+//   --summary PATH     also write the tables to PATH
+//   --csv              emit tables as CSV instead of aligned text
+//   --reps N           override every sweep's @reps
+//   --seed N           override every sweep's @seed
+//   --list             print the expanded cells and exit (dry run)
+//   --quiet            no per-cell progress on stderr
+//
+// Exit status: 1 for unusable input (missing/unparsable spec file,
+// zero-cell sweeps) or when every cell of the file failed; individual
+// cell failures are fail-soft and reported in the summaries.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/aggregate.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/sweep_spec.h"
+#include "src/exp/telemetry.h"
+
+namespace {
+
+using namespace psga;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--telemetry PATH] [--every N]\n"
+               "       %*s [--summary PATH] [--csv] [--reps N] [--seed N]\n"
+               "       %*s [--list] [--quiet] <spec-file>\n",
+               argv0, static_cast<int>(std::strlen(argv0)), "",
+               static_cast<int>(std::strlen(argv0)), "");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string telemetry_path;
+  std::string summary_path;
+  int threads = 1;
+  int every = 1;
+  bool csv = false;
+  bool list = false;
+  bool quiet = false;
+  std::optional<int> reps_override;
+  std::optional<std::uint64_t> seed_override;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psga_sweep: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      threads = std::atoi(next_value());
+    } else if (arg == "--telemetry") {
+      telemetry_path = next_value();
+    } else if (arg == "--every") {
+      every = std::atoi(next_value());
+    } else if (arg == "--summary") {
+      summary_path = next_value();
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--reps") {
+      reps_override = std::atoi(next_value());
+    } else if (arg == "--seed") {
+      seed_override = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "psga_sweep: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return usage(argv[0]);
+
+  std::ifstream spec_file(spec_path);
+  if (!spec_file) {
+    std::fprintf(stderr, "psga_sweep: cannot read %s\n", spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream spec_text;
+  spec_text << spec_file.rdbuf();
+
+  std::vector<exp::SweepSpec> sweeps;
+  try {
+    sweeps = exp::SweepSpec::parse_file(spec_text.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psga_sweep: %s\n", e.what());
+    return 1;
+  }
+  if (sweeps.empty()) {
+    std::fprintf(stderr, "psga_sweep: %s declares no sweeps\n",
+                 spec_path.c_str());
+    return 1;
+  }
+  for (exp::SweepSpec& sweep : sweeps) {
+    if (reps_override) sweep.reps = *reps_override;
+    if (seed_override) sweep.seed = *seed_override;
+  }
+
+  if (list) {
+    for (const exp::SweepSpec& sweep : sweeps) {
+      try {
+        for (const exp::SweepCell& cell : sweep.expand()) {
+          std::printf("%s\t%d\t%s\t%s\n", sweep.name.c_str(), cell.index,
+                      cell.instance.c_str(), cell.spec.c_str());
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "psga_sweep: %s\n", e.what());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  std::ofstream telemetry_file;
+  std::optional<exp::TelemetrySink> sink;
+  if (!telemetry_path.empty()) {
+    telemetry_file.open(telemetry_path);
+    if (!telemetry_file) {
+      std::fprintf(stderr, "psga_sweep: cannot write %s\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+    sink.emplace(telemetry_file);
+  }
+
+  std::ostringstream tables;
+  int total_cells = 0;
+  int failed_cells = 0;
+  for (const exp::SweepSpec& sweep : sweeps) {
+    exp::SweepOptions options;
+    options.threads = threads;
+    options.telemetry = sink ? &*sink : nullptr;
+    options.telemetry_every = every;
+    if (!quiet) {
+      options.progress = [&](const exp::CellResult& cell, int done,
+                             int total) {
+        std::fprintf(stderr, "\r[%s] %d/%d%s", sweep.name.c_str(), done,
+                     total, cell.ok ? "" : " (cell failed)");
+        if (done == total) std::fprintf(stderr, "\n");
+      };
+    }
+    try {
+      const exp::SweepResult result = exp::run_sweep(sweep, options);
+      total_cells += static_cast<int>(result.cells.size());
+      failed_cells += result.failed;
+      if (csv) {
+        tables << "# sweep " << sweep.name << "\n"
+               << exp::summary_table(result.spec, exp::summarize(result))
+                      .to_csv()
+               << "\n";
+      } else {
+        exp::print_summary(result, tables);
+        tables << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psga_sweep: sweep '%s': %s\n",
+                   sweep.name.c_str(), e.what());
+      return 1;
+    }
+  }
+
+  std::fputs(tables.str().c_str(), stdout);
+  if (!summary_path.empty()) {
+    std::ofstream summary_file(summary_path);
+    if (!summary_file) {
+      std::fprintf(stderr, "psga_sweep: cannot write %s\n",
+                   summary_path.c_str());
+      return 1;
+    }
+    summary_file << tables.str();
+  }
+  if (failed_cells > 0) {
+    std::fprintf(stderr, "psga_sweep: %d/%d cells failed\n", failed_cells,
+                 total_cells);
+  }
+  return failed_cells == total_cells ? 1 : 0;
+}

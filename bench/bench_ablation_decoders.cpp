@@ -3,7 +3,7 @@
 // Giffler–Thompson ACTIVE decoding ([17][21][26]) and the INDIRECT
 // dispatching-rule encoding ([12]). Same GA budget, three decoders.
 #include "bench/bench_util.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/classics.h"
 
@@ -25,12 +25,12 @@ int main() {
       const auto engine = ga::make_engine(std::move(problem), cfg);
       return engine->run().best_objective;
     };
-    const double semi = run(std::make_shared<ga::JobShopProblem>(
+    const double semi = run(ga::make_problem(
         classic->instance, ga::JobShopProblem::Decoder::kOperationBased));
-    const double active = run(std::make_shared<ga::JobShopProblem>(
+    const double active = run(ga::make_problem(
         classic->instance, ga::JobShopProblem::Decoder::kGifflerThompson));
     const double rules = run(
-        std::make_shared<ga::RuleSequenceJobShopProblem>(classic->instance));
+        ga::make_rule_sequence_problem(classic->instance));
     table.add_row({classic->name, std::to_string(classic->optimum),
                    stats::Table::num(semi, 0), stats::Table::num(active, 0),
                    stats::Table::num(rules, 0)});

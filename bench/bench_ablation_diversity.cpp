@@ -10,7 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/classics.h"
 
@@ -20,7 +20,7 @@ int main() {
                 "bigger population / higher mutation / niche penalty all "
                 "cost time; the island model buys diversity structurally");
 
-  auto problem = std::make_shared<ga::JobShopProblem>(
+  auto problem = ga::make_problem(
       sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
   const int generations = 60 * bench::scale();
 

@@ -4,7 +4,7 @@
 // design-choice question behind the heterogeneous-island strategies of
 // [26] and [30]).
 #include "bench/bench_util.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/taillard.h"
@@ -17,7 +17,7 @@ int main() {
 
   const auto bench_entry = sched::taillard_20x5().front();
   auto problem =
-      std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench_entry));
+      ga::make_problem(sched::make_taillard(bench_entry));
   const double reference = static_cast<double>(bench_entry.best_known);
   const int replications = 3 * bench::scale();
 

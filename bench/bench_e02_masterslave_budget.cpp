@@ -8,7 +8,7 @@
 // prediction for a GPU-sized lane count.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/par/simt_model.h"
 #include "src/sched/classics.h"
 
@@ -21,7 +21,7 @@ int main() {
 
   // The paper's evaluation is expensive (alternative-graph longest paths);
   // the GT active-schedule decoder is our closest expensive decoder.
-  auto problem = std::make_shared<ga::JobShopProblem>(
+  auto problem = ga::make_problem(
       sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
 
   ga::GaConfig cfg;

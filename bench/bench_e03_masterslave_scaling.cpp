@@ -6,7 +6,7 @@
 // speedup), large instances approach the worker count — the paper's shape.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/generators.h"
 
 int main() {
@@ -25,7 +25,7 @@ int main() {
     int machines;
   };
   for (const Case c : {Case{6, 6}, Case{15, 10}, Case{30, 15}, Case{50, 20}}) {
-    auto problem = std::make_shared<ga::JobShopProblem>(
+    auto problem = ga::make_problem(
         sched::random_job_shop(c.jobs, c.machines,
                                static_cast<std::uint64_t>(c.jobs) * 100 + 7),
         ga::JobShopProblem::Decoder::kGifflerThompson);

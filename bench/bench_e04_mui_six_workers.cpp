@@ -6,7 +6,7 @@
 // selection) serial vs 6 workers; report the time ratio.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/classics.h"
 
@@ -16,7 +16,7 @@ int main() {
                 "master-slave GA with 6 processors saves 3-4x execution "
                 "time vs the sequential version");
 
-  auto problem = std::make_shared<ga::JobShopProblem>(
+  auto problem = ga::make_problem(
       sched::ft20().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
 
   ga::GaConfig cfg;

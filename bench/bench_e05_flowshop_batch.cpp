@@ -8,7 +8,7 @@
 // evaluation across worker counts, and solution quality vs NEH.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/heuristics.h"
 #include "src/sched/taillard.h"
@@ -22,7 +22,7 @@ int main() {
   // A large instance (100x20, Taillard-class size) so the fitness batch
   // is worth distributing; on ta001-sized decodes dispatch overhead wins.
   const auto instance = sched::taillard_flow_shop(100, 20, 1805);
-  auto problem = std::make_shared<ga::FlowShopProblem>(instance);
+  auto problem = ga::make_problem(instance);
 
   ga::GaConfig cfg;
   cfg.population = 400;

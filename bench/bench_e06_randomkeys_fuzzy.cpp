@@ -8,7 +8,7 @@
 // block evaluation scaling plus the SIMT model's CUDA-class prediction.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/par/simt_model.h"
 #include "src/sched/taillard.h"
 
@@ -20,7 +20,7 @@ int main() {
 
   const int jobs = 40 * bench::scale();  // paper: up to 200 jobs
   const auto crisp = sched::taillard_flow_shop(jobs, 10, 20050320);
-  auto problem = std::make_shared<ga::FuzzyFlowShopProblem>(
+  auto problem = ga::make_problem(
       sched::fuzzify(crisp.proc, 0.2, 1.6, 0.8));
 
   // a% best + b% crossover + c% random immigration, a+b+c = 100 ([24]).

@@ -9,7 +9,7 @@
 // runs on the device.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/par/simt_model.h"
 #include "src/sched/taillard.h"
 
@@ -19,7 +19,7 @@ int main() {
                 "all-on-GPU island GA: 60-120x vs sequential CPU");
 
   const auto crisp = sched::taillard_flow_shop(50, 10, 46702);
-  auto problem = std::make_shared<ga::RandomKeyFlowShopProblem>(crisp);
+  auto problem = ga::make_random_key_problem(crisp);
 
   ga::IslandGaConfig cfg;
   cfg.islands = 16;  // many small islands, one per "block"

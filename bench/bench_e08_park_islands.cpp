@@ -10,7 +10,7 @@
 // budget; best and average over replications.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/classics.h"
 #include "src/sched/generators.h"
@@ -43,7 +43,7 @@ int main() {
                       "2-isl avg", "4-isl best", "4-isl avg"});
 
   for (const Entry& entry : entries) {
-    auto problem = std::make_shared<ga::JobShopProblem>(
+    auto problem = ga::make_problem(
         entry.instance, ga::JobShopProblem::Decoder::kGifflerThompson);
 
     auto run_config = [&](int islands, std::uint64_t seed) {

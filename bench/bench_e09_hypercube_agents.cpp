@@ -9,7 +9,7 @@
 // first reaches the serial GA's final level (convergence speed).
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/classics.h"
 
@@ -23,7 +23,7 @@ int main() {
                       "serial gens to final", "cube gens to serial level"});
 
   for (const auto* classic : {&sched::ft10(), &sched::ft20()}) {
-    auto problem = std::make_shared<ga::JobShopProblem>(
+    auto problem = ga::make_problem(
         classic->instance, ga::JobShopProblem::Decoder::kGifflerThompson);
     const int generations = 150 * bench::scale();
 

@@ -8,7 +8,7 @@
 // job shop — plain GA, single-island quantum GA, island quantum GA with
 // penetration migration.
 #include "bench/bench_util.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/generators.h"
@@ -23,7 +23,7 @@ int main() {
   const auto nominal = sched::random_job_shop(10, 8, 2009);
   auto shop = std::make_shared<sched::StochasticJobShop>(nominal, 0.25,
                                                          8 * bench::scale(), 7);
-  auto problem = std::make_shared<ga::StochasticJobShopProblem>(shop);
+  auto problem = ga::make_problem(shop);
 
   const int generations = 150 * bench::scale();
   const int total_pop = 48;

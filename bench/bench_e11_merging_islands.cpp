@@ -8,7 +8,7 @@
 // budget on ft10; report bests and surviving island count.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/classics.h"
 
@@ -18,7 +18,7 @@ int main() {
                 "islands merge when stagnated (Hamming criterion) until one "
                 "remains; performance comparable to recent approaches");
 
-  auto problem = std::make_shared<ga::JobShopProblem>(
+  auto problem = ga::make_problem(
       sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
   const int generations = 50 * bench::scale();
 

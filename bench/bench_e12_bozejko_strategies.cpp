@@ -11,7 +11,7 @@
 // row the improvements are measured against.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/taillard.h"
 
@@ -23,7 +23,7 @@ int main() {
 
   const auto bench_entry = sched::taillard_20x5().front();
   auto problem =
-      std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench_entry));
+      ga::make_problem(sched::make_taillard(bench_entry));
   const double reference = static_cast<double>(bench_entry.best_known);
 
   const int generations = 30 * bench::scale();

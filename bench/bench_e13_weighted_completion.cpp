@@ -6,7 +6,7 @@
 // total budget; quality per island count plus parallel wall-clock.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/generators.h"
 #include "src/sched/taillard.h"
 
@@ -20,7 +20,7 @@ int main() {
   std::vector<sched::Time> work(50);
   for (int j = 0; j < 50; ++j) work[static_cast<std::size_t>(j)] = inst.proc[0][static_cast<std::size_t>(j)];
   sched::assign_due_dates(inst.attrs, work, 2.0, 9, 13);
-  auto problem = std::make_shared<ga::FlowShopProblem>(
+  auto problem = ga::make_problem(
       inst, sched::Criterion::kTotalWeightedCompletion);
 
   const int total_pop = 128;

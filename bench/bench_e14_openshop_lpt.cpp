@@ -10,7 +10,7 @@
 // reports.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/generators.h"
 #include "src/sched/open_shop.h"
@@ -31,7 +31,7 @@ int main() {
        {sched::OpenShopDecoder::kLptTask, sched::OpenShopDecoder::kLptMachine}) {
     for (const char* mutation : {"swap", "inversion"}) {
       for (bool variable : {false, true}) {
-        auto problem = std::make_shared<ga::OpenShopProblem>(instance, decoder);
+        auto problem = ga::make_problem(instance, decoder);
         ga::GaConfig cfg;
         cfg.population = 60;
         cfg.termination.max_generations = generations;
@@ -55,7 +55,7 @@ int main() {
   // Serial vs all-to-all island at equal total budget, several seeds.
   std::vector<double> serial_finals;
   std::vector<double> island_finals;
-  auto problem = std::make_shared<ga::OpenShopProblem>(
+  auto problem = ga::make_problem(
       instance, sched::OpenShopDecoder::kLptTask);
   for (int rep = 0; rep < 4 * bench::scale(); ++rep) {
     ga::GaConfig cfg;

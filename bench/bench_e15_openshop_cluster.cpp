@@ -9,7 +9,7 @@
 // same TOTAL work (5 islands' worth) versus rank count.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/generators.h"
 #include "src/sched/open_shop.h"
 
@@ -20,7 +20,7 @@ int main() {
                 "for large instances; GN/LN dual-frequency migration");
 
   const auto instance = sched::random_open_shop(20, 10, 3309);
-  auto problem = std::make_shared<ga::OpenShopProblem>(
+  auto problem = ga::make_problem(
       instance, sched::OpenShopDecoder::kLptTask);
   const auto lb = sched::open_shop_lower_bound(instance);
 

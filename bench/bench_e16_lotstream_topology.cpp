@@ -8,7 +8,9 @@
 //
 // Reproduction: the same sweeps on a generated lot-streaming instance,
 // replicated over seeds — declared as exp::SweepSpec grids and run by the
-// sweep runner (a custom resolver serves the generated instance).
+// sweep runner. The generated instance is a spec token
+// (problem=lot-streaming + a gen: instance), so the grids need no custom
+// resolver and the same strings work in a .sweep file.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -17,8 +19,6 @@
 #include "src/exp/report.h"
 #include "src/exp/sweep_runner.h"
 #include "src/exp/sweep_spec.h"
-#include "src/ga/problems.h"
-#include "src/sched/generators.h"
 
 int main() {
   using namespace psga;
@@ -27,25 +27,19 @@ int main() {
                     "connected topology best; best-replace-random slightly "
                     "better policy");
 
-  sched::LotStreamParams params;
-  params.jobs = 10;
-  params.machines_per_stage = {2, 3, 2};
-  params.sublots = 3;
-  auto problem = std::make_shared<ga::LotStreamingProblem>(
-      sched::random_lot_streaming(params, 3501));
-
   const int generations = 25 * exp::bench_scale();
   const int replications = 3 * exp::bench_scale();
 
   exp::SweepOptions options;
-  options.resolve = [&](const std::string&) { return problem; };
 
   // @crn=on pairs every configuration on the same seed series (the
   // common-random-numbers design the hand-rolled loops used), so the
   // row-vs-row comparisons isolate the configuration effect.
-  const std::string budget = "@instances=lotstream-10x3 @crn=on "
-                             "@generations=" +
-                             std::to_string(generations) + " ";
+  const std::string budget =
+      "problem=lot-streaming "
+      "instance=gen:jobs=10,stages=2x3x2,sublots=3,seed=3501 @crn=on "
+      "@generations=" +
+      std::to_string(generations) + " ";
   auto study = [&](const std::string& name, const std::string& grid,
                    int reps) {
     exp::SweepSpec sweep = exp::SweepSpec::parse(

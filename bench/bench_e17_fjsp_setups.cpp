@@ -9,7 +9,7 @@
 // random-topology island GA at equal wall budget per size.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/generators.h"
 
 int main() {
@@ -39,7 +39,7 @@ int main() {
     params.detached_setup = false;  // attached setups ([36] models both)
     params.machine_release_hi = 40;
     params.max_lag = 6;
-    auto problem = std::make_shared<ga::FlexibleJobShopProblem>(
+    auto problem = ga::make_problem(
         sched::random_flexible_job_shop(params, 3601));
 
     const int generations = 150 * bench::scale();

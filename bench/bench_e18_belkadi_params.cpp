@@ -17,8 +17,6 @@
 #include "src/exp/report.h"
 #include "src/exp/sweep_runner.h"
 #include "src/exp/sweep_spec.h"
-#include "src/ga/problems.h"
-#include "src/sched/generators.h"
 
 int main() {
   using namespace psga;
@@ -26,26 +24,21 @@ int main() {
                     "topology/replacement insignificant; more subpopulations "
                     "degrade quality; migration interval is decisive");
 
-  sched::HfsParams params;
-  params.jobs = 20;
-  params.machines_per_stage = {3, 2, 3};
-  auto problem = std::make_shared<ga::HybridFlowShopProblem>(
-      sched::random_hybrid_flow_shop(params, 3701));
-
   const int generations = 120 * exp::bench_scale();
   const int replications = 4 * exp::bench_scale();
 
   exp::SweepOptions options;
-  options.resolve = [&](const std::string&) { return problem; };
 
   // Fitness-proportionate selection, as in [37]: small subpopulations
-  // then genuinely depend on migration for diversity.
-  const std::string base = "engine=island sel=roulette mut-rate=0.1 ";
+  // then genuinely depend on migration for diversity. The generated HFS
+  // instance is a spec token — no custom resolver needed.
+  const std::string base =
+      "engine=island sel=roulette mut-rate=0.1 problem=hybrid-flowshop "
+      "instance=gen:jobs=20,stages=3x2x3,seed=3701 ";
   // @crn=on: all configurations of a table share one seed series, so
   // the sweeps compare rows under identical randomness (as the
   // hand-rolled loops did).
-  const std::string budget = "@instances=hfs-20x3 @crn=on @reps=" +
-                             std::to_string(replications) +
+  const std::string budget = "@crn=on @reps=" + std::to_string(replications) +
                              " @generations=" + std::to_string(generations) +
                              " @seed=4000 ";
   auto study = [&](const std::string& name, const std::string& grid) {

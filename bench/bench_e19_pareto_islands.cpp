@@ -12,7 +12,7 @@
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
 #include "src/ga/local_search.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/generators.h"
 
 int main() {
@@ -51,13 +51,13 @@ int main() {
     cfg.base.seed = 38;
     cfg.migration.interval = 6;
     // Island-specific weight pairs with small successive deviation ([38]).
-    std::vector<std::shared_ptr<ga::HybridFlowShopProblem>> problems;
+    std::vector<std::shared_ptr<const ga::HybridFlowShopProblem>> problems;
     for (int i = 0; i < islands; ++i) {
       const double w = 0.1 + 0.8 * i / (islands - 1);
       sched::CompositeObjective obj;
       obj.terms = {{sched::Criterion::kMakespan, w},
                    {sched::Criterion::kMaxTardiness, 1.0 - w}};
-      problems.push_back(std::make_shared<ga::HybridFlowShopProblem>(inst, obj));
+      problems.push_back(ga::make_problem(inst, obj));
       cfg.per_island_problems.push_back(problems.back());
     }
     const auto engine = ga::make_engine(cfg.per_island_problems.front(), cfg);

@@ -11,7 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/classics.h"
 
 int main() {
@@ -21,7 +21,7 @@ int main() {
                 "sub-ideal time reduction; premature convergence "
                 "suppressed");
 
-  auto problem = std::make_shared<ga::JobShopProblem>(
+  auto problem = ga::make_problem(
       sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
 
   ga::CellularConfig cfg;

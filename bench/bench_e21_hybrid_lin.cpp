@@ -10,7 +10,7 @@
 // on ft10 (quality), plus time-to-target speedups for the island rows.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/sched/classics.h"
 
@@ -20,7 +20,7 @@ int main() {
                 "island GA speedups 4.7 / 18.5 vs single GA; best quality "
                 "from islands connected in a fine-grained (torus) style");
 
-  auto problem = std::make_shared<ga::JobShopProblem>(
+  auto problem = ga::make_problem(
       sched::ft10().instance, ga::JobShopProblem::Decoder::kGifflerThompson);
   const int generations = 30 * bench::scale();
   const int total_pop = 240;

@@ -5,7 +5,7 @@
 // pressure) and under tournament selection (where only ordering matters,
 // so the transforms must tie exactly).
 #include "bench/bench_util.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/heuristics.h"
@@ -19,7 +19,7 @@ int main() {
 
   const auto bench_entry = sched::taillard_20x5().front();
   const auto inst = sched::make_taillard(bench_entry);
-  auto problem = std::make_shared<ga::FlowShopProblem>(inst);
+  auto problem = ga::make_problem(inst);
   const double fbar = static_cast<double>(sched::neh_makespan(inst)) * 1.2;
 
   const int generations = 40 * bench::scale();

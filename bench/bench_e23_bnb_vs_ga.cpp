@@ -5,7 +5,7 @@
 // prunes the exact search — the cooperation the papers advocate.
 #include "bench/bench_util.h"
 #include "src/ga/solver.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/sched/branch_bound.h"
 #include "src/sched/classics.h"
 #include "src/sched/generators.h"
@@ -37,7 +37,7 @@ int main() {
     const auto exact =
         sched::parallel_branch_and_bound(entry.inst, cold, &pool);
 
-    auto problem = std::make_shared<ga::JobShopProblem>(
+    auto problem = ga::make_problem(
         entry.inst, ga::JobShopProblem::Decoder::kGifflerThompson);
     ga::GaConfig cfg;
     cfg.population = 64;

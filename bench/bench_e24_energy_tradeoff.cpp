@@ -5,7 +5,7 @@
 // trade-off curve — the global-trade-off shape [8] reports (lower peak
 // power is bought with longer makespan, and vice versa).
 #include "bench/bench_util.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/energy.h"
 #include "src/sched/taillard.h"
@@ -29,7 +29,7 @@ int main() {
     weights.makespan = 1.0 - w;
     weights.energy = w * 0.02;     // scale to comparable magnitudes
     weights.peak_power = w * 2.0;
-    auto problem = std::make_shared<ga::EnergyFlowShopProblem>(
+    auto problem = ga::make_problem(
         sched::EnergyAwareFlowShop(inst, profiles, weights));
     ga::GaConfig cfg;
     cfg.population = 60;

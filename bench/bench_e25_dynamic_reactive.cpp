@@ -5,7 +5,7 @@
 // and (c) GA-based reactive re-optimization of the not-yet-started
 // operations — the predictive-reactive scheme.
 #include "bench/bench_util.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/classics.h"
 #include "src/sched/dynamic.h"
@@ -19,7 +19,7 @@ int main() {
   const auto& inst = sched::ft10().instance;
 
   // Predictive schedule: GA on the nominal instance.
-  auto nominal = std::make_shared<ga::JobShopProblem>(inst);
+  auto nominal = ga::make_problem(inst);
   ga::GaConfig cfg;
   cfg.population = 60;
   cfg.termination.max_generations = 40 * bench::scale();
@@ -39,7 +39,7 @@ int main() {
 
     std::vector<sched::Downtime> window_vec(windows.begin(), windows.end());
     auto replanner = [&](const sched::ReplanContext& context) {
-      auto problem = std::make_shared<ga::DynamicSuffixProblem>(
+      auto problem = ga::make_dynamic_suffix_problem(
           &inst, context.frozen_prefix, context.remaining, window_vec);
       ga::GaConfig rcfg;
       rcfg.population = 30;

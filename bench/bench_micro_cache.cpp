@@ -8,7 +8,7 @@
 
 #include <memory>
 
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/ga/solver.h"
 #include "src/sched/classics.h"
 
@@ -19,7 +19,7 @@ using namespace psga::ga;
 ProblemPtr job_shop() {
   // ft10 through the Giffler-Thompson decoder: a decode heavy enough
   // that memoization pays, light enough for a bench loop.
-  return std::make_shared<JobShopProblem>(
+  return make_problem(
       psga::sched::ft10().instance, JobShopProblem::Decoder::kGifflerThompson);
 }
 

@@ -6,7 +6,7 @@
 
 #include <numeric>
 
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/par/rng.h"
 #include "src/sched/classics.h"
 #include "src/sched/generators.h"

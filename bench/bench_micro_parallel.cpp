@@ -7,7 +7,7 @@
 #include <cmath>
 
 #include "src/ga/evaluator.h"
-#include "src/ga/problems.h"
+#include "src/ga/problem_registry.h"
 #include "src/par/cluster.h"
 #include "src/par/rng.h"
 #include "src/par/thread_pool.h"
@@ -53,7 +53,7 @@ void BM_EvaluatorJobShopBatch(benchmark::State& state) {
   // the actual hot loop of every engine. Arg = thread-pool width
   // (0 = serial backend).
   using namespace psga::ga;
-  const auto problem = std::make_shared<JobShopProblem>(
+  const auto problem = make_problem(
       psga::sched::ft10().instance, JobShopProblem::Decoder::kOperationBased);
   Rng rng(7);
   std::vector<Genome> population;

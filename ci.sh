@@ -48,10 +48,21 @@ if [[ "${SKIP_SAN:-0}" != "1" ]]; then
   fi
 fi
 
-# Sweep smoke: a 2-axes x 2-reps grid on ta001 through the psga_sweep
-# CLI (parallel, 2 cells in flight); validates that every JSONL telemetry
-# line parses, all cells succeeded and the summary table is non-empty.
+# Sweep smoke: sweeps/smoke.sweep through the psga_sweep CLI (parallel,
+# 2 cells in flight) — a 2-axes x 2-reps grid on ta001 plus a
+# two-problem-family grid (flowshop ta001 + jobshop ft06) through the
+# problem registry. Validates that every JSONL telemetry line parses,
+# all cells succeeded, the family cells carry canonical problem specs,
+# the summary table is non-empty, and the registry listings print.
 if [[ -x "$BUILD_DIR/psga_sweep" ]] && command -v python3 >/dev/null; then
+  # Capture first: piping straight into `grep -q` would SIGPIPE the
+  # writer under pipefail once grep exits on its match.
+  PROBLEM_ROWS=$("$BUILD_DIR"/psga_sweep --list-problems)
+  grep -q "problem=jobshop" <<<"$PROBLEM_ROWS" \
+    || { echo "ci.sh: --list-problems has no jobshop row"; exit 1; }
+  ENGINE_ROWS=$("$BUILD_DIR"/psga_sweep --list-engines)
+  grep -q "engine=island" <<<"$ENGINE_ROWS" \
+    || { echo "ci.sh: --list-engines has no island row"; exit 1; }
   SWEEP_JSONL=$(mktemp /tmp/psga_sweep.XXXXXX.jsonl)
   SWEEP_SUMMARY=$(mktemp /tmp/psga_sweep_summary.XXXXXX.txt)
   "$BUILD_DIR"/psga_sweep --quiet --threads 2 \
@@ -61,18 +72,25 @@ import json
 import sys
 
 cells = ok = 0
+families = set()
 with open(sys.argv[1]) as f:
     for line in f:
         record = json.loads(line)  # every line must parse
         if record.get("event") == "cell":
             cells += 1
             ok += bool(record["ok"])
+            problem = record.get("problem", "")
+            if problem:
+                families.add(problem.split()[0])
 with open(sys.argv[2]) as f:
     summary = f.read()
-assert cells == 8, f"expected 8 cell records, got {cells}"
+assert cells == 12, f"expected 12 cell records, got {cells}"
 assert ok == cells, f"{cells - ok} smoke sweep cells failed"
+assert families == {"problem=flowshop", "problem=jobshop"}, (
+    f"expected both problem families in telemetry, got {families}")
 assert "topology" in summary and "|" in summary, "summary table looks empty"
-print(f"ci.sh: sweep smoke OK ({cells} cells, telemetry parses)")
+print(f"ci.sh: sweep smoke OK ({cells} cells over {len(families)} "
+      "problem families, telemetry parses)")
 PYEOF
   rm -f "$SWEEP_JSONL" "$SWEEP_SUMMARY"
 else

@@ -25,8 +25,12 @@ int main() {
   const auto profiles = sched::random_power_profiles(5, 7);
 
   auto solve = [&](sched::EnergyObjectiveWeights weights) {
-    auto problem = std::make_shared<ga::EnergyFlowShopProblem>(
-        sched::EnergyAwareFlowShop(inst, profiles, weights));
+    // Typed escape hatch: spec strings cover the registry's generated
+    // profiles (`problem=energy-flowshop instance=gen:... instance-seed=7
+    // w-makespan=.. w-energy=.. w-peak=..`); here the report below needs
+    // the exact same profiles, so the problem is built from them.
+    auto problem =
+        ga::make_problem(sched::EnergyAwareFlowShop(inst, profiles, weights));
     return ga::Solver::build(
                ga::SolverSpec::parse("engine=simple pop=60 seed=11"), problem)
         .run(ga::StopCondition::generations(80))
@@ -55,7 +59,9 @@ int main() {
   // --- Part 2: breakdowns + predictive-reactive rescheduling ---------------
   std::printf("== Dynamic job shop: breakdowns on ft06 (survey §II, [9]) ==\n");
   const auto& js = sched::ft06().instance;
-  auto nominal = std::make_shared<ga::JobShopProblem>(js);
+  // The registry resolves the classic by name: instance=ft06.
+  auto nominal =
+      ga::ProblemSpec::parse("problem=jobshop instance=ft06").build();
   const ga::RunResult predictive =
       ga::Solver::build(ga::SolverSpec::parse("engine=simple pop=50 seed=3"),
                         nominal)
@@ -71,7 +77,9 @@ int main() {
   const auto passive = sched::simulate_dynamic(js, predictive.best.seq, windows);
   std::vector<sched::Downtime> window_vec(windows.begin(), windows.end());
   auto replanner = [&](const sched::ReplanContext& context) {
-    auto problem = std::make_shared<ga::DynamicSuffixProblem>(
+    // Mid-simulation replan state cannot come from a spec string — the
+    // typed escape hatch returns the same ProblemPtr interface.
+    auto problem = ga::make_dynamic_suffix_problem(
         &js, context.frozen_prefix, context.remaining, window_vec);
     const ga::RunResult r =
         ga::Solver::build(ga::SolverSpec::parse("engine=simple pop=30"),

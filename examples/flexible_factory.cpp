@@ -8,9 +8,7 @@
 //   $ ./example_flexible_factory
 #include <cstdio>
 
-#include "src/ga/problems.h"
 #include "src/ga/solver.h"
-#include "src/sched/generators.h"
 #include "src/stats/table.h"
 
 int main() {
@@ -19,17 +17,15 @@ int main() {
 
   // --- Part 1: flexible job shop with setups --------------------------------
   std::printf("== Flexible job shop with sequence-dependent setups ==\n");
-  sched::FjsParams fjs_params;
-  fjs_params.jobs = 12;
-  fjs_params.machines = 6;
-  fjs_params.ops_per_job = 5;
-  fjs_params.eligible_machines = 3;
-  fjs_params.setup_hi = 12;
-  fjs_params.detached_setup = true;
-  fjs_params.machine_release_hi = 30;
-  fjs_params.max_lag = 5;
-  const auto fjs = sched::random_flexible_job_shop(fjs_params, 2024);
-  auto fjs_problem = std::make_shared<ga::FlexibleJobShopProblem>(fjs);
+  // The whole scenario is one gen: token — the registry drives
+  // sched::random_flexible_job_shop with these parameters, so the same
+  // string reproduces this instance in a sweep file.
+  auto fjs_problem =
+      ga::ProblemSpec::parse(
+          "problem=flexible-jobshop "
+          "instance=gen:jobs=12,machines=6,ops=5,eligible=3,setup=12,"
+          "release=30,lag=5,seed=2024")
+          .build();
 
   // [36]'s fresh random migration routes per epoch: topology=random.
   const ga::SolverSpec island_spec = ga::SolverSpec::parse(
@@ -45,12 +41,11 @@ int main() {
 
   // --- Part 2: lot streaming ------------------------------------------------
   std::printf("== Lot-streaming flexible flow shop ==\n");
-  sched::LotStreamParams lot_params;
-  lot_params.jobs = 8;
-  lot_params.machines_per_stage = {2, 3, 2};
-  lot_params.sublots = 3;
-  const auto lot = sched::random_lot_streaming(lot_params, 7);
-  auto lot_problem = std::make_shared<ga::LotStreamingProblem>(lot);
+  auto lot_problem =
+      ga::ProblemSpec::parse(
+          "problem=lot-streaming "
+          "instance=gen:jobs=8,stages=2x3x2,sublots=3,seed=7")
+          .build();
 
   // [35] found the fully connected topology best for lot streaming.
   const ga::SolverSpec lot_spec = ga::SolverSpec::parse(
@@ -58,10 +53,11 @@ int main() {
   const auto lot_result = ga::Solver::build(lot_spec, lot_problem).run(stop);
 
   // Compare against the no-streaming variant (one sublot per job).
-  sched::LotStreamParams whole_params = lot_params;
-  whole_params.sublots = 1;
-  const auto whole = sched::random_lot_streaming(whole_params, 7);
-  auto whole_problem = std::make_shared<ga::LotStreamingProblem>(whole);
+  auto whole_problem =
+      ga::ProblemSpec::parse(
+          "problem=lot-streaming "
+          "instance=gen:jobs=8,stages=2x3x2,sublots=1,seed=7")
+          .build();
   const auto whole_result =
       ga::Solver::build(lot_spec, whole_problem).run(stop);
 

@@ -27,8 +27,11 @@ int main() {
     const sched::Time dispatch = sched::best_dispatch_makespan(instance);
 
     // Active-schedule decoding: chromosomes resolve Giffler–Thompson
-    // conflicts, so every individual is an active schedule.
-    auto problem = std::make_shared<ga::JobShopProblem>(
+    // conflicts, so every individual is an active schedule. The typed
+    // make_problem escape hatch keeps decode() access for validation;
+    // `problem=jobshop decoder=active instance=<name>` builds the same
+    // problem through the registry.
+    auto problem = ga::make_problem(
         instance, ga::JobShopProblem::Decoder::kGifflerThompson);
 
     ga::IslandGaConfig cfg;

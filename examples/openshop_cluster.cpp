@@ -6,8 +6,8 @@
 //
 //   $ ./example_openshop_cluster
 #include <cstdio>
+#include <string>
 
-#include "src/ga/problems.h"
 #include "src/ga/solver.h"
 #include "src/sched/generators.h"
 #include "src/sched/open_shop.h"
@@ -25,9 +25,13 @@ int main() {
               static_cast<long long>(greedy));
 
   stats::Table table({"decoder", "ranks", "best Cmax", "gap to LB (%)"});
-  for (const auto decoder : {sched::OpenShopDecoder::kLptTask,
-                             sched::OpenShopDecoder::kLptMachine}) {
-    auto problem = std::make_shared<ga::OpenShopProblem>(instance, decoder);
+  for (const char* decoder : {"lpt-task", "lpt-machine"}) {
+    // The same 15x8 instance as above: the registry drives
+    // sched::random_open_shop from the gen: seed.
+    auto problem = ga::ProblemSpec::parse(
+                       std::string("problem=openshop decoder=") + decoder +
+                       " instance=gen:jobs=15,machines=8,seed=99")
+                       .build();
 
     // ranks=5 is the Beowulf cluster size of [33]; interval/broadcast are
     // the GN/LN dual-frequency periods with GN << LN.
@@ -38,9 +42,7 @@ int main() {
             problem)
             .run(ga::StopCondition::generations(120));
     table.add_row(
-        {decoder == sched::OpenShopDecoder::kLptTask ? "LPT-Task"
-                                                     : "LPT-Machine",
-         "5", stats::Table::num(result.best_objective, 0),
+        {decoder, "5", stats::Table::num(result.best_objective, 0),
          stats::Table::num(100.0 * (result.best_objective -
                                     static_cast<double>(lower_bound)) /
                                static_cast<double>(lower_bound),

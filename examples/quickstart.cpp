@@ -3,22 +3,21 @@
 //
 //   $ ./example_quickstart
 //
-// The canonical entry point is ten lines: build an instance, wrap it in
-// a Problem, parse a spec, run under a stop condition:
+// The canonical entry point is one combined spec string: the problem
+// half (problem registry) names the shop model and instance source, the
+// engine half (engine registry) names the parallel GA model:
 //
-//   auto instance = sched::make_taillard(sched::taillard_20x5().front());
-//   auto problem  = std::make_shared<ga::FlowShopProblem>(instance);
 //   ga::RunResult r =
-//       ga::Solver::build(ga::SolverSpec::parse("engine=island islands=4"),
-//                         problem)
+//       ga::Solver::build(ga::RunSpec::parse(
+//           "problem=flowshop instance=ta001 engine=island islands=4"))
 //           .run(ga::StopCondition::generations(200));
 //   std::printf("best Cmax %.0f after %lld evaluations\n",
 //               r.best_objective, r.evaluations);
 //
 // Below, the same facade drives all four classic models by name.
 #include <cstdio>
+#include <string>
 
-#include "src/ga/problems.h"
 #include "src/ga/solver.h"
 #include "src/sched/heuristics.h"
 #include "src/sched/taillard.h"
@@ -28,17 +27,15 @@ int main() {
   using namespace psga;
 
   // 1. A benchmark instance, regenerated bit-exactly from Taillard's
-  //    published generator seed.
+  //    published generator seed. The spec token `instance=ta001` below
+  //    resolves to this same instance through the problem registry.
   const sched::TaillardBenchmark& bench = sched::taillard_20x5().front();
   const sched::FlowShopInstance instance = sched::make_taillard(bench);
   std::printf("Instance %s: %d jobs x %d machines, best known Cmax = %lld\n\n",
               bench.name, instance.jobs, instance.machines,
               static_cast<long long>(bench.best_known));
 
-  // 2. Wrap it in a Problem (decoder + objective).
-  auto problem = std::make_shared<ga::FlowShopProblem>(instance);
-
-  // 3. A shared budget for all engines.
+  // 2. A shared budget for all engines.
   const ga::StopCondition stop = ga::StopCondition::generations(200);
 
   stats::Table table({"engine", "best Cmax", "RPD vs best known (%)",
@@ -58,17 +55,20 @@ int main() {
   std::printf("NEH constructive heuristic: %lld\n\n",
               static_cast<long long>(neh));
 
-  // 4. One spec string per parallel model of the survey:
+  // 3. One combined spec string per parallel model of the survey:
   //    Table II (simple), III (master-slave), IV (cellular), V (island).
+  //    The problem half is shared; only the engine half varies.
+  const char* problem_spec = "problem=flowshop instance=ta001 ";
   const char* specs[][2] = {
       {"simple", "engine=simple pop=100 seed=2024"},
       {"master-slave", "engine=master-slave pop=100 seed=2024"},
       {"cellular", "engine=cellular width=10 height=10 seed=2024"},
       {"island", "engine=island islands=4 pop=25 interval=10 seed=2024"},
   };
-  for (const auto& [name, spec] : specs) {
-    report(name,
-           ga::Solver::build(ga::SolverSpec::parse(spec), problem).run(stop));
+  for (const auto& [name, engine_spec] : specs) {
+    report(name, ga::Solver::build(
+                     ga::RunSpec::parse(problem_spec + std::string(engine_spec)))
+                     .run(stop));
   }
 
   table.print();

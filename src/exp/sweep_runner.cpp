@@ -8,11 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/ga/problems.h"
+#include "src/ga/problem_spec.h"
 #include "src/ga/solver.h"
 #include "src/par/thread_pool.h"
-#include "src/sched/io.h"
-#include "src/sched/taillard.h"
 
 namespace psga::exp {
 
@@ -24,11 +22,6 @@ double now_seconds() {
       .count();
 }
 
-bool ends_with(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 Json axes_object(const SweepSpec& spec, const SweepCell& cell) {
   Json axes = Json::object();
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
@@ -37,7 +30,8 @@ Json axes_object(const SweepSpec& spec, const SweepCell& cell) {
   return axes;
 }
 
-Json cell_record(const SweepSpec& spec, const CellResult& result) {
+Json cell_record(const SweepSpec& spec, const CellResult& result,
+                 const std::string& problem) {
   const SweepCell& cell = result.cell;
   Json line = Json::object();
   line.set("event", Json::string("cell"))
@@ -46,9 +40,9 @@ Json cell_record(const SweepSpec& spec, const CellResult& result) {
       .set("instance", Json::string(cell.instance))
       .set("rep", Json::integer(cell.rep))
       .set("seed", Json::uinteger(cell.seed))
-      .set("spec", Json::string(cell.spec))
-      .set("axes", axes_object(spec, cell))
-      .set("ok", Json::boolean(result.ok));
+      .set("spec", Json::string(cell.spec));
+  if (!problem.empty()) line.set("problem", Json::string(problem));
+  line.set("axes", axes_object(spec, cell)).set("ok", Json::boolean(result.ok));
   if (!result.ok) {
     line.set("error", Json::string(result.error));
     return line;
@@ -69,6 +63,57 @@ Json cell_record(const SweepSpec& spec, const CellResult& result) {
   return line;
 }
 
+/// How one cell resolves: the canonical problem spec (the cache key and
+/// provenance string), the solver half of the cell tokens, or the
+/// structured error that poisoned the cell at plan time.
+struct CellPlan {
+  bool ok = false;
+  std::string error;
+  /// Key into the shared problem map: the canonical ProblemSpec string,
+  /// or the raw instance name under a custom resolver.
+  std::string problem_key;
+  /// Canonical ProblemSpec for provenance ("" under a custom resolver).
+  std::string canonical;
+  std::string solver_text;               ///< SolverSpec tokens of the cell
+  std::optional<ga::ProblemSpec> pspec;  ///< parsed problem half
+};
+
+/// Splits a cell's combined tokens and folds the @instances entry into
+/// the problem half. Throws for malformed halves, for an instance=
+/// token fighting the @instances entry, and for problem tokens under a
+/// custom resolver (which owns instance semantics entirely — silently
+/// dropping them would let a criterion=/decoder= axis report a
+/// fabricated effect while every cell solves the same problem).
+CellPlan plan_cell(const SweepCell& cell, bool custom_resolver) {
+  CellPlan plan;
+  auto [problem_text, solver_text] = ga::split_spec_tokens(cell.spec);
+  plan.solver_text = std::move(solver_text);
+  if (custom_resolver) {
+    if (!problem_text.empty()) {
+      throw std::invalid_argument(
+          "SweepSpec: problem tokens '" + problem_text +
+          "' do not apply under a custom resolver");
+    }
+    plan.problem_key = cell.instance;
+    plan.ok = true;
+    return plan;
+  }
+  if (!cell.instance.empty()) {
+    if (problem_text.find("instance=") != std::string::npos) {
+      throw std::invalid_argument(
+          "SweepSpec: instance= token '" + problem_text +
+          "' conflicts with @instances entry '" + cell.instance + "'");
+    }
+    if (!problem_text.empty()) problem_text += ' ';
+    problem_text += "instance=" + cell.instance;
+  }
+  plan.pspec = ga::ProblemSpec::parse(problem_text);
+  plan.canonical = plan.pspec->to_string();
+  plan.problem_key = plan.canonical;
+  plan.ok = true;
+  return plan;
+}
+
 }  // namespace
 
 ga::ProblemPtr default_resolver(const std::string& name) {
@@ -76,19 +121,9 @@ ga::ProblemPtr default_resolver(const std::string& name) {
     throw std::invalid_argument(
         "sweep has no @instances and no custom resolver");
   }
-  if (ends_with(name, ".fsp")) {
-    return std::make_shared<ga::FlowShopProblem>(sched::load_flow_shop(name));
-  }
-  if (ends_with(name, ".jsp")) {
-    return std::make_shared<ga::JobShopProblem>(sched::load_job_shop(name));
-  }
-  for (const sched::TaillardBenchmark& bench : sched::taillard_20x5()) {
-    if (name == bench.name) {
-      return std::make_shared<ga::FlowShopProblem>(sched::make_taillard(bench));
-    }
-  }
-  throw std::invalid_argument("unknown instance '" + name +
-                              "' (expected *.fsp, *.jsp or ta001..ta010)");
+  // One source of truth for instance tokens: the problem registry
+  // (family inferred from the token, see ProblemSpec::parse).
+  return ga::ProblemSpec::parse("instance=" + name).build();
 }
 
 SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
@@ -103,26 +138,43 @@ SweepResult SweepRunner::run() {
     throw std::invalid_argument("SweepSpec '" + spec_.name +
                                 "' expands to zero cells");
   }
-  const ProblemResolver resolve =
-      options_.resolve ? options_.resolve : ProblemResolver(default_resolver);
+  const bool custom_resolver = static_cast<bool>(options_.resolve);
 
-  // Resolve each distinct instance once, up front and serially. A failed
-  // resolution poisons only that instance's cells (fail-soft).
+  // Plan every cell (split the combined problem+solver tokens, fold in
+  // the @instances entry), then resolve each distinct problem once, up
+  // front and serially. Distinct means distinct canonical ProblemSpec —
+  // cells varying only engine tokens share one Problem, cells varying
+  // problem tokens each get their own. A failed plan or resolution
+  // poisons only the affected cells (fail-soft); resolution errors carry
+  // the canonical problem spec so telemetry pinpoints which expansion
+  // failed.
+  std::vector<CellPlan> plans(cells.size());
   std::map<std::string, ga::ProblemPtr> problems;
   std::map<std::string, std::string> resolve_errors;
   for (const SweepCell& cell : cells) {
-    if (problems.count(cell.instance) || resolve_errors.count(cell.instance)) {
+    CellPlan& plan = plans[static_cast<std::size_t>(cell.index)];
+    try {
+      plan = plan_cell(cell, custom_resolver);
+    } catch (const std::exception& e) {
+      plan.ok = false;
+      plan.error = e.what();
+      continue;
+    }
+    if (problems.count(plan.problem_key) ||
+        resolve_errors.count(plan.problem_key)) {
       continue;
     }
     try {
-      problems[cell.instance] = resolve(cell.instance);
-      if (problems[cell.instance] == nullptr) {
+      ga::ProblemPtr problem = custom_resolver
+                                   ? options_.resolve(cell.instance)
+                                   : plan.pspec->build();
+      if (problem == nullptr) {
         throw std::invalid_argument("resolver returned null for instance '" +
                                     cell.instance + "'");
       }
+      problems[plan.problem_key] = std::move(problem);
     } catch (const std::exception& e) {
-      problems.erase(cell.instance);
-      resolve_errors[cell.instance] = e.what();
+      resolve_errors[plan.problem_key] = e.what();
     }
   }
 
@@ -166,21 +218,27 @@ SweepResult SweepRunner::run() {
   const int total = static_cast<int>(cells.size());
 
   auto run_cell = [&](const SweepCell& cell) {
+    const CellPlan& plan = plans[static_cast<std::size_t>(cell.index)];
     CellResult result;
     result.cell = cell;
     if (sink != nullptr) {
-      sink->write(Json::object()
-                      .set("event", Json::string("run_begin"))
-                      .set("cell", Json::integer(cell.index))
-                      .set("config", Json::integer(cell.config))
-                      .set("instance", Json::string(cell.instance))
-                      .set("rep", Json::integer(cell.rep))
-                      .set("seed", Json::uinteger(cell.seed))
-                      .set("spec", Json::string(cell.spec)));
+      Json begin = Json::object();
+      begin.set("event", Json::string("run_begin"))
+          .set("cell", Json::integer(cell.index))
+          .set("config", Json::integer(cell.config))
+          .set("instance", Json::string(cell.instance))
+          .set("rep", Json::integer(cell.rep))
+          .set("seed", Json::uinteger(cell.seed))
+          .set("spec", Json::string(cell.spec));
+      if (!plan.canonical.empty()) {
+        begin.set("problem", Json::string(plan.canonical));
+      }
+      sink->write(std::move(begin));
     }
     const double start = now_seconds();
     try {
-      const auto poisoned = resolve_errors.find(cell.instance);
+      if (!plan.ok) throw std::invalid_argument(plan.error);
+      const auto poisoned = resolve_errors.find(plan.problem_key);
       if (poisoned != resolve_errors.end()) {
         throw std::invalid_argument(poisoned->second);
       }
@@ -188,21 +246,22 @@ SweepResult SweepRunner::run() {
       // on this lane, so pool regions never nest inside the sweep pool.
       par::ThreadPool cell_pool(1);
       ga::Solver solver =
-          ga::Solver::build(ga::SolverSpec::parse(cell.spec),
-                            problems.at(cell.instance), &cell_pool);
+          ga::Solver::build(ga::SolverSpec::parse(plan.solver_text),
+                            problems.at(plan.problem_key), &cell_pool);
       std::optional<CellObserver> observer;
       if (sink != nullptr) {
         observer.emplace(*sink, cell.index, options_.telemetry_every);
         solver.set_observer(&*observer);
       }
       result.result = solver.run(spec_.stop);
+      result.result.problem = plan.canonical;
       result.ok = true;
     } catch (const std::exception& e) {
       result.ok = false;
       result.error = e.what();
     }
     result.seconds = now_seconds() - start;
-    if (sink != nullptr) sink->write(cell_record(spec_, result));
+    if (sink != nullptr) sink->write(cell_record(spec_, result, plan.canonical));
     {
       std::lock_guard lock(progress_mutex);
       ++done;

@@ -34,12 +34,20 @@ namespace psga::exp {
 /// the cell error). Called once per distinct instance, before cells run;
 /// the resolved Problem is shared by every cell of that instance
 /// (Problem::objective is const and pure, so concurrent cells are safe).
+/// When a custom resolver is installed it owns instance semantics
+/// entirely — problem-side tokens in the sweep do not apply.
 using ProblemResolver = std::function<ga::ProblemPtr(const std::string&)>;
 
-/// The built-in resolver: `*.fsp` loads a Taillard-format flow shop,
-/// `*.jsp` a standard-format job shop, and a bare `ta001`..`ta010`
-/// regenerates the published benchmark from the embedded generator (no
-/// data directory needed). Throws std::invalid_argument otherwise.
+/// The spec-driven fallback used when no custom resolver is set: builds
+/// `ga::ProblemSpec::parse("instance=" + name)` through the problem
+/// registry, so files load by extension, canonical benchmark names
+/// (ta001..ta010, ft06..la01) regenerate from the embedded sources, and
+/// gen: tokens hit sched::generators. Without a resolver the runner goes
+/// further than this helper: each cell's problem-side tokens (problem=,
+/// criterion=, encoding=, ...) combine with its @instances entry into a
+/// full ProblemSpec, so one sweep can span problem families; problems
+/// are cached per canonical spec string, and unresolvable cells fail
+/// soft with errors that carry that canonical spec.
 ga::ProblemPtr default_resolver(const std::string& name);
 
 struct CellResult {

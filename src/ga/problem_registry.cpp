@@ -1,0 +1,633 @@
+#include "src/ga/problem_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "src/ga/spec_util.h"
+#include "src/sched/classics.h"
+#include "src/sched/generators.h"
+#include "src/sched/io.h"
+#include "src/sched/taillard.h"
+
+namespace psga::ga {
+
+namespace {
+
+bool is_gen(const std::string& instance) {
+  return instance.rfind("gen:", 0) == 0;
+}
+
+[[noreturn]] void spec_error(const std::string& message) {
+  throw std::invalid_argument("ProblemSpec: " + message);
+}
+
+const std::string& require_instance(const ProblemSpec& spec) {
+  if (spec.instance.empty()) {
+    spec_error("problem '" + spec.problem + "' requires an instance= token");
+  }
+  return spec.instance;
+}
+
+/// Parsed `gen:key=value,key=value` synthetic-instance parameters. Each
+/// family takes the keys it understands; finish() rejects leftovers so a
+/// typo'd key fails loudly instead of silently keeping a default.
+class GenParams {
+ public:
+  GenParams(const std::string& instance, std::string family)
+      : token_("instance=" + instance), family_(std::move(family)) {
+    std::string body = instance.substr(4);  // past "gen:"
+    std::size_t start = 0;
+    while (start <= body.size()) {
+      const std::size_t comma = body.find(',', start);
+      const std::string part = body.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (!part.empty()) {
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= part.size()) {
+          spec::bad_token("ProblemSpec", token_,
+                          "gen: parameters must be key=value");
+        }
+        pairs_.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  int take_int(const std::string& key, int fallback) {
+    const std::optional<std::string> value = take(key);
+    return value ? spec::parse_int("ProblemSpec", *value, token_) : fallback;
+  }
+
+  std::uint64_t take_u64(const std::string& key, std::uint64_t fallback) {
+    const std::optional<std::string> value = take(key);
+    return value ? spec::parse_u64("ProblemSpec", *value, token_) : fallback;
+  }
+
+  double take_double(const std::string& key, double fallback) {
+    const std::optional<std::string> value = take(key);
+    return value ? spec::parse_double("ProblemSpec", *value, token_)
+                 : fallback;
+  }
+
+  bool take_flag(const std::string& key, bool fallback) {
+    const std::optional<std::string> value = take(key);
+    if (!value) return fallback;
+    if (*value == "on" || *value == "1") return true;
+    if (*value == "off" || *value == "0") return false;
+    spec::bad_token("ProblemSpec", token_,
+                    "gen: flag '" + key + "' must be on|off");
+  }
+
+  /// Machines-per-stage vector: "3x2x3" -> {3, 2, 3}.
+  std::vector<int> take_stages(const std::string& key,
+                               std::vector<int> fallback) {
+    const std::optional<std::string> value = take(key);
+    if (!value) return fallback;
+    std::vector<int> stages;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t x = value->find('x', start);
+      stages.push_back(spec::parse_int(
+          "ProblemSpec",
+          value->substr(start, x == std::string::npos ? std::string::npos
+                                                      : x - start),
+          token_));
+      if (x == std::string::npos) break;
+      start = x + 1;
+    }
+    return stages;
+  }
+
+  /// Throws if any key was never consumed (unknown for this family).
+  void finish() const {
+    if (!pairs_.empty()) {
+      spec::bad_token("ProblemSpec", token_,
+                      "unknown gen: key '" + pairs_.front().first +
+                          "' for problem '" + family_ + "'");
+    }
+  }
+
+ private:
+  std::optional<std::string> take(const std::string& key) {
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      if (pairs_[i].first == key) {
+        std::string value = std::move(pairs_[i].second);
+        pairs_.erase(pairs_.begin() + static_cast<std::ptrdiff_t>(i));
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string token_;
+  std::string family_;
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+// --- per-family instance resolution ------------------------------------------
+
+sched::FlowShopInstance flow_instance(const ProblemSpec& spec) {
+  const std::string& instance = require_instance(spec);
+  if (is_gen(instance)) {
+    GenParams gen(instance, spec.problem);
+    const int jobs = gen.take_int("jobs", 20);
+    const int machines = gen.take_int("machines", 5);
+    // Taillard's LCG needs 0 < seed < 2^31 - 1: 0 is a fixed point
+    // (every duration collapses to `low`) and larger values would
+    // silently truncate, so reject instead of degrading.
+    const std::uint64_t seed = gen.take_u64("seed", 1);
+    if (seed == 0 || seed >= 0x7FFFFFFFull) {
+      spec_error("flow-shop gen: seed must be in [1, 2^31 - 2], got " +
+                 std::to_string(seed));
+    }
+    gen.finish();
+    return sched::taillard_flow_shop(jobs, machines,
+                                     static_cast<std::int32_t>(seed));
+  }
+  if (instance.ends_with(".fsp")) return sched::load_flow_shop(instance);
+  for (const sched::TaillardBenchmark& bench : sched::taillard_20x5()) {
+    if (instance == bench.name) return sched::make_taillard(bench);
+  }
+  spec_error("unknown flow-shop instance '" + instance +
+             "' (expected *.fsp, ta001..ta010 or gen:jobs=..,machines=..,"
+             "seed=..)");
+}
+
+sched::JobShopInstance job_instance(const ProblemSpec& spec) {
+  const std::string& instance = require_instance(spec);
+  if (is_gen(instance)) {
+    GenParams gen(instance, spec.problem);
+    const int jobs = gen.take_int("jobs", 10);
+    const int machines = gen.take_int("machines", 6);
+    const std::uint64_t seed = gen.take_u64("seed", 1);
+    gen.finish();
+    return sched::random_job_shop(jobs, machines, seed);
+  }
+  if (instance.ends_with(".jsp")) return sched::load_job_shop(instance);
+  for (const sched::ClassicInstance* classic : sched::classic_instances()) {
+    if (instance == classic->name) return classic->instance;
+  }
+  spec_error("unknown job-shop instance '" + instance +
+             "' (expected *.jsp, ft06/ft10/ft20/la01 or gen:jobs=..,"
+             "machines=..,seed=..)");
+}
+
+sched::OpenShopInstance open_instance(const ProblemSpec& spec) {
+  const std::string& instance = require_instance(spec);
+  if (!is_gen(instance)) {
+    spec_error("open-shop instances are generated: expected gen:jobs=..,"
+               "machines=..,seed=.. , got '" + instance + "'");
+  }
+  GenParams gen(instance, spec.problem);
+  const int jobs = gen.take_int("jobs", 10);
+  const int machines = gen.take_int("machines", 5);
+  const std::uint64_t seed = gen.take_u64("seed", 1);
+  const auto lo = static_cast<sched::Time>(gen.take_int("lo", 1));
+  const auto hi = static_cast<sched::Time>(gen.take_int("hi", 99));
+  gen.finish();
+  return sched::random_open_shop(jobs, machines, seed, lo, hi);
+}
+
+sched::HybridFlowShopInstance hybrid_instance(const ProblemSpec& spec) {
+  const std::string& instance = require_instance(spec);
+  if (!is_gen(instance)) {
+    spec_error("hybrid-flow-shop instances are generated: expected "
+               "gen:jobs=..,stages=AxBxC,seed=.. , got '" + instance + "'");
+  }
+  GenParams gen(instance, spec.problem);
+  sched::HfsParams params;
+  params.jobs = gen.take_int("jobs", params.jobs);
+  params.machines_per_stage =
+      gen.take_stages("stages", params.machines_per_stage);
+  params.lo = static_cast<sched::Time>(
+      gen.take_int("lo", static_cast<int>(params.lo)));
+  params.hi = static_cast<sched::Time>(
+      gen.take_int("hi", static_cast<int>(params.hi)));
+  params.unrelatedness = gen.take_double("unrelated", params.unrelatedness);
+  params.setup_hi = static_cast<sched::Time>(
+      gen.take_int("setup", static_cast<int>(params.setup_hi)));
+  params.blocking = gen.take_flag("blocking", params.blocking);
+  const std::uint64_t seed = gen.take_u64("seed", 1);
+  gen.finish();
+  return sched::random_hybrid_flow_shop(params, seed);
+}
+
+sched::FlexibleJobShopInstance flexible_instance(const ProblemSpec& spec) {
+  const std::string& instance = require_instance(spec);
+  if (!is_gen(instance)) {
+    spec_error("flexible-job-shop instances are generated: expected "
+               "gen:jobs=..,machines=..,ops=..,seed=.. , got '" + instance +
+               "'");
+  }
+  GenParams gen(instance, spec.problem);
+  sched::FjsParams params;
+  params.jobs = gen.take_int("jobs", params.jobs);
+  params.machines = gen.take_int("machines", params.machines);
+  params.ops_per_job = gen.take_int("ops", params.ops_per_job);
+  params.eligible_machines = gen.take_int("eligible", params.eligible_machines);
+  params.lo = static_cast<sched::Time>(
+      gen.take_int("lo", static_cast<int>(params.lo)));
+  params.hi = static_cast<sched::Time>(
+      gen.take_int("hi", static_cast<int>(params.hi)));
+  params.setup_hi = static_cast<sched::Time>(
+      gen.take_int("setup", static_cast<int>(params.setup_hi)));
+  params.detached_setup = !gen.take_flag("attached", !params.detached_setup);
+  params.machine_release_hi = static_cast<sched::Time>(gen.take_int(
+      "release", static_cast<int>(params.machine_release_hi)));
+  params.max_lag = static_cast<sched::Time>(
+      gen.take_int("lag", static_cast<int>(params.max_lag)));
+  const std::uint64_t seed = gen.take_u64("seed", 1);
+  gen.finish();
+  return sched::random_flexible_job_shop(params, seed);
+}
+
+sched::LotStreamingInstance lot_instance(const ProblemSpec& spec) {
+  const std::string& instance = require_instance(spec);
+  if (!is_gen(instance)) {
+    spec_error("lot-streaming instances are generated: expected "
+               "gen:jobs=..,stages=AxB,sublots=..,seed=.. , got '" + instance +
+               "'");
+  }
+  GenParams gen(instance, spec.problem);
+  sched::LotStreamParams params;
+  params.jobs = gen.take_int("jobs", params.jobs);
+  params.machines_per_stage =
+      gen.take_stages("stages", params.machines_per_stage);
+  params.sublots = gen.take_int("sublots", params.sublots);
+  params.batch_lo = gen.take_int("batch-lo", params.batch_lo);
+  params.batch_hi = gen.take_int("batch-hi", params.batch_hi);
+  params.unit_lo = static_cast<sched::Time>(
+      gen.take_int("unit-lo", static_cast<int>(params.unit_lo)));
+  params.unit_hi = static_cast<sched::Time>(
+      gen.take_int("unit-hi", static_cast<int>(params.unit_hi)));
+  const std::uint64_t seed = gen.take_u64("seed", 1);
+  gen.finish();
+  return sched::random_lot_streaming(params, seed);
+}
+
+// --- factory field validation ------------------------------------------------
+
+/// Which optional ProblemSpec fields a factory consumes; everything a
+/// factory does not consume is rejected with a structured error instead
+/// of silently ignored.
+struct FieldUse {
+  bool criterion = false;
+  bool encoding = false;
+  bool decoder = false;
+  bool instance_seed = false;
+  bool fuzz = false;       ///< spread/slack/ramp
+  bool scenarios = false;  ///< spread/scenarios
+  bool downtimes = false;
+  bool weights = false;  ///< w-makespan/w-energy/w-peak
+};
+
+void reject_unused(const ProblemSpec& spec, const FieldUse& use) {
+  auto reject = [&spec](bool set, bool used, const char* key) {
+    if (set && !used) {
+      spec_error("problem '" + spec.problem + "' does not accept " + key +
+                 "=");
+    }
+  };
+  reject(spec.criterion.has_value(), use.criterion, "criterion");
+  reject(spec.encoding.has_value(), use.encoding, "encoding");
+  reject(spec.decoder.has_value(), use.decoder, "decoder");
+  reject(spec.instance_seed.has_value(), use.instance_seed, "instance-seed");
+  reject(spec.spread.has_value(), use.fuzz || use.scenarios, "spread");
+  reject(spec.slack.has_value(), use.fuzz, "slack");
+  reject(spec.ramp.has_value(), use.fuzz, "ramp");
+  reject(spec.scenarios.has_value(), use.scenarios, "scenarios");
+  reject(spec.downtimes.has_value(), use.downtimes, "downtimes");
+  reject(spec.w_makespan.has_value(), use.weights, "w-makespan");
+  reject(spec.w_energy.has_value(), use.weights, "w-energy");
+  reject(spec.w_peak.has_value(), use.weights, "w-peak");
+}
+
+sched::Criterion criterion_or_makespan(const ProblemSpec& spec) {
+  return spec.criterion.value_or(sched::Criterion::kMakespan);
+}
+
+// --- built-in factories ------------------------------------------------------
+
+ProblemPtr build_flowshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.criterion = true, .encoding = true});
+  const std::string encoding = spec.encoding.value_or("permutation");
+  if (encoding == "permutation") {
+    return std::make_shared<FlowShopProblem>(flow_instance(spec),
+                                             criterion_or_makespan(spec));
+  }
+  if (encoding == "random-key" || encoding == "random_key") {
+    return std::make_shared<RandomKeyFlowShopProblem>(
+        flow_instance(spec), criterion_or_makespan(spec));
+  }
+  spec_error("unknown flowshop encoding '" + encoding +
+             "' (permutation | random-key)");
+}
+
+ProblemPtr build_jobshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.criterion = true, .encoding = true, .decoder = true});
+  const std::string encoding = spec.encoding.value_or("operation");
+  if (encoding == "rules") {
+    if (spec.decoder) {
+      spec_error("encoding=rules always decodes with Giffler-Thompson; "
+                 "decoder= does not apply");
+    }
+    return std::make_shared<RuleSequenceJobShopProblem>(
+        job_instance(spec), criterion_or_makespan(spec));
+  }
+  if (encoding != "operation") {
+    spec_error("unknown jobshop encoding '" + encoding +
+               "' (operation | rules)");
+  }
+  const std::string decoder = spec.decoder.value_or("semi-active");
+  JobShopProblem::Decoder which;
+  if (decoder == "semi-active") {
+    which = JobShopProblem::Decoder::kOperationBased;
+  } else if (decoder == "active" || decoder == "giffler-thompson") {
+    which = JobShopProblem::Decoder::kGifflerThompson;
+  } else {
+    spec_error("unknown jobshop decoder '" + decoder +
+               "' (semi-active | active)");
+  }
+  return std::make_shared<JobShopProblem>(job_instance(spec), which,
+                                          criterion_or_makespan(spec));
+}
+
+ProblemPtr build_openshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.criterion = true, .decoder = true});
+  const std::string decoder = spec.decoder.value_or("lpt-task");
+  sched::OpenShopDecoder which;
+  if (decoder == "lpt-task") {
+    which = sched::OpenShopDecoder::kLptTask;
+  } else if (decoder == "lpt-machine") {
+    which = sched::OpenShopDecoder::kLptMachine;
+  } else {
+    spec_error("unknown openshop decoder '" + decoder +
+               "' (lpt-task | lpt-machine)");
+  }
+  return std::make_shared<OpenShopProblem>(open_instance(spec), which,
+                                           criterion_or_makespan(spec));
+}
+
+ProblemPtr build_hybrid_flowshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.criterion = true});
+  return std::make_shared<HybridFlowShopProblem>(
+      hybrid_instance(spec),
+      sched::CompositeObjective{{{criterion_or_makespan(spec), 1.0}}});
+}
+
+ProblemPtr build_flexible_jobshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.criterion = true});
+  return std::make_shared<FlexibleJobShopProblem>(flexible_instance(spec),
+                                                  criterion_or_makespan(spec));
+}
+
+ProblemPtr build_lot_streaming(const ProblemSpec& spec) {
+  reject_unused(spec, {});
+  return std::make_shared<LotStreamingProblem>(lot_instance(spec));
+}
+
+ProblemPtr build_fuzzy_flowshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.fuzz = true});
+  const sched::FlowShopInstance crisp = flow_instance(spec);
+  return std::make_shared<FuzzyFlowShopProblem>(
+      sched::fuzzify(crisp.proc, spec.spread.value_or(0.2),
+                     spec.slack.value_or(1.6), spec.ramp.value_or(0.8)));
+}
+
+ProblemPtr build_stochastic_jobshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.instance_seed = true, .scenarios = true});
+  auto shop = std::make_shared<sched::StochasticJobShop>(
+      job_instance(spec), spec.spread.value_or(0.25),
+      spec.scenarios.value_or(8), spec.instance_seed.value_or(1));
+  return std::make_shared<StochasticJobShopProblem>(std::move(shop));
+}
+
+ProblemPtr build_energy_flowshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.instance_seed = true, .weights = true});
+  sched::FlowShopInstance instance = flow_instance(spec);
+  std::vector<sched::PowerProfile> profiles = sched::random_power_profiles(
+      instance.machines, spec.instance_seed.value_or(1));
+  sched::EnergyObjectiveWeights weights;
+  weights.makespan = spec.w_makespan.value_or(weights.makespan);
+  weights.energy = spec.w_energy.value_or(weights.energy);
+  weights.peak_power = spec.w_peak.value_or(weights.peak_power);
+  return std::make_shared<EnergyFlowShopProblem>(sched::EnergyAwareFlowShop(
+      std::move(instance), std::move(profiles), weights));
+}
+
+ProblemPtr build_dynamic_jobshop(const ProblemSpec& spec) {
+  reject_unused(spec, {.instance_seed = true, .downtimes = true});
+  auto instance =
+      std::make_shared<const sched::JobShopInstance>(job_instance(spec));
+  // Fresh plan: nothing dispatched yet, the whole operation multiset is
+  // up for re-ordering under the breakdown windows.
+  std::vector<int> remaining;
+  remaining.reserve(static_cast<std::size_t>(instance->total_ops()));
+  for (int job = 0; job < instance->jobs; ++job) {
+    for (int op = 0; op < instance->ops_of(job); ++op) remaining.push_back(job);
+  }
+  // Windows land within the average machine load — the horizon any
+  // reasonable schedule occupies.
+  sched::Time work = 0;
+  for (const auto& route : instance->ops) {
+    for (const sched::JsOperation& op : route) work += op.duration;
+  }
+  const sched::Time horizon =
+      std::max<sched::Time>(1, work / std::max(1, instance->machines));
+  const int count = spec.downtimes.value_or(2);
+  std::vector<sched::Downtime> windows = sched::random_downtimes(
+      instance->machines, count, horizon,
+      std::max<sched::Time>(1, horizon / 10),
+      std::max<sched::Time>(1, horizon / 4),
+      spec.instance_seed.value_or(1));
+  return std::make_shared<DynamicSuffixProblem>(
+      std::move(instance), std::vector<int>{}, std::move(remaining),
+      std::move(windows));
+}
+
+// --- registry ----------------------------------------------------------------
+
+struct ProblemEntry {
+  ProblemFactory factory;
+  std::string description;
+};
+
+std::map<std::string, ProblemEntry>& registry() {
+  static std::map<std::string, ProblemEntry> problems = [] {
+    std::map<std::string, ProblemEntry> map;
+    map["flowshop"] = {build_flowshop,
+                       "permutation flow shop; criterion=, "
+                       "encoding=permutation|random-key"};
+    map["jobshop"] = {build_jobshop,
+                      "job shop; decoder=semi-active|active, "
+                      "encoding=operation|rules, criterion="};
+    map["openshop"] = {build_openshop,
+                       "open shop; decoder=lpt-task|lpt-machine, criterion="};
+    map["hybrid-flowshop"] = {build_hybrid_flowshop,
+                              "hybrid flow shop (parallel machines per "
+                              "stage, gen:stages=AxBxC); criterion="};
+    map["flexible-jobshop"] = {build_flexible_jobshop,
+                               "flexible job shop (assignment + sequencing "
+                               "chromosomes); criterion="};
+    map["lot-streaming"] = {build_lot_streaming,
+                            "lot-streaming flexible flow shop (sublot "
+                            "splits + sequencing, gen:sublots=)"};
+    map["fuzzy-flowshop"] = {build_fuzzy_flowshop,
+                             "fuzzy flow shop (agreement index; fuzzified "
+                             "crisp instance, spread=/slack=/ramp=)"};
+    map["stochastic-jobshop"] = {build_stochastic_jobshop,
+                                 "stochastic job shop (expected makespan; "
+                                 "spread=/scenarios=/instance-seed=)"};
+    map["energy-flowshop"] = {build_energy_flowshop,
+                              "energy-aware flow shop (w-makespan=/"
+                              "w-energy=/w-peak=, instance-seed= profiles)"};
+    map["dynamic-jobshop"] = {build_dynamic_jobshop,
+                              "job shop under breakdown windows "
+                              "(downtimes=/instance-seed=), suffix "
+                              "re-optimization"};
+    return map;
+  }();
+  return problems;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+void register_problem(const std::string& name, ProblemFactory factory,
+                      std::string description) {
+  std::lock_guard lock(registry_mutex());
+  registry()[name] = {std::move(factory), std::move(description)};
+}
+
+std::vector<std::string> problem_names() {
+  std::lock_guard lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;
+}
+
+std::vector<RegistryEntry> problem_catalog() {
+  std::lock_guard lock(registry_mutex());
+  std::vector<RegistryEntry> catalog;
+  catalog.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) {
+    catalog.push_back({name, entry.description});
+  }
+  return catalog;
+}
+
+ProblemPtr ProblemSpec::build() const {
+  ProblemFactory factory;
+  {
+    std::lock_guard lock(registry_mutex());
+    const auto it = registry().find(problem);
+    if (it == registry().end()) {
+      std::string known;
+      for (const auto& [name, entry] : registry()) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw std::invalid_argument(
+          "ProblemSpec: unknown problem '" + problem + "' (registered: " +
+          known + ") [problem spec: " + to_string() + "]");
+    }
+    factory = it->second.factory;
+  }
+  try {
+    ProblemPtr built = factory(*this);
+    if (built == nullptr) {
+      throw std::invalid_argument("ProblemSpec: factory for '" + problem +
+                                  "' returned null");
+    }
+    return built;
+  } catch (const std::exception& e) {
+    // Every failure names the canonical spec, so fail-soft callers (the
+    // sweep runner's cell errors) pinpoint which expansion failed.
+    throw std::invalid_argument(std::string(e.what()) + " [problem spec: " +
+                                to_string() + "]");
+  }
+}
+
+// --- typed escape hatches ----------------------------------------------------
+
+std::shared_ptr<const FlowShopProblem> make_problem(
+    sched::FlowShopInstance inst, sched::Criterion criterion) {
+  return std::make_shared<FlowShopProblem>(std::move(inst), criterion);
+}
+
+std::shared_ptr<const RandomKeyFlowShopProblem> make_random_key_problem(
+    sched::FlowShopInstance inst, sched::Criterion criterion) {
+  return std::make_shared<RandomKeyFlowShopProblem>(std::move(inst),
+                                                    criterion);
+}
+
+std::shared_ptr<const JobShopProblem> make_problem(
+    sched::JobShopInstance inst, JobShopProblem::Decoder decoder,
+    sched::Criterion criterion) {
+  return std::make_shared<JobShopProblem>(std::move(inst), decoder, criterion);
+}
+
+std::shared_ptr<const RuleSequenceJobShopProblem> make_rule_sequence_problem(
+    sched::JobShopInstance inst, sched::Criterion criterion) {
+  return std::make_shared<RuleSequenceJobShopProblem>(std::move(inst),
+                                                      criterion);
+}
+
+std::shared_ptr<const OpenShopProblem> make_problem(
+    sched::OpenShopInstance inst, sched::OpenShopDecoder decoder,
+    sched::Criterion criterion) {
+  return std::make_shared<OpenShopProblem>(std::move(inst), decoder,
+                                           criterion);
+}
+
+std::shared_ptr<const HybridFlowShopProblem> make_problem(
+    sched::HybridFlowShopInstance inst, sched::CompositeObjective objective) {
+  return std::make_shared<HybridFlowShopProblem>(std::move(inst),
+                                                 std::move(objective));
+}
+
+std::shared_ptr<const FlexibleJobShopProblem> make_problem(
+    sched::FlexibleJobShopInstance inst, sched::Criterion criterion) {
+  return std::make_shared<FlexibleJobShopProblem>(std::move(inst), criterion);
+}
+
+std::shared_ptr<const LotStreamingProblem> make_problem(
+    sched::LotStreamingInstance inst) {
+  return std::make_shared<LotStreamingProblem>(std::move(inst));
+}
+
+std::shared_ptr<const FuzzyFlowShopProblem> make_problem(
+    sched::FuzzyFlowShopInstance inst) {
+  return std::make_shared<FuzzyFlowShopProblem>(std::move(inst));
+}
+
+std::shared_ptr<const StochasticJobShopProblem> make_problem(
+    std::shared_ptr<const sched::StochasticJobShop> shop) {
+  return std::make_shared<StochasticJobShopProblem>(std::move(shop));
+}
+
+std::shared_ptr<const EnergyFlowShopProblem> make_problem(
+    sched::EnergyAwareFlowShop shop) {
+  return std::make_shared<EnergyFlowShopProblem>(std::move(shop));
+}
+
+std::shared_ptr<const DynamicSuffixProblem> make_dynamic_suffix_problem(
+    const sched::JobShopInstance* inst, std::vector<int> frozen_prefix,
+    std::vector<int> remaining, std::vector<sched::Downtime> downtimes) {
+  return std::make_shared<DynamicSuffixProblem>(inst, std::move(frozen_prefix),
+                                                std::move(remaining),
+                                                std::move(downtimes));
+}
+
+}  // namespace psga::ga

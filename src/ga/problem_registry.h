@@ -1,0 +1,117 @@
+// String-keyed problem factories — the problem-side twin of the engine
+// registry in solver.h. Every concrete shop model in problems.h is
+// registered under a short name, so a ProblemSpec (problem_spec.h) can
+// build any of them, and downstream code can plug new models into spec
+// strings without touching this file.
+//
+// Registered built-ins (problem_catalog() for the one-line descriptions):
+//
+//   flowshop            permutation flow shop (encoding=random-key for
+//                       the Bean-style random-key variant)
+//   jobshop             job shop (decoder=semi-active|active,
+//                       encoding=rules for dispatching-rule chromosomes)
+//   openshop            open shop (decoder=lpt-task|lpt-machine)
+//   hybrid-flowshop     hybrid flow shop (parallel machines per stage)
+//   flexible-jobshop    flexible job shop (assignment + sequencing)
+//   lot-streaming       lot-streaming flexible flow shop
+//   fuzzy-flowshop      fuzzy flow shop (agreement-index objective)
+//   stochastic-jobshop  expected makespan over sampled scenarios
+//   energy-flowshop     weighted makespan + energy + peak power
+//   dynamic-jobshop     suffix re-optimization under breakdown windows
+//
+// Configurations beyond spec strings (composite objectives, replan
+// contexts mid-simulation) use the typed make_problem escape hatches
+// below and get the same ProblemPtr back.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ga/problem.h"
+#include "src/ga/problem_spec.h"
+#include "src/ga/problems.h"
+
+namespace psga::ga {
+
+/// Factory signature: build a Problem from a validated spec. Factories
+/// throw std::invalid_argument for values they cannot honor (unknown
+/// encoding/decoder, unsupported criterion, unresolvable instance).
+using ProblemFactory = std::function<ProblemPtr(const ProblemSpec&)>;
+
+/// Registers (or replaces) a problem factory under `name` with a
+/// one-line description; the built-in problems are pre-registered.
+/// (Same parameter order as register_engine in solver.h.)
+void register_problem(const std::string& name, ProblemFactory factory,
+                      std::string description = {});
+
+/// Sorted names currently registered (the legal `problem=` values).
+std::vector<std::string> problem_names();
+
+/// One registry row: the spec key and its one-line description
+/// (psga_sweep --list-problems prints these).
+struct RegistryEntry {
+  std::string name;
+  std::string description;
+};
+
+/// Sorted (name, description) rows of the problem registry.
+std::vector<RegistryEntry> problem_catalog();
+
+// --- typed escape hatches ----------------------------------------------------
+// For problems beyond what spec strings express. They return the concrete
+// problem type (implicitly convertible to ProblemPtr) so callers keep
+// access to decode()/instance() introspection.
+
+std::shared_ptr<const FlowShopProblem> make_problem(
+    sched::FlowShopInstance inst,
+    sched::Criterion criterion = sched::Criterion::kMakespan);
+
+std::shared_ptr<const RandomKeyFlowShopProblem> make_random_key_problem(
+    sched::FlowShopInstance inst,
+    sched::Criterion criterion = sched::Criterion::kMakespan);
+
+std::shared_ptr<const JobShopProblem> make_problem(
+    sched::JobShopInstance inst,
+    JobShopProblem::Decoder decoder = JobShopProblem::Decoder::kOperationBased,
+    sched::Criterion criterion = sched::Criterion::kMakespan);
+
+std::shared_ptr<const RuleSequenceJobShopProblem> make_rule_sequence_problem(
+    sched::JobShopInstance inst,
+    sched::Criterion criterion = sched::Criterion::kMakespan);
+
+std::shared_ptr<const OpenShopProblem> make_problem(
+    sched::OpenShopInstance inst,
+    sched::OpenShopDecoder decoder = sched::OpenShopDecoder::kLptTask,
+    sched::Criterion criterion = sched::Criterion::kMakespan);
+
+std::shared_ptr<const HybridFlowShopProblem> make_problem(
+    sched::HybridFlowShopInstance inst,
+    sched::CompositeObjective objective = {
+        {{sched::Criterion::kMakespan, 1.0}}});
+
+std::shared_ptr<const FlexibleJobShopProblem> make_problem(
+    sched::FlexibleJobShopInstance inst,
+    sched::Criterion criterion = sched::Criterion::kMakespan);
+
+std::shared_ptr<const LotStreamingProblem> make_problem(
+    sched::LotStreamingInstance inst);
+
+std::shared_ptr<const FuzzyFlowShopProblem> make_problem(
+    sched::FuzzyFlowShopInstance inst);
+
+std::shared_ptr<const StochasticJobShopProblem> make_problem(
+    std::shared_ptr<const sched::StochasticJobShop> shop);
+
+std::shared_ptr<const EnergyFlowShopProblem> make_problem(
+    sched::EnergyAwareFlowShop shop);
+
+/// Reactive suffix re-optimization mid-simulation: the caller's replan
+/// context cannot come from a spec string. `inst` is borrowed (not
+/// owned) and must outlive the problem.
+std::shared_ptr<const DynamicSuffixProblem> make_dynamic_suffix_problem(
+    const sched::JobShopInstance* inst, std::vector<int> frozen_prefix,
+    std::vector<int> remaining, std::vector<sched::Downtime> downtimes);
+
+}  // namespace psga::ga

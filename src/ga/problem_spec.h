@@ -1,0 +1,121 @@
+// Declarative problem construction — the problem-side twin of SolverSpec:
+// one string names the shop model, the optimality criterion, the
+// chromosome encoding/decoder and the instance source, and the registry
+// (problem_registry.h) turns it into a ProblemPtr.
+//
+//   ProblemPtr p = ProblemSpec::parse(
+//       "problem=flowshop criterion=total-flow instance=ta001").build();
+//
+// The `instance=` token unifies every instance source behind one value:
+//
+//   data/ta001.fsp            file path, format by extension (sched::io)
+//   ta001 .. ta010            published Taillard 20x5 benchmarks,
+//                             regenerated from the embedded generator
+//   ft06 ft10 ft20 la01       embedded classic job-shop instances
+//   gen:jobs=50,machines=10,seed=7
+//                             seeded synthetic instance over
+//                             sched::generators — deterministic in the
+//                             embedded seed, so a gen: token is as
+//                             reproducible as a file
+//
+// gen: keys by family (unknown keys throw, naming the family):
+//   flow shop      jobs, machines, seed
+//   job shop       jobs, machines, seed
+//   open shop      jobs, machines, seed, lo, hi
+//   hybrid flow    jobs, stages (e.g. 3x2x3), seed, lo, hi, unrelated,
+//                  setup, blocking
+//   flexible job   jobs, machines, ops, eligible, seed, setup, attached,
+//                  release, lag
+//   lot streaming  jobs, stages, sublots, seed, batch-lo, batch-hi,
+//                  unit-lo, unit-hi
+//
+// When no `problem=` token is given, the family is inferred from the
+// instance token (*.fsp / ta001..ta010 -> flowshop, *.jsp / classics ->
+// jobshop, anything else -> flowshop), so pre-existing sweep files keep
+// their meaning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/ga/problem.h"
+#include "src/sched/objectives.h"
+
+namespace psga::ga {
+
+/// Declarative problem configuration parsed from "key=value ..." strings.
+/// Unset fields keep each factory's defaults.
+struct ProblemSpec {
+  /// Registry key (problem_names()); see parse() for inference rules.
+  std::string problem = "flowshop";
+  /// Instance source token (file path, benchmark name or gen: spec).
+  std::string instance;
+
+  std::optional<sched::Criterion> criterion;  ///< criterion=
+  /// encoding= — chromosome representation where the family offers
+  /// several: flowshop permutation|random-key, jobshop operation|rules.
+  std::optional<std::string> encoding;
+  /// decoder= — jobshop semi-active|active, openshop lpt-task|lpt-machine.
+  std::optional<std::string> decoder;
+
+  /// instance-seed= — seed for randomness *derived from* the instance
+  /// (stochastic scenario sampling, breakdown windows, power profiles);
+  /// the instance's own seed lives inside its gen: token.
+  std::optional<std::uint64_t> instance_seed;
+
+  // Fuzzy flow shop (fuzzify) / stochastic job shop parameters.
+  std::optional<double> spread;  ///< spread= (fuzzy triangle / noise width)
+  std::optional<double> slack;   ///< slack= (fuzzy due-date center factor)
+  std::optional<double> ramp;    ///< ramp= (fuzzy due-date ramp width)
+  std::optional<int> scenarios;  ///< scenarios= (stochastic sample count)
+
+  // Dynamic job shop: number of random breakdown windows.
+  std::optional<int> downtimes;  ///< downtimes=
+
+  // Energy-aware flow shop objective weights.
+  std::optional<double> w_makespan;  ///< w-makespan=
+  std::optional<double> w_energy;    ///< w-energy=
+  std::optional<double> w_peak;      ///< w-peak=
+
+  /// Parses a whitespace-separated "key=value ..." spec. Throws
+  /// std::invalid_argument naming the offending token for unknown keys,
+  /// malformed tokens and unknown criterion values. Without a `problem=`
+  /// token the family is inferred from `instance=` (see file comment).
+  static ProblemSpec parse(const std::string& text);
+
+  /// Canonical spec string: parse(to_string()) reproduces this spec
+  /// exactly. Unset fields are omitted; aliases render canonically.
+  std::string to_string() const;
+
+  /// Looks `problem` up in the registry and builds the Problem. Errors
+  /// (unknown problem, unresolvable instance, unsupported field) throw
+  /// std::invalid_argument whose message carries the canonical spec
+  /// string, so fail-soft callers (the sweep runner) can report exactly
+  /// which expansion failed.
+  ProblemPtr build() const;
+
+  bool operator==(const ProblemSpec&) const = default;
+};
+
+/// True for keys owned by ProblemSpec — the token router for combined
+/// "problem + engine" specs (RunSpec in solver.h, sweep cells).
+bool is_problem_key(const std::string& key);
+
+/// Splits a combined token string into its (problem, solver) halves by
+/// key ownership, preserving token order inside each half. Tokens
+/// without '=' land in the solver half (whose parser reports them).
+std::pair<std::string, std::string> split_spec_tokens(
+    const std::string& text);
+
+/// Canonical criterion token ("makespan", "total-flow", ...).
+const char* criterion_name(sched::Criterion criterion);
+
+/// Parses a criterion token (canonical names plus the aliases cmax,
+/// total_flow, total-completion, twt, tmax). Throws std::invalid_argument
+/// on unknown values, naming `token`.
+sched::Criterion parse_criterion(const std::string& value,
+                                 const std::string& token);
+
+}  // namespace psga::ga

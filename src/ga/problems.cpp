@@ -395,6 +395,15 @@ DynamicSuffixProblem::DynamicSuffixProblem(
   for (int j : remaining_) ++traits_.repeats[static_cast<std::size_t>(j)];
 }
 
+DynamicSuffixProblem::DynamicSuffixProblem(
+    std::shared_ptr<const sched::JobShopInstance> inst,
+    std::vector<int> frozen_prefix, std::vector<int> remaining,
+    std::vector<sched::Downtime> downtimes)
+    : DynamicSuffixProblem(inst.get(), std::move(frozen_prefix),
+                           std::move(remaining), std::move(downtimes)) {
+  owned_ = std::move(inst);
+}
+
 Genome DynamicSuffixProblem::random_genome(par::Rng& rng) const {
   Genome g;
   g.seq = remaining_;

@@ -348,12 +348,20 @@ class DynamicSuffixProblem final : public Problem {
                        std::vector<int> remaining,
                        std::vector<sched::Downtime> downtimes);
 
+  /// Owning variant for registry-built problems (problem=dynamic-jobshop):
+  /// keeps the instance alive for the problem's lifetime.
+  DynamicSuffixProblem(std::shared_ptr<const sched::JobShopInstance> inst,
+                       std::vector<int> frozen_prefix,
+                       std::vector<int> remaining,
+                       std::vector<sched::Downtime> downtimes);
+
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
   double objective(const Genome& genome) const override;
 
  private:
-  const sched::JobShopInstance* inst_;  // not owned
+  std::shared_ptr<const sched::JobShopInstance> owned_;  // may be null
+  const sched::JobShopInstance* inst_;  // borrowed unless owned_ holds it
   std::vector<int> frozen_prefix_;
   std::vector<int> remaining_;
   std::vector<sched::Downtime> downtimes_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/ga/eval_cache.h"
@@ -45,6 +46,10 @@ struct QuantumSection {
 struct RunResult {
   Genome best;
   double best_objective = 0.0;
+  /// Canonical ProblemSpec string of the problem this run solved, for
+  /// provenance in telemetry ("" when the problem was constructed
+  /// programmatically rather than through a spec).
+  std::string problem;
   /// Best-so-far objective after each generation (convergence curve).
   std::vector<double> history;
   long long evaluations = 0;  ///< fitness evaluations ("explored solutions")

@@ -326,71 +326,93 @@ CellularConfig cellular_config(const SolverSpec& spec) {
   return cell;
 }
 
-std::map<std::string, EngineFactory>& registry() {
-  static std::map<std::string, EngineFactory> engines = [] {
-    std::map<std::string, EngineFactory> map;
-    map["simple"] = [](ProblemPtr problem, const SolverSpec& spec,
-                       par::ThreadPool* pool) {
-      return make_engine(std::move(problem), base_config(spec), pool);
-    };
-    map["master-slave"] = [](ProblemPtr problem, const SolverSpec& spec,
-                             par::ThreadPool* pool) {
-      return make_master_slave_engine(std::move(problem), base_config(spec),
-                                      pool);
-    };
-    map["cellular"] = [](ProblemPtr problem, const SolverSpec& spec,
-                         par::ThreadPool* pool) {
-      return make_engine(std::move(problem), cellular_config(spec), pool);
-    };
-    map["island"] = [](ProblemPtr problem, const SolverSpec& spec,
-                       par::ThreadPool* pool) {
-      IslandGaConfig cfg;
-      cfg.base = base_config(spec);
-      if (spec.islands) cfg.islands = *spec.islands;
-      cfg.migration = migration_config(spec);
-      return make_engine(std::move(problem), std::move(cfg), pool);
-    };
-    map["islands-of-cellular"] = [](ProblemPtr problem, const SolverSpec& spec,
-                                    par::ThreadPool* pool) {
-      IslandsOfCellularConfig cfg;
-      cfg.cell = cellular_config(spec);
-      if (spec.islands) cfg.islands = *spec.islands;
-      if (spec.interval) cfg.migration_interval = *spec.interval;
-      if (spec.migrants) cfg.migrants = *spec.migrants;
-      if (spec.seed) cfg.seed = *spec.seed;
-      return make_engine(std::move(problem), std::move(cfg), pool);
-    };
-    map["quantum"] = [](ProblemPtr problem, const SolverSpec& spec,
+struct EngineEntry {
+  EngineFactory factory;
+  std::string description;
+};
+
+std::map<std::string, EngineEntry>& registry() {
+  static std::map<std::string, EngineEntry> engines = [] {
+    std::map<std::string, EngineEntry> map;
+    map["simple"] = {[](ProblemPtr problem, const SolverSpec& spec,
                         par::ThreadPool* pool) {
-      // The quantum engine evolves qubit angles; classical operator names
-      // (xover/mut/sel) do not apply and are ignored.
-      QuantumGaConfig cfg;
-      if (spec.islands) cfg.islands = *spec.islands;
-      if (spec.population) cfg.population = *spec.population;
-      if (spec.interval) cfg.migration_interval = *spec.interval;
-      if (spec.eval) cfg.eval_backend = *spec.eval;
-      if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
-      if (spec.seed) cfg.seed = *spec.seed;
-      return make_engine(std::move(problem), std::move(cfg), pool);
-    };
-    map["memetic"] = [](ProblemPtr problem, const SolverSpec& spec,
-                        par::ThreadPool*) {
-      MemeticConfig cfg;
-      cfg.base = base_config(spec);
-      if (spec.interval) cfg.interval = *spec.interval;
-      if (spec.refine) cfg.refine_count = *spec.refine;
-      if (spec.budget) cfg.search_budget = *spec.budget;
-      return make_engine(std::move(problem), std::move(cfg));
-    };
-    map["cluster"] = [](ProblemPtr problem, const SolverSpec& spec,
-                        par::ThreadPool*) {
-      ClusterIslandConfig cfg;
-      cfg.base = base_config(spec);
-      if (spec.ranks) cfg.ranks = *spec.ranks;
-      if (spec.interval) cfg.neighbor_interval = *spec.interval;
-      if (spec.broadcast) cfg.broadcast_interval = *spec.broadcast;
-      return make_engine(std::move(problem), std::move(cfg));
-    };
+                       return make_engine(std::move(problem),
+                                          base_config(spec), pool);
+                     },
+                     "sequential GA (the survey's baseline model)"};
+    map["master-slave"] = {
+        [](ProblemPtr problem, const SolverSpec& spec, par::ThreadPool* pool) {
+          return make_master_slave_engine(std::move(problem),
+                                          base_config(spec), pool);
+        },
+        "global population, parallel fitness evaluation"};
+    map["cellular"] = {[](ProblemPtr problem, const SolverSpec& spec,
+                          par::ThreadPool* pool) {
+                         return make_engine(std::move(problem),
+                                            cellular_config(spec), pool);
+                       },
+                       "fine-grained grid, neighborhood-local breeding"};
+    map["island"] = {[](ProblemPtr problem, const SolverSpec& spec,
+                        par::ThreadPool* pool) {
+                       IslandGaConfig cfg;
+                       cfg.base = base_config(spec);
+                       if (spec.islands) cfg.islands = *spec.islands;
+                       cfg.migration = migration_config(spec);
+                       return make_engine(std::move(problem), std::move(cfg),
+                                          pool);
+                     },
+                     "coarse-grained subpopulations with migration"};
+    map["islands-of-cellular"] = {
+        [](ProblemPtr problem, const SolverSpec& spec, par::ThreadPool* pool) {
+          IslandsOfCellularConfig cfg;
+          cfg.cell = cellular_config(spec);
+          if (spec.islands) cfg.islands = *spec.islands;
+          if (spec.interval) cfg.migration_interval = *spec.interval;
+          if (spec.migrants) cfg.migrants = *spec.migrants;
+          if (spec.seed) cfg.seed = *spec.seed;
+          return make_engine(std::move(problem), std::move(cfg), pool);
+        },
+        "hybrid: migrating islands, each a cellular grid"};
+    map["quantum"] = {[](ProblemPtr problem, const SolverSpec& spec,
+                         par::ThreadPool* pool) {
+                        // The quantum engine evolves qubit angles; classical
+                        // operator names (xover/mut/sel) do not apply and are
+                        // ignored.
+                        QuantumGaConfig cfg;
+                        if (spec.islands) cfg.islands = *spec.islands;
+                        if (spec.population) cfg.population = *spec.population;
+                        if (spec.interval) {
+                          cfg.migration_interval = *spec.interval;
+                        }
+                        if (spec.eval) cfg.eval_backend = *spec.eval;
+                        if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
+                        if (spec.seed) cfg.seed = *spec.seed;
+                        return make_engine(std::move(problem), std::move(cfg),
+                                           pool);
+                      },
+                      "quantum-inspired islands over qubit chromosomes"};
+    map["memetic"] = {[](ProblemPtr problem, const SolverSpec& spec,
+                         par::ThreadPool*) {
+                        MemeticConfig cfg;
+                        cfg.base = base_config(spec);
+                        if (spec.interval) cfg.interval = *spec.interval;
+                        if (spec.refine) cfg.refine_count = *spec.refine;
+                        if (spec.budget) cfg.search_budget = *spec.budget;
+                        return make_engine(std::move(problem), std::move(cfg));
+                      },
+                      "GA + periodic local-search refinement waves"};
+    map["cluster"] = {[](ProblemPtr problem, const SolverSpec& spec,
+                         par::ThreadPool*) {
+                        ClusterIslandConfig cfg;
+                        cfg.base = base_config(spec);
+                        if (spec.ranks) cfg.ranks = *spec.ranks;
+                        if (spec.interval) cfg.neighbor_interval = *spec.interval;
+                        if (spec.broadcast) {
+                          cfg.broadcast_interval = *spec.broadcast;
+                        }
+                        return make_engine(std::move(problem), std::move(cfg));
+                      },
+                      "SPMD ranks, dual-frequency neighbor/broadcast epochs"};
     return map;
   }();
   return engines;
@@ -403,17 +425,40 @@ std::mutex& registry_mutex() {
 
 }  // namespace
 
-void register_engine(const std::string& name, EngineFactory factory) {
+void register_engine(const std::string& name, EngineFactory factory,
+                     std::string description) {
   std::lock_guard lock(registry_mutex());
-  registry()[name] = std::move(factory);
+  registry()[name] = {std::move(factory), std::move(description)};
 }
 
 std::vector<std::string> engine_names() {
   std::lock_guard lock(registry_mutex());
   std::vector<std::string> names;
   names.reserve(registry().size());
-  for (const auto& [name, factory] : registry()) names.push_back(name);
+  for (const auto& [name, entry] : registry()) names.push_back(name);
   return names;
+}
+
+std::vector<RegistryEntry> engine_catalog() {
+  std::lock_guard lock(registry_mutex());
+  std::vector<RegistryEntry> catalog;
+  catalog.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) {
+    catalog.push_back({name, entry.description});
+  }
+  return catalog;
+}
+
+RunSpec RunSpec::parse(const std::string& text) {
+  const auto [problem_half, solver_half] = split_spec_tokens(text);
+  RunSpec spec;
+  spec.problem = ProblemSpec::parse(problem_half);
+  spec.solver = SolverSpec::parse(solver_half);
+  return spec;
+}
+
+std::string RunSpec::to_string() const {
+  return problem.to_string() + " " + solver.to_string();
 }
 
 Solver Solver::build(const SolverSpec& spec, ProblemPtr problem,
@@ -424,16 +469,22 @@ Solver Solver::build(const SolverSpec& spec, ProblemPtr problem,
     const auto it = registry().find(spec.engine);
     if (it == registry().end()) {
       std::string known;
-      for (const auto& [name, f] : registry()) {
+      for (const auto& [name, entry] : registry()) {
         if (!known.empty()) known += ", ";
         known += name;
       }
       throw std::invalid_argument("Solver: unknown engine '" + spec.engine +
                                   "' (registered: " + known + ")");
     }
-    factory = it->second;
+    factory = it->second.factory;
   }
   return Solver(factory(std::move(problem), spec, pool), spec);
+}
+
+Solver Solver::build(const RunSpec& spec, par::ThreadPool* pool) {
+  Solver solver = build(spec.solver, spec.problem.build(), pool);
+  solver.problem_spec_ = spec.problem.to_string();
+  return solver;
 }
 
 // --- typed escape hatches ----------------------------------------------------

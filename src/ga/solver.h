@@ -37,6 +37,8 @@
 #include "src/ga/island_ga.h"
 #include "src/ga/master_slave_ga.h"
 #include "src/ga/memetic.h"
+#include "src/ga/problem_registry.h"
+#include "src/ga/problem_spec.h"
 #include "src/ga/quantum_ga.h"
 #include "src/ga/simple_ga.h"
 
@@ -100,6 +102,30 @@ struct SolverSpec {
   bool operator==(const SolverSpec&) const = default;
 };
 
+/// A whole run in one string: the problem half (ProblemSpec keys) and
+/// the engine half (SolverSpec keys) of a combined token stream.
+///
+///   Solver solver = Solver::build(RunSpec::parse(
+///       "problem=flowshop instance=ta001 engine=island islands=4"));
+///
+/// Sweep cells are RunSpecs too: SweepSpec base/axis tokens may mix
+/// problem and engine keys freely, so one sweep can span problem
+/// families.
+struct RunSpec {
+  ProblemSpec problem;
+  SolverSpec solver;
+
+  /// Routes each "key=value" token to the owning spec language and
+  /// parses both halves (either parser's structured errors propagate).
+  static RunSpec parse(const std::string& text);
+
+  /// Canonical form: problem tokens then solver tokens;
+  /// parse(to_string()) reproduces this spec exactly.
+  std::string to_string() const;
+
+  bool operator==(const RunSpec&) const = default;
+};
+
 /// The facade: builds any registered engine from a spec and runs it.
 class Solver {
  public:
@@ -109,8 +135,14 @@ class Solver {
   static Solver build(const SolverSpec& spec, ProblemPtr problem,
                       par::ThreadPool* pool = nullptr);
 
-  RunResult run(const StopCondition& stop) { return engine_->run(stop); }
-  RunResult run() { return engine_->run(); }
+  /// Builds problem and engine from a combined spec: the problem comes
+  /// from the problem registry (spec.problem.build()), the engine from
+  /// the engine registry. The run's RunResult records the canonical
+  /// problem spec for provenance.
+  static Solver build(const RunSpec& spec, par::ThreadPool* pool = nullptr);
+
+  RunResult run(const StopCondition& stop) { return stamp(engine_->run(stop)); }
+  RunResult run() { return stamp(engine_->run()); }
 
   /// Observer hooks for telemetry / early stopping / checkpoints.
   void set_observer(RunObserver* observer) { engine_->set_observer(observer); }
@@ -124,12 +156,25 @@ class Solver {
   /// passed to build().
   const SolverSpec& spec() const { return spec_; }
 
-  explicit Solver(EnginePtr engine, SolverSpec spec = {})
-      : engine_(std::move(engine)), spec_(std::move(spec)) {}
+  /// The canonical problem spec when built from a RunSpec ("" for
+  /// problem pointers handed in directly).
+  const std::string& problem_spec() const { return problem_spec_; }
+
+  explicit Solver(EnginePtr engine, SolverSpec spec = {},
+                  std::string problem_spec = {})
+      : engine_(std::move(engine)),
+        spec_(std::move(spec)),
+        problem_spec_(std::move(problem_spec)) {}
 
  private:
+  RunResult stamp(RunResult result) const {
+    if (!problem_spec_.empty()) result.problem = problem_spec_;
+    return result;
+  }
+
   EnginePtr engine_;
   SolverSpec spec_;
+  std::string problem_spec_;
 };
 
 // --- engine registry ---------------------------------------------------------
@@ -138,13 +183,19 @@ class Solver {
 using EngineFactory =
     std::function<EnginePtr(ProblemPtr, const SolverSpec&, par::ThreadPool*)>;
 
-/// Registers (or replaces) an engine factory under `name`; the built-in
-/// engines are pre-registered. Lets downstream code plug new models into
-/// SolverSpec strings without touching this file.
-void register_engine(const std::string& name, EngineFactory factory);
+/// Registers (or replaces) an engine factory under `name` with a
+/// one-line description; the built-in engines are pre-registered. Lets
+/// downstream code plug new models into SolverSpec strings without
+/// touching this file.
+void register_engine(const std::string& name, EngineFactory factory,
+                     std::string description = {});
 
 /// Sorted names currently registered (the legal `engine=` values).
 std::vector<std::string> engine_names();
+
+/// Sorted (name, description) rows of the engine registry — the engine
+/// twin of problem_catalog() (psga_sweep --list-engines prints these).
+std::vector<RegistryEntry> engine_catalog();
 
 // --- typed escape hatches ----------------------------------------------------
 // For configurations beyond what spec strings express (heterogeneous

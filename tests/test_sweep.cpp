@@ -8,6 +8,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -417,6 +418,99 @@ TEST(SweepRunner, MissingInstanceFileIsCapturedNotFatal) {
   EXPECT_FALSE(result.cells[1].ok);
   EXPECT_FALSE(result.cells[1].error.empty());
   EXPECT_EQ(result.failed, 1);
+}
+
+// --- problem-side tokens ----------------------------------------------------
+
+TEST(SweepRunner, MultiFamilySweepSpansProblems) {
+  // One grid over two problem families: the zipped axis moves the
+  // problem and its instance together, all through ProblemSpec.
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8\n"
+      "{problem=flowshop instance=ta001,problem=jobshop instance=ft06}\n"
+      "@reps=1 @generations=2");
+  std::ostringstream telemetry;
+  TelemetrySink sink(telemetry);
+  SweepOptions options;
+  options.telemetry = &sink;
+  const SweepResult result = run_sweep(spec, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.failed, 0);
+  // The canonical problem spec lands in the RunResult for provenance...
+  EXPECT_EQ(result.cells[0].result.problem,
+            "problem=flowshop instance=ta001");
+  EXPECT_EQ(result.cells[1].result.problem, "problem=jobshop instance=ft06");
+  // ...and in every cell telemetry record.
+  int cell_records = 0;
+  std::istringstream lines(telemetry.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const Json record = Json::parse(line);
+    if (record.string_or("event", "") == "cell") {
+      ++cell_records;
+      EXPECT_FALSE(record.string_or("problem", "").empty());
+    }
+  }
+  EXPECT_EQ(cell_records, 2);
+}
+
+TEST(SweepRunner, UnresolvableInstanceErrorCarriesCanonicalSpec) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 @instances=nope.xyz @generations=2");
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_FALSE(result.cells[0].ok);
+  EXPECT_NE(result.cells[0].error.find(
+                "[problem spec: problem=flowshop instance=nope.xyz]"),
+            std::string::npos)
+      << result.cells[0].error;
+}
+
+TEST(SweepRunner, InstanceTokenConflictingWithAtInstancesFailsSoft) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 instance=ta001 @instances=ta002 @generations=2");
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_FALSE(result.cells[0].ok);
+  EXPECT_NE(result.cells[0].error.find("conflicts"), std::string::npos);
+}
+
+TEST(SweepRunner, GenInstanceTokenRunsWithoutResolver) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 problem=openshop "
+      "instance=gen:jobs=4,machines=3,seed=2 @reps=2 @generations=2");
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.failed, 0);
+  // Both reps share one resolved problem (same canonical spec).
+  EXPECT_EQ(result.cells[0].result.problem, result.cells[1].result.problem);
+}
+
+TEST(SweepRunner, ProblemTokensUnderCustomResolverFailLoudly) {
+  // A custom resolver owns instance semantics; a problem-side axis would
+  // otherwise vary nothing while the summary reports it varying.
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 criterion={makespan,total-flow} "
+      "@instances=generated @generations=2");
+  SweepOptions options;
+  const auto instance = sched::make_taillard(sched::taillard_20x5()[0]);
+  options.resolve = [&](const std::string&) -> ga::ProblemPtr {
+    return ga::make_problem(instance);
+  };
+  const SweepResult result = run_sweep(spec, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.failed, 2);
+  EXPECT_NE(result.cells[0].error.find("do not apply under a custom resolver"),
+            std::string::npos)
+      << result.cells[0].error;
+}
+
+TEST(SweepRunner, DefaultResolverRoutesThroughProblemRegistry) {
+  EXPECT_NE(default_resolver("ta001"), nullptr);
+  EXPECT_NE(default_resolver(data_path("ta001.fsp")), nullptr);
+  EXPECT_NE(default_resolver("ft06"), nullptr);  // classics resolve by name
+  EXPECT_THROW(default_resolver("mystery"), std::invalid_argument);
+  EXPECT_THROW(default_resolver(""), std::invalid_argument);
 }
 
 // --- telemetry --------------------------------------------------------------

@@ -14,11 +14,14 @@
 //   --reps N           override every sweep's @reps
 //   --seed N           override every sweep's @seed
 //   --list             print the expanded cells and exit (dry run)
+//   --list-problems    print the problem registry (problem= values) and exit
+//   --list-engines     print the engine registry (engine= values) and exit
 //   --quiet            no per-cell progress on stderr
 //
 // Exit status: 1 for unusable input (missing/unparsable spec file,
 // zero-cell sweeps) or when every cell of the file failed; individual
 // cell failures are fail-soft and reported in the summaries.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +36,7 @@
 #include "src/exp/sweep_runner.h"
 #include "src/exp/sweep_spec.h"
 #include "src/exp/telemetry.h"
+#include "src/ga/solver.h"
 
 namespace {
 
@@ -42,10 +46,26 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--telemetry PATH] [--every N]\n"
                "       %*s [--summary PATH] [--csv] [--reps N] [--seed N]\n"
-               "       %*s [--list] [--quiet] <spec-file>\n",
+               "       %*s [--list] [--quiet] <spec-file>\n"
+               "       %s --list-problems | --list-engines\n",
                argv0, static_cast<int>(std::strlen(argv0)), "",
-               static_cast<int>(std::strlen(argv0)), "");
+               static_cast<int>(std::strlen(argv0)), "", argv0);
   return 1;
+}
+
+/// Prints one registry ("problem" or "engine") as aligned name +
+/// one-line description rows — the discoverability path for spec keys.
+int print_catalog(const char* key,
+                  const std::vector<ga::RegistryEntry>& catalog) {
+  std::size_t width = 0;
+  for (const ga::RegistryEntry& entry : catalog) {
+    width = std::max(width, entry.name.size());
+  }
+  for (const ga::RegistryEntry& entry : catalog) {
+    std::printf("%s=%-*s  %s\n", key, static_cast<int>(width),
+                entry.name.c_str(), entry.description.c_str());
+  }
+  return catalog.empty() ? 1 : 0;
 }
 
 }  // namespace
@@ -87,6 +107,10 @@ int main(int argc, char** argv) {
       seed_override = std::strtoull(next_value(), nullptr, 10);
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-problems") {
+      return print_catalog("problem", ga::problem_catalog());
+    } else if (arg == "--list-engines") {
+      return print_catalog("engine", ga::engine_catalog());
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {

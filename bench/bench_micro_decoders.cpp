@@ -5,9 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <span>
+#include <vector>
 
 #include "src/ga/problem_registry.h"
 #include "src/par/rng.h"
+#include "src/sched/batch_decode.h"
 #include "src/sched/classics.h"
 #include "src/sched/generators.h"
 #include "src/sched/taillard.h"
@@ -16,24 +19,78 @@ namespace {
 
 using namespace psga;
 
+// Decoder inputs rotate through a small pool of random genomes, the way
+// an evaluation loop sees a population — a single fixed input would let
+// the branch predictor and prefetcher memorize the whole decode and
+// overstate scalar throughput.
+constexpr int kGenomePool = 16;
+
+std::vector<std::vector<int>> shuffled_permutations(int count, int jobs,
+                                                    std::uint64_t seed) {
+  par::Rng rng(seed);
+  std::vector<std::vector<int>> perms(static_cast<std::size_t>(count));
+  for (auto& perm : perms) {
+    perm.resize(static_cast<std::size_t>(jobs));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+  }
+  return perms;
+}
+
 void BM_FlowShopMakespan(benchmark::State& state) {
   const auto inst = sched::taillard_flow_shop(
       static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 42);
-  std::vector<int> perm(static_cast<std::size_t>(inst.jobs));
-  std::iota(perm.begin(), perm.end(), 0);
+  const auto perms = shuffled_permutations(kGenomePool, inst.jobs, 7);
+  sched::FlowShopScratch scratch;
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::flow_shop_makespan(inst, perm));
+    benchmark::DoNotOptimize(
+        sched::flow_shop_makespan(inst, perms[i], scratch));
+    i = (i + 1) % perms.size();
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlowShopMakespan)->Args({20, 5})->Args({50, 10})->Args({100, 20});
 
+void BM_FlowShopMakespanBatch(benchmark::State& state) {
+  // The SoA batch kernel advancing B permutations in lockstep; items/s is
+  // per permutation, directly comparable to BM_FlowShopMakespan.
+  const auto inst = sched::taillard_flow_shop(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 42);
+  const auto batch = static_cast<int>(state.range(2));
+  const auto perms = shuffled_permutations(batch, inst.jobs, 7);
+  std::vector<std::span<const int>> lanes(perms.begin(), perms.end());
+  std::vector<sched::Time> out(lanes.size());
+  sched::FlowShopBatchScratch scratch;
+  for (auto _ : state) {
+    sched::flow_shop_makespan_batch(inst, lanes, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FlowShopMakespanBatch)
+    ->Args({20, 5, 16})
+    ->Args({50, 10, 16})
+    ->Args({100, 20, 16});
+
+std::vector<std::vector<int>> random_op_sequences(
+    const sched::JobShopInstance& inst, int count, std::uint64_t seed) {
+  par::Rng rng(seed);
+  std::vector<std::vector<int>> seqs(static_cast<std::size_t>(count));
+  for (auto& s : seqs) s = sched::random_operation_sequence(inst, rng);
+  return seqs;
+}
+
 void BM_JobShopSemiActive(benchmark::State& state) {
   const auto& inst = sched::ft10().instance;
-  par::Rng rng(1);
-  const auto seq = sched::random_operation_sequence(inst, rng);
+  const auto seqs = random_op_sequences(inst, kGenomePool, 1);
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::decode_operation_based(inst, seq));
+    benchmark::DoNotOptimize(sched::decode_operation_based(inst, seqs[i]));
+    i = (i + 1) % seqs.size();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -43,11 +100,13 @@ void BM_JobShopSemiActiveScratch(benchmark::State& state) {
   // Workspace-reuse fast path: scratch allocated once, reused per decode —
   // the per-genome cost inside the Evaluator hot loop.
   const auto& inst = sched::ft10().instance;
-  par::Rng rng(1);
-  const auto seq = sched::random_operation_sequence(inst, rng);
+  const auto seqs = random_op_sequences(inst, kGenomePool, 1);
   sched::JobShopScratch scratch;
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(&sched::decode_operation_based(inst, seq, scratch));
+    benchmark::DoNotOptimize(
+        &sched::decode_operation_based(inst, seqs[i], scratch));
+    i = (i + 1) % seqs.size();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -55,10 +114,11 @@ BENCHMARK(BM_JobShopSemiActiveScratch);
 
 void BM_JobShopGifflerThompson(benchmark::State& state) {
   const auto& inst = sched::ft10().instance;
-  par::Rng rng(1);
-  const auto seq = sched::random_operation_sequence(inst, rng);
+  const auto seqs = random_op_sequences(inst, kGenomePool, 1);
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched::giffler_thompson_sequence(inst, seq));
+    benchmark::DoNotOptimize(sched::giffler_thompson_sequence(inst, seqs[i]));
+    i = (i + 1) % seqs.size();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -66,16 +126,56 @@ BENCHMARK(BM_JobShopGifflerThompson);
 
 void BM_JobShopGifflerThompsonScratch(benchmark::State& state) {
   const auto& inst = sched::ft10().instance;
-  par::Rng rng(1);
-  const auto seq = sched::random_operation_sequence(inst, rng);
+  const auto seqs = random_op_sequences(inst, kGenomePool, 1);
   sched::JobShopScratch scratch;
+  std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        &sched::giffler_thompson_sequence(inst, seq, scratch));
+        &sched::giffler_thompson_sequence(inst, seqs[i], scratch));
+    i = (i + 1) % seqs.size();
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_JobShopGifflerThompsonScratch);
+
+void BM_JobShopSemiActiveBatch(benchmark::State& state) {
+  // Shared-scratch batch decoder computing completion times directly
+  // (never materializing a Schedule); items/s per sequence, comparable
+  // to BM_JobShopSemiActiveScratch.
+  const auto& inst = sched::ft10().instance;
+  const auto batch = static_cast<int>(state.range(0));
+  const auto seqs = random_op_sequences(inst, batch, 1);
+  std::vector<std::span<const int>> lanes(seqs.begin(), seqs.end());
+  std::vector<double> out(lanes.size());
+  sched::JobShopBatchScratch scratch;
+  for (auto _ : state) {
+    sched::job_shop_objective_batch(inst, lanes,
+                                    sched::JobShopBatchDecoder::kSemiActive,
+                                    sched::Criterion::kMakespan, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_JobShopSemiActiveBatch)->Arg(16);
+
+void BM_JobShopGifflerThompsonBatch(benchmark::State& state) {
+  const auto& inst = sched::ft10().instance;
+  const auto batch = static_cast<int>(state.range(0));
+  const auto seqs = random_op_sequences(inst, batch, 1);
+  std::vector<std::span<const int>> lanes(seqs.begin(), seqs.end());
+  std::vector<double> out(lanes.size());
+  sched::JobShopBatchScratch scratch;
+  for (auto _ : state) {
+    sched::job_shop_objective_batch(inst, lanes,
+                                    sched::JobShopBatchDecoder::kActive,
+                                    sched::Criterion::kMakespan, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_JobShopGifflerThompsonBatch)->Arg(16);
 
 void BM_OpenShopDecode(benchmark::State& state) {
   const auto inst = sched::random_open_shop(15, 8, 7);

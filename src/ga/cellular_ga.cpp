@@ -13,7 +13,7 @@ CellularGa::CellularGa(ProblemPtr problem, CellularConfig config,
       config_(std::move(config)),
       pool_(pool != nullptr ? pool : &par::default_pool()),
       evaluator_(problem_, config_.eval_backend, pool_,
-                 config_.async_coordinator_only) {
+                 config_.async_coordinator_only, config_.eval_batch) {
   if (!config_.crossover || !config_.mutation) {
     OperatorConfig defaults = default_operators(*problem_);
     if (!config_.crossover) config_.crossover = defaults.crossover;

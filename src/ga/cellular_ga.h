@@ -47,6 +47,8 @@ struct CellularConfig {
   /// Restrict a kAsyncPool pipeline to its coordinator thread (set by
   /// engines whose outer level owns the pool).
   bool async_coordinator_only = false;
+  /// objective_batch chunk size (0 = auto; see GaConfig::eval_batch).
+  int eval_batch = 0;
   Termination termination;
   std::uint64_t seed = 1;
 };

@@ -83,6 +83,11 @@ struct GaConfig {
   /// (parallel island steps, cluster ranks) set this on inner configs;
   /// leave false for single-population engines.
   bool async_coordinator_only = false;
+  /// objective_batch chunk size on every backend: 0 = auto (a lane-width
+  /// friendly block, currently 16), otherwise the exact block handed to
+  /// the batched decode kernels (1 = per-genome). Never changes any
+  /// objective — spec token `eval_batch=` (see solver.h).
+  int eval_batch = 0;
   FitnessTransform transform = FitnessTransform::kInverse;
   double reference_objective = 0.0;  ///< Fbar for FitnessTransform::kReference
   Termination termination;

@@ -1,5 +1,6 @@
 #include "src/ga/evaluator.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -10,6 +11,35 @@
 #include "src/par/omp_backend.h"
 
 namespace psga::ga {
+
+namespace {
+
+/// Auto value of the eval_batch knob: a lane-width-friendly block — big
+/// enough that the SoA decode kernels amortize their staging pass, small
+/// enough to stay in L1/L2 for typical instances.
+constexpr std::size_t kDefaultEvalBatch = 16;
+
+std::size_t resolve_eval_batch(int eval_batch) {
+  return eval_batch > 0 ? static_cast<std::size_t>(eval_batch)
+                        : kDefaultEvalBatch;
+}
+
+/// Hands `genomes` to objective_batch in blocks of at most `block`.
+/// Purity + per-genome independence make the split invisible in the
+/// results; it only sets how many lanes the batched kernels advance at
+/// once.
+void chunked_objective_batch(const Problem& problem,
+                             std::span<const Genome> genomes,
+                             std::span<double> out, Workspace& workspace,
+                             std::size_t block) {
+  for (std::size_t begin = 0; begin < genomes.size(); begin += block) {
+    const std::size_t len = std::min(block, genomes.size() - begin);
+    problem.objective_batch(genomes.subspan(begin, len),
+                            out.subspan(begin, len), workspace);
+  }
+}
+
+}  // namespace
 
 // --- async pipeline ----------------------------------------------------------
 //
@@ -35,8 +65,12 @@ class AsyncPipeline {
     std::vector<double*> miss_out;
   };
 
-  AsyncPipeline(ProblemPtr problem, par::ThreadPool* pool, bool use_pool)
-      : problem_(std::move(problem)), pool_(pool), use_pool_(use_pool) {
+  AsyncPipeline(ProblemPtr problem, par::ThreadPool* pool, bool use_pool,
+                std::size_t batch_size)
+      : problem_(std::move(problem)),
+        pool_(pool),
+        use_pool_(use_pool),
+        batch_size_(batch_size) {
     const int lanes = use_pool_ ? pool_->thread_count() : 1;
     workspaces_.reserve(static_cast<std::size_t>(lanes));
     for (int i = 0; i < lanes; ++i) {
@@ -118,21 +152,24 @@ class AsyncPipeline {
     decode_calls_.fetch_add(static_cast<long long>(genomes.size()),
                             std::memory_order_relaxed);
     if (!use_pool_) {
-      problem_->objective_batch(genomes, out, *workspaces_[0]);
+      chunked_objective_batch(*problem_, genomes, out, *workspaces_[0],
+                              batch_size_);
       return;
     }
     pool_->parallel_lanes(
         genomes.size(),
         [&](std::size_t lane, std::size_t begin, std::size_t end) {
-          problem_->objective_batch(genomes.subspan(begin, end - begin),
-                                    out.subspan(begin, end - begin),
-                                    *workspaces_[lane]);
+          chunked_objective_batch(*problem_,
+                                  genomes.subspan(begin, end - begin),
+                                  out.subspan(begin, end - begin),
+                                  *workspaces_[lane], batch_size_);
         });
   }
 
   ProblemPtr problem_;
   par::ThreadPool* pool_;
   bool use_pool_;
+  std::size_t batch_size_;
   std::vector<std::unique_ptr<Workspace>> workspaces_;
   EvalCachePtr cache_;
   std::vector<double> scratch_;
@@ -150,7 +187,8 @@ class AsyncPipeline {
 // --- evaluator ---------------------------------------------------------------
 
 Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
-                     par::ThreadPool* pool, bool async_coordinator_only)
+                     par::ThreadPool* pool, bool async_coordinator_only,
+                     int eval_batch)
     : problem_(std::move(problem)),
       backend_(backend),
       // Only the pool-carried backends need a pool; don't materialize the
@@ -160,7 +198,8 @@ Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
              (backend == EvalBackend::kAsyncPool && !async_coordinator_only)) &&
                     pool == nullptr
                 ? &par::default_pool()
-                : pool) {
+                : pool),
+      batch_size_(resolve_eval_batch(eval_batch)) {
   int lanes = 1;
   switch (backend_) {
     case EvalBackend::kSerial:
@@ -174,8 +213,8 @@ Evaluator::Evaluator(ProblemPtr problem, EvalBackend backend,
     case EvalBackend::kAsyncPool:
       // Lane 0 here serves evaluate_one; batch workspaces live inside the
       // pipeline, which owns the threads that use them.
-      pipeline_ = std::make_unique<AsyncPipeline>(problem_, pool_,
-                                                  !async_coordinator_only);
+      pipeline_ = std::make_unique<AsyncPipeline>(
+          problem_, pool_, !async_coordinator_only, batch_size_);
       break;
   }
   workspaces_.reserve(static_cast<std::size_t>(lanes));
@@ -194,14 +233,16 @@ void Evaluator::raw_evaluate(std::span<const Genome> genomes,
   switch (backend_) {
     case EvalBackend::kSerial:
     case EvalBackend::kAsyncPool:  // unreachable: async goes via submit()
-      problem_->objective_batch(genomes, objectives, workspace(0));
+      chunked_objective_batch(*problem_, genomes, objectives, workspace(0),
+                              batch_size_);
       return;
     case EvalBackend::kThreadPool:
       pool_->parallel_lanes(
           n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
-            problem_->objective_batch(genomes.subspan(begin, end - begin),
-                                      objectives.subspan(begin, end - begin),
-                                      workspace(lane));
+            chunked_objective_batch(*problem_,
+                                    genomes.subspan(begin, end - begin),
+                                    objectives.subspan(begin, end - begin),
+                                    workspace(lane), batch_size_);
           });
       return;
     case EvalBackend::kOpenMp: {
@@ -223,13 +264,15 @@ void Evaluator::raw_evaluate(std::span<const Genome> genomes,
         const std::size_t begin = lane * n / actual;
         const std::size_t end = (lane + 1) * n / actual;
         if (begin < end) {
-          problem_->objective_batch(genomes.subspan(begin, end - begin),
-                                    objectives.subspan(begin, end - begin),
-                                    workspace(lane));
+          chunked_objective_batch(*problem_,
+                                  genomes.subspan(begin, end - begin),
+                                  objectives.subspan(begin, end - begin),
+                                  workspace(lane), batch_size_);
         }
       }
 #else
-      problem_->objective_batch(genomes, objectives, workspace(0));
+      chunked_objective_batch(*problem_, genomes, objectives, workspace(0),
+                              batch_size_);
 #endif
       return;
     }

@@ -64,11 +64,18 @@ class Evaluator {
   /// restricts the async pipeline to its coordinator thread instead of
   /// fanning batches out on the pool — set by engines whose outer level
   /// already owns the pool (parallel island steps, cluster ranks), where
-  /// a nested fork-join would contend or deadlock.
+  /// a nested fork-join would contend or deadlock. `eval_batch` is the
+  /// chunk size handed to Problem::objective_batch on every backend:
+  /// 0 = auto (a lane-width-friendly default block), otherwise the exact
+  /// block size (1 degenerates to per-genome calls). Objectives are pure
+  /// and the chunk→genome mapping is deterministic, so the value never
+  /// changes any objective — only how many genomes each batched decode
+  /// kernel invocation sees.
   explicit Evaluator(ProblemPtr problem,
                      EvalBackend backend = EvalBackend::kSerial,
                      par::ThreadPool* pool = nullptr,
-                     bool async_coordinator_only = false);
+                     bool async_coordinator_only = false,
+                     int eval_batch = 0);
   ~Evaluator();
   Evaluator(Evaluator&&) noexcept;
   Evaluator& operator=(Evaluator&&) noexcept;
@@ -110,6 +117,9 @@ class Evaluator {
   long long decode_calls() const noexcept;
 
   EvalBackend backend() const noexcept { return backend_; }
+  /// Resolved objective_batch chunk size (the auto default when the
+  /// constructor was given 0).
+  int eval_batch() const noexcept { return static_cast<int>(batch_size_); }
   /// True when submit() actually pipelines (kAsyncPool).
   bool pipelined() const noexcept { return backend_ == EvalBackend::kAsyncPool; }
   const Problem& problem() const noexcept { return *problem_; }
@@ -132,6 +142,7 @@ class Evaluator {
   ProblemPtr problem_;
   EvalBackend backend_;
   par::ThreadPool* pool_;
+  std::size_t batch_size_;  ///< objective_batch chunk size (resolved)
   std::vector<std::unique_ptr<Workspace>> workspaces_;  // one per lane
   EvalCachePtr cache_;
   /// Present only on kAsyncPool; self-contained (own workspaces, own

@@ -14,6 +14,17 @@ std::vector<int> random_permutation(int n, par::Rng& rng) {
   return perm;
 }
 
+/// Argsort of `keys` written into out[0..keys.size()) — the slice form of
+/// keys_to_permutation used by the batched random-key decode, where all B
+/// permutations share one index workspace.
+void keys_to_permutation_into(std::span<const double> keys,
+                              std::span<int> out) {
+  std::iota(out.begin(), out.end(), 0);
+  std::stable_sort(out.begin(), out.end(), [&](int a, int b) {
+    return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+  });
+}
+
 }  // namespace
 
 void keys_to_permutation(std::span<const double> keys, std::vector<int>& out) {
@@ -75,8 +86,23 @@ double FlowShopProblem::objective(const Genome& genome) const {
 }
 
 double FlowShopProblem::objective_with(const Genome& genome,
-                                       sched::FlowShopScratch& scratch) const {
-  return sched::flow_shop_objective(inst_, genome.seq, criterion_, scratch);
+                                       FlowShopEvalScratch& scratch) const {
+  return sched::flow_shop_objective(inst_, genome.seq, criterion_, scratch.fs);
+}
+
+void FlowShopProblem::objective_batch(std::span<const Genome> genomes,
+                                      std::span<double> objectives,
+                                      Workspace& workspace) const {
+  auto* s = detail::scratch_of<FlowShopEvalScratch>(workspace);
+  if (s == nullptr) {
+    WorkspaceProblem::objective_batch(genomes, objectives, workspace);
+    return;
+  }
+  s->lanes.clear();
+  s->lanes.reserve(genomes.size());
+  for (const Genome& g : genomes) s->lanes.emplace_back(g.seq);
+  sched::flow_shop_objective_batch(inst_, s->lanes, criterion_, objectives,
+                                   s->batch);
 }
 
 // --- RandomKeyFlowShopProblem ----------------------------------------------
@@ -109,6 +135,34 @@ double RandomKeyFlowShopProblem::objective_with(
   keys_to_permutation(genome.keys, scratch.perm);
   return sched::flow_shop_objective(inst_, scratch.perm, criterion_,
                                     scratch.fs);
+}
+
+void RandomKeyFlowShopProblem::objective_batch(std::span<const Genome> genomes,
+                                               std::span<double> objectives,
+                                               Workspace& workspace) const {
+  auto* s = detail::scratch_of<RandomKeyFlowScratch>(workspace);
+  if (s == nullptr) {
+    WorkspaceProblem::objective_batch(genomes, objectives, workspace);
+    return;
+  }
+  // Batched argsort: every lane's decoded permutation lands in one shared
+  // index workspace, then the SoA kernel advances all lanes at once. Slots
+  // are sized by each genome's key count so a malformed genome reaches the
+  // kernel's length check instead of reading out of bounds here.
+  std::size_t total = 0;
+  for (const Genome& g : genomes) total += g.keys.size();
+  s->perm_storage.resize(total);
+  s->lanes.clear();
+  s->lanes.reserve(genomes.size());
+  std::size_t offset = 0;
+  for (const Genome& g : genomes) {
+    const std::span<int> slot(s->perm_storage.data() + offset, g.keys.size());
+    keys_to_permutation_into(g.keys, slot);
+    s->lanes.emplace_back(slot);
+    offset += g.keys.size();
+  }
+  sched::flow_shop_objective_batch(inst_, s->lanes, criterion_, objectives,
+                                   s->batch);
 }
 
 // --- JobShopProblem ---------------------------------------------------------
@@ -145,12 +199,30 @@ double JobShopProblem::objective(const Genome& genome) const {
 }
 
 double JobShopProblem::objective_with(const Genome& genome,
-                                      sched::JobShopScratch& scratch) const {
+                                      JobShopEvalScratch& scratch) const {
   const sched::Schedule& schedule =
       decoder_ == Decoder::kGifflerThompson
-          ? sched::giffler_thompson_sequence(inst_, genome.seq, scratch)
-          : sched::decode_operation_based(inst_, genome.seq, scratch);
-  return sched::job_shop_objective(inst_, schedule, criterion_, scratch);
+          ? sched::giffler_thompson_sequence(inst_, genome.seq, scratch.js)
+          : sched::decode_operation_based(inst_, genome.seq, scratch.js);
+  return sched::job_shop_objective(inst_, schedule, criterion_, scratch.js);
+}
+
+void JobShopProblem::objective_batch(std::span<const Genome> genomes,
+                                     std::span<double> objectives,
+                                     Workspace& workspace) const {
+  auto* s = detail::scratch_of<JobShopEvalScratch>(workspace);
+  if (s == nullptr) {
+    WorkspaceProblem::objective_batch(genomes, objectives, workspace);
+    return;
+  }
+  s->lanes.clear();
+  s->lanes.reserve(genomes.size());
+  for (const Genome& g : genomes) s->lanes.emplace_back(g.seq);
+  const auto decoder = decoder_ == Decoder::kGifflerThompson
+                           ? sched::JobShopBatchDecoder::kActive
+                           : sched::JobShopBatchDecoder::kSemiActive;
+  sched::job_shop_objective_batch(inst_, s->lanes, decoder, criterion_,
+                                  objectives, s->batch);
 }
 
 // --- OpenShopProblem ---------------------------------------------------------
@@ -308,6 +380,12 @@ double FuzzyFlowShopProblem::agreement(const Genome& genome) const {
 
 double FuzzyFlowShopProblem::objective(const Genome& genome) const {
   return 1.0 - agreement(genome);
+}
+
+double FuzzyFlowShopProblem::objective_with(const Genome& genome,
+                                            FuzzyFlowScratch& scratch) const {
+  keys_to_permutation(genome.keys, scratch.perm);
+  return 1.0 - sched::mean_agreement(inst_, scratch.perm, scratch.fz);
 }
 
 // --- StochasticJobShopProblem ----------------------------------------------------

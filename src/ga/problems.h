@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/ga/problem.h"
+#include "src/sched/batch_decode.h"
 #include "src/sched/dynamic.h"
 #include "src/sched/energy.h"
 #include "src/sched/flexible_job_shop.h"
@@ -83,9 +84,17 @@ class WorkspaceProblem : public Problem {
   }
 };
 
+/// Flow-shop evaluation scratch: the scalar buffers plus the SoA batch
+/// scratch and the per-batch lane views handed to the batch kernel.
+struct FlowShopEvalScratch {
+  sched::FlowShopScratch fs;
+  sched::FlowShopBatchScratch batch;
+  std::vector<std::span<const int>> lanes;
+};
+
 /// Permutation flow shop under any single criterion.
 class FlowShopProblem final
-    : public WorkspaceProblem<FlowShopProblem, sched::FlowShopScratch> {
+    : public WorkspaceProblem<FlowShopProblem, FlowShopEvalScratch> {
  public:
   FlowShopProblem(sched::FlowShopInstance inst,
                   sched::Criterion criterion = sched::Criterion::kMakespan);
@@ -95,7 +104,10 @@ class FlowShopProblem final
   using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
   double objective_with(const Genome& genome,
-                        sched::FlowShopScratch& scratch) const;
+                        FlowShopEvalScratch& scratch) const;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::FlowShopInstance& instance() const { return inst_; }
 
@@ -105,10 +117,16 @@ class FlowShopProblem final
   GenomeTraits traits_;
 };
 
-/// Random-key scratch: the decoded permutation plus the flow-shop buffers.
+/// Random-key scratch: the decoded permutation plus the flow-shop buffers
+/// and the shared batch workspaces (perm_storage holds all B decoded
+/// permutations of a batch back to back — the shared index workspace the
+/// batched argsort writes into).
 struct RandomKeyFlowScratch {
   std::vector<int> perm;
   sched::FlowShopScratch fs;
+  std::vector<int> perm_storage;
+  std::vector<std::span<const int>> lanes;
+  sched::FlowShopBatchScratch batch;
 };
 
 /// Flow shop on random keys (Bean-style: permutation = argsort(keys)),
@@ -126,6 +144,9 @@ class RandomKeyFlowShopProblem final
   double objective(const Genome& genome) const override;
   double objective_with(const Genome& genome,
                         RandomKeyFlowScratch& scratch) const;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   /// The decoded permutation (exposed for inspection).
   std::vector<int> decode(const Genome& genome) const;
@@ -136,10 +157,18 @@ class RandomKeyFlowShopProblem final
   GenomeTraits traits_;
 };
 
+/// Job-shop evaluation scratch: the scalar decode buffers plus the shared
+/// batch frontiers and per-batch lane views.
+struct JobShopEvalScratch {
+  sched::JobShopScratch js;
+  sched::JobShopBatchScratch batch;
+  std::vector<std::span<const int>> lanes;
+};
+
 /// Job shop with either the semi-active operation-based decoder or the
 /// Giffler–Thompson active decoder.
 class JobShopProblem final
-    : public WorkspaceProblem<JobShopProblem, sched::JobShopScratch> {
+    : public WorkspaceProblem<JobShopProblem, JobShopEvalScratch> {
  public:
   enum class Decoder { kOperationBased, kGifflerThompson };
 
@@ -152,7 +181,10 @@ class JobShopProblem final
   using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
   double objective_with(const Genome& genome,
-                        sched::JobShopScratch& scratch) const;
+                        JobShopEvalScratch& scratch) const;
+  void objective_batch(std::span<const Genome> genomes,
+                       std::span<double> objectives,
+                       Workspace& workspace) const override;
 
   const sched::JobShopInstance& instance() const { return inst_; }
   sched::Schedule decode(const Genome& genome) const;
@@ -265,16 +297,26 @@ class LotStreamingProblem final
   GenomeTraits traits_;
 };
 
+/// Fuzzy flow-shop scratch: the decoded permutation plus the fuzzy
+/// recurrence buffers (reused across every genome of a batch).
+struct FuzzyFlowScratch {
+  std::vector<int> perm;
+  sched::FuzzyFlowShopScratch fz;
+};
+
 /// Fuzzy flow shop on random keys (Huang et al. [24]): minimize
 /// 1 - mean agreement index between fuzzy completion times and fuzzy due
 /// dates (i.e. maximize agreement).
-class FuzzyFlowShopProblem final : public Problem {
+class FuzzyFlowShopProblem final
+    : public WorkspaceProblem<FuzzyFlowShopProblem, FuzzyFlowScratch> {
  public:
   explicit FuzzyFlowShopProblem(sched::FuzzyFlowShopInstance inst);
 
   const GenomeTraits& traits() const override { return traits_; }
   Genome random_genome(par::Rng& rng) const override;
+  using WorkspaceProblem::objective;
   double objective(const Genome& genome) const override;
+  double objective_with(const Genome& genome, FuzzyFlowScratch& scratch) const;
 
   /// Mean agreement index of a genome (the maximized quantity).
   double agreement(const Genome& genome) const;

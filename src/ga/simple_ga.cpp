@@ -46,7 +46,7 @@ SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config, par::ThreadPool* pool)
       config_(std::move(config)),
       rng_(config_.seed),
       evaluator_(problem_, config_.eval_backend, pool,
-                 config_.async_coordinator_only) {
+                 config_.async_coordinator_only, config_.eval_batch) {
   if (!config_.ops.selection || !config_.ops.crossover || !config_.ops.mutation) {
     OperatorConfig defaults = default_operators(*problem_);
     if (!config_.ops.selection) config_.ops.selection = defaults.selection;

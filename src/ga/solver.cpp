@@ -131,6 +131,14 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       spec.eval = parse_eval(value, token);
     } else if (key == "eval_cache") {
       spec.eval_cache = parse_eval_cache(value, token);
+    } else if (key == "eval_batch") {
+      if (value == "auto") {
+        spec.eval_batch = 0;
+      } else {
+        const int batch = parse_int(value, token);
+        if (batch < 1) bad_token(token, "eval batch must be auto or >= 1");
+        spec.eval_batch = batch;
+      }
     } else if (key == "sel") {
       spec.selection = value;
     } else if (key == "xover") {
@@ -254,6 +262,14 @@ std::string SolverSpec::to_string() const {
   put("seed", seed);
   if (eval) out << " eval=" << eval_name(*eval);
   if (eval_cache) out << " eval_cache=" << eval_cache_value(*eval_cache);
+  if (eval_batch) {
+    out << " eval_batch=";
+    if (*eval_batch == 0) {
+      out << "auto";
+    } else {
+      out << *eval_batch;
+    }
+  }
   put("sel", selection);
   put("xover", crossover);
   put("mut", mutation);
@@ -289,6 +305,7 @@ GaConfig base_config(const SolverSpec& spec) {
   if (spec.seed) cfg.seed = *spec.seed;
   if (spec.eval) cfg.eval_backend = *spec.eval;
   if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
+  if (spec.eval_batch) cfg.eval_batch = *spec.eval_batch;
   if (spec.selection) cfg.ops.selection = make_selection(*spec.selection);
   if (spec.crossover) cfg.ops.crossover = make_crossover(*spec.crossover);
   if (spec.mutation) cfg.ops.mutation = make_mutation(*spec.mutation);
@@ -322,6 +339,7 @@ CellularConfig cellular_config(const SolverSpec& spec) {
   if (spec.mutation_rate) cell.mutation_rate = *spec.mutation_rate;
   if (spec.eval) cell.eval_backend = *spec.eval;
   if (spec.eval_cache) cell.eval_cache = *spec.eval_cache;
+  if (spec.eval_batch) cell.eval_batch = *spec.eval_batch;
   if (spec.seed) cell.seed = *spec.seed;
   return cell;
 }
@@ -386,6 +404,7 @@ std::map<std::string, EngineEntry>& registry() {
                         }
                         if (spec.eval) cfg.eval_backend = *spec.eval;
                         if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
+                        if (spec.eval_batch) cfg.eval_batch = *spec.eval_batch;
                         if (spec.seed) cfg.seed = *spec.seed;
                         return make_engine(std::move(problem), std::move(cfg),
                                            pool);

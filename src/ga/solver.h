@@ -23,6 +23,7 @@
 //   engine=memetic pop=60 interval=5 refine=2 budget=150
 //   engine=cluster ranks=6 interval=5 broadcast=25
 //   engine=island eval_backend=async_pool eval_cache=lru:65536
+//   engine=island eval=async_pool eval_cache=lru:65536 eval_batch=16
 #pragma once
 
 #include <functional>
@@ -58,6 +59,10 @@ struct SolverSpec {
   /// eval_cache=off|unbounded|lru:<capacity> — both cached modes accept
   /// an optional trailing :<shards> (e.g. lru:65536:16)
   std::optional<EvalCacheConfig> eval_cache;
+  /// eval_batch=auto|<N> — objective_batch chunk size on every backend
+  /// (auto = 0 = the evaluator's lane-width-friendly default). Purely a
+  /// throughput knob: it never changes any objective or trace.
+  std::optional<int> eval_batch;
   std::optional<std::string> selection;  ///< sel= (make_selection names)
   std::optional<std::string> crossover;  ///< xover= (make_crossover names)
   std::optional<std::string> mutation;   ///< mut= (make_mutation names)

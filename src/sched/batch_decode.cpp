@@ -1,0 +1,411 @@
+#include "src/sched/batch_decode.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace psga::sched {
+
+namespace {
+
+/// Shared length check for every batch kernel (and mirrored by the scalar
+/// entry points in flow_shop.cpp): a lane with the wrong gene count would
+/// silently read out of bounds, so reject the whole batch loudly.
+void check_lane_length(std::size_t got, int expected, const char* what) {
+  if (got != static_cast<std::size_t>(expected)) {
+    throw std::invalid_argument(std::string(what) + " length " +
+                                std::to_string(got) + " != expected " +
+                                std::to_string(expected));
+  }
+}
+
+void pack_flow_shop(const FlowShopInstance& inst,
+                    FlowShopBatchScratch& scratch) {
+  if (scratch.packed_instance == &inst) return;
+  const auto jobs = static_cast<std::size_t>(inst.jobs);
+  const auto machines = static_cast<std::size_t>(inst.machines);
+  scratch.mproc.resize(jobs * machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    const auto& row = inst.proc[m];
+    for (std::size_t j = 0; j < jobs; ++j) {
+      scratch.mproc[m * jobs + j] = row[j];
+    }
+  }
+  scratch.release.resize(jobs);
+  for (int j = 0; j < inst.jobs; ++j) {
+    scratch.release[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  // Narrow eligibility: with everything non-negative, no completion time
+  // can exceed max release + total processing (a job never waits past the
+  // moment every other operation has finished), so when that bound fits
+  // int32 the narrow recurrence cannot overflow and is exact.
+  Time total = 0;
+  Time max_release = 0;
+  bool non_negative = true;
+  for (Time t : scratch.mproc) {
+    total += t;
+    non_negative = non_negative && t >= 0;
+  }
+  for (Time r : scratch.release) {
+    max_release = std::max(max_release, r);
+    non_negative = non_negative && r >= 0;
+  }
+  scratch.narrow =
+      non_negative &&
+      total <= std::numeric_limits<std::int32_t>::max() - max_release;
+  if (scratch.narrow) {
+    scratch.mproc32.assign(scratch.mproc.begin(), scratch.mproc.end());
+    scratch.release32.assign(scratch.release.begin(), scratch.release.end());
+  }
+  scratch.packed_instance = &inst;
+}
+
+/// Lanes advanced per SIMD block. A compile-time width keeps every inner
+/// loop's trip count constant, so the recurrence compiles to
+/// straight-line SIMD with no runtime prologue/alias versioning per
+/// machine step (which dominated a variable-width variant of this
+/// kernel).
+constexpr std::size_t kLaneBlock = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PSGA_BATCH_SIMD 1
+/// Four int32 lanes — one SSE2 register. GCC/Clang lower the vector
+/// ternary below to pmaxsd (SSE4.1+) or pcmpgtd/pand/por (baseline
+/// SSE2); either way the max never becomes the per-lane cmov chain the
+/// autovectorizer's SLP pass falls back to on the unrolled scalar loop.
+using v4s32 [[gnu::vector_size(16), gnu::aligned(4)]] = std::int32_t;
+#endif
+
+/// Advances one permutation position through every machine for a lane
+/// block: front[m][w] = max(chain[w], front[m][w]) + mproc[m][jobrow[w]],
+/// where chain[w] is the job's completion on the previous machine
+/// (rel[w] before machine 0). The chain is carried in registers across
+/// the machine loop — one front load, one store, and one block-wide
+/// duration gather per machine step. On the narrow path the gathered
+/// durations are built straight into vector registers (no stack staging
+/// row — a store followed by a wider vector reload would defeat
+/// store-to-load forwarding). The wide path keeps the plain loop: int64
+/// max has no packed form below AVX-512, so scalar cmov is already the
+/// best available.
+template <typename T>
+inline void advance_position(T* const __restrict front, const T* const mproc,
+                             std::size_t jobs, std::size_t machines,
+                             const std::size_t* const jobrow,
+                             const T* const rel) {
+#if PSGA_BATCH_SIMD
+  if constexpr (std::is_same_v<T, std::int32_t>) {
+    static_assert(kLaneBlock == 8);
+    v4s32 a0;
+    v4s32 a1;
+    std::memcpy(&a0, rel, sizeof(a0));
+    std::memcpy(&a1, rel + 4, sizeof(a1));
+    for (std::size_t m = 0; m < machines; ++m) {
+      const T* const mrow = mproc + m * jobs;
+      const v4s32 d0 = {mrow[jobrow[0]], mrow[jobrow[1]], mrow[jobrow[2]],
+                        mrow[jobrow[3]]};
+      const v4s32 d1 = {mrow[jobrow[4]], mrow[jobrow[5]], mrow[jobrow[6]],
+                        mrow[jobrow[7]]};
+      T* const row = front + m * kLaneBlock;
+      v4s32 b0;
+      v4s32 b1;
+      std::memcpy(&b0, row, sizeof(b0));
+      std::memcpy(&b1, row + 4, sizeof(b1));
+      a0 = ((a0 > b0) ? a0 : b0) + d0;
+      a1 = ((a1 > b1) ? a1 : b1) + d1;
+      std::memcpy(row, &a0, sizeof(a0));
+      std::memcpy(row + 4, &a1, sizeof(a1));
+    }
+    return;
+  }
+#endif
+  T chain[kLaneBlock];
+  std::memcpy(chain, rel, sizeof(chain));
+  for (std::size_t m = 0; m < machines; ++m) {
+    const T* const mrow = mproc + m * jobs;
+    T* const row = front + m * kLaneBlock;
+    for (std::size_t w = 0; w < kLaneBlock; ++w) {
+      const T v = std::max(chain[w], row[w]) + mrow[jobrow[w]];
+      row[w] = v;
+      chain[w] = v;
+    }
+  }
+}
+
+/// Advances all lanes through the flow-shop recurrence over working rows
+/// of width T (int32 on the narrow path, Time otherwise — identical
+/// arithmetic when narrow, see FlowShopBatchScratch::narrow). Lanes run
+/// in blocks of kLaneBlock; a short tail block is padded with copies of
+/// its first live lane whose results are simply not written back. When
+/// Completion is false fills out[l] with the last-machine completion;
+/// when true records per-job completion times into
+/// `completion[lane * jobs + job]` (always as Time).
+///
+/// Per position the only gathers are kLaneBlock duration loads per
+/// machine, pulled straight out of the machine-major matrix into a small
+/// stack row that feeds row_step — front rows stay unit-stride and the
+/// recurrence is max + add only. front[m][w] after a position's pass is
+/// the completion of lane base+w's job on machine m — identical
+/// arithmetic to the scalar `prev` chain (the reordering only changes
+/// evaluation order of an exact integer DAG, never any value).
+template <bool Completion, typename T>
+void flow_shop_advance_rows(std::span<const std::span<const int>> perms,
+                            std::size_t jobs, std::size_t machines,
+                            const T* const mproc, const T* const release,
+                            std::vector<T>& front_v, Time* const out,
+                            Time* const completion) {
+  const std::size_t lanes = perms.size();
+  front_v.resize(machines * kLaneBlock);
+  T* const front = front_v.data();
+
+  for (std::size_t base = 0; base < lanes; base += kLaneBlock) {
+    const std::size_t live = std::min(kLaneBlock, lanes - base);
+    const int* perm_ptr[kLaneBlock];
+    for (std::size_t w = 0; w < kLaneBlock; ++w) {
+      perm_ptr[w] = perms[base + (w < live ? w : 0)].data();
+    }
+    std::fill(front, front + machines * kLaneBlock, T{0});
+
+    for (std::size_t p = 0; p < jobs; ++p) {
+      std::size_t jobrow[kLaneBlock];
+      T rel[kLaneBlock];
+      for (std::size_t w = 0; w < kLaneBlock; ++w) {
+        jobrow[w] = static_cast<std::size_t>(perm_ptr[w][p]);
+        rel[w] = release[jobrow[w]];
+      }
+      advance_position(front, mproc, jobs, machines, jobrow, rel);
+      if constexpr (Completion) {
+        for (std::size_t w = 0; w < live; ++w) {
+          // With no machines the job "completes" at its release time,
+          // matching the scalar recurrence's untouched `prev`.
+          completion[(base + w) * jobs + jobrow[w]] = static_cast<Time>(
+              machines > 0 ? front[(machines - 1) * kLaneBlock + w]
+                           : rel[w]);
+        }
+      }
+    }
+    if constexpr (!Completion) {
+      for (std::size_t w = 0; w < live; ++w) {
+        out[base + w] =
+            machines > 0
+                ? static_cast<Time>(front[(machines - 1) * kLaneBlock + w])
+                : 0;
+      }
+    }
+  }
+}
+
+/// Packs, validates, and runs the recurrence at the width the instance
+/// admits. Fills `out` (lanes' last-machine completions) when Completion
+/// is false, scratch.completion when true.
+template <bool Completion>
+void flow_shop_advance(const FlowShopInstance& inst,
+                       std::span<const std::span<const int>> perms,
+                       FlowShopBatchScratch& scratch, Time* const out) {
+  pack_flow_shop(inst, scratch);
+  for (const auto& perm : perms) {
+    check_lane_length(perm.size(), inst.jobs, "flow-shop permutation");
+  }
+  const auto machines = static_cast<std::size_t>(inst.machines);
+  const auto jobs = static_cast<std::size_t>(inst.jobs);
+  if constexpr (Completion) {
+    scratch.completion.assign(perms.size() * jobs, 0);
+  }
+  if (scratch.narrow) {
+    flow_shop_advance_rows<Completion, std::int32_t>(
+        perms, jobs, machines, scratch.mproc32.data(),
+        scratch.release32.data(), scratch.front32, out,
+        scratch.completion.data());
+  } else {
+    flow_shop_advance_rows<Completion, Time>(
+        perms, jobs, machines, scratch.mproc.data(), scratch.release.data(),
+        scratch.front, out, scratch.completion.data());
+  }
+}
+
+void pack_job_shop(const JobShopInstance& inst, JobShopBatchScratch& scratch) {
+  if (scratch.packed_instance == &inst) return;
+  const auto jobs = static_cast<std::size_t>(inst.jobs);
+  scratch.job_offset.resize(jobs + 1);
+  scratch.job_offset[0] = 0;
+  scratch.op_machine.clear();
+  scratch.op_duration.clear();
+  for (int j = 0; j < inst.jobs; ++j) {
+    for (const auto& op : inst.ops[static_cast<std::size_t>(j)]) {
+      scratch.op_machine.push_back(op.machine);
+      scratch.op_duration.push_back(op.duration);
+    }
+    scratch.job_offset[static_cast<std::size_t>(j) + 1] =
+        static_cast<int>(scratch.op_machine.size());
+  }
+  scratch.release.resize(jobs);
+  for (int j = 0; j < inst.jobs; ++j) {
+    scratch.release[static_cast<std::size_t>(j)] = inst.attrs.release_of(j);
+  }
+  scratch.packed_instance = &inst;
+}
+
+}  // namespace
+
+void flow_shop_makespan_batch(const FlowShopInstance& inst,
+                              std::span<const std::span<const int>> perms,
+                              std::span<Time> out,
+                              FlowShopBatchScratch& scratch) {
+  flow_shop_advance<false>(inst, perms, scratch, out.data());
+}
+
+void flow_shop_objective_batch(const FlowShopInstance& inst,
+                               std::span<const std::span<const int>> perms,
+                               Criterion criterion, std::span<double> out,
+                               FlowShopBatchScratch& scratch) {
+  const std::size_t lanes = perms.size();
+  if (criterion == Criterion::kMakespan) {
+    scratch.makespans.resize(lanes);
+    flow_shop_advance<false>(inst, perms, scratch, scratch.makespans.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[l] = static_cast<double>(scratch.makespans[l]);
+    }
+    return;
+  }
+  flow_shop_advance<true>(inst, perms, scratch, nullptr);
+  const auto jobs = static_cast<std::size_t>(inst.jobs);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    out[l] = evaluate_criterion(
+        criterion,
+        std::span<const Time>(scratch.completion.data() + l * jobs, jobs),
+        inst.attrs);
+  }
+}
+
+void job_shop_objective_batch(const JobShopInstance& inst,
+                              std::span<const std::span<const int>> seqs,
+                              JobShopBatchDecoder decoder, Criterion criterion,
+                              std::span<double> out,
+                              JobShopBatchScratch& scratch, double incumbent) {
+  pack_job_shop(inst, scratch);
+  const int total = inst.total_ops();
+  for (const auto& seq : seqs) {
+    check_lane_length(seq.size(), total, "job-shop operation sequence");
+  }
+  const auto jobs = static_cast<std::size_t>(inst.jobs);
+  const auto machines = static_cast<std::size_t>(inst.machines);
+  // The early exit is only sound for makespan-like monotone criteria: the
+  // running horizon never decreases, so horizon >= incumbent proves the
+  // final makespan is too. Criteria mixing due dates/weights are not
+  // monotone in the horizon, so the incumbent is ignored for them.
+  const bool may_prune =
+      criterion == Criterion::kMakespan && incumbent < kNoIncumbent;
+
+  const int* const job_offset = scratch.job_offset.data();
+  const int* const op_machine = scratch.op_machine.data();
+  const Time* const op_duration = scratch.op_duration.data();
+
+  for (std::size_t lane = 0; lane < seqs.size(); ++lane) {
+    const std::span<const int> seq = seqs[lane];
+    scratch.next_op.assign(jobs, 0);
+    scratch.job_free.assign(scratch.release.begin(), scratch.release.end());
+    scratch.machine_free.assign(machines, 0);
+    scratch.completion.assign(jobs, 0);
+    int* const next_op = scratch.next_op.data();
+    Time* const job_free = scratch.job_free.data();
+    Time* const machine_free = scratch.machine_free.data();
+    Time* const completion = scratch.completion.data();
+
+    Time horizon = 0;
+    bool pruned = false;
+
+    if (decoder == JobShopBatchDecoder::kSemiActive) {
+      // Mirrors decode_operation_based without materializing ScheduledOps.
+      for (int gene : seq) {
+        const auto j = static_cast<std::size_t>(gene);
+        const int flat = job_offset[j] + next_op[j]++;
+        const auto m = static_cast<std::size_t>(op_machine[flat]);
+        const Time start = std::max(job_free[j], machine_free[m]);
+        const Time end = start + op_duration[flat];
+        job_free[j] = end;
+        machine_free[m] = end;
+        completion[j] = end;
+        horizon = std::max(horizon, end);
+        if (may_prune && static_cast<double>(horizon) >= incumbent) {
+          pruned = true;
+          break;
+        }
+      }
+    } else {
+      // Mirrors giffler_thompson_sequence: same conflict-machine scan,
+      // same strict comparisons, same job-id iteration order.
+      auto& positions = scratch.positions;
+      positions.resize(jobs);
+      for (auto& p : positions) p.clear();
+      for (int pos = 0; pos < static_cast<int>(seq.size()); ++pos) {
+        positions[static_cast<std::size_t>(seq[static_cast<std::size_t>(pos)])]
+            .push_back(pos);
+      }
+      for (int scheduled = 0; scheduled < total; ++scheduled) {
+        Time best_completion = std::numeric_limits<Time>::max();
+        int conflict_machine = -1;
+        for (int j = 0; j < inst.jobs; ++j) {
+          const auto js = static_cast<std::size_t>(j);
+          const int k = next_op[js];
+          if (job_offset[j] + k >= job_offset[j + 1]) continue;
+          const int flat = job_offset[j] + k;
+          const Time start = std::max(
+              job_free[js],
+              machine_free[static_cast<std::size_t>(op_machine[flat])]);
+          const Time op_completion = start + op_duration[flat];
+          if (op_completion < best_completion) {
+            best_completion = op_completion;
+            conflict_machine = op_machine[flat];
+          }
+        }
+        scratch.conflict_jobs.clear();
+        for (int j = 0; j < inst.jobs; ++j) {
+          const auto js = static_cast<std::size_t>(j);
+          const int k = next_op[js];
+          if (job_offset[j] + k >= job_offset[j + 1]) continue;
+          const int flat = job_offset[j] + k;
+          if (op_machine[flat] != conflict_machine) continue;
+          const Time start = std::max(
+              job_free[js],
+              machine_free[static_cast<std::size_t>(conflict_machine)]);
+          if (start < best_completion) scratch.conflict_jobs.push_back(j);
+        }
+        int winner = scratch.conflict_jobs.front();
+        int best_pos = std::numeric_limits<int>::max();
+        for (int j : scratch.conflict_jobs) {
+          const auto js = static_cast<std::size_t>(j);
+          const int pos = positions[js][static_cast<std::size_t>(next_op[js])];
+          if (pos < best_pos) {
+            best_pos = pos;
+            winner = j;
+          }
+        }
+        const auto ws = static_cast<std::size_t>(winner);
+        const int flat = job_offset[winner] + next_op[ws]++;
+        const auto m = static_cast<std::size_t>(op_machine[flat]);
+        const Time start = std::max(job_free[ws], machine_free[m]);
+        const Time end = start + op_duration[flat];
+        job_free[ws] = end;
+        machine_free[m] = end;
+        completion[ws] = end;
+        horizon = std::max(horizon, end);
+        if (may_prune && static_cast<double>(horizon) >= incumbent) {
+          pruned = true;
+          break;
+        }
+      }
+    }
+
+    if (pruned) {
+      // Lower bound: the partial horizon already proves the lane cannot
+      // beat the incumbent.
+      out[lane] = static_cast<double>(horizon);
+    } else {
+      out[lane] = evaluate_criterion(
+          criterion, std::span<const Time>(completion, jobs), inst.attrs);
+    }
+  }
+}
+
+}  // namespace psga::sched

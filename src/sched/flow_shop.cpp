@@ -2,9 +2,40 @@
 
 #include <algorithm>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace psga::sched {
+
+namespace {
+
+void check_full_permutation(const FlowShopInstance& inst,
+                            std::span<const int> perm) {
+  if (perm.size() != static_cast<std::size_t>(inst.jobs)) {
+    throw std::invalid_argument("flow-shop permutation length " +
+                                std::to_string(perm.size()) + " != jobs " +
+                                std::to_string(inst.jobs));
+  }
+}
+
+Time makespan_of_prefix(const FlowShopInstance& inst, std::span<const int> perm,
+                        FlowShopScratch& scratch) {
+  // ready[m] = completion time of the previous permutation job on machine m.
+  std::vector<Time>& ready = scratch.ready;
+  ready.assign(static_cast<std::size_t>(inst.machines), 0);
+  for (int job : perm) {
+    Time prev = inst.attrs.release_of(job);
+    for (int m = 0; m < inst.machines; ++m) {
+      const Time start = std::max(prev, ready[static_cast<std::size_t>(m)]);
+      prev = start + inst.processing(m, job);
+      ready[static_cast<std::size_t>(m)] = prev;
+    }
+  }
+  return ready.empty() ? 0 : ready.back();
+}
+
+}  // namespace
 
 Time FlowShopInstance::total_processing(int job) const {
   Time acc = 0;
@@ -38,18 +69,19 @@ ValidationSpec FlowShopInstance::validation_spec() const {
 
 Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm,
                         FlowShopScratch& scratch) {
-  // ready[m] = completion time of the previous permutation job on machine m.
-  std::vector<Time>& ready = scratch.ready;
-  ready.assign(static_cast<std::size_t>(inst.machines), 0);
-  for (int job : perm) {
-    Time prev = inst.attrs.release_of(job);
-    for (int m = 0; m < inst.machines; ++m) {
-      const Time start = std::max(prev, ready[static_cast<std::size_t>(m)]);
-      prev = start + inst.processing(m, job);
-      ready[static_cast<std::size_t>(m)] = prev;
-    }
+  check_full_permutation(inst, perm);
+  return makespan_of_prefix(inst, perm, scratch);
+}
+
+Time flow_shop_makespan_prefix(const FlowShopInstance& inst,
+                               std::span<const int> prefix,
+                               FlowShopScratch& scratch) {
+  if (prefix.size() > static_cast<std::size_t>(inst.jobs)) {
+    throw std::invalid_argument("flow-shop prefix length " +
+                                std::to_string(prefix.size()) + " > jobs " +
+                                std::to_string(inst.jobs));
   }
-  return ready.empty() ? 0 : ready.back();
+  return makespan_of_prefix(inst, prefix, scratch);
 }
 
 Time flow_shop_makespan(const FlowShopInstance& inst,
@@ -61,6 +93,7 @@ Time flow_shop_makespan(const FlowShopInstance& inst,
 const std::vector<Time>& flow_shop_completion_times(
     const FlowShopInstance& inst, std::span<const int> perm,
     FlowShopScratch& scratch) {
+  check_full_permutation(inst, perm);
   std::vector<Time>& ready = scratch.ready;
   std::vector<Time>& completion = scratch.completion;
   ready.assign(static_cast<std::size_t>(inst.machines), 0);
@@ -86,6 +119,7 @@ std::vector<Time> flow_shop_completion_times(const FlowShopInstance& inst,
 
 Schedule flow_shop_schedule(const FlowShopInstance& inst,
                             std::span<const int> perm) {
+  check_full_permutation(inst, perm);
   Schedule schedule;
   schedule.ops.reserve(static_cast<std::size_t>(inst.jobs) *
                        static_cast<std::size_t>(inst.machines));

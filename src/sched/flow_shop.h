@@ -35,11 +35,20 @@ struct FlowShopScratch {
 };
 
 /// Makespan of a job permutation — O(n·m) critical-path recurrence.
+/// Throws std::invalid_argument when perm.size() != inst.jobs (a short
+/// read here would silently score a partial schedule).
 Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm);
 
 /// Allocation-free variant for hot loops.
 Time flow_shop_makespan(const FlowShopInstance& inst, std::span<const int> perm,
                         FlowShopScratch& scratch);
+
+/// Makespan of a *partial* permutation (at most inst.jobs entries) — the
+/// escape hatch for constructive heuristics like NEH that legitimately
+/// evaluate growing prefixes. Throws when prefix.size() > inst.jobs.
+Time flow_shop_makespan_prefix(const FlowShopInstance& inst,
+                               std::span<const int> prefix,
+                               FlowShopScratch& scratch);
 
 /// Completion time of every job on the last machine (indexed by job id),
 /// for the weighted-completion / tardiness criteria.

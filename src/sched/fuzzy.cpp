@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace psga::sched {
 
@@ -39,10 +40,13 @@ double agreement_index(const TriFuzzy& completion, const FuzzyDueDate& due) {
   return std::clamp(acc / area, 0.0, 1.0);
 }
 
-std::vector<TriFuzzy> fuzzy_completion_times(const FuzzyFlowShopInstance& inst,
-                                             std::span<const int> perm) {
-  std::vector<TriFuzzy> ready(static_cast<std::size_t>(inst.machines));
-  std::vector<TriFuzzy> completion(static_cast<std::size_t>(inst.jobs));
+const std::vector<TriFuzzy>& fuzzy_completion_times(
+    const FuzzyFlowShopInstance& inst, std::span<const int> perm,
+    FuzzyFlowShopScratch& scratch) {
+  std::vector<TriFuzzy>& ready = scratch.ready;
+  std::vector<TriFuzzy>& completion = scratch.completion;
+  ready.assign(static_cast<std::size_t>(inst.machines), TriFuzzy{});
+  completion.assign(static_cast<std::size_t>(inst.jobs), TriFuzzy{});
   for (int job : perm) {
     TriFuzzy prev{};
     for (int m = 0; m < inst.machines; ++m) {
@@ -57,15 +61,29 @@ std::vector<TriFuzzy> fuzzy_completion_times(const FuzzyFlowShopInstance& inst,
   return completion;
 }
 
+std::vector<TriFuzzy> fuzzy_completion_times(const FuzzyFlowShopInstance& inst,
+                                             std::span<const int> perm) {
+  FuzzyFlowShopScratch scratch;
+  fuzzy_completion_times(inst, perm, scratch);
+  return std::move(scratch.completion);
+}
+
 double mean_agreement(const FuzzyFlowShopInstance& inst,
-                      std::span<const int> perm) {
-  const auto completion = fuzzy_completion_times(inst, perm);
+                      std::span<const int> perm,
+                      FuzzyFlowShopScratch& scratch) {
+  const auto& completion = fuzzy_completion_times(inst, perm, scratch);
   double acc = 0.0;
   for (int j = 0; j < inst.jobs; ++j) {
     acc += agreement_index(completion[static_cast<std::size_t>(j)],
                            inst.due[static_cast<std::size_t>(j)]);
   }
   return inst.jobs > 0 ? acc / inst.jobs : 0.0;
+}
+
+double mean_agreement(const FuzzyFlowShopInstance& inst,
+                      std::span<const int> perm) {
+  FuzzyFlowShopScratch scratch;
+  return mean_agreement(inst, perm, scratch);
 }
 
 FuzzyFlowShopInstance fuzzify(const std::vector<std::vector<Time>>& crisp_proc,

@@ -59,14 +59,31 @@ struct FuzzyFlowShopInstance {
   std::vector<FuzzyDueDate> due;
 };
 
+/// Reusable evaluation scratch: allocate once per worker, reuse for every
+/// genome (mirrors FlowShopScratch for the crisp recurrence).
+struct FuzzyFlowShopScratch {
+  std::vector<TriFuzzy> ready;       ///< per-machine fuzzy frontier
+  std::vector<TriFuzzy> completion;  ///< per-job fuzzy completion times
+};
+
 /// Fuzzy completion time of every job under a permutation (fuzzy critical
 /// path recurrence with component-wise max).
 std::vector<TriFuzzy> fuzzy_completion_times(const FuzzyFlowShopInstance& inst,
                                              std::span<const int> perm);
 
+/// Allocation-free variant: fills scratch.completion and returns it.
+const std::vector<TriFuzzy>& fuzzy_completion_times(
+    const FuzzyFlowShopInstance& inst, std::span<const int> perm,
+    FuzzyFlowShopScratch& scratch);
+
 /// Mean agreement index over jobs for a permutation (to MAXIMIZE).
 double mean_agreement(const FuzzyFlowShopInstance& inst,
                       std::span<const int> perm);
+
+/// Allocation-free variant for hot loops.
+double mean_agreement(const FuzzyFlowShopInstance& inst,
+                      std::span<const int> perm,
+                      FuzzyFlowShopScratch& scratch);
 
 /// Builds a fuzzy instance from crisp times: duration p becomes the
 /// triangle (p·(1-spread), p, p·(1+spread)); due dates get a ramp of width

@@ -16,13 +16,14 @@ std::vector<int> neh_permutation(const FlowShopInstance& inst) {
   std::vector<int> seq;
   seq.reserve(order.size());
   std::vector<int> trial;
+  FlowShopScratch scratch;
   for (int job : order) {
     std::size_t best_pos = 0;
     Time best_makespan = -1;
     for (std::size_t pos = 0; pos <= seq.size(); ++pos) {
       trial = seq;
       trial.insert(trial.begin() + static_cast<std::ptrdiff_t>(pos), job);
-      const Time makespan = flow_shop_makespan(inst, trial);
+      const Time makespan = flow_shop_makespan_prefix(inst, trial, scratch);
       if (best_makespan < 0 || makespan < best_makespan) {
         best_makespan = makespan;
         best_pos = pos;

@@ -2,10 +2,11 @@
 # Tier-1 verify + perf smoke for psga.
 #
 #   ./ci.sh            build, run the full ctest suite, rebuild the
-#                      cache/async/sweep determinism suites under
+#                      cache/async/sweep/service suites under
 #                      ASan/UBSan and run them, run a psga_sweep smoke
-#                      sweep (JSONL + summary validated), emit a fresh
-#                      bench JSON snapshot
+#                      sweep (JSONL + summary validated), run a psgad
+#                      service smoke (submit/watch/cancel/drain over a
+#                      temp socket), emit a fresh bench JSON snapshot
 #                      (bench_micro_decoders + bench_micro_cache merged),
 #                      diff it against the committed BENCH_micro.json
 #                      (per-bench deltas), then refresh the snapshot
@@ -81,6 +82,10 @@ families = set()
 with open(sys.argv[1]) as f:
     for line in f:
         record = json.loads(line)  # every line must parse
+        # Every record is stamped with the telemetry schema version
+        # (consumers key their parsers off it; see docs/sweeps.md).
+        version = record.get("schema_version")
+        assert version == 1, f"bad schema_version {version!r}: {line!r}"
         if record.get("event") == "cell":
             cells += 1
             ok += bool(record["ok"])
@@ -100,6 +105,67 @@ PYEOF
   rm -f "$SWEEP_JSONL" "$SWEEP_SUMMARY"
 else
   echo "psga_sweep or python3 missing; skipping sweep smoke"
+fi
+
+# Service smoke: the psgad/psgactl pair end to end (docs/service.md) —
+# start a daemon on a temp socket, submit a small flowshop job and watch
+# its telemetry stream (every line must parse and carry schema_version),
+# cancel a long-running job mid-flight, drain, and require the daemon to
+# exit 0 and unlink its socket.
+if [[ -x "$BUILD_DIR/psgad" && -x "$BUILD_DIR/psgactl" ]] \
+   && command -v python3 >/dev/null; then
+  SVC_SOCKET=$(mktemp -u /tmp/psgad_ci.XXXXXX.sock)
+  "$BUILD_DIR"/psgad --socket "$SVC_SOCKET" --workers 2 &
+  SVC_PID=$!
+  # The daemon binds before accepting; poll ping rather than sleeping.
+  for _ in $(seq 50); do
+    "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" ping >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" ping >/dev/null \
+    || { echo "ci.sh: psgad did not come up on $SVC_SOCKET"; exit 1; }
+
+  SVC_JOB=$("$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" submit \
+    'problem=flowshop instance=ta001 engine=island eval=async_pool seed=7' \
+    --generations 10)
+  SVC_WATCH=$(mktemp /tmp/psgad_ci_watch.XXXXXX.jsonl)
+  "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" watch "$SVC_JOB" > "$SVC_WATCH"
+  python3 - "$SVC_WATCH" <<'PYEOF'
+import json
+import sys
+
+lines = [json.loads(line) for line in open(sys.argv[1])]  # all must parse
+assert lines, "watch streamed no telemetry"
+for record in lines:
+    version = record.get("schema_version")
+    assert version == 1, f"bad schema_version {version!r}: {record!r}"
+assert lines[0]["event"] == "run_begin", lines[0]
+assert lines[-1]["event"] == "job_end" and lines[-1]["ok"], lines[-1]
+generations = sum(r.get("event") == "generation" for r in lines)
+assert generations >= 10, f"only {generations} generation records"
+print(f"ci.sh: watch streamed {len(lines)} telemetry lines "
+      f"(best={lines[-1]['best_objective']})")
+PYEOF
+  rm -f "$SVC_WATCH"
+
+  CANCEL_JOB=$("$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" submit \
+    'problem=flowshop instance=ta001 engine=simple pop=8 seed=1' \
+    --generations 50000000)
+  "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" cancel "$CANCEL_JOB" >/dev/null
+  CANCELLED=$("$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" wait "$CANCEL_JOB")
+  grep -q cancelled <<<"$CANCELLED" \
+    || { echo "ci.sh: cancel did not land: $CANCELLED"; exit 1; }
+
+  "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" drain >/dev/null
+  if ! wait "$SVC_PID"; then
+    echo "ci.sh: psgad exited non-zero after drain"; exit 1
+  fi
+  if [[ -e "$SVC_SOCKET" ]]; then
+    echo "ci.sh: psgad left its socket behind"; exit 1
+  fi
+  echo "ci.sh: service smoke OK (submit/watch/cancel/drain)"
+else
+  echo "psgad/psgactl or python3 missing; skipping service smoke"
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" && ! -x "$BUILD_DIR/bench_micro_decoders" ]]; then

@@ -3,11 +3,25 @@
 namespace psga::exp {
 
 void TelemetrySink::write(const Json& line) {
-  const std::string text = line.dump();
+  std::string text;
+  if (line.is_object() && line.find("schema_version") == nullptr) {
+    // schema_version leads every record so consumers can dispatch on it
+    // before touching any other field.
+    Json stamped = Json::object();
+    stamped.set("schema_version", Json::integer(kTelemetrySchemaVersion));
+    for (const Json::Member& member : line.members()) {
+      stamped.set(member.first, member.second);
+    }
+    text = stamped.dump();
+  } else {
+    text = line.dump();
+  }
   std::lock_guard lock(mutex_);
-  *out_ << text << '\n';
+  emit(text);
   ++lines_;
 }
+
+void TelemetrySink::emit(const std::string& text) { *out_ << text << '\n'; }
 
 long long TelemetrySink::lines() const {
   std::lock_guard lock(mutex_);

@@ -1,8 +1,10 @@
-// JSONL telemetry for sweeps: a thread-safe line sink plus the
-// RunObserver that streams per-generation / improvement / migration
-// events and final cell records.
+// JSONL telemetry for sweeps and the solver service: a thread-safe line
+// sink plus the RunObserver that streams per-generation / improvement /
+// migration events and final cell records.
 //
-// Schema (one JSON object per line, `event` discriminates):
+// Schema (one JSON object per line, `event` discriminates; every line
+// carries `schema_version` so the wire protocol and on-disk telemetry
+// can evolve compatibly):
 //
 //   sweep_begin  sweep, cells, configs, reps, seed, base, axes[],
 //                instances[]
@@ -15,6 +17,9 @@
 //                [, cache{hits,misses,inserts,evictions}]
 //                — or ok=false with `error` instead of the result fields
 //   sweep_end    sweep, ok, failed, seconds
+//
+// The solver service (src/svc) reuses the same record shapes with `job`
+// in place of `cell` and a final `job_end` record (docs/service.md).
 //
 // Cell seeds are full-range uint64 and render as exact JSON integers.
 // Lines from concurrent cells interleave, but each line is written
@@ -32,20 +37,37 @@
 
 namespace psga::exp {
 
-/// Thread-safe JSONL writer over a caller-owned stream.
+/// Version stamped into every telemetry line (and, via the service
+/// protocol, every wire message). Bump when a record's meaning changes
+/// incompatibly; consumers assert on it (ci.sh smoke validations do).
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// Thread-safe JSONL writer. The default transport appends to a
+/// caller-owned stream; subclasses override emit() to carry lines
+/// elsewhere (the service's socket-backed job sink in src/svc/server.cpp).
 class TelemetrySink {
  public:
   /// The stream is not owned and must outlive the sink.
   explicit TelemetrySink(std::ostream& out) : out_(&out) {}
+  virtual ~TelemetrySink() = default;
 
-  /// Serializes `line` and appends it (plus '\n') atomically.
+  /// Stamps `schema_version` onto object lines, serializes, and emits
+  /// the line atomically (one lock covers the count and the transport).
   void write(const Json& line);
 
   /// Lines written so far.
   long long lines() const;
 
+ protected:
+  /// For transport subclasses that do not write to a stream.
+  TelemetrySink() = default;
+
+  /// Delivers one serialized line (no trailing newline). Called under
+  /// the sink mutex — implementations need no further serialization.
+  virtual void emit(const std::string& text);
+
  private:
-  std::ostream* out_;
+  std::ostream* out_ = nullptr;
   mutable std::mutex mutex_;
   long long lines_ = 0;
 };

@@ -1,0 +1,68 @@
+// The psgad client library: one blocking connection speaking the
+// newline-JSON protocol. psgactl, psga_sweep --dispatch and the service
+// tests all go through this class, so the wire format has exactly one
+// client-side implementation.
+//
+//   Client client(socket_path);
+//   long long id = client.submit("problem=flowshop instance=ta001 "
+//                                "engine=island seed=7");
+//   JobRecord job = client.watch(id, [](const exp::Json& line) { ... });
+//
+// Methods throw ServiceError for transport failures ({connection lost,
+// malformed server line}) and for server-side {ok:false} responses —
+// the server's structured error message becomes the exception text.
+// One in-flight request per Client; a watch owns the connection until
+// its job_end arrives.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/svc/protocol.h"
+#include "src/svc/socket.h"
+
+namespace psga::svc {
+
+struct ServiceError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws ServiceError when nothing listens.
+  explicit Client(const std::string& socket_path);
+
+  /// One request/response round trip. Stamps schema_version on the
+  /// request, throws ServiceError on transport failure or {ok:false}.
+  exp::Json request(const exp::Json& request_line);
+
+  /// Submits a RunSpec; returns the job id.
+  long long submit(const std::string& spec, const SubmitOptions& options = {});
+
+  std::vector<JobRecord> list();
+  JobRecord status(long long id);
+  /// Blocks until the job is terminal; returns the final record.
+  JobRecord wait(long long id);
+  /// Streams the job's telemetry (replayed from its start, then live):
+  /// `on_line` sees every parsed line including the final job_end, then
+  /// watch() fetches and returns the job's terminal record.
+  JobRecord watch(long long id,
+                  const std::function<void(const exp::Json&)>& on_line = {});
+  /// Returns the job's state after the cancel request.
+  JobState cancel(long long id);
+  /// Initiates server drain; returns the number of queued jobs cancelled.
+  int drain();
+  void ping();
+  /// The server's `info` payload (config + job counts).
+  exp::Json info();
+
+ private:
+  exp::Json read_response();
+
+  Fd fd_;
+  LineReader reader_;
+};
+
+}  // namespace psga::svc

@@ -1,0 +1,215 @@
+#include "src/svc/job_table.h"
+
+#include <algorithm>
+
+#include "src/exp/telemetry.h"
+
+namespace psga::svc {
+
+namespace {
+
+/// The job_end line the table writes when it cancels a queued job
+/// itself (jobs that ran get theirs from the runner, with result
+/// fields). Stamped here because it bypasses any TelemetrySink.
+std::string cancelled_job_end(const Job& job) {
+  return exp::Json::object()
+      .set("schema_version", exp::Json::integer(exp::kTelemetrySchemaVersion))
+      .set("event", exp::Json::string("job_end"))
+      .set("job", exp::Json::integer(job.id))
+      .set("state", exp::Json::string(to_string(JobState::kCancelled)))
+      .set("spec", exp::Json::string(job.spec))
+      .set("ok", exp::Json::boolean(false))
+      .dump();
+}
+
+}  // namespace
+
+JobPtr JobTable::submit(std::string spec, int priority,
+                        const ga::StopCondition& stop) {
+  std::unique_lock lock(mutex_);
+  if (draining_) throw AdmissionError("server is draining");
+  if (queued_count_locked() >= max_queued_) {
+    throw AdmissionError("queue full (" + std::to_string(max_queued_) +
+                         " jobs queued)");
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->spec = std::move(spec);
+  job->priority = priority;
+  job->stop = stop;
+  jobs_[job->id] = job;
+  queue_.push_back(job);
+  lock.unlock();
+  work_.notify_one();
+  update_.notify_all();
+  return job;
+}
+
+JobPtr JobTable::next_job() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    // Highest priority wins; the stable scan keeps FIFO order within a
+    // priority (queue_ is submission-ordered).
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (best == queue_.end() || (*it)->priority > (*best)->priority) {
+        best = it;
+      }
+    }
+    if (best != queue_.end()) {
+      JobPtr job = *best;
+      queue_.erase(best);
+      job->state = JobState::kRunning;
+      update_.notify_all();
+      return job;
+    }
+    if (draining_) return nullptr;
+    work_.wait(lock);
+  }
+}
+
+void JobTable::finish(const JobPtr& job, JobState state, ga::RunResult result,
+                      std::string error, double seconds) {
+  {
+    std::lock_guard lock(mutex_);
+    job->state = state;
+    job->result = std::move(result);
+    job->error = std::move(error);
+    job->seconds = seconds;
+    job->log_done = true;
+  }
+  update_.notify_all();
+}
+
+std::optional<JobState> JobTable::request_cancel(long long id) {
+  JobPtr to_close;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    JobPtr& job = it->second;
+    job->cancel.store(true, std::memory_order_relaxed);
+    if (job->state == JobState::kQueued) {
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), job),
+                   queue_.end());
+      job->state = JobState::kCancelled;
+      to_close = job;
+      job->log.push_back(cancelled_job_end(*job));
+      job->log_done = true;
+    }
+    if (to_close == nullptr) return job->state;
+  }
+  update_.notify_all();
+  return JobState::kCancelled;
+}
+
+int JobTable::drain() {
+  std::vector<JobPtr> cancelled;
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+    for (const JobPtr& job : queue_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+      job->state = JobState::kCancelled;
+      job->log.push_back(cancelled_job_end(*job));
+      job->log_done = true;
+      cancelled.push_back(job);
+    }
+    queue_.clear();
+  }
+  work_.notify_all();
+  update_.notify_all();
+  return static_cast<int>(cancelled.size());
+}
+
+bool JobTable::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+void JobTable::append_log(const JobPtr& job, const std::string& line) {
+  {
+    std::lock_guard lock(mutex_);
+    job->log.push_back(line);
+  }
+  update_.notify_all();
+}
+
+bool JobTable::follow_log(const JobPtr& job, std::size_t& cursor,
+                          std::vector<std::string>& out) {
+  std::unique_lock lock(mutex_);
+  update_.wait(lock,
+               [&] { return job->log.size() > cursor || job->log_done; });
+  out.assign(job->log.begin() + static_cast<std::ptrdiff_t>(cursor),
+             job->log.end());
+  cursor = job->log.size();
+  return !out.empty() || !job->log_done;
+}
+
+void JobTable::wait_terminal(const JobPtr& job) {
+  std::unique_lock lock(mutex_);
+  update_.wait(lock, [&] { return is_terminal(job->state); });
+}
+
+JobPtr JobTable::find(long long id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+JobRecord JobTable::snapshot_locked(const Job& job) {
+  JobRecord record;
+  record.id = job.id;
+  record.state = job.state;
+  record.spec = job.spec;
+  record.priority = job.priority;
+  record.stop = job.stop;
+  record.error = job.error;
+  record.best_objective = job.result.best_objective;
+  record.generations = job.result.generations;
+  record.evaluations = job.result.evaluations;
+  record.seconds = job.seconds;
+  return record;
+}
+
+JobRecord JobTable::snapshot(long long id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("unknown job id " + std::to_string(id));
+  }
+  return snapshot_locked(*it->second);
+}
+
+std::vector<JobRecord> JobTable::snapshot_all() const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobRecord> records;
+  records.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) records.push_back(snapshot_locked(*job));
+  return records;
+}
+
+std::array<int, 5> JobTable::counts() const {
+  std::lock_guard lock(mutex_);
+  std::array<int, 5> counts{};
+  for (const auto& [id, job] : jobs_) {
+    counts[static_cast<std::size_t>(job->state)]++;
+  }
+  return counts;
+}
+
+void JobTable::set_max_queued(int max_queued) {
+  std::lock_guard lock(mutex_);
+  max_queued_ = max_queued;
+}
+
+int JobTable::max_queued() const {
+  std::lock_guard lock(mutex_);
+  return max_queued_;
+}
+
+int JobTable::queued_count_locked() const {
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace psga::svc

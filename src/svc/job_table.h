@@ -1,0 +1,125 @@
+// The daemon's multi-tenant job table: admission control, a priority
+// queue feeding worker lanes, per-job cancellation, and the telemetry
+// log that `watch` clients replay and follow.
+//
+// Concurrency model: one mutex guards the whole table; two condition
+// variables split the waiters — `work_` wakes worker lanes when a job
+// is queued (or the table starts draining), `update_` broadcasts every
+// state change and telemetry append to watchers and wait()ers. Jobs are
+// shared_ptrs so a worker can run one outside the lock while clients
+// snapshot it; everything mutable on a Job is only touched under the
+// table mutex except `cancel`, an atomic the run observer polls from
+// the engine thread without locking.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/ga/result.h"
+#include "src/svc/protocol.h"
+
+namespace psga::svc {
+
+/// One submitted job. Fields other than `cancel` are guarded by the
+/// owning JobTable's mutex.
+struct Job {
+  long long id = 0;
+  std::string spec;  ///< RunSpec tokens as submitted
+  int priority = 0;
+  ga::StopCondition stop;  ///< effective (policy-clamped) budget
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel{false};
+  std::string error;
+  ga::RunResult result;
+  double seconds = 0.0;
+  /// The job's full JSONL event log (schema_version-stamped lines).
+  /// Watchers replay from index 0, then follow appends; `log_done`
+  /// means no further lines will arrive (set with the terminal state,
+  /// after the job_end record lands).
+  std::vector<std::string> log;
+  bool log_done = false;
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+/// Thrown by submit() when admission control rejects a job (queue at
+/// max_queued, or the table is draining).
+struct AdmissionError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class JobTable {
+ public:
+  explicit JobTable(int max_queued) : max_queued_(max_queued) {}
+
+  /// Admits a job or throws AdmissionError (queue full / draining).
+  /// The caller pre-validates and pre-clamps spec and stop.
+  JobPtr submit(std::string spec, int priority,
+                const ga::StopCondition& stop);
+
+  /// Blocks until a queued job is available (highest priority first,
+  /// FIFO within a priority), marks it running and returns it; nullptr
+  /// once the table is draining and the queue is empty (the worker's
+  /// signal to exit).
+  JobPtr next_job();
+
+  /// Terminal transition for a job the caller ran. Appends nothing —
+  /// the runner writes the job_end record via append_log first.
+  void finish(const JobPtr& job, JobState state, ga::RunResult result,
+              std::string error, double seconds);
+
+  /// Cancels `id`: queued jobs flip to cancelled immediately (their log
+  /// is closed with a job_end record by the table); running jobs get
+  /// their cancel flag set and stop at the next generation boundary.
+  /// Returns the job's state after the call, or nullopt for unknown ids.
+  std::optional<JobState> request_cancel(long long id);
+
+  /// Stops admission, cancels every queued job, and wakes all workers.
+  /// Returns the number of queued jobs cancelled. Idempotent.
+  int drain();
+  bool draining() const;
+
+  /// Appends a telemetry line to the job's log and wakes watchers.
+  void append_log(const JobPtr& job, const std::string& line);
+
+  /// Copies log lines starting at `cursor` (advancing it). Blocks until
+  /// new lines arrive or the log closes; returns false when the log is
+  /// closed and fully consumed.
+  bool follow_log(const JobPtr& job, std::size_t& cursor,
+                  std::vector<std::string>& out);
+
+  /// Blocks until the job is terminal.
+  void wait_terminal(const JobPtr& job);
+
+  JobPtr find(long long id) const;
+  JobRecord snapshot(long long id) const;  ///< throws for unknown ids
+  std::vector<JobRecord> snapshot_all() const;
+  /// Jobs per state, protocol order (queued..cancelled).
+  std::array<int, 5> counts() const;
+
+  void set_max_queued(int max_queued);
+  int max_queued() const;
+
+ private:
+  static JobRecord snapshot_locked(const Job& job);
+  int queued_count_locked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_;    ///< workers: queue non-empty / draining
+  std::condition_variable update_;  ///< watchers + wait()ers
+  std::map<long long, JobPtr> jobs_;
+  std::vector<JobPtr> queue_;  ///< submission order; next_job scans by priority
+  long long next_id_ = 1;
+  int max_queued_;
+  bool draining_ = false;
+};
+
+}  // namespace psga::svc

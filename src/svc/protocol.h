@@ -1,0 +1,93 @@
+// The psgad wire protocol: newline-delimited JSON over a Unix-domain
+// stream socket, one request object per line, one response object per
+// line (except `watch`, which streams telemetry lines after its ack).
+//
+// Requests carry `op` plus op-specific fields; responses carry
+// `ok` (bool) plus either payload fields or `error` (a structured
+// message — malformed requests never drop the connection). Every line
+// in both directions carries `schema_version`
+// (exp::kTelemetrySchemaVersion): the wire protocol and the on-disk
+// JSONL telemetry are the same schema and evolve together.
+//
+//   op=submit   spec (RunSpec tokens), [priority], [generations],
+//               [seconds], [evaluations], [target]
+//               → ok, id, state
+//   op=list     → ok, jobs[]                         (JobRecord objects)
+//   op=status   id → ok, job                         (one JobRecord)
+//   op=wait     id → ok, job      (blocks until the job is terminal)
+//   op=watch    id → ok, id, then the job's telemetry lines streamed
+//               live (generation / improvement / migration with `job`
+//               in place of `cell`, then one final job_end record);
+//               after job_end the connection is back in request mode
+//   op=cancel   id → ok, state    (flips queued jobs to cancelled;
+//               running jobs stop at the next generation boundary)
+//   op=drain    → ok, cancelled   (stop accepting, cancel the queue,
+//               finish running jobs, then the daemon exits)
+//   op=ping     → ok
+//   op=info     → ok, config{}, jobs{queued,running,done,failed,
+//               cancelled}
+//
+// docs/service.md is the human-facing reference for this header.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/exp/json.h"
+#include "src/ga/stop.h"
+
+namespace psga::svc {
+
+/// Job lifecycle. Queued and running are live; the other three are
+/// terminal and final (a cancel on a done job is a no-op).
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobState state);
+std::optional<JobState> job_state_from_string(const std::string& text);
+inline bool is_terminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+/// Client-side view of one job, as serialized in list/status/wait
+/// responses. Result fields are meaningful once the state says so.
+struct JobRecord {
+  long long id = 0;
+  JobState state = JobState::kQueued;
+  std::string spec;        ///< canonical RunSpec tokens
+  int priority = 0;
+  ga::StopCondition stop;  ///< effective (policy-clamped) budget
+  std::string error;       ///< failed jobs: what broke
+  double best_objective = 0.0;
+  int generations = 0;
+  long long evaluations = 0;
+  double seconds = 0.0;  ///< run wall-clock (0 while queued)
+};
+
+/// JobRecord → JSON object (the `job` payload / `jobs[]` element).
+exp::Json job_to_json(const JobRecord& record);
+/// JSON object → JobRecord; throws std::invalid_argument on a payload
+/// missing id/state (the fields no record is valid without).
+JobRecord job_from_json(const exp::Json& json);
+
+/// Submit-time knobs. Unset budget fields fall back to the server's
+/// default budget; set fields are clamped against the server's caps.
+struct SubmitOptions {
+  int priority = 0;  ///< higher runs first; FIFO within a priority
+  std::optional<int> generations;
+  std::optional<double> seconds;
+  std::optional<long long> evaluations;
+  std::optional<double> target;
+};
+
+/// Builds the submit request line for `spec` + options.
+exp::Json submit_request(const std::string& spec,
+                         const SubmitOptions& options = {});
+/// Builds a one-field request ({"op":op}) or id-carrying request.
+exp::Json simple_request(const std::string& op);
+exp::Json id_request(const std::string& op, long long id);
+
+/// Response builders (server side). Both stamp schema_version.
+exp::Json ok_response();
+exp::Json error_response(const std::string& message);
+
+}  // namespace psga::svc

@@ -17,16 +17,25 @@
 //   --list-problems    print the problem registry (problem= values) and exit
 //   --list-engines     print the engine registry (engine= values) and exit
 //   --quiet            no per-cell progress on stderr
+//   --dispatch SOCKET  send each expanded cell's RunSpec to the psgad
+//                      daemon at SOCKET instead of running in-process
+//                      lanes (serial submit/wait; prints one line per
+//                      cell — full scale-out is a ROADMAP item). Cell
+//                      seeds are baked into the specs, so results match
+//                      the in-process runner bit-for-bit.
 //
 // Exit status: 1 for unusable input (missing/unparsable spec file,
-// zero-cell sweeps) or when every cell of the file failed; individual
-// cell failures are fail-soft and reported in the summaries.
+// zero-cell sweeps, unreachable --dispatch daemon) and when any cell
+// failed — cell failures are fail-soft (the sweep completes and the
+// summaries report them) but the process still signals them, so CI
+// wrappers cannot mistake a partially failed sweep for a clean one.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -37,6 +46,7 @@
 #include "src/exp/sweep_spec.h"
 #include "src/exp/telemetry.h"
 #include "src/ga/solver.h"
+#include "src/svc/client.h"
 
 namespace {
 
@@ -46,11 +56,67 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--telemetry PATH] [--every N]\n"
                "       %*s [--summary PATH] [--csv] [--reps N] [--seed N]\n"
-               "       %*s [--list] [--quiet] <spec-file>\n"
+               "       %*s [--list] [--quiet] [--dispatch SOCKET] <spec-file>\n"
                "       %s --list-problems | --list-engines\n",
                argv0, static_cast<int>(std::strlen(argv0)), "",
                static_cast<int>(std::strlen(argv0)), "", argv0);
   return 1;
+}
+
+/// The full RunSpec of one expanded cell: the cell's combined tokens
+/// (base + axes + trailing seed=) with the @instances entry folded in as
+/// an instance= token — the same folding SweepRunner's planner performs
+/// before building a cell in-process, so a dispatched cell solves the
+/// identical spec.
+std::string cell_runspec(const psga::exp::SweepCell& cell) {
+  std::string spec = cell.spec;
+  if (!cell.instance.empty()) spec += " instance=" + cell.instance;
+  return spec;
+}
+
+/// --dispatch: submit every cell of every sweep to a running psgad and
+/// wait for each result (serial — the minimal remote mode). Returns the
+/// number of failed cells; throws for transport-level errors (daemon
+/// unreachable / connection lost), which poison the whole dispatch.
+int dispatch_sweeps(const std::vector<psga::exp::SweepSpec>& sweeps,
+                    const std::string& socket_path, bool quiet) {
+  psga::svc::Client client(socket_path);
+  int failed = 0;
+  for (const psga::exp::SweepSpec& sweep : sweeps) {
+    for (const psga::exp::SweepCell& cell : sweep.expand()) {
+      psga::svc::SubmitOptions options;
+      if (sweep.stop.max_generations < std::numeric_limits<int>::max()) {
+        options.generations = sweep.stop.max_generations;
+      }
+      if (sweep.stop.max_seconds > 0) options.seconds = sweep.stop.max_seconds;
+      if (sweep.stop.max_evaluations > 0) {
+        options.evaluations = sweep.stop.max_evaluations;
+      }
+      if (sweep.stop.target_objective >= 0) {
+        options.target = sweep.stop.target_objective;
+      }
+      const std::string spec = cell_runspec(cell);
+      // Transport/admission errors (ServiceError) propagate: without a
+      // reachable daemon the whole dispatch is unusable, unlike a
+      // fail-soft cell error which is just one job in state failed.
+      const psga::svc::JobRecord job =
+          client.wait(client.submit(spec, options));
+      const bool ok = job.state == psga::svc::JobState::kDone;
+      failed += !ok;
+      if (ok) {
+        if (!quiet) {
+          std::printf("%s\t%d\tbest=%.17g evaluations=%lld generations=%d\t%s\n",
+                      sweep.name.c_str(), cell.index, job.best_objective,
+                      job.evaluations, job.generations, spec.c_str());
+        }
+      } else {
+        std::printf("%s\t%d\t%s\t%s\t%s\n", sweep.name.c_str(), cell.index,
+                    psga::svc::to_string(job.state),
+                    job.error.c_str(), spec.c_str());
+      }
+    }
+  }
+  return failed;
 }
 
 /// Prints one registry ("problem" or "engine") as aligned name +
@@ -74,6 +140,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string telemetry_path;
   std::string summary_path;
+  std::string dispatch_socket;
   int threads = 1;
   int every = 1;
   bool csv = false;
@@ -99,6 +166,8 @@ int main(int argc, char** argv) {
       every = std::atoi(next_value());
     } else if (arg == "--summary") {
       summary_path = next_value();
+    } else if (arg == "--dispatch") {
+      dispatch_socket = next_value();
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--reps") {
@@ -149,6 +218,20 @@ int main(int argc, char** argv) {
   for (exp::SweepSpec& sweep : sweeps) {
     if (reps_override) sweep.reps = *reps_override;
     if (seed_override) sweep.seed = *seed_override;
+  }
+
+  if (!dispatch_socket.empty()) {
+    try {
+      const int failed = dispatch_sweeps(sweeps, dispatch_socket, quiet);
+      if (failed > 0) {
+        std::fprintf(stderr, "psga_sweep: %d dispatched cell(s) failed\n",
+                     failed);
+      }
+      return failed > 0 ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psga_sweep: dispatch: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (list) {
@@ -228,5 +311,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "psga_sweep: %d/%d cells failed\n", failed_cells,
                  total_cells);
   }
-  return failed_cells == total_cells ? 1 : 0;
+  // Any failed cell is a non-zero exit: failures are fail-soft inside
+  // the sweep (every other cell still runs and reports) but must not
+  // look like success to the calling shell. psgactl status mirrors this
+  // for failed jobs.
+  return failed_cells > 0 ? 1 : 0;
 }

@@ -1,0 +1,181 @@
+// psgactl — thin control CLI for a running psgad (docs/service.md).
+//
+//   $ psgactl [--socket PATH] <command> [args]
+//
+//   submit '<runspec>' [--priority N] [--generations N] [--seconds S]
+//                      [--evals N] [--target X] [--watch]
+//          prints the job id (or, with --watch, streams telemetry and
+//          prints the final record)
+//   list               one job per line
+//   status <id>        one-line job record; exit 1 when the job failed
+//                      (mirrors psga_sweep's any-cell-failed convention)
+//   wait <id>          blocks until terminal, then prints like status
+//   watch <id>         streams the job's JSONL telemetry to stdout
+//                      (replayed from the start, then live, ending with
+//                      job_end), then exits like status
+//   cancel <id>        requests cancellation, prints the resulting state
+//   drain              graceful server drain; prints cancelled count
+//   ping               exit 0 iff the daemon answers
+//   info               server config + job counts (JSON)
+//
+// The socket defaults to $PSGAD_SOCKET, then /tmp/psgad.sock. Transport
+// and server errors print to stderr and exit 2; a failed job makes
+// status/wait/watch (and submit --watch) exit 1.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/svc/client.h"
+
+namespace {
+
+using namespace psga;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] <command> [args]\n"
+      "commands:\n"
+      "  submit '<runspec>' [--priority N] [--generations N] [--seconds S]\n"
+      "                     [--evals N] [--target X] [--watch]\n"
+      "  list | status <id> | wait <id> | watch <id> | cancel <id>\n"
+      "  drain | ping | info\n",
+      argv0);
+  return 2;
+}
+
+void print_job(const svc::JobRecord& job) {
+  std::printf("job %lld  %s", job.id, svc::to_string(job.state));
+  if (job.state == svc::JobState::kDone ||
+      job.state == svc::JobState::kCancelled) {
+    std::printf("  best=%g generations=%d evaluations=%lld", job.best_objective,
+                job.generations, job.evaluations);
+  }
+  if (!job.error.empty()) std::printf("  error=%s", job.error.c_str());
+  if (job.seconds > 0) std::printf("  seconds=%.3f", job.seconds);
+  std::printf("  spec=%s\n", job.spec.c_str());
+}
+
+/// status/wait/watch share the failed-job exit convention.
+int job_exit(const svc::JobRecord& job) {
+  return job.state == svc::JobState::kFailed ? 1 : 0;
+}
+
+long long parse_id(const char* text) {
+  char* end = nullptr;
+  const long long id = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "psgactl: bad job id '%s'\n", text);
+    std::exit(2);
+  }
+  return id;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/psgad.sock";
+  if (const char* env_socket = std::getenv("PSGAD_SOCKET")) {
+    socket_path = env_socket;
+  }
+
+  int i = 1;
+  if (i + 1 < argc && std::strcmp(argv[i], "--socket") == 0) {
+    socket_path = argv[i + 1];
+    i += 2;
+  }
+  if (i >= argc) return usage(argv[0]);
+  const std::string command = argv[i++];
+
+  try {
+    svc::Client client(socket_path);
+
+    if (command == "submit") {
+      if (i >= argc) return usage(argv[0]);
+      const std::string spec = argv[i++];
+      svc::SubmitOptions options;
+      bool watch = false;
+      for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "psgactl: %s needs a value\n", arg.c_str());
+            std::exit(2);
+          }
+          return argv[++i];
+        };
+        if (arg == "--priority") {
+          options.priority = std::atoi(next_value());
+        } else if (arg == "--generations") {
+          options.generations = std::atoi(next_value());
+        } else if (arg == "--seconds") {
+          options.seconds = std::atof(next_value());
+        } else if (arg == "--evals") {
+          options.evaluations = std::atoll(next_value());
+        } else if (arg == "--target") {
+          options.target = std::atof(next_value());
+        } else if (arg == "--watch") {
+          watch = true;
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      const long long id = client.submit(spec, options);
+      if (!watch) {
+        std::printf("%lld\n", id);
+        return 0;
+      }
+      const svc::JobRecord job = client.watch(id, [](const exp::Json& line) {
+        std::printf("%s\n", line.dump().c_str());
+      });
+      print_job(job);
+      return job_exit(job);
+    }
+
+    if (command == "list") {
+      for (const svc::JobRecord& job : client.list()) print_job(job);
+      return 0;
+    }
+    if (command == "status" || command == "wait") {
+      if (i >= argc) return usage(argv[0]);
+      const long long id = parse_id(argv[i]);
+      const svc::JobRecord job =
+          command == "wait" ? client.wait(id) : client.status(id);
+      print_job(job);
+      return job_exit(job);
+    }
+    if (command == "watch") {
+      if (i >= argc) return usage(argv[0]);
+      const svc::JobRecord job =
+          client.watch(parse_id(argv[i]), [](const exp::Json& line) {
+            std::printf("%s\n", line.dump().c_str());
+          });
+      return job_exit(job);
+    }
+    if (command == "cancel") {
+      if (i >= argc) return usage(argv[0]);
+      std::printf("%s\n", svc::to_string(client.cancel(parse_id(argv[i]))));
+      return 0;
+    }
+    if (command == "drain") {
+      std::printf("drained (%d queued job(s) cancelled)\n", client.drain());
+      return 0;
+    }
+    if (command == "ping") {
+      client.ping();
+      std::printf("ok\n");
+      return 0;
+    }
+    if (command == "info") {
+      std::printf("%s\n", client.info().dump().c_str());
+      return 0;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psgactl: %s\n", e.what());
+    return 2;
+  }
+}

@@ -168,6 +168,102 @@ else
   echo "psgad/psgactl or python3 missing; skipping service smoke"
 fi
 
+# Dispatch resume smoke: run the smoke sweep through `psga_sweep
+# --dispatch --jobs 2` against a live psgad, SIGKILL the sweep once the
+# first finished cell record lands, then `--resume` it to completion.
+# Validates the headline resume invariant — the resumed telemetry holds
+# every cell exactly once (no duplicates, no holes) — and renders it
+# with psga_report, checking the CSV parses and the HTML is whole.
+if [[ -x "$BUILD_DIR/psga_sweep" && -x "$BUILD_DIR/psgad" \
+      && -x "$BUILD_DIR/psga_report" ]] && command -v python3 >/dev/null; then
+  DSP_SOCKET=$(mktemp -u /tmp/psgad_dsp.XXXXXX.sock)
+  "$BUILD_DIR"/psgad --socket "$DSP_SOCKET" --workers 2 &
+  DSP_PID=$!
+  for _ in $(seq 50); do
+    "$BUILD_DIR"/psgactl --socket "$DSP_SOCKET" ping >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  "$BUILD_DIR"/psgactl --socket "$DSP_SOCKET" ping >/dev/null \
+    || { echo "ci.sh: psgad did not come up on $DSP_SOCKET"; exit 1; }
+  DSP_JSONL=$(mktemp /tmp/psga_dispatch.XXXXXX.jsonl)
+  DSP_SUMMARY=$(mktemp /tmp/psga_dispatch_summary.XXXXXX.csv)
+  "$BUILD_DIR"/psga_sweep --quiet --dispatch "$DSP_SOCKET" --jobs 2 \
+    --telemetry "$DSP_JSONL" sweeps/smoke.sweep >/dev/null &
+  DSP_SWEEP_PID=$!
+  # Kill the dispatch as soon as the first finished cell lands. If it
+  # finishes first, the resume below must still yield a complete,
+  # duplicate-free file — the invariant holds either way.
+  for _ in $(seq 200); do
+    grep -q '"event":"cell"' "$DSP_JSONL" 2>/dev/null && break
+    kill -0 "$DSP_SWEEP_PID" 2>/dev/null || break
+    sleep 0.05
+  done
+  kill -9 "$DSP_SWEEP_PID" 2>/dev/null || true
+  wait "$DSP_SWEEP_PID" 2>/dev/null || true
+  "$BUILD_DIR"/psga_sweep --quiet --dispatch "$DSP_SOCKET" --jobs 2 \
+    --resume "$DSP_JSONL" --csv --summary "$DSP_SUMMARY" \
+    sweeps/smoke.sweep >/dev/null
+  python3 - "$DSP_JSONL" "$DSP_SUMMARY" <<'PYEOF'
+import csv
+import json
+import sys
+
+hashes = {}
+bad = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            bad += 1  # the SIGKILL's partial line; every consumer skips it
+            continue
+        if record.get("event") == "cell":
+            count = hashes.get(record["hash"], 0)
+            hashes[record["hash"]] = count + 1
+            assert record["ok"], record
+assert bad <= 1, f"{bad} unparsable telemetry lines"
+assert len(hashes) == 12, f"expected 12 distinct cells, got {len(hashes)}"
+dupes = {h: n for h, n in hashes.items() if n != 1}
+assert not dupes, f"duplicate cell records after resume: {dupes}"
+rows = [r for r in csv.reader(open(sys.argv[2]))
+        if r and not r[0].startswith("# ")]
+assert len(rows) >= 6, "resumed summary CSV looks empty"
+print(f"ci.sh: dispatch resume smoke OK "
+      f"({len(hashes)} cells once each, {bad} partial line)")
+PYEOF
+  DSP_CSV=$(mktemp /tmp/psga_report.XXXXXX.csv)
+  DSP_HTML=$(mktemp /tmp/psga_report.XXXXXX.html)
+  "$BUILD_DIR"/psga_report --csv "$DSP_CSV" --html "$DSP_HTML" \
+    "$DSP_JSONL" 2>/dev/null
+  python3 - "$DSP_CSV" "$DSP_HTML" <<'PYEOF'
+import csv
+import sys
+
+data = 0
+ok_column = None
+for row in csv.reader(open(sys.argv[1])):
+    if not row or row[0].startswith("# "):
+        continue
+    if row[1] == "cell":  # per-sweep header; axis columns vary per block
+        ok_column = row.index("ok")
+        continue
+    assert ok_column is not None, f"cell row before any header: {row}"
+    assert row[ok_column] == "true", f"report CSV has a failed cell: {row}"
+    data += 1
+assert data == 12, f"expected 12 CSV cell rows, got {data}"
+html = open(sys.argv[2]).read()
+assert "<svg" in html and "</html>" in html, "report HTML incomplete"
+print("ci.sh: report render OK (CSV parses, HTML whole)")
+PYEOF
+  "$BUILD_DIR"/psgactl --socket "$DSP_SOCKET" drain >/dev/null
+  if ! wait "$DSP_PID"; then
+    echo "ci.sh: psgad exited non-zero after dispatch smoke"; exit 1
+  fi
+  rm -f "$DSP_JSONL" "$DSP_SUMMARY" "$DSP_CSV" "$DSP_HTML"
+else
+  echo "psga_sweep/psgad/psga_report or python3 missing; skipping dispatch resume smoke"
+fi
+
 if [[ "${SKIP_BENCH:-0}" != "1" && ! -x "$BUILD_DIR/bench_micro_decoders" ]]; then
   echo "bench_micro_decoders not built (google-benchmark missing?); skipping perf snapshot"
   SKIP_BENCH=1

@@ -121,12 +121,13 @@ std::string Json::number_text() const {
     return (negative_ ? "-" : "") + std::to_string(u64_);
   }
   // max_digits10 keeps doubles exact through a dump/parse round-trip;
-  // infinities/NaNs are not valid JSON, so clamp them to null.
-  if (!(number_ == number_) ||
-      number_ == std::numeric_limits<double>::infinity() ||
-      number_ == -std::numeric_limits<double>::infinity()) {
-    return "null";
-  }
+  // infinities/NaNs are not valid JSON numbers, so they render as the
+  // sentinel strings "inf"/"-inf"/"nan" and the parser maps those exact
+  // strings back to non-finite numbers (failed/degenerate cells keep
+  // their ±inf best objectives through the round-trip).
+  if (!(number_ == number_)) return "\"nan\"";
+  if (number_ == std::numeric_limits<double>::infinity()) return "\"inf\"";
+  if (number_ == -std::numeric_limits<double>::infinity()) return "\"-inf\"";
   std::ostringstream stream;
   stream.precision(std::numeric_limits<double>::max_digits10);
   stream << number_;
@@ -242,7 +243,21 @@ class Parser {
     const char c = peek();
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
-    if (c == '"') return Json::string(parse_string());
+    if (c == '"') {
+      std::string s = parse_string();
+      // The non-finite sentinels dump() emits parse back as numbers so
+      // parse(dump()) stays the identity on every value the sink emits.
+      if (s == "inf") {
+        return Json::number(std::numeric_limits<double>::infinity());
+      }
+      if (s == "-inf") {
+        return Json::number(-std::numeric_limits<double>::infinity());
+      }
+      if (s == "nan") {
+        return Json::number(std::numeric_limits<double>::quiet_NaN());
+      }
+      return Json::string(std::move(s));
+    }
     if (consume_word("true")) return Json::boolean(true);
     if (consume_word("false")) return Json::boolean(false);
     if (consume_word("null")) return Json::null();

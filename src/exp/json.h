@@ -5,9 +5,15 @@
 // exact 64-bit integer twin when they were written/parsed as integers
 // (cell seeds are full-range uint64 and must round-trip losslessly), and
 // doubles render with max_digits10 so parse(dump()) is the identity on
-// every value the sink emits. Not a general-purpose JSON library — no
-// \uXXXX escapes beyond what escaping our own strings needs, no
-// streaming — just enough for the telemetry schema and its tests.
+// every value the sink emits. Non-finite doubles (±inf best objectives
+// of failed/degenerate cells, NaN stats) are not valid JSON numbers, so
+// dump() writes the sentinel strings "inf"/"-inf"/"nan" and parse()
+// maps exactly those strings back to non-finite numbers — the one
+// deliberate asymmetry: a *string* value spelled "inf" does not survive
+// a round-trip (telemetry never emits one). Not a general-purpose JSON
+// library — no \uXXXX escapes beyond what escaping our own strings
+// needs, no streaming — just enough for the telemetry schema and its
+// tests.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <istream>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -28,39 +29,6 @@ Json axes_object(const SweepSpec& spec, const SweepCell& cell) {
     axes.set(spec.axes[a].label, Json::string(cell.axis_values[a]));
   }
   return axes;
-}
-
-Json cell_record(const SweepSpec& spec, const CellResult& result,
-                 const std::string& problem) {
-  const SweepCell& cell = result.cell;
-  Json line = Json::object();
-  line.set("event", Json::string("cell"))
-      .set("cell", Json::integer(cell.index))
-      .set("config", Json::integer(cell.config))
-      .set("instance", Json::string(cell.instance))
-      .set("rep", Json::integer(cell.rep))
-      .set("seed", Json::uinteger(cell.seed))
-      .set("spec", Json::string(cell.spec));
-  if (!problem.empty()) line.set("problem", Json::string(problem));
-  line.set("axes", axes_object(spec, cell)).set("ok", Json::boolean(result.ok));
-  if (!result.ok) {
-    line.set("error", Json::string(result.error));
-    return line;
-  }
-  line.set("best_objective", Json::number(result.result.best_objective))
-      .set("generations", Json::integer(result.result.generations))
-      .set("evaluations", Json::integer(result.result.evaluations))
-      .set("seconds", Json::number(result.seconds));
-  if (result.result.cache) {
-    line.set("cache",
-             Json::object()
-                 .set("hits", Json::integer(result.result.cache->hits))
-                 .set("misses", Json::integer(result.result.cache->misses))
-                 .set("inserts", Json::integer(result.result.cache->inserts))
-                 .set("evictions",
-                      Json::integer(result.result.cache->evictions)));
-  }
-  return line;
 }
 
 /// How one cell resolves: the canonical problem spec (the cache key and
@@ -126,6 +94,148 @@ ga::ProblemPtr default_resolver(const std::string& name) {
   return ga::ProblemSpec::parse("instance=" + name).build();
 }
 
+Json sweep_begin_record(const SweepSpec& spec,
+                        const std::vector<SweepCell>& cells) {
+  Json axes = Json::array();
+  for (const SweepAxis& axis : spec.axes) {
+    Json values = Json::array();
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      values.push(Json::string(axis.value_label(i)));
+    }
+    axes.push(Json::object()
+                  .set("label", Json::string(axis.label))
+                  .set("values", std::move(values)));
+  }
+  Json instances = Json::array();
+  // From the expanded cells (the authoritative list), not a second
+  // expand_instances() glob that could disagree with the grid run.
+  for (const SweepCell& cell : cells) {
+    if (cell.instance_index == static_cast<int>(instances.items().size())) {
+      instances.push(Json::string(cell.instance));
+    }
+  }
+  Json line = Json::object();
+  line.set("event", Json::string("sweep_begin"))
+      .set("sweep", Json::string(spec.name))
+      .set("cells", Json::integer(static_cast<long long>(cells.size())))
+      .set("configs", Json::integer(spec.configs()))
+      .set("reps", Json::integer(spec.reps))
+      .set("seed", Json::uinteger(spec.seed))
+      .set("base", Json::string(spec.base));
+  if (spec.reference > 0) line.set("reference", Json::number(spec.reference));
+  line.set("axes", std::move(axes)).set("instances", std::move(instances));
+  return line;
+}
+
+Json run_begin_record(const SweepCell& cell, const std::string& problem) {
+  Json begin = Json::object();
+  begin.set("event", Json::string("run_begin"))
+      .set("cell", Json::integer(cell.index))
+      .set("config", Json::integer(cell.config))
+      .set("instance", Json::string(cell.instance))
+      .set("rep", Json::integer(cell.rep))
+      .set("seed", Json::uinteger(cell.seed))
+      .set("spec", Json::string(cell.spec));
+  if (!problem.empty()) begin.set("problem", Json::string(problem));
+  return begin;
+}
+
+Json cell_record(const SweepSpec& spec, const CellResult& result,
+                 const std::string& problem) {
+  const SweepCell& cell = result.cell;
+  Json line = Json::object();
+  line.set("event", Json::string("cell"))
+      .set("cell", Json::integer(cell.index))
+      .set("config", Json::integer(cell.config))
+      .set("instance", Json::string(cell.instance))
+      .set("rep", Json::integer(cell.rep))
+      .set("seed", Json::uinteger(cell.seed))
+      .set("hash", Json::string(sweep_cell_hash_hex(spec.name, cell)))
+      .set("spec", Json::string(cell.spec));
+  if (!problem.empty()) line.set("problem", Json::string(problem));
+  line.set("axes", axes_object(spec, cell)).set("ok", Json::boolean(result.ok));
+  if (!result.ok) {
+    line.set("error", Json::string(result.error));
+    return line;
+  }
+  line.set("best_objective", Json::number(result.result.best_objective))
+      .set("generations", Json::integer(result.result.generations))
+      .set("evaluations", Json::integer(result.result.evaluations))
+      .set("seconds", Json::number(result.seconds));
+  if (result.result.cache) {
+    line.set("cache",
+             Json::object()
+                 .set("hits", Json::integer(result.result.cache->hits))
+                 .set("misses", Json::integer(result.result.cache->misses))
+                 .set("inserts", Json::integer(result.result.cache->inserts))
+                 .set("evictions",
+                      Json::integer(result.result.cache->evictions)));
+  }
+  return line;
+}
+
+Json sweep_end_record(const SweepSpec& spec, int ok, int failed,
+                      double seconds) {
+  return Json::object()
+      .set("event", Json::string("sweep_end"))
+      .set("sweep", Json::string(spec.name))
+      .set("ok", Json::integer(ok))
+      .set("failed", Json::integer(failed))
+      .set("seconds", Json::number(seconds));
+}
+
+FinishedCells scan_finished_cells(std::istream& in) {
+  FinishedCells finished;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json record;
+    try {
+      record = Json::parse(line);
+    } catch (const std::exception&) {
+      // The truncated tail a SIGKILL leaves mid-write — not a finished
+      // cell, so the resumed run simply re-runs whatever it described.
+      continue;
+    }
+    if (!record.is_object()) continue;
+    if (record.string_or("event", "") != "cell") continue;
+    const Json* hash = record.find("hash");
+    if (hash == nullptr || hash->kind() != Json::Kind::kString) continue;
+    finished[hash->as_string()] = std::move(record);
+  }
+  return finished;
+}
+
+CellResult cell_result_from_record(const SweepCell& cell, const Json& record) {
+  CellResult result;
+  result.cell = cell;
+  result.resumed = true;
+  const Json* ok = record.find("ok");
+  result.ok = ok != nullptr && ok->kind() == Json::Kind::kBool && ok->as_bool();
+  result.seconds = record.number_or("seconds", 0.0);
+  if (!result.ok) {
+    result.error = record.string_or("error", "unknown error (resumed)");
+    return result;
+  }
+  result.result.best_objective = record.number_or("best_objective", 0.0);
+  result.result.generations =
+      static_cast<int>(record.number_or("generations", 0.0));
+  if (const Json* evals = record.find("evaluations")) {
+    result.result.evaluations = evals->as_i64();
+  }
+  result.result.problem = record.string_or("problem", "");
+  if (const Json* cache = record.find("cache")) {
+    ga::EvalCacheStats stats;
+    stats.hits = static_cast<long long>(cache->number_or("hits", 0.0));
+    stats.misses = static_cast<long long>(cache->number_or("misses", 0.0));
+    stats.inserts = static_cast<long long>(cache->number_or("inserts", 0.0));
+    stats.evictions =
+        static_cast<long long>(cache->number_or("evictions", 0.0));
+    result.result.cache = stats;
+  }
+  return result;
+}
+
 SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {}
 
@@ -140,6 +250,21 @@ SweepResult SweepRunner::run() {
   }
   const bool custom_resolver = static_cast<bool>(options_.resolve);
 
+  // Resume: match each cell against the finished records of a previous
+  // run by stable cell hash. Matched cells skip planning, problem
+  // resolution and execution entirely — a cell whose instance no longer
+  // resolves still resumes cleanly.
+  std::vector<const Json*> resumed(cells.size(), nullptr);
+  if (options_.resume != nullptr && !options_.resume->empty()) {
+    for (const SweepCell& cell : cells) {
+      const auto it =
+          options_.resume->find(sweep_cell_hash_hex(spec_.name, cell));
+      if (it != options_.resume->end()) {
+        resumed[static_cast<std::size_t>(cell.index)] = &it->second;
+      }
+    }
+  }
+
   // Plan every cell (split the combined problem+solver tokens, fold in
   // the @instances entry), then resolve each distinct problem once, up
   // front and serially. Distinct means distinct canonical ProblemSpec —
@@ -152,6 +277,7 @@ SweepResult SweepRunner::run() {
   std::map<std::string, ga::ProblemPtr> problems;
   std::map<std::string, std::string> resolve_errors;
   for (const SweepCell& cell : cells) {
+    if (resumed[static_cast<std::size_t>(cell.index)] != nullptr) continue;
     CellPlan& plan = plans[static_cast<std::size_t>(cell.index)];
     try {
       plan = plan_cell(cell, custom_resolver);
@@ -179,38 +305,7 @@ SweepResult SweepRunner::run() {
   }
 
   TelemetrySink* sink = options_.telemetry;
-  if (sink != nullptr) {
-    Json axes = Json::array();
-    for (const SweepAxis& axis : spec_.axes) {
-      Json values = Json::array();
-      for (const std::string& value : axis.values) {
-        values.push(Json::string(value));
-      }
-      axes.push(Json::object()
-                    .set("label", Json::string(axis.label))
-                    .set("values", std::move(values)));
-    }
-    Json instances = Json::array();
-    // From the expanded cells (the authoritative list), not a second
-    // expand_instances() glob that could disagree with the grid run.
-    for (const SweepCell& cell : cells) {
-      if (cell.instance_index ==
-          static_cast<int>(instances.items().size())) {
-        instances.push(Json::string(cell.instance));
-      }
-    }
-    sink->write(Json::object()
-                    .set("event", Json::string("sweep_begin"))
-                    .set("sweep", Json::string(spec_.name))
-                    .set("cells", Json::integer(static_cast<long long>(
-                                      cells.size())))
-                    .set("configs", Json::integer(spec_.configs()))
-                    .set("reps", Json::integer(spec_.reps))
-                    .set("seed", Json::uinteger(spec_.seed))
-                    .set("base", Json::string(spec_.base))
-                    .set("axes", std::move(axes))
-                    .set("instances", std::move(instances)));
-  }
+  if (sink != nullptr) sink->write(sweep_begin_record(spec_, cells));
 
   out.cells.resize(cells.size());
   std::mutex progress_mutex;
@@ -218,23 +313,23 @@ SweepResult SweepRunner::run() {
   const int total = static_cast<int>(cells.size());
 
   auto run_cell = [&](const SweepCell& cell) {
+    if (const Json* record = resumed[static_cast<std::size_t>(cell.index)]) {
+      // Reconstructed from the resume file: no execution, and no new
+      // telemetry — the file already holds this cell's records, so the
+      // appended stream unions to one uninterrupted run's.
+      CellResult result = cell_result_from_record(cell, *record);
+      {
+        std::lock_guard lock(progress_mutex);
+        ++done;
+        if (options_.progress) options_.progress(result, done, total);
+      }
+      out.cells[static_cast<std::size_t>(cell.index)] = std::move(result);
+      return;
+    }
     const CellPlan& plan = plans[static_cast<std::size_t>(cell.index)];
     CellResult result;
     result.cell = cell;
-    if (sink != nullptr) {
-      Json begin = Json::object();
-      begin.set("event", Json::string("run_begin"))
-          .set("cell", Json::integer(cell.index))
-          .set("config", Json::integer(cell.config))
-          .set("instance", Json::string(cell.instance))
-          .set("rep", Json::integer(cell.rep))
-          .set("seed", Json::uinteger(cell.seed))
-          .set("spec", Json::string(cell.spec));
-      if (!plan.canonical.empty()) {
-        begin.set("problem", Json::string(plan.canonical));
-      }
-      sink->write(std::move(begin));
-    }
+    if (sink != nullptr) sink->write(run_begin_record(cell, plan.canonical));
     const double start = now_seconds();
     try {
       if (!plan.ok) throw std::invalid_argument(plan.error);
@@ -293,12 +388,8 @@ SweepResult SweepRunner::run() {
   }
   out.seconds = now_seconds() - sweep_start;
   if (sink != nullptr) {
-    sink->write(Json::object()
-                    .set("event", Json::string("sweep_end"))
-                    .set("sweep", Json::string(spec_.name))
-                    .set("ok", Json::integer(total - out.failed))
-                    .set("failed", Json::integer(out.failed))
-                    .set("seconds", Json::number(out.seconds)));
+    sink->write(sweep_end_record(spec_, total - out.failed, out.failed,
+                                 out.seconds));
   }
   return out;
 }

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,9 @@ struct CellResult {
   std::string error;      ///< when !ok: what failed (parse/build/run)
   ga::RunResult result;   ///< when ok
   double seconds = 0.0;   ///< wall-clock of this cell
+  /// True when the result was reconstructed from a resume file instead
+  /// of running (history is then empty; final fields are exact).
+  bool resumed = false;
 };
 
 struct SweepResult {
@@ -67,6 +72,23 @@ struct SweepResult {
   int failed = 0;
 };
 
+/// Finished cells recovered from a previous run's telemetry, keyed by
+/// the cell-hash hex string stamped into every final `cell` record.
+using FinishedCells = std::map<std::string, Json>;
+
+/// Scans a telemetry JSONL stream (typically the `--telemetry` file of a
+/// killed run) for final `cell` records and returns them keyed by cell
+/// hash. Malformed or truncated lines — the tail a SIGKILL leaves — are
+/// skipped, as are records of other events and pre-hash schema files.
+FinishedCells scan_finished_cells(std::istream& in);
+
+/// Reconstructs a CellResult (resumed=true, empty history) from the
+/// final `cell` telemetry record of a previous run. Final fields
+/// (best_objective, generations, evaluations, cache, error) round-trip
+/// exactly — summary tables over resumed results match the original run
+/// byte for byte; only `seconds` is the old run's wall clock.
+CellResult cell_result_from_record(const SweepCell& cell, const Json& record);
+
 struct SweepOptions {
   /// Cells in flight; <= 1 runs the sweep serially on the caller.
   int threads = 1;
@@ -77,6 +99,11 @@ struct SweepOptions {
   int telemetry_every = 1;
   /// Instance resolver; default_resolver when unset.
   ProblemResolver resolve;
+  /// Finished cells from a previous run (scan_finished_cells): matching
+  /// cells are reconstructed instead of re-run and write no telemetry —
+  /// append new lines to the same file and the union of cell records
+  /// equals one uninterrupted run's. Not owned; may be null.
+  const FinishedCells* resume = nullptr;
   /// Called after every finished cell (any lane, serialized by the
   /// runner): the cell's result plus done/total progress.
   std::function<void(const CellResult&, int done, int total)> progress;
@@ -98,5 +125,27 @@ class SweepRunner {
 
 /// Convenience: expand + run in one call.
 SweepResult run_sweep(SweepSpec spec, SweepOptions options = {});
+
+// --- telemetry record builders ----------------------------------------------
+// One source of truth for the sweep telemetry line layouts: the runner
+// writes these in-process and svc::dispatch_sweep writes the *same*
+// records around the daemon's watch stream, so dispatched telemetry is
+// byte-compatible with in-process telemetry (see docs/sweeps.md).
+
+/// `sweep_begin`: grid shape, axes (display values) and instance list.
+Json sweep_begin_record(const SweepSpec& spec,
+                        const std::vector<SweepCell>& cells);
+
+/// `run_begin` for one cell; `problem` is the canonical ProblemSpec
+/// ("" omits the field — custom resolvers, unplannable cells).
+Json run_begin_record(const SweepCell& cell, const std::string& problem);
+
+/// Final `cell` record incl. the stable cell hash (resume key).
+Json cell_record(const SweepSpec& spec, const CellResult& result,
+                 const std::string& problem);
+
+/// `sweep_end` with ok/failed counts.
+Json sweep_end_record(const SweepSpec& spec, int ok, int failed,
+                      double seconds);
 
 }  // namespace psga::exp

@@ -3,6 +3,7 @@
 #include <glob.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -113,6 +114,81 @@ std::vector<std::string> tokenize(const std::string& text) {
   return tokens;
 }
 
+/// Expands brace groups inside a `key=gen:...` token into a grouped
+/// axis: `instance=gen:jobs={20,50},machines=5` yields one axis
+/// labelled "jobs" whose values are full `instance=gen:...` tokens and
+/// whose display strings are the brace variants ("20", "50"). Several
+/// brace groups cross-product within the token (label "jobs+machines",
+/// display "20/2"), first group slowest — matching axis order rules.
+SweepAxis expand_gen_axis(const std::string& token, std::size_t eq) {
+  struct Group {
+    std::size_t begin = 0;  ///< position of '{'
+    std::size_t end = 0;    ///< position of '}'
+    std::string key;
+    std::vector<std::string> variants;
+  };
+  std::vector<Group> groups;
+  for (std::size_t pos = token.find('{', eq); pos != std::string::npos;
+       pos = token.find('{', pos + 1)) {
+    Group group;
+    group.begin = pos;
+    group.end = token.find('}', pos);
+    if (group.end == std::string::npos) bad_token(token, "unbalanced '{'");
+    if (token.find('{', pos + 1) < group.end) {
+      bad_token(token, "nested braces in gen: value");
+    }
+    // The braced group must be the value of a gen: subkey — scan back to
+    // the enclosing ':' or ',' for the `key=` it belongs to.
+    if (pos == 0 || token[pos - 1] != '=') {
+      bad_token(token, "gen: brace groups must follow a subkey=");
+    }
+    std::size_t key_begin = token.find_last_of(":,", pos - 1);
+    key_begin = key_begin == std::string::npos ? eq + 1 : key_begin + 1;
+    group.key = token.substr(key_begin, pos - 1 - key_begin);
+    if (group.key.empty()) {
+      bad_token(token, "gen: brace groups must follow a subkey=");
+    }
+    group.variants =
+        split_values(token.substr(pos + 1, group.end - pos - 1), token);
+    pos = group.end;
+    groups.push_back(std::move(group));
+  }
+  if (groups.empty()) bad_token(token, "malformed gen: brace expansion");
+  SweepAxis axis;
+  axis.grouped = true;
+  long long total = 1;
+  for (const Group& group : groups) {
+    if (!axis.label.empty()) axis.label += '+';
+    axis.label += group.key;
+    total *= static_cast<long long>(group.variants.size());
+  }
+  for (long long combo = 0; combo < total; ++combo) {
+    // Decompose into per-group picks, first group slowest.
+    std::vector<std::size_t> pick(groups.size(), 0);
+    long long rest = combo;
+    for (std::size_t g = groups.size(); g-- > 0;) {
+      const long long size = static_cast<long long>(groups[g].variants.size());
+      pick[g] = static_cast<std::size_t>(rest % size);
+      rest /= size;
+    }
+    // Substitute each brace group with its picked variant, back to front
+    // so earlier offsets stay valid.
+    std::string value = token;
+    std::string display;
+    for (std::size_t g = groups.size(); g-- > 0;) {
+      const Group& group = groups[g];
+      value.replace(group.begin, group.end - group.begin + 1,
+                    group.variants[pick[g]]);
+      display = display.empty()
+                    ? group.variants[pick[g]]
+                    : group.variants[pick[g]] + "/" + display;
+    }
+    axis.values.push_back(std::move(value));
+    axis.display.push_back(std::move(display));
+  }
+  return axis;
+}
+
 std::vector<std::string> split_list(const std::string& value) {
   std::vector<std::string> parts;
   std::size_t start = 0;
@@ -191,8 +267,9 @@ SweepSpec SweepSpec::parse(const std::string& text) {
       spec.axes.push_back(std::move(axis));
       continue;
     }
+    const std::size_t eq = token.find('=');
     const std::size_t brace = token.find("={");
-    if (brace != std::string::npos) {
+    if (brace != std::string::npos && brace == eq) {
       // Keyed axis: topology={ring,grid,...}.
       if (brace == 0) bad_token(token, "missing axis key");
       if (token.back() != '}') bad_token(token, "malformed axis");
@@ -201,6 +278,19 @@ SweepSpec SweepSpec::parse(const std::string& text) {
       axis.values = split_values(
           token.substr(brace + 2, token.size() - brace - 3), token);
       spec.axes.push_back(std::move(axis));
+      continue;
+    }
+    if (token.find('{') != std::string::npos) {
+      // Braces past the first '=': brace expansion inside a gen:
+      // instance value (instance=gen:jobs={20,50,100}) — the token
+      // grammar's only other legal use of braces.
+      if (eq == std::string::npos || eq == 0 ||
+          token.compare(eq + 1, 4, "gen:") != 0) {
+        bad_token(token,
+                  "braces only declare axes (key={...}, {...}) or expand "
+                  "inside key=gen:... values");
+      }
+      spec.axes.push_back(expand_gen_axis(token, eq));
       continue;
     }
     // Fixed SolverSpec token (validated by SolverSpec::parse per cell,
@@ -320,7 +410,7 @@ std::vector<SweepCell> SweepSpec::expand() const {
     for (std::size_t a = 0; a < axes.size(); ++a) {
       if (!config_spec.empty()) config_spec += ' ';
       config_spec += axes[a].token(pick[a]);
-      axis_values.push_back(axes[a].values[pick[a]]);
+      axis_values.push_back(axes[a].value_label(pick[a]));
     }
     for (std::size_t inst = 0; inst < insts.size(); ++inst) {
       for (int rep = 0; rep < reps; ++rep) {
@@ -361,6 +451,37 @@ std::uint64_t derive_seed(std::uint64_t sweep_seed, std::uint64_t cell_index,
   // Absorb the three words through chained SplitMix64 finalizers; any
   // change to one input avalanches the result.
   return splitmix64(sweep_seed ^ splitmix64(cell_index ^ splitmix64(rep)));
+}
+
+std::uint64_t sweep_cell_hash(const std::string& sweep_name,
+                              const SweepCell& cell) {
+  // FNV-1a over the identity fields with an out-of-band separator after
+  // each (so ("ab","c") and ("a","bc") differ), SplitMix64-finished.
+  // Stable across platforms and releases — resume files stay usable.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::string& text) {
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0x1fU;  // unit separator, never appears in spec tokens
+    h *= 0x100000001b3ULL;
+  };
+  mix(sweep_name);
+  mix(cell.spec);
+  mix(cell.instance);
+  mix(std::to_string(cell.rep));
+  mix(std::to_string(cell.seed));
+  return splitmix64(h);
+}
+
+std::string sweep_cell_hash_hex(const std::string& sweep_name,
+                                const SweepCell& cell) {
+  const std::uint64_t hash = sweep_cell_hash(sweep_name, cell);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
 }
 
 }  // namespace psga::exp

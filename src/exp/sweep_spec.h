@@ -18,6 +18,11 @@
 // braced group `{islands=2 pop=60,islands=3 pop=40,...}` declares a
 // *zipped* axis whose values are whole token groups — the way to move
 // several keys together (e.g. island count at fixed total population).
+// Braces may also appear *inside* a `gen:` instance value
+// (`instance=gen:jobs={20,50,100},machines=5`): each braced subvalue
+// expands into a grouped axis of full instance tokens (instance-size
+// scaling axes), labelled by the braced subkey(s) and displayed as the
+// brace variants.
 // `@`-directives configure the sweep itself, not the solver:
 //
 //   @instances=  comma-separated instance names; entries containing
@@ -58,10 +63,20 @@ struct SweepAxis {
   std::string label;                ///< key, or keys joined with '+'
   std::vector<std::string> values;  ///< value strings or token groups
   bool grouped = false;
+  /// Human-facing value strings for tables/telemetry when the raw value
+  /// is unwieldy (a gen: brace axis stores full `instance=gen:...`
+  /// tokens in `values` and just the brace variants — "20", "50" — here).
+  /// Empty = display `values` directly.
+  std::vector<std::string> display;
 
   /// The SolverSpec token(s) contributed by `values[i]`.
   std::string token(std::size_t i) const {
     return grouped ? values[i] : label + "=" + values[i];
+  }
+
+  /// The value rendered into axis_values / summaries for `values[i]`.
+  const std::string& value_label(std::size_t i) const {
+    return display.empty() ? values[i] : display[i];
   }
 
   bool operator==(const SweepAxis&) const = default;
@@ -129,5 +144,17 @@ struct SweepSpec {
 /// stay comparable.
 std::uint64_t derive_seed(std::uint64_t sweep_seed, std::uint64_t cell_index,
                           std::uint64_t rep);
+
+/// Stable identity hash of one cell: FNV-1a over (sweep name, spec,
+/// instance, rep, seed) with field separators, SplitMix64-finished. The
+/// same cell hashes identically whether run in-process or dispatched,
+/// and across resumes — telemetry `cell` records carry it (as
+/// `sweep_cell_hash_hex`) so `--resume` can skip finished cells.
+std::uint64_t sweep_cell_hash(const std::string& sweep_name,
+                              const SweepCell& cell);
+
+/// The hash as the 16-digit lowercase hex string stamped into telemetry.
+std::string sweep_cell_hash_hex(const std::string& sweep_name,
+                                const SweepCell& cell);
 
 }  // namespace psga::exp

@@ -11,7 +11,7 @@ Client::Client(const std::string& socket_path)
         try {
           return unix_connect(socket_path);
         } catch (const std::exception& e) {
-          throw ServiceError(e.what());
+          throw TransportError(e.what());
         }
       }()),
       reader_(fd_.get()) {}
@@ -19,13 +19,13 @@ Client::Client(const std::string& socket_path)
 Json Client::read_response() {
   std::string line;
   if (!reader_.read_line(line)) {
-    throw ServiceError("connection closed by server");
+    throw TransportError("connection closed by server");
   }
   Json response;
   try {
     response = Json::parse(line);
   } catch (const std::exception& e) {
-    throw ServiceError(std::string("malformed server line: ") + e.what());
+    throw TransportError(std::string("malformed server line: ") + e.what());
   }
   const Json* ok = response.find("ok");
   if (ok == nullptr) throw ServiceError("server line has no ok: " + line);
@@ -43,7 +43,7 @@ Json Client::request(const Json& request_line) {
     stamped.set(member.first, member.second);
   }
   if (!write_line(fd_.get(), stamped.dump())) {
-    throw ServiceError("connection lost while sending request");
+    throw TransportError("connection lost while sending request");
   }
   return read_response();
 }
@@ -87,13 +87,14 @@ JobRecord Client::watch(long long id,
   for (;;) {
     std::string line;
     if (!reader_.read_line(line)) {
-      throw ServiceError("connection lost mid-watch");
+      throw TransportError("connection lost mid-watch");
     }
     Json record;
     try {
       record = Json::parse(line);
     } catch (const std::exception& e) {
-      throw ServiceError(std::string("malformed telemetry line: ") + e.what());
+      throw TransportError(std::string("malformed telemetry line: ") +
+                           e.what());
     }
     if (on_line) on_line(record);
     if (record.string_or("event", "") == "job_end") break;

@@ -8,11 +8,14 @@
 //                                "engine=island seed=7");
 //   JobRecord job = client.watch(id, [](const exp::Json& line) { ... });
 //
-// Methods throw ServiceError for transport failures ({connection lost,
-// malformed server line}) and for server-side {ok:false} responses —
-// the server's structured error message becomes the exception text.
-// One in-flight request per Client; a watch owns the connection until
-// its job_end arrives.
+// Methods throw TransportError for transport failures ({connect
+// refused, connection lost, malformed server line}) and plain
+// ServiceError for server-side {ok:false} responses — the server's
+// structured error message becomes the exception text. TransportError
+// is-a ServiceError, so callers who don't care catch one type; callers
+// who retry (psga_sweep --dispatch) reconnect on TransportError and
+// fail the cell on ServiceError. One in-flight request per Client; a
+// watch owns the connection until its job_end arrives.
 #pragma once
 
 #include <functional>
@@ -29,9 +32,16 @@ struct ServiceError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Connection-level failure (vs. a structured server rejection): the
+/// daemon may be restarting, so retrying on a fresh connection can
+/// succeed where re-sending the same request cannot.
+struct TransportError : ServiceError {
+  using ServiceError::ServiceError;
+};
+
 class Client {
  public:
-  /// Connects immediately; throws ServiceError when nothing listens.
+  /// Connects immediately; throws TransportError when nothing listens.
   explicit Client(const std::string& socket_path);
 
   /// One request/response round trip. Stamps schema_version on the

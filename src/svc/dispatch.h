@@ -1,0 +1,67 @@
+// Parallel, resumable sweep dispatch: run an expanded SweepSpec against
+// a live psgad daemon with N jobs in flight, producing the same
+// exp::SweepResult — and byte-compatible JSONL telemetry — as the
+// in-process SweepRunner.
+//
+// Each worker owns one Client connection and pulls cells from an atomic
+// cursor (the submit-ahead window is exactly `jobs` cells in flight).
+// A cell is submit → watch: the daemon's watch stream is translated
+// line-for-line into the sweep telemetry schema (`job` → `cell`; the
+// daemon's run_begin/job_end are replaced by the runner's own
+// run_begin/cell records, including the stable cell hash), so a
+// dispatched `--telemetry` file is interchangeable with an in-process
+// one — same records, same resume semantics, same psga_report input.
+//
+// Fault model, mirroring SweepRunner's fail-soft cells:
+//  - server-side rejection (bad spec, unknown engine) → the cell
+//    records a structured error and the sweep carries on;
+//  - transport failure (daemon restarting, connection lost) → bounded
+//    reconnect/retry with exponential backoff; watch replays from the
+//    job's start so no telemetry is lost, and a restarted daemon (which
+//    forgot the job) gets the cell resubmitted — seeds are baked into
+//    the cell spec, so the re-run is bit-identical;
+//  - retries exhausted → the cell fails in-memory but writes no `cell`
+//    record, so a later --resume re-runs it instead of trusting an
+//    environmental failure.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/exp/sweep_runner.h"
+
+namespace psga::svc {
+
+struct DispatchOptions {
+  /// Cells in flight against the daemon (worker connections).
+  int jobs = 1;
+  /// Optional JSONL sink; receives the sweep telemetry schema (each
+  /// cell's lines are flushed contiguously after the cell finishes, so
+  /// a killed dispatch loses at most the in-flight cells).
+  exp::TelemetrySink* telemetry = nullptr;
+  /// Finished cells from a previous run (exp::scan_finished_cells):
+  /// matched cells are reconstructed, not resubmitted.
+  const exp::FinishedCells* resume = nullptr;
+  /// Transport retry budget per cell (connect + reconnect attempts).
+  int attempts = 5;
+  /// Initial backoff between retries; doubles per attempt.
+  int backoff_ms = 100;
+  /// Called after every finished cell (any worker, serialized).
+  std::function<void(const exp::CellResult&, int done, int total)> progress;
+};
+
+/// Dispatches one sweep to the daemon at `socket_path`. Throws
+/// std::invalid_argument for unrunnable sweeps (empty grid — the same
+/// contract as SweepRunner::run); per-cell failures are fail-soft in
+/// the returned result.
+exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
+                                const std::string& socket_path,
+                                const DispatchOptions& options = {});
+
+/// The full RunSpec of one expanded cell: the cell's combined tokens
+/// with the @instances entry folded in as an instance= token — the same
+/// folding SweepRunner's planner performs, so a dispatched cell solves
+/// the identical spec.
+std::string cell_runspec(const exp::SweepCell& cell);
+
+}  // namespace psga::svc

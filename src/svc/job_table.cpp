@@ -169,6 +169,7 @@ JobRecord JobTable::snapshot_locked(const Job& job) {
   record.generations = job.result.generations;
   record.evaluations = job.result.evaluations;
   record.seconds = job.seconds;
+  record.cache = job.result.cache;
   return record;
 }
 

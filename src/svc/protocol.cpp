@@ -61,6 +61,14 @@ Json job_to_json(const JobRecord& record) {
         .set("evaluations", Json::integer(record.evaluations));
   }
   if (record.seconds > 0) job.set("seconds", Json::number(record.seconds));
+  if (record.cache) {
+    job.set("cache",
+            Json::object()
+                .set("hits", Json::integer(record.cache->hits))
+                .set("misses", Json::integer(record.cache->misses))
+                .set("inserts", Json::integer(record.cache->inserts))
+                .set("evictions", Json::integer(record.cache->evictions)));
+  }
   return job;
 }
 
@@ -87,6 +95,14 @@ JobRecord job_from_json(const Json& json) {
   record.evaluations =
       static_cast<long long>(json.number_or("evaluations", 0));
   record.seconds = json.number_or("seconds", 0.0);
+  if (const Json* cache = json.find("cache"); cache != nullptr) {
+    ga::EvalCacheStats stats;
+    stats.hits = static_cast<long long>(cache->number_or("hits", 0));
+    stats.misses = static_cast<long long>(cache->number_or("misses", 0));
+    stats.inserts = static_cast<long long>(cache->number_or("inserts", 0));
+    stats.evictions = static_cast<long long>(cache->number_or("evictions", 0));
+    record.cache = stats;
+  }
   if (const Json* stop = json.find("stop"); stop != nullptr) {
     record.stop.max_generations = static_cast<int>(
         stop->number_or("generations", record.stop.max_generations));

@@ -34,6 +34,7 @@
 #include <string>
 
 #include "src/exp/json.h"
+#include "src/ga/eval_cache.h"
 #include "src/ga/stop.h"
 
 namespace psga::svc {
@@ -61,6 +62,10 @@ struct JobRecord {
   int generations = 0;
   long long evaluations = 0;
   double seconds = 0.0;  ///< run wall-clock (0 while queued)
+  /// Eval-cache counters when the job's engine ran with a cache — kept
+  /// on the wire so dispatched sweep telemetry carries the same cache{}
+  /// object as in-process cell records.
+  std::optional<ga::EvalCacheStats> cache;
 };
 
 /// JobRecord → JSON object (the `job` payload / `jobs[]` element).

@@ -308,6 +308,14 @@ void Server::run_job(const JobPtr& job) {
         .set("generations", Json::integer(result.generations))
         .set("evaluations", Json::integer(result.evaluations))
         .set("seconds", Json::number(seconds));
+    if (result.cache) {
+      end.set("cache",
+              Json::object()
+                  .set("hits", Json::integer(result.cache->hits))
+                  .set("misses", Json::integer(result.cache->misses))
+                  .set("inserts", Json::integer(result.cache->inserts))
+                  .set("evictions", Json::integer(result.cache->evictions)));
+    }
   }
   sink.write(std::move(end));
   table_.finish(job, state, std::move(result), std::move(error), seconds);

@@ -10,13 +10,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "src/exp/aggregate.h"
+#include "src/exp/sweep_runner.h"
+#include "src/exp/sweep_spec.h"
 #include "src/exp/telemetry.h"
 #include "src/ga/solver.h"
 #include "src/svc/client.h"
+#include "src/svc/dispatch.h"
 #include "src/svc/job_table.h"
 #include "src/svc/server.h"
 #include "src/svc/socket.h"
@@ -511,6 +517,252 @@ TEST(TelemetrySchema, EveryLineCarriesSchemaVersionFirst) {
     stamps += member.first == "schema_version";
   }
   EXPECT_EQ(stamps, 1);
+}
+
+// --- sweep dispatch ---------------------------------------------------------
+
+exp::SweepSpec dispatch_test_sweep() {
+  return exp::SweepSpec::parse(
+      "problem=flowshop engine=island islands=2 pop=8\n"
+      "topology={ring,full}\n"
+      "@instances=ta001 @reps=2 @generations=3 @seed=17");
+}
+
+/// Cell records keyed by hash with the wall-clock `seconds` stripped —
+/// the byte-compatibility unit for dispatched vs in-process telemetry.
+std::map<std::string, std::string> cells_sans_seconds(
+    const std::string& jsonl) {
+  std::map<std::string, std::string> out;
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const Json record = Json::parse(line);
+    if (record.string_or("event", "") != "cell") continue;
+    Json normalized = Json::object();
+    for (const Json::Member& member : record.members()) {
+      if (member.first != "seconds") {
+        normalized.set(member.first, member.second);
+      }
+    }
+    out[record.string_or("hash", "")] = normalized.dump();
+  }
+  return out;
+}
+
+TEST(Dispatch, MatchesInProcessSweepAcrossJobCounts) {
+  // In-process baseline with telemetry.
+  std::ostringstream in_process_stream;
+  exp::SweepResult in_process;
+  {
+    exp::TelemetrySink sink(in_process_stream);
+    exp::SweepOptions options;
+    options.telemetry = &sink;
+    in_process = exp::run_sweep(dispatch_test_sweep(), options);
+  }
+  ASSERT_EQ(in_process.failed, 0);
+  const std::string table =
+      exp::summary_table(in_process.spec, exp::summarize(in_process))
+          .to_string();
+
+  ServerConfig config = test_config();
+  config.workers = 2;
+  config.max_queued = 64;
+  Server server(config);
+  server.start();
+  for (const int jobs : {1, 4}) {
+    std::ostringstream dispatched_stream;
+    exp::TelemetrySink sink(dispatched_stream);
+    DispatchOptions options;
+    options.jobs = jobs;
+    options.telemetry = &sink;
+    const exp::SweepResult dispatched =
+        dispatch_sweep(dispatch_test_sweep(), config.socket_path, options);
+    ASSERT_EQ(dispatched.failed, 0) << "jobs=" << jobs;
+    ASSERT_EQ(dispatched.cells.size(), in_process.cells.size());
+    for (std::size_t i = 0; i < in_process.cells.size(); ++i) {
+      // Seeds are baked into the cell specs, so the daemon reproduces
+      // the in-process result bit for bit at any parallelism.
+      EXPECT_EQ(dispatched.cells[i].result.best_objective,
+                in_process.cells[i].result.best_objective)
+          << "jobs=" << jobs << " cell " << i;
+      EXPECT_EQ(dispatched.cells[i].result.evaluations,
+                in_process.cells[i].result.evaluations);
+      EXPECT_EQ(dispatched.cells[i].result.problem,
+                in_process.cells[i].result.problem);
+    }
+    EXPECT_EQ(
+        exp::summary_table(dispatched.spec, exp::summarize(dispatched))
+            .to_string(),
+        table)
+        << "jobs=" << jobs;
+    // Telemetry byte-compatibility: identical cell records mod timing.
+    EXPECT_EQ(cells_sans_seconds(dispatched_stream.str()),
+              cells_sans_seconds(in_process_stream.str()))
+        << "jobs=" << jobs;
+  }
+  server.stop();
+}
+
+TEST(Dispatch, RetriesAcrossDaemonRestart) {
+  ServerConfig config = test_config();
+  config.workers = 1;
+  std::optional<Server> server;
+  server.emplace(config);
+  server->start();
+
+  DispatchOptions options;
+  options.jobs = 1;  // serial: the restart lands between two known cells
+  options.attempts = 10;
+  options.backoff_ms = 5;
+  int restarts = 0;
+  options.progress = [&](const exp::CellResult& cell, int done, int total) {
+    EXPECT_TRUE(cell.ok) << cell.error;
+    if (done == 2) {
+      // Kill and recreate the daemon on the same socket: the next
+      // cell's connection dies mid-flight and must reconnect + resubmit
+      // (a restarted daemon has forgotten every job id).
+      server.emplace(config);
+      server->start();
+      ++restarts;
+    }
+    (void)total;
+  };
+  const exp::SweepResult dispatched =
+      dispatch_sweep(dispatch_test_sweep(), config.socket_path, options);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(dispatched.failed, 0);
+
+  // Bit-identical to the in-process run despite the restart.
+  const exp::SweepResult in_process = exp::run_sweep(dispatch_test_sweep());
+  for (std::size_t i = 0; i < in_process.cells.size(); ++i) {
+    EXPECT_EQ(dispatched.cells[i].result.best_objective,
+              in_process.cells[i].result.best_objective)
+        << "cell " << i;
+  }
+  server->stop();
+}
+
+TEST(Dispatch, ResumeSkipsFinishedCellsWithoutSubmitting) {
+  ServerConfig config = test_config();
+  config.workers = 2;
+  config.max_queued = 64;
+
+  // First pass: run the full sweep, keep its telemetry.
+  std::ostringstream first_stream;
+  {
+    Server server(config);
+    server.start();
+    exp::TelemetrySink sink(first_stream);
+    DispatchOptions options;
+    options.jobs = 2;
+    options.telemetry = &sink;
+    ASSERT_EQ(
+        dispatch_sweep(dispatch_test_sweep(), config.socket_path, options)
+            .failed,
+        0);
+    server.stop();
+  }
+
+  // Pretend the run died after 3 cells; resume against a fresh daemon.
+  std::string truncated;
+  {
+    std::istringstream lines(first_stream.str());
+    std::string line;
+    int cells = 0;
+    while (cells < 3 && std::getline(lines, line)) {
+      truncated += line + "\n";
+      if (Json::parse(line).string_or("event", "") == "cell") ++cells;
+    }
+  }
+  std::istringstream scan_in(truncated);
+  const exp::FinishedCells finished = exp::scan_finished_cells(scan_in);
+  ASSERT_EQ(finished.size(), 3u);
+
+  ServerConfig fresh = test_config();
+  fresh.workers = 2;
+  fresh.max_queued = 64;
+  Server server(fresh);
+  server.start();
+  std::ostringstream resumed_stream;
+  exp::TelemetrySink sink(resumed_stream);
+  DispatchOptions options;
+  options.jobs = 2;
+  options.telemetry = &sink;
+  options.resume = &finished;
+  const exp::SweepResult resumed =
+      dispatch_sweep(dispatch_test_sweep(), fresh.socket_path, options);
+  EXPECT_EQ(resumed.failed, 0);
+  int resumed_cells = 0;
+  for (const exp::CellResult& cell : resumed.cells) {
+    resumed_cells += cell.resumed;
+  }
+  EXPECT_EQ(resumed_cells, 3);
+  // Finished cells were never submitted: the fresh daemon saw only the
+  // remaining jobs.
+  Client client(fresh.socket_path);
+  EXPECT_EQ(client.list().size(), resumed.cells.size() - 3);
+  // The union is the uninterrupted telemetry (mod timing).
+  EXPECT_EQ(cells_sans_seconds(truncated + resumed_stream.str()),
+            cells_sans_seconds(first_stream.str()));
+  server.stop();
+}
+
+TEST(Dispatch, QueueFullBacksOffUntilAdmitted) {
+  // A tiny admission window (1 worker, 1 queued) against 4 concurrent
+  // dispatch lanes: submits bounce with "queue full" and must back off
+  // and retry instead of failing the cell.
+  ServerConfig config = test_config();
+  config.workers = 1;
+  config.max_queued = 1;
+  Server server(config);
+  server.start();
+  DispatchOptions options;
+  options.jobs = 4;
+  options.attempts = 200;
+  options.backoff_ms = 1;
+  const exp::SweepResult dispatched =
+      dispatch_sweep(dispatch_test_sweep(), config.socket_path, options);
+  EXPECT_EQ(dispatched.failed, 0);
+  server.stop();
+}
+
+TEST(Dispatch, UnreachableDaemonFailsSoftWithoutCellRecords) {
+  std::ostringstream stream;
+  exp::TelemetrySink sink(stream);
+  DispatchOptions options;
+  options.telemetry = &sink;
+  options.attempts = 2;
+  options.backoff_ms = 1;
+  const exp::SweepResult dispatched = dispatch_sweep(
+      dispatch_test_sweep(), temp_socket_path(), options);
+  // Every cell fails soft in-memory...
+  EXPECT_EQ(dispatched.failed, static_cast<int>(dispatched.cells.size()));
+  for (const exp::CellResult& cell : dispatched.cells) {
+    EXPECT_NE(cell.error.find("dispatch:"), std::string::npos) << cell.error;
+  }
+  // ...but writes no cell records: an outage is environmental, and a
+  // later --resume must re-run these cells rather than trust it.
+  EXPECT_TRUE(cells_sans_seconds(stream.str()).empty());
+  std::istringstream lines(stream.str());
+  std::string line;
+  bool saw_begin = false;
+  while (std::getline(lines, line)) {
+    const std::string event = Json::parse(line).string_or("event", "");
+    EXPECT_NE(event, "cell");
+    saw_begin = saw_begin || event == "sweep_begin";
+  }
+  EXPECT_TRUE(saw_begin);
+}
+
+TEST(Dispatch, ConnectFailureIsATransportError) {
+  // The fault taxonomy the retry loop keys on: a dead socket is a
+  // TransportError (retryable), still catchable as ServiceError.
+  EXPECT_THROW(Client client(temp_socket_path()), TransportError);
+  try {
+    Client client(temp_socket_path());
+  } catch (const ServiceError&) {
+    SUCCEED();
+  }
 }
 
 }  // namespace

@@ -4,8 +4,11 @@
 // invariant — a parallel sweep is bit-identical to a serial one.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +17,7 @@
 
 #include "src/exp/aggregate.h"
 #include "src/exp/json.h"
+#include "src/exp/report_render.h"
 #include "src/exp/sweep_runner.h"
 #include "src/exp/sweep_spec.h"
 #include "src/exp/telemetry.h"
@@ -618,6 +622,338 @@ TEST(Aggregate, ComputesStatsAndRpd) {
   ASSERT_EQ(summary.groups[0].mean_history.size(), 2u);
   EXPECT_DOUBLE_EQ(summary.groups[0].mean_history[0], 120.0);
   EXPECT_DOUBLE_EQ(summary.groups[0].mean_history[1], 115.0);
+}
+
+// --- non-finite JSON --------------------------------------------------------
+
+TEST(Json, NonFiniteDoublesRoundTripAsSentinels) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // Non-finite doubles serialize as sentinel strings, not null: a
+  // target=inf budget or a NaN objective must survive telemetry.
+  EXPECT_EQ(Json::number(inf).dump(), "\"inf\"");
+  EXPECT_EQ(Json::number(-inf).dump(), "\"-inf\"");
+  EXPECT_EQ(Json::number(std::nan("")).dump(), "\"nan\"");
+  const Json pos = Json::parse("\"inf\"");
+  EXPECT_EQ(pos.kind(), Json::Kind::kNumber);
+  EXPECT_EQ(pos.as_number(), inf);
+  EXPECT_EQ(Json::parse("\"-inf\"").as_number(), -inf);
+  EXPECT_TRUE(std::isnan(Json::parse("\"nan\"").as_number()));
+  // Full object round trip through dump + parse.
+  const Json record = Json::parse(Json::object()
+                                      .set("hi", Json::number(inf))
+                                      .set("lo", Json::number(-inf))
+                                      .set("bad", Json::number(std::nan("")))
+                                      .dump());
+  EXPECT_EQ(record.number_or("hi", 0.0), inf);
+  EXPECT_EQ(record.number_or("lo", 0.0), -inf);
+  EXPECT_TRUE(std::isnan(record.number_or("bad", 0.0)));
+  // Ordinary strings are untouched (only the exact sentinels promote).
+  EXPECT_EQ(Json::parse("\"infinity\"").as_string(), "infinity");
+  EXPECT_EQ(Json::parse("\"NaN\"").as_string(), "NaN");
+}
+
+// --- gen: brace expansion ---------------------------------------------------
+
+TEST(SweepSpec, GenBraceExpansionCrossProduct) {
+  const SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8\n"
+      "instance=gen:jobs={10,20},machines={3,5},seed=1\n");
+  ASSERT_EQ(spec.axes.size(), 1u);
+  const SweepAxis& axis = spec.axes[0];
+  EXPECT_TRUE(axis.grouped);
+  EXPECT_EQ(axis.label, "jobs+machines");
+  ASSERT_EQ(axis.values.size(), 4u);
+  // First group varies slowest, like every other axis cross-product.
+  EXPECT_EQ(axis.values[0], "instance=gen:jobs=10,machines=3,seed=1");
+  EXPECT_EQ(axis.values[1], "instance=gen:jobs=10,machines=5,seed=1");
+  EXPECT_EQ(axis.values[2], "instance=gen:jobs=20,machines=3,seed=1");
+  EXPECT_EQ(axis.values[3], "instance=gen:jobs=20,machines=5,seed=1");
+  // Display values are the compact picks, not the full token.
+  ASSERT_EQ(axis.display.size(), 4u);
+  EXPECT_EQ(axis.value_label(0), "10/3");
+  EXPECT_EQ(axis.value_label(3), "20/5");
+  // The expansion runs through the ordinary grid machinery.
+  const std::vector<SweepCell> cells = spec.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].spec, "engine=simple pop=8 "
+                           "instance=gen:jobs=10,machines=3,seed=1 seed=" +
+                               std::to_string(cells[0].seed));
+}
+
+TEST(SweepSpec, GenBraceExpansionSingleGroup) {
+  const SweepSpec spec =
+      SweepSpec::parse("engine=simple instance=gen:jobs={20,50,100},seed=7");
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].label, "jobs");
+  EXPECT_EQ(spec.axes[0].display,
+            (std::vector<std::string>{"20", "50", "100"}));
+  EXPECT_EQ(spec.axes[0].values[2], "instance=gen:jobs=100,seed=7");
+}
+
+TEST(SweepSpec, GenBraceExpansionCellsSolve) {
+  const SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 problem=openshop\n"
+      "instance=gen:jobs={3,4},machines=3,seed=2\n"
+      "@reps=1 @generations=2");
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_NE(result.cells[0].result.problem, result.cells[1].result.problem);
+}
+
+TEST(SweepSpec, GenBraceExpansionRejectsMalformed) {
+  // Unbalanced and nested braces fail loudly, naming the token.
+  EXPECT_THROW(SweepSpec::parse("instance=gen:jobs={10,20"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepSpec::parse("instance=gen:jobs={1{0,2}0}"),
+               std::invalid_argument);
+  // A brace group must be a gen: subkey's value.
+  EXPECT_THROW(SweepSpec::parse("instance=gen:{10,20}"),
+               std::invalid_argument);
+  // Braces past the first '=' in a non-gen: value are not an axis.
+  try {
+    SweepSpec::parse("engine=simple decoder=x{a,b}");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gen:"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- cell hashes ------------------------------------------------------------
+
+TEST(SweepCellHash, StableDistinctAndHex) {
+  const std::vector<SweepCell> cells = tiny_island_sweep().expand();
+  std::set<std::string> hashes;
+  for (const SweepCell& cell : cells) {
+    const std::string hex = sweep_cell_hash_hex("sweep", cell);
+    // Pure function of (sweep, spec, instance, rep, seed).
+    EXPECT_EQ(hex, sweep_cell_hash_hex("sweep", cell));
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+    // The sweep name participates: the same cell in a differently named
+    // sweep must not be mistaken for finished on resume.
+    EXPECT_NE(hex, sweep_cell_hash_hex("other", cell));
+    hashes.insert(hex);
+  }
+  EXPECT_EQ(hashes.size(), cells.size());
+  // Rep and seed each move the hash even with an identical spec string.
+  SweepCell moved = cells[0];
+  moved.rep = cells[0].rep + 1;
+  EXPECT_NE(sweep_cell_hash_hex("sweep", moved),
+            sweep_cell_hash_hex("sweep", cells[0]));
+  moved = cells[0];
+  moved.seed ^= 1;
+  EXPECT_NE(sweep_cell_hash_hex("sweep", moved),
+            sweep_cell_hash_hex("sweep", cells[0]));
+}
+
+// --- resume -----------------------------------------------------------------
+
+/// Normalized cell records keyed by hash, `seconds` (the only
+/// wall-clock field) stripped. Unparsable lines are skipped like every
+/// telemetry consumer does.
+std::map<std::string, std::string> cell_records_sans_seconds(
+    const std::string& jsonl) {
+  std::map<std::string, std::string> out;
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    Json record;
+    try {
+      record = Json::parse(line);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (record.string_or("event", "") != "cell") continue;
+    Json normalized = Json::object();
+    for (const Json::Member& member : record.members()) {
+      if (member.first != "seconds") {
+        normalized.set(member.first, member.second);
+      }
+    }
+    out[record.string_or("hash", "")] = normalized.dump();
+  }
+  return out;
+}
+
+/// `jsonl` truncated right after its `keep`-th cell record, plus the
+/// partial line a SIGKILL mid-write leaves behind.
+std::string truncate_after_cells(const std::string& jsonl, int keep) {
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::string out;
+  int cells = 0;
+  while (cells < keep && std::getline(lines, line)) {
+    out += line;
+    out += '\n';
+    if (Json::parse(line).string_or("event", "") == "cell") ++cells;
+  }
+  out += "{\"schema_version\":1,\"event\":\"cell\",\"hash\":\"dead";
+  return out;
+}
+
+TEST(SweepResume, ScanSkipsGarbageAndKeysByHash) {
+  std::istringstream in(
+      "{\"event\":\"sweep_begin\",\"sweep\":\"s\"}\n"
+      "{\"event\":\"cell\",\"hash\":\"00000000000000aa\",\"ok\":true}\n"
+      "not json at all\n"
+      "{\"event\":\"cell\",\"ok\":true}\n"  // no hash: pre-hash telemetry
+      "{\"event\":\"cell\",\"hash\":\"00000000000000bb\",\"ok\":false,"
+      "\"error\":\"x\"}\n"
+      "{\"event\":\"cell\",\"hash\":\"trunc");
+  const FinishedCells finished = scan_finished_cells(in);
+  ASSERT_EQ(finished.size(), 2u);
+  EXPECT_TRUE(finished.count("00000000000000aa"));
+  // Failed cells count as finished: their failure is deterministic.
+  EXPECT_TRUE(finished.count("00000000000000bb"));
+}
+
+TEST(SweepResume, ResumedRunMatchesUninterrupted) {
+  // The uninterrupted baseline.
+  std::ostringstream full_stream;
+  SweepResult full;
+  {
+    TelemetrySink sink(full_stream);
+    SweepOptions options;
+    options.telemetry = &sink;
+    full = run_sweep(tiny_island_sweep(), options);
+  }
+  ASSERT_EQ(full.failed, 0);
+  ASSERT_EQ(full.cells.size(), 16u);
+
+  // Kill after 5 finished cells (serial run: records land in index
+  // order), leaving a ragged partial line.
+  const std::string truncated = truncate_after_cells(full_stream.str(), 5);
+  std::istringstream scan_in(truncated);
+  const FinishedCells finished = scan_finished_cells(scan_in);
+  ASSERT_EQ(finished.size(), 5u);
+
+  // Resume: skip the finished cells, append the rest.
+  std::ostringstream resumed_stream;
+  SweepResult resumed;
+  {
+    TelemetrySink sink(resumed_stream);
+    SweepOptions options;
+    options.telemetry = &sink;
+    options.resume = &finished;
+    resumed = run_sweep(tiny_island_sweep(), options);
+  }
+  ASSERT_EQ(resumed.cells.size(), full.cells.size());
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    EXPECT_EQ(resumed.cells[i].resumed, i < 5u) << "cell " << i;
+    EXPECT_TRUE(resumed.cells[i].ok);
+    EXPECT_EQ(resumed.cells[i].result.best_objective,
+              full.cells[i].result.best_objective)
+        << "cell " << i;
+    EXPECT_EQ(resumed.cells[i].result.evaluations,
+              full.cells[i].result.evaluations);
+  }
+  // The summary table is byte-identical to the uninterrupted run's.
+  EXPECT_EQ(summary_table(full.spec, summarize(full)).to_string(),
+            summary_table(resumed.spec, summarize(resumed)).to_string());
+  // Resumed cells write no telemetry, so truncated + resumed unions to
+  // exactly the uninterrupted file's cell records (modulo seconds).
+  EXPECT_EQ(cell_records_sans_seconds(truncated + resumed_stream.str()),
+            cell_records_sans_seconds(full_stream.str()));
+  // And the resumed stream holds only the 11 re-run cells.
+  EXPECT_EQ(cell_records_sans_seconds(resumed_stream.str()).size(), 11u);
+}
+
+// --- report rendering -------------------------------------------------------
+
+TEST(ReportRender, ParsesTelemetryIntoCellsAndCurves) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=island islands=2 pop=8 eval_cache=unbounded\n"
+      "topology={ring,full}\n"
+      "@instances=ta001 @reps=2 @generations=3 @seed=5 @reference=1278");
+  std::ostringstream telemetry;
+  {
+    TelemetrySink sink(telemetry);
+    SweepOptions options;
+    options.telemetry = &sink;
+    ASSERT_EQ(run_sweep(spec, options).failed, 0);
+  }
+  std::istringstream in(telemetry.str());
+  const std::vector<SweepReport> reports = parse_telemetry(in);
+  ASSERT_EQ(reports.size(), 1u);
+  const SweepReport& report = reports[0];
+  EXPECT_EQ(report.sweep, "sweep");
+  EXPECT_EQ(report.declared_cells, 4);
+  EXPECT_DOUBLE_EQ(report.reference, 1278.0);
+  ASSERT_EQ(report.axes.size(), 1u);
+  EXPECT_EQ(report.axes[0].first, "topology");
+  ASSERT_EQ(report.cells.size(), 4u);
+  for (const ReportCell& cell : report.cells) {
+    EXPECT_TRUE(cell.ok);
+    EXPECT_EQ(cell.hash.size(), 16u);
+    ASSERT_TRUE(cell.cache.has_value());
+    // init + 3 generations folded into the convergence curve, in order.
+    ASSERT_EQ(cell.curve.size(), 4u);
+    for (std::size_t i = 1; i < cell.curve.size(); ++i) {
+      EXPECT_GT(cell.curve[i].first, cell.curve[i - 1].first);
+      EXPECT_LE(cell.curve[i].second, cell.curve[i - 1].second);
+    }
+  }
+
+  const std::string csv = render_csv(reports);
+  EXPECT_NE(csv.find("# sweep sweep"), std::string::npos);
+  EXPECT_NE(csv.find("sweep,cell,config,instance,rep,seed,hash,topology"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",cache_hits,cache_misses,cache_hit_rate,"),
+            std::string::npos);
+  // 1 comment + 1 header + 4 cell rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+
+  const std::string html = render_html(reports);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("mean RPD (%)"), std::string::npos);
+  EXPECT_NE(html.find("cache hit %"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // Deterministic: rendering twice yields identical bytes.
+  EXPECT_EQ(html, render_html(reports));
+}
+
+TEST(ReportRender, CsvQuotesCommaCarryingFields) {
+  SweepSpec spec = SweepSpec::parse(
+      "engine=simple pop=8 problem=openshop\n"
+      "instance=gen:jobs={3,4},machines=3,seed=2\n"
+      "@reps=1 @generations=2");
+  std::ostringstream telemetry;
+  {
+    TelemetrySink sink(telemetry);
+    SweepOptions options;
+    options.telemetry = &sink;
+    ASSERT_EQ(run_sweep(spec, options).failed, 0);
+  }
+  std::istringstream in(telemetry.str());
+  const std::string csv = render_csv(parse_telemetry(in));
+  // The gen: spec value contains commas, so it must be quoted.
+  EXPECT_NE(csv.find("\"engine=simple pop=8 problem=openshop "
+                     "instance=gen:jobs=3,machines=3,seed=2"),
+            std::string::npos)
+      << csv;
+}
+
+TEST(ReportRender, DuplicateCellRecordsResolveLastWins) {
+  std::istringstream in(
+      "{\"event\":\"sweep_begin\",\"sweep\":\"s\",\"cells\":2}\n"
+      "{\"event\":\"cell\",\"cell\":0,\"hash\":\"aa\",\"ok\":true,"
+      "\"best_objective\":100}\n"
+      "{\"event\":\"sweep_begin\",\"sweep\":\"s\",\"cells\":2}\n"
+      "{\"event\":\"cell\",\"cell\":0,\"hash\":\"aa\",\"ok\":true,"
+      "\"best_objective\":90}\n"
+      "{\"event\":\"cell\",\"cell\":1,\"hash\":\"bb\",\"ok\":false,"
+      "\"error\":\"boom\"}\n"
+      "half a line");
+  const std::vector<SweepReport> reports = parse_telemetry(in);
+  // The resumed file's second sweep_begin merges into one report.
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_EQ(reports[0].cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(reports[0].cells[0].best_objective, 90.0);
+  EXPECT_FALSE(reports[0].cells[1].ok);
+  EXPECT_EQ(reports[0].cells[1].error, "boom");
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+// psga_report — renders sweep telemetry JSONL into a flat CSV and a
+// self-contained HTML dashboard (summary tables, RPD vs the declared
+// reference, cache hit rates, SVG convergence curves per axis value).
+//
+//   $ psga_report [--csv PATH] [--html PATH] <telemetry.jsonl>
+//
+// With no --csv/--html the output paths default to the input path with
+// its .jsonl suffix replaced by .csv / .html. Either flag may be `-` to
+// write that artifact to stdout instead of a file.
+//
+// The input may be a live or truncated file (a SIGKILLed sweep, a
+// resumed run): malformed tail lines are skipped and duplicate cell
+// records resolve last-wins, so `psga_report` over a resumed telemetry
+// file renders the same report as one uninterrupted run.
+//
+// Exit status: 1 for unusable input (missing file, no sweep content)
+// or unwritable output.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/report_render.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--csv PATH] [--html PATH] <telemetry.jsonl>\n",
+               argv0);
+  return 1;
+}
+
+/// input path minus a trailing ".jsonl" (or ".json"), plus `suffix`.
+std::string default_output(const std::string& input, const char* suffix) {
+  std::string base = input;
+  for (const char* ext : {".jsonl", ".json"}) {
+    const std::size_t n = std::strlen(ext);
+    if (base.size() > n && base.compare(base.size() - n, n, ext) == 0) {
+      base.resize(base.size() - n);
+      break;
+    }
+  }
+  return base + suffix;
+}
+
+/// Writes `text` to `path` ("-" = stdout). Returns false on failure.
+bool write_artifact(const std::string& path, const std::string& text,
+                    const char* what) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "psga_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  std::fprintf(stderr, "psga_report: wrote %s %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string csv_path;
+  std::string html_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psga_report: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv_path = next_value();
+    } else if (arg == "--html") {
+      html_path = next_value();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "psga_report: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+  if (csv_path.empty()) csv_path = default_output(input, ".csv");
+  if (html_path.empty()) html_path = default_output(input, ".html");
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "psga_report: cannot read %s\n", input.c_str());
+    return 1;
+  }
+  const std::vector<psga::exp::SweepReport> reports =
+      psga::exp::parse_telemetry(in);
+  if (reports.empty()) {
+    std::fprintf(stderr, "psga_report: %s holds no sweep telemetry\n",
+                 input.c_str());
+    return 1;
+  }
+
+  if (!write_artifact(csv_path, psga::exp::render_csv(reports), "CSV")) {
+    return 1;
+  }
+  if (!write_artifact(html_path, psga::exp::render_html(reports), "HTML")) {
+    return 1;
+  }
+  return 0;
+}

@@ -4,8 +4,8 @@
 //
 //   $ psga_sweep [options] <spec-file>
 //
-//   --threads N        cells in flight (default 1: serial; results are
-//                      bit-identical at any thread count)
+//   --threads N        in-process cells in flight (default 1: serial;
+//                      results are bit-identical at any thread count)
 //   --telemetry PATH   write JSONL telemetry (see docs/sweeps.md)
 //   --every N          generation-event stride (default 1; 0 = final
 //                      records only)
@@ -13,29 +13,39 @@
 //   --csv              emit tables as CSV instead of aligned text
 //   --reps N           override every sweep's @reps
 //   --seed N           override every sweep's @seed
+//   --resume FILE      skip cells whose `cell` records (matched by the
+//                      stable cell hash) already sit in FILE, and append
+//                      new telemetry to FILE — the file ends up equal to
+//                      one uninterrupted run's
 //   --list             print the expanded cells and exit (dry run)
 //   --list-problems    print the problem registry (problem= values) and exit
 //   --list-engines     print the engine registry (engine= values) and exit
 //   --quiet            no per-cell progress on stderr
-//   --dispatch SOCKET  send each expanded cell's RunSpec to the psgad
-//                      daemon at SOCKET instead of running in-process
-//                      lanes (serial submit/wait; prints one line per
-//                      cell — full scale-out is a ROADMAP item). Cell
-//                      seeds are baked into the specs, so results match
-//                      the in-process runner bit-for-bit.
+//   --dispatch SOCKET  run each expanded cell as a job on the psgad
+//                      daemon at SOCKET instead of in-process lanes.
+//                      Cell seeds are baked into the specs, so results
+//                      (and the summary tables) match the in-process
+//                      runner bit-for-bit; the dispatched telemetry is
+//                      byte-compatible too (src/svc/dispatch.h).
+//   --jobs N           with --dispatch: cells in flight against the
+//                      daemon (default 1)
+//
+// All of --telemetry/--summary/--csv/--reps/--seed/--resume apply to
+// --dispatch runs exactly as to in-process ones. --threads and
+// --every are in-process-only knobs and are rejected under --dispatch
+// (use --jobs; the daemon's telemetry_every governs its stream).
 //
 // Exit status: 1 for unusable input (missing/unparsable spec file,
-// zero-cell sweeps, unreachable --dispatch daemon) and when any cell
-// failed — cell failures are fail-soft (the sweep completes and the
-// summaries report them) but the process still signals them, so CI
-// wrappers cannot mistake a partially failed sweep for a clean one.
+// zero-cell sweeps, option conflicts) and when any cell failed — cell
+// failures are fail-soft (the sweep completes and the summaries report
+// them) but the process still signals them, so CI wrappers cannot
+// mistake a partially failed sweep for a clean one.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -46,7 +56,7 @@
 #include "src/exp/sweep_spec.h"
 #include "src/exp/telemetry.h"
 #include "src/ga/solver.h"
-#include "src/svc/client.h"
+#include "src/svc/dispatch.h"
 
 namespace {
 
@@ -56,67 +66,13 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--telemetry PATH] [--every N]\n"
                "       %*s [--summary PATH] [--csv] [--reps N] [--seed N]\n"
-               "       %*s [--list] [--quiet] [--dispatch SOCKET] <spec-file>\n"
+               "       %*s [--resume FILE] [--list] [--quiet]\n"
+               "       %*s [--dispatch SOCKET [--jobs N]] <spec-file>\n"
                "       %s --list-problems | --list-engines\n",
                argv0, static_cast<int>(std::strlen(argv0)), "",
+               static_cast<int>(std::strlen(argv0)), "",
                static_cast<int>(std::strlen(argv0)), "", argv0);
   return 1;
-}
-
-/// The full RunSpec of one expanded cell: the cell's combined tokens
-/// (base + axes + trailing seed=) with the @instances entry folded in as
-/// an instance= token — the same folding SweepRunner's planner performs
-/// before building a cell in-process, so a dispatched cell solves the
-/// identical spec.
-std::string cell_runspec(const psga::exp::SweepCell& cell) {
-  std::string spec = cell.spec;
-  if (!cell.instance.empty()) spec += " instance=" + cell.instance;
-  return spec;
-}
-
-/// --dispatch: submit every cell of every sweep to a running psgad and
-/// wait for each result (serial — the minimal remote mode). Returns the
-/// number of failed cells; throws for transport-level errors (daemon
-/// unreachable / connection lost), which poison the whole dispatch.
-int dispatch_sweeps(const std::vector<psga::exp::SweepSpec>& sweeps,
-                    const std::string& socket_path, bool quiet) {
-  psga::svc::Client client(socket_path);
-  int failed = 0;
-  for (const psga::exp::SweepSpec& sweep : sweeps) {
-    for (const psga::exp::SweepCell& cell : sweep.expand()) {
-      psga::svc::SubmitOptions options;
-      if (sweep.stop.max_generations < std::numeric_limits<int>::max()) {
-        options.generations = sweep.stop.max_generations;
-      }
-      if (sweep.stop.max_seconds > 0) options.seconds = sweep.stop.max_seconds;
-      if (sweep.stop.max_evaluations > 0) {
-        options.evaluations = sweep.stop.max_evaluations;
-      }
-      if (sweep.stop.target_objective >= 0) {
-        options.target = sweep.stop.target_objective;
-      }
-      const std::string spec = cell_runspec(cell);
-      // Transport/admission errors (ServiceError) propagate: without a
-      // reachable daemon the whole dispatch is unusable, unlike a
-      // fail-soft cell error which is just one job in state failed.
-      const psga::svc::JobRecord job =
-          client.wait(client.submit(spec, options));
-      const bool ok = job.state == psga::svc::JobState::kDone;
-      failed += !ok;
-      if (ok) {
-        if (!quiet) {
-          std::printf("%s\t%d\tbest=%.17g evaluations=%lld generations=%d\t%s\n",
-                      sweep.name.c_str(), cell.index, job.best_objective,
-                      job.evaluations, job.generations, spec.c_str());
-        }
-      } else {
-        std::printf("%s\t%d\t%s\t%s\t%s\n", sweep.name.c_str(), cell.index,
-                    psga::svc::to_string(job.state),
-                    job.error.c_str(), spec.c_str());
-      }
-    }
-  }
-  return failed;
 }
 
 /// Prints one registry ("problem" or "engine") as aligned name +
@@ -141,8 +97,13 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string summary_path;
   std::string dispatch_socket;
+  std::string resume_path;
   int threads = 1;
+  bool threads_set = false;
   int every = 1;
+  bool every_set = false;
+  int jobs = 1;
+  bool jobs_set = false;
   bool csv = false;
   bool list = false;
   bool quiet = false;
@@ -160,14 +121,21 @@ int main(int argc, char** argv) {
     };
     if (arg == "--threads") {
       threads = std::atoi(next_value());
+      threads_set = true;
     } else if (arg == "--telemetry") {
       telemetry_path = next_value();
     } else if (arg == "--every") {
       every = std::atoi(next_value());
+      every_set = true;
     } else if (arg == "--summary") {
       summary_path = next_value();
     } else if (arg == "--dispatch") {
       dispatch_socket = next_value();
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next_value());
+      jobs_set = true;
+    } else if (arg == "--resume") {
+      resume_path = next_value();
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--reps") {
@@ -195,6 +163,33 @@ int main(int argc, char** argv) {
   }
   if (spec_path.empty()) return usage(argv[0]);
 
+  // Option conflicts fail loudly instead of silently ignoring a flag.
+  if (!dispatch_socket.empty() && threads_set) {
+    std::fprintf(stderr,
+                 "psga_sweep: --threads controls in-process lanes; with "
+                 "--dispatch use --jobs for cells in flight\n");
+    return 1;
+  }
+  if (!dispatch_socket.empty() && every_set && every != 1) {
+    std::fprintf(stderr,
+                 "psga_sweep: --every does not apply to --dispatch (the "
+                 "daemon's telemetry_every governs its stream)\n");
+    return 1;
+  }
+  if (dispatch_socket.empty() && jobs_set) {
+    std::fprintf(stderr, "psga_sweep: --jobs requires --dispatch\n");
+    return 1;
+  }
+  if (!resume_path.empty() && !telemetry_path.empty() &&
+      telemetry_path != resume_path) {
+    std::fprintf(stderr,
+                 "psga_sweep: --resume appends telemetry to the resumed "
+                 "file; drop --telemetry or point it at %s\n",
+                 resume_path.c_str());
+    return 1;
+  }
+  if (!resume_path.empty()) telemetry_path = resume_path;
+
   std::ifstream spec_file(spec_path);
   if (!spec_file) {
     std::fprintf(stderr, "psga_sweep: cannot read %s\n", spec_path.c_str());
@@ -220,20 +215,6 @@ int main(int argc, char** argv) {
     if (seed_override) sweep.seed = *seed_override;
   }
 
-  if (!dispatch_socket.empty()) {
-    try {
-      const int failed = dispatch_sweeps(sweeps, dispatch_socket, quiet);
-      if (failed > 0) {
-        std::fprintf(stderr, "psga_sweep: %d dispatched cell(s) failed\n",
-                     failed);
-      }
-      return failed > 0 ? 1 : 0;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "psga_sweep: dispatch: %s\n", e.what());
-      return 1;
-    }
-  }
-
   if (list) {
     for (const exp::SweepSpec& sweep : sweeps) {
       try {
@@ -249,14 +230,48 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Hashes carry the sweep name, so one map covers every sweep in the
+  // file. The scan tolerates the ragged tail a SIGKILL leaves.
+  exp::FinishedCells finished;
+  if (!resume_path.empty()) {
+    std::ifstream resume_file(resume_path);
+    if (!resume_file) {
+      std::fprintf(stderr, "psga_sweep: cannot read resume file %s\n",
+                   resume_path.c_str());
+      return 1;
+    }
+    finished = exp::scan_finished_cells(resume_file);
+    if (!quiet) {
+      std::fprintf(stderr, "psga_sweep: resuming past %zu finished cell(s)\n",
+                   finished.size());
+    }
+  }
+
   std::ofstream telemetry_file;
   std::optional<exp::TelemetrySink> sink;
   if (!telemetry_path.empty()) {
-    telemetry_file.open(telemetry_path);
+    // Resume appends below the already-scanned records so the file ends
+    // up as the union — equal to one uninterrupted run's telemetry.
+    telemetry_file.open(telemetry_path, resume_path.empty()
+                                            ? std::ios::out
+                                            : std::ios::out | std::ios::app);
     if (!telemetry_file) {
       std::fprintf(stderr, "psga_sweep: cannot write %s\n",
                    telemetry_path.c_str());
       return 1;
+    }
+    if (!resume_path.empty()) {
+      // A SIGKILL can leave a partial final line with no newline;
+      // appended records must not merge into it. The partial line then
+      // stands alone and every telemetry consumer skips it.
+      std::ifstream tail(telemetry_path, std::ios::binary);
+      tail.seekg(0, std::ios::end);
+      if (tail.tellg() > 0) {
+        tail.seekg(-1, std::ios::end);
+        char last = '\n';
+        tail.get(last);
+        if (last != '\n') telemetry_file << '\n';
+      }
     }
     sink.emplace(telemetry_file);
   }
@@ -265,20 +280,29 @@ int main(int argc, char** argv) {
   int total_cells = 0;
   int failed_cells = 0;
   for (const exp::SweepSpec& sweep : sweeps) {
-    exp::SweepOptions options;
-    options.threads = threads;
-    options.telemetry = sink ? &*sink : nullptr;
-    options.telemetry_every = every;
-    if (!quiet) {
-      options.progress = [&](const exp::CellResult& cell, int done,
-                             int total) {
-        std::fprintf(stderr, "\r[%s] %d/%d%s", sweep.name.c_str(), done,
-                     total, cell.ok ? "" : " (cell failed)");
-        if (done == total) std::fprintf(stderr, "\n");
-      };
-    }
+    auto progress = [&](const exp::CellResult& cell, int done, int total) {
+      std::fprintf(stderr, "\r[%s] %d/%d%s", sweep.name.c_str(), done, total,
+                   cell.ok ? "" : " (cell failed)");
+      if (done == total) std::fprintf(stderr, "\n");
+    };
     try {
-      const exp::SweepResult result = exp::run_sweep(sweep, options);
+      exp::SweepResult result;
+      if (!dispatch_socket.empty()) {
+        svc::DispatchOptions options;
+        options.jobs = jobs;
+        options.telemetry = sink ? &*sink : nullptr;
+        options.resume = finished.empty() ? nullptr : &finished;
+        if (!quiet) options.progress = progress;
+        result = svc::dispatch_sweep(sweep, dispatch_socket, options);
+      } else {
+        exp::SweepOptions options;
+        options.threads = threads;
+        options.telemetry = sink ? &*sink : nullptr;
+        options.telemetry_every = every;
+        options.resume = finished.empty() ? nullptr : &finished;
+        if (!quiet) options.progress = progress;
+        result = exp::run_sweep(sweep, options);
+      }
       total_cells += static_cast<int>(result.cells.size());
       failed_cells += result.failed;
       if (csv) {
@@ -291,8 +315,8 @@ int main(int argc, char** argv) {
         tables << "\n";
       }
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "psga_sweep: sweep '%s': %s\n",
-                   sweep.name.c_str(), e.what());
+      std::fprintf(stderr, "psga_sweep: sweep '%s': %s\n", sweep.name.c_str(),
+                   e.what());
       return 1;
     }
   }

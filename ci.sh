@@ -103,6 +103,33 @@ print(f"ci.sh: sweep smoke OK ({cells} cells over {len(families)} "
       "problem families, telemetry parses)")
 PYEOF
   rm -f "$SWEEP_JSONL" "$SWEEP_SUMMARY"
+
+  # Traced re-run of the same sweep: --trace must produce a Chrome
+  # trace-event file Perfetto would load — one process track per cell,
+  # process_name metadata, and well-formed complete ("X") spans.
+  TRACE_JSON=$(mktemp /tmp/psga_trace.XXXXXX.json)
+  "$BUILD_DIR"/psga_sweep --quiet --threads 2 --trace "$TRACE_JSON" \
+    sweeps/smoke.sweep >/dev/null
+  python3 - "$TRACE_JSON" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+pids = {e["pid"] for e in events}
+metadata = {e["name"] for e in events if e["ph"] == "M"}
+spans = [e for e in events if e["ph"] == "X"]
+assert "process_name" in metadata, "missing process_name metadata"
+assert spans, "no complete (X) span events"
+assert len(pids) == 12, f"expected 12 cell tracks, got {len(pids)}"
+for e in spans:
+    assert e["name"] and e["ts"] >= 0 and e["dur"] >= 0, e
+print(f"ci.sh: trace smoke OK ({len(spans)} spans over "
+      f"{len(pids)} cell tracks)")
+PYEOF
+  rm -f "$TRACE_JSON"
 else
   echo "psga_sweep or python3 missing; skipping sweep smoke"
 fi
@@ -147,6 +174,36 @@ print(f"ci.sh: watch streamed {len(lines)} telemetry lines "
       f"(best={lines[-1]['best_objective']})")
 PYEOF
   rm -f "$SVC_WATCH"
+
+  # Stats/info scrape: the daemon's metrics registry over the wire —
+  # `stats` returns the full snapshot (obs_json layout), `info` the
+  # build type, uptime, cumulative totals and latency percentiles.
+  SVC_STATS=$(mktemp /tmp/psgad_ci_stats.XXXXXX.json)
+  SVC_INFO=$(mktemp /tmp/psgad_ci_info.XXXXXX.json)
+  "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" stats > "$SVC_STATS"
+  "$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" info > "$SVC_INFO"
+  python3 - "$SVC_STATS" "$SVC_INFO" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["ok"] and stats["uptime_seconds"] >= 0, stats
+counters = stats["metrics"]["counters"]
+assert counters.get("svc.jobs.admitted", 0) >= 1, counters
+assert counters.get("svc.jobs.completed", 0) >= 1, counters
+assert stats["metrics"]["histograms"]["svc.job.run_ns"]["count"] >= 1, (
+    stats["metrics"]["histograms"])
+with open(sys.argv[2]) as f:
+    info = json.load(f)
+assert info["build_type"], info
+assert info["uptime_seconds"] >= 0, info
+assert info["totals"]["admitted"] >= 1, info
+assert info["latency"]["run"]["p50"] >= 0, info
+print("ci.sh: stats scrape OK (admitted="
+      f"{counters['svc.jobs.admitted']}, build={info['build_type']})")
+PYEOF
+  rm -f "$SVC_STATS" "$SVC_INFO"
 
   CANCEL_JOB=$("$BUILD_DIR"/psgactl --socket "$SVC_SOCKET" submit \
     'problem=flowshop instance=ta001 engine=simple pop=8 seed=1' \
@@ -253,7 +310,9 @@ for row in csv.reader(open(sys.argv[1])):
 assert data == 12, f"expected 12 CSV cell rows, got {data}"
 html = open(sys.argv[2]).read()
 assert "<svg" in html and "</html>" in html, "report HTML incomplete"
-print("ci.sh: report render OK (CSV parses, HTML whole)")
+assert 'class="tiles"' in html and "cell p95" in html, (
+    "report HTML is missing the latency tiles")
+print("ci.sh: report render OK (CSV parses, HTML whole, latency tiles)")
 PYEOF
   "$BUILD_DIR"/psgactl --socket "$DSP_SOCKET" drain >/dev/null
   if ! wait "$DSP_PID"; then
@@ -338,6 +397,75 @@ with open(sys.argv[1], "w") as f:
     json.dump(merged, f, indent=1)
 PYEOF
     rm -f "$CACHE_FRESH"
+  fi
+
+  # Obs overhead gate: the always-on metrics write path must stay under
+  # OBS_TOLERANCE (default 2%) of a decode-heavy engine run. The
+  # enabled/disabled legs run back to back in one process so host drift
+  # cancels out, and the gate judges min-of-repetitions (contention
+  # only ever inflates a timing). A burst can still poison a whole
+  # process, so a failing measurement is retried in fresh processes.
+  if [[ -x "$BUILD_DIR/bench_micro_obs" ]] && command -v python3 >/dev/null; then
+    OBS_FRESH=$(mktemp /tmp/psga_bench_obs.XXXXXX.json)
+    OBS_OK=0
+    for attempt in 1 2 3; do
+      "$BUILD_DIR"/bench_micro_obs \
+        --benchmark_min_time=0.05 \
+        --benchmark_repetitions=5 \
+        --benchmark_format=json \
+        --benchmark_out="$OBS_FRESH" \
+        --benchmark_out_format=json >/dev/null
+      if OBS_TOLERANCE=${OBS_TOLERANCE:-0.02} \
+         python3 - "$OBS_FRESH" <<'PYEOF'
+import json
+import os
+import sys
+
+tolerance = float(os.environ.get("OBS_TOLERANCE", "0.02"))
+with open(sys.argv[1]) as f:
+    benches = json.load(f)["benchmarks"]
+
+
+def best(name):
+    times = [b["real_time"] for b in benches
+             if b["name"].startswith(name)
+             and b.get("run_type") == "iteration"]
+    assert times, f"no iteration timings for {name}"
+    return min(times)
+
+
+off = best("BM_DecodeRunObs/metrics:0")
+on = best("BM_DecodeRunObs/metrics:1")
+ratio = on / off
+print(f"ci.sh: obs overhead {ratio - 1.0:+.2%} (metrics on {on:.2f} vs "
+      f"off {off:.2f} ms, gate {tolerance:.0%})")
+sys.exit(0 if ratio <= 1.0 + tolerance else 1)
+PYEOF
+      then OBS_OK=1; break; fi
+      echo "ci.sh: obs overhead above gate, retrying ($attempt/3)"
+    done
+    if [[ "$OBS_OK" != "1" ]]; then
+      echo "ci.sh: metrics-enabled decode run stayed > ${OBS_TOLERANCE:-0.02} slower across retries"
+      exit 1
+    fi
+    # The primitive-cost benches ride into BENCH_micro.json with the
+    # other micro suites (median aggregates, plain names).
+    python3 - "$FRESH" "$OBS_FRESH" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    merged = json.load(f)
+with open(sys.argv[2]) as f:
+    obs = json.load(f)["benchmarks"]
+medians = [b for b in obs if b.get("aggregate_name") == "median"]
+for b in medians:
+    b["name"] = b["name"].removesuffix("_median")
+merged["benchmarks"].extend(medians)
+with open(sys.argv[1], "w") as f:
+    json.dump(merged, f, indent=1)
+PYEOF
+    rm -f "$OBS_FRESH"
   fi
 
   # Stamp the snapshot with this tree's build type so a future diff can

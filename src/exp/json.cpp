@@ -184,6 +184,63 @@ void Json::dump_to(std::string& out) const {
   }
 }
 
+std::string Json::dump(int indent) const {
+  if (indent <= 0) return dump();
+  std::string out;
+  dump_pretty_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_pretty_to(std::string& out, int indent, int depth) const {
+  auto pad = [&out, indent](int level) {
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (kind_) {
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out += ",\n";
+        first = false;
+        pad(depth + 1);
+        item.dump_pretty_to(out, indent, depth + 1);
+      }
+      out += '\n';
+      pad(depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      bool first = true;
+      for (const auto& [key, member] : object_) {
+        if (!first) out += ",\n";
+        first = false;
+        pad(depth + 1);
+        out += '"';
+        out += escape(key);
+        out += "\": ";
+        member.dump_pretty_to(out, indent, depth + 1);
+      }
+      out += '\n';
+      pad(depth);
+      out += '}';
+      return;
+    }
+    default:
+      dump_to(out);  // scalars render exactly as the compact form
+      return;
+  }
+}
+
 // --- parser -----------------------------------------------------------------
 
 namespace {

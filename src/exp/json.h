@@ -78,6 +78,12 @@ class Json {
   /// Compact single-line rendering (the JSONL line format).
   std::string dump() const;
 
+  /// Indented pretty-printing (`indent` spaces per level, newlines
+  /// between members/elements). Semantically identical to the compact
+  /// form: parse(dump(n)) == parse(dump()) for every value. Used by
+  /// psgactl for human-readable stats/info output.
+  std::string dump(int indent) const;
+
   /// Parses one JSON document; throws std::invalid_argument (with a byte
   /// offset) on malformed input or trailing garbage.
   static Json parse(const std::string& text);
@@ -87,6 +93,7 @@ class Json {
 
  private:
   void dump_to(std::string& out) const;
+  void dump_pretty_to(std::string& out, int indent, int depth) const;
   std::string number_text() const;
 
   Kind kind_ = Kind::kNull;

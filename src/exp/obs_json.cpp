@@ -1,0 +1,72 @@
+#include "src/exp/obs_json.h"
+
+namespace psga::exp {
+
+Json metrics_to_json(const obs::MetricsSnapshot& snapshot) {
+  Json counters = Json::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, Json::uinteger(value));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.set(name, Json::integer(value));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    Json buckets = Json::array();
+    for (int b = 0; b < obs::HistogramSnapshot::kBuckets; ++b) {
+      const std::uint64_t n = histogram.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      buckets.push(Json::array()
+                       .push(Json::integer(b))
+                       .push(Json::uinteger(n)));
+    }
+    histograms.set(name,
+                   Json::object()
+                       .set("count", Json::uinteger(histogram.count))
+                       .set("sum", Json::uinteger(histogram.sum))
+                       .set("mean", Json::number(histogram.mean()))
+                       .set("p50", Json::number(histogram.percentile(50.0)))
+                       .set("p95", Json::number(histogram.percentile(95.0)))
+                       .set("p99", Json::number(histogram.percentile(99.0)))
+                       .set("buckets", std::move(buckets)));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+}
+
+obs::MetricsSnapshot metrics_from_json(const Json& json) {
+  obs::MetricsSnapshot snapshot;
+  if (const Json* counters = json.find("counters")) {
+    for (const auto& [name, value] : counters->members()) {
+      snapshot.counters.emplace_back(name, value.as_u64());
+    }
+  }
+  if (const Json* gauges = json.find("gauges")) {
+    for (const auto& [name, value] : gauges->members()) {
+      snapshot.gauges.emplace_back(name, value.as_i64());
+    }
+  }
+  if (const Json* histograms = json.find("histograms")) {
+    for (const auto& [name, value] : histograms->members()) {
+      obs::HistogramSnapshot histogram;
+      histogram.count = value.find("count") ? value.find("count")->as_u64() : 0;
+      histogram.sum = value.find("sum") ? value.find("sum")->as_u64() : 0;
+      if (const Json* buckets = value.find("buckets")) {
+        for (const Json& entry : buckets->items()) {
+          const auto b =
+              static_cast<std::size_t>(entry.items().at(0).as_i64());
+          if (b < histogram.buckets.size()) {
+            histogram.buckets[b] = entry.items().at(1).as_u64();
+          }
+        }
+      }
+      snapshot.histograms.emplace_back(name, histogram);
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace psga::exp

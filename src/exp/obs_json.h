@@ -1,0 +1,24 @@
+// MetricsSnapshot <-> Json bridging for telemetry records and the svc
+// `stats` protocol op.
+//
+// Layout (stable; see docs/observability.md):
+//   {"counters":{"eval.decoded_genomes":123,...},
+//    "gauges":{"svc.queue.depth":2,...},
+//    "histograms":{"eval.decode_ns":{"count":N,"sum":S,"mean":M,
+//                  "p50":...,"p95":...,"p99":...,
+//                  "buckets":[[bucket_index,count],...]},...}}
+// Histogram buckets are emitted sparsely (non-zero only) so a snapshot
+// line stays small; from_json rebuilds the full bucket array, and the
+// derived mean/p50/p95/p99 fields are recomputed on re-snapshot (they
+// are convenience output, not round-trip state).
+#pragma once
+
+#include "src/exp/json.h"
+#include "src/obs/metrics.h"
+
+namespace psga::exp {
+
+Json metrics_to_json(const obs::MetricsSnapshot& snapshot);
+obs::MetricsSnapshot metrics_from_json(const Json& json);
+
+}  // namespace psga::exp

@@ -93,6 +93,19 @@ ReportCell parse_cell(const Json& record) {
   return cell;
 }
 
+/// Interpolated percentile over a copy (the latency tiles; src/stats
+/// keeps only median, and these are a handful of values per sweep).
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
 /// One (config, instance) row of the HTML summary table.
 struct ReportGroup {
   int config = 0;
@@ -327,6 +340,32 @@ std::vector<SweepReport> parse_telemetry(std::istream& in) {
       curves[static_cast<int>(cell->as_i64())].emplace_back(
           static_cast<long long>(record.number_or("generation", 0)),
           record.number_or("best", 0.0));
+    } else if (event == "metrics") {
+      // Joined to the already-parsed cell record (the runner writes the
+      // metrics line right after it, from the same lane).
+      const Json* cell_index = record.find("cell");
+      const Json* metrics = record.find("metrics");
+      if (cell_index == nullptr || metrics == nullptr) continue;
+      ensure_current();
+      SweepReport& report = reports[current];
+      const int index = static_cast<int>(cell_index->as_i64());
+      const auto it = std::find_if(
+          report.cells.begin(), report.cells.end(),
+          [&](const ReportCell& c) { return c.index == index; });
+      if (it == report.cells.end()) continue;
+      it->has_metrics = true;
+      if (const Json* counters = metrics->find("counters")) {
+        if (const Json* decoded = counters->find("eval.decoded_genomes")) {
+          it->decoded_genomes = decoded->as_u64();
+        }
+      }
+      if (const Json* histograms = metrics->find("histograms")) {
+        if (const Json* decode = histograms->find("eval.decode_ns")) {
+          it->decode_p50_ns = decode->number_or("p50", 0.0);
+          it->decode_p95_ns = decode->number_or("p95", 0.0);
+          it->decode_p99_ns = decode->number_or("p99", 0.0);
+        }
+      }
     } else if (event == "cell") {
       ensure_current();
       ReportCell cell = parse_cell(record);
@@ -416,6 +455,11 @@ std::string render_html(const std::vector<SweepReport>& reports) {
          "text-align:right}\n"
          "th{background:#f5f5f5}td.t,th.t{text-align:left}\n"
          "p.meta{color:#555}\n"
+         ".tiles{display:flex;gap:.6rem;flex-wrap:wrap;margin:.75rem 0}\n"
+         ".tile{border:1px solid #ddd;border-radius:4px;"
+         "padding:.4rem .7rem;background:#fafafa;text-align:center}\n"
+         ".tile b{display:block;font-size:1.15rem}\n"
+         ".tile span{color:#555;font-size:12px}\n"
          ".tick{font-size:11px;fill:#555}\n"
          ".legend span{margin-right:1rem;white-space:nowrap}\n"
          ".swatch{display:inline-block;width:.8em;height:.8em;"
@@ -441,6 +485,58 @@ std::string render_html(const std::vector<SweepReport>& reports) {
     }
     if (with_rpd) out << ", reference " << fmt_double(report.reference);
     out << "</p>\n";
+    // Latency and throughput tiles over the ok cells: cell wall-clock
+    // percentiles, evaluation/decode totals (decodes = evaluations minus
+    // cache hits — a hit returns the memoized objective without a
+    // decode), cache hit rate, and decode-kernel percentiles when the
+    // telemetry carries `metrics` records.
+    {
+      std::vector<double> cell_seconds;
+      long long evaluations = 0, hits = 0, lookups = 0;
+      std::vector<double> decode_p95;
+      for (const ReportCell& cell : report.cells) {
+        if (!cell.ok) continue;
+        cell_seconds.push_back(cell.seconds);
+        evaluations += cell.evaluations;
+        if (cell.cache) {
+          hits += cell.cache->hits;
+          lookups += cell.cache->hits + cell.cache->misses;
+        }
+        if (cell.has_metrics && cell.decode_p95_ns > 0) {
+          decode_p95.push_back(cell.decode_p95_ns);
+        }
+      }
+      if (!cell_seconds.empty()) {
+        const auto tile = [&](const std::string& value, const char* label) {
+          out << "<div class=\"tile\"><b>" << value << "</b><span>" << label
+              << "</span></div>\n";
+        };
+        out << "<div class=\"tiles\">\n";
+        tile(fmt_fixed(percentile_of(cell_seconds, 50.0), 3) + " s",
+             "cell p50");
+        tile(fmt_fixed(percentile_of(cell_seconds, 95.0), 3) + " s",
+             "cell p95");
+        tile(fmt_fixed(percentile_of(cell_seconds, 99.0), 3) + " s",
+             "cell p99");
+        tile(std::to_string(evaluations), "evaluations");
+        tile(std::to_string(evaluations - hits), "decodes");
+        tile(lookups > 0
+                 ? fmt_fixed(100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(lookups),
+                             1) +
+                       " %"
+                 : std::string("-"),
+             "cache hit rate");
+        if (!decode_p95.empty()) {
+          tile(fmt_fixed(stats::mean(std::span<const double>(decode_p95)) /
+                             1000.0,
+                         1) +
+                   " µs",
+               "decode p95 (mean)");
+        }
+        out << "</div>\n";
+      }
+    }
     out << "<table>\n<tr>";
     for (const auto& [label, values] : report.axes) {
       out << "<th class=\"t\">" << html_escape(label) << "</th>";

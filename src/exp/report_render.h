@@ -47,6 +47,14 @@ struct ReportCell {
   std::optional<ga::EvalCacheStats> cache;
   /// (generation, best) samples, generation order.
   std::vector<std::pair<long long, double>> curve;
+  /// Decode-side numbers joined from the cell's `metrics` record
+  /// (in-process sweeps emit one right after each cell record;
+  /// dispatched or pre-schema files leave has_metrics false).
+  bool has_metrics = false;
+  std::uint64_t decoded_genomes = 0;
+  double decode_p50_ns = 0.0;
+  double decode_p95_ns = 0.0;
+  double decode_p99_ns = 0.0;
 };
 
 /// Everything one sweep section contributed to the telemetry file.

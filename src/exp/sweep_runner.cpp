@@ -1,5 +1,6 @@
 #include "src/exp/sweep_runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <istream>
@@ -9,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/exp/obs_json.h"
 #include "src/ga/problem_spec.h"
 #include "src/ga/solver.h"
 #include "src/par/thread_pool.h"
@@ -162,16 +164,27 @@ Json cell_record(const SweepSpec& spec, const CellResult& result,
       .set("generations", Json::integer(result.result.generations))
       .set("evaluations", Json::integer(result.result.evaluations))
       .set("seconds", Json::number(result.seconds));
-  if (result.result.cache) {
-    line.set("cache",
-             Json::object()
-                 .set("hits", Json::integer(result.result.cache->hits))
-                 .set("misses", Json::integer(result.result.cache->misses))
-                 .set("inserts", Json::integer(result.result.cache->inserts))
-                 .set("evictions",
-                      Json::integer(result.result.cache->evictions)));
-  }
+  // Cache counters are always engaged (Engine::run fills all-zero stats
+  // when no cache is configured), so downstream consumers never branch
+  // on their presence. value_or covers results resumed from pre-schema
+  // telemetry files, which may predate the unconditional field.
+  const ga::EvalCacheStats cache =
+      result.result.cache.value_or(ga::EvalCacheStats{});
+  line.set("cache", Json::object()
+                        .set("hits", Json::integer(cache.hits))
+                        .set("misses", Json::integer(cache.misses))
+                        .set("inserts", Json::integer(cache.inserts))
+                        .set("evictions", Json::integer(cache.evictions)));
   return line;
+}
+
+Json cell_metrics_record(const SweepSpec& spec, const SweepCell& cell,
+                         const obs::MetricsSnapshot& metrics) {
+  return Json::object()
+      .set("event", Json::string("metrics"))
+      .set("cell", Json::integer(cell.index))
+      .set("hash", Json::string(sweep_cell_hash_hex(spec.name, cell)))
+      .set("metrics", metrics_to_json(metrics));
 }
 
 Json sweep_end_record(const SweepSpec& spec, int ok, int failed,
@@ -311,6 +324,7 @@ SweepResult SweepRunner::run() {
   std::mutex progress_mutex;
   int done = 0;  // guarded by progress_mutex: callbacks see monotonic counts
   const int total = static_cast<int>(cells.size());
+  std::mutex trace_mutex;  // guards out.trace across lanes
 
   auto run_cell = [&](const SweepCell& cell) {
     if (const Json* record = resumed[static_cast<std::size_t>(cell.index)]) {
@@ -340,9 +354,13 @@ SweepResult SweepRunner::run() {
       // A private single-lane pool: engine-level parallelism runs inline
       // on this lane, so pool regions never nest inside the sweep pool.
       par::ThreadPool cell_pool(1);
-      ga::Solver solver =
-          ga::Solver::build(ga::SolverSpec::parse(plan.solver_text),
-                            problems.at(plan.problem_key), &cell_pool);
+      ga::SolverSpec sspec = ga::SolverSpec::parse(plan.solver_text);
+      // The trace overlay touches only the spec handed to build: the
+      // recorded cell spec and resume hash stay the sweep's own tokens,
+      // so traced and untraced runs of one sweep resume each other.
+      if (options_.trace) sspec.trace = true;
+      ga::Solver solver = ga::Solver::build(
+          std::move(sspec), problems.at(plan.problem_key), &cell_pool);
       std::optional<CellObserver> observer;
       if (sink != nullptr) {
         observer.emplace(*sink, cell.index, options_.telemetry_every);
@@ -351,12 +369,30 @@ SweepResult SweepRunner::run() {
       result.result = solver.run(spec_.stop);
       result.result.problem = plan.canonical;
       result.ok = true;
+      if (options_.trace) {
+        if (const auto tracer = solver.engine().tracer_shared()) {
+          obs::TraceProcess process;
+          process.pid = cell.index;
+          process.name = "cell " + std::to_string(cell.index) + ": " +
+                         cell.spec +
+                         (cell.instance.empty() ? "" : " @" + cell.instance);
+          process.events = tracer->events();
+          std::lock_guard lock(trace_mutex);
+          out.trace.push_back(std::move(process));
+        }
+      }
     } catch (const std::exception& e) {
       result.ok = false;
       result.error = e.what();
     }
     result.seconds = now_seconds() - start;
-    if (sink != nullptr) sink->write(cell_record(spec_, result, plan.canonical));
+    if (sink != nullptr) {
+      sink->write(cell_record(spec_, result, plan.canonical));
+      if (result.ok && result.result.metrics) {
+        sink->write(
+            cell_metrics_record(spec_, cell, *result.result.metrics));
+      }
+    }
     {
       std::lock_guard lock(progress_mutex);
       ++done;
@@ -386,6 +422,11 @@ SweepResult SweepRunner::run() {
   for (const CellResult& result : out.cells) {
     if (!result.ok) ++out.failed;
   }
+  // Lanes push trace processes in completion order; present them by cell.
+  std::sort(out.trace.begin(), out.trace.end(),
+            [](const obs::TraceProcess& a, const obs::TraceProcess& b) {
+              return a.pid < b.pid;
+            });
   out.seconds = now_seconds() - sweep_start;
   if (sink != nullptr) {
     sink->write(sweep_end_record(spec_, total - out.failed, out.failed,

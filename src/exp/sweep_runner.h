@@ -28,6 +28,7 @@
 #include "src/exp/telemetry.h"
 #include "src/ga/problem.h"
 #include "src/ga/result.h"
+#include "src/obs/trace.h"
 
 namespace psga::exp {
 
@@ -70,6 +71,10 @@ struct SweepResult {
   std::vector<CellResult> cells;
   double seconds = 0.0;
   int failed = 0;
+  /// When SweepOptions::trace is set: one trace process per executed
+  /// cell (pid = cell index, sorted), ready for obs::write_chrome_trace.
+  /// Resumed and failed cells contribute no process.
+  std::vector<obs::TraceProcess> trace;
 };
 
 /// Finished cells recovered from a previous run's telemetry, keyed by
@@ -107,6 +112,11 @@ struct SweepOptions {
   /// Called after every finished cell (any lane, serialized by the
   /// runner): the cell's result plus done/total progress.
   std::function<void(const CellResult&, int done, int total)> progress;
+  /// Stage tracing: overlays `trace=on` onto each cell's solver spec at
+  /// build time only — the recorded cell spec and resume hash are the
+  /// sweep's own tokens, so traced and untraced runs resume each other.
+  /// Collected spans land in SweepResult::trace.
+  bool trace = false;
 };
 
 class SweepRunner {
@@ -140,9 +150,19 @@ Json sweep_begin_record(const SweepSpec& spec,
 /// ("" omits the field — custom resolvers, unplannable cells).
 Json run_begin_record(const SweepCell& cell, const std::string& problem);
 
-/// Final `cell` record incl. the stable cell hash (resume key).
+/// Final `cell` record incl. the stable cell hash (resume key). Cache
+/// counters are always present on ok records — all-zero when the cell
+/// ran without an EvalCache — so downstream consumers never branch on
+/// their existence.
 Json cell_record(const SweepSpec& spec, const CellResult& result,
                  const std::string& problem);
+
+/// `metrics`: the per-run MetricsSnapshot of one cell (obs_json layout
+/// under the "metrics" key). Written by the in-process runner right
+/// after the `cell` record; keyed by the same cell index/hash so report
+/// tooling can join the two lines.
+Json cell_metrics_record(const SweepSpec& spec, const SweepCell& cell,
+                         const obs::MetricsSnapshot& metrics);
 
 /// `sweep_end` with ok/failed counts.
 Json sweep_end_record(const SweepSpec& spec, int ok, int failed,

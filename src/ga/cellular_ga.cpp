@@ -21,6 +21,9 @@ CellularGa::CellularGa(ProblemPtr problem, CellularConfig config,
   }
   evaluator_.set_cache(
       EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
+  obs::ensure_registry(config_.metrics);
+  attach_obs(config_.metrics, config_.tracer);
+  evaluator_.set_obs(config_.metrics, config_.tracer);
 }
 
 std::vector<int> CellularGa::neighbors_of(int cell) const {

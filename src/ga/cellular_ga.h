@@ -51,6 +51,10 @@ struct CellularConfig {
   int eval_batch = 0;
   Termination termination;
   std::uint64_t seed = 1;
+  /// Observability sinks (see GaConfig::metrics/tracer): the engine
+  /// ensures a registry when null; outer engines share theirs here.
+  obs::RegistryPtr metrics;
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 class CellularGa : public Engine {

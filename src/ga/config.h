@@ -10,6 +10,8 @@
 #include "src/ga/problem.h"
 #include "src/ga/selection.h"
 #include "src/ga/stop.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace psga::ga {
 
@@ -92,6 +94,15 @@ struct GaConfig {
   double reference_objective = 0.0;  ///< Fbar for FitnessTransform::kReference
   Termination termination;
   std::uint64_t seed = 1;
+  /// Metrics registry this engine records into (always-on counters and
+  /// histograms — see src/obs/metrics.h). When null the engine creates
+  /// its own at construction; island-structured engines propagate theirs
+  /// to inner engines via inner_engine_config so a run scrapes one
+  /// registry. Observation never alters the evolutionary trace.
+  obs::RegistryPtr metrics;
+  /// Stage tracer (opt-in, spec token `trace=on`); null = no tracing.
+  /// Shared with inner engines the same way as `metrics`.
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 }  // namespace psga::ga

@@ -22,6 +22,16 @@ RunResult Engine::run(const StopCondition& stop) {
   const EvalCachePtr pre_run_cache = eval_cache_shared();
   const EvalCacheStats cache_baseline =
       pre_run_cache != nullptr ? pre_run_cache->stats() : EvalCacheStats{};
+  // Same baseline idiom for the metrics registry: the run reports its own
+  // delta even when the registry outlives the run (engine reuse, a daemon
+  // registry shared across jobs).
+  const obs::RegistryPtr metrics = metrics_shared();
+  const obs::MetricsSnapshot metrics_baseline =
+      metrics != nullptr ? metrics->snapshot() : obs::MetricsSnapshot{};
+  obs::Histogram* generation_ns =
+      metrics != nullptr ? &metrics->histogram("engine.generation_ns")
+                         : nullptr;
+  obs::Tracer* const tracer = tracer_.get();
   init();
 
   RunResult result;
@@ -59,7 +69,17 @@ RunResult Engine::run(const StopCondition& stop) {
         stagnant >= stop.stagnation_generations) {
       break;
     }
-    step();
+    {
+      const obs::Span span(tracer, "generation");
+      const auto step_start = std::chrono::steady_clock::now();
+      step();
+      if (generation_ns != nullptr) {
+        generation_ns->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - step_start)
+                .count()));
+      }
+    }
     result.history.push_back(best_objective());
     bool improved = false;
     if (!has_best || best_objective() < stagnation_best) {
@@ -83,6 +103,26 @@ RunResult Engine::run(const StopCondition& stop) {
     EvalCacheStats stats = cache->stats();
     if (cache == pre_run_cache) stats -= cache_baseline;
     result.cache = stats;
+  } else {
+    // Always engage the section: dashboards and reports read zeros
+    // instead of special-casing a missing field.
+    result.cache = EvalCacheStats{};
+  }
+  if (metrics != nullptr) {
+    obs::MetricsSnapshot snapshot = metrics->snapshot();
+    snapshot.subtract(metrics_baseline);
+    // Fold the cache's own exact counters in so one snapshot carries the
+    // whole story (no separate hot-path counting — the cache already
+    // tallies these).
+    snapshot.set_counter("eval.cache.hits",
+                         static_cast<std::uint64_t>(result.cache->hits));
+    snapshot.set_counter("eval.cache.misses",
+                         static_cast<std::uint64_t>(result.cache->misses));
+    snapshot.set_counter("eval.cache.inserts",
+                         static_cast<std::uint64_t>(result.cache->inserts));
+    snapshot.set_counter("eval.cache.evictions",
+                         static_cast<std::uint64_t>(result.cache->evictions));
+    result.metrics = std::move(snapshot);
   }
   return result;
 }

@@ -22,6 +22,7 @@
 #include "src/ga/genome.h"
 #include "src/ga/result.h"
 #include "src/ga/stop.h"
+#include "src/obs/trace.h"
 
 namespace psga::ga {
 
@@ -112,6 +113,13 @@ class Engine {
   /// Raw-pointer convenience over eval_cache_shared().
   const EvalCache* eval_cache() const { return eval_cache_shared().get(); }
 
+  /// The metrics registry this engine records into (never null once the
+  /// engine is constructed — every engine ensures one on its config) and
+  /// the opt-in stage tracer (null unless `trace=on`). Shared handles:
+  /// outer engines hand the same objects to their inner engines.
+  obs::RegistryPtr metrics_shared() const { return metrics_; }
+  std::shared_ptr<obs::Tracer> tracer_shared() const { return tracer_; }
+
   // --- running ------------------------------------------------------------
   /// Full run under `stop`. The default implementation is the shared
   /// init/step loop; `stop` also replaces the engine's configured
@@ -144,7 +152,18 @@ class Engine {
   /// Populates engine-specific RunResult sections after the loop.
   virtual void fill_sections(RunResult& result) const { (void)result; }
 
+  /// Engines call this from their constructor after ensuring a registry
+  /// on their config (obs::ensure_registry); run() snapshots/deltas
+  /// these into RunResult::metrics.
+  void attach_obs(obs::RegistryPtr metrics,
+                  std::shared_ptr<obs::Tracer> tracer) {
+    metrics_ = std::move(metrics);
+    tracer_ = std::move(tracer);
+  }
+
   RunObserver* observer_ = nullptr;
+  obs::RegistryPtr metrics_;
+  std::shared_ptr<obs::Tracer> tracer_;
 };
 
 using EnginePtr = std::unique_ptr<Engine>;

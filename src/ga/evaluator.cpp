@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -106,6 +107,17 @@ class AsyncPipeline {
     cache_ = std::move(cache);
   }
 
+  /// Same fence rule as set_cache. Raw handles — the owning Evaluator
+  /// keeps the registry/tracer alive for the pipeline's lifetime.
+  void set_obs(obs::Histogram* decode_ns, obs::Histogram* batch_size,
+               obs::Counter* decoded_genomes, obs::Tracer* tracer) {
+    std::lock_guard lock(mutex_);
+    decode_ns_ = decode_ns;
+    batch_size_hist_ = batch_size;
+    decoded_genomes_ = decoded_genomes;
+    tracer_ = tracer;
+  }
+
   long long decode_calls() const noexcept {
     return decode_calls_.load(std::memory_order_relaxed);
   }
@@ -151,6 +163,24 @@ class AsyncPipeline {
   void run_batch(std::span<const Genome> genomes, std::span<double> out) {
     decode_calls_.fetch_add(static_cast<long long>(genomes.size()),
                             std::memory_order_relaxed);
+    if (decode_ns_ != nullptr || tracer_ != nullptr) {
+      const obs::Span span(tracer_, "decode");
+      const auto start = std::chrono::steady_clock::now();
+      run_batch_impl(genomes, out);
+      if (decode_ns_ != nullptr) {
+        decode_ns_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        batch_size_hist_->record(genomes.size());
+        decoded_genomes_->add(genomes.size());
+      }
+      return;
+    }
+    run_batch_impl(genomes, out);
+  }
+
+  void run_batch_impl(std::span<const Genome> genomes, std::span<double> out) {
     if (!use_pool_) {
       chunked_objective_batch(*problem_, genomes, out, *workspaces_[0],
                               batch_size_);
@@ -174,6 +204,10 @@ class AsyncPipeline {
   EvalCachePtr cache_;
   std::vector<double> scratch_;
   std::atomic<long long> decode_calls_{0};
+  obs::Histogram* decode_ns_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Counter* decoded_genomes_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -229,6 +263,25 @@ Evaluator& Evaluator::operator=(Evaluator&&) noexcept = default;
 
 void Evaluator::raw_evaluate(std::span<const Genome> genomes,
                              std::span<double> objectives) {
+  if (decode_ns_ == nullptr && tracer_ == nullptr) {
+    raw_evaluate_impl(genomes, objectives);
+    return;
+  }
+  const obs::Span span(tracer_.get(), "decode");
+  const auto start = std::chrono::steady_clock::now();
+  raw_evaluate_impl(genomes, objectives);
+  if (decode_ns_ != nullptr) {
+    decode_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    batch_size_hist_->record(genomes.size());
+    decoded_genomes_->add(genomes.size());
+  }
+}
+
+void Evaluator::raw_evaluate_impl(std::span<const Genome> genomes,
+                                  std::span<double> objectives) {
   const std::size_t n = genomes.size();
   switch (backend_) {
     case EvalBackend::kSerial:
@@ -327,6 +380,15 @@ void Evaluator::submit(std::span<const Genome> genomes,
   const std::size_t n = genomes.size();
   evaluations_ += static_cast<long long>(n);
   if (n == 0) return;
+  const obs::Span span(tracer_.get(), "submit");
+  if (submit_to_fence_ns_ != nullptr && !inflight_timed_) {
+    // First submit of this generation: the fence closes the interval.
+    inflight_since_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    inflight_timed_ = true;
+  }
   AsyncPipeline::Job job;
   if (cache_ == nullptr) {
     job.genomes = genomes;
@@ -336,21 +398,45 @@ void Evaluator::submit(std::span<const Genome> genomes,
   }
   // Hits resolve right here on the engine thread; only misses travel.
   job.filtered = true;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t hash = genome_hash(genomes[i]);
-    if (const auto value = cache_->lookup(hash, genomes[i])) {
-      objectives[i] = *value;
-    } else {
-      job.miss_genomes.push_back(genomes[i]);
-      job.miss_hashes.push_back(hash);
-      job.miss_out.push_back(&objectives[i]);
+  {
+    const obs::Span filter_span(tracer_.get(), "cache_filter");
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t hash = genome_hash(genomes[i]);
+      if (const auto value = cache_->lookup(hash, genomes[i])) {
+        objectives[i] = *value;
+      } else {
+        job.miss_genomes.push_back(genomes[i]);
+        job.miss_hashes.push_back(hash);
+        job.miss_out.push_back(&objectives[i]);
+      }
     }
   }
   if (!job.miss_genomes.empty()) pipeline_->submit(std::move(job));
 }
 
 void Evaluator::fence() {
-  if (pipeline_ != nullptr) pipeline_->fence();
+  if (pipeline_ == nullptr) return;
+  if (fence_wait_ns_ == nullptr && tracer_ == nullptr) {
+    pipeline_->fence();
+    return;
+  }
+  const obs::Span span(tracer_.get(), "fence");
+  const auto start = std::chrono::steady_clock::now();
+  pipeline_->fence();
+  const auto now = std::chrono::steady_clock::now();
+  if (fence_wait_ns_ != nullptr) {
+    fence_wait_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+            .count()));
+    if (inflight_timed_) {
+      const auto now_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now.time_since_epoch())
+              .count());
+      submit_to_fence_ns_->record(now_ns - inflight_since_ns_);
+      inflight_timed_ = false;
+    }
+  }
 }
 
 double Evaluator::evaluate_one(const Genome& genome) {
@@ -372,6 +458,32 @@ void Evaluator::set_cache(EvalCachePtr cache) {
   fence();
   cache_ = std::move(cache);
   if (pipeline_ != nullptr) pipeline_->set_cache(cache_);
+}
+
+void Evaluator::set_obs(obs::RegistryPtr metrics,
+                        std::shared_ptr<obs::Tracer> tracer) {
+  fence();
+  metrics_ = std::move(metrics);
+  tracer_ = std::move(tracer);
+  if (metrics_ != nullptr) {
+    decode_ns_ = &metrics_->histogram("eval.decode_ns");
+    batch_size_hist_ = &metrics_->histogram("eval.batch_size");
+    decoded_genomes_ = &metrics_->counter("eval.decoded_genomes");
+    if (backend_ == EvalBackend::kAsyncPool) {
+      fence_wait_ns_ = &metrics_->histogram("eval.fence_wait_ns");
+      submit_to_fence_ns_ = &metrics_->histogram("eval.submit_to_fence_ns");
+    }
+  } else {
+    decode_ns_ = nullptr;
+    batch_size_hist_ = nullptr;
+    decoded_genomes_ = nullptr;
+    fence_wait_ns_ = nullptr;
+    submit_to_fence_ns_ = nullptr;
+  }
+  if (pipeline_ != nullptr) {
+    pipeline_->set_obs(decode_ns_, batch_size_hist_, decoded_genomes_,
+                       tracer_.get());
+  }
 }
 
 long long Evaluator::decode_calls() const noexcept {

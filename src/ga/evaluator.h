@@ -43,6 +43,8 @@
 
 #include "src/ga/eval_cache.h"
 #include "src/ga/problem.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/par/thread_pool.h"
 
 namespace psga::ga {
@@ -103,6 +105,15 @@ class Evaluator {
   /// Attaches (or clears) the memoization cache. Call while no batch is
   /// in flight. The cache may be shared with other evaluators.
   void set_cache(EvalCachePtr cache);
+
+  /// Attaches the observability sinks (both may be null). Handles into
+  /// `metrics` are resolved once, here — the hot path then costs two
+  /// clock reads plus a few relaxed adds per *batch*, never per genome.
+  /// Fences first; call while no batch is in flight (the set_cache rule).
+  /// Metric names: eval.decode_ns / eval.batch_size / eval.decoded_genomes
+  /// on every decode batch, eval.fence_wait_ns + eval.submit_to_fence_ns
+  /// on the pipelined backend. Spans: decode, submit, fence, cache_filter.
+  void set_obs(obs::RegistryPtr metrics, std::shared_ptr<obs::Tracer> tracer);
   const EvalCache* cache() const { return cache_.get(); }
   /// Shared handle for per-run stat snapshots (Engine::eval_cache_shared).
   EvalCachePtr cache_ptr() const { return cache_; }
@@ -136,8 +147,11 @@ class Evaluator {
  private:
   Workspace& workspace(std::size_t lane) { return *workspaces_[lane]; }
   /// Backend dispatch without cache filtering (the decode path).
+  /// Instrumented wrapper over raw_evaluate_impl.
   void raw_evaluate(std::span<const Genome> genomes,
                     std::span<double> objectives);
+  void raw_evaluate_impl(std::span<const Genome> genomes,
+                         std::span<double> objectives);
 
   ProblemPtr problem_;
   EvalBackend backend_;
@@ -155,6 +169,18 @@ class Evaluator {
   std::vector<std::uint64_t> miss_hashes_;
   std::vector<std::size_t> miss_slots_;
   std::vector<double> miss_values_;
+  // Observability sinks (set_obs). The shared handles keep the registry
+  // and tracer alive; the raw pointers are the pre-resolved hot-path
+  // handles (stable for the registry's lifetime).
+  obs::RegistryPtr metrics_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  obs::Histogram* decode_ns_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Counter* decoded_genomes_ = nullptr;
+  obs::Histogram* fence_wait_ns_ = nullptr;
+  obs::Histogram* submit_to_fence_ns_ = nullptr;
+  std::uint64_t inflight_since_ns_ = 0;  ///< first submit since last fence
+  bool inflight_timed_ = false;
 };
 
 }  // namespace psga::ga

@@ -17,6 +17,9 @@ IslandsOfCellularGa::IslandsOfCellularGa(ProblemPtr problem,
   // init()) so run() can snapshot per-run counter deltas.
   cache_ =
       EvalCache::make(config_.cell.eval_cache, config_.cell.shared_eval_cache);
+  obs::ensure_registry(config_.cell.metrics);
+  attach_obs(config_.cell.metrics, config_.cell.tracer);
+  migrants_ = &config_.cell.metrics->counter("engine.migrants");
 }
 
 void IslandsOfCellularGa::init() {
@@ -46,6 +49,7 @@ void IslandsOfCellularGa::step() {
   if (config_.migration_interval > 0 &&
       (generation_ + 1) % config_.migration_interval == 0 &&
       islands_.size() > 1) {
+    const obs::Span span(tracer_.get(), "migration");
     for (std::size_t i = 0; i < islands_.size(); ++i) {
       CellularGa& source = islands_[i];
       CellularGa& dest = islands_[(i + 1) % islands_.size()];
@@ -53,6 +57,7 @@ void IslandsOfCellularGa::step() {
         const int cell = static_cast<int>(
             migration_rng_.below(static_cast<std::uint64_t>(dest.cells())));
         dest.replace_cell(cell, source.best(), source.best_objective());
+        migrants_->add();
         if (observer_ != nullptr) {
           observer_->on_migration(MigrationEvent{
               generation_ + 1, static_cast<int>(i),

@@ -63,6 +63,7 @@ class IslandsOfCellularGa : public Engine {
   // Run state (rebuilt by init()).
   std::vector<CellularGa> islands_;
   EvalCachePtr cache_;  ///< shared by all islands' evaluators
+  obs::Counter* migrants_ = nullptr;  ///< engine.migrants (delivered)
   par::Rng migration_rng_;
   int generation_ = 0;
 };

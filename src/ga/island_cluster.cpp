@@ -42,7 +42,11 @@ void unpack(const par::Message& msg, Genome& genome, double& objective) {
 }  // namespace
 
 ClusterIslandGa::ClusterIslandGa(ProblemPtr problem, ClusterIslandConfig config)
-    : problem_(std::move(problem)), config_(std::move(config)) {}
+    : problem_(std::move(problem)), config_(std::move(config)) {
+  obs::ensure_registry(config_.base.metrics);
+  attach_obs(config_.base.metrics, config_.base.tracer);
+  migrants_ = &config_.base.metrics->counter("engine.migrants");
+}
 
 void ClusterIslandGa::step() {
   throw std::logic_error(
@@ -81,6 +85,9 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
       EvalCache::make(config_.base.eval_cache, config_.base.shared_eval_cache);
   const EvalCacheStats cache_baseline =
       cache_ != nullptr ? cache_->stats() : EvalCacheStats{};
+  // Mirror the base run loop's per-run metrics delta (this engine
+  // overrides run() wholesale).
+  const obs::MetricsSnapshot metrics_baseline = metrics_->snapshot();
 
   par::Rng root(config_.base.seed);
   std::vector<std::uint64_t> rank_seeds;
@@ -133,6 +140,7 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
         double objective;
         unpack(incoming, migrant, objective);
         island.replace_individual(island.worst_index(), migrant, objective);
+        migrants_->add();
       }
       // LN: everyone broadcasts its best to all ([33], GN << LN).
       if (config_.broadcast_interval > 0 &&
@@ -158,6 +166,7 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
           double objective;
           unpack(all[static_cast<std::size_t>(best_source)], migrant, objective);
           island.replace_individual(island.worst_index(), migrant, objective);
+          migrants_->add();
         }
         rank.barrier();  // keep epochs aligned so tags never mix
       }
@@ -215,6 +224,21 @@ RunResult ClusterIslandGa::run(const StopCondition& stop) {
     EvalCacheStats stats = cache_->stats();
     stats -= cache_baseline;
     result.cache = stats;
+  } else {
+    result.cache = EvalCacheStats{};
+  }
+  {
+    obs::MetricsSnapshot snapshot = metrics_->snapshot();
+    snapshot.subtract(metrics_baseline);
+    snapshot.set_counter("eval.cache.hits",
+                         static_cast<std::uint64_t>(result.cache->hits));
+    snapshot.set_counter("eval.cache.misses",
+                         static_cast<std::uint64_t>(result.cache->misses));
+    snapshot.set_counter("eval.cache.inserts",
+                         static_cast<std::uint64_t>(result.cache->inserts));
+    snapshot.set_counter("eval.cache.evictions",
+                         static_cast<std::uint64_t>(result.cache->evictions));
+    result.metrics = std::move(snapshot);
   }
   last_ = result;
   return result;

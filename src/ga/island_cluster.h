@@ -60,6 +60,7 @@ class ClusterIslandGa : public Engine {
   ClusterIslandConfig config_;
   /// Cache shared across ranks during run() (kept for introspection).
   EvalCachePtr cache_;
+  obs::Counter* migrants_ = nullptr;  ///< engine.migrants (adopted)
   /// Gathered result of the last run (introspection after the fact).
   RunResult last_;
 };

@@ -19,6 +19,9 @@ IslandGa::IslandGa(ProblemPtr problem, IslandGaConfig config,
   // here (not in init()) so run() can snapshot per-run counter deltas.
   cache_ =
       EvalCache::make(config_.base.eval_cache, config_.base.shared_eval_cache);
+  obs::ensure_registry(config_.base.metrics);
+  attach_obs(config_.base.metrics, config_.base.tracer);
+  migrants_ = &config_.base.metrics->counter("engine.migrants");
 }
 
 std::vector<IslandGa::Edge> IslandGa::edges_for_epoch(
@@ -137,6 +140,7 @@ void IslandGa::deliver(std::span<const Transfer> transfers) {
       slot = static_cast<int>(migration_rng_.below(dest.population().size()));
     }
     dest.replace_individual(slot, t.genome, t.objective);
+    migrants_->add();
     if (observer_ != nullptr) {
       observer_->on_migration(
           MigrationEvent{epoch_, t.from, t.to, t.objective});
@@ -208,6 +212,7 @@ void IslandGa::step() {
   if (config_.migration.interval > 0 &&
       (generation_ + 1) % config_.migration.interval == 0 &&
       alive_.size() > 1) {
+    const obs::Span span(tracer_.get(), "migration");
     if (config_.migration.delay_epochs > 0) {
       deliver_due();
     }

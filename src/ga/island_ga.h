@@ -142,6 +142,7 @@ class IslandGa : public Engine {
   std::vector<SimpleGa> islands_;
   EvalCachePtr cache_;  ///< shared by all islands' evaluators
   std::vector<int> alive_;
+  obs::Counter* migrants_ = nullptr;  ///< engine.migrants (delivered)
   par::Rng migration_rng_;
   int generation_ = 0;
   int epoch_ = 0;

@@ -10,6 +10,8 @@ MasterSlaveGa::MasterSlaveGa(ProblemPtr problem, GaConfig config,
   if (config_.eval_backend == EvalBackend::kSerial) {
     config_.eval_backend = EvalBackend::kThreadPool;
   }
+  obs::ensure_registry(config_.metrics);
+  attach_obs(config_.metrics, config_.tracer);
 }
 
 void MasterSlaveGa::init() {

@@ -6,7 +6,11 @@
 namespace psga::ga {
 
 MemeticGa::MemeticGa(ProblemPtr problem, MemeticConfig config)
-    : problem_(std::move(problem)), config_(std::move(config)) {}
+    : problem_(std::move(problem)), config_(std::move(config)) {
+  obs::ensure_registry(config_.base.metrics);
+  attach_obs(config_.base.metrics, config_.base.tracer);
+  climbs_ = &config_.base.metrics->counter("engine.climbs");
+}
 
 void MemeticGa::init() {
   inner_.emplace(problem_, config_.base);
@@ -17,6 +21,7 @@ void MemeticGa::init() {
 void MemeticGa::step() {
   inner_->step();
   if (config_.interval > 0 && inner_->generation() % config_.interval == 0) {
+    const obs::Span span(tracer_.get(), "local_search");
     // Refine the current top individuals in place.
     std::vector<int> order(inner_->population().size());
     std::iota(order.begin(), order.end(), 0);
@@ -36,6 +41,7 @@ void MemeticGa::step() {
       // Climbs evaluate through the inner engine's Evaluator: counted
       // toward budgets like any evaluation, memoized by the cache, and
       // fenced against the async pipeline.
+      climbs_->add();
       double after = local_search_swap(inner_->evaluator(), candidate,
                                        config_.search_budget, rng_);
       if (config_.use_redirect && after >= before) {

@@ -75,6 +75,7 @@ class MemeticGa : public Engine {
   // Run state (rebuilt by init()).
   std::optional<SimpleGa> inner_;
   par::Rng rng_{0};
+  obs::Counter* climbs_ = nullptr;  ///< engine.climbs (local-search waves)
 };
 
 }  // namespace psga::ga

@@ -122,7 +122,10 @@ QuantumGa::QuantumGa(ProblemPtr problem, QuantumGaConfig config,
     : problem_(std::move(problem)),
       config_(std::move(config)),
       pool_(pool != nullptr ? pool : &par::default_pool()),
-      planned_generations_(config_.generations) {}
+      planned_generations_(config_.generations) {
+  obs::ensure_registry(config_.metrics);
+  attach_obs(config_.metrics, config_.tracer);
+}
 
 QuantumGa::~QuantumGa() = default;
 
@@ -147,6 +150,7 @@ void QuantumGa::init() {
                                    config_.eval_batch);
   state_->evaluator.set_cache(
       EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
+  state_->evaluator.set_obs(config_.metrics, config_.tracer);
   par::Rng root(config_.seed);
   state_->islands.resize(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {

@@ -48,6 +48,9 @@ struct QuantumGaConfig {
   /// objective_batch chunk size (0 = auto; see GaConfig::eval_batch).
   int eval_batch = 0;
   std::uint64_t seed = 1;
+  /// Observability sinks (see GaConfig::metrics/tracer).
+  obs::RegistryPtr metrics;
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 class QuantumGa : public Engine {

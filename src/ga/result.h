@@ -14,6 +14,7 @@
 
 #include "src/ga/eval_cache.h"
 #include "src/ga/genome.h"
+#include "src/obs/metrics.h"
 
 namespace psga::ga {
 
@@ -62,8 +63,14 @@ struct RunResult {
   /// Evaluation-cache counters accrued by THIS run (a delta, not the
   /// cache's lifetime totals — a shared or reused cache reports clean
   /// per-run numbers). hits + misses == evaluations for the cached
-  /// evaluation paths.
+  /// evaluation paths. Always engaged: all-zero when no cache is
+  /// configured, so telemetry consumers never special-case the field.
   std::optional<EvalCacheStats> cache;
+  /// Per-run observability snapshot (decode timing, batch sizes,
+  /// generation latency, cache counters — see docs/observability.md for
+  /// the catalog). A delta against the registry's pre-run state, so
+  /// shared registries report clean per-run numbers.
+  std::optional<obs::MetricsSnapshot> metrics;
 };
 
 /// Historical name from when every engine had its own result struct.

@@ -55,6 +55,9 @@ SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config, par::ThreadPool* pool)
   }
   evaluator_.set_cache(
       EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
+  obs::ensure_registry(config_.metrics);
+  attach_obs(config_.metrics, config_.tracer);
+  evaluator_.set_obs(config_.metrics, config_.tracer);
 }
 
 void SimpleGa::init() {
@@ -126,6 +129,8 @@ double SimpleGa::current_mutation_rate() const {
 }
 
 void SimpleGa::step() {
+  obs::Tracer* const tracer = tracer_.get();
+  const std::uint64_t breed_start = tracer != nullptr ? tracer->now_ns() : 0;
   const std::vector<double> fitness = fitness_values();
   const GenomeTraits& traits = problem_->traits();
   // The generation size follows the CURRENT population, not the config:
@@ -218,6 +223,9 @@ void SimpleGa::step() {
     if (filled - submitted >= block) flush();
   }
   flush();
+  if (tracer != nullptr) {
+    tracer->record("breed", breed_start, tracer->now_ns() - breed_start);
+  }
 
   if (pipelined) {
     evaluator_.fence();  // the generation fence

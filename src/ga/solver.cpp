@@ -183,6 +183,14 @@ SolverSpec SolverSpec::parse(const std::string& text) {
       spec.ranks = parse_int(value, token);
     } else if (key == "broadcast") {
       spec.broadcast = parse_int(value, token);
+    } else if (key == "trace") {
+      if (value == "on") {
+        spec.trace = true;
+      } else if (value == "off") {
+        spec.trace = false;
+      } else {
+        bad_token(token, "expected trace=on|off");
+      }
     } else {
       bad_token(token, "unknown key");
     }
@@ -292,6 +300,7 @@ std::string SolverSpec::to_string() const {
   put("budget", budget);
   put("ranks", ranks);
   put("broadcast", broadcast);
+  if (trace) out << " trace=" << (*trace ? "on" : "off");
   return out.str();
 }
 
@@ -314,6 +323,9 @@ GaConfig base_config(const SolverSpec& spec) {
   if (spec.immigration) cfg.immigration_fraction = *spec.immigration;
   if (spec.transform) cfg.transform = *spec.transform;
   if (spec.reference) cfg.reference_objective = *spec.reference;
+  if (spec.trace.value_or(false)) {
+    cfg.tracer = std::make_shared<obs::Tracer>();
+  }
   return cfg;
 }
 
@@ -341,6 +353,9 @@ CellularConfig cellular_config(const SolverSpec& spec) {
   if (spec.eval_cache) cell.eval_cache = *spec.eval_cache;
   if (spec.eval_batch) cell.eval_batch = *spec.eval_batch;
   if (spec.seed) cell.seed = *spec.seed;
+  if (spec.trace.value_or(false)) {
+    cell.tracer = std::make_shared<obs::Tracer>();
+  }
   return cell;
 }
 
@@ -406,6 +421,9 @@ std::map<std::string, EngineEntry>& registry() {
                         if (spec.eval_cache) cfg.eval_cache = *spec.eval_cache;
                         if (spec.eval_batch) cfg.eval_batch = *spec.eval_batch;
                         if (spec.seed) cfg.seed = *spec.seed;
+                        if (spec.trace.value_or(false)) {
+                          cfg.tracer = std::make_shared<obs::Tracer>();
+                        }
                         return make_engine(std::move(problem), std::move(cfg),
                                            pool);
                       },

@@ -94,6 +94,14 @@ struct SolverSpec {
   std::optional<int> ranks;      ///< ranks=
   std::optional<int> broadcast;  ///< broadcast= (LN period; 0 = off)
 
+  /// trace=on|off — opt-in stage tracing: the built engine gets a
+  /// psga::obs::Tracer and records begin/end spans (breed, decode,
+  /// submit, fence, migration, ...) retrievable via
+  /// Engine::tracer_shared() and exportable as Chrome trace JSON
+  /// (psga_sweep --trace). Purely observational: traces never change a
+  /// RunResult. Metrics need no token — they are always on.
+  std::optional<bool> trace;
+
   /// Parses a whitespace-separated "key=value ..." spec. Throws
   /// std::invalid_argument naming the offending token for unknown keys,
   /// malformed tokens, and unknown enum values.

@@ -1,0 +1,167 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psga::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<int> g_next_thread_index{0};
+
+}  // namespace
+
+void set_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+int this_thread_index() noexcept {
+  thread_local const int index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Interpolate linearly inside [lo, hi): bucket 0 is exactly zero,
+      // bucket b >= 1 covers [2^(b-1), 2^b).
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, b - 1);
+      const double hi = std::ldexp(1.0, b);
+      const double into =
+          std::clamp((rank - static_cast<double>(seen)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lo + into * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+HistogramSnapshot& HistogramSnapshot::operator-=(
+    const HistogramSnapshot& other) {
+  count -= std::min(count, other.count);
+  sum -= std::min(sum, other.sum);
+  for (int b = 0; b < kBuckets; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    buckets[i] -= std::min(buckets[i], other.buckets[i]);
+  }
+  return *this;
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot merged;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      const auto i = static_cast<std::size_t>(b);
+      const std::uint64_t n = shard.buckets[i].load(std::memory_order_relaxed);
+      merged.buckets[i] += n;
+      merged.count += n;
+    }
+    merged.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return merged;
+}
+
+namespace {
+
+template <typename Pairs>
+auto find_pair(Pairs& pairs, const std::string& name) {
+  auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), name,
+      [](const auto& pair, const std::string& key) { return pair.first < key; });
+  return it;
+}
+
+}  // namespace
+
+const std::uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  auto it = find_pair(counters, name);
+  return it != counters.end() && it->first == name ? &it->second : nullptr;
+}
+
+const std::int64_t* MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = find_pair(gauges, name);
+  return it != gauges.end() && it->first == name ? &it->second : nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  auto it = find_pair(histograms, name);
+  return it != histograms.end() && it->first == name ? &it->second : nullptr;
+}
+
+void MetricsSnapshot::set_counter(const std::string& name,
+                                  std::uint64_t value) {
+  auto it = find_pair(counters, name);
+  if (it != counters.end() && it->first == name) {
+    it->second = value;
+  } else {
+    counters.insert(it, {name, value});
+  }
+}
+
+void MetricsSnapshot::subtract(const MetricsSnapshot& baseline) {
+  for (auto& [name, value] : counters) {
+    if (const std::uint64_t* base = baseline.counter(name)) {
+      value -= std::min(value, *base);
+    }
+  }
+  for (auto& [name, histogram] : histograms) {
+    if (const HistogramSnapshot* base = baseline.histogram(name)) {
+      histogram -= *base;
+    }
+  }
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+}  // namespace psga::obs

@@ -1,0 +1,203 @@
+// psga::obs — hot-path observability: counters, gauges and log2
+// histograms behind a named registry.
+//
+// Design (after BESS's per-module counter model): the write path is
+// lock-free and allocation-free — a counter add is one relaxed
+// fetch_add into a per-thread shard slot, a histogram record is two —
+// so metrics stay ALWAYS ON in the decode hot path at a cost of a few
+// nanoseconds. Shards are cache-line padded so concurrent writers never
+// bounce a line; readers pay instead: value()/snapshot() sum the shards
+// on every scrape. Handles returned by the Registry are stable for the
+// registry's lifetime, so hot code resolves them once at construction
+// and never touches the name map again.
+//
+// Scoping: a Registry is cheap (a mutex + name maps); every engine run
+// gets its own (shared with its inner engines), the daemon keeps one
+// for its process lifetime. Per-run deltas come from snapshot
+// subtraction, mirroring the EvalCacheStats baseline idiom.
+//
+// Determinism: nothing in this header ever feeds back into a decision —
+// observation must never alter an evolutionary trace, and a test pins
+// RunResults bit-identical with observability on vs off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psga::obs {
+
+/// Process-wide kill switch (default on). Off, write paths return after
+/// one relaxed load — the hook the on/off bit-identity test flips.
+void set_enabled(bool enabled) noexcept;
+bool enabled() noexcept;
+
+/// Small dense id of the calling thread (assigned on first use); shards
+/// and trace tracks key off it.
+int this_thread_index() noexcept;
+
+namespace detail {
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic event counter. add() is one relaxed fetch_add into the
+/// caller's shard; value() sums the shards (exact once writers joined,
+/// safe — merely approximately ordered — while they race).
+class Counter {
+ public:
+  static constexpr int kShards = 16;  // power of two (mask indexing)
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[static_cast<std::size_t>(this_thread_index()) & (kShards - 1)]
+        .value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedU64, kShards> shards_;
+};
+
+/// Point-in-time level (queue depth, inflight jobs). Single slot —
+/// gauges live on cold paths; set/add are still lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    if (!enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged read-side view of one histogram: fixed log2 buckets — bucket 0
+/// holds zeros, bucket b >= 1 holds values in [2^(b-1), 2^b).
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 65;  // zeros + one per bit width
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Percentile estimate (p in [0, 100]) with linear interpolation
+  /// inside the winning bucket; resolution is the bucket width (a factor
+  /// of 2), which is plenty for latency tiles.
+  double percentile(double p) const;
+
+  /// Per-run deltas from lifetime snapshots (counts are monotonic).
+  HistogramSnapshot& operator-=(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket log2 histogram of non-negative integer samples
+/// (nanoseconds, batch sizes). record() is two relaxed fetch_adds into
+/// the caller's shard; snapshot() merges the shards.
+class Histogram {
+ public:
+  static constexpr int kShards = 8;  // power of two (mask indexing)
+
+  void record(std::uint64_t value) noexcept {
+    if (!enabled()) return;
+    Shard& shard =
+        shards_[static_cast<std::size_t>(this_thread_index()) & (kShards - 1)];
+    shard.buckets[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+        buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Merged, name-sorted view of a whole Registry — the RunResult::metrics
+/// payload and the `stats` protocol body. Plain data: copyable,
+/// comparable-by-inspection, no atomics.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Name lookups (nullptr when absent) — tests and report tiles.
+  const std::uint64_t* counter(const std::string& name) const;
+  const std::int64_t* gauge(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Adds (or overwrites) a counter keeping the name ordering — used to
+  /// fold the EvalCache's own exact counters into a run snapshot.
+  void set_counter(const std::string& name, std::uint64_t value);
+
+  /// Per-run delta: subtracts `baseline`'s counters/histograms by name
+  /// (names absent from the baseline pass through; gauges are levels and
+  /// keep their current value).
+  void subtract(const MetricsSnapshot& baseline);
+};
+
+/// Named metric directory. Lookup takes a mutex (cold: handles are
+/// resolved once, at construction time); the returned references stay
+/// valid for the registry's lifetime. Scrapes run concurrently with
+/// writers — shards are atomics, so a mid-write scrape is merely a
+/// moment-in-time sum, never a data race.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+using RegistryPtr = std::shared_ptr<Registry>;
+
+/// The engine-constructor idiom: reuse the registry an outer engine (or
+/// caller) provided, otherwise create the run's own.
+inline RegistryPtr ensure_registry(RegistryPtr& registry) {
+  if (registry == nullptr) registry = std::make_shared<Registry>();
+  return registry;
+}
+
+}  // namespace psga::obs

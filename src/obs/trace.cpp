@@ -1,0 +1,118 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/obs/metrics.h"
+
+namespace psga::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      slots_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) noexcept {
+  const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanEvent& event = slots_[slot];
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.tid = this_thread_index();
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  const std::size_t used =
+      std::min(next_.load(std::memory_order_relaxed), slots_.size());
+  return {slots_.begin(),
+          slots_.begin() + static_cast<std::ptrdiff_t>(used)};
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Microseconds with nanosecond precision, without float formatting.
+std::string micros_text(std::uint64_t ns) {
+  std::string text = std::to_string(ns / 1000);
+  const std::uint64_t frac = ns % 1000;
+  if (frac != 0) {
+    text += '.';
+    text += static_cast<char>('0' + frac / 100);
+    text += static_cast<char>('0' + frac / 10 % 10);
+    text += static_cast<char>('0' + frac % 10);
+    while (text.back() == '0') text.pop_back();
+  }
+  return text;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceProcess>& processes) {
+  std::string buffer;
+  buffer += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceProcess& process : processes) {
+    if (!process.name.empty()) {
+      if (!first) buffer += ',';
+      first = false;
+      buffer += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+      buffer += std::to_string(process.pid);
+      buffer += ",\"tid\":0,\"args\":{\"name\":";
+      append_json_string(buffer, process.name);
+      buffer += "}}";
+    }
+    for (const SpanEvent& event : process.events) {
+      if (!first) buffer += ',';
+      first = false;
+      buffer += "{\"name\":";
+      append_json_string(buffer,
+                         event.name != nullptr ? event.name : "(null)");
+      buffer += ",\"cat\":\"psga\",\"ph\":\"X\",\"ts\":";
+      buffer += micros_text(event.start_ns);
+      buffer += ",\"dur\":";
+      buffer += micros_text(event.dur_ns);
+      buffer += ",\"pid\":";
+      buffer += std::to_string(process.pid);
+      buffer += ",\"tid\":";
+      buffer += std::to_string(event.tid);
+      buffer += '}';
+    }
+  }
+  buffer += "]}";
+  out << buffer;
+}
+
+}  // namespace psga::obs

@@ -119,4 +119,6 @@ void Client::ping() { request(simple_request("ping")); }
 
 Json Client::info() { return request(simple_request("info")); }
 
+Json Client::stats() { return request(simple_request("stats")); }
+
 }  // namespace psga::svc

@@ -65,8 +65,11 @@ class Client {
   /// Initiates server drain; returns the number of queued jobs cancelled.
   int drain();
   void ping();
-  /// The server's `info` payload (config + job counts).
+  /// The server's `info` payload (config + job counts + uptime/build).
   exp::Json info();
+  /// The server's `stats` payload (uptime + full metrics registry
+  /// snapshot in the exp::metrics_to_json layout).
+  exp::Json stats();
 
  private:
   exp::Json read_response();

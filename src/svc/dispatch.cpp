@@ -52,19 +52,48 @@ Json translate_line(const Json& line, int cell_index) {
   return out;
 }
 
+/// Dispatch health counters, resolved once per dispatch (all null when
+/// no registry is attached — bump() then costs one branch).
+struct DispatchMetrics {
+  obs::Counter* transport_errors = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* backoffs = nullptr;
+  obs::Counter* resubmits = nullptr;
+
+  static DispatchMetrics resolve(obs::Registry* registry) {
+    DispatchMetrics metrics;
+    if (registry != nullptr) {
+      metrics.transport_errors = &registry->counter("dispatch.transport_errors");
+      metrics.retries = &registry->counter("dispatch.retries");
+      metrics.backoffs = &registry->counter("dispatch.backoffs");
+      metrics.resubmits = &registry->counter("dispatch.resubmits");
+    }
+    return metrics;
+  }
+};
+
+void bump(obs::Counter* counter) {
+  if (counter != nullptr) counter->add();
+}
+
 /// One worker's bounded-retry connection: (re)connects with exponential
 /// backoff, counting attempts against the shared per-cell budget.
 class Connection {
  public:
-  Connection(std::string socket_path, int backoff_ms)
-      : socket_path_(std::move(socket_path)), backoff_ms_(backoff_ms) {}
+  Connection(std::string socket_path, int backoff_ms,
+             const DispatchMetrics& metrics)
+      : socket_path_(std::move(socket_path)),
+        backoff_ms_(backoff_ms),
+        metrics_(metrics) {}
 
   Client& ensure(int& attempts_left) {
     while (!client_) {
       try {
         client_.emplace(socket_path_);
       } catch (const TransportError&) {
+        bump(metrics_.transport_errors);
         if (--attempts_left <= 0) throw;
+        bump(metrics_.retries);
         backoff();
       }
     }
@@ -74,6 +103,7 @@ class Connection {
   void drop() { client_.reset(); }
 
   void backoff() {
+    bump(metrics_.backoffs);
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms_));
     backoff_ms_ = std::min(backoff_ms_ * 2, 5000);
   }
@@ -81,6 +111,7 @@ class Connection {
  private:
   std::string socket_path_;
   int backoff_ms_;
+  DispatchMetrics metrics_;
   std::optional<Client> client_;
 };
 
@@ -112,6 +143,7 @@ exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
   int done = 0;
   const int total = static_cast<int>(cells.size());
   const SubmitOptions submit = submit_options(sweep.stop);
+  const DispatchMetrics metrics = DispatchMetrics::resolve(options.metrics);
 
   auto run_cell = [&](Connection& connection, const exp::SweepCell& cell) {
     exp::CellResult result;
@@ -181,6 +213,7 @@ exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
           }
           break;
         } catch (const TransportError& e) {
+          bump(metrics.transport_errors);
           connection.drop();
           if (--attempts_left <= 0) {
             // Environmental failure, not a property of the cell: fail
@@ -191,12 +224,14 @@ exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
             write_record = false;
             break;
           }
+          bump(metrics.retries);
           connection.backoff();
         } catch (const ServiceError& e) {
           const std::string what = e.what();
           if (id && what.find("unknown job id") != std::string::npos) {
             // Daemon restarted and forgot the job: resubmit (seeds are
             // baked into the spec, the re-run is bit-identical).
+            bump(metrics.resubmits);
             id.reset();
             continue;
           }
@@ -208,6 +243,7 @@ exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
               write_record = false;
               break;
             }
+            bump(metrics.retries);
             connection.backoff();
             continue;
           }
@@ -236,7 +272,8 @@ exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
   const int workers =
       std::max(1, std::min(options.jobs, static_cast<int>(cells.size())));
   if (workers == 1) {
-    Connection connection(socket_path, std::max(1, options.backoff_ms));
+    Connection connection(socket_path, std::max(1, options.backoff_ms),
+                          metrics);
     for (const exp::SweepCell& cell : cells) run_cell(connection, cell);
   } else {
     // Dynamic dealing, exactly like the in-process runner: cells are
@@ -247,7 +284,8 @@ exp::SweepResult dispatch_sweep(const exp::SweepSpec& sweep,
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
-        Connection connection(socket_path, std::max(1, options.backoff_ms));
+        Connection connection(socket_path, std::max(1, options.backoff_ms),
+                              metrics);
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= cells.size()) break;

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "src/exp/sweep_runner.h"
+#include "src/obs/metrics.h"
 
 namespace psga::svc {
 
@@ -48,6 +49,12 @@ struct DispatchOptions {
   int backoff_ms = 100;
   /// Called after every finished cell (any worker, serialized).
   std::function<void(const exp::CellResult&, int done, int total)> progress;
+  /// Optional registry (not owned) for dispatch health counters:
+  ///   dispatch.transport_errors  connection/watch failures seen
+  ///   dispatch.retries           cell attempts burned on failures
+  ///   dispatch.backoffs          backoff sleeps taken
+  ///   dispatch.resubmits         jobs resubmitted after daemon restarts
+  obs::Registry* metrics = nullptr;
 };
 
 /// Dispatches one sweep to the daemon at `socket_path`. Throws

@@ -1,12 +1,20 @@
 #include "src/svc/job_table.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/exp/telemetry.h"
 
 namespace psga::svc {
 
 namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// The job_end line the table writes when it cancels a queued job
 /// itself (jobs that ran get theirs from the runner, with result
@@ -24,11 +32,57 @@ std::string cancelled_job_end(const Job& job) {
 
 }  // namespace
 
+void JobTable::set_metrics(obs::Registry* registry) {
+  std::lock_guard lock(mutex_);
+  if (registry == nullptr) {
+    queue_depth_ = nullptr;
+    jobs_admitted_ = jobs_rejected_ = nullptr;
+    jobs_completed_ = jobs_failed_ = jobs_cancelled_ = nullptr;
+    queue_ns_ = run_ns_ = total_ns_ = nullptr;
+    return;
+  }
+  queue_depth_ = &registry->gauge("svc.queue.depth");
+  jobs_admitted_ = &registry->counter("svc.jobs.admitted");
+  jobs_rejected_ = &registry->counter("svc.jobs.rejected");
+  jobs_completed_ = &registry->counter("svc.jobs.completed");
+  jobs_failed_ = &registry->counter("svc.jobs.failed");
+  jobs_cancelled_ = &registry->counter("svc.jobs.cancelled");
+  queue_ns_ = &registry->histogram("svc.job.queue_ns");
+  run_ns_ = &registry->histogram("svc.job.run_ns");
+  total_ns_ = &registry->histogram("svc.job.total_ns");
+}
+
+void JobTable::update_queue_depth_locked() const {
+  if (queue_depth_ != nullptr) {
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  }
+}
+
+void JobTable::count_terminal(JobState state) const {
+  switch (state) {
+    case JobState::kDone:
+      if (jobs_completed_ != nullptr) jobs_completed_->add();
+      break;
+    case JobState::kFailed:
+      if (jobs_failed_ != nullptr) jobs_failed_->add();
+      break;
+    case JobState::kCancelled:
+      if (jobs_cancelled_ != nullptr) jobs_cancelled_->add();
+      break;
+    default:
+      break;
+  }
+}
+
 JobPtr JobTable::submit(std::string spec, int priority,
                         const ga::StopCondition& stop) {
   std::unique_lock lock(mutex_);
-  if (draining_) throw AdmissionError("server is draining");
+  if (draining_) {
+    if (jobs_rejected_ != nullptr) jobs_rejected_->add();
+    throw AdmissionError("server is draining");
+  }
   if (queued_count_locked() >= max_queued_) {
+    if (jobs_rejected_ != nullptr) jobs_rejected_->add();
     throw AdmissionError("queue full (" + std::to_string(max_queued_) +
                          " jobs queued)");
   }
@@ -37,8 +91,11 @@ JobPtr JobTable::submit(std::string spec, int priority,
   job->spec = std::move(spec);
   job->priority = priority;
   job->stop = stop;
+  job->submitted_ns = now_ns();
   jobs_[job->id] = job;
   queue_.push_back(job);
+  if (jobs_admitted_ != nullptr) jobs_admitted_->add();
+  update_queue_depth_locked();
   lock.unlock();
   work_.notify_one();
   update_.notify_all();
@@ -60,6 +117,11 @@ JobPtr JobTable::next_job() {
       JobPtr job = *best;
       queue_.erase(best);
       job->state = JobState::kRunning;
+      job->started_ns = now_ns();
+      if (queue_ns_ != nullptr) {
+        queue_ns_->record(job->started_ns - job->submitted_ns);
+      }
+      update_queue_depth_locked();
       update_.notify_all();
       return job;
     }
@@ -77,6 +139,14 @@ void JobTable::finish(const JobPtr& job, JobState state, ga::RunResult result,
     job->error = std::move(error);
     job->seconds = seconds;
     job->log_done = true;
+    count_terminal(state);
+    const std::uint64_t end_ns = now_ns();
+    if (run_ns_ != nullptr && job->started_ns != 0) {
+      run_ns_->record(end_ns - job->started_ns);
+    }
+    if (total_ns_ != nullptr && job->submitted_ns != 0) {
+      total_ns_->record(end_ns - job->submitted_ns);
+    }
   }
   update_.notify_all();
 }
@@ -96,6 +166,11 @@ std::optional<JobState> JobTable::request_cancel(long long id) {
       to_close = job;
       job->log.push_back(cancelled_job_end(*job));
       job->log_done = true;
+      count_terminal(JobState::kCancelled);
+      if (total_ns_ != nullptr && job->submitted_ns != 0) {
+        total_ns_->record(now_ns() - job->submitted_ns);
+      }
+      update_queue_depth_locked();
     }
     if (to_close == nullptr) return job->state;
   }
@@ -108,14 +183,20 @@ int JobTable::drain() {
   {
     std::lock_guard lock(mutex_);
     draining_ = true;
+    const std::uint64_t end_ns = now_ns();
     for (const JobPtr& job : queue_) {
       job->cancel.store(true, std::memory_order_relaxed);
       job->state = JobState::kCancelled;
       job->log.push_back(cancelled_job_end(*job));
       job->log_done = true;
+      count_terminal(JobState::kCancelled);
+      if (total_ns_ != nullptr && job->submitted_ns != 0) {
+        total_ns_->record(end_ns - job->submitted_ns);
+      }
       cancelled.push_back(job);
     }
     queue_.clear();
+    update_queue_depth_locked();
   }
   work_.notify_all();
   update_.notify_all();

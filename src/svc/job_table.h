@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/ga/result.h"
+#include "src/obs/metrics.h"
 #include "src/svc/protocol.h"
 
 namespace psga::svc {
@@ -46,6 +47,10 @@ struct Job {
   /// after the job_end record lands).
   std::vector<std::string> log;
   bool log_done = false;
+  /// Steady-clock stamps (ns) for the queue/run latency histograms:
+  /// set at submit and at the queued→running transition.
+  std::uint64_t submitted_ns = 0;
+  std::uint64_t started_ns = 0;
 };
 
 using JobPtr = std::shared_ptr<Job>;
@@ -59,6 +64,14 @@ struct AdmissionError : std::runtime_error {
 class JobTable {
  public:
   explicit JobTable(int max_queued) : max_queued_(max_queued) {}
+
+  /// Attaches the daemon's metrics registry (not owned; must outlive the
+  /// table). Resolves every handle once:
+  ///   svc.queue.depth                            gauge
+  ///   svc.jobs.{admitted,rejected,completed,failed,cancelled}  counters
+  ///   svc.job.{queue_ns,run_ns,total_ns}         histograms
+  /// Call before serving traffic; null detaches.
+  void set_metrics(obs::Registry* registry);
 
   /// Admits a job or throws AdmissionError (queue full / draining).
   /// The caller pre-validates and pre-clamps spec and stop.
@@ -111,6 +124,21 @@ class JobTable {
  private:
   static JobRecord snapshot_locked(const Job& job);
   int queued_count_locked() const;
+  void update_queue_depth_locked() const;
+  void count_terminal(JobState state) const;
+
+  // Resolved metric handles (null when no registry is attached). The
+  // handles write lock-free, so counting happens wherever convenient —
+  // inside or outside the table mutex.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* jobs_admitted_ = nullptr;
+  obs::Counter* jobs_rejected_ = nullptr;
+  obs::Counter* jobs_completed_ = nullptr;
+  obs::Counter* jobs_failed_ = nullptr;
+  obs::Counter* jobs_cancelled_ = nullptr;
+  obs::Histogram* queue_ns_ = nullptr;
+  obs::Histogram* run_ns_ = nullptr;
+  obs::Histogram* total_ns_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable work_;    ///< workers: queue non-empty / draining

@@ -24,8 +24,13 @@
 //   op=drain    → ok, cancelled   (stop accepting, cancel the queue,
 //               finish running jobs, then the daemon exits)
 //   op=ping     → ok
-//   op=info     → ok, config{}, jobs{queued,running,done,failed,
-//               cancelled}
+//   op=info     → ok, config{}, build_type, uptime_seconds,
+//               jobs{queued,running,done,failed,cancelled},
+//               totals{admitted,completed,failed,cancelled,rejected},
+//               latency{queue,run,total → {p50,p95,p99} seconds}
+//   op=stats    → ok, uptime_seconds, metrics{} — the daemon's full
+//               metrics registry (exp::metrics_to_json layout: named
+//               counters, gauges and log2 histograms with percentiles)
 //
 // docs/service.md is the human-facing reference for this header.
 #pragma once

@@ -6,11 +6,18 @@
 #include <limits>
 #include <sstream>
 
+#include "src/exp/obs_json.h"
 #include "src/exp/telemetry.h"
 #include "src/ga/problem_registry.h"
 #include "src/ga/solver.h"
 #include "src/ga/spec_util.h"
 #include "src/par/thread_pool.h"
+
+// Stamped by the build system (CMake passes the active CMAKE_BUILD_TYPE)
+// so `info` can report what kind of binary is serving.
+#ifndef PSGA_BUILD_TYPE
+#define PSGA_BUILD_TYPE "unknown"
+#endif
 
 namespace psga::svc {
 
@@ -166,7 +173,11 @@ ga::StopCondition ServerConfig::clamp(
 // --- Server ------------------------------------------------------------------
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), table_(config_.max_queued) {}
+    : config_(std::move(config)),
+      start_seconds_(now_seconds()),
+      table_(config_.max_queued) {
+  table_.set_metrics(&registry_);
+}
 
 Server::~Server() { stop(); }
 
@@ -308,14 +319,15 @@ void Server::run_job(const JobPtr& job) {
         .set("generations", Json::integer(result.generations))
         .set("evaluations", Json::integer(result.evaluations))
         .set("seconds", Json::number(seconds));
-    if (result.cache) {
-      end.set("cache",
-              Json::object()
-                  .set("hits", Json::integer(result.cache->hits))
-                  .set("misses", Json::integer(result.cache->misses))
-                  .set("inserts", Json::integer(result.cache->inserts))
-                  .set("evictions", Json::integer(result.cache->evictions)));
-    }
+    // Cache counters are always engaged (Engine::run fills zeros when no
+    // cache is configured), matching the in-process cell record.
+    const ga::EvalCacheStats cache = result.cache.value_or(ga::EvalCacheStats{});
+    end.set("cache",
+            Json::object()
+                .set("hits", Json::integer(cache.hits))
+                .set("misses", Json::integer(cache.misses))
+                .set("inserts", Json::integer(cache.inserts))
+                .set("evictions", Json::integer(cache.evictions)));
   }
   sink.write(std::move(end));
   table_.finish(job, state, std::move(result), std::move(error), seconds);
@@ -483,10 +495,45 @@ exp::Json Server::handle_request(const Json& request, int connection_fd,
         .set("done", Json::integer(counts[2]))
         .set("failed", Json::integer(counts[3]))
         .set("cancelled", Json::integer(counts[4]));
+    const obs::MetricsSnapshot snapshot = registry_.snapshot();
+    auto total = [&](const char* name) {
+      const std::uint64_t* value = snapshot.counter(name);
+      return Json::uinteger(value != nullptr ? *value : 0);
+    };
+    Json totals = Json::object();
+    totals.set("admitted", total("svc.jobs.admitted"))
+        .set("completed", total("svc.jobs.completed"))
+        .set("failed", total("svc.jobs.failed"))
+        .set("cancelled", total("svc.jobs.cancelled"))
+        .set("rejected", total("svc.jobs.rejected"));
+    Json latency = Json::object();
+    for (const auto& [name, key] :
+         {std::pair<const char*, const char*>{"svc.job.queue_ns", "queue"},
+          {"svc.job.run_ns", "run"},
+          {"svc.job.total_ns", "total"}}) {
+      const obs::HistogramSnapshot* h = snapshot.histogram(name);
+      if (h == nullptr || h->count == 0) continue;
+      latency.set(key, Json::object()
+                           .set("p50", Json::number(h->percentile(50) / 1e9))
+                           .set("p95", Json::number(h->percentile(95) / 1e9))
+                           .set("p99", Json::number(h->percentile(99) / 1e9)));
+    }
     return ok_response()
         .set("config", std::move(config))
+        .set("build_type", Json::string(PSGA_BUILD_TYPE))
+        .set("uptime_seconds", Json::number(now_seconds() - start_seconds_))
         .set("jobs", std::move(jobs))
+        .set("totals", std::move(totals))
+        .set("latency", std::move(latency))
         .set("draining", Json::boolean(table_.draining()));
+  }
+
+  if (op == "stats") {
+    // The whole registry, merged: queue/job metrics today, whatever the
+    // daemon grows tomorrow — psgactl stats renders this payload.
+    return ok_response()
+        .set("uptime_seconds", Json::number(now_seconds() - start_seconds_))
+        .set("metrics", exp::metrics_to_json(registry_.snapshot()));
   }
 
   return error_response("unknown op '" + op + "'");

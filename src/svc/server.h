@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/ga/stop.h"
+#include "src/obs/metrics.h"
 #include "src/svc/job_table.h"
 #include "src/svc/socket.h"
 
@@ -95,6 +96,10 @@ class Server {
 
   const std::string& socket_path() const { return config_.socket_path; }
   JobTable& jobs() { return table_; }
+  /// The daemon's process-lifetime metrics registry (queue depth, job
+  /// counters, latency histograms — see JobTable::set_metrics). The
+  /// `stats` op serves its snapshot; tests scrape it directly.
+  obs::Registry& metrics() { return registry_; }
 
  private:
   void accept_loop();
@@ -107,6 +112,11 @@ class Server {
 
   ServerConfig config_;  ///< reloadable fields guarded by config_mutex_
   mutable std::mutex config_mutex_;
+  /// Process-lifetime metrics (declared before table_, which resolves
+  /// handles into it at construction and writes through them until its
+  /// own destruction).
+  obs::Registry registry_;
+  double start_seconds_ = 0.0;  ///< steady-clock stamp of construction
   JobTable table_;
   std::unique_ptr<UnixListener> listener_;
   std::thread accept_thread_;

@@ -17,6 +17,12 @@
 //                      stable cell hash) already sit in FILE, and append
 //                      new telemetry to FILE — the file ends up equal to
 //                      one uninterrupted run's
+//   --trace FILE       overlay trace=on on every cell and write the
+//                      merged Chrome trace-event JSON to FILE (one
+//                      process per cell; load in chrome://tracing or
+//                      ui.perfetto.dev). In-process only. Cell specs,
+//                      hashes and results are unchanged, so traced runs
+//                      resume untraced ones and vice versa.
 //   --list             print the expanded cells and exit (dry run)
 //   --list-problems    print the problem registry (problem= values) and exit
 //   --list-engines     print the engine registry (engine= values) and exit
@@ -56,6 +62,7 @@
 #include "src/exp/sweep_spec.h"
 #include "src/exp/telemetry.h"
 #include "src/ga/solver.h"
+#include "src/obs/trace.h"
 #include "src/svc/dispatch.h"
 
 namespace {
@@ -66,7 +73,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--telemetry PATH] [--every N]\n"
                "       %*s [--summary PATH] [--csv] [--reps N] [--seed N]\n"
-               "       %*s [--resume FILE] [--list] [--quiet]\n"
+               "       %*s [--resume FILE] [--trace FILE] [--list] [--quiet]\n"
                "       %*s [--dispatch SOCKET [--jobs N]] <spec-file>\n"
                "       %s --list-problems | --list-engines\n",
                argv0, static_cast<int>(std::strlen(argv0)), "",
@@ -98,6 +105,7 @@ int main(int argc, char** argv) {
   std::string summary_path;
   std::string dispatch_socket;
   std::string resume_path;
+  std::string trace_path;
   int threads = 1;
   bool threads_set = false;
   int every = 1;
@@ -136,6 +144,8 @@ int main(int argc, char** argv) {
       jobs_set = true;
     } else if (arg == "--resume") {
       resume_path = next_value();
+    } else if (arg == "--trace") {
+      trace_path = next_value();
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--reps") {
@@ -178,6 +188,12 @@ int main(int argc, char** argv) {
   }
   if (dispatch_socket.empty() && jobs_set) {
     std::fprintf(stderr, "psga_sweep: --jobs requires --dispatch\n");
+    return 1;
+  }
+  if (!dispatch_socket.empty() && !trace_path.empty()) {
+    std::fprintf(stderr,
+                 "psga_sweep: --trace needs the in-process runner (the "
+                 "daemon's spans stay in its process); drop --dispatch\n");
     return 1;
   }
   if (!resume_path.empty() && !telemetry_path.empty() &&
@@ -279,6 +295,10 @@ int main(int argc, char** argv) {
   std::ostringstream tables;
   int total_cells = 0;
   int failed_cells = 0;
+  // Merged across every sweep in the file: pids are offset per sweep so
+  // cell tracks never collide in the one trace file.
+  std::vector<obs::TraceProcess> trace;
+  int trace_pid_base = 0;
   for (const exp::SweepSpec& sweep : sweeps) {
     auto progress = [&](const exp::CellResult& cell, int done, int total) {
       std::fprintf(stderr, "\r[%s] %d/%d%s", sweep.name.c_str(), done, total,
@@ -300,9 +320,16 @@ int main(int argc, char** argv) {
         options.telemetry = sink ? &*sink : nullptr;
         options.telemetry_every = every;
         options.resume = finished.empty() ? nullptr : &finished;
+        options.trace = !trace_path.empty();
         if (!quiet) options.progress = progress;
         result = exp::run_sweep(sweep, options);
       }
+      for (obs::TraceProcess& process : result.trace) {
+        process.pid += trace_pid_base;
+        process.name = sweep.name + " " + process.name;
+        trace.push_back(std::move(process));
+      }
+      trace_pid_base += static_cast<int>(result.cells.size());
       total_cells += static_cast<int>(result.cells.size());
       failed_cells += result.failed;
       if (csv) {
@@ -318,6 +345,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "psga_sweep: sweep '%s': %s\n", sweep.name.c_str(),
                    e.what());
       return 1;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "psga_sweep: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(trace_file, trace);
+    if (!quiet) {
+      std::fprintf(stderr, "psga_sweep: wrote %zu traced cell(s) to %s\n",
+                   trace.size(), trace_path.c_str());
     }
   }
 

@@ -16,7 +16,12 @@
 //   cancel <id>        requests cancellation, prints the resulting state
 //   drain              graceful server drain; prints cancelled count
 //   ping               exit 0 iff the daemon answers
-//   info               server config + job counts (JSON)
+//   info               server config, build type, uptime, job counts,
+//                      cumulative totals and latency percentiles
+//                      (pretty-printed JSON)
+//   stats              the daemon's full metrics registry — counters,
+//                      gauges, log2 histograms with p50/p95/p99
+//                      (pretty-printed JSON)
 //
 // The socket defaults to $PSGAD_SOCKET, then /tmp/psgad.sock. Transport
 // and server errors print to stderr and exit 2; a failed job makes
@@ -42,7 +47,7 @@ int usage(const char* argv0) {
       "  submit '<runspec>' [--priority N] [--generations N] [--seconds S]\n"
       "                     [--evals N] [--target X] [--watch]\n"
       "  list | status <id> | wait <id> | watch <id> | cancel <id>\n"
-      "  drain | ping | info\n",
+      "  drain | ping | info | stats\n",
       argv0);
   return 2;
 }
@@ -170,7 +175,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "info") {
-      std::printf("%s\n", client.info().dump().c_str());
+      std::printf("%s\n", client.info().dump(2).c_str());
+      return 0;
+    }
+    if (command == "stats") {
+      std::printf("%s\n", client.stats().dump(2).c_str());
       return 0;
     }
     return usage(argv[0]);

@@ -6,10 +6,13 @@
 #                      ASan/UBSan and run them, run a psga_sweep smoke
 #                      sweep (JSONL + summary validated), run a psgad
 #                      service smoke (submit/watch/cancel/drain over a
-#                      temp socket), emit a fresh bench JSON snapshot
-#                      (bench_micro_decoders + bench_micro_cache merged),
-#                      diff it against the committed BENCH_micro.json
-#                      (per-bench deltas), then refresh the snapshot
+#                      temp socket) and a session smoke (10-event seeded
+#                      replanning trace, SLO met, transcript hash stable
+#                      across two runs), emit a fresh bench JSON snapshot
+#                      (bench_micro_decoders + bench_micro_cache +
+#                      bench_session_latency merged), diff it against the
+#                      committed BENCH_micro.json (per-bench deltas),
+#                      then refresh the snapshot
 #   SKIP_BENCH=1 ./ci.sh        tests only
 #   SKIP_SAN=1 ./ci.sh          skip the sanitizer leg
 #   SKIP_BENCH_DIFF=1 ./ci.sh   snapshot without the regression gate
@@ -225,6 +228,70 @@ else
   echo "psgad/psgactl or python3 missing; skipping service smoke"
 fi
 
+# Session smoke: the online replanning path end to end (docs/sessions.md)
+# — open a session on a live psgad, stream a fixed 10-event trace through
+# `psgactl session event` (which exits 1 on an SLO miss), replay the
+# identical trace in a second session and require bit-identical
+# transcript hashes (the determinism invariant, exercised through the
+# daemon's shared cache and manager workers), check the daemon reports no
+# active sessions afterwards, then drain cleanly.
+if [[ -x "$BUILD_DIR/psgad" && -x "$BUILD_DIR/psgactl" ]]; then
+  SES_SOCKET=$(mktemp -u /tmp/psgad_ses.XXXXXX.sock)
+  "$BUILD_DIR"/psgad --socket "$SES_SOCKET" --workers 2 &
+  SES_PID=$!
+  for _ in $(seq 50); do
+    "$BUILD_DIR"/psgactl --socket "$SES_SOCKET" ping >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  "$BUILD_DIR"/psgactl --socket "$SES_SOCKET" ping >/dev/null \
+    || { echo "ci.sh: psgad did not come up on $SES_SOCKET"; exit 1; }
+
+  # Breakdowns, arrivals and due-date changes interleaved, times
+  # non-decreasing — every session event kind crosses the wire.
+  SES_TRACE=(
+    "kind=breakdown time=5 machine=0 duration=8"
+    "kind=breakdown time=9 machine=3 duration=6"
+    "kind=arrival time=14 route=0:4,2:6,4:3"
+    "kind=due time=18 job=2 due=70"
+    "kind=breakdown time=22 machine=1 duration=10"
+    "kind=arrival time=27 route=5:5,1:4,3:6,0:2"
+    "kind=breakdown time=33 machine=5 duration=7"
+    "kind=due time=38 job=1 due=90"
+    "kind=breakdown time=45 machine=2 duration=9"
+    "kind=arrival time=52 route=2:3,4:5"
+  )
+  SES_HASHES=()
+  for _ in 1 2; do
+    SES_ID=$("$BUILD_DIR"/psgactl --socket "$SES_SOCKET" session open ft06 \
+      --generations 12 --seed 7 --slo 5)
+    for event in "${SES_TRACE[@]}"; do
+      "$BUILD_DIR"/psgactl --socket "$SES_SOCKET" session event "$SES_ID" \
+        "$event" >/dev/null \
+        || { echo "ci.sh: session event failed or missed its SLO: $event"
+             exit 1; }
+    done
+    SES_CLOSE=$("$BUILD_DIR"/psgactl --socket "$SES_SOCKET" session close \
+      "$SES_ID")
+    SES_HASHES+=("${SES_CLOSE##*transcript_hash=}")
+  done
+  if [[ -z "${SES_HASHES[0]}" \
+        || "${SES_HASHES[0]}" != "${SES_HASHES[1]}" ]]; then
+    echo "ci.sh: session transcripts diverged: ${SES_HASHES[*]}"; exit 1
+  fi
+  grep -q '"sessions": 0' \
+    <<<"$("$BUILD_DIR"/psgactl --socket "$SES_SOCKET" info)" \
+    || { echo "ci.sh: daemon still reports active sessions"; exit 1; }
+
+  "$BUILD_DIR"/psgactl --socket "$SES_SOCKET" drain >/dev/null
+  if ! wait "$SES_PID"; then
+    echo "ci.sh: psgad exited non-zero after session smoke"; exit 1
+  fi
+  echo "ci.sh: session smoke OK (${#SES_TRACE[@]} events x 2 runs, SLO met," \
+       "transcript hash ${SES_HASHES[0]})"
+else
+  echo "psgad/psgactl missing; skipping session smoke"
+fi
+
 # Dispatch resume smoke: run the smoke sweep through `psga_sweep
 # --dispatch --jobs 2` against a live psgad, SIGKILL the sweep once the
 # first finished cell record lands, then `--resume` it to completion.
@@ -399,6 +466,39 @@ PYEOF
     rm -f "$CACHE_FRESH"
   fi
 
+  # Session event-latency snapshot: bench_session_latency reports the
+  # per-event replan p95 (manual time) for warm and cold sessions over a
+  # fixed seeded trace. Medians-of-5 ride into BENCH_micro.json like the
+  # decoder benches, and the SessionEvent tag puts them under the same
+  # >25% regression gate.
+  if [[ -x "$BUILD_DIR/bench_session_latency" ]] \
+     && command -v python3 >/dev/null; then
+    SES_FRESH=$(mktemp /tmp/psga_bench_session.XXXXXX.json)
+    "$BUILD_DIR"/bench_session_latency \
+      --benchmark_min_time=0.05 \
+      --benchmark_repetitions=5 \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_format=json \
+      --benchmark_out="$SES_FRESH" \
+      --benchmark_out_format=json >/dev/null
+    python3 - "$FRESH" "$SES_FRESH" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    merged = json.load(f)
+with open(sys.argv[2]) as f:
+    session = json.load(f)["benchmarks"]
+medians = [b for b in session if b.get("aggregate_name") == "median"]
+for b in medians:
+    b["name"] = b["name"].removesuffix("_median")
+merged["benchmarks"].extend(medians)
+with open(sys.argv[1], "w") as f:
+    json.dump(merged, f, indent=1)
+PYEOF
+    rm -f "$SES_FRESH"
+  fi
+
   # Obs overhead gate: the always-on metrics write path must stay under
   # OBS_TOLERANCE (default 2%) of a decode-heavy engine run. The
   # enabled/disabled legs run back to back in one process so host drift
@@ -535,10 +635,12 @@ for name, bench in fresh.items():
     delta = bench["real_time"] / old["real_time"] - 1.0
     normalized = bench["real_time"] / old["real_time"] / drift - 1.0
     # The regression gate covers the decoder benches (the evaluation hot
-    # path this snapshot exists to guard); *_Scratch twins included.
+    # path this snapshot exists to guard) plus the session event-latency
+    # p95s; *_Scratch twins included.
     gated = any(tag in name for tag in
                 ("Decode", "SemiActive", "GifflerThompson", "Makespan",
-                 "Flexible", "LotStreaming", "OpenShop", "HybridFlowShop"))
+                 "Flexible", "LotStreaming", "OpenShop", "HybridFlowShop",
+                 "SessionEvent"))
     marker = ""
     if only and name not in only:
         gated = False
@@ -588,6 +690,21 @@ PYEOF
           --benchmark_format=json \
           --benchmark_out="$RETRY" \
           --benchmark_out_format=json >/dev/null
+        # The session benches live in their own binary; re-measure them
+        # too when one of them is what failed (family-level filter — the
+        # reported /manual_time suffix is not part of the filter name).
+        if grep -q SessionEvent "$GATE_FAILS" \
+           && [[ -x "$BUILD_DIR/bench_session_latency" ]]; then
+          SES_RETRY=$(mktemp "/tmp/psga_bench_sretry.${attempt}.XXXXXX.json")
+          RETRY_FILES+=("$SES_RETRY")
+          "$BUILD_DIR"/bench_session_latency \
+            --benchmark_filter="BM_SessionEventP95" \
+            --benchmark_min_time=0.05 \
+            --benchmark_repetitions=3 \
+            --benchmark_format=json \
+            --benchmark_out="$SES_RETRY" \
+            --benchmark_out_format=json >/dev/null
+        fi
       done
       python3 - "$FRESH" "${RETRY_FILES[@]}" <<'PYEOF'
 import json
@@ -598,7 +715,13 @@ with open(sys.argv[1]) as f:
 remeasured = {}
 for path in sys.argv[2:]:
     with open(path) as f:
-        retry = json.load(f)["benchmarks"]
+        # A retry binary whose filter matched nothing leaves an empty
+        # out file (exit 0, no JSON) — e.g. bench_micro_decoders when
+        # only session benches failed. Skip it.
+        text = f.read()
+    if not text.strip():
+        continue
+    retry = json.loads(text)["benchmarks"]
     for b in retry:
         if b.get("run_type") != "iteration":
             continue

@@ -21,6 +21,7 @@ CellularGa::CellularGa(ProblemPtr problem, CellularConfig config,
   }
   evaluator_.set_cache(
       EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
+  evaluator_.set_hash_salt(config_.cache_salt);
   obs::ensure_registry(config_.metrics);
   attach_obs(config_.metrics, config_.tracer);
   evaluator_.set_obs(config_.metrics, config_.tracer);
@@ -65,6 +66,12 @@ void CellularGa::init() {
     cell_rngs_.push_back(root.split(static_cast<std::uint64_t>(c)));
     grid_.push_back(problem_->random_genome(cell_rngs_.back()));
     neighbor_table_.push_back(neighbors_of(c));
+  }
+  // Warm start: injected individuals occupy the leading cells (the random
+  // draw above still happens so unseeded cells' streams are unaffected).
+  for (std::size_t c = 0;
+       c < config_.initial_population.size() && c < grid_.size(); ++c) {
+    grid_[c] = config_.initial_population[c];
   }
   objectives_.assign(static_cast<std::size_t>(n), 0.0);
   evaluations_baseline_ = evaluator_.evaluations();

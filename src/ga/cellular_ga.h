@@ -44,6 +44,8 @@ struct CellularConfig {
   EvalCacheConfig eval_cache;
   /// Pre-built cache shared across islands (islands-of-cellular).
   EvalCachePtr shared_eval_cache;
+  /// Cache-key namespace (see GaConfig::cache_salt); 0 = none.
+  std::uint64_t cache_salt = 0;
   /// Restrict a kAsyncPool pipeline to its coordinator thread (set by
   /// engines whose outer level owns the pool).
   bool async_coordinator_only = false;
@@ -51,6 +53,10 @@ struct CellularConfig {
   int eval_batch = 0;
   Termination termination;
   std::uint64_t seed = 1;
+  /// Injected initial individuals (warm start): they occupy the leading
+  /// cells in row-major order, truncating at the grid size; the remaining
+  /// cells draw random genomes as usual.
+  std::vector<Genome> initial_population;
   /// Observability sinks (see GaConfig::metrics/tracer): the engine
   /// ensures a registry when null; outer engines share theirs here.
   obs::RegistryPtr metrics;
@@ -84,6 +90,10 @@ class CellularGa : public Engine {
     return evaluator_.cache_ptr();
   }
   StopCondition stop_default() const override { return config_.termination; }
+  bool seed_population(std::vector<Genome> genomes) override {
+    config_.initial_population = std::move(genomes);
+    return true;
+  }
 
   int cells() const { return config_.width * config_.height; }
   /// Replaces the individual at `cell` (hybrid-model migration).

@@ -66,6 +66,13 @@ struct GaConfig {
   /// NEH or dispatching-rule solution); the rest is drawn at random.
   /// Entries beyond `population` are ignored.
   std::vector<Genome> seed_genomes;
+  /// A whole injected initial population — the warm-start seam of the
+  /// session layer and sweep chaining. init() consumes these first (in
+  /// order, before seed_genomes), truncating at `population` and padding
+  /// any shortfall with random genomes. Engines expose this through
+  /// Engine::seed_population so spec-built engines can be seeded after
+  /// construction.
+  std::vector<Genome> initial_population;
   OperatorConfig ops;
   /// Which runtime evaluates fitness batches (see evaluator.h). Engines
   /// that already parallelize at a coarser level (islands, cluster ranks)
@@ -80,6 +87,11 @@ struct GaConfig {
   /// subpopulations. When null and eval_cache.mode != kOff, the engine
   /// builds its own cache from eval_cache.
   EvalCachePtr shared_eval_cache;
+  /// Namespaces the engine's cache keys (Evaluator::set_hash_salt): set a
+  /// distinct nonzero salt per objective landscape when a shared cache
+  /// outlives one problem state (the session layer's cross-replan store).
+  /// 0 = no namespacing.
+  std::uint64_t cache_salt = 0;
   /// Restricts the kAsyncPool pipeline to its coordinator thread (no
   /// thread-pool fan-out). Engines whose outer level owns the pool
   /// (parallel island steps, cluster ranks) set this on inner configs;

@@ -1,8 +1,27 @@
 #include "src/ga/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <numeric>
 
 namespace psga::ga {
+
+PopulationSection Engine::population_snapshot() const {
+  const int n = population_size();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return objective_of(a) < objective_of(b);
+  });
+  PopulationSection section;
+  section.genomes.reserve(static_cast<std::size_t>(n));
+  section.objectives.reserve(static_cast<std::size_t>(n));
+  for (int i : order) {
+    section.genomes.push_back(individual(i));
+    section.objectives.push_back(objective_of(i));
+  }
+  return section;
+}
 
 RunResult Engine::run(const StopCondition& stop) {
   const auto start = std::chrono::steady_clock::now();

@@ -101,6 +101,24 @@ class Engine {
   virtual const Genome& individual(int i) const = 0;
   virtual double objective_of(int i) const = 0;
 
+  /// Injects a full initial population for the next init()/run(): the
+  /// engine consumes the genomes in order (truncating at its population
+  /// size, padding any shortfall with its own random genomes — see
+  /// GaConfig::initial_population). Island engines deal them round-robin
+  /// across islands. Returns false when the engine's representation
+  /// cannot host foreign genomes (quantum qubit chromosomes, cluster
+  /// ranks) — callers fall back to a cold start.
+  virtual bool seed_population(std::vector<Genome> genomes) {
+    (void)genomes;
+    return false;
+  }
+
+  /// Snapshot of the current population via the introspection API,
+  /// sorted best-first (stable, so equal objectives keep population
+  /// order). The warm-start export: feed it back through
+  /// seed_population() / RunResult::population to chain runs.
+  PopulationSection population_snapshot() const;
+
   /// The evaluation cache behind this engine's evaluators (null when
   /// caching is off), as a shared handle: the run loop snapshots it
   /// before init() and holds it across the run, so an engine that

@@ -40,6 +40,19 @@ void chunked_objective_batch(const Problem& problem,
   }
 }
 
+/// Folds the evaluator's namespace salt into a cache key. splitmix64's
+/// finalizer is a bijection on 64-bit words, so for a fixed genome hash
+/// the map salt -> key is injective: entries written under different
+/// salts can never answer each other's lookups (see set_hash_salt).
+/// Salt 0 keeps the raw genome hash, preserving pre-salt key layouts.
+std::uint64_t salted_key(std::uint64_t hash, std::uint64_t salt) {
+  if (salt == 0) return hash;
+  std::uint64_t z = hash ^ salt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 // --- async pipeline ----------------------------------------------------------
@@ -352,7 +365,7 @@ void Evaluator::evaluate(std::span<const Genome> genomes,
   miss_hashes_.clear();
   miss_slots_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t hash = genome_hash(genomes[i]);
+    const std::uint64_t hash = salted_key(genome_hash(genomes[i]), hash_salt_);
     if (const auto value = cache_->lookup(hash, genomes[i])) {
       objectives[i] = *value;
     } else {
@@ -401,7 +414,8 @@ void Evaluator::submit(std::span<const Genome> genomes,
   {
     const obs::Span filter_span(tracer_.get(), "cache_filter");
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t hash = genome_hash(genomes[i]);
+      const std::uint64_t hash =
+          salted_key(genome_hash(genomes[i]), hash_salt_);
       if (const auto value = cache_->lookup(hash, genomes[i])) {
         objectives[i] = *value;
       } else {
@@ -443,7 +457,7 @@ double Evaluator::evaluate_one(const Genome& genome) {
   fence();
   ++evaluations_;
   if (cache_ != nullptr) {
-    const std::uint64_t hash = genome_hash(genome);
+    const std::uint64_t hash = salted_key(genome_hash(genome), hash_salt_);
     if (const auto value = cache_->lookup(hash, genome)) return *value;
     const double objective = problem_->objective(genome, workspace(0));
     ++decode_calls_;
@@ -458,6 +472,11 @@ void Evaluator::set_cache(EvalCachePtr cache) {
   fence();
   cache_ = std::move(cache);
   if (pipeline_ != nullptr) pipeline_->set_cache(cache_);
+}
+
+void Evaluator::set_hash_salt(std::uint64_t salt) {
+  fence();
+  hash_salt_ = salt;
 }
 
 void Evaluator::set_obs(obs::RegistryPtr metrics,

@@ -106,6 +106,18 @@ class Evaluator {
   /// in flight. The cache may be shared with other evaluators.
   void set_cache(EvalCachePtr cache);
 
+  /// Namespaces this evaluator's cache keys (same in-flight rule as
+  /// set_cache). A cache shared across *different* objective landscapes —
+  /// the session layer's cross-replan store, where the same suffix genome
+  /// means different schedules under different frozen prefixes and
+  /// downtimes — must keep their entries apart. The salt is folded into
+  /// the key through a bijective mixer, so for any fixed genome distinct
+  /// salts can never produce the same key: a cross-namespace hit is
+  /// impossible, not merely improbable, and the cache's genome-equality
+  /// check still catches ordinary hash collisions within a namespace.
+  /// Salt 0 (the default) leaves keys exactly as before.
+  void set_hash_salt(std::uint64_t salt);
+
   /// Attaches the observability sinks (both may be null). Handles into
   /// `metrics` are resolved once, here — the hot path then costs two
   /// clock reads plus a few relaxed adds per *batch*, never per genome.
@@ -159,6 +171,7 @@ class Evaluator {
   std::size_t batch_size_;  ///< objective_batch chunk size (resolved)
   std::vector<std::unique_ptr<Workspace>> workspaces_;  // one per lane
   EvalCachePtr cache_;
+  std::uint64_t hash_salt_ = 0;  ///< cache-key namespace (see set_hash_salt)
   /// Present only on kAsyncPool; self-contained (own workspaces, own
   /// decode counter) so the Evaluator stays movable while jobs run.
   std::unique_ptr<AsyncPipeline> pipeline_;

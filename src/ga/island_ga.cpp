@@ -172,6 +172,15 @@ void IslandGa::init() {
     // island's breeding still overlaps its own evaluation. The fan-out
     // parallelism of this model lives at the island level either way.
     GaConfig cfg = inner_engine_config(config_.base, cache_);
+    // Deal an injected population round-robin: genome j seeds island
+    // j mod k (the copy from base above would otherwise clone the whole
+    // set onto every island).
+    cfg.initial_population.clear();
+    for (std::size_t j = static_cast<std::size_t>(i);
+         j < config_.base.initial_population.size();
+         j += static_cast<std::size_t>(k)) {
+      cfg.initial_population.push_back(config_.base.initial_population[j]);
+    }
     cfg.seed = config_.identical_start
                    ? config_.base.seed
                    : root.split(static_cast<std::uint64_t>(i + 1))();

@@ -102,6 +102,13 @@ class IslandGa : public Engine {
   StopCondition stop_default() const override {
     return config_.base.termination;
   }
+  /// Injected genomes are dealt round-robin across the islands at init()
+  /// (genome i goes to island i mod k), so a warm-started archipelago
+  /// spreads the carried material instead of cloning it everywhere.
+  bool seed_population(std::vector<Genome> genomes) override {
+    config_.base.initial_population = std::move(genomes);
+    return true;
+  }
 
   /// The islands still alive (merging shrinks this).
   int surviving_islands() const { return static_cast<int>(alive_.size()); }

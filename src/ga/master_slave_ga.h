@@ -55,6 +55,12 @@ class MasterSlaveGa : public Engine {
     return inner_ ? inner_->eval_cache_shared() : config_.shared_eval_cache;
   }
   StopCondition stop_default() const override { return config_.termination; }
+  bool seed_population(std::vector<Genome> genomes) override {
+    // init() rebuilds the inner engine from config_, so the injected
+    // population flows into the next run.
+    config_.initial_population = std::move(genomes);
+    return true;
+  }
 
   using Engine::run;
 

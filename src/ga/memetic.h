@@ -60,6 +60,10 @@ class MemeticGa : public Engine {
   StopCondition stop_default() const override {
     return config_.base.termination;
   }
+  bool seed_population(std::vector<Genome> genomes) override {
+    config_.base.initial_population = std::move(genomes);
+    return true;
+  }
 
   using Engine::run;
 

@@ -578,6 +578,13 @@ std::shared_ptr<const JobShopProblem> make_problem(
   return std::make_shared<JobShopProblem>(std::move(inst), decoder, criterion);
 }
 
+sched::JobShopInstance resolve_job_shop_instance(const std::string& instance) {
+  ProblemSpec spec;
+  spec.problem = "jobshop";
+  spec.instance = instance;
+  return job_instance(spec);
+}
+
 std::shared_ptr<const RuleSequenceJobShopProblem> make_rule_sequence_problem(
     sched::JobShopInstance inst, sched::Criterion criterion) {
   return std::make_shared<RuleSequenceJobShopProblem>(std::move(inst),

@@ -107,6 +107,14 @@ std::shared_ptr<const StochasticJobShopProblem> make_problem(
 std::shared_ptr<const EnergyFlowShopProblem> make_problem(
     sched::EnergyAwareFlowShop shop);
 
+/// Resolves a job-shop instance token exactly as `problem=jobshop
+/// instance=...` would: classics (ft06/ft10/ft20/la01), *.jsp files, or
+/// gen:jobs=..,machines=..,seed=.. synthetic instances. Throws
+/// std::invalid_argument for anything else. The session layer uses this
+/// so `psgactl session open ft06` speaks the same instance language as
+/// every other surface.
+sched::JobShopInstance resolve_job_shop_instance(const std::string& instance);
+
 /// Reactive suffix re-optimization mid-simulation: the caller's replan
 /// context cannot come from a spec string. `inst` is borrowed (not
 /// owned) and must outlive the problem.

@@ -35,6 +35,17 @@ struct IslandSection {
   int surviving = 0;
 };
 
+/// A population checkpoint (genomes + objectives, sorted best-first).
+/// Produced by Engine::population_snapshot(); consumed by
+/// Engine::seed_population() — the warm-start seam that lets the session
+/// layer (and sweep chaining) carry a population from one run into the
+/// next. Engaged by callers that need it, not by Engine::run itself:
+/// copying every population would tax the common one-shot run.
+struct PopulationSection {
+  std::vector<Genome> genomes;
+  std::vector<double> objectives;  ///< parallel to genomes
+};
+
 /// Measurement/collapse statistics of the quantum-inspired engine [28].
 struct QuantumSection {
   /// Exploration noise level at the final measurement (annealed).
@@ -60,6 +71,11 @@ struct RunResult {
   /// Engine-specific sections (engaged by the engines that produce them).
   std::optional<IslandSection> islands;
   std::optional<QuantumSection> quantum;
+  /// Final-population checkpoint for warm-start chaining. Engaged by
+  /// callers that ask for it (Engine::population_snapshot() after a
+  /// run — the session layer does this every replan), never by
+  /// Engine::run itself.
+  std::optional<PopulationSection> population;
   /// Evaluation-cache counters accrued by THIS run (a delta, not the
   /// cache's lifetime totals — a shared or reused cache reports clean
   /// per-run numbers). hits + misses == evaluations for the cached

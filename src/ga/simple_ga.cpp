@@ -55,6 +55,7 @@ SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config, par::ThreadPool* pool)
   }
   evaluator_.set_cache(
       EvalCache::make(config_.eval_cache, config_.shared_eval_cache));
+  evaluator_.set_hash_salt(config_.cache_salt);
   obs::ensure_registry(config_.metrics);
   attach_obs(config_.metrics, config_.tracer);
   evaluator_.set_obs(config_.metrics, config_.tracer);
@@ -63,6 +64,13 @@ SimpleGa::SimpleGa(ProblemPtr problem, GaConfig config, par::ThreadPool* pool)
 void SimpleGa::init() {
   population_.clear();
   population_.reserve(static_cast<std::size_t>(config_.population));
+  // An injected whole population (the warm-start seam) wins slots before
+  // the seed-genome hints; both truncate at the population size and the
+  // remainder is drawn at random.
+  for (const Genome& seed : config_.initial_population) {
+    if (static_cast<int>(population_.size()) >= config_.population) break;
+    population_.push_back(seed);
+  }
   for (const Genome& seed : config_.seed_genomes) {
     if (static_cast<int>(population_.size()) >= config_.population) break;
     population_.push_back(seed);

@@ -53,6 +53,10 @@ class SimpleGa : public Engine {
     return evaluator_.cache_ptr();
   }
   StopCondition stop_default() const override { return config_.termination; }
+  bool seed_population(std::vector<Genome> genomes) override {
+    config_.initial_population = std::move(genomes);
+    return true;
+  }
 
   /// Genomes actually decoded (cache misses); == evaluations() without a
   /// cache. Telemetry for benches and the cache tests.

@@ -326,6 +326,8 @@ GaConfig base_config(const SolverSpec& spec) {
   if (spec.trace.value_or(false)) {
     cfg.tracer = std::make_shared<obs::Tracer>();
   }
+  cfg.shared_eval_cache = spec.shared_cache;
+  cfg.cache_salt = spec.cache_salt;
   return cfg;
 }
 
@@ -356,6 +358,8 @@ CellularConfig cellular_config(const SolverSpec& spec) {
   if (spec.trace.value_or(false)) {
     cell.tracer = std::make_shared<obs::Tracer>();
   }
+  cell.shared_eval_cache = spec.shared_cache;
+  cell.cache_salt = spec.cache_salt;
   return cell;
 }
 

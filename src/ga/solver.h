@@ -102,6 +102,17 @@ struct SolverSpec {
   /// RunResult. Metrics need no token — they are always on.
   std::optional<bool> trace;
 
+  /// Runtime-only: a pre-built cache shared across solver builds (the
+  /// session layer's cross-replan memoization seam). Never parsed or
+  /// printed — parse()/to_string() ignore it, and the defaulted
+  /// operator== compares the pointer (all spec-string paths leave it
+  /// null, so canonical round-trips are unaffected). When set, the built
+  /// engine layers its configured eval_cache over this shared store.
+  EvalCachePtr shared_cache;
+  /// Runtime-only twin of shared_cache: cache-key namespace for the built
+  /// engine (GaConfig::cache_salt). 0 = none.
+  std::uint64_t cache_salt = 0;
+
   /// Parses a whitespace-separated "key=value ..." spec. Throws
   /// std::invalid_argument naming the offending token for unknown keys,
   /// malformed tokens, and unknown enum values.

@@ -67,6 +67,23 @@ Time realized_makespan_with_prefix(const JobShopInstance& inst,
   return decode_with_downtime(inst, full, downtimes).makespan();
 }
 
+ReplanContext split_at(const JobShopInstance& inst,
+                       std::span<const int> sequence,
+                       std::span<const Downtime> downtimes, Time now) {
+  const Schedule so_far = decode_with_downtime(inst, sequence, downtimes);
+  std::size_t frozen = 0;
+  while (frozen < so_far.ops.size() && so_far.ops[frozen].start < now) {
+    ++frozen;
+  }
+  ReplanContext context;
+  context.now = now;
+  context.frozen_prefix.assign(
+      sequence.begin(), sequence.begin() + static_cast<std::ptrdiff_t>(frozen));
+  context.remaining.assign(
+      sequence.begin() + static_cast<std::ptrdiff_t>(frozen), sequence.end());
+  return context;
+}
+
 DynamicRunResult simulate_dynamic(const JobShopInstance& inst,
                                   std::span<const int> predictive_sequence,
                                   std::span<const Downtime> downtimes,
@@ -87,21 +104,9 @@ DynamicRunResult simulate_dynamic(const JobShopInstance& inst,
     for (const Downtime& event : ordered) {
       // Decode the current plan against all downtimes to find which genes
       // have started strictly before the event.
-      const Schedule so_far = decode_with_downtime(inst, sequence, downtimes);
-      std::size_t frozen = 0;
-      while (frozen < so_far.ops.size() &&
-             so_far.ops[frozen].start < event.start) {
-        ++frozen;
-      }
+      ReplanContext context = split_at(inst, sequence, downtimes, event.start);
+      const std::size_t frozen = context.frozen_prefix.size();
       if (frozen >= sequence.size()) continue;  // everything already started
-      ReplanContext context;
-      context.now = event.start;
-      context.frozen_prefix.assign(sequence.begin(),
-                                   sequence.begin() +
-                                       static_cast<std::ptrdiff_t>(frozen));
-      context.remaining.assign(sequence.begin() +
-                                   static_cast<std::ptrdiff_t>(frozen),
-                               sequence.end());
       std::vector<int> replanned = replanner(context);
       // Defensive: accept only genuine permutations of the remainder.
       std::vector<int> a = replanned;

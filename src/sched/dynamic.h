@@ -46,6 +46,16 @@ struct ReplanContext {
 /// returned vector must be a permutation of it.
 using Replanner = std::function<std::vector<int>(const ReplanContext&)>;
 
+/// Splits `sequence` at disruption instant `now`: decodes it against
+/// `downtimes` and freezes the maximal gene-order prefix whose decoded
+/// start is strictly before `now` (the genes already dispatched); the
+/// rest is the re-optimizable remainder. This is the single freeze rule
+/// shared by simulate_dynamic and the online session layer, so both
+/// agree on what a replanner may touch.
+ReplanContext split_at(const JobShopInstance& inst,
+                       std::span<const int> sequence,
+                       std::span<const Downtime> downtimes, Time now);
+
 struct DynamicRunResult {
   Time predictive_makespan = 0;   ///< makespan ignoring the disruptions
   Time realized_makespan = 0;     ///< makespan actually achieved

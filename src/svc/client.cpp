@@ -81,6 +81,16 @@ JobRecord Client::wait(long long id) {
   return job_from_json(*job);
 }
 
+std::optional<JobRecord> Client::wait_for(long long id, double seconds) {
+  Json line = id_request("wait", id);
+  if (seconds > 0) line.set("timeout", Json::number(seconds));
+  const Json response = request(line);
+  if (response.find("timed_out") != nullptr) return std::nullopt;
+  const Json* job = response.find("job");
+  if (job == nullptr) throw ServiceError("wait response has no job");
+  return job_from_json(*job);
+}
+
 JobRecord Client::watch(long long id,
                         const std::function<void(const Json&)>& on_line) {
   request(id_request("watch", id));  // the ack; telemetry lines follow
@@ -120,5 +130,37 @@ void Client::ping() { request(simple_request("ping")); }
 Json Client::info() { return request(simple_request("info")); }
 
 Json Client::stats() { return request(simple_request("stats")); }
+
+long long Client::session_open(const std::string& instance,
+                               const SessionOptions& options) {
+  const Json response = request(session_open_request(instance, options));
+  const Json* session = response.find("session");
+  if (session == nullptr) {
+    throw ServiceError("session_open response has no session");
+  }
+  return session->as_i64();
+}
+
+Json Client::session_event(long long session, const Json& event_fields) {
+  Json line = Json::object();
+  line.set("op", Json::string("session_event"))
+      .set("session", Json::integer(session));
+  for (const Json::Member& member : event_fields.members()) {
+    line.set(member.first, member.second);
+  }
+  return request(line);
+}
+
+Json Client::session_best(long long session) {
+  return request(Json::object()
+                     .set("op", Json::string("session_best"))
+                     .set("session", Json::integer(session)));
+}
+
+Json Client::session_close(long long session) {
+  return request(Json::object()
+                     .set("op", Json::string("session_close"))
+                     .set("session", Json::integer(session)));
+}
 
 }  // namespace psga::svc

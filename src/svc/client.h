@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -55,6 +56,8 @@ class Client {
   JobRecord status(long long id);
   /// Blocks until the job is terminal; returns the final record.
   JobRecord wait(long long id);
+  /// Bounded wait: nullopt when `seconds` elapsed first (<= 0 = forever).
+  std::optional<JobRecord> wait_for(long long id, double seconds);
   /// Streams the job's telemetry (replayed from its start, then live):
   /// `on_line` sees every parsed line including the final job_end, then
   /// watch() fetches and returns the job's terminal record.
@@ -70,6 +73,22 @@ class Client {
   /// The server's `stats` payload (uptime + full metrics registry
   /// snapshot in the exp::metrics_to_json layout).
   exp::Json stats();
+
+  // --- online replanning sessions (op=session_*) ---
+  // Event payloads travel as flat JSON objects (session::Event::to_json
+  // on the sending side), keeping this class free of session-layer types.
+
+  /// Opens a session on `instance`; returns the session id.
+  long long session_open(const std::string& instance,
+                         const SessionOptions& options = {});
+  /// Applies one event (blocks until the replan answers); returns the
+  /// full response line (EventReply fields + seconds/slo_met).
+  exp::Json session_event(long long session, const exp::Json& event_fields);
+  /// The session's current answer: best, now, events, plan_hash.
+  exp::Json session_best(long long session);
+  /// Drains and closes the session; the response carries the transcript
+  /// (JSONL) and its hash.
+  exp::Json session_close(long long session);
 
  private:
   exp::Json read_response();

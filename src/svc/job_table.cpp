@@ -232,6 +232,16 @@ void JobTable::wait_terminal(const JobPtr& job) {
   update_.wait(lock, [&] { return is_terminal(job->state); });
 }
 
+bool JobTable::wait_terminal_for(const JobPtr& job, double seconds) {
+  std::unique_lock lock(mutex_);
+  if (seconds <= 0) {
+    update_.wait(lock, [&] { return is_terminal(job->state); });
+    return true;
+  }
+  return update_.wait_for(lock, std::chrono::duration<double>(seconds),
+                          [&] { return is_terminal(job->state); });
+}
+
 JobPtr JobTable::find(long long id) const {
   std::lock_guard lock(mutex_);
   const auto it = jobs_.find(id);

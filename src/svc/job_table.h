@@ -111,6 +111,9 @@ class JobTable {
 
   /// Blocks until the job is terminal.
   void wait_terminal(const JobPtr& job);
+  /// Bounded wait: blocks up to `seconds` (<= 0 waits forever). Returns
+  /// whether the job reached a terminal state before the deadline.
+  bool wait_terminal_for(const JobPtr& job, double seconds);
 
   JobPtr find(long long id) const;
   JobRecord snapshot(long long id) const;  ///< throws for unknown ids

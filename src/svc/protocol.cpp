@@ -131,6 +131,31 @@ Json submit_request(const std::string& spec, const SubmitOptions& options) {
   return request;
 }
 
+Json session_open_request(const std::string& instance,
+                          const SessionOptions& options) {
+  Json request = Json::object();
+  request.set("op", Json::string("session_open"))
+      .set("instance", Json::string(instance));
+  if (!options.solver.empty()) {
+    request.set("solver", Json::string(options.solver));
+  }
+  if (options.generations) {
+    request.set("generations", Json::integer(*options.generations));
+  }
+  if (options.evaluations) {
+    request.set("evaluations", Json::integer(*options.evaluations));
+  }
+  if (options.slo_seconds) {
+    request.set("slo", Json::number(*options.slo_seconds));
+  }
+  if (options.seed) request.set("seed", Json::uinteger(*options.seed));
+  if (options.warm) request.set("warm", Json::boolean(*options.warm));
+  if (options.immigrants) {
+    request.set("immigrants", Json::number(*options.immigrants));
+  }
+  return request;
+}
+
 Json simple_request(const std::string& op) {
   return Json::object().set("op", Json::string(op));
 }

@@ -14,7 +14,10 @@
 //               → ok, id, state
 //   op=list     → ok, jobs[]                         (JobRecord objects)
 //   op=status   id → ok, job                         (one JobRecord)
-//   op=wait     id → ok, job      (blocks until the job is terminal)
+//   op=wait     id, [timeout] → ok, job, [timed_out]  (blocks until the
+//               job is terminal; with timeout (seconds) the server
+//               answers at the deadline with timed_out=true and the
+//               job's live snapshot instead of blocking forever)
 //   op=watch    id → ok, id, then the job's telemetry lines streamed
 //               live (generation / improvement / migration with `job`
 //               in place of `cell`, then one final job_end record);
@@ -32,9 +35,24 @@
 //               metrics registry (exp::metrics_to_json layout: named
 //               counters, gauges and log2 histograms with percentiles)
 //
+// Online replanning sessions (src/session, docs/sessions.md):
+//   op=session_open   instance, [solver], [generations], [evaluations],
+//                     [slo], [seed], [warm], [immigrants]
+//                     → ok, session, best, events
+//   op=session_event  session + Event fields (kind/time/route/due/
+//                     machine/duration/job — session::Event::to_json)
+//                     → ok, session + the EventReply fields (index, kind,
+//                     time, frozen, remaining, carried, baseline, best,
+//                     adopted, generations, evaluations, plan_hash,
+//                     seconds, slo_met); blocks until the replan answers
+//   op=session_best   session → ok, best, now, events, plan_hash
+//   op=session_close  session → ok, events, transcript (JSONL),
+//                     transcript_hash — drains the session's queue first
+//
 // docs/service.md is the human-facing reference for this header.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -92,6 +110,22 @@ struct SubmitOptions {
 /// Builds the submit request line for `spec` + options.
 exp::Json submit_request(const std::string& spec,
                          const SubmitOptions& options = {});
+
+/// session_open knobs. Unset fields keep the session layer's defaults
+/// (SessionConfig in src/session/session.h).
+struct SessionOptions {
+  std::string solver;  ///< SolverSpec tokens; empty = session default
+  std::optional<int> generations;         ///< per-event generation budget
+  std::optional<long long> evaluations;   ///< per-event evaluation budget
+  std::optional<double> slo_seconds;      ///< per-event wall-clock SLO
+  std::optional<std::uint64_t> seed;
+  std::optional<bool> warm;               ///< false = cold restarts
+  std::optional<double> immigrants;       ///< WarmStart::immigrant_fraction
+};
+
+/// Builds the session_open request line for `instance` + options.
+exp::Json session_open_request(const std::string& instance,
+                               const SessionOptions& options = {});
 /// Builds a one-field request ({"op":op}) or id-carrying request.
 exp::Json simple_request(const std::string& op);
 exp::Json id_request(const std::string& op, long long id);

@@ -125,6 +125,8 @@ void ServerConfig::apply_tokens(const std::string& text) {
       workers = ga::spec::parse_int("ServerConfig", value, token);
     } else if (key == "max_queued") {
       max_queued = ga::spec::parse_int("ServerConfig", value, token);
+    } else if (key == "session_workers") {
+      session_workers = ga::spec::parse_int("ServerConfig", value, token);
     } else if (key == "telemetry_every") {
       telemetry_every = ga::spec::parse_int("ServerConfig", value, token);
     } else if (key == "max_generations") {
@@ -177,6 +179,16 @@ Server::Server(ServerConfig config)
       start_seconds_(now_seconds()),
       table_(config_.max_queued) {
   table_.set_metrics(&registry_);
+  session::SessionManagerConfig sessions;
+  sessions.workers = std::max(1, config_.session_workers);
+  // One shared LRU store across every session: replans namespace their
+  // keys (cache salt), so sharing is safe and repeats hit across events.
+  sessions.cache.mode = ga::EvalCacheMode::kLru;
+  sessions.cache.capacity = 1 << 16;
+  // Alias the daemon registry (destroyed after sessions_ by member
+  // order), so session.* metrics land in the same `stats` payload.
+  sessions.metrics = obs::RegistryPtr(&registry_, [](obs::Registry*) {});
+  sessions_ = std::make_unique<session::SessionManager>(std::move(sessions));
 }
 
 Server::~Server() { stop(); }
@@ -191,7 +203,12 @@ void Server::start() {
   }
 }
 
-int Server::drain() { return table_.drain(); }
+int Server::drain() {
+  // Sessions first: every accepted event still gets its replan, so a
+  // drain never leaves a session transcript mid-trace.
+  sessions_->drain();
+  return table_.drain();
+}
 
 void Server::wait() {
   if (!started_.load()) return;
@@ -437,8 +454,16 @@ exp::Json Server::handle_request(const Json& request, int connection_fd,
     if (job == nullptr) {
       return error_response("unknown job id " + std::to_string(id));
     }
-    if (op == "wait") table_.wait_terminal(job);
-    return ok_response().set("job", job_to_json(table_.snapshot(id)));
+    bool timed_out = false;
+    if (op == "wait") {
+      const Json* timeout = request.find("timeout");
+      timed_out =
+          !table_.wait_terminal_for(job, timeout ? timeout->as_number() : 0);
+    }
+    Json response =
+        ok_response().set("job", job_to_json(table_.snapshot(id)));
+    if (timed_out) response.set("timed_out", Json::boolean(true));
+    return response;
   }
 
   if (op == "watch") {
@@ -476,12 +501,110 @@ exp::Json Server::handle_request(const Json& request, int connection_fd,
     return ok_response().set("cancelled", Json::integer(cancelled));
   }
 
+  auto session_id = [&]() -> long long {
+    const Json* id = request.find("session");
+    if (id == nullptr) throw std::invalid_argument(op + " needs a session");
+    return id->as_i64();
+  };
+
+  if (op == "session_open") {
+    const std::string instance = request.string_or("instance", "");
+    if (instance.empty()) {
+      return error_response("session_open needs an instance");
+    }
+    session::SessionConfig config;
+    if (const Json* solver = request.find("solver")) {
+      config.solver = solver->as_string();
+    }
+    if (const Json* generations = request.find("generations")) {
+      config.replan_generations = static_cast<int>(generations->as_i64());
+    }
+    if (const Json* evaluations = request.find("evaluations")) {
+      config.replan_evaluations = evaluations->as_i64();
+    }
+    if (const Json* slo = request.find("slo")) {
+      config.slo_seconds = slo->as_number();
+    }
+    if (const Json* seed = request.find("seed")) {
+      config.seed = static_cast<std::uint64_t>(seed->as_i64());
+    }
+    if (const Json* warm = request.find("warm")) {
+      config.warm.enabled = warm->as_bool();
+    }
+    if (const Json* immigrants = request.find("immigrants")) {
+      config.warm.immigrant_fraction = immigrants->as_number();
+    }
+    long long id = 0;
+    try {
+      // Resolving the instance and the opening solve both run inline on
+      // this connection thread; a bad instance or solver spec is a
+      // structured error, not a dead session.
+      id = sessions_->open(ga::resolve_job_shop_instance(instance),
+                           std::move(config));
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+    const session::SessionManager::BestView view = sessions_->best(id);
+    return ok_response()
+        .set("session", Json::integer(id))
+        .set("best", Json::number(view.best))
+        .set("events", Json::integer(view.events));
+  }
+
+  if (op == "session_event") {
+    const long long id = session_id();
+    try {
+      const session::Event event = session::Event::from_json(request);
+      const session::EventReply reply = sessions_->apply(id, event);
+      Json response = ok_response().set("session", Json::integer(id));
+      // Named: members() returns a reference into this object, so a
+      // temporary would dangle under the range-for.
+      const Json reply_json = reply.to_json(true);
+      for (const Json::Member& member : reply_json.members()) {
+        response.set(member.first, member.second);
+      }
+      return response;
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+  }
+
+  if (op == "session_best") {
+    const long long id = session_id();
+    try {
+      const session::SessionManager::BestView view = sessions_->best(id);
+      return ok_response()
+          .set("session", Json::integer(id))
+          .set("best", Json::number(view.best))
+          .set("now", Json::integer(view.now))
+          .set("events", Json::integer(view.events))
+          .set("plan_hash", Json::uinteger(view.plan_hash));
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+  }
+
+  if (op == "session_close") {
+    const long long id = session_id();
+    try {
+      const session::SessionManager::CloseResult closed = sessions_->close(id);
+      return ok_response()
+          .set("session", Json::integer(id))
+          .set("events", Json::integer(closed.events))
+          .set("transcript", Json::string(closed.transcript))
+          .set("transcript_hash", Json::uinteger(closed.transcript_hash));
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+  }
+
   if (op == "info") {
     Json config = Json::object();
     {
       std::lock_guard lock(config_mutex_);
       config.set("socket", Json::string(config_.socket_path))
           .set("workers", Json::integer(config_.workers))
+          .set("session_workers", Json::integer(config_.session_workers))
           .set("max_queued", Json::integer(config_.max_queued))
           .set("telemetry_every", Json::integer(config_.telemetry_every))
           .set("max_generations", Json::integer(config_.max_generations))
@@ -523,6 +646,7 @@ exp::Json Server::handle_request(const Json& request, int connection_fd,
         .set("build_type", Json::string(PSGA_BUILD_TYPE))
         .set("uptime_seconds", Json::number(now_seconds() - start_seconds_))
         .set("jobs", std::move(jobs))
+        .set("sessions", Json::integer(sessions_->active()))
         .set("totals", std::move(totals))
         .set("latency", std::move(latency))
         .set("draining", Json::boolean(table_.draining()));

@@ -26,6 +26,7 @@
 
 #include "src/ga/stop.h"
 #include "src/obs/metrics.h"
+#include "src/session/manager.h"
 #include "src/svc/job_table.h"
 #include "src/svc/socket.h"
 
@@ -39,6 +40,8 @@ struct ServerConfig {
   std::string socket_path = "/tmp/psgad.sock";
   int workers = 2;     ///< concurrent running jobs (fixed at start)
   int max_queued = 64; ///< admission limit on queued jobs (reloadable)
+  /// Event-replan lanes shared by all open sessions (fixed at start).
+  int session_workers = 2;
   /// Generation-event stride in job telemetry logs (reloadable;
   /// 1 = every generation, 0 = improvements and job_end only).
   int telemetry_every = 1;
@@ -96,6 +99,9 @@ class Server {
 
   const std::string& socket_path() const { return config_.socket_path; }
   JobTable& jobs() { return table_; }
+  /// The online-replanning multiplexer behind the session_* ops
+  /// (sessions share its cache and the daemon's metrics registry).
+  session::SessionManager& sessions() { return *sessions_; }
   /// The daemon's process-lifetime metrics registry (queue depth, job
   /// counters, latency histograms — see JobTable::set_metrics). The
   /// `stats` op serves its snapshot; tests scrape it directly.
@@ -118,6 +124,10 @@ class Server {
   obs::Registry registry_;
   double start_seconds_ = 0.0;  ///< steady-clock stamp of construction
   JobTable table_;
+  /// Declared after registry_ (sessions write metrics through it) and
+  /// destroyed before it: the unique_ptr lets stop() drain sessions
+  /// before the job table shuts down.
+  std::unique_ptr<session::SessionManager> sessions_;
   std::unique_ptr<UnixListener> listener_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -8,6 +8,7 @@
 #include "src/ga/simple_ga.h"
 #include "src/par/rng.h"
 #include "src/sched/classics.h"
+#include "src/sched/generators.h"
 
 namespace psga::sched {
 namespace {
@@ -129,6 +130,61 @@ TEST(RandomDowntimes, DeterministicAndWellFormed) {
     EXPECT_GE(a[i].machine, 0);
     EXPECT_LT(a[i].machine, 5);
     EXPECT_GT(a[i].end, a[i].start);
+  }
+}
+
+// The session layer's rebasing contract, fuzzed: splitting a plan at a
+// disruption instant must lose nothing. For random instances, sequences,
+// downtime sets and split instants:
+//   * frozen_prefix + remaining reassemble the sequence exactly;
+//   * the freeze rule holds (prefix ops start before `now`, the first
+//     remaining op does not);
+//   * realizing frozen + remaining reproduces the full decode's makespan
+//     (split → realize is the identity under right-shift);
+//   * DynamicSuffixProblem's scalar decode of any legal suffix agrees
+//     with realized_makespan_with_prefix on the original instance — the
+//     objective a replanning GA optimizes IS the realized makespan.
+TEST(SplitAt, FuzzRebaseAgreesWithFullDecode) {
+  par::Rng rng(99);
+  for (int t = 0; t < 60; ++t) {
+    const int jobs = 3 + static_cast<int>(rng.below(5));
+    const int machines = 2 + static_cast<int>(rng.below(4));
+    const JobShopInstance inst =
+        random_job_shop(jobs, machines, 1000 + static_cast<std::uint64_t>(t));
+    const std::vector<int> seq = random_operation_sequence(inst, rng);
+    const Time horizon = decode_operation_based(inst, seq).makespan();
+    const std::vector<Downtime> windows = random_downtimes(
+        machines, static_cast<int>(rng.below(4)), horizon, 1,
+        horizon / 4 + 1, 77 + static_cast<std::uint64_t>(t));
+    const Schedule full = decode_with_downtime(inst, seq, windows);
+    const Time now = rng.range(0, static_cast<int>(horizon) + 10);
+
+    const ReplanContext context = split_at(inst, seq, windows, now);
+    const std::size_t frozen = context.frozen_prefix.size();
+    ASSERT_LE(frozen, seq.size());
+    ASSERT_EQ(context.frozen_prefix.size() + context.remaining.size(),
+              seq.size());
+    for (std::size_t i = 0; i < frozen; ++i) {
+      EXPECT_EQ(context.frozen_prefix[i], seq[i]);
+      EXPECT_LT(full.ops[i].start, now);
+    }
+    for (std::size_t i = 0; i < context.remaining.size(); ++i) {
+      EXPECT_EQ(context.remaining[i], seq[frozen + i]);
+    }
+    if (frozen < seq.size()) EXPECT_GE(full.ops[frozen].start, now);
+
+    EXPECT_EQ(realized_makespan_with_prefix(inst, context.frozen_prefix,
+                                            context.remaining, windows),
+              full.makespan());
+
+    ga::DynamicSuffixProblem problem(&inst, context.frozen_prefix,
+                                     context.remaining, windows);
+    for (int s = 0; s < 3; ++s) {
+      const ga::Genome suffix = problem.random_genome(rng);
+      EXPECT_EQ(problem.objective(suffix),
+                static_cast<double>(realized_makespan_with_prefix(
+                    inst, context.frozen_prefix, suffix.seq, windows)));
+    }
   }
 }
 

@@ -9,7 +9,9 @@
 //   list               one job per line
 //   status <id>        one-line job record; exit 1 when the job failed
 //                      (mirrors psga_sweep's any-cell-failed convention)
-//   wait <id>          blocks until terminal, then prints like status
+//   wait <id> [--timeout S]
+//                      blocks until terminal, then prints like status;
+//                      with --timeout, exits 3 when S seconds pass first
 //   watch <id>         streams the job's JSONL telemetry to stdout
 //                      (replayed from the start, then live, ending with
 //                      job_end), then exits like status
@@ -23,9 +25,23 @@
 //                      gauges, log2 histograms with p50/p95/p99
 //                      (pretty-printed JSON)
 //
+//   session open '<instance>' [--solver S] [--generations N] [--evals N]
+//                [--slo S] [--seed N] [--cold] [--immigrants F]
+//                      opens a replanning session, prints its id
+//   session event <id> '<tokens>'
+//                      applies one event (session::Event::parse format,
+//                      e.g. 'kind=breakdown time=25 machine=2
+//                      duration=10'), prints the reply JSON; exit 1 when
+//                      the event missed its SLO
+//   session best <id>  the session's current answer (JSON)
+//   session close <id> [--transcript]
+//                      drains + closes; prints events and the transcript
+//                      hash (with --transcript, the full JSONL first)
+//
 // The socket defaults to $PSGAD_SOCKET, then /tmp/psgad.sock. Transport
 // and server errors print to stderr and exit 2; a failed job makes
 // status/wait/watch (and submit --watch) exit 1.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/session/session.h"
 #include "src/svc/client.h"
 
 namespace {
@@ -46,8 +63,13 @@ int usage(const char* argv0) {
       "commands:\n"
       "  submit '<runspec>' [--priority N] [--generations N] [--seconds S]\n"
       "                     [--evals N] [--target X] [--watch]\n"
-      "  list | status <id> | wait <id> | watch <id> | cancel <id>\n"
-      "  drain | ping | info | stats\n",
+      "  list | status <id> | wait <id> [--timeout S] | watch <id>\n"
+      "  cancel <id> | drain | ping | info | stats\n"
+      "  session open '<instance>' [--solver S] [--generations N]\n"
+      "               [--evals N] [--slo S] [--seed N] [--cold]\n"
+      "               [--immigrants F]\n"
+      "  session event <id> '<kind=... time=... ...>'\n"
+      "  session best <id> | session close <id> [--transcript]\n",
       argv0);
   return 2;
 }
@@ -146,9 +168,26 @@ int main(int argc, char** argv) {
     }
     if (command == "status" || command == "wait") {
       if (i >= argc) return usage(argv[0]);
-      const long long id = parse_id(argv[i]);
-      const svc::JobRecord job =
-          command == "wait" ? client.wait(id) : client.status(id);
+      const long long id = parse_id(argv[i++]);
+      double timeout = 0;
+      if (command == "wait" && i < argc) {
+        if (std::strcmp(argv[i], "--timeout") != 0 || i + 1 >= argc) {
+          return usage(argv[0]);
+        }
+        timeout = std::atof(argv[i + 1]);
+        i += 2;
+      }
+      if (command == "wait") {
+        const std::optional<svc::JobRecord> job = client.wait_for(id, timeout);
+        if (!job) {
+          std::fprintf(stderr, "psgactl: job %lld still running after %gs\n",
+                       id, timeout);
+          return 3;
+        }
+        print_job(*job);
+        return job_exit(*job);
+      }
+      const svc::JobRecord job = client.status(id);
       print_job(job);
       return job_exit(job);
     }
@@ -181,6 +220,84 @@ int main(int argc, char** argv) {
     if (command == "stats") {
       std::printf("%s\n", client.stats().dump(2).c_str());
       return 0;
+    }
+    if (command == "session") {
+      if (i >= argc) return usage(argv[0]);
+      const std::string sub = argv[i++];
+
+      if (sub == "open") {
+        if (i >= argc) return usage(argv[0]);
+        const std::string instance = argv[i++];
+        svc::SessionOptions options;
+        for (; i < argc; ++i) {
+          const std::string arg = argv[i];
+          auto next_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+              std::fprintf(stderr, "psgactl: %s needs a value\n", arg.c_str());
+              std::exit(2);
+            }
+            return argv[++i];
+          };
+          if (arg == "--solver") {
+            options.solver = next_value();
+          } else if (arg == "--generations") {
+            options.generations = std::atoi(next_value());
+          } else if (arg == "--evals") {
+            options.evaluations = std::atoll(next_value());
+          } else if (arg == "--slo") {
+            options.slo_seconds = std::atof(next_value());
+          } else if (arg == "--seed") {
+            options.seed = static_cast<std::uint64_t>(
+                std::strtoull(next_value(), nullptr, 10));
+          } else if (arg == "--cold") {
+            options.warm = false;
+          } else if (arg == "--immigrants") {
+            options.immigrants = std::atof(next_value());
+          } else {
+            return usage(argv[0]);
+          }
+        }
+        std::printf("%lld\n", client.session_open(instance, options));
+        return 0;
+      }
+
+      if (sub == "event") {
+        if (i + 1 >= argc) return usage(argv[0]);
+        const long long id = parse_id(argv[i]);
+        const session::Event event = session::Event::parse(argv[i + 1]);
+        const exp::Json reply = client.session_event(id, event.to_json());
+        std::printf("%s\n", reply.dump().c_str());
+        return reply.find("slo_met") != nullptr &&
+                       !reply.find("slo_met")->as_bool()
+                   ? 1
+                   : 0;
+      }
+
+      if (sub == "best") {
+        if (i >= argc) return usage(argv[0]);
+        std::printf("%s\n",
+                    client.session_best(parse_id(argv[i])).dump(2).c_str());
+        return 0;
+      }
+
+      if (sub == "close") {
+        if (i >= argc) return usage(argv[0]);
+        const long long id = parse_id(argv[i++]);
+        const bool transcript =
+            i < argc && std::strcmp(argv[i], "--transcript") == 0;
+        const exp::Json closed = client.session_close(id);
+        if (transcript) {
+          std::printf("%s", closed.string_or("transcript", "").c_str());
+        }
+        const exp::Json* hash = closed.find("transcript_hash");
+        std::printf("session %lld closed  events=%lld  transcript_hash=%llx\n",
+                    id, closed.find("events")->as_i64(),
+                    static_cast<unsigned long long>(
+                        hash != nullptr ? hash->as_u64() : 0));
+        return 0;
+      }
+
+      return usage(argv[0]);
     }
     return usage(argv[0]);
   } catch (const std::exception& e) {
